@@ -1,0 +1,91 @@
+// Ablation: the priority queue (Figure 2).
+//
+// Without the priority queue, the search greedily refines whichever region
+// currently shows the most misses and discards the rest.  Figure 2's layout
+// defeats it: one half of the address space holds several mid-weight arrays
+// (60% combined) while the other half holds the single hottest array E
+// (35%).  The greedy search descends into the 60% half and terminates on a
+// 20% array; the priority queue backs up and finds E.  This bench runs both
+// variants on that layout and on the paper applications.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace {
+
+using namespace hpm;
+
+harness::RunResult run_fig2(bool use_pq, unsigned n) {
+  workloads::SyntheticWorkload workload(
+      workloads::figure2_spec(4 * 1024 * 1024, /*iterations=*/10));
+  harness::RunConfig config;
+  config.machine = harness::paper_machine();
+  config.tool = harness::ToolKind::kSearch;
+  config.search.n = n;
+  config.search.use_priority_queue = use_pq;
+  config.search.search_whole_space = false;
+  config.search.initial_interval = 2'000'000;
+  return harness::run_experiment(config, workload);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = bench::CommonFlags::parse(argc, argv, {"n"});
+  if (!flags) return 2;
+  util::Cli cli(argc, argv, {"scale", "iters", "seed", "csv", "workloads", "n"});
+  const unsigned n = static_cast<unsigned>(cli.get_uint("n", 2));
+
+  std::printf("Ablation: priority queue vs. greedy search (Figure 2)\n\n");
+  std::printf("Layout: A 10%%, B 10%%, C 20%%, D 17.5%% | E 35%%, F 7.5%% — "
+              "E is the single hottest array.\n\n");
+
+  util::Table table({"variant", "top object found", "estimated %",
+                     "iterations", "verdict"},
+                    {util::Align::kLeft, util::Align::kLeft,
+                     util::Align::kRight, util::Align::kRight,
+                     util::Align::kLeft});
+  for (const bool use_pq : {false, true}) {
+    const auto result = run_fig2(use_pq, n);
+    const auto& rows = result.estimated.rows();
+    const std::string top = rows.empty() ? "(none)" : rows.front().name;
+    table.row()
+        .cell(use_pq ? "priority queue" : "greedy (no queue)")
+        .cell(top)
+        .cell(rows.empty() ? 0.0 : rows.front().percent, 1)
+        .cell(static_cast<std::uint64_t>(result.search_stats.iterations))
+        .cell(top == "E" ? "correct" : "WRONG (expected E)");
+  }
+  bench::emit(table, flags->csv);
+
+  // The same comparison across the paper applications: how often does the
+  // greedy variant's top result match ground truth?
+  std::printf("\nPaper applications, %u-way search, top-1 agreement:\n\n", n);
+  util::Table apps({"application", "actual top", "greedy top", "pq top"},
+                   {util::Align::kLeft, util::Align::kLeft, util::Align::kLeft,
+                    util::Align::kLeft});
+  for (const auto& name : bench::selected_workloads(*flags)) {
+    const auto options =
+        bench::options_for(*flags, bench::bench_default_iters(name));
+    std::string tops[2];
+    std::string actual_top = "?";
+    for (const bool use_pq : {false, true}) {
+      harness::RunConfig config;
+      config.machine = harness::paper_machine();
+      config.tool = harness::ToolKind::kSearch;
+      config.search.n = n;
+      config.search.use_priority_queue = use_pq;
+      const auto result = harness::run_experiment(config, name, options);
+      tops[use_pq ? 1 : 0] = result.estimated.empty()
+                                 ? "(none)"
+                                 : result.estimated.rows().front().name;
+      if (!result.actual.empty()) {
+        actual_top = result.actual.rows().front().name;
+      }
+    }
+    apps.row().cell(name).cell(actual_top).cell(tops[0]).cell(tops[1]);
+  }
+  bench::emit(apps, flags->csv);
+  return 0;
+}

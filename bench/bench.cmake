@@ -1,0 +1,29 @@
+# Bench harnesses: one binary per paper table/figure plus ablations and
+# component micro-benchmarks.  Included from the top-level CMakeLists so
+# that build/bench/ contains only the executables.
+
+function(hpm_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE
+    hpm_harness hpm_core hpm_workloads hpm_objmap hpm_sim hpm_util)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+hpm_add_bench(table1_quality)
+hpm_add_bench(table2_nway)
+hpm_add_bench(fig3_perturbation)
+hpm_add_bench(fig4_cost)
+hpm_add_bench(fig5_phases)
+hpm_add_bench(fig_prime_sampling)
+hpm_add_bench(ablation_priority_queue)
+hpm_add_bench(ablation_boundary_adjust)
+hpm_add_bench(ablation_phase_heuristic)
+hpm_add_bench(ablation_timeshare)
+
+add_executable(micro_components ${CMAKE_SOURCE_DIR}/bench/micro_components.cpp)
+target_link_libraries(micro_components PRIVATE
+  hpm_harness hpm_core hpm_workloads hpm_objmap hpm_sim hpm_util
+  benchmark::benchmark)
+set_target_properties(micro_components PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

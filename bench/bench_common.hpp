@@ -1,0 +1,105 @@
+// Shared plumbing for the table/figure harnesses: flag handling, run
+// helpers, and the row formats the paper's tables use.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace hpm::bench {
+
+struct CommonFlags {
+  double scale = 1.0;        ///< workload linear size factor
+  double iters = 1.0;        ///< iteration multiplier (1.0 = paper default)
+  std::uint64_t seed = 0x5ca1ab1e;
+  bool csv = false;
+  std::vector<std::string> workloads;  ///< empty = all paper workloads
+
+  static std::optional<CommonFlags> parse(
+      int argc, const char* const* argv,
+      std::vector<std::string> extra_flags = {});
+};
+
+inline std::optional<CommonFlags> CommonFlags::parse(
+    int argc, const char* const* argv,
+    std::vector<std::string> extra_flags) {
+  std::vector<std::string> known = {"scale", "iters", "seed", "csv",
+                                    "workloads"};
+  known.insert(known.end(), extra_flags.begin(), extra_flags.end());
+  util::Cli cli(argc, argv, known);
+  if (!cli.ok()) {
+    std::fprintf(stderr, "%s\n", cli.error().c_str());
+    return std::nullopt;
+  }
+  CommonFlags flags;
+  flags.scale = cli.get_double("scale", 1.0);
+  flags.iters = cli.get_double("iters", 1.0);
+  flags.seed = cli.get_uint("seed", 0x5ca1ab1e);
+  flags.csv = cli.get_bool("csv", false);
+  const std::string list = cli.get("workloads", "");
+  if (!list.empty()) {
+    std::size_t start = 0;
+    while (start <= list.size()) {
+      const std::size_t comma = list.find(',', start);
+      const std::size_t end = comma == std::string::npos ? list.size() : comma;
+      if (end > start) flags.workloads.push_back(list.substr(start, end - start));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  return flags;
+}
+
+/// Workload options derived from the common flags; `default_iters` is the
+/// workload's own default when the multiplier is 1.0.
+inline workloads::WorkloadOptions options_for(
+    const CommonFlags& flags, std::uint64_t default_iters = 0) {
+  workloads::WorkloadOptions options;
+  options.scale = flags.scale;
+  options.seed = flags.seed;
+  if (flags.iters != 1.0 || default_iters != 0) {
+    const double base = default_iters != 0 ? static_cast<double>(default_iters)
+                                           : 0.0;
+    if (base > 0.0) {
+      options.iterations = static_cast<std::uint64_t>(base * flags.iters + 0.5);
+      if (options.iterations == 0) options.iterations = 1;
+    }
+  }
+  return options;
+}
+
+inline const std::vector<std::string>& selected_workloads(
+    const CommonFlags& flags) {
+  return flags.workloads.empty() ? workloads::paper_workload_names()
+                                 : flags.workloads;
+}
+
+/// Per-workload default iteration counts used by the benches (chosen so
+/// each run produces several million misses).
+[[nodiscard]] inline std::uint64_t bench_default_iters(
+    const std::string& workload) {
+  if (workload == "tomcatv") return 4;
+  if (workload == "swim") return 4;
+  if (workload == "su2cor") return 3;
+  if (workload == "mgrid") return 3;
+  if (workload == "applu") return 6;
+  if (workload == "compress") return 3;
+  if (workload == "ijpeg") return 2;
+  return 0;
+}
+
+inline void emit(const util::Table& table, bool csv) {
+  if (csv) {
+    table.write_csv(std::cout);
+  } else {
+    table.render(std::cout);
+  }
+}
+
+}  // namespace hpm::bench

@@ -1,0 +1,76 @@
+// Figure 4: Instrumentation Cost (percent slowdown, log scale).
+//
+// Same run matrix as Figure 3.  The slowdown is total virtual cycles versus
+// the uninstrumented run; the table also reports the per-interrupt cost and
+// the interrupt rate, the two quantities §3.3 uses to explain the result
+// (search: few, expensive interrupts; sampling: many, ~9,000-cycle ones —
+// 8,800 of which is the measured OS delivery cost).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpm;
+  auto flags = bench::CommonFlags::parse(argc, argv);
+  if (!flags) return 2;
+
+  std::printf("Figure 4: Instrumentation Cost\n");
+  std::printf("(percent slowdown vs. uninstrumented run; log-scale bars)\n\n");
+
+  const std::uint64_t kPeriods[] = {1'000, 10'000, 100'000, 1'000'000};
+
+  util::Table table(
+      {"application", "config", "slowdown %", "interrupts",
+       "cycles/interrupt", "interrupts/Gcycle", "log bar"},
+      {util::Align::kLeft, util::Align::kLeft, util::Align::kRight,
+       util::Align::kRight, util::Align::kRight, util::Align::kRight,
+       util::Align::kLeft});
+
+  for (const auto& name : bench::selected_workloads(*flags)) {
+    const auto options =
+        bench::options_for(*flags, bench::bench_default_iters(name));
+
+    harness::RunConfig base_cfg;
+    base_cfg.machine = harness::paper_machine();
+    const auto baseline = harness::run_experiment(base_cfg, name, options);
+    const double base_cycles =
+        static_cast<double>(baseline.stats.total_cycles());
+
+    auto add_row = [&](const std::string& config_name,
+                       const harness::RunResult& run) {
+      const double cycles = static_cast<double>(run.stats.total_cycles());
+      const double slowdown = 100.0 * (cycles - base_cycles) / base_cycles;
+      const double per_interrupt =
+          run.stats.interrupts
+              ? static_cast<double>(run.stats.tool_cycles) /
+                    static_cast<double>(run.stats.interrupts)
+              : 0.0;
+      const double per_gcycle =
+          static_cast<double>(run.stats.interrupts) * 1e9 / cycles;
+      table.row()
+          .cell(name)
+          .cell(config_name)
+          .cell(slowdown, 4)
+          .cell(run.stats.interrupts)
+          .cell(per_interrupt, 0)
+          .cell(per_gcycle, 1)
+          .cell(util::log_bar(slowdown, 1e-4, 100.0, 40));
+    };
+
+    harness::RunConfig search_cfg = base_cfg;
+    search_cfg.tool = harness::ToolKind::kSearch;
+    search_cfg.search.n = 10;
+    add_row("search", harness::run_experiment(search_cfg, name, options));
+
+    for (const auto period : kPeriods) {
+      harness::RunConfig cfg = base_cfg;
+      cfg.tool = harness::ToolKind::kSampler;
+      cfg.sampler.period = period;
+      add_row("sample(" + std::to_string(period) + ")",
+              harness::run_experiment(cfg, name, options));
+    }
+    table.separator();
+  }
+  bench::emit(table, flags->csv);
+  return 0;
+}

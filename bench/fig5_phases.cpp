@@ -1,0 +1,72 @@
+// Figure 5: Cache Misses over Time for Applu.
+//
+// Per-object miss counts per uniform time interval, captured by the
+// ground-truth profiler.  The paper's figure shows the Jacobian blocks
+// (a, b, c — nearly identical curves) periodically dipping to zero while
+// rsd (and u) spike: the phase behaviour that motivates the search's
+// zero-retention heuristic.  Output: a CSV-ish series plus sparklines.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpm;
+  auto flags = bench::CommonFlags::parse(argc, argv, {"interval", "workload"});
+  if (!flags) return 2;
+  util::Cli cli(argc, argv, {"scale", "iters", "seed", "csv", "workloads",
+                             "interval", "workload"});
+  const std::string workload = cli.get("workload", "applu");
+  const sim::Cycles interval = cli.get_uint("interval", 4'000'000);
+
+  harness::RunConfig config;
+  config.machine = harness::paper_machine();
+  config.series_interval = interval;
+  const auto options =
+      bench::options_for(*flags, bench::bench_default_iters(workload));
+  const auto result = harness::run_experiment(config, workload, options);
+
+  std::printf("Figure 5: Cache Misses over Time for %s\n", workload.c_str());
+  std::printf("(interval = %llu cycles, %zu intervals)\n\n",
+              static_cast<unsigned long long>(interval),
+              result.series.empty()
+                  ? std::size_t{0}
+                  : result.series.front().misses_per_interval.size());
+
+  // CSV block: one column per object, one row per interval.
+  std::printf("interval");
+  for (const auto& s : result.series) std::printf(",%s", s.name.c_str());
+  std::printf("\n");
+  const std::size_t intervals =
+      result.series.empty() ? 0 : result.series.front().misses_per_interval.size();
+  for (std::size_t i = 0; i < intervals; ++i) {
+    std::printf("%zu", i);
+    for (const auto& s : result.series) {
+      std::printf(",%llu",
+                  static_cast<unsigned long long>(
+                      i < s.misses_per_interval.size()
+                          ? s.misses_per_interval[i]
+                          : 0));
+    }
+    std::printf("\n");
+  }
+
+  // Sparklines for a quick visual check of the phase pattern.
+  std::printf("\n");
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  for (const auto& s : result.series) {
+    if (s.misses_per_interval.empty()) continue;
+    const auto peak = *std::max_element(s.misses_per_interval.begin(),
+                                        s.misses_per_interval.end());
+    if (peak == 0) continue;
+    std::string line;
+    for (auto v : s.misses_per_interval) {
+      const auto idx =
+          static_cast<std::size_t>(v == 0 ? 0 : 1 + (7 * (v - 1)) / peak);
+      line += kLevels[std::min<std::size_t>(idx, 7)];
+    }
+    std::printf("%-12s |%s|\n", s.name.c_str(), line.c_str());
+  }
+  return 0;
+}

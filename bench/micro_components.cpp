@@ -1,0 +1,148 @@
+// Component micro-benchmarks (google-benchmark): host-side throughput of
+// the simulator substrates.  These bound how much simulated work the
+// table/figure harnesses can afford and catch performance regressions in
+// the hot paths (cache access, PMU update, object resolution, RB tree).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "objmap/object_map.hpp"
+#include "objmap/rbtree.hpp"
+#include "sim/backing_store.hpp"
+#include "sim/cache.hpp"
+#include "sim/machine.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace hpm;
+
+void BM_CacheAccessHit(benchmark::State& state) {
+  sim::Cache cache(sim::CacheConfig{});
+  (void)cache.access(0, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(0, false));
+  }
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void BM_CacheAccessStreaming(benchmark::State& state) {
+  sim::CacheConfig config;
+  config.policy = static_cast<sim::ReplacementPolicy>(state.range(0));
+  sim::Cache cache(config);
+  sim::Addr addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(addr, false));
+    addr += 64;  // every access a miss
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccessStreaming)->DenseRange(0, 3);
+
+void BM_CacheAccessMixed(benchmark::State& state) {
+  sim::Cache cache(sim::CacheConfig{});
+  util::Xoshiro256 rng(1);
+  // 2x cache-size working set: a realistic hit/miss blend.
+  const std::uint64_t span = 4ULL * 1024 * 1024;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(rng.next_below(span), false));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccessMixed);
+
+void BM_BackingStoreLoad(benchmark::State& state) {
+  sim::BackingStore store;
+  store.store<double>(0x1000, 1.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.load<double>(0x1000));
+  }
+}
+BENCHMARK(BM_BackingStoreLoad);
+
+void BM_MachineAppRef(benchmark::State& state) {
+  sim::Machine machine;
+  const sim::Addr base = machine.address_space().define_static("v", 1 << 24);
+  sim::Addr offset = 0;
+  for (auto _ : state) {
+    machine.touch(base + offset);
+    offset = (offset + 64) & ((1 << 24) - 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MachineAppRef);
+
+void BM_RbTreeInsertErase(benchmark::State& state) {
+  objmap::RbTree tree;
+  util::Xoshiro256 rng(2);
+  std::vector<sim::Addr> keys;
+  for (int i = 0; i < state.range(0); ++i) {
+    const sim::Addr a = 0x141000000ULL + static_cast<sim::Addr>(i) * 128;
+    tree.insert(a, 64, static_cast<std::uint32_t>(i));
+    keys.push_back(a);
+  }
+  std::size_t idx = 0;
+  for (auto _ : state) {
+    const sim::Addr a = keys[idx];
+    tree.erase(a);
+    tree.insert(a, 64, 0);
+    idx = (idx + 1) % keys.size();
+  }
+}
+BENCHMARK(BM_RbTreeInsertErase)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_RbTreeFindContaining(benchmark::State& state) {
+  objmap::RbTree tree;
+  for (int i = 0; i < state.range(0); ++i) {
+    tree.insert(0x141000000ULL + static_cast<sim::Addr>(i) * 128, 128,
+                static_cast<std::uint32_t>(i));
+  }
+  util::Xoshiro256 rng(3);
+  const std::uint64_t span = static_cast<std::uint64_t>(state.range(0)) * 128;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.find_containing(0x141000000ULL + rng.next_below(span)));
+  }
+}
+BENCHMARK(BM_RbTreeFindContaining)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ObjectMapResolve(benchmark::State& state) {
+  sim::Machine machine;
+  objmap::ObjectMap map;
+  map.attach(machine.address_space());
+  std::vector<sim::Addr> bases;
+  for (int i = 0; i < 64; ++i) {
+    bases.push_back(machine.address_space().define_static(
+        "sym" + std::to_string(i), 4096));
+  }
+  for (int i = 0; i < 64; ++i) {
+    bases.push_back(machine.address_space().malloc(4096));
+  }
+  util::Xoshiro256 rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        map.resolve(bases[rng.next_below(bases.size())] + 128));
+  }
+}
+BENCHMARK(BM_ObjectMapResolve);
+
+void BM_SnapSplitPoint(benchmark::State& state) {
+  sim::Machine machine;
+  objmap::ObjectMap map;
+  map.attach(machine.address_space());
+  for (int i = 0; i < 256; ++i) {
+    (void)machine.address_space().define_static("sym" + std::to_string(i),
+                                                1 << 16);
+  }
+  const auto span = map.occupied_span();
+  util::Xoshiro256 rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        map.snap_split_point(span.base + rng.next_below(span.size()), span));
+  }
+}
+BENCHMARK(BM_SnapSplitPoint);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Side-by-side comparison of the two techniques on one workload: actual
+// miss shares vs. sampling vs. 10-way search, plus each technique's
+// overhead — a one-workload preview of the paper's Tables 1/2 and Figure 4.
+#include <cstdio>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpm;
+  const char* workload = argc > 1 ? argv[1] : "tomcatv";
+
+  // Baseline (no instrumentation) for overhead numbers.
+  harness::RunConfig base;
+  base.machine = harness::paper_machine();
+  const auto baseline = harness::run_experiment(base, workload);
+
+  harness::RunConfig sample_cfg = base;
+  sample_cfg.tool = harness::ToolKind::kSampler;
+  sample_cfg.sampler.period = 10'000;
+  const auto sampled = harness::run_experiment(sample_cfg, workload);
+
+  harness::RunConfig search_cfg = base;
+  search_cfg.tool = harness::ToolKind::kSearch;
+  search_cfg.search.n = 10;
+  const auto searched = harness::run_experiment(search_cfg, workload);
+
+  util::Table table({"object", "actual %", "sampled %", "search %"},
+                    {util::Align::kLeft, util::Align::kRight,
+                     util::Align::kRight, util::Align::kRight});
+  const auto actual_top = baseline.actual.filtered(0.01).top(8);
+  for (const auto& row : actual_top.rows()) {
+    table.row().cell(row.name).cell(row.percent, 1);
+    if (auto p = sampled.estimated.percent_of(row.name)) {
+      table.cell(*p, 1);
+    } else {
+      table.blank();
+    }
+    if (auto p = searched.estimated.percent_of(row.name)) {
+      table.cell(*p, 1);
+    } else {
+      table.blank();
+    }
+  }
+  std::printf("Workload: %s\n\n", workload);
+  std::puts(table.to_string().c_str());
+
+  auto slowdown = [&](const harness::RunResult& r) {
+    return 100.0 *
+           (static_cast<double>(r.stats.total_cycles()) -
+            static_cast<double>(baseline.stats.total_cycles())) /
+           static_cast<double>(baseline.stats.total_cycles());
+  };
+  std::printf("Sampling: %llu samples, %.3f%% slowdown\n",
+              static_cast<unsigned long long>(sampled.samples),
+              slowdown(sampled));
+  std::printf("Search:   %u iterations, %.3f%% slowdown, converged: %s\n",
+              searched.search_stats.iterations, slowdown(searched),
+              searched.search_done ? "yes" : "no");
+  return 0;
+}

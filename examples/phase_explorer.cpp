@@ -1,0 +1,44 @@
+// Visualise a workload's phase behaviour: per-object cache misses over
+// time, as captured by the ground-truth profiler (the data behind the
+// paper's Figure 5), rendered as console sparklines.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "harness/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpm;
+  const char* workload = argc > 1 ? argv[1] : "applu";
+
+  harness::RunConfig config;
+  config.machine = harness::paper_machine();
+  config.series_interval = 4'000'000;  // cycles per sample interval
+
+  std::printf("Cache misses over time for '%s' (interval = %llu cycles)\n\n",
+              workload,
+              static_cast<unsigned long long>(config.series_interval));
+  const auto result = harness::run_experiment(config, workload);
+
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  for (const auto& series : result.series) {
+    if (series.misses_per_interval.empty()) continue;
+    const auto peak = *std::max_element(series.misses_per_interval.begin(),
+                                        series.misses_per_interval.end());
+    if (peak == 0) continue;
+    std::string line;
+    for (auto v : series.misses_per_interval) {
+      const auto idx = static_cast<std::size_t>(
+          v == 0 ? 0 : 1 + (7 * (v - 1)) / peak);
+      line += kLevels[std::min<std::size_t>(idx, 7)];
+    }
+    std::printf("%-16s |%s| peak %llu\n", series.name.c_str(), line.c_str(),
+                static_cast<unsigned long long>(peak));
+  }
+  std::printf("\n%zu intervals captured.\n", result.series.empty()
+                                                 ? 0
+                                                 : result.series.front()
+                                                       .misses_per_interval
+                                                       .size());
+  return 0;
+}

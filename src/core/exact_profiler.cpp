@@ -1,0 +1,97 @@
+#include "core/exact_profiler.hpp"
+
+#include <algorithm>
+
+namespace hpm::core {
+
+ExactProfiler::ExactProfiler(sim::Machine& machine,
+                             const objmap::ObjectMap& map,
+                             sim::Cycles series_interval)
+    : machine_(machine), map_(map), series_interval_(series_interval) {}
+
+void ExactProfiler::start() {
+  running_ = true;
+  if (series_interval_ > 0) {
+    next_interval_end_ = machine_.now() + series_interval_;
+  }
+  machine_.set_miss_observer([this](sim::Addr addr, bool is_tool) {
+    if (!is_tool) on_miss(addr);
+  });
+}
+
+void ExactProfiler::stop() {
+  if (!running_) return;
+  running_ = false;
+  machine_.set_miss_observer(nullptr);
+  if (series_interval_ > 0) roll_intervals();
+}
+
+void ExactProfiler::on_miss(sim::Addr addr) {
+  // Close every interval boundary we have passed; a long miss-free gap
+  // produces empty intervals, keeping the series uniform in time.
+  if (series_interval_ > 0) {
+    while (machine_.now() >= next_interval_end_) {
+      roll_intervals();
+      next_interval_end_ += series_interval_;
+    }
+  }
+  auto lookup = map_.resolve(addr);
+  if (!lookup.found) {
+    ++unattributed_;
+    return;
+  }
+  ++attributed_;
+  PerObject& po = counts_[lookup.ref];
+  ++po.total;
+  ++po.current_interval;
+}
+
+void ExactProfiler::roll_intervals() {
+  ++intervals_closed_;
+  for (auto& [ref, po] : counts_) {
+    po.history.push_back(po.current_interval);
+    po.current_interval = 0;
+  }
+}
+
+Report ExactProfiler::report() const {
+  std::vector<ReportRow> rows;
+  std::uint64_t total = 0;
+  for (const auto& [ref, po] : counts_) total += po.total;
+  rows.reserve(counts_.size());
+  for (const auto& [ref, po] : counts_) {
+    rows.push_back(ReportRow{
+        .name = map_.display_name(ref),
+        .ref = ref,
+        .count = po.total,
+        .percent = total == 0 ? 0.0
+                              : 100.0 * static_cast<double>(po.total) /
+                                    static_cast<double>(total)});
+  }
+  return Report(std::move(rows), total);
+}
+
+std::vector<ExactProfiler::Series> ExactProfiler::series() const {
+  std::vector<Series> out;
+  out.reserve(counts_.size());
+  for (const auto& [ref, po] : counts_) {
+    Series s;
+    s.name = map_.display_name(ref);
+    s.ref = ref;
+    s.misses_per_interval = po.history;
+    // Objects first seen after interval 0 have shorter histories; left-pad
+    // with zeros so all series align.
+    if (s.misses_per_interval.size() < intervals_closed_) {
+      s.misses_per_interval.insert(
+          s.misses_per_interval.begin(),
+          intervals_closed_ - s.misses_per_interval.size(), 0);
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(), [](const Series& a, const Series& b) {
+    return a.name < b.name;
+  });
+  return out;
+}
+
+}  // namespace hpm::core

@@ -1,0 +1,79 @@
+// Ground-truth, zero-cost miss attribution — "measured by lower levels of
+// the simulator, separate from the sampling and search code" (§3.1).
+//
+// Installs a miss observer below the tool layer.  Unlike a Tool, it costs no
+// virtual cycles and has no simulated cache footprint, so it never perturbs
+// what it measures.  Also records the per-object miss time series behind
+// Figure 5.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/report.hpp"
+#include "objmap/object_id.hpp"
+#include "objmap/object_map.hpp"
+#include "sim/machine.hpp"
+
+namespace hpm::core {
+
+class ExactProfiler {
+ public:
+  /// `series_interval` > 0 enables time-series capture: per-object miss
+  /// counts are snapshotted every that-many cycles (Figure 5).
+  ExactProfiler(sim::Machine& machine, const objmap::ObjectMap& map,
+                sim::Cycles series_interval = 0);
+
+  /// Start observing (replaces any previously installed miss observer).
+  void start();
+  /// Stop observing and close the current series interval.
+  void stop();
+
+  [[nodiscard]] Report report() const;
+  [[nodiscard]] std::uint64_t attributed_misses() const noexcept {
+    return attributed_;
+  }
+  [[nodiscard]] std::uint64_t unattributed_misses() const noexcept {
+    return unattributed_;
+  }
+
+  // -- Time series (Figure 5) ------------------------------------------------
+  struct Series {
+    std::string name;
+    objmap::ObjectRef ref{};
+    std::vector<std::uint64_t> misses_per_interval;
+  };
+  /// One entry per object that ever missed; intervals are uniform in cycles.
+  [[nodiscard]] std::vector<Series> series() const;
+  [[nodiscard]] sim::Cycles series_interval() const noexcept {
+    return series_interval_;
+  }
+  [[nodiscard]] std::size_t interval_count() const noexcept {
+    return intervals_closed_;
+  }
+
+ private:
+  void on_miss(sim::Addr addr);
+  void roll_intervals();
+
+  sim::Machine& machine_;
+  const objmap::ObjectMap& map_;
+  sim::Cycles series_interval_;
+  sim::Cycles next_interval_end_ = 0;
+  std::size_t intervals_closed_ = 0;
+
+  struct PerObject {
+    std::uint64_t total = 0;
+    std::uint64_t current_interval = 0;
+    std::vector<std::uint64_t> history;
+  };
+  std::unordered_map<objmap::ObjectRef, PerObject, objmap::ObjectRefHash>
+      counts_;
+  std::uint64_t attributed_ = 0;
+  std::uint64_t unattributed_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace hpm::core

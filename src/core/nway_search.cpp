@@ -1,0 +1,610 @@
+#include "core/nway_search.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpm::core {
+
+NWaySearch::NWaySearch(sim::Machine& machine, objmap::ObjectMap& map,
+                       SearchConfig config, ToolCosts costs)
+    : Tool(machine, map, costs),
+      config_(config),
+      interval_(config.initial_interval) {
+  if (config_.n < 2) {
+    throw std::invalid_argument("SearchConfig: n must be >= 2");
+  }
+  if (config_.physical_counters > config_.n) {
+    throw std::invalid_argument(
+        "SearchConfig: physical_counters must be <= n");
+  }
+  if (machine.pmu().num_counters() < physical()) {
+    throw std::invalid_argument(
+        "SearchConfig: machine has fewer miss counters than required");
+  }
+  if (config_.initial_interval == 0) {
+    throw std::invalid_argument("SearchConfig: interval must be > 0");
+  }
+  if (config_.max_interval == 0) {
+    config_.max_interval = 64 * config_.initial_interval;
+  }
+  queue_shadow_ = machine_.address_space().alloc_instr(kMaxQueue * 64, 64);
+}
+
+// ---------------------------------------------------------------------------
+// Priority queue: a descending-sorted array with one simulated cache line
+// per entry.  Insertions/removals touch the shifted slots, so queue traffic
+// competes with the application for cache space.
+
+void NWaySearch::pq_touch(std::size_t index) {
+  if (index < kMaxQueue) {
+    machine_.tool_touch(queue_shadow_ + index * 64, /*write=*/true);
+  }
+}
+
+void NWaySearch::pq_insert(const Region& region) {
+  if (queue_.size() >= kMaxQueue) {
+    throw std::length_error("NWaySearch: priority queue overflow");
+  }
+  auto pos = std::lower_bound(
+      queue_.begin(), queue_.end(), region,
+      [](const Region& a, const Region& b) {
+        if (a.percent != b.percent) return a.percent > b.percent;
+        return a.range.base < b.range.base;
+      });
+  const std::size_t at = static_cast<std::size_t>(pos - queue_.begin());
+  queue_.insert(pos, region);
+  const std::size_t touches = std::min<std::size_t>(queue_.size() - at, 64);
+  for (std::size_t i = 0; i < touches; ++i) pq_touch(at + i);
+  machine_.tool_exec(costs_.pq_op + costs_.per_probe * touches);
+}
+
+Region NWaySearch::pq_pop_front() {
+  Region out = queue_.front();
+  queue_.erase(queue_.begin());
+  const std::size_t touches = std::min<std::size_t>(queue_.size() + 1, 64);
+  for (std::size_t i = 0; i < touches; ++i) pq_touch(i);
+  machine_.tool_exec(costs_.pq_op + costs_.per_probe * touches);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+Region NWaySearch::make_region(sim::AddrRange range, std::uint32_t depth) {
+  Region r;
+  r.range = range;
+  r.depth = depth;
+  const std::size_t objects = map_.count_objects_overlapping(range, 2);
+  r.object_count = static_cast<std::uint32_t>(objects);
+  if (objects == 1) {
+    r.single_object = true;
+    r.object = map_.single_object_in(range);
+  }
+  // The object-extent queries above walk the tool's symbol array / RB tree;
+  // replay that walk against the simulated cache.
+  auto lo = map_.resolve(range.base);
+  replay_probes(lo.shadow_path);
+  auto hi = map_.resolve(range.bound - 1);
+  replay_probes(hi.shadow_path);
+  return r;
+}
+
+void NWaySearch::start() {
+  machine_.set_handler(this);
+  phase_ = Phase::kSearching;
+  const sim::AddrRange universe =
+      config_.search_whole_space
+          ? machine_.address_space().layout().application_span()
+          : map_.occupied_span();
+  begin_search(universe);
+}
+
+void NWaySearch::begin_search(sim::AddrRange universe) {
+  measured_.clear();
+  if (universe.empty()) {
+    finish();
+    return;
+  }
+  // Divide the universe into n areas, with extents adjusted so objects do
+  // not span region boundaries.
+  const std::uint64_t chunk = std::max<std::uint64_t>(
+      universe.size() / config_.n, 1);
+  sim::Addr cursor = universe.base;
+  for (unsigned i = 0; i < config_.n && cursor < universe.bound; ++i) {
+    sim::Addr end = (i + 1 == config_.n)
+                        ? universe.bound
+                        : std::min(universe.bound, cursor + chunk);
+    if (config_.adjust_boundaries && end < universe.bound) {
+      const sim::Addr snapped =
+          map_.snap_split_point(end, {cursor, universe.bound});
+      if (snapped > cursor) end = snapped;
+    }
+    if (end > cursor) {
+      measured_.push_back(make_region({cursor, end}, 0));
+      machine_.tool_exec(costs_.region_admin);
+    }
+    cursor = end;
+  }
+  program_counters();
+}
+
+void NWaySearch::program_counters() {
+  mux_samples_.assign(measured_.size(), {});
+  mux_slot_ = 0;
+  program_mux_slot();
+}
+
+// Program the physical counters for the current timesharing slot (a
+// dedicated-counter search is simply the one-slot case) and arm the timer
+// for the slot's share of the interval.
+void NWaySearch::program_mux_slot() {
+  auto& pmu = machine_.pmu();
+  const unsigned phys = physical();
+  const std::size_t base = static_cast<std::size_t>(mux_slot_) * phys;
+  for (unsigned i = 0; i < phys; ++i) {
+    const std::size_t idx = base + i;
+    if (idx < measured_.size()) {
+      pmu.configure(i, measured_[idx].range.base,
+                    measured_[idx].range.bound);
+    } else {
+      pmu.disable(i);
+    }
+    machine_.tool_exec(costs_.counter_write);
+  }
+  pmu.clear_global();
+  const unsigned slots = std::max(mux_slots(), 1u);
+  machine_.arm_timer_in(std::max<sim::Cycles>(interval_ / slots, 1));
+}
+
+void NWaySearch::harvest_mux_slot() {
+  auto& pmu = machine_.pmu();
+  const unsigned phys = physical();
+  const std::size_t base = static_cast<std::size_t>(mux_slot_) * phys;
+  const std::uint64_t slot_total = pmu.global_misses();
+  machine_.tool_exec(costs_.counter_read);
+  for (unsigned i = 0; i < phys; ++i) {
+    const std::size_t idx = base + i;
+    if (idx >= measured_.size()) break;
+    mux_samples_[idx] = {pmu.read(i), slot_total};
+    machine_.tool_exec(costs_.counter_read);
+  }
+}
+
+void NWaySearch::stop() {
+  machine_.disarm_timer();
+  machine_.set_handler(nullptr);
+  if (phase_ == Phase::kSearching || phase_ == Phase::kRefining) {
+    // The application ended before the search did: harvest the isolated
+    // single-object regions found so far so report() returns best-effort
+    // results (their estimates come from the search averages).
+    for (const Region& r : queue_) {
+      if (!r.single_object || !r.object || r.measurements == 0) continue;
+      bool dup = false;
+      for (const Found& f : found_) dup = dup || f.ref == *r.object;
+      if (!dup) {
+        found_.push_back(Found{.ref = *r.object,
+                               .range = r.range,
+                               .search_percent = r.percent});
+      }
+    }
+    for (const Region& r : measured_) {
+      if (!r.single_object || !r.object || r.measurements == 0) continue;
+      bool dup = false;
+      for (const Found& f : found_) dup = dup || f.ref == *r.object;
+      if (!dup) {
+        found_.push_back(Found{.ref = *r.object,
+                               .range = r.range,
+                               .search_percent = r.percent});
+      }
+    }
+  }
+}
+
+void NWaySearch::on_interrupt(sim::Machine&, sim::InterruptKind kind) {
+  if (kind != sim::InterruptKind::kCycleTimer) return;
+  machine_.tool_exec(costs_.handler_entry);
+  on_timer();
+}
+
+void NWaySearch::on_timer() {
+  switch (phase_) {
+    case Phase::kSearching:
+      harvest_mux_slot();
+      ++mux_slot_;
+      if (mux_slot_ < mux_slots()) {
+        program_mux_slot();  // next timesharing slot of the same interval
+        break;
+      }
+      search_iteration();
+      break;
+    case Phase::kRefining:
+      refine_iteration();
+      break;
+    case Phase::kIdle:
+    case Phase::kDone:
+      break;
+  }
+}
+
+void NWaySearch::search_iteration() {
+  ++stats_.iterations;
+
+  // §5 auto-tuning: too few misses per interval makes every estimate
+  // noise; lengthen future intervals.
+  if (config_.min_misses_per_interval > 0) {
+    std::uint64_t iteration_misses = 0;
+    for (std::size_t i = 0; i < mux_samples_.size(); i += physical()) {
+      iteration_misses += mux_samples_[i].slot_total;
+    }
+    if (iteration_misses < config_.min_misses_per_interval) {
+      interval_ = std::min<sim::Cycles>(interval_ * 2, config_.max_interval);
+    }
+  }
+
+  std::vector<Region> retained;
+  bool grew_interval = false;
+  for (unsigned i = 0; i < measured_.size(); ++i) {
+    Region r = measured_[i];
+    // Each region's share is computed against the global misses of its own
+    // timesharing slot (the whole interval in dedicated mode).
+    const std::uint64_t count = mux_samples_[i].count;
+    const std::uint64_t total = mux_samples_[i].slot_total;
+    machine_.tool_exec(costs_.region_admin);
+    const double pct =
+        total == 0 ? 0.0
+                   : 100.0 * static_cast<double>(count) /
+                         static_cast<double>(total);
+    // A region qualifies for zero-retention (the phase heuristic, §3.5) if
+    // it actually contains objects and either descends from a top-ranked
+    // pick (depth > 0) or has measured nonzero before.  Empty address-space
+    // gaps are discarded immediately no matter what.
+    const bool previously_hot =
+        r.object_count > 0 && (r.depth > 0 || r.measurements > 0);
+    if (count == 0) {
+      if (config_.phase_retention && previously_hot &&
+          r.zero_streak < config_.zero_retention_limit) {
+        ++r.zero_streak;
+        ++stats_.zero_retained;
+        retained.push_back(r);
+        // "each time a region with zero misses is kept, the duration of
+        // future sample intervals is increased" — growth is applied at most
+        // once per iteration so several simultaneous retentions (applu's
+        // a/b/c/d) do not compound it.
+        if (!grew_interval) {
+          grew_interval = true;
+          interval_ = std::min<sim::Cycles>(
+              static_cast<sim::Cycles>(static_cast<double>(interval_) *
+                                       config_.interval_growth),
+              config_.max_interval);
+        }
+      } else {
+        ++stats_.discarded;
+        discarded_.push_back(r);
+      }
+      continue;
+    }
+    r.zero_streak = 0;
+    r.record(pct);
+    if (config_.retire_measured && r.single_object && r.object) {
+      // §6 variant: retire measured single-object regions so the search
+      // keeps finding more objects (single-interval estimates only).
+      found_.push_back(Found{.ref = *r.object,
+                             .range = r.range,
+                             .search_percent = r.percent});
+      continue;
+    }
+    pq_insert(r);
+  }
+  measured_ = std::move(retained);
+
+  // Queue maintenance: the instrumentation re-ranks its records each
+  // iteration, touching every queue entry.
+  for (std::size_t i = 0; i < queue_.size() && i < 64; ++i) pq_touch(i);
+  machine_.tool_exec(costs_.per_probe * std::min<std::size_t>(queue_.size(), 64));
+
+  if (check_termination()) return;
+
+  select_next_measured();
+  if (measured_.empty()) {
+    // Nothing measurable is left; wrap up with what we have.
+    begin_refinement();
+    return;
+  }
+  program_counters();
+}
+
+bool NWaySearch::check_termination() {
+  if (stats_.iterations >= config_.max_iterations) {
+    begin_refinement();
+    return true;
+  }
+  if (config_.retire_measured && found_.size() >= config_.max_results) {
+    begin_refinement();
+    return true;
+  }
+  if (queue_.empty() && measured_.empty()) {
+    if (config_.continue_into_discarded && !discarded_.empty()) {
+      ++stats_.continuations;
+      for (const Region& r : discarded_) pq_insert(r);
+      discarded_.clear();
+      return false;
+    }
+    begin_refinement();
+    return true;
+  }
+
+  // Greedy (no priority queue) mode terminates as soon as the best measured
+  // region contains a single object.
+  if (!config_.use_priority_queue) {
+    if (!queue_.empty() && queue_.front().single_object) {
+      begin_refinement();
+      return true;
+    }
+    return false;
+  }
+
+  // Paper rule: stop when the top n-1 regions all contain single objects.
+  // A single-object region only counts once it has been re-measured (its
+  // estimate is an average of >= 2 intervals) — "this allows the objects to
+  // be ranked with increasing accuracy" and keeps a momentary phase-local
+  // spike from ending the search early.
+  const std::size_t need = config_.n - 1;
+  if (queue_.size() >= need) {
+    bool all_single = true;
+    for (std::size_t i = 0; i < need; ++i) {
+      if (!queue_[i].single_object || queue_[i].measurements < 2) {
+        all_single = false;
+        break;
+      }
+    }
+    machine_.tool_exec(costs_.per_probe * need);
+    if (all_single) {
+      begin_refinement();
+      return true;
+    }
+  }
+
+  // Residual rule: everything significant has been narrowed to single
+  // objects; what remains un-refined is below the threshold.  Regions that
+  // contain objects but have not produced a measurement yet (fresh splits,
+  // retained zero-miss regions) have unknown weight and block this rule.
+  double multi_pct = 0.0;
+  bool any_single = !found_.empty();
+  bool pending_unknown = false;
+  for (const Region& r : queue_) {
+    if (r.single_object) {
+      any_single = true;
+    } else {
+      multi_pct += r.percent;
+    }
+  }
+  for (const Region& r : measured_) {
+    if (r.single_object) continue;
+    multi_pct += r.percent;
+    if (r.measurements == 0 && r.object_count > 0) pending_unknown = true;
+  }
+  if (any_single && !pending_unknown &&
+      multi_pct < config_.residual_threshold_pct) {
+    begin_refinement();
+    return true;
+  }
+  return false;
+}
+
+void NWaySearch::select_next_measured() {
+  if (!config_.use_priority_queue) {
+    // Greedy: refine only the single best region seen this iteration; all
+    // other candidates are abandoned (this is what Figure 2 shows going
+    // wrong).
+    if (queue_.empty()) return;
+    Region best = pq_pop_front();
+    for (const Region& r : queue_) discarded_.push_back(r);
+    stats_.discarded += static_cast<std::uint32_t>(queue_.size());
+    queue_.clear();
+    if (best.single_object) {
+      measured_.push_back(best);
+    } else {
+      split_region(best, measured_);
+    }
+    return;
+  }
+
+  while (measured_.size() < config_.n && !queue_.empty()) {
+    const std::size_t budget = config_.n - measured_.size();
+    if (!queue_.front().single_object && budget < 2) break;
+    Region top = pq_pop_front();
+    if (top.single_object) {
+      // Re-measure the whole (unsplittable) region; successive estimates
+      // are averaged for increasing accuracy.
+      measured_.push_back(top);
+    } else {
+      split_region(top, measured_);
+    }
+  }
+  if (measured_.empty() && !queue_.empty()) {
+    measured_.push_back(pq_pop_front());
+  }
+}
+
+void NWaySearch::split_region(Region region, std::vector<Region>& out) {
+  const sim::AddrRange range = region.range;
+  sim::Addr mid = range.base + range.size() / 2;
+  if (config_.adjust_boundaries) {
+    // Replay the lookup the snap performs so it has a cache footprint.
+    auto probe = map_.resolve(mid);
+    replay_probes(probe.shadow_path);
+    mid = map_.snap_split_point(mid, range);
+  }
+  machine_.tool_exec(costs_.split_op);
+  if (mid <= range.base || mid >= range.bound) {
+    // No interior split point exists: a single object covers (nearly) the
+    // whole region.  Treat it as terminal.
+    region.single_object = true;
+    if (!region.object) {
+      map_.for_each_overlapping(range,
+                                [&](objmap::ObjectRef ref,
+                                    const objmap::ObjectInfo&) {
+                                  region.object = ref;
+                                  return false;
+                                });
+    }
+    if (region.object) {
+      out.push_back(region);
+    } else {
+      ++stats_.discarded;
+      discarded_.push_back(region);
+    }
+    return;
+  }
+  ++stats_.splits;
+  Region lo = make_region({range.base, mid}, region.depth + 1);
+  Region hi = make_region({mid, range.bound}, region.depth + 1);
+  machine_.tool_exec(2 * costs_.region_admin);
+  out.push_back(lo);
+  out.push_back(hi);
+}
+
+void NWaySearch::begin_refinement() {
+  // Collect the final object set: the top regions of the queue that contain
+  // single objects (plus everything already retired in retire mode and any
+  // retained single-object regions with measurements).
+  auto add_found = [&](const Region& r) {
+    if (!r.single_object || !r.object) return;
+    for (const Found& f : found_) {
+      if (f.ref == *r.object) return;  // dedup
+    }
+    found_.push_back(Found{.ref = *r.object,
+                           .range = r.range,
+                           .search_percent = r.percent});
+  };
+  // "Only regions containing single objects are included in these results."
+  // A 10-way search generally returns up to 9 objects; the nth slot may add
+  // one more if it too is single-object.
+  const std::size_t limit = std::max<std::size_t>(config_.n, found_.size());
+  for (std::size_t i = 0; i < queue_.size() && found_.size() < limit; ++i) {
+    add_found(queue_[i]);
+  }
+  for (const Region& r : measured_) {
+    if (found_.size() >= limit) break;
+    if (r.measurements > 0) add_found(r);
+  }
+
+  if (found_.empty() || config_.refine_rounds == 0) {
+    finish();
+    return;
+  }
+  phase_ = Phase::kRefining;
+  refine_cursor_ = 0;
+  refine_round_ = 0;
+  // Program the first group: each counter covers exactly one found object.
+  refine_slots_.clear();
+  auto& pmu = machine_.pmu();
+  for (unsigned i = 0; i < physical() && refine_cursor_ < found_.size();
+       ++i, ++refine_cursor_) {
+    refine_slots_.push_back(refine_cursor_);
+    pmu.configure(i, found_[refine_cursor_].range.base,
+                  found_[refine_cursor_].range.bound);
+    machine_.tool_exec(costs_.counter_write);
+  }
+  for (unsigned i = static_cast<unsigned>(refine_slots_.size());
+       i < physical(); ++i) {
+    pmu.disable(i);
+  }
+  pmu.clear_global();
+  machine_.arm_timer_in(interval_);
+}
+
+void NWaySearch::refine_iteration() {
+  ++stats_.refine_iterations;
+  auto& pmu = machine_.pmu();
+  const std::uint64_t total = pmu.global_misses();
+  machine_.tool_exec(costs_.counter_read);
+  for (unsigned i = 0; i < refine_slots_.size(); ++i) {
+    Found& f = found_[refine_slots_[i]];
+    f.refine_misses += pmu.read(i);
+    f.refine_total += total;
+    ++f.refine_rounds;
+    machine_.tool_exec(costs_.counter_read + costs_.region_admin);
+  }
+
+  // Next group (time-sharing the counters when there are more found objects
+  // than counters); a round completes when every object has been covered.
+  if (refine_cursor_ >= found_.size()) {
+    ++refine_round_;
+    refine_cursor_ = 0;
+    if (refine_round_ >= config_.refine_rounds) {
+      finish();
+      return;
+    }
+  }
+  refine_slots_.clear();
+  for (unsigned i = 0; i < physical() && refine_cursor_ < found_.size();
+       ++i, ++refine_cursor_) {
+    refine_slots_.push_back(refine_cursor_);
+    pmu.configure(i, found_[refine_cursor_].range.base,
+                  found_[refine_cursor_].range.bound);
+    machine_.tool_exec(costs_.counter_write);
+  }
+  for (unsigned i = static_cast<unsigned>(refine_slots_.size());
+       i < physical(); ++i) {
+    pmu.disable(i);
+  }
+  pmu.clear_global();
+  machine_.arm_timer_in(interval_);
+}
+
+void NWaySearch::finish() {
+  // §6 extension: "returning to search previously discarded areas after the
+  // ones causing the most cache misses have been examined fully".  Re-seed
+  // the search from discarded object-bearing regions; objects that were
+  // idle during the phases already searched (e.g. output buffers written
+  // only late in a run) get another chance.
+  if (config_.continue_into_discarded &&
+      stats_.continuations < kMaxContinuations) {
+    std::vector<Region> seeds;
+    for (Region& r : discarded_) {
+      if (r.object_count == 0) continue;
+      // Skip regions whose single object is already in the result set.
+      if (r.single_object && r.object) {
+        bool known = false;
+        for (const Found& f : found_) known = known || f.ref == *r.object;
+        if (known) continue;
+      }
+      r.zero_streak = 0;
+      seeds.push_back(r);
+    }
+    discarded_.clear();
+    if (!seeds.empty()) {
+      ++stats_.continuations;
+      phase_ = Phase::kSearching;
+      for (const Region& r : seeds) pq_insert(r);
+      select_next_measured();
+      if (!measured_.empty()) {
+        program_counters();
+        return;
+      }
+    }
+  }
+  machine_.disarm_timer();
+  phase_ = Phase::kDone;
+  stats_.final_interval = interval_;
+}
+
+Report NWaySearch::report() const {
+  std::vector<ReportRow> rows;
+  std::uint64_t total_misses = 0;
+  for (const Found& f : found_) {
+    const double pct =
+        f.refine_total > 0
+            ? 100.0 * static_cast<double>(f.refine_misses) /
+                  static_cast<double>(f.refine_total)
+            : f.search_percent;
+    rows.push_back(ReportRow{.name = map_.display_name(f.ref),
+                             .ref = f.ref,
+                             .count = f.refine_misses,
+                             .percent = pct});
+    total_misses += f.refine_misses;
+  }
+  return Report(std::move(rows), total_misses);
+}
+
+}  // namespace hpm::core

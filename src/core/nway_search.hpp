@@ -1,0 +1,175 @@
+// The n-way search for memory bottlenecks (paper §2.2).
+//
+// The search assumes n cache-miss counters with base/bounds registers plus
+// one global counter.  The address space is divided into n regions; at each
+// timer expiration the instrumentation ranks measured regions by their share
+// of all misses in the interval, places them in a priority queue, pops the
+// best ones and splits each in half (with extents adjusted so objects never
+// span a region boundary), and repeats.  The priority queue lets the search
+// back up to earlier regions (Figure 2); regions that formerly ranked high
+// but show zero misses are retained for a few iterations and the interval is
+// lengthened (the phase heuristic of §3.5).  The search ends when the top
+// n-1 regions each contain a single object, or when what is left unsearched
+// is insignificant; a refinement pass then measures each found object's
+// extent exactly.
+//
+// Configuration switches expose the paper's ablations and extensions:
+//   * use_priority_queue=false — the naive greedy search of Figure 2;
+//   * adjust_boundaries=false  — splits may bisect objects;
+//   * phase_retention=false    — zero-miss regions are always discarded;
+//   * retire_measured=true     — §6's "return more objects" variant;
+//   * continue_into_discarded=true — §6's re-search of discarded areas.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/search_region.hpp"
+#include "core/tool.hpp"
+
+namespace hpm::core {
+
+struct SearchConfig {
+  unsigned n = 10;  ///< regions measured per iteration (needs n+1 counters)
+  /// Physical base/bounds counters available; 0 means n (dedicated).  When
+  /// fewer than n, the search timeshares them across sub-intervals — §2.2:
+  /// "multiple counters with separate base/bounds could be simulated by
+  /// timesharing the single conditional counter between regions of
+  /// interest" — at the cost of the §3.4 inaccuracy (each region is only
+  /// observed during its own slot of the interval).
+  unsigned physical_counters = 0;
+  sim::Cycles initial_interval = 1'000'000;
+  /// §5 auto-tuning: if an interval produces fewer misses than this, the
+  /// interval is doubled (0 disables).  Keeps iterations statistically
+  /// meaningful on low-miss-rate applications without hand tuning.
+  std::uint64_t min_misses_per_interval = 0;
+  /// Interval multiplier applied each time a zero-miss region is retained
+  /// ("each time a region with zero misses is kept, the duration of future
+  /// sample intervals is increased").  With growth g and limit k, retention
+  /// rides out an idle phase of up to interval * (g^(k+1) - 1) / (g - 1)
+  /// cycles.
+  double interval_growth = 2.0;
+  /// Upper bound on the adapted interval; 0 means 64 * initial_interval.
+  /// Unbounded growth would let heavily phased applications (su2cor) push
+  /// the interval past the remaining run length, stalling the search.
+  sim::Cycles max_interval = 0;
+  /// Iterations a formerly-hot region may show zero misses before discard.
+  std::uint32_t zero_retention_limit = 5;
+  /// Terminate when multi-object regions still in play account for less
+  /// than this percent of misses (handles "fewer than n-1 significant
+  /// regions").
+  double residual_threshold_pct = 2.0;
+  /// Full measurement rounds over the found objects after the search.
+  std::uint32_t refine_rounds = 3;
+  std::uint32_t max_iterations = 4'000;  ///< safety stop
+  bool use_priority_queue = true;
+  bool adjust_boundaries = true;
+  bool phase_retention = true;
+  bool retire_measured = false;
+  std::uint32_t max_results = 32;  ///< retire mode: stop after this many
+  bool continue_into_discarded = false;
+  /// Search the whole application address space (paper) rather than just
+  /// the currently occupied span.
+  bool search_whole_space = true;
+};
+
+struct SearchStats {
+  std::uint32_t iterations = 0;
+  std::uint32_t refine_iterations = 0;
+  std::uint32_t splits = 0;
+  std::uint32_t discarded = 0;
+  std::uint32_t zero_retained = 0;
+  std::uint32_t continuations = 0;
+  sim::Cycles final_interval = 0;
+};
+
+class NWaySearch : public Tool {
+ public:
+  NWaySearch(sim::Machine& machine, objmap::ObjectMap& map,
+             SearchConfig config, ToolCosts costs = {});
+
+  void start() override;
+  void stop() override;
+  void on_interrupt(sim::Machine& machine, sim::InterruptKind kind) override;
+
+  [[nodiscard]] bool done() const noexcept { return phase_ == Phase::kDone; }
+  /// Final ranked objects with refined percent estimates.  Valid once the
+  /// search has finished (or after stop(): best effort from current state).
+  [[nodiscard]] Report report() const;
+  [[nodiscard]] const SearchStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] sim::Cycles current_interval() const noexcept {
+    return interval_;
+  }
+
+ private:
+  enum class Phase { kIdle, kSearching, kRefining, kDone };
+
+  struct Found {
+    objmap::ObjectRef ref{};
+    sim::AddrRange range{};
+    double search_percent = 0.0;  ///< average from the search phase
+    std::uint64_t refine_misses = 0;
+    std::uint64_t refine_total = 0;
+    std::uint32_t refine_rounds = 0;
+  };
+
+  // -- Priority queue (sorted array, highest percent first) with a shadow
+  //    line per entry so queue traffic hits the simulated cache.
+  void pq_insert(const Region& region);
+  Region pq_pop_front();
+  void pq_touch(std::size_t index);
+
+  void begin_search(sim::AddrRange universe);
+  void program_counters();
+  void program_mux_slot();
+  void harvest_mux_slot();
+  void on_timer();
+  void search_iteration();
+  void select_next_measured();
+  void split_region(Region region, std::vector<Region>& out);
+  [[nodiscard]] Region make_region(sim::AddrRange range, std::uint32_t depth);
+  [[nodiscard]] bool check_termination();
+  void begin_refinement();
+  void refine_iteration();
+  void finish();
+
+  SearchConfig config_;
+  Phase phase_ = Phase::kIdle;
+  sim::Cycles interval_;
+  SearchStats stats_{};
+
+  std::vector<Region> measured_;  ///< measured_[i] uses PMU counter i
+  std::vector<Region> queue_;     ///< the priority queue, descending percent
+  std::vector<Region> discarded_; ///< for the continuation extension
+  std::vector<Found> found_;      ///< single-object results
+  std::vector<std::size_t> refine_slots_;  ///< found_ indices being measured
+  std::size_t refine_cursor_ = 0;
+  std::uint32_t refine_round_ = 0;
+
+  // Counter-timesharing state (physical_counters < n).  Each measurement
+  // interval is cut into slots; slot s observes measured_ regions
+  // [s*phys, s*phys+phys).  Per-region percentages are computed against
+  // the global misses of the region's own slot.
+  struct MuxSample {
+    std::uint64_t count = 0;
+    std::uint64_t slot_total = 0;
+  };
+  std::vector<MuxSample> mux_samples_;
+  unsigned mux_slot_ = 0;
+  [[nodiscard]] unsigned physical() const noexcept {
+    return config_.physical_counters == 0 ? config_.n
+                                          : config_.physical_counters;
+  }
+  [[nodiscard]] unsigned mux_slots() const noexcept {
+    const unsigned phys = physical();
+    return static_cast<unsigned>((measured_.size() + phys - 1) /
+                                 (phys == 0 ? 1 : phys));
+  }
+
+  sim::Addr queue_shadow_ = 0;
+  static constexpr std::size_t kMaxQueue = 4096;
+  static constexpr std::uint32_t kMaxContinuations = 4;
+};
+
+}  // namespace hpm::core

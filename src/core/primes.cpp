@@ -1,0 +1,24 @@
+#include "core/primes.hpp"
+
+namespace hpm::core {
+
+bool is_prime(std::uint64_t n) noexcept {
+  if (n < 2) return false;
+  if (n < 4) return true;
+  if (n % 2 == 0 || n % 3 == 0) return false;
+  // 6k +/- 1 trial division; sampling periods are small enough that this is
+  // instantaneous.
+  for (std::uint64_t i = 5; i * i <= n; i += 6) {
+    if (n % i == 0 || n % (i + 2) == 0) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime(std::uint64_t n) noexcept {
+  if (n <= 2) return 2;
+  std::uint64_t c = n | 1;  // first odd >= n
+  while (!is_prime(c)) c += 2;
+  return c;
+}
+
+}  // namespace hpm::core

@@ -1,0 +1,15 @@
+// Primality helpers for the prime sampling-interval policy (§3.1: sampling
+// 1 in 50,111 misses — a prime — removed the aliasing that a 50,000-miss
+// interval suffered on tomcatv).
+#pragma once
+
+#include <cstdint>
+
+namespace hpm::core {
+
+[[nodiscard]] bool is_prime(std::uint64_t n) noexcept;
+
+/// Smallest prime >= n (n <= 2 yields 2).
+[[nodiscard]] std::uint64_t next_prime(std::uint64_t n) noexcept;
+
+}  // namespace hpm::core

@@ -1,0 +1,76 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace hpm::core {
+
+Report::Report(std::vector<ReportRow> rows, std::uint64_t total_count)
+    : rows_(std::move(rows)), total_(total_count) {
+  std::sort(rows_.begin(), rows_.end(),
+            [](const ReportRow& a, const ReportRow& b) {
+              if (a.percent != b.percent) return a.percent > b.percent;
+              return a.name < b.name;
+            });
+}
+
+std::size_t Report::rank_of(std::string_view name) const {
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].name == name) return i + 1;
+  }
+  return 0;
+}
+
+std::optional<double> Report::percent_of(std::string_view name) const {
+  for (const auto& r : rows_) {
+    if (r.name == name) return r.percent;
+  }
+  return std::nullopt;
+}
+
+Report Report::filtered(double min_percent) const {
+  std::vector<ReportRow> kept;
+  for (const auto& r : rows_) {
+    if (r.percent >= min_percent) kept.push_back(r);
+  }
+  return Report(std::move(kept), total_);
+}
+
+Report Report::top(std::size_t k) const {
+  std::vector<ReportRow> kept(rows_.begin(),
+                              rows_.begin() + std::min(k, rows_.size()));
+  return Report(std::move(kept), total_);
+}
+
+Report::Comparison Report::compare(const Report& actual,
+                                   const Report& estimated,
+                                   std::size_t top_k) {
+  Comparison c;
+  std::vector<double> act;
+  std::vector<double> est;
+  for (std::size_t i = 0; i < actual.rows_.size() && i < top_k; ++i) {
+    const auto& row = actual.rows_[i];
+    ++c.objects_compared;
+    act.push_back(row.percent);
+    if (auto e = estimated.percent_of(row.name)) {
+      est.push_back(*e);
+      const double err = std::abs(row.percent - *e);
+      c.max_abs_error = std::max(c.max_abs_error, err);
+      c.mean_abs_error += err;
+    } else {
+      est.push_back(0.0);
+      ++c.missing;
+      c.max_abs_error = std::max(c.max_abs_error, row.percent);
+      c.mean_abs_error += row.percent;
+    }
+  }
+  if (c.objects_compared > 0) {
+    c.mean_abs_error /= static_cast<double>(c.objects_compared);
+  }
+  c.order_agreement = util::pairwise_order_agreement(act, est);
+  return c;
+}
+
+}  // namespace hpm::core

@@ -1,0 +1,72 @@
+// Measurement results: ranked program objects with estimated shares of all
+// cache misses — the information Tables 1 and 2 of the paper present.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "objmap/object_id.hpp"
+
+namespace hpm::core {
+
+struct ReportRow {
+  std::string name;
+  objmap::ObjectRef ref{};
+  std::uint64_t count = 0;  ///< raw counter value (misses or samples)
+  double percent = 0.0;     ///< estimated share of all cache misses
+};
+
+class Report {
+ public:
+  Report() = default;
+  /// Rows are sorted by descending percent (ties by name for determinism).
+  explicit Report(std::vector<ReportRow> rows, std::uint64_t total_count);
+
+  [[nodiscard]] const std::vector<ReportRow>& rows() const& noexcept {
+    return rows_;
+  }
+  /// rvalue overload: calling rows() on a temporary (e.g.
+  /// `tool.report().rows()`) moves the rows out instead of returning a
+  /// reference into a dying object.
+  [[nodiscard]] std::vector<ReportRow> rows() && noexcept {
+    return std::move(rows_);
+  }
+  [[nodiscard]] std::uint64_t total_count() const noexcept { return total_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return rows_.size(); }
+
+  /// 1-based rank of the named object; 0 if absent.
+  [[nodiscard]] std::size_t rank_of(std::string_view name) const;
+  /// Estimated percent for the named object, if present.
+  [[nodiscard]] std::optional<double> percent_of(std::string_view name) const;
+
+  /// Drop rows whose share is below `min_percent` (the paper excludes
+  /// objects causing less than 0.01% of misses from its tables).
+  [[nodiscard]] Report filtered(double min_percent) const;
+  /// Keep only the top `k` rows.
+  [[nodiscard]] Report top(std::size_t k) const;
+
+  struct Comparison {
+    std::size_t objects_compared = 0;
+    double max_abs_error = 0.0;    ///< max |actual% - estimated%| over union
+    double mean_abs_error = 0.0;
+    double order_agreement = 1.0;  ///< pairwise order consistency in [0,1]
+    std::size_t missing = 0;       ///< actual objects absent from estimate
+  };
+  /// Score `estimated` against ground truth over the top `top_k` actual
+  /// objects.
+  [[nodiscard]] static Comparison compare(const Report& actual,
+                                          const Report& estimated,
+                                          std::size_t top_k);
+
+ private:
+  std::vector<ReportRow> rows_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hpm::core

@@ -1,0 +1,149 @@
+#include "core/sampler.hpp"
+
+#include <stdexcept>
+
+#include "core/primes.hpp"
+
+namespace hpm::core {
+
+Sampler::Sampler(sim::Machine& machine, objmap::ObjectMap& map,
+                 SamplerConfig config, ToolCosts costs)
+    : Tool(machine, map, costs),
+      config_(config),
+      rng_(config.seed),
+      current_period_(config.period) {
+  if (config_.period == 0) {
+    throw std::invalid_argument("SamplerConfig: period must be > 0");
+  }
+  if (config_.policy == PeriodPolicy::kPrime) {
+    current_period_ = next_prime(config_.period);
+  }
+  // Simulated storage for the sample-count table.
+  slots_base_ = machine_.address_space().alloc_instr(kMaxSlots * 8, 64);
+}
+
+std::uint64_t Sampler::next_period() {
+  switch (config_.policy) {
+    case PeriodPolicy::kFixed:
+      return config_.period;
+    case PeriodPolicy::kPrime:
+      return next_prime(config_.period);
+    case PeriodPolicy::kPseudoRandom: {
+      const std::uint64_t half = std::max<std::uint64_t>(config_.period / 2, 1);
+      return half + rng_.next_below(config_.period);
+    }
+  }
+  return config_.period;
+}
+
+sim::Addr Sampler::count_slot(objmap::ObjectRef) {
+  if (slots_used_ >= kMaxSlots) {
+    throw std::length_error("Sampler: count table full");
+  }
+  const sim::Addr shadow = slots_base_ + slots_used_ * 8;
+  ++slots_used_;
+  return shadow;
+}
+
+void Sampler::start() {
+  started_at_ = machine_.now();
+  machine_.set_handler(this);
+  machine_.arm_miss_overflow(current_period_);
+}
+
+void Sampler::stop() {
+  machine_.pmu().disarm_overflow();
+  machine_.set_handler(nullptr);
+}
+
+void Sampler::on_interrupt(sim::Machine& machine, sim::InterruptKind kind) {
+  if (kind != sim::InterruptKind::kMissOverflow) return;
+  machine.tool_exec(costs_.handler_entry);
+
+  // Read the last-miss-address register and attribute the miss.
+  const sim::Addr addr = machine.pmu().last_miss_address();
+  machine.tool_exec(costs_.counter_read);
+
+  auto lookup = map_.resolve(addr);
+  replay_probes(lookup.shadow_path);
+  ++samples_;
+  if (lookup.found) {
+    Slot& slot = counts_[lookup.ref];
+    if (slot.shadow == sim::kNullAddr) {
+      // First sample for this object: assign its simulated count slot.
+      slot.shadow = count_slot(lookup.ref);
+    }
+    ++slot.count;
+    const auto v = machine.tool_load<std::uint64_t>(slot.shadow);
+    machine.tool_store<std::uint64_t>(slot.shadow, v + 1);
+    machine.tool_exec(costs_.count_update);
+  } else {
+    ++unresolved_;
+  }
+
+  // Auto-tuned period (§5): scale toward the target interrupt rate.
+  if (config_.target_interrupts_per_gcycle > 0 && samples_ % 64 == 0) {
+    const sim::Cycles elapsed = machine.now() - started_at_;
+    if (elapsed > 0) {
+      const double rate = static_cast<double>(samples_) * 1e9 /
+                          static_cast<double>(elapsed);
+      const double ratio =
+          rate / static_cast<double>(config_.target_interrupts_per_gcycle);
+      if (ratio > 1.25) {
+        current_period_ = current_period_ + current_period_ / 4;
+      } else if (ratio < 0.8 && current_period_ > 4) {
+        current_period_ = current_period_ - current_period_ / 5;
+      }
+      config_.period = current_period_;
+    }
+  } else {
+    current_period_ = next_period();
+  }
+
+  // Re-arm: "after which the process is repeated".
+  machine.arm_miss_overflow(current_period_);
+  machine.tool_exec(costs_.counter_write);
+}
+
+Report Sampler::report() const {
+  std::uint64_t total = 0;
+  for (const auto& [ref, slot] : counts_) total += slot.count;
+
+  std::vector<ReportRow> rows;
+  if (config_.aggregate_sites) {
+    // Fold heap blocks with a named allocation site into one row.
+    std::unordered_map<std::string, std::uint64_t> grouped;
+    std::vector<std::pair<objmap::ObjectRef, std::uint64_t>> singles;
+    for (const auto& [ref, slot] : counts_) {
+      if (auto site = map_.site_group_name(ref)) {
+        grouped[*site] += slot.count;
+      } else {
+        singles.emplace_back(ref, slot.count);
+      }
+    }
+    for (const auto& [name, count] : grouped) {
+      rows.push_back(
+          {name, {}, count,
+           total ? 100.0 * static_cast<double>(count) /
+                       static_cast<double>(total)
+                 : 0.0});
+    }
+    for (const auto& [ref, count] : singles) {
+      rows.push_back({map_.display_name(ref), ref, count,
+                      total ? 100.0 * static_cast<double>(count) /
+                                  static_cast<double>(total)
+                            : 0.0});
+    }
+  } else {
+    rows.reserve(counts_.size());
+    for (const auto& [ref, slot] : counts_) {
+      rows.push_back({map_.display_name(ref), ref, slot.count,
+                      total ? 100.0 * static_cast<double>(slot.count) /
+                                  static_cast<double>(total)
+                            : 0.0});
+    }
+  }
+  return Report(std::move(rows), total);
+}
+
+}  // namespace hpm::core

@@ -1,0 +1,37 @@
+// Region state tracked by the n-way search.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "objmap/object_id.hpp"
+#include "sim/types.hpp"
+
+namespace hpm::core {
+
+struct Region {
+  sim::AddrRange range{};
+  /// Latest estimate of this region's share of all misses, in percent.  For
+  /// single-object regions this is the running average over all
+  /// measurements (paper §2.2).
+  double percent = 0.0;
+  double percent_sum = 0.0;        ///< accumulator behind the average
+  std::uint32_t measurements = 0;  ///< how many intervals measured this
+  std::uint32_t zero_streak = 0;   ///< consecutive zero-miss intervals
+  std::uint32_t depth = 0;         ///< splits from the initial partition
+  /// Live objects overlapping the region, saturated at 2 ("2 or more").
+  std::uint32_t object_count = 0;
+  bool single_object = false;      ///< exactly one object overlaps
+  std::optional<objmap::ObjectRef> object;  ///< set iff single_object
+
+  /// Record one interval's estimate; single-object regions average.
+  void record(double pct) noexcept {
+    percent_sum += pct;
+    ++measurements;
+    percent = single_object
+                  ? percent_sum / static_cast<double>(measurements)
+                  : pct;
+  }
+};
+
+}  // namespace hpm::core

@@ -1,0 +1,49 @@
+// Base class for measurement tools (the paper's "instrumentation code").
+//
+// Tools run inside the simulation: every lookup they perform against their
+// own data structures is replayed through the simulated cache (shadow
+// touches) and every unit of work is charged virtual cycles.  This is the
+// mechanism behind the paper's perturbation (Figure 3) and overhead
+// (Figure 4) results.
+#pragma once
+
+#include <span>
+
+#include "core/costs.hpp"
+#include "objmap/object_map.hpp"
+#include "sim/interrupt.hpp"
+#include "sim/machine.hpp"
+
+namespace hpm::core {
+
+class Tool : public sim::InterruptHandler {
+ public:
+  Tool(sim::Machine& machine, objmap::ObjectMap& map, ToolCosts costs = {})
+      : machine_(machine), map_(map), costs_(costs) {}
+
+  Tool(const Tool&) = delete;
+  Tool& operator=(const Tool&) = delete;
+
+  /// Install as the machine's interrupt handler and arm interrupts.
+  virtual void start() = 0;
+  /// Disarm; the machine keeps running unmeasured.
+  virtual void stop() = 0;
+
+  [[nodiscard]] const ToolCosts& costs() const noexcept { return costs_; }
+
+ protected:
+  /// Replay the cache footprint of a data-structure walk: touch each shadow
+  /// address and charge per-probe compute.
+  void replay_probes(std::span<const sim::Addr> shadow_path) {
+    for (sim::Addr a : shadow_path) {
+      if (a != sim::kNullAddr) machine_.tool_touch(a);
+    }
+    machine_.tool_exec(costs_.per_probe * shadow_path.size());
+  }
+
+  sim::Machine& machine_;
+  objmap::ObjectMap& map_;
+  ToolCosts costs_;
+};
+
+}  // namespace hpm::core

@@ -1,0 +1,75 @@
+#include "harness/experiment.hpp"
+
+#include "objmap/object_map.hpp"
+
+namespace hpm::harness {
+
+sim::MachineConfig paper_machine() {
+  sim::MachineConfig config;
+  config.cache.size_bytes = 2ULL * 1024 * 1024;
+  config.cache.line_size = 64;
+  config.cache.associativity = 8;
+  config.num_miss_counters = 16;
+  return config;
+}
+
+RunResult run_experiment(const RunConfig& config,
+                         workloads::Workload& workload) {
+  sim::Machine machine(config.machine);
+  objmap::ObjectMap map;
+  map.attach(machine.address_space());
+
+  core::ExactProfiler profiler(machine, map, config.series_interval);
+  if (config.exact_profile) profiler.start();
+
+  workload.setup(machine);
+
+  std::unique_ptr<core::Sampler> sampler;
+  std::unique_ptr<core::NWaySearch> search;
+  switch (config.tool) {
+    case ToolKind::kSampler:
+      sampler = std::make_unique<core::Sampler>(machine, map, config.sampler,
+                                                config.costs);
+      sampler->start();
+      break;
+    case ToolKind::kSearch:
+      search = std::make_unique<core::NWaySearch>(machine, map, config.search,
+                                                  config.costs);
+      search->start();
+      break;
+    case ToolKind::kNone:
+      break;
+  }
+
+  workload.run(machine);
+
+  RunResult result;
+  if (sampler) {
+    sampler->stop();
+    result.estimated = sampler->report();
+    result.samples = sampler->samples_taken();
+  }
+  if (search) {
+    result.search_done = search->done();
+    search->stop();
+    result.estimated = search->report();
+    result.search_stats = search->stats();
+  }
+  if (config.exact_profile) {
+    profiler.stop();
+    result.actual = profiler.report();
+    result.series = profiler.series();
+    result.unattributed_misses = profiler.unattributed_misses();
+  }
+  result.stats = machine.stats();
+  return result;
+}
+
+RunResult run_experiment(const RunConfig& config,
+                         std::string_view workload_name,
+                         const workloads::WorkloadOptions& options) {
+  auto workload = workloads::make_workload(workload_name, options);
+  return run_experiment(config, *workload);
+}
+
+}  // namespace hpm::harness

@@ -1,0 +1,59 @@
+// Experiment harness: wires a machine, an object map, a workload and a
+// measurement tool together and runs one experiment — the unit of work
+// behind every table and figure reproduction.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/exact_profiler.hpp"
+#include "core/nway_search.hpp"
+#include "core/report.hpp"
+#include "core/sampler.hpp"
+#include "sim/machine.hpp"
+#include "workloads/workload.hpp"
+
+namespace hpm::harness {
+
+enum class ToolKind { kNone, kSampler, kSearch };
+
+struct RunConfig {
+  sim::MachineConfig machine{};
+  ToolKind tool = ToolKind::kNone;
+  core::SamplerConfig sampler{};
+  core::SearchConfig search{};
+  core::ToolCosts costs{};
+  /// Interval (cycles) for the exact profiler's Figure-5 time series;
+  /// 0 disables series capture.
+  sim::Cycles series_interval = 0;
+  /// Ground-truth profiling below the tool layer (costs nothing simulated).
+  bool exact_profile = true;
+};
+
+struct RunResult {
+  sim::MachineStats stats{};
+  core::Report actual;     ///< exact per-object miss shares
+  core::Report estimated;  ///< the tool's estimate (empty for kNone)
+  std::vector<core::ExactProfiler::Series> series;
+  core::SearchStats search_stats{};
+  std::uint64_t samples = 0;
+  bool search_done = false;
+  std::uint64_t unattributed_misses = 0;
+};
+
+/// Run `workload` (setup + run) on a fresh machine under `config`.
+[[nodiscard]] RunResult run_experiment(const RunConfig& config,
+                                       workloads::Workload& workload);
+
+/// Convenience: construct one of the paper workloads by name and run it.
+[[nodiscard]] RunResult run_experiment(const RunConfig& config,
+                                       std::string_view workload_name,
+                                       const workloads::WorkloadOptions&
+                                           options = {});
+
+/// A machine config matching the paper's simulator: 2 MB single-level
+/// set-associative cache, 16 miss counters, 8,800-cycle interrupts.
+[[nodiscard]] sim::MachineConfig paper_machine();
+
+}  // namespace hpm::harness

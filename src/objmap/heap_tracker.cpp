@@ -1,0 +1,70 @@
+#include "objmap/heap_tracker.hpp"
+
+#include <cstdio>
+
+namespace hpm::objmap {
+
+namespace {
+std::string hex_name(sim::Addr base) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%llx",
+                static_cast<unsigned long long>(base));
+  return buf;
+}
+}  // namespace
+
+HeapTracker::HeapTracker(std::function<sim::Addr(std::uint64_t)> shadow_alloc)
+    : tree_(std::move(shadow_alloc)) {}
+
+std::uint32_t HeapTracker::on_alloc(sim::Addr base, std::uint64_t size,
+                                    sim::AllocSite site) {
+  ++alloc_events_;
+  const auto index = static_cast<std::uint32_t>(objects_.size());
+  objects_.push_back(ObjectInfo{.name = hex_name(base),
+                                .base = base,
+                                .size = size,
+                                .kind = ObjectKind::kHeap,
+                                .site = site,
+                                .live = true});
+  tree_.insert(base, size, index);
+  return index;
+}
+
+void HeapTracker::on_free(sim::Addr base) {
+  ++free_events_;
+  const auto found = tree_.find_containing(base);
+  if (found.node != nullptr && found.node->base == base) {
+    objects_[found.node->object_id].live = false;
+    tree_.erase(base);
+  }
+}
+
+void HeapTracker::set_site_name(sim::AllocSite site, std::string name) {
+  site_names_[site] = std::move(name);
+}
+
+const std::string* HeapTracker::site_name(sim::AllocSite site) const {
+  auto it = site_names_.find(site);
+  return it == site_names_.end() ? nullptr : &it->second;
+}
+
+HeapTracker::Lookup HeapTracker::find_containing(sim::Addr addr) const {
+  Lookup out;
+  auto found = tree_.find_containing(addr);
+  out.shadow_path = std::move(found.path);
+  if (found.node != nullptr) {
+    out.index = found.node->object_id;
+    out.info = &objects_[found.node->object_id];
+  }
+  return out;
+}
+
+void HeapTracker::visit_live_range(
+    sim::Addr from, sim::Addr to,
+    const std::function<bool(const ObjectInfo&, std::uint32_t)>& visit) const {
+  tree_.visit_range(from, to, [&](const HeapBlockNode& n) {
+    return visit(objects_[n.object_id], n.object_id);
+  });
+}
+
+}  // namespace hpm::objmap

@@ -1,0 +1,47 @@
+// Object identity shared by the object-mapping layer and the measurement
+// tools: a program "memory object" is a global/static variable, a heap
+// block, or (for the §5 stack extension) a function-local aggregated across
+// activations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/address_space.hpp"
+#include "sim/types.hpp"
+
+namespace hpm::objmap {
+
+enum class ObjectKind : std::uint8_t {
+  kStatic,      ///< global or static variable (from the symbol table)
+  kHeap,        ///< dynamically allocated block (from the heap tracker)
+  kStackLocal,  ///< per-(function, variable) aggregate (§5 extension)
+  kHeapGroup,   ///< a site arena treated as one object (§5 extension)
+};
+
+/// A stable, cheap handle.  `index` is an index into the per-kind object
+/// table and never changes, even after a heap block is freed.
+struct ObjectRef {
+  ObjectKind kind = ObjectKind::kStatic;
+  std::uint32_t index = 0;
+
+  constexpr bool operator==(const ObjectRef&) const noexcept = default;
+  constexpr auto operator<=>(const ObjectRef&) const noexcept = default;
+};
+
+struct ObjectInfo {
+  std::string name;
+  sim::Addr base = 0;       ///< current activation for stack locals
+  std::uint64_t size = 0;
+  ObjectKind kind = ObjectKind::kStatic;
+  sim::AllocSite site = sim::kNoSite;  ///< heap blocks only
+  bool live = true;                    ///< heap blocks flip on free
+};
+
+struct ObjectRefHash {
+  [[nodiscard]] std::size_t operator()(const ObjectRef& r) const noexcept {
+    return (static_cast<std::size_t>(r.kind) << 32) ^ r.index;
+  }
+};
+
+}  // namespace hpm::objmap

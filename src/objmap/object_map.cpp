@@ -1,0 +1,356 @@
+#include "objmap/object_map.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpm::objmap {
+
+void ObjectMap::attach(sim::AddressSpace& as) {
+  as_ = &as;
+  // Shadow storage for the symbol array (one cache line per entry, matching
+  // the paper's "sorted array for variables").
+  shadow_symbols_base_ = as.alloc_instr(kShadowSymbolCapacity * 64, 64);
+  symbols_.set_shadow_storage(shadow_symbols_base_, 64);
+
+  sim::AddressSpace::Hooks hooks;
+  hooks.on_static = [this](std::string_view name, sim::Addr base,
+                           std::uint64_t size) {
+    add_static(name, base, size);
+  };
+  hooks.on_alloc = [this](sim::Addr base, std::uint64_t size,
+                          sim::AllocSite site) {
+    add_heap_block(base, size, site);
+  };
+  hooks.on_free = [this](sim::Addr base) { remove_heap_block(base); };
+  hooks.on_arena = [this](sim::AllocSite site, sim::Addr base,
+                          std::uint64_t size) {
+    add_arena_group(site, base, size);
+  };
+  hooks.on_frame_push = [this](std::string_view f) { push_frame(f); };
+  hooks.on_frame_local = [this](std::string_view name, sim::Addr base,
+                                std::uint64_t size) {
+    add_local(name, base, size);
+  };
+  hooks.on_frame_pop = [this]() { pop_frame(); };
+  as.set_hooks(std::move(hooks));
+}
+
+sim::Addr ObjectMap::shadow_alloc(std::uint64_t size) {
+  return as_ == nullptr ? 0 : as_->alloc_instr(size, 64);
+}
+
+void ObjectMap::add_static(std::string_view name, sim::Addr base,
+                           std::uint64_t size) {
+  symbols_.add(name, base, size);
+}
+
+void ObjectMap::add_heap_block(sim::Addr base, std::uint64_t size,
+                               sim::AllocSite site) {
+  heap_.on_alloc(base, size, site);
+}
+
+void ObjectMap::remove_heap_block(sim::Addr base) { heap_.on_free(base); }
+
+void ObjectMap::set_site_name(sim::AllocSite site, std::string name) {
+  heap_.set_site_name(site, std::move(name));
+  for (auto& arena : arenas_) {
+    if (arena.site == site) arena.name = *heap_.site_name(site);
+  }
+}
+
+void ObjectMap::add_arena_group(sim::AllocSite site, sim::Addr base,
+                                std::uint64_t size) {
+  const std::string* named = heap_.site_name(site);
+  ArenaGroup group;
+  group.name = named != nullptr ? *named
+                                : "site#" + std::to_string(site);
+  group.range = {base, base + size};
+  group.site = site;
+  arenas_.push_back(std::move(group));
+}
+
+const ObjectMap::ArenaGroup* ObjectMap::arena_containing(
+    sim::Addr addr) const {
+  for (const auto& arena : arenas_) {
+    if (arena.range.contains(addr)) return &arena;
+  }
+  return nullptr;
+}
+
+void ObjectMap::push_frame(std::string_view function) {
+  frame_names_.emplace_back(function);
+}
+
+std::uint32_t ObjectMap::stack_aggregate_id(const std::string& key) {
+  auto it = stack_agg_by_key_.find(key);
+  if (it != stack_agg_by_key_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(stack_aggregates_.size());
+  stack_aggregates_.push_back({key, 0});
+  stack_agg_by_key_.emplace(key, id);
+  return id;
+}
+
+void ObjectMap::add_local(std::string_view name, sim::Addr base,
+                          std::uint64_t size) {
+  if (frame_names_.empty()) {
+    throw std::logic_error("ObjectMap::add_local outside any frame");
+  }
+  const std::string key = frame_names_.back() + "::" + std::string(name);
+  const std::uint32_t agg = stack_aggregate_id(key);
+  ++stack_aggregates_[agg].activations;
+  active_locals_.push_back(
+      {agg, base, size, frame_names_.size() - 1});
+}
+
+void ObjectMap::pop_frame() {
+  if (frame_names_.empty()) {
+    throw std::logic_error("ObjectMap::pop_frame with empty stack");
+  }
+  const std::size_t frame = frame_names_.size() - 1;
+  while (!active_locals_.empty() && active_locals_.back().frame == frame) {
+    active_locals_.pop_back();
+  }
+  frame_names_.pop_back();
+}
+
+ObjectMap::Lookup ObjectMap::resolve(sim::Addr addr) const {
+  Lookup out;
+  // Dispatch on segment.  Tools know the segment layout the same way the
+  // paper's tool knows which addresses are heap (from the break) vs. data.
+  if (as_ != nullptr) {
+    const auto& layout = as_->layout();
+    if (layout.stack.contains(addr)) {
+      // Innermost active local containing the address.
+      for (auto it = active_locals_.rbegin(); it != active_locals_.rend();
+           ++it) {
+        if (addr >= it->base && addr < it->base + it->size) {
+          out.found = true;
+          out.ref = {ObjectKind::kStackLocal, it->aggregate};
+          return out;
+        }
+      }
+      return out;
+    }
+  }
+  // Grouping arenas subsume the blocks inside them (§5).
+  for (std::size_t i = 0; i < arenas_.size(); ++i) {
+    if (arenas_[i].range.contains(addr)) {
+      out.found = true;
+      out.ref = {ObjectKind::kHeapGroup, static_cast<std::uint32_t>(i)};
+      return out;
+    }
+  }
+  // Heap next (heap addresses are above the data segment in our layout, but
+  // resolve must be layout-agnostic when no AddressSpace is attached).
+  {
+    auto h = heap_.find_containing(addr);
+    out.shadow_path = std::move(h.shadow_path);
+    if (h.info != nullptr) {
+      out.found = true;
+      out.ref = {ObjectKind::kHeap, h.index};
+      return out;
+    }
+  }
+  {
+    auto s = symbols_.find_containing(addr);
+    out.shadow_path.insert(out.shadow_path.end(), s.shadow_path.begin(),
+                           s.shadow_path.end());
+    if (s.entry != nullptr) {
+      out.found = true;
+      out.ref = {ObjectKind::kStatic, s.index};
+    }
+  }
+  return out;
+}
+
+ObjectInfo ObjectMap::info(ObjectRef ref) const {
+  switch (ref.kind) {
+    case ObjectKind::kStatic: {
+      const auto& e = symbols_.entry(ref.index);
+      return {e.name, e.base, e.size, ObjectKind::kStatic, sim::kNoSite, true};
+    }
+    case ObjectKind::kHeap:
+      return heap_.object(ref.index);
+    case ObjectKind::kHeapGroup: {
+      const auto& arena = arenas_.at(ref.index);
+      return {arena.name, arena.range.base, arena.range.size(),
+              ObjectKind::kHeapGroup, arena.site, true};
+    }
+    case ObjectKind::kStackLocal: {
+      const auto& agg = stack_aggregates_.at(ref.index);
+      // Current activation extent if one is live.
+      for (auto it = active_locals_.rbegin(); it != active_locals_.rend();
+           ++it) {
+        if (it->aggregate == ref.index) {
+          return {agg.name, it->base, it->size, ObjectKind::kStackLocal,
+                  sim::kNoSite, true};
+        }
+      }
+      return {agg.name, 0, 0, ObjectKind::kStackLocal, sim::kNoSite, false};
+    }
+  }
+  throw std::logic_error("ObjectMap::info: bad kind");
+}
+
+std::string ObjectMap::display_name(ObjectRef ref) const {
+  return info(ref).name;
+}
+
+std::optional<std::string> ObjectMap::site_group_name(ObjectRef ref) const {
+  if (ref.kind != ObjectKind::kHeap) return std::nullopt;
+  const auto& obj = heap_.object(ref.index);
+  if (obj.site == sim::kNoSite) return std::nullopt;
+  const std::string* name = heap_.site_name(obj.site);
+  if (name == nullptr) return std::nullopt;
+  return *name;
+}
+
+sim::Addr ObjectMap::snap_split_point(sim::Addr candidate,
+                                      sim::AddrRange region) const {
+  if (!region.contains(candidate) || candidate == region.base) {
+    return region.base;
+  }
+  // Is the candidate strictly inside an object?  Arenas count as one
+  // object and take precedence over the blocks inside them.
+  sim::Addr obj_base = 0;
+  sim::Addr obj_end = 0;
+  bool inside = false;
+  if (const ArenaGroup* arena = arena_containing(candidate)) {
+    obj_base = arena->range.base;
+    obj_end = arena->range.bound;
+    inside = candidate > obj_base;
+  } else if (auto h = heap_.find_containing(candidate); h.info != nullptr) {
+    obj_base = h.info->base;
+    obj_end = h.info->base + h.info->size;
+    inside = candidate > obj_base;
+  } else if (auto s = symbols_.find_containing(candidate);
+             s.entry != nullptr) {
+    obj_base = s.entry->base;
+    obj_end = s.entry->base + s.entry->size;
+    inside = candidate > obj_base;
+  }
+  if (!inside) return candidate;  // on an object boundary or in a gap
+
+  // Snap to the nearer object edge that still splits the region.
+  const bool base_ok = obj_base > region.base && obj_base < region.bound;
+  const bool end_ok = obj_end > region.base && obj_end < region.bound;
+  if (base_ok && end_ok) {
+    return (candidate - obj_base) <= (obj_end - candidate) ? obj_base
+                                                           : obj_end;
+  }
+  if (base_ok) return obj_base;
+  if (end_ok) return obj_end;
+  return region.base;  // object spans the whole region: unsplittable here
+}
+
+std::size_t ObjectMap::count_objects_overlapping(sim::AddrRange r,
+                                                 std::size_t cap) const {
+  std::size_t n = 0;
+  for_each_overlapping(r, [&](ObjectRef, const ObjectInfo&) {
+    ++n;
+    return n < cap;
+  });
+  return n;
+}
+
+std::optional<ObjectRef> ObjectMap::single_object_in(sim::AddrRange r) const {
+  std::optional<ObjectRef> found;
+  std::size_t n = 0;
+  for_each_overlapping(r, [&](ObjectRef ref, const ObjectInfo&) {
+    found = ref;
+    ++n;
+    return n < 2;
+  });
+  if (n == 1) return found;
+  return std::nullopt;
+}
+
+void ObjectMap::for_each_overlapping(
+    sim::AddrRange r,
+    const std::function<bool(ObjectRef, const ObjectInfo&)>& visit) const {
+  if (r.empty()) return;
+  // Statics: entries are sorted by base and non-overlapping.
+  {
+    std::uint32_t i = symbols_.lower_bound(r.base);
+    // The previous symbol may span r.base.
+    if (i > 0) {
+      const auto& prev = symbols_.entry(i - 1);
+      if (prev.base + prev.size > r.base) --i;
+    }
+    for (; i < symbols_.size(); ++i) {
+      const auto& e = symbols_.entry(i);
+      if (e.base >= r.bound) break;
+      if (e.base + e.size > r.base) {
+        if (!visit({ObjectKind::kStatic, i},
+                   {e.name, e.base, e.size, ObjectKind::kStatic, sim::kNoSite,
+                    true})) {
+          return;
+        }
+      }
+    }
+  }
+  // Grouping arenas overlapping the region count as single objects, and
+  // the heap blocks inside them are subsumed.
+  for (std::size_t i = 0; i < arenas_.size(); ++i) {
+    if (!arenas_[i].range.overlaps(r)) continue;
+    if (!visit({ObjectKind::kHeapGroup, static_cast<std::uint32_t>(i)},
+               info({ObjectKind::kHeapGroup,
+                     static_cast<std::uint32_t>(i)}))) {
+      return;
+    }
+  }
+  // Heap blocks: the block spanning r.base first, then the in-order range.
+  {
+    auto in_arena = [&](sim::Addr base) {
+      return arena_containing(base) != nullptr;
+    };
+    bool keep_going = true;
+    auto floor = heap_.find_containing(r.base);
+    if (floor.info != nullptr && floor.info->base < r.base &&
+        !in_arena(floor.info->base)) {
+      keep_going = visit({ObjectKind::kHeap, floor.index}, *floor.info);
+    }
+    if (keep_going) {
+      heap_.visit_live_range(
+          r.base, r.bound,
+          [&](const ObjectInfo& info, std::uint32_t index) {
+            if (in_arena(info.base)) return true;  // subsumed by its group
+            return visit({ObjectKind::kHeap, index}, info);
+          });
+    }
+  }
+}
+
+sim::AddrRange ObjectMap::occupied_span() const {
+  sim::AddrRange span{sim::kNullAddr, sim::kNullAddr};
+  bool any = false;
+  if (!symbols_.empty()) {
+    const auto& first = symbols_.entry(0);
+    const auto& last = symbols_.entry(static_cast<std::uint32_t>(
+        symbols_.size() - 1));
+    span = {first.base, last.base + last.size};
+    any = true;
+  }
+  if (const HeapBlockNode* lo = heap_.tree().min(); lo != nullptr) {
+    const HeapBlockNode* hi = heap_.tree().max();
+    if (!any) {
+      span = {lo->base, hi->base + hi->size};
+      any = true;
+    } else {
+      span.base = std::min(span.base, lo->base);
+      span.bound = std::max(span.bound, hi->base + hi->size);
+    }
+  }
+  for (const auto& arena : arenas_) {
+    if (!any) {
+      span = arena.range;
+      any = true;
+    } else {
+      span.base = std::min(span.base, arena.range.base);
+      span.bound = std::max(span.bound, arena.range.bound);
+    }
+  }
+  return span;
+}
+
+}  // namespace hpm::objmap

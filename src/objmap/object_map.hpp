@@ -1,0 +1,145 @@
+// Unified address -> program-object mapping, plus the region geometry
+// services the n-way search depends on (snapping split points to object
+// extents, counting objects overlapping a region, detecting single-object
+// regions).
+//
+// An ObjectMap is the measurement tool's view of the program: it is fed by
+// AddressSpace hooks (symbol registration, malloc/free, stack frames) and,
+// when attached to a Machine, owns shadow storage in the simulated
+// instrumentation segment so that lookups have a realistic cache footprint.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "objmap/heap_tracker.hpp"
+#include "objmap/object_id.hpp"
+#include "objmap/symbol_table.hpp"
+#include "sim/address_space.hpp"
+#include "sim/types.hpp"
+
+namespace hpm::objmap {
+
+class ObjectMap {
+ public:
+  ObjectMap() = default;
+
+  /// Install hooks on `as` so this map mirrors all future allocation
+  /// activity, and reserve shadow storage from the instrumentation segment.
+  /// Call before the workload defines its objects.
+  void attach(sim::AddressSpace& as);
+
+  // -- Event intake (normally via attach(), callable directly in tests) -----
+  void add_static(std::string_view name, sim::Addr base, std::uint64_t size);
+  void add_heap_block(sim::Addr base, std::uint64_t size, sim::AllocSite site);
+  void remove_heap_block(sim::Addr base);
+  void push_frame(std::string_view function);
+  void add_local(std::string_view name, sim::Addr base, std::uint64_t size);
+  void pop_frame();
+
+  /// Name an allocation site (related-block aggregation, §5).
+  void set_site_name(sim::AllocSite site, std::string name);
+
+  /// Register a grouping arena (normally via the AddressSpace hook when
+  /// create_site_arena runs): the whole range is treated as ONE program
+  /// object — resolution, boundary snapping and region object-counting all
+  /// see the group instead of the individual blocks inside it, so the
+  /// n-way search can consider related blocks "as a unit" (§5).
+  void add_arena_group(sim::AllocSite site, sim::Addr base,
+                       std::uint64_t size);
+
+  // -- Resolution ------------------------------------------------------------
+  struct Lookup {
+    bool found = false;
+    ObjectRef ref{};
+    /// Shadow addresses of tool data examined during this lookup; the tool
+    /// replays these against the simulated cache and charges cycles per
+    /// probe.
+    std::vector<sim::Addr> shadow_path;
+  };
+  [[nodiscard]] Lookup resolve(sim::Addr addr) const;
+
+  [[nodiscard]] ObjectInfo info(ObjectRef ref) const;
+  [[nodiscard]] std::string display_name(ObjectRef ref) const;
+  /// Group heap blocks by named allocation site: returns a site-aggregate
+  /// ObjectRef stand-in name if the block's site is named, else nullopt.
+  [[nodiscard]] std::optional<std::string> site_group_name(ObjectRef ref) const;
+
+  // -- Region geometry for the n-way search ----------------------------------
+  /// Snap a proposed split point so that no object spans it.  If `candidate`
+  /// falls strictly inside an object, returns the nearer of the object's
+  /// base/end that still lies strictly inside `region`; if neither does, the
+  /// region cannot be split there (returns region.base to signal "no split").
+  [[nodiscard]] sim::Addr snap_split_point(sim::Addr candidate,
+                                           sim::AddrRange region) const;
+
+  /// Count live objects overlapping `r`, stopping at `cap`.
+  [[nodiscard]] std::size_t count_objects_overlapping(
+      sim::AddrRange r, std::size_t cap = SIZE_MAX) const;
+
+  /// If exactly one live object overlaps `r`, return it.
+  [[nodiscard]] std::optional<ObjectRef> single_object_in(
+      sim::AddrRange r) const;
+
+  /// Visit live objects overlapping `r` in address order.
+  void for_each_overlapping(
+      sim::AddrRange r,
+      const std::function<bool(ObjectRef, const ObjectInfo&)>& visit) const;
+
+  /// Tight bounding range of all live statics and heap blocks (the search's
+  /// starting universe).  Empty range if no objects exist.
+  [[nodiscard]] sim::AddrRange occupied_span() const;
+
+  [[nodiscard]] std::size_t static_count() const noexcept {
+    return symbols_.size();
+  }
+  [[nodiscard]] std::size_t heap_count() const noexcept {
+    return heap_.object_count();
+  }
+  [[nodiscard]] const SymbolTable& symbols() const noexcept {
+    return symbols_;
+  }
+  [[nodiscard]] const HeapTracker& heap() const noexcept { return heap_; }
+
+ private:
+  struct ActiveLocal {
+    std::uint32_t aggregate = 0;
+    sim::Addr base = 0;
+    std::uint64_t size = 0;
+    std::size_t frame = 0;
+  };
+  struct StackAggregate {
+    std::string name;  // "function::variable"
+    std::uint64_t activations = 0;
+  };
+  struct ArenaGroup {
+    std::string name;
+    sim::AddrRange range{};
+    sim::AllocSite site = sim::kNoSite;
+  };
+
+  [[nodiscard]] const ArenaGroup* arena_containing(sim::Addr addr) const;
+
+  std::uint32_t stack_aggregate_id(const std::string& key);
+
+  SymbolTable symbols_;
+  HeapTracker heap_{[this](std::uint64_t size) { return shadow_alloc(size); }};
+
+  sim::Addr shadow_alloc(std::uint64_t size);
+  sim::AddressSpace* as_ = nullptr;
+  sim::Addr shadow_symbols_base_ = 0;
+  static constexpr std::uint64_t kShadowSymbolCapacity = 4096;
+
+  std::vector<std::string> frame_names_;
+  std::vector<ActiveLocal> active_locals_;
+  std::vector<StackAggregate> stack_aggregates_;
+  std::unordered_map<std::string, std::uint32_t> stack_agg_by_key_;
+  std::vector<ArenaGroup> arenas_;  // few; linear scans are fine
+};
+
+}  // namespace hpm::objmap

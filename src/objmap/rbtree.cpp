@@ -1,0 +1,398 @@
+#include "objmap/rbtree.hpp"
+
+#include <stdexcept>
+
+namespace hpm::objmap {
+
+RbTree::RbTree(std::function<sim::Addr(std::uint64_t)> shadow_alloc)
+    : shadow_alloc_(std::move(shadow_alloc)) {}
+
+RbTree::~RbTree() { destroy(root_); }
+
+void RbTree::destroy(Node* n) {
+  if (n == nullptr) return;
+  destroy(n->left);
+  destroy(n->right);
+  delete n;
+}
+
+void RbTree::rotate_left(Node* x) {
+  Node* y = x->right;
+  x->right = y->left;
+  if (y->left != nullptr) y->left->parent = x;
+  y->parent = x->parent;
+  if (x->parent == nullptr) {
+    root_ = y;
+  } else if (x == x->parent->left) {
+    x->parent->left = y;
+  } else {
+    x->parent->right = y;
+  }
+  y->left = x;
+  x->parent = y;
+}
+
+void RbTree::rotate_right(Node* x) {
+  Node* y = x->left;
+  x->left = y->right;
+  if (y->right != nullptr) y->right->parent = x;
+  y->parent = x->parent;
+  if (x->parent == nullptr) {
+    root_ = y;
+  } else if (x == x->parent->right) {
+    x->parent->right = y;
+  } else {
+    x->parent->left = y;
+  }
+  y->right = x;
+  x->parent = y;
+}
+
+void RbTree::insert(sim::Addr base, std::uint64_t size,
+                    std::uint32_t object_id) {
+  Node* parent = nullptr;
+  Node* cur = root_;
+  while (cur != nullptr) {
+    parent = cur;
+    if (base == cur->payload.base) {
+      throw std::invalid_argument("RbTree::insert: duplicate base address");
+    }
+    cur = base < cur->payload.base ? cur->left : cur->right;
+  }
+  auto* z = new Node;
+  z->payload = {.base = base,
+                .size = size,
+                .object_id = object_id,
+                .shadow = shadow_alloc_ ? shadow_alloc_(sizeof(Node)) : 0};
+  z->parent = parent;
+  if (parent == nullptr) {
+    root_ = z;
+  } else if (base < parent->payload.base) {
+    parent->left = z;
+  } else {
+    parent->right = z;
+  }
+  ++size_;
+  insert_fixup(z);
+}
+
+void RbTree::insert_fixup(Node* z) {
+  while (z->parent != nullptr && z->parent->color == kRed) {
+    Node* gp = z->parent->parent;
+    if (z->parent == gp->left) {
+      Node* uncle = gp->right;
+      if (uncle != nullptr && uncle->color == kRed) {
+        z->parent->color = kBlack;
+        uncle->color = kBlack;
+        gp->color = kRed;
+        z = gp;
+      } else {
+        if (z == z->parent->right) {
+          z = z->parent;
+          rotate_left(z);
+        }
+        z->parent->color = kBlack;
+        gp->color = kRed;
+        rotate_right(gp);
+      }
+    } else {
+      Node* uncle = gp->left;
+      if (uncle != nullptr && uncle->color == kRed) {
+        z->parent->color = kBlack;
+        uncle->color = kBlack;
+        gp->color = kRed;
+        z = gp;
+      } else {
+        if (z == z->parent->left) {
+          z = z->parent;
+          rotate_right(z);
+        }
+        z->parent->color = kBlack;
+        gp->color = kRed;
+        rotate_left(gp);
+      }
+    }
+  }
+  root_->color = kBlack;
+}
+
+RbTree::Node* RbTree::find_node(sim::Addr base) const {
+  Node* cur = root_;
+  while (cur != nullptr) {
+    if (base == cur->payload.base) return cur;
+    cur = base < cur->payload.base ? cur->left : cur->right;
+  }
+  return nullptr;
+}
+
+RbTree::Node* RbTree::minimum(Node* n) {
+  while (n->left != nullptr) n = n->left;
+  return n;
+}
+
+void RbTree::transplant(Node* u, Node* v) {
+  if (u->parent == nullptr) {
+    root_ = v;
+  } else if (u == u->parent->left) {
+    u->parent->left = v;
+  } else {
+    u->parent->right = v;
+  }
+  if (v != nullptr) v->parent = u->parent;
+}
+
+bool RbTree::erase(sim::Addr base) {
+  Node* z = find_node(base);
+  if (z == nullptr) return false;
+
+  Node* y = z;
+  Color y_original = y->color;
+  Node* x = nullptr;
+  Node* x_parent = nullptr;
+
+  if (z->left == nullptr) {
+    x = z->right;
+    x_parent = z->parent;
+    transplant(z, z->right);
+  } else if (z->right == nullptr) {
+    x = z->left;
+    x_parent = z->parent;
+    transplant(z, z->left);
+  } else {
+    y = minimum(z->right);
+    y_original = y->color;
+    x = y->right;
+    if (y->parent == z) {
+      x_parent = y;
+    } else {
+      x_parent = y->parent;
+      transplant(y, y->right);
+      y->right = z->right;
+      y->right->parent = y;
+    }
+    transplant(z, y);
+    y->left = z->left;
+    y->left->parent = y;
+    y->color = z->color;
+  }
+  delete z;
+  --size_;
+  if (y_original == kBlack) erase_fixup(x, x_parent);
+  return true;
+}
+
+void RbTree::erase_fixup(Node* x, Node* x_parent) {
+  while (x != root_ && (x == nullptr || x->color == kBlack)) {
+    if (x_parent == nullptr) break;
+    if (x == x_parent->left) {
+      Node* w = x_parent->right;
+      if (w->color == kRed) {
+        w->color = kBlack;
+        x_parent->color = kRed;
+        rotate_left(x_parent);
+        w = x_parent->right;
+      }
+      const bool left_black = w->left == nullptr || w->left->color == kBlack;
+      const bool right_black =
+          w->right == nullptr || w->right->color == kBlack;
+      if (left_black && right_black) {
+        w->color = kRed;
+        x = x_parent;
+        x_parent = x->parent;
+      } else {
+        if (right_black) {
+          if (w->left != nullptr) w->left->color = kBlack;
+          w->color = kRed;
+          rotate_right(w);
+          w = x_parent->right;
+        }
+        w->color = x_parent->color;
+        x_parent->color = kBlack;
+        if (w->right != nullptr) w->right->color = kBlack;
+        rotate_left(x_parent);
+        x = root_;
+        break;
+      }
+    } else {
+      Node* w = x_parent->left;
+      if (w->color == kRed) {
+        w->color = kBlack;
+        x_parent->color = kRed;
+        rotate_right(x_parent);
+        w = x_parent->left;
+      }
+      const bool left_black = w->left == nullptr || w->left->color == kBlack;
+      const bool right_black =
+          w->right == nullptr || w->right->color == kBlack;
+      if (left_black && right_black) {
+        w->color = kRed;
+        x = x_parent;
+        x_parent = x->parent;
+      } else {
+        if (left_black) {
+          if (w->right != nullptr) w->right->color = kBlack;
+          w->color = kRed;
+          rotate_left(w);
+          w = x_parent->left;
+        }
+        w->color = x_parent->color;
+        x_parent->color = kBlack;
+        if (w->left != nullptr) w->left->color = kBlack;
+        rotate_right(x_parent);
+        x = root_;
+        break;
+      }
+    }
+  }
+  if (x != nullptr) x->color = kBlack;
+}
+
+RbTree::Lookup RbTree::find_containing(sim::Addr addr) const {
+  // Greatest base <= addr, recording the descent path.
+  Lookup result;
+  const Node* best = nullptr;
+  const Node* cur = root_;
+  while (cur != nullptr) {
+    result.path.push_back(cur->payload.shadow);
+    if (cur->payload.base <= addr) {
+      best = cur;
+      cur = cur->right;
+    } else {
+      cur = cur->left;
+    }
+  }
+  if (best != nullptr && addr < best->payload.base + best->payload.size) {
+    result.node = &best->payload;
+  }
+  return result;
+}
+
+RbTree::Lookup RbTree::lower_bound(sim::Addr addr) const {
+  Lookup result;
+  const Node* best = nullptr;
+  const Node* cur = root_;
+  while (cur != nullptr) {
+    result.path.push_back(cur->payload.shadow);
+    if (cur->payload.base >= addr) {
+      best = cur;
+      cur = cur->left;
+    } else {
+      cur = cur->right;
+    }
+  }
+  if (best != nullptr) result.node = &best->payload;
+  return result;
+}
+
+RbTree::Lookup RbTree::floor(sim::Addr addr) const {
+  Lookup result;
+  const Node* best = nullptr;
+  const Node* cur = root_;
+  while (cur != nullptr) {
+    result.path.push_back(cur->payload.shadow);
+    if (cur->payload.base <= addr) {
+      best = cur;
+      cur = cur->right;
+    } else {
+      cur = cur->left;
+    }
+  }
+  if (best != nullptr) result.node = &best->payload;
+  return result;
+}
+
+const RbTree::Node* RbTree::next_in_order(const Node* n) {
+  if (n->right != nullptr) {
+    const Node* cur = n->right;
+    while (cur->left != nullptr) cur = cur->left;
+    return cur;
+  }
+  const Node* cur = n;
+  const Node* p = n->parent;
+  while (p != nullptr && cur == p->right) {
+    cur = p;
+    p = p->parent;
+  }
+  return p;
+}
+
+void RbTree::visit_range(
+    sim::Addr from, sim::Addr to,
+    const std::function<bool(const HeapBlockNode&)>& visit) const {
+  // Start from the first block with base >= from...
+  const Node* start = nullptr;
+  const Node* cur = root_;
+  while (cur != nullptr) {
+    if (cur->payload.base >= from) {
+      start = cur;
+      cur = cur->left;
+    } else {
+      cur = cur->right;
+    }
+  }
+  for (const Node* n = start; n != nullptr && n->payload.base < to;
+       n = next_in_order(n)) {
+    if (!visit(n->payload)) return;
+  }
+}
+
+std::size_t RbTree::height() const noexcept {
+  std::function<std::size_t(const Node*)> h = [&](const Node* n) {
+    if (n == nullptr) return static_cast<std::size_t>(0);
+    return 1 + std::max(h(n->left), h(n->right));
+  };
+  return h(root_);
+}
+
+const HeapBlockNode* RbTree::min() const noexcept {
+  if (root_ == nullptr) return nullptr;
+  const Node* n = root_;
+  while (n->left != nullptr) n = n->left;
+  return &n->payload;
+}
+
+const HeapBlockNode* RbTree::max() const noexcept {
+  if (root_ == nullptr) return nullptr;
+  const Node* n = root_;
+  while (n->right != nullptr) n = n->right;
+  return &n->payload;
+}
+
+bool RbTree::check_node(const Node* n, int& black_height) const {
+  if (n == nullptr) {
+    black_height = 1;  // nil leaves are black
+    return true;
+  }
+  // BST ordering with parent pointers intact.
+  if (n->left != nullptr &&
+      (n->left->parent != n || n->left->payload.base >= n->payload.base)) {
+    return false;
+  }
+  if (n->right != nullptr &&
+      (n->right->parent != n || n->right->payload.base <= n->payload.base)) {
+    return false;
+  }
+  // No red node has a red child.
+  if (n->color == kRed) {
+    if ((n->left != nullptr && n->left->color == kRed) ||
+        (n->right != nullptr && n->right->color == kRed)) {
+      return false;
+    }
+  }
+  int lh = 0;
+  int rh = 0;
+  if (!check_node(n->left, lh) || !check_node(n->right, rh)) return false;
+  if (lh != rh) return false;
+  black_height = lh + (n->color == kBlack ? 1 : 0);
+  return true;
+}
+
+bool RbTree::validate() const {
+  if (root_ == nullptr) return true;
+  if (root_->color != kBlack) return false;
+  if (root_->parent != nullptr) return false;
+  int bh = 0;
+  return check_node(root_, bh);
+}
+
+}  // namespace hpm::objmap

@@ -1,0 +1,102 @@
+// Red-black interval tree over heap blocks, keyed by block base address.
+//
+// The paper (§2.2) keeps heap-block extents "in a red-black tree ... since
+// this data will change as allocations and deallocations take place".  This
+// is that tree, written from scratch.  Blocks are non-overlapping, so
+// "interval" lookups reduce to: find the greatest base <= addr, then check
+// the block's extent.
+//
+// Each node carries a *shadow address* in the simulated instrumentation
+// segment.  Lookups report the shadow addresses of the nodes they visited so
+// the measurement tool can replay the walk against the simulated cache —
+// that is how the paper-observed perturbation effects (Figure 3) arise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace hpm::objmap {
+
+struct HeapBlockNode {
+  sim::Addr base = 0;
+  std::uint64_t size = 0;
+  std::uint32_t object_id = 0;  ///< stable id in the heap object table
+  sim::Addr shadow = 0;         ///< simulated address of this node's storage
+};
+
+class RbTree {
+ public:
+  /// Result of a tree search: the matching payload (if any) plus the shadow
+  /// addresses of every node examined on the way down.
+  struct Lookup {
+    const HeapBlockNode* node = nullptr;
+    std::vector<sim::Addr> path;  ///< shadow addresses visited, root first
+  };
+
+  /// `shadow_alloc` provides simulated storage for each node (may be null,
+  /// in which case shadow addresses are 0).
+  explicit RbTree(std::function<sim::Addr(std::uint64_t size)> shadow_alloc =
+                      nullptr);
+  ~RbTree();
+  RbTree(const RbTree&) = delete;
+  RbTree& operator=(const RbTree&) = delete;
+
+  /// Insert a block; `base` must not already be present.
+  void insert(sim::Addr base, std::uint64_t size, std::uint32_t object_id);
+  /// Remove the block with this exact base; returns false if absent.
+  bool erase(sim::Addr base);
+
+  /// Find the block containing `addr` (base <= addr < base + size).
+  [[nodiscard]] Lookup find_containing(sim::Addr addr) const;
+  /// Find the block with the smallest base >= addr (for range traversal).
+  [[nodiscard]] Lookup lower_bound(sim::Addr addr) const;
+  /// Find the block with the greatest base <= addr.
+  [[nodiscard]] Lookup floor(sim::Addr addr) const;
+
+  /// In-order visit of blocks with base in [from, to); stops early if the
+  /// visitor returns false.
+  void visit_range(sim::Addr from, sim::Addr to,
+                   const std::function<bool(const HeapBlockNode&)>& visit)
+      const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  /// Height of the tree (0 for empty); <= 2*log2(n+1) if valid.
+  [[nodiscard]] std::size_t height() const noexcept;
+  /// Check every red-black invariant; used by the property tests.
+  [[nodiscard]] bool validate() const;
+
+  /// First / last blocks by base (nullptr when empty).
+  [[nodiscard]] const HeapBlockNode* min() const noexcept;
+  [[nodiscard]] const HeapBlockNode* max() const noexcept;
+
+ private:
+  enum Color : std::uint8_t { kRed, kBlack };
+  struct Node {
+    HeapBlockNode payload;
+    Node* left = nullptr;
+    Node* right = nullptr;
+    Node* parent = nullptr;
+    Color color = kRed;
+  };
+
+  void rotate_left(Node* x);
+  void rotate_right(Node* x);
+  void insert_fixup(Node* z);
+  void erase_fixup(Node* x, Node* x_parent);
+  void transplant(Node* u, Node* v);
+  [[nodiscard]] Node* find_node(sim::Addr base) const;
+  static Node* minimum(Node* n);
+  static const Node* next_in_order(const Node* n);
+  void destroy(Node* n);
+  [[nodiscard]] bool check_node(const Node* n, int& black_height) const;
+
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+  std::function<sim::Addr(std::uint64_t)> shadow_alloc_;
+};
+
+}  // namespace hpm::objmap

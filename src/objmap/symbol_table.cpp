@@ -1,0 +1,75 @@
+#include "objmap/symbol_table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpm::objmap {
+
+std::uint32_t SymbolTable::add(std::string_view name, sim::Addr base,
+                               std::uint64_t size) {
+  if (size == 0) throw std::invalid_argument("SymbolTable::add: empty symbol");
+  auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), base,
+      [](const Entry& e, sim::Addr a) { return e.base < a; });
+  // Overlap checks against both neighbours.
+  if (pos != entries_.end() && base + size > pos->base) {
+    throw std::invalid_argument("SymbolTable::add: overlapping symbol");
+  }
+  if (pos != entries_.begin()) {
+    const Entry& prev = *(pos - 1);
+    if (prev.base + prev.size > base) {
+      throw std::invalid_argument("SymbolTable::add: overlapping symbol");
+    }
+  }
+  pos = entries_.insert(pos, Entry{std::string(name), base, size, 0});
+  // Re-derive shadow addresses; indices after the insertion point shifted.
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    entries_[i].shadow = shadow_of(i);
+  }
+  return static_cast<std::uint32_t>(pos - entries_.begin());
+}
+
+void SymbolTable::set_shadow_storage(sim::Addr base,
+                                     std::uint64_t stride) noexcept {
+  shadow_base_ = base;
+  shadow_stride_ = stride == 0 ? 64 : stride;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    entries_[i].shadow = shadow_of(i);
+  }
+}
+
+SymbolTable::Lookup SymbolTable::find_containing(sim::Addr addr) const {
+  Lookup result;
+  // Hand-rolled binary search so the probe sequence (and thus the simulated
+  // cache footprint of the lookup) is explicit.
+  std::size_t lo = 0;
+  std::size_t hi = entries_.size();
+  std::size_t candidate = entries_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    result.shadow_path.push_back(entries_[mid].shadow);
+    if (entries_[mid].base <= addr) {
+      candidate = mid;
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (candidate < entries_.size()) {
+    const Entry& e = entries_[candidate];
+    if (addr < e.base + e.size) {
+      result.entry = &e;
+      result.index = static_cast<std::uint32_t>(candidate);
+    }
+  }
+  return result;
+}
+
+std::uint32_t SymbolTable::lower_bound(sim::Addr addr) const {
+  auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), addr,
+      [](const Entry& e, sim::Addr a) { return e.base < a; });
+  return static_cast<std::uint32_t>(pos - entries_.begin());
+}
+
+}  // namespace hpm::objmap

@@ -1,0 +1,69 @@
+// Symbol table for global and static variables.
+//
+// Mirrors the paper's approach: "for global and static variables, this can
+// be done easily using data from symbol tables and debug information."
+// Extents are kept in a sorted array (paper §2.2) and looked up by binary
+// search.  Like the RB tree, each entry has a shadow address so tools can
+// replay probe sequences against the simulated cache.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace hpm::objmap {
+
+class SymbolTable {
+ public:
+  struct Entry {
+    std::string name;
+    sim::Addr base = 0;
+    std::uint64_t size = 0;
+    sim::Addr shadow = 0;
+  };
+
+  struct Lookup {
+    const Entry* entry = nullptr;
+    std::uint32_t index = 0;              ///< valid iff entry != nullptr
+    std::vector<sim::Addr> shadow_path;   ///< probe sequence shadow addrs
+  };
+
+  /// Add a symbol.  Symbols must not overlap; insertion keeps the array
+  /// sorted by base address.
+  std::uint32_t add(std::string_view name, sim::Addr base,
+                    std::uint64_t size);
+
+  /// Assign shadow storage: entry i lives at `base + i * stride` in the
+  /// simulated instrumentation segment.
+  void set_shadow_storage(sim::Addr base, std::uint64_t stride) noexcept;
+
+  /// Binary search for the symbol containing `addr`.
+  [[nodiscard]] Lookup find_containing(sim::Addr addr) const;
+
+  /// Index of first symbol with base >= addr (== size() if none).
+  [[nodiscard]] std::uint32_t lower_bound(sim::Addr addr) const;
+
+  [[nodiscard]] const Entry& entry(std::uint32_t index) const {
+    return entries_.at(index);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  [[nodiscard]] sim::Addr shadow_of(std::size_t index) const noexcept {
+    return shadow_base_ == 0 ? 0 : shadow_base_ + index * shadow_stride_;
+  }
+
+  std::vector<Entry> entries_;  // sorted by base, non-overlapping
+  sim::Addr shadow_base_ = 0;
+  std::uint64_t shadow_stride_ = 64;
+};
+
+}  // namespace hpm::objmap

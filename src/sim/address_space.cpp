@@ -1,0 +1,196 @@
+#include "sim/address_space.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpm::sim {
+
+namespace {
+constexpr Addr align_up(Addr a, std::uint64_t align) noexcept {
+  return (a + align - 1) & ~(align - 1);
+}
+constexpr Addr align_down(Addr a, std::uint64_t align) noexcept {
+  return a & ~(align - 1);
+}
+constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+}  // namespace
+
+AddressSpace::AddressSpace(SegmentLayout layout)
+    : layout_(layout),
+      data_ptr_(layout.data.base),
+      instr_ptr_(layout.instr.base),
+      stack_ptr_(layout.stack.bound) {
+  free_list_.push_back({layout_.heap.base, layout_.heap.size()});
+}
+
+Addr AddressSpace::define_static(std::string_view name, std::uint64_t size,
+                                 std::uint64_t align) {
+  if (size == 0 || !is_pow2(align)) {
+    throw std::invalid_argument("define_static: bad size/alignment");
+  }
+  const Addr base = align_up(data_ptr_, align);
+  if (base + size > layout_.data.bound) {
+    throw std::length_error("data segment exhausted");
+  }
+  data_ptr_ = base + size;
+  if (hooks_.on_static) hooks_.on_static(name, base, size);
+  return base;
+}
+
+void AddressSpace::reserve_data_gap(std::uint64_t bytes) {
+  if (data_ptr_ + bytes > layout_.data.bound) {
+    throw std::length_error("data segment exhausted");
+  }
+  data_ptr_ += bytes;
+}
+
+AddrRange AddressSpace::create_site_arena(AllocSite site,
+                                          std::uint64_t bytes) {
+  if (site == kNoSite) {
+    throw std::invalid_argument("create_site_arena: needs a real site");
+  }
+  if (arenas_.find(site) != arenas_.end()) {
+    throw std::invalid_argument("create_site_arena: site already has one");
+  }
+  const std::uint64_t need = align_up(bytes, 64);
+  // Carve contiguous space out of the free list (first fit, like malloc).
+  for (std::size_t i = 0; i < free_list_.size(); ++i) {
+    FreeBlock& fb = free_list_[i];
+    if (fb.size < need) continue;
+    const Addr base = fb.base;
+    if (fb.size == need) {
+      free_list_.erase(free_list_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      fb.base += need;
+      fb.size -= need;
+    }
+    arenas_.emplace(site, Arena{base, base, base + need});
+    if (hooks_.on_arena) hooks_.on_arena(site, base, need);
+    return {base, base + need};
+  }
+  throw std::length_error("create_site_arena: heap exhausted");
+}
+
+Addr AddressSpace::malloc(std::uint64_t size, AllocSite site) {
+  if (size == 0) size = 1;
+  const std::uint64_t need = align_up(size, 64);
+  // Grouping arena (§5): related blocks are placed contiguously.
+  if (auto it = arenas_.find(site); it != arenas_.end()) {
+    Arena& arena = it->second;
+    if (arena.cursor + need <= arena.bound) {
+      const Addr base = arena.cursor;
+      arena.cursor += need;
+      allocated_.emplace(base, need);
+      heap_in_use_ += need;
+      if (hooks_.on_alloc) hooks_.on_alloc(base, need, site);
+      return base;
+    }
+    // Arena full: fall through to the general allocator.
+  }
+  // First fit over the address-ordered free list keeps placement
+  // deterministic and produces the low, dense heap addresses the paper's
+  // object names reflect.
+  for (std::size_t i = 0; i < free_list_.size(); ++i) {
+    FreeBlock& fb = free_list_[i];
+    if (fb.size < need) continue;
+    const Addr base = fb.base;
+    if (fb.size == need) {
+      free_list_.erase(free_list_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      fb.base += need;
+      fb.size -= need;
+    }
+    allocated_.emplace(base, need);
+    heap_in_use_ += need;
+    if (hooks_.on_alloc) hooks_.on_alloc(base, need, site);
+    return base;
+  }
+  return kNullAddr;
+}
+
+void AddressSpace::free(Addr addr) {
+  if (addr == kNullAddr) return;
+  auto it = allocated_.find(addr);
+  if (it == allocated_.end()) {
+    throw std::invalid_argument("free: not an allocated block base");
+  }
+  const std::uint64_t size = it->second;
+  allocated_.erase(it);
+  heap_in_use_ -= size;
+  if (hooks_.on_free) hooks_.on_free(addr);
+
+  // Blocks inside a grouping arena are not recycled through the general
+  // free list — the arena stays reserved for its site so unrelated blocks
+  // never interleave with the group.
+  for (const auto& [site, arena] : arenas_) {
+    if (addr >= arena.base && addr < arena.bound) return;
+  }
+
+  // Insert into the address-ordered free list and coalesce neighbours.
+  auto pos = std::lower_bound(
+      free_list_.begin(), free_list_.end(), addr,
+      [](const FreeBlock& fb, Addr a) { return fb.base < a; });
+  pos = free_list_.insert(pos, {addr, size});
+  // Coalesce with successor.
+  if (auto next = pos + 1;
+      next != free_list_.end() && pos->base + pos->size == next->base) {
+    pos->size += next->size;
+    free_list_.erase(next);
+  }
+  // Coalesce with predecessor.
+  if (pos != free_list_.begin()) {
+    auto prev = pos - 1;
+    if (prev->base + prev->size == pos->base) {
+      prev->size += pos->size;
+      free_list_.erase(pos);
+    }
+  }
+}
+
+std::uint64_t AddressSpace::heap_block_size(Addr addr) const {
+  auto it = allocated_.find(addr);
+  return it == allocated_.end() ? 0 : it->second;
+}
+
+void AddressSpace::push_frame(std::string_view function) {
+  frames_.push_back({stack_ptr_});
+  if (hooks_.on_frame_push) hooks_.on_frame_push(function);
+}
+
+Addr AddressSpace::define_local(std::string_view name, std::uint64_t size,
+                                std::uint64_t align) {
+  if (frames_.empty()) {
+    throw std::logic_error("define_local outside any frame");
+  }
+  if (size == 0 || !is_pow2(align)) {
+    throw std::invalid_argument("define_local: bad size/alignment");
+  }
+  const Addr base = align_down(stack_ptr_ - size, align);
+  if (base < layout_.stack.base) throw std::length_error("stack overflow");
+  stack_ptr_ = base;
+  if (hooks_.on_frame_local) hooks_.on_frame_local(name, base, size);
+  return base;
+}
+
+void AddressSpace::pop_frame() {
+  if (frames_.empty()) throw std::logic_error("pop_frame with empty stack");
+  stack_ptr_ = frames_.back().saved_sp;
+  frames_.pop_back();
+  if (hooks_.on_frame_pop) hooks_.on_frame_pop();
+}
+
+Addr AddressSpace::alloc_instr(std::uint64_t size, std::uint64_t align) {
+  if (size == 0 || !is_pow2(align)) {
+    throw std::invalid_argument("alloc_instr: bad size/alignment");
+  }
+  const Addr base = align_up(instr_ptr_, align);
+  if (base + size > layout_.instr.bound) {
+    throw std::length_error("instrumentation segment exhausted");
+  }
+  instr_ptr_ = base + size;
+  return base;
+}
+
+}  // namespace hpm::sim

@@ -1,0 +1,142 @@
+// Simulated process address space: segment layout, static/global allocation,
+// a deterministic heap allocator (simulated malloc/free), a call stack for
+// the stack-variable extension, and a separate instrumentation segment that
+// hosts the measurement tools' own data structures.
+//
+// The layout mirrors the 64-bit Alpha binaries of the paper closely enough
+// that early ijpeg heap blocks get names like "0x141020000", exactly as in
+// Table 1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace hpm::sim {
+
+/// Identifies the source location ("allocation site") of a heap block; used
+/// by the related-block aggregation extension (paper §5).
+using AllocSite = std::uint32_t;
+inline constexpr AllocSite kNoSite = 0;
+
+struct SegmentLayout {
+  AddrRange data{0x1'2000'0000ULL, 0x1'4000'0000ULL};    ///< globals/statics
+  AddrRange heap{0x1'4100'0000ULL, 0x1'8000'0000ULL};    ///< simulated malloc
+  AddrRange stack{0x1'1000'0000ULL, 0x1'1100'0000ULL};   ///< grows downward
+  AddrRange instr{0x2'0000'0000ULL, 0x2'1000'0000ULL};   ///< tool data
+
+  /// Span that covers every segment an application object can occupy (the
+  /// n-way search starts from this range; the instr segment is excluded, as
+  /// tool data is not an application object).
+  [[nodiscard]] AddrRange application_span() const noexcept {
+    return {stack.base, heap.bound};
+  }
+};
+
+class AddressSpace {
+ public:
+  /// Callbacks let the object-mapping layer mirror allocation activity, the
+  /// way the paper's tool instruments malloc/free and reads symbol tables.
+  struct Hooks {
+    std::function<void(std::string_view name, Addr, std::uint64_t size)>
+        on_static;
+    std::function<void(Addr, std::uint64_t size, AllocSite)> on_alloc;
+    std::function<void(Addr)> on_free;
+    std::function<void(AllocSite, Addr, std::uint64_t size)> on_arena;
+    std::function<void(std::string_view func)> on_frame_push;
+    std::function<void(std::string_view var, Addr, std::uint64_t size)>
+        on_frame_local;
+    std::function<void()> on_frame_pop;
+  };
+
+  explicit AddressSpace(SegmentLayout layout = {});
+
+  void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
+  [[nodiscard]] const SegmentLayout& layout() const noexcept { return layout_; }
+
+  // -- Globals / statics ----------------------------------------------------
+  /// Allocate a named global; alignment must be a power of two.
+  Addr define_static(std::string_view name, std::uint64_t size,
+                     std::uint64_t align = 64);
+
+  /// Advance the data-segment cursor without defining a symbol (layout
+  /// control for region-boundary test scenarios).
+  void reserve_data_gap(std::uint64_t bytes);
+
+  // -- Heap -----------------------------------------------------------------
+  /// Simulated malloc: first-fit over an address-ordered free list, 64-byte
+  /// aligned so distinct blocks never share a cache line.  Returns kNullAddr
+  /// on exhaustion.  If a grouping arena exists for `site`, the block is
+  /// bump-allocated inside it instead (the §5 extension: "specialized
+  /// [allocation functions] that arrange memory for measurement").
+  Addr malloc(std::uint64_t size, AllocSite site = kNoSite);
+
+  /// Reserve a contiguous heap arena for `site`; subsequent mallocs with
+  /// that site land inside it, so related blocks form one contiguous region
+  /// the search can treat as a unit.  Returns the arena range.
+  AddrRange create_site_arena(AllocSite site, std::uint64_t bytes);
+  [[nodiscard]] bool has_site_arena(AllocSite site) const {
+    return arenas_.find(site) != arenas_.end();
+  }
+  /// Simulated free; no-op on kNullAddr.  Coalesces with free neighbours.
+  void free(Addr addr);
+  [[nodiscard]] std::uint64_t heap_bytes_in_use() const noexcept {
+    return heap_in_use_;
+  }
+  [[nodiscard]] std::uint64_t heap_block_size(Addr addr) const;
+
+  // -- Stack ----------------------------------------------------------------
+  /// Push a function frame (stack-variable extension, paper §5).
+  void push_frame(std::string_view function);
+  /// Define a local in the current frame; returns its address.
+  Addr define_local(std::string_view name, std::uint64_t size,
+                    std::uint64_t align = 8);
+  void pop_frame();
+  [[nodiscard]] std::size_t frame_depth() const noexcept {
+    return frames_.size();
+  }
+  [[nodiscard]] Addr stack_pointer() const noexcept { return stack_ptr_; }
+
+  // -- Instrumentation segment ----------------------------------------------
+  /// Bump allocation for tool-internal data (never freed; tools live for the
+  /// whole run, like the paper's instrumentation).
+  Addr alloc_instr(std::uint64_t size, std::uint64_t align = 64);
+  [[nodiscard]] std::uint64_t instr_bytes_in_use() const noexcept {
+    return instr_ptr_ - layout_.instr.base;
+  }
+
+ private:
+  struct FreeBlock {
+    Addr base;
+    std::uint64_t size;
+  };
+  struct Frame {
+    Addr saved_sp;
+  };
+
+  SegmentLayout layout_;
+  Hooks hooks_;
+
+  Addr data_ptr_;
+  Addr instr_ptr_;
+  Addr stack_ptr_;
+  std::vector<Frame> frames_;
+
+  struct Arena {
+    Addr base;
+    Addr cursor;
+    Addr bound;
+  };
+
+  std::vector<FreeBlock> free_list_;              // address-ordered
+  std::map<Addr, std::uint64_t> allocated_;       // block base -> size
+  std::map<AllocSite, Arena> arenas_;
+  std::uint64_t heap_in_use_ = 0;
+};
+
+}  // namespace hpm::sim

@@ -1,0 +1,56 @@
+#include "sim/backing_store.hpp"
+
+#include <algorithm>
+
+namespace hpm::sim {
+
+BackingStore::Page& BackingStore::ensure_page(Addr addr) {
+  auto& slot = pages_[addr >> kPageBits];
+  if (!slot) {
+    slot = std::make_unique<Page>();
+    slot->fill(0);
+  }
+  return *slot;
+}
+
+void BackingStore::read_bytes(Addr addr, void* out, std::uint64_t len) const {
+  auto* dst = static_cast<std::uint8_t*>(out);
+  while (len > 0) {
+    const std::uint64_t in_page = addr & kPageMask;
+    const std::uint64_t chunk = std::min(len, kPageSize - in_page);
+    if (const Page* p = find_page(addr)) {
+      std::memcpy(dst, p->data() + in_page, chunk);
+    } else {
+      std::memset(dst, 0, chunk);
+    }
+    addr += chunk;
+    dst += chunk;
+    len -= chunk;
+  }
+}
+
+void BackingStore::write_bytes(Addr addr, const void* in, std::uint64_t len) {
+  const auto* src = static_cast<const std::uint8_t*>(in);
+  while (len > 0) {
+    const std::uint64_t in_page = addr & kPageMask;
+    const std::uint64_t chunk = std::min(len, kPageSize - in_page);
+    Page& p = ensure_page(addr);
+    std::memcpy(p.data() + in_page, src, chunk);
+    addr += chunk;
+    src += chunk;
+    len -= chunk;
+  }
+}
+
+void BackingStore::fill(Addr addr, std::uint8_t byte, std::uint64_t len) {
+  while (len > 0) {
+    const std::uint64_t in_page = addr & kPageMask;
+    const std::uint64_t chunk = std::min(len, kPageSize - in_page);
+    Page& p = ensure_page(addr);
+    std::memset(p.data() + in_page, byte, chunk);
+    addr += chunk;
+    len -= chunk;
+  }
+}
+
+}  // namespace hpm::sim

@@ -1,0 +1,77 @@
+// Sparse paged backing store for the simulated address space.
+//
+// Workload kernels in this repository are *real computations*: every value
+// they read and write lives here, addressed by simulated virtual address.
+// Pages are materialised lazily (zero-filled) so multi-gigabyte layouts cost
+// only what is touched.
+#pragma once
+
+#include <array>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <unordered_map>
+
+#include "sim/types.hpp"
+
+namespace hpm::sim {
+
+class BackingStore {
+ public:
+  static constexpr std::uint64_t kPageBits = 16;  // 64 KiB pages
+  static constexpr std::uint64_t kPageSize = 1ULL << kPageBits;
+  static constexpr std::uint64_t kPageMask = kPageSize - 1;
+
+  BackingStore() = default;
+  BackingStore(const BackingStore&) = delete;
+  BackingStore& operator=(const BackingStore&) = delete;
+  BackingStore(BackingStore&&) = default;
+  BackingStore& operator=(BackingStore&&) = default;
+
+  template <typename T>
+  [[nodiscard]] T load(Addr addr) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T out{};
+    if ((addr & kPageMask) + sizeof(T) <= kPageSize) [[likely]] {
+      const Page* p = find_page(addr);
+      if (p != nullptr) {
+        std::memcpy(&out, p->data() + (addr & kPageMask), sizeof(T));
+      }
+      return out;
+    }
+    read_bytes(addr, &out, sizeof(T));
+    return out;
+  }
+
+  template <typename T>
+  void store(Addr addr, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if ((addr & kPageMask) + sizeof(T) <= kPageSize) [[likely]] {
+      Page& p = ensure_page(addr);
+      std::memcpy(p.data() + (addr & kPageMask), &value, sizeof(T));
+      return;
+    }
+    write_bytes(addr, &value, sizeof(T));
+  }
+
+  void read_bytes(Addr addr, void* out, std::uint64_t len) const;
+  void write_bytes(Addr addr, const void* in, std::uint64_t len);
+  void fill(Addr addr, std::uint8_t byte, std::uint64_t len);
+
+  [[nodiscard]] std::size_t resident_pages() const noexcept {
+    return pages_.size();
+  }
+
+ private:
+  using Page = std::array<std::uint8_t, kPageSize>;
+
+  [[nodiscard]] const Page* find_page(Addr addr) const {
+    auto it = pages_.find(addr >> kPageBits);
+    return it == pages_.end() ? nullptr : it->second.get();
+  }
+  Page& ensure_page(Addr addr);
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace hpm::sim

@@ -1,0 +1,173 @@
+#include "sim/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace hpm::sim {
+
+bool CacheConfig::valid() const noexcept {
+  if (line_size == 0 || associativity == 0 || size_bytes == 0) return false;
+  if (!std::has_single_bit(static_cast<std::uint64_t>(line_size))) return false;
+  if (!std::has_single_bit(size_bytes)) return false;
+  const std::uint64_t bytes_per_set =
+      static_cast<std::uint64_t>(line_size) * associativity;
+  if (size_bytes % bytes_per_set != 0) return false;
+  return std::has_single_bit(num_sets());
+}
+
+Cache::Cache(const CacheConfig& config)
+    : config_(config), rng_(config.random_seed) {
+  if (!config_.valid()) {
+    throw std::invalid_argument(
+        "CacheConfig: size, line size and set count must be powers of two");
+  }
+  set_mask_ = config_.num_sets() - 1;
+  line_bits_ = static_cast<std::uint32_t>(
+      std::countr_zero(static_cast<std::uint64_t>(config_.line_size)));
+  lines_.resize(config_.num_sets() * config_.associativity);
+  if (config_.policy == ReplacementPolicy::kTreePlru) {
+    if (!std::has_single_bit(static_cast<std::uint64_t>(config_.associativity))) {
+      throw std::invalid_argument(
+          "tree-PLRU requires power-of-two associativity");
+    }
+    plru_.assign(config_.num_sets(), 0);
+  }
+}
+
+AccessResult Cache::access(Addr addr, bool write) {
+  ++accesses_;
+  ++tick_;
+  const std::uint64_t line_no = addr >> line_bits_;
+  const std::uint64_t set = line_no & set_mask_;
+  const std::uint64_t tag = line_no >> std::countr_zero(set_mask_ + 1);
+  Line* base = &lines_[set * config_.associativity];
+
+  const bool write_allocates =
+      config_.write_policy == WritePolicy::kWriteBackAllocate;
+  for (std::uint32_t way = 0; way < config_.associativity; ++way) {
+    Line& l = base[way];
+    if (l.valid && l.tag == tag) {
+      ++hits_;
+      if (config_.policy == ReplacementPolicy::kLru) l.stamp = tick_;
+      if (config_.policy == ReplacementPolicy::kTreePlru) touch_plru(set, way);
+      // Write-through caches never hold dirty lines.
+      l.dirty = write_allocates && (l.dirty || write);
+      return {.hit = true};
+    }
+  }
+
+  // Miss.  Under write-through/no-allocate, store misses go straight to
+  // memory without filling a line.
+  AccessResult result{.hit = false};
+  if (write && !write_allocates) return result;
+  std::uint32_t victim = config_.associativity;
+  for (std::uint32_t way = 0; way < config_.associativity; ++way) {
+    if (!base[way].valid) {
+      victim = way;
+      break;
+    }
+  }
+  if (victim == config_.associativity) {
+    victim = pick_victim(set);
+    Line& v = base[victim];
+    result.evicted = true;
+    result.writeback = v.dirty;
+    const std::uint64_t victim_line_no =
+        (v.tag << std::countr_zero(set_mask_ + 1)) | set;
+    result.victim_line = victim_line_no << line_bits_;
+    if (v.dirty) ++writebacks_;
+  }
+  Line& l = base[victim];
+  l.valid = true;
+  l.tag = tag;
+  l.dirty = write && write_allocates;
+  l.stamp = tick_;  // both LRU last-use and FIFO fill time start here
+  if (config_.policy == ReplacementPolicy::kTreePlru) touch_plru(set, victim);
+  return result;
+}
+
+bool Cache::probe(Addr addr) const {
+  const std::uint64_t line_no = addr >> line_bits_;
+  const std::uint64_t set = line_no & set_mask_;
+  const std::uint64_t tag = line_no >> std::countr_zero(set_mask_ + 1);
+  const Line* base = &lines_[set * config_.associativity];
+  for (std::uint32_t way = 0; way < config_.associativity; ++way) {
+    if (base[way].valid && base[way].tag == tag) return true;
+  }
+  return false;
+}
+
+void Cache::flush() {
+  for (auto& l : lines_) l = Line{};
+  if (!plru_.empty()) plru_.assign(plru_.size(), 0);
+}
+
+std::uint64_t Cache::resident_lines() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& l : lines_) n += l.valid ? 1 : 0;
+  return n;
+}
+
+std::uint32_t Cache::pick_victim(std::uint64_t set) {
+  const Line* base = &lines_[set * config_.associativity];
+  switch (config_.policy) {
+    case ReplacementPolicy::kLru:
+    case ReplacementPolicy::kFifo: {
+      // LRU: oldest last-use stamp.  FIFO: oldest fill stamp (hits do not
+      // refresh the stamp under FIFO, so the same scan works for both).
+      std::uint32_t best = 0;
+      std::uint64_t best_stamp = base[0].stamp;
+      for (std::uint32_t way = 1; way < config_.associativity; ++way) {
+        if (base[way].stamp < best_stamp) {
+          best = way;
+          best_stamp = base[way].stamp;
+        }
+      }
+      return best;
+    }
+    case ReplacementPolicy::kRandom:
+      return static_cast<std::uint32_t>(rng_.next() %
+                                        config_.associativity);
+    case ReplacementPolicy::kTreePlru:
+      return plru_victim(set);
+  }
+  return 0;
+}
+
+// Tree-PLRU: bits index a complete binary tree; bit==0 means "left is older".
+void Cache::touch_plru(std::uint64_t set, std::uint32_t way) {
+  std::uint64_t& bits = plru_[set];
+  std::uint32_t node = 1;
+  // Walk from the root toward `way`, flipping each node to point away from
+  // the path just used.
+  for (std::uint32_t span = config_.associativity / 2; span >= 1; span /= 2) {
+    const bool right = (way & span) != 0;
+    if (right) {
+      bits &= ~(1ULL << node);  // point left (away from used right side)
+      node = node * 2 + 1;
+    } else {
+      bits |= (1ULL << node);  // point right
+      node = node * 2;
+    }
+    if (span == 1) break;
+  }
+}
+
+std::uint32_t Cache::plru_victim(std::uint64_t set) const {
+  const std::uint64_t bits = plru_[set];
+  std::uint32_t node = 1;
+  std::uint32_t way = 0;
+  for (std::uint32_t span = config_.associativity / 2; span >= 1; span /= 2) {
+    const bool go_right = (bits >> node) & 1ULL;
+    if (go_right) {
+      way |= span;
+      node = node * 2 + 1;
+    } else {
+      node = node * 2;
+    }
+    if (span == 1) break;
+  }
+  return way;
+}
+
+}  // namespace hpm::sim

@@ -1,0 +1,104 @@
+// Single-level set-associative cache model.
+//
+// Matches the simulator in the paper's §3: a single-level set-associative
+// cache (2 MB for the experiments), write-allocate / write-back.  The
+// replacement policy is configurable (the paper does not name one; LRU is
+// the default and the ablation micro-benches sweep the alternatives).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "util/prng.hpp"
+
+namespace hpm::sim {
+
+enum class ReplacementPolicy : std::uint8_t { kLru, kFifo, kRandom, kTreePlru };
+
+enum class WritePolicy : std::uint8_t {
+  kWriteBackAllocate,     ///< paper default: allocate on write, write back
+  kWriteThroughNoAllocate ///< stores bypass on miss; hits write through
+};
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 2ULL * 1024 * 1024;  ///< paper: 2 MB
+  std::uint32_t line_size = 64;
+  std::uint32_t associativity = 8;
+  ReplacementPolicy policy = ReplacementPolicy::kLru;
+  WritePolicy write_policy = WritePolicy::kWriteBackAllocate;
+  std::uint64_t random_seed = 0x243f6a8885a308d3ULL;  ///< kRandom only
+
+  [[nodiscard]] std::uint64_t num_sets() const noexcept {
+    return size_bytes / (static_cast<std::uint64_t>(line_size) * associativity);
+  }
+  /// A config is valid if all geometry fields are powers of two and consistent.
+  [[nodiscard]] bool valid() const noexcept;
+};
+
+/// Result of one cache access.
+struct AccessResult {
+  bool hit = false;
+  bool writeback = false;     ///< a dirty victim line was evicted
+  Addr victim_line = 0;       ///< line address of the victim (if any evicted)
+  bool evicted = false;
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  /// Access the line containing `addr`; `write` marks the line dirty.
+  AccessResult access(Addr addr, bool write);
+
+  /// True if the line containing `addr` is currently resident (no state
+  /// change; used by tests and the perturbation analysis).
+  [[nodiscard]] bool probe(Addr addr) const;
+
+  /// Invalidate everything (dirty contents are discarded; the backing store
+  /// is always up to date because the simulator is functional, not timing-
+  /// accurate at the memory level).
+  void flush();
+
+  [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::uint64_t accesses() const noexcept { return accesses_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return accesses_ - hits_;
+  }
+  [[nodiscard]] std::uint64_t writebacks() const noexcept {
+    return writebacks_;
+  }
+  /// Number of distinct lines currently valid.
+  [[nodiscard]] std::uint64_t resident_lines() const noexcept;
+
+  /// Line-align an address under this cache's geometry.
+  [[nodiscard]] Addr line_base(Addr addr) const noexcept {
+    return addr & ~static_cast<Addr>(config_.line_size - 1);
+  }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t stamp = 0;  // LRU: last use; FIFO: fill time
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  [[nodiscard]] std::uint32_t pick_victim(std::uint64_t set);
+  void touch_plru(std::uint64_t set, std::uint32_t way);
+  [[nodiscard]] std::uint32_t plru_victim(std::uint64_t set) const;
+
+  CacheConfig config_;
+  std::uint64_t set_mask_;
+  std::uint32_t line_bits_;
+  std::vector<Line> lines_;          // lines_[set * assoc + way]
+  std::vector<std::uint64_t> plru_;  // per-set tree bits (kTreePlru)
+  util::SplitMix64 rng_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t writebacks_ = 0;
+};
+
+}  // namespace hpm::sim

@@ -1,0 +1,28 @@
+// Virtual cycle cost model.
+//
+// The paper's simulator keeps a virtual cycle count via basic-block
+// instrumentation and explicitly does not model pipelining or multiple
+// issue ("the cycle counts ... are meant to model RISC processors in
+// general").  The interrupt delivery cost of 8,800 cycles is the paper's
+// own measurement on a 175 MHz SGI Octane (~50 µs per interrupt).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace hpm::sim {
+
+struct CycleModel {
+  Cycles cycles_per_instruction = 1;  ///< every instruction, incl. ld/st
+  Cycles cache_hit_extra = 0;         ///< additional cycles on a hit
+  Cycles cache_miss_penalty = 50;     ///< additional cycles on a miss
+  Cycles interrupt_cost = 8'800;      ///< OS signal delivery (paper §3.3)
+
+  [[nodiscard]] constexpr Cycles ref_cost(bool hit) const noexcept {
+    return cycles_per_instruction +
+           (hit ? cache_hit_extra : cache_miss_penalty);
+  }
+};
+
+}  // namespace hpm::sim

@@ -1,0 +1,26 @@
+// Interrupt kinds and the handler interface implemented by measurement
+// tools (the paper's "instrumentation code", which runs inside the
+// simulation and is charged virtual cycles).
+#pragma once
+
+#include <cstdint>
+
+namespace hpm::sim {
+
+class Machine;
+
+enum class InterruptKind : std::uint8_t {
+  kMissOverflow,  ///< the PMU miss-overflow counter reached zero
+  kCycleTimer,    ///< the one-shot virtual cycle timer expired
+};
+
+class InterruptHandler {
+ public:
+  virtual ~InterruptHandler() = default;
+  /// Called by the machine with interrupts masked.  The handler may access
+  /// simulated memory through Machine::tool_load/tool_store and must charge
+  /// its compute via Machine::tool_exec.
+  virtual void on_interrupt(Machine& machine, InterruptKind kind) = 0;
+};
+
+}  // namespace hpm::sim

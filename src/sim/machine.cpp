@@ -1,0 +1,21 @@
+#include "sim/machine.hpp"
+
+namespace hpm::sim {
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      as_(config.layout),
+      cache_(config.cache),
+      pmu_(config.num_miss_counters) {
+  if (config.l1) l1_.emplace(*config.l1);
+}
+
+void Machine::dispatch(InterruptKind kind) {
+  ++stats_.interrupts;
+  stats_.tool_cycles += config_.cycles.interrupt_cost;
+  in_handler_ = true;
+  handler_->on_interrupt(*this, kind);
+  in_handler_ = false;
+}
+
+}  // namespace hpm::sim

@@ -1,0 +1,219 @@
+// The simulated machine: executes workload memory references against the
+// cache, keeps the virtual cycle clock, drives the PMU, and delivers
+// interrupts to an installed measurement tool.
+//
+// Two access planes exist, mirroring the paper's setup where the
+// instrumentation code runs *inside* the simulation:
+//   * application plane (load/store/exec)  — the measured program;
+//   * tool plane (tool_load/tool_store/tool_exec) — instrumentation code,
+//     whose accesses also go through the cache (and therefore perturb the
+//     application, Figure 3) and whose work is charged virtual cycles
+//     (Figure 4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+
+#include "sim/address_space.hpp"
+#include "sim/backing_store.hpp"
+#include "sim/cache.hpp"
+#include "sim/cycle_model.hpp"
+#include "sim/interrupt.hpp"
+#include "sim/perf_monitor.hpp"
+#include "sim/types.hpp"
+
+namespace hpm::sim {
+
+struct MachineConfig {
+  CacheConfig cache{};
+  CycleModel cycles{};
+  SegmentLayout layout{};
+  unsigned num_miss_counters = 16;
+  /// Optional L1 filter cache in front of the measured cache.  The paper's
+  /// simulator is single-level (disabled by default); enabling it models
+  /// Itanium-style counting where the PMU sees only L1-filtered misses.
+  std::optional<CacheConfig> l1{};
+};
+
+struct MachineStats {
+  std::uint64_t app_instructions = 0;  ///< includes one per memory reference
+  std::uint64_t app_refs = 0;
+  std::uint64_t app_misses = 0;  ///< misses in the measured cache
+  std::uint64_t l1_hits = 0;     ///< refs filtered by the optional L1
+  std::uint64_t tool_refs = 0;
+  std::uint64_t tool_misses = 0;
+  Cycles app_cycles = 0;   ///< cycles attributable to the application
+  Cycles tool_cycles = 0;  ///< handler compute + interrupt delivery
+  std::uint64_t interrupts = 0;
+
+  [[nodiscard]] std::uint64_t total_misses() const noexcept {
+    return app_misses + tool_misses;
+  }
+  [[nodiscard]] Cycles total_cycles() const noexcept {
+    return app_cycles + tool_cycles;
+  }
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config = {});
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  [[nodiscard]] AddressSpace& address_space() noexcept { return as_; }
+  [[nodiscard]] PerfMonitor& pmu() noexcept { return pmu_; }
+  [[nodiscard]] const PerfMonitor& pmu() const noexcept { return pmu_; }
+  [[nodiscard]] Cache& cache() noexcept { return cache_; }
+  [[nodiscard]] const MachineStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const MachineConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] Cycles now() const noexcept { return stats_.total_cycles(); }
+
+  // -- Application plane -----------------------------------------------------
+  /// Charge `count` non-memory instructions to the application.
+  void exec(std::uint64_t count) {
+    stats_.app_instructions += count;
+    stats_.app_cycles += count * config_.cycles.cycles_per_instruction;
+    if (exec_observer_) exec_observer_(count);
+    poll_interrupts();
+  }
+
+  template <typename T>
+  [[nodiscard]] T load(Addr addr) {
+    app_ref(addr, /*write=*/false);
+    return store_.load<T>(addr);
+  }
+
+  template <typename T>
+  void store(Addr addr, const T& value) {
+    app_ref(addr, /*write=*/true);
+    store_.store(addr, value);
+  }
+
+  /// Memory reference without data movement (for reference-pattern-only
+  /// workloads and tests).
+  void touch(Addr addr, bool write = false) { app_ref(addr, write); }
+
+  // -- Tool plane --------------------------------------------------------
+  /// Charge handler compute cycles.
+  void tool_exec(Cycles cycles) { stats_.tool_cycles += cycles; }
+
+  template <typename T>
+  [[nodiscard]] T tool_load(Addr addr) {
+    tool_ref(addr, /*write=*/false);
+    return store_.load<T>(addr);
+  }
+
+  template <typename T>
+  void tool_store(Addr addr, const T& value) {
+    tool_ref(addr, /*write=*/true);
+    store_.store(addr, value);
+  }
+
+  /// Tool-plane reference without data movement (shadow-footprint touches).
+  void tool_touch(Addr addr, bool write = false) { tool_ref(addr, write); }
+
+  // -- Interrupts --------------------------------------------------------
+  void set_handler(InterruptHandler* handler) noexcept { handler_ = handler; }
+
+  /// Arm the PMU miss-overflow interrupt: fires after `period` misses.
+  void arm_miss_overflow(std::uint64_t period) noexcept {
+    pmu_.arm_overflow(period);
+  }
+
+  /// One-shot virtual timer `dt` cycles from now (the search technique's
+  /// iteration clock).
+  void arm_timer_in(Cycles dt) noexcept {
+    timer_at_ = now() + dt;
+    timer_armed_ = true;
+  }
+  void disarm_timer() noexcept { timer_armed_ = false; }
+  [[nodiscard]] bool timer_armed() const noexcept { return timer_armed_; }
+
+  // -- Ground truth --------------------------------------------------------
+  /// Observer invoked on every miss, below the tool layer — "measured by
+  /// lower levels of the simulator".  Costs nothing in simulated time.
+  using MissObserver = std::function<void(Addr addr, bool is_tool)>;
+  void set_miss_observer(MissObserver obs) { observer_ = std::move(obs); }
+
+  /// Application-plane event observers (trace capture).  Like the miss
+  /// observer these sit below the tool layer and cost no simulated time.
+  using RefObserver = std::function<void(Addr addr, bool write)>;
+  using ExecObserver = std::function<void(std::uint64_t count)>;
+  void set_ref_observer(RefObserver obs) { ref_observer_ = std::move(obs); }
+  void set_exec_observer(ExecObserver obs) {
+    exec_observer_ = std::move(obs);
+  }
+
+ private:
+  void app_ref(Addr addr, bool write) {
+    ++stats_.app_refs;
+    ++stats_.app_instructions;
+    if (ref_observer_) ref_observer_(addr, write);
+    if (l1_ && l1_->access(addr, write).hit) {
+      ++stats_.l1_hits;
+      stats_.app_cycles += config_.cycles.cycles_per_instruction;
+      poll_interrupts();
+      return;
+    }
+    const AccessResult r = cache_.access(addr, write);
+    stats_.app_cycles += config_.cycles.ref_cost(r.hit);
+    if (!r.hit) {
+      ++stats_.app_misses;
+      pmu_.record_miss(addr);
+      if (observer_) observer_(addr, /*is_tool=*/false);
+    }
+    poll_interrupts();
+  }
+
+  void tool_ref(Addr addr, bool write) {
+    ++stats_.tool_refs;
+    if (l1_ && l1_->access(addr, write).hit) {
+      stats_.tool_cycles += config_.cycles.cycles_per_instruction;
+      return;
+    }
+    const AccessResult r = cache_.access(addr, write);
+    stats_.tool_cycles += config_.cycles.ref_cost(r.hit);
+    if (!r.hit) {
+      ++stats_.tool_misses;
+      // Real hardware counts instrumentation misses too.
+      pmu_.record_miss(addr);
+      if (observer_) observer_(addr, /*is_tool=*/true);
+    }
+    // No interrupt polling: the tool plane runs with interrupts masked.
+  }
+
+  void poll_interrupts() {
+    if (handler_ == nullptr || in_handler_) return;
+    if (pmu_.overflow_pending()) {
+      pmu_.acknowledge_overflow();
+      dispatch(InterruptKind::kMissOverflow);
+    }
+    if (timer_armed_ && now() >= timer_at_) {
+      timer_armed_ = false;
+      dispatch(InterruptKind::kCycleTimer);
+    }
+  }
+
+  void dispatch(InterruptKind kind);
+
+  MachineConfig config_;
+  BackingStore store_;
+  AddressSpace as_;
+  Cache cache_;
+  std::optional<Cache> l1_;
+  PerfMonitor pmu_;
+  MachineStats stats_{};
+  InterruptHandler* handler_ = nullptr;
+  MissObserver observer_;
+  RefObserver ref_observer_;
+  ExecObserver exec_observer_;
+  Cycles timer_at_ = std::numeric_limits<Cycles>::max();
+  bool timer_armed_ = false;
+  bool in_handler_ = false;
+};
+
+}  // namespace hpm::sim

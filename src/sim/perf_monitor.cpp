@@ -1,0 +1,51 @@
+#include "sim/perf_monitor.hpp"
+
+#include <stdexcept>
+
+namespace hpm::sim {
+
+PerfMonitor::PerfMonitor(unsigned num_counters)
+    : num_counters_(num_counters) {
+  if (num_counters == 0 || num_counters > kMaxCounters) {
+    throw std::invalid_argument("PerfMonitor: counter count out of range");
+  }
+}
+
+void PerfMonitor::check_index(unsigned idx) const {
+  if (idx >= num_counters_) {
+    throw std::out_of_range("PerfMonitor: counter index out of range");
+  }
+}
+
+void PerfMonitor::configure(unsigned idx, Addr base, Addr bound) {
+  check_index(idx);
+  if (bound < base) throw std::invalid_argument("PerfMonitor: bound < base");
+  counters_[idx] = {.base = base, .bound = bound, .count = 0, .enabled = true};
+}
+
+void PerfMonitor::disable(unsigned idx) {
+  check_index(idx);
+  counters_[idx].enabled = false;
+}
+
+void PerfMonitor::clear(unsigned idx) {
+  check_index(idx);
+  counters_[idx].count = 0;
+}
+
+bool PerfMonitor::enabled(unsigned idx) const {
+  check_index(idx);
+  return counters_[idx].enabled;
+}
+
+std::uint64_t PerfMonitor::read(unsigned idx) const {
+  check_index(idx);
+  return counters_[idx].count;
+}
+
+AddrRange PerfMonitor::region(unsigned idx) const {
+  check_index(idx);
+  return {counters_[idx].base, counters_[idx].bound};
+}
+
+}  // namespace hpm::sim

@@ -1,0 +1,99 @@
+// Simulated hardware performance monitoring unit (PMU).
+//
+// Models the feature set the paper assumes (§2): a set of cache-miss
+// counters, each with base/bounds registers that restrict counting to an
+// address region (Itanium-style conditional counting); a global miss
+// counter; a "last cache miss address" register; and an overflow interrupt
+// that fires after a user-defined number of misses (R10000/Alpha-style).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace hpm::sim {
+
+class PerfMonitor {
+ public:
+  static constexpr unsigned kMaxCounters = 32;
+
+  explicit PerfMonitor(unsigned num_counters = 16);
+
+  [[nodiscard]] unsigned num_counters() const noexcept {
+    return num_counters_;
+  }
+
+  // -- Region miss counters -------------------------------------------------
+  /// Program counter `idx` to count misses whose address lies in
+  /// [base, bound).  Resets the count and enables the counter.
+  void configure(unsigned idx, Addr base, Addr bound);
+  void disable(unsigned idx);
+  void clear(unsigned idx);
+  [[nodiscard]] bool enabled(unsigned idx) const;
+  [[nodiscard]] std::uint64_t read(unsigned idx) const;
+  [[nodiscard]] AddrRange region(unsigned idx) const;
+
+  // -- Global miss counter and last-miss-address register --------------------
+  [[nodiscard]] std::uint64_t global_misses() const noexcept {
+    return global_;
+  }
+  void clear_global() noexcept { global_ = 0; }
+  [[nodiscard]] Addr last_miss_address() const noexcept { return last_miss_; }
+
+  // -- Miss-overflow interrupt ----------------------------------------------
+  /// Arm an interrupt after `period` further misses (0 disarms).  Mirrors
+  /// the R10000/Alpha counter-overflow mechanism the paper samples with.
+  void arm_overflow(std::uint64_t period) noexcept {
+    overflow_remaining_ = period;
+    overflow_armed_ = period != 0;
+    overflow_pending_ = false;
+  }
+  void disarm_overflow() noexcept {
+    overflow_armed_ = false;
+    overflow_pending_ = false;
+  }
+  [[nodiscard]] bool overflow_pending() const noexcept {
+    return overflow_pending_;
+  }
+  void acknowledge_overflow() noexcept { overflow_pending_ = false; }
+
+  /// Record a cache miss at `addr`.  Called by the machine for every miss
+  /// (application and instrumentation alike — real hardware cannot tell them
+  /// apart).  Updates region counters, the global counter, the last-miss
+  /// register, and the overflow countdown.
+  void record_miss(Addr addr) noexcept {
+    ++global_;
+    last_miss_ = addr;
+    for (unsigned i = 0; i < num_counters_; ++i) {
+      Counter& c = counters_[i];
+      if (c.enabled && addr >= c.base && addr < c.bound) ++c.count;
+    }
+    if (overflow_armed_ && overflow_remaining_ > 0) {
+      if (--overflow_remaining_ == 0) {
+        overflow_pending_ = true;
+        overflow_armed_ = false;
+      }
+    }
+  }
+
+ private:
+  struct Counter {
+    Addr base = 0;
+    Addr bound = 0;
+    std::uint64_t count = 0;
+    bool enabled = false;
+  };
+
+  void check_index(unsigned idx) const;
+
+  std::array<Counter, kMaxCounters> counters_{};
+  unsigned num_counters_;
+  std::uint64_t global_ = 0;
+  Addr last_miss_ = kNullAddr;
+  std::uint64_t overflow_remaining_ = 0;
+  bool overflow_armed_ = false;
+  bool overflow_pending_ = false;
+};
+
+}  // namespace hpm::sim

@@ -1,0 +1,37 @@
+// Fundamental simulator types.
+#pragma once
+
+#include <cstdint>
+
+namespace hpm::sim {
+
+/// Simulated virtual address.  The simulated address space mimics the 64-bit
+/// layout of the Alpha binaries the paper instrumented (heap blocks appear at
+/// addresses like 0x141020000, which the paper uses as object names).
+using Addr = std::uint64_t;
+
+/// Virtual cycles, as counted by the simulator's basic-block instrumentation.
+using Cycles = std::uint64_t;
+
+inline constexpr Addr kNullAddr = 0;
+
+/// A half-open simulated address interval [base, bound).
+struct AddrRange {
+  Addr base = 0;
+  Addr bound = 0;
+
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept {
+    return bound - base;
+  }
+  [[nodiscard]] constexpr bool contains(Addr a) const noexcept {
+    return a >= base && a < bound;
+  }
+  [[nodiscard]] constexpr bool overlaps(const AddrRange& o) const noexcept {
+    return !empty() && !o.empty() && base < o.bound && o.base < bound;
+  }
+  [[nodiscard]] constexpr bool empty() const noexcept { return bound <= base; }
+
+  constexpr bool operator==(const AddrRange&) const noexcept = default;
+};
+
+}  // namespace hpm::sim

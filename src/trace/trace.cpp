@@ -1,0 +1,177 @@
+#include "trace/trace.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace hpm::trace {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'P', 'M', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+void put_varint(std::ostream& os, std::uint64_t v) {
+  while (v >= 0x80) {
+    os.put(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  os.put(static_cast<char>(v));
+}
+
+std::uint64_t get_varint(std::istream& is) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    const int c = is.get();
+    if (c == EOF) throw std::runtime_error("trace: truncated varint");
+    v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) break;
+    shift += 7;
+    if (shift > 63) throw std::runtime_error("trace: varint overflow");
+  }
+  return v;
+}
+
+constexpr std::uint64_t zigzag(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t unzigzag(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace
+
+std::uint64_t Trace::reference_count() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& e : events_) n += e.kind != EventKind::kExec;
+  return n;
+}
+
+std::uint64_t Trace::instruction_count() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& e : events_) {
+    n += e.kind == EventKind::kExec ? e.count : 1;
+  }
+  return n;
+}
+
+void Trace::save(std::ostream& os) const {
+  os.write(kMagic, sizeof kMagic);
+  put_varint(os, kVersion);
+  put_varint(os, events_.size());
+  sim::Addr prev = 0;
+  for (const auto& e : events_) {
+    os.put(static_cast<char>(e.kind));
+    switch (e.kind) {
+      case EventKind::kLoad:
+      case EventKind::kStore: {
+        const auto delta = static_cast<std::int64_t>(e.addr) -
+                           static_cast<std::int64_t>(prev);
+        put_varint(os, zigzag(delta));
+        prev = e.addr;
+        break;
+      }
+      case EventKind::kExec:
+        put_varint(os, e.count);
+        break;
+    }
+  }
+  if (!os) throw std::runtime_error("trace: write failed");
+}
+
+void Trace::save_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("trace: cannot open " + path);
+  save(os);
+}
+
+Trace Trace::load(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof magic);
+  if (!is || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("trace: bad magic");
+  }
+  const std::uint64_t version = get_varint(is);
+  if (version != kVersion) {
+    throw std::runtime_error("trace: unsupported version");
+  }
+  const std::uint64_t count = get_varint(is);
+  Trace trace;
+  trace.events_.reserve(count);
+  sim::Addr prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const int tag = is.get();
+    if (tag == EOF) throw std::runtime_error("trace: truncated event");
+    switch (static_cast<EventKind>(tag)) {
+      case EventKind::kLoad:
+      case EventKind::kStore: {
+        const std::int64_t delta = unzigzag(get_varint(is));
+        const auto addr = static_cast<sim::Addr>(
+            static_cast<std::int64_t>(prev) + delta);
+        trace.events_.push_back(
+            {static_cast<EventKind>(tag), addr, 0});
+        prev = addr;
+        break;
+      }
+      case EventKind::kExec:
+        trace.events_.push_back({EventKind::kExec, 0, get_varint(is)});
+        break;
+      default:
+        throw std::runtime_error("trace: bad event tag");
+    }
+  }
+  return trace;
+}
+
+Trace Trace::load_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("trace: cannot open " + path);
+  return load(is);
+}
+
+Recorder::Recorder(sim::Machine& machine) : machine_(machine) {}
+
+Recorder::~Recorder() {
+  if (running_) stop();
+}
+
+void Recorder::start() {
+  running_ = true;
+  machine_.set_ref_observer([this](sim::Addr addr, bool write) {
+    if (write) {
+      trace_.append_store(addr);
+    } else {
+      trace_.append_load(addr);
+    }
+  });
+  machine_.set_exec_observer(
+      [this](std::uint64_t count) { trace_.append_exec(count); });
+}
+
+void Recorder::stop() {
+  running_ = false;
+  machine_.set_ref_observer(nullptr);
+  machine_.set_exec_observer(nullptr);
+}
+
+void replay(const Trace& trace, sim::Machine& machine) {
+  for (const auto& e : trace.events()) {
+    switch (e.kind) {
+      case EventKind::kLoad:
+        machine.touch(e.addr, /*write=*/false);
+        break;
+      case EventKind::kStore:
+        machine.touch(e.addr, /*write=*/true);
+        break;
+      case EventKind::kExec:
+        machine.exec(e.count);
+        break;
+    }
+  }
+}
+
+}  // namespace hpm::trace

@@ -1,0 +1,106 @@
+// Memory-reference trace capture and replay.
+//
+// The paper's simulator is trace-driven: ATOM-instrumented binaries emit
+// load/store events plus basic-block instruction counts.  This module
+// provides the equivalent infrastructure: a recorder that captures a
+// workload's event stream from a live Machine, a compact binary file
+// format, and a replay workload that re-executes a recorded stream against
+// any machine configuration — so a single expensive workload run can be
+// re-measured under many cache/tool configurations.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/types.hpp"
+
+namespace hpm::trace {
+
+enum class EventKind : std::uint8_t {
+  kLoad = 0,
+  kStore = 1,
+  kExec = 2,  ///< a batch of non-memory instructions (basic-block count)
+};
+
+struct Event {
+  EventKind kind = EventKind::kExec;
+  sim::Addr addr = 0;       ///< kLoad/kStore only
+  std::uint64_t count = 0;  ///< kExec only
+
+  constexpr bool operator==(const Event&) const noexcept = default;
+};
+
+/// An in-memory reference trace.
+class Trace {
+ public:
+  void append_load(sim::Addr addr) {
+    events_.push_back({EventKind::kLoad, addr, 0});
+  }
+  void append_store(sim::Addr addr) {
+    events_.push_back({EventKind::kStore, addr, 0});
+  }
+  /// Consecutive exec batches coalesce.
+  void append_exec(std::uint64_t count) {
+    if (!events_.empty() && events_.back().kind == EventKind::kExec) {
+      events_.back().count += count;
+      return;
+    }
+    events_.push_back({EventKind::kExec, 0, count});
+  }
+
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  [[nodiscard]] std::uint64_t reference_count() const noexcept;
+  [[nodiscard]] std::uint64_t instruction_count() const noexcept;
+
+  /// Serialize to the compact binary format (varint deltas; loads/stores
+  /// near each other cost ~2 bytes).  Throws std::runtime_error on I/O
+  /// failure.
+  void save(std::ostream& os) const;
+  void save_file(const std::string& path) const;
+  /// Parse; throws std::runtime_error on malformed input.
+  [[nodiscard]] static Trace load(std::istream& is);
+  [[nodiscard]] static Trace load_file(const std::string& path);
+
+  bool operator==(const Trace&) const = default;
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// Records the application-plane event stream of a machine while live code
+/// runs.  Tool-plane traffic is not recorded (the point of a trace is to
+/// re-measure the *application* under different instrumentation).
+class Recorder {
+ public:
+  explicit Recorder(sim::Machine& machine);
+  ~Recorder();
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] Trace take() { return std::move(trace_); }
+  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+
+ private:
+  sim::Machine& machine_;
+  Trace trace_;
+  bool running_ = false;
+};
+
+/// Replay a trace against a machine: every recorded reference becomes a
+/// machine reference (cache, PMU, interrupts all live), every exec batch a
+/// cycle charge.  Object identity is not part of a raw trace; pair replay
+/// with a layout-registration callback or use it for cache/overhead studies.
+void replay(const Trace& trace, sim::Machine& machine);
+
+}  // namespace hpm::trace

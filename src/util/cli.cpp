@@ -1,0 +1,75 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace hpm::util {
+
+Cli::Cli(int argc, const char* const* argv,
+         std::vector<std::string> known_flags) {
+  auto known = [&](std::string_view name) {
+    return std::find(known_flags.begin(), known_flags.end(), name) !=
+           known_flags.end();
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    std::string name;
+    std::string value;
+    if (auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+      // `--flag value` form: consume the next token if it is not a flag.
+      if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    if (!known(name)) {
+      error_ = "unknown flag: --" + name;
+      return;
+    }
+    values_[name] = value;
+  }
+}
+
+bool Cli::has(std::string_view name) const {
+  return values_.find(name) != values_.end();
+}
+
+std::string Cli::get(std::string_view name, std::string_view fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? std::string(fallback) : it->second;
+}
+
+std::int64_t Cli::get_int(std::string_view name, std::int64_t fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+std::uint64_t Cli::get_uint(std::string_view name,
+                            std::uint64_t fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::strtoull(it->second.c_str(), nullptr, 0);
+}
+
+double Cli::get_double(std::string_view name, double fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(std::string_view name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes" ||
+         it->second == "on";
+}
+
+}  // namespace hpm::util

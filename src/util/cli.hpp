@@ -1,0 +1,46 @@
+// Minimal command-line flag parsing for bench/example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name`.  Unknown
+// flags are an error so typos in experiment sweeps fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpm::util {
+
+class Cli {
+ public:
+  /// Parses argv. On error, records a message retrievable via error().
+  Cli(int argc, const char* const* argv,
+      std::vector<std::string> known_flags);
+
+  [[nodiscard]] bool ok() const noexcept { return error_.empty(); }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  [[nodiscard]] bool has(std::string_view name) const;
+  [[nodiscard]] std::string get(std::string_view name,
+                                std::string_view fallback) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] std::uint64_t get_uint(std::string_view name,
+                                       std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(std::string_view name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace hpm::util

@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// The whole repository is required to be bit-for-bit reproducible (the
+// perturbation experiments of Figure 3 compare instrumented and
+// uninstrumented runs of the *same* instruction stream), so all randomness
+// flows through explicitly seeded generators owned by the caller.  No code
+// in this project uses std::rand or random_device.
+#pragma once
+
+#include <cstdint>
+
+namespace hpm::util {
+
+/// SplitMix64: tiny, high-quality 64-bit mixer.  Used both as a standalone
+/// generator for cheap decisions (e.g. random cache replacement) and to seed
+/// Xoshiro256** from a single 64-bit seed.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: the project's general-purpose generator.  Fast, 256-bit
+/// state, passes BigCrush; more than adequate for workload synthesis and
+/// pseudo-random sampling intervals.
+class Xoshiro256 {
+ public:
+  constexpr explicit Xoshiro256(std::uint64_t seed) noexcept : s_{0, 0, 0, 0} {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound); modulo reduction (the bias for the
+  /// bounds used in this project, far below 2^32, is negligible).
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return bound == 0 ? 0 : next() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace hpm::util

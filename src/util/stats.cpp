@@ -1,0 +1,68 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpm::util {
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+std::vector<double> to_percentages(std::span<const std::uint64_t> counts) {
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  std::vector<double> out(counts.size(), 0.0);
+  if (total == 0) return out;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    out[i] = 100.0 * static_cast<double>(counts[i]) / static_cast<double>(total);
+  }
+  return out;
+}
+
+double pairwise_order_agreement(std::span<const double> actual,
+                                std::span<const double> estimated) {
+  const std::size_t n = std::min(actual.size(), estimated.size());
+  if (n < 2) return 1.0;
+  std::size_t consistent = 0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      ++pairs;
+      const double da = actual[i] - actual[j];
+      const double de = estimated[i] - estimated[j];
+      if ((da >= 0 && de >= 0) || (da <= 0 && de <= 0)) ++consistent;
+    }
+  }
+  return static_cast<double>(consistent) / static_cast<double>(pairs);
+}
+
+}  // namespace hpm::util

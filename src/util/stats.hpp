@@ -1,0 +1,45 @@
+// Small statistics helpers used by the report layer and the benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hpm::util {
+
+/// Streaming accumulator (Welford) for mean/variance plus min/max.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile with linear interpolation; `p` in [0,100].  Copies and sorts.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Normalise counts to percentages of their sum (empty-safe; all-zero-safe).
+[[nodiscard]] std::vector<double> to_percentages(std::span<const std::uint64_t> counts);
+
+/// Spearman rank-agreement-style metric used to score technique output
+/// against ground truth: fraction of adjacent pairs in `estimated` that are
+/// ordered consistently with `actual`.  1.0 = perfectly consistent.
+[[nodiscard]] double pairwise_order_agreement(std::span<const double> actual,
+                                              std::span<const double> estimated);
+
+}  // namespace hpm::util

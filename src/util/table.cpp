@@ -1,0 +1,126 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace hpm::util {
+
+Table::Table(std::vector<std::string> headers, std::vector<Align> aligns)
+    : headers_(std::move(headers)), aligns_(std::move(aligns)) {
+  aligns_.resize(headers_.size(), Align::kLeft);
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string_view text) {
+  if (rows_.empty()) row();
+  rows_.back().emplace_back(text);
+  return *this;
+}
+
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return cell(ss.str());
+}
+
+Table& Table::blank() { return cell(""); }
+
+Table& Table::separator() {
+  separators_.push_back(rows_.size());
+  return *this;
+}
+
+void Table::render(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+
+  auto rule = [&] {
+    os << '+';
+    for (auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string{};
+      const std::size_t pad = widths[c] - text.size();
+      os << ' ';
+      if (aligns_[c] == Align::kRight) os << std::string(pad, ' ') << text;
+      else os << text << std::string(pad, ' ');
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  rule();
+  emit(headers_);
+  rule();
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (std::find(separators_.begin(), separators_.end(), i) !=
+        separators_.end()) {
+      rule();
+    }
+    emit(rows_[i]);
+  }
+  rule();
+}
+
+std::string Table::to_string() const {
+  std::ostringstream ss;
+  render(ss);
+  return ss.str();
+}
+
+void Table::write_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      const bool quote = cells[c].find_first_of(",\"\n") != std::string::npos;
+      if (!quote) {
+        os << cells[c];
+      } else {
+        os << '"';
+        for (char ch : cells[c]) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string log_bar(double value, double min_positive, double max_value,
+                    std::size_t width) {
+  if (value <= 0.0 || max_value <= min_positive || width == 0) return "";
+  const double lo = std::log10(min_positive);
+  const double hi = std::log10(max_value);
+  const double x = std::clamp(std::log10(value), lo, hi);
+  const auto n = static_cast<std::size_t>(
+      std::lround((x - lo) / (hi - lo) * static_cast<double>(width)));
+  return std::string(std::max<std::size_t>(n, 1), '#');
+}
+
+}  // namespace hpm::util

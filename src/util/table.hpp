@@ -1,0 +1,54 @@
+// Fixed-width text table and CSV rendering for the bench harnesses, which
+// regenerate the paper's tables/figures as aligned console output plus
+// machine-readable CSV.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpm::util {
+
+enum class Align { kLeft, kRight };
+
+/// A simple accumulating table: set headers, add rows of strings, render.
+/// Numeric convenience overloads format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers,
+                 std::vector<Align> aligns = {});
+
+  /// Begin a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(std::string_view text);
+  Table& cell(std::uint64_t value);
+  Table& cell(std::int64_t value);
+  Table& cell(int value);
+  Table& cell(double value, int precision = 1);
+  /// An intentionally blank cell (the paper's tables have many).
+  Table& blank();
+
+  /// Insert a horizontal separator line before the next row.
+  Table& separator();
+
+  void render(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+  void write_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> separators_;  // row indices preceded by a rule
+};
+
+/// Render a log-scale horizontal bar for console "figures" (Figures 3 and 4
+/// in the paper use log-scale y axes; we print log-scale bars).
+[[nodiscard]] std::string log_bar(double value, double min_positive,
+                                  double max_value, std::size_t width);
+
+}  // namespace hpm::util

@@ -1,0 +1,31 @@
+// applu-like SSOR kernel (SPEC95 110.applu).
+//
+// Jacobian blocks a, b, c, d plus the residual rsd and solution u.  Paper
+// profile: a 22.9%, b 22.9%, c 22.6%, d 17.4%, rsd 6.9% (u takes the rest).
+// The kernel has two alternating phases per timestep — the Jacobian/SSOR
+// phase (a-d hot, rsd once) and the right-hand-side phase (rsd/u hot, a-d
+// completely idle).  During the RHS phase a, b and c incur *zero* misses
+// for a stretch of cycles: this is exactly the Figure 5 behaviour that the
+// search's zero-retention/interval-growth heuristic (§3.5) exists for.
+#pragma once
+
+#include "workloads/kernels_common.hpp"
+#include "workloads/workload.hpp"
+
+namespace hpm::workloads {
+
+class Applu final : public Workload {
+ public:
+  explicit Applu(const WorkloadOptions& options = {});
+
+  [[nodiscard]] std::string_view name() const override { return "applu"; }
+  void setup(sim::Machine& machine) override;
+  void run(sim::Machine& machine) override;
+
+ private:
+  double scale_;
+  std::uint64_t iterations_;
+  Array1D<double> a_, b_, c_, d_, rsd_, u_;
+};
+
+}  // namespace hpm::workloads

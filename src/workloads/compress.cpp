@@ -1,0 +1,219 @@
+#include "workloads/compress.hpp"
+
+#include <string>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace hpm::workloads {
+
+namespace {
+constexpr std::uint64_t kInputBytes = 4 * 1024 * 1024;
+constexpr std::uint64_t kDefaultRounds = 3;
+constexpr std::uint64_t kHashSize = 69'001;  // compress95's HSIZE
+constexpr std::uint32_t kClearCode = 256;
+constexpr std::uint32_t kFirstFree = 257;
+constexpr std::uint32_t kMaxCode = 65'536;
+constexpr std::uint64_t kExecPerByte = 8;  // LZW bookkeeping per input byte
+}  // namespace
+
+Compress::Compress(const WorkloadOptions& options)
+    : input_bytes_(scaled(kInputBytes, options.scale * options.scale, 4096)),
+      rounds_(options.iterations ? options.iterations : kDefaultRounds),
+      seed_(options.seed) {}
+
+void Compress::setup(sim::Machine& machine) {
+  auto& as = machine.address_space();
+  orig_ = as.define_static("orig_text_buffer", input_bytes_);
+  comp_ = as.define_static("comp_text_buffer", input_bytes_ * 2);
+  htab_ = as.define_static("htab", kHashSize * sizeof(std::int64_t));
+  codetab_ = as.define_static("codetab", kHashSize * sizeof(std::uint16_t));
+  tab_prefix_ = as.define_static("tab_prefix", kMaxCode * sizeof(std::uint16_t));
+  tab_suffix_ = as.define_static("tab_suffix", kMaxCode);
+}
+
+// Pseudo-text: words drawn from a synthetic vocabulary, space separated.
+// Vocabulary size tunes the LZW match length and thus the compression
+// ratio (~0.55-0.65 with 4096 words, matching the paper's orig/comp miss
+// split).
+void Compress::generate_input(sim::Machine& m) {
+  util::Xoshiro256 rng(seed_);
+  std::vector<std::string> vocab;
+  vocab.reserve(4096);
+  for (int w = 0; w < 4096; ++w) {
+    const std::uint64_t len = 3 + rng.next_below(10);
+    std::string word;
+    for (std::uint64_t i = 0; i < len; ++i) {
+      word.push_back(static_cast<char>('a' + rng.next_below(26)));
+    }
+    vocab.push_back(std::move(word));
+  }
+  std::uint64_t pos = 0;
+  std::uint64_t checksum = 0;
+  while (pos < input_bytes_) {
+    const std::string& word = vocab[rng.next_below(vocab.size())];
+    for (char ch : word) {
+      if (pos >= input_bytes_) break;
+      m.store<std::uint8_t>(orig_ + pos, static_cast<std::uint8_t>(ch));
+      checksum = checksum * 131 + static_cast<std::uint8_t>(ch);
+      ++pos;
+      m.exec(2);
+    }
+    if (pos < input_bytes_) {
+      m.store<std::uint8_t>(orig_ + pos, ' ');
+      checksum = checksum * 131 + ' ';
+      ++pos;
+      m.exec(2);
+    }
+  }
+  input_checksum_ = checksum;
+}
+
+std::uint64_t Compress::lzw_compress(sim::Machine& m) {
+  // Reset tables (cheap: fill is a streaming write over htab/codetab).
+  for (std::uint64_t i = 0; i < kHashSize; ++i) {
+    m.store<std::int64_t>(htab_ + i * 8, -1);
+    m.exec(1);
+  }
+  std::uint32_t free_ent = kFirstFree;
+  std::uint64_t out = 0;
+  auto emit = [&](std::uint32_t code) {
+    m.store<std::uint16_t>(comp_ + out, static_cast<std::uint16_t>(code));
+    out += 2;
+    m.exec(2);
+  };
+
+  std::uint32_t ent = m.load<std::uint8_t>(orig_);
+  for (std::uint64_t i = 1; i < input_bytes_; ++i) {
+    const std::uint32_t c = m.load<std::uint8_t>(orig_ + i);
+    const std::int64_t fcode =
+        (static_cast<std::int64_t>(c) << 16) + static_cast<std::int64_t>(ent);
+    std::uint64_t h = ((c << 8) ^ ent) % kHashSize;
+    // compress95's secondary probe displacement: fixed per initial hash,
+    // and coprime to the (prime) table size, so the probe sequence visits
+    // every slot.
+    const std::uint64_t disp = h == 0 ? 1 : kHashSize - h;
+    m.exec(kExecPerByte);
+
+    bool found = false;
+    while (true) {
+      const std::int64_t slot = m.load<std::int64_t>(htab_ + h * 8);
+      if (slot == -1) break;
+      if (slot == fcode) {
+        ent = m.load<std::uint16_t>(codetab_ + h * 2);
+        found = true;
+        break;
+      }
+      h = h >= disp ? h - disp : h + kHashSize - disp;
+      m.exec(3);
+    }
+    if (found) continue;
+
+    emit(ent);
+    if (free_ent < kMaxCode) {
+      m.store<std::int64_t>(htab_ + h * 8, fcode);
+      m.store<std::uint16_t>(codetab_ + h * 2,
+                             static_cast<std::uint16_t>(free_ent));
+      ++free_ent;
+    } else {
+      // Table full: emit CLEAR and start over (block compression).
+      emit(kClearCode);
+      for (std::uint64_t k = 0; k < kHashSize; ++k) {
+        m.store<std::int64_t>(htab_ + k * 8, -1);
+        m.exec(1);
+      }
+      free_ent = kFirstFree;
+    }
+    ent = c;
+  }
+  emit(ent);
+  return out;
+}
+
+void Compress::lzw_decompress(sim::Machine& m, std::uint64_t comp_len) {
+  std::uint32_t free_ent = kFirstFree;
+  std::uint64_t pos = 0;   // output position in orig
+  std::uint64_t in = 0;    // input position in comp
+  std::uint64_t checksum = 0;
+  // de_stack lives on the simulated stack like compress95's; it is small
+  // and cache-resident.
+  m.address_space().push_frame("decompress");
+  const sim::Addr stack_base =
+      m.address_space().define_local("de_stack", kMaxCode);
+  std::uint64_t sp = 0;
+
+  auto read_code = [&]() -> std::int32_t {
+    if (in >= comp_len) return -1;
+    const std::uint16_t v = m.load<std::uint16_t>(comp_ + in);
+    in += 2;
+    m.exec(2);
+    return v;
+  };
+  auto output = [&](std::uint8_t ch) {
+    m.store<std::uint8_t>(orig_ + pos, ch);
+    checksum = checksum * 131 + ch;
+    ++pos;
+    m.exec(1);
+  };
+
+  std::int32_t code = read_code();
+  if (code < 0) {
+    m.address_space().pop_frame();
+    return;
+  }
+  std::uint32_t oldcode = static_cast<std::uint32_t>(code);
+  std::uint8_t finchar = static_cast<std::uint8_t>(code);
+  output(finchar);
+
+  while ((code = read_code()) >= 0) {
+    if (code == static_cast<std::int32_t>(kClearCode)) {
+      free_ent = kFirstFree;
+      code = read_code();
+      if (code < 0) break;
+      oldcode = static_cast<std::uint32_t>(code);
+      finchar = static_cast<std::uint8_t>(code);
+      output(finchar);
+      continue;
+    }
+    const std::uint32_t incode = static_cast<std::uint32_t>(code);
+    std::uint32_t cur = incode;
+    if (cur >= free_ent) {  // KwKwK
+      m.store<std::uint8_t>(stack_base + sp, finchar);
+      ++sp;
+      cur = oldcode;
+      m.exec(2);
+    }
+    while (cur >= kFirstFree) {
+      m.store<std::uint8_t>(stack_base + sp,
+                            m.load<std::uint8_t>(tab_suffix_ + cur));
+      ++sp;
+      cur = m.load<std::uint16_t>(tab_prefix_ + cur * 2);
+      m.exec(3);
+    }
+    finchar = static_cast<std::uint8_t>(cur);
+    output(finchar);
+    while (sp > 0) {
+      --sp;
+      output(m.load<std::uint8_t>(stack_base + sp));
+    }
+    if (free_ent < kMaxCode) {
+      m.store<std::uint16_t>(tab_prefix_ + free_ent * 2,
+                             static_cast<std::uint16_t>(oldcode));
+      m.store<std::uint8_t>(tab_suffix_ + free_ent, finchar);
+      ++free_ent;
+    }
+    oldcode = incode;
+  }
+  m.address_space().pop_frame();
+  roundtrip_ok_ = (pos == input_bytes_) && (checksum == input_checksum_);
+}
+
+void Compress::run(sim::Machine& machine) {
+  generate_input(machine);
+  for (std::uint64_t r = 0; r < rounds_; ++r) {
+    compressed_bytes_ = lzw_compress(machine);
+    lzw_decompress(machine, compressed_bytes_);
+  }
+}
+
+}  // namespace hpm::workloads

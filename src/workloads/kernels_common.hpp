@@ -1,0 +1,87 @@
+// Shared helpers for the SPEC95-like kernels.
+//
+// The kernels are structured as sequences of "passes" over large arrays —
+// the access-pattern skeleton of the originals.  A pass touches every
+// element of each participating array once, so with arrays larger than the
+// cache each pass contributes size/line_size misses per array; choosing
+// per-array pass counts is how a kernel's per-object miss profile is made
+// to match the paper's "Actual" columns (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/machine.hpp"
+#include "workloads/sim_array.hpp"
+
+namespace hpm::workloads {
+
+/// One pass of y[i] = f(x[i]) with `exec` compute instructions per element.
+inline void map_pass(sim::Machine& m, const Array1D<double>& x,
+                     const Array1D<double>& y, std::uint64_t exec) {
+  const std::uint64_t n = x.size();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double v = x.get(i);
+    y.set(i, v * 0.98 + 0.5);
+    m.exec(exec);
+  }
+}
+
+/// One read-modify-write smoothing pass over `a` (touches each line once).
+inline void rmw_pass(sim::Machine& m, const Array1D<double>& a,
+                     std::uint64_t exec) {
+  const std::uint64_t n = a.size();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double v = a.get(i);
+    a.set(i, v * 0.5 + 1.0);
+    m.exec(exec);
+  }
+}
+
+/// One read-only reduction pass.
+inline double reduce_pass(sim::Machine& m, const Array1D<double>& a,
+                          std::uint64_t exec) {
+  double sum = 0.0;
+  const std::uint64_t n = a.size();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    sum += a.get(i);
+    m.exec(exec);
+  }
+  return sum;
+}
+
+/// One initialisation pass.
+inline void fill_pass(sim::Machine& m, const Array1D<double>& a, double v0,
+                      double dv, std::uint64_t exec) {
+  const std::uint64_t n = a.size();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    a.set(i, v0 + dv * static_cast<double>(i));
+    m.exec(exec);
+  }
+}
+
+/// Pseudo-random rotation for multi-array touch order, derived by hashing
+/// the cache-line index.  Unlike `line % group`, this has no period, so a
+/// fixed sampling stride can never phase-lock onto one array of the group
+/// (only tomcatv is supposed to alias with the sampling interval).
+[[nodiscard]] constexpr std::uint32_t line_rotation(std::uint64_t line,
+                                                    std::uint32_t group) {
+  std::uint64_t z = line + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<std::uint32_t>((z >> 33) % group);
+}
+
+/// Elements per array for a target byte size (doubles).
+[[nodiscard]] constexpr std::uint64_t elems_for_bytes(
+    std::uint64_t bytes) noexcept {
+  return bytes / sizeof(double);
+}
+
+/// Scale a dimension, keeping a sane floor so tiny test scales still work.
+[[nodiscard]] inline std::uint64_t scaled(std::uint64_t n, double scale,
+                                          std::uint64_t floor = 64) {
+  const auto s = static_cast<std::uint64_t>(static_cast<double>(n) * scale);
+  return s < floor ? floor : s;
+}
+
+}  // namespace hpm::workloads

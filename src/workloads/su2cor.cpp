@@ -1,0 +1,62 @@
+#include "workloads/su2cor.hpp"
+
+#include <string>
+
+namespace hpm::workloads {
+
+namespace {
+// Sizes in doubles at scale 1.0 (U 8 MB; R 3.28 MB; S 3.17 MB; W2 2.5 MB
+// each; B 1.5 MB; G* 1.25 MB each).
+constexpr std::uint64_t kU = 1024 * 1024;
+constexpr std::uint64_t kR = 640 * 640;
+constexpr std::uint64_t kS = 630 * 630;
+constexpr std::uint64_t kW2 = 320 * 1024;
+constexpr std::uint64_t kB = 192 * 1024;
+constexpr std::uint64_t kG = 160 * 1024;
+constexpr std::uint64_t kDefaultIterations = 3;
+constexpr std::uint64_t kExec = 3;
+}  // namespace
+
+Su2cor::Su2cor(const WorkloadOptions& options)
+    : scale_(options.scale),
+      iterations_(options.iterations ? options.iterations
+                                     : kDefaultIterations) {}
+
+void Su2cor::setup(sim::Machine& machine) {
+  // The area scales with scale^2 to match the 2-D kernels.
+  const double a = scale_ * scale_;
+  auto count = [&](std::uint64_t base) {
+    return scaled(base, a, 512);
+  };
+  u_ = Array1D<double>::make_static(machine, "U", count(kU));
+  r_ = Array1D<double>::make_static(machine, "R", count(kR));
+  s_ = Array1D<double>::make_static(machine, "S", count(kS));
+  w2_intact_ =
+      Array1D<double>::make_static(machine, "W2-intact", count(kW2));
+  w2_sweep_ = Array1D<double>::make_static(machine, "W2-sweep", count(kW2));
+  b_ = Array1D<double>::make_static(machine, "B", count(kB));
+  for (int i = 0; i < kSmallArrays; ++i) {
+    g_[i] = Array1D<double>::make_static(
+        machine, "G" + std::to_string(i), count(kG));
+  }
+}
+
+void Su2cor::run(sim::Machine& machine) {
+  for (std::uint64_t it = 0; it < iterations_; ++it) {
+    // -- SWEEP phase: Monte Carlo link update.  R, S, W2-sweep, B and the
+    //    small working arrays are hot; U is untouched.
+    map_pass(machine, r_, s_, kExec);  // R read, S write
+    rmw_pass(machine, r_, kExec);      // second R touch
+    rmw_pass(machine, s_, kExec);      // second S touch
+    rmw_pass(machine, w2_sweep_, kExec);
+    rmw_pass(machine, b_, kExec);
+    for (auto& g : g_) rmw_pass(machine, g, kExec);
+
+    // -- INTACT phase: propagator measurement.  U dominates; W2-intact is
+    //    refreshed once.
+    for (int rep = 0; rep < 5; ++rep) rmw_pass(machine, u_, kExec);
+    rmw_pass(machine, w2_intact_, kExec);
+  }
+}
+
+}  // namespace hpm::workloads

@@ -1,0 +1,35 @@
+// su2cor-like quark propagator kernel (SPEC95 103.su2cor).
+//
+// Reproduces the paper's su2cor profile: one dominant lattice array U
+// (~57% of misses) plus a tail of medium arrays (R, S, W2, B) and many
+// small ones.  Crucially, the access pattern *changes between phases*: the
+// early "sweep" phase works on R/S/W2/B while U is almost idle, and the
+// late "intact" phase hammers U.  This is the behaviour that defeats the
+// 2-way search in the paper's Table 2 (U's region is ranked low early and
+// never refined).
+#pragma once
+
+#include <array>
+
+#include "workloads/kernels_common.hpp"
+#include "workloads/workload.hpp"
+
+namespace hpm::workloads {
+
+class Su2cor final : public Workload {
+ public:
+  explicit Su2cor(const WorkloadOptions& options = {});
+
+  [[nodiscard]] std::string_view name() const override { return "su2cor"; }
+  void setup(sim::Machine& machine) override;
+  void run(sim::Machine& machine) override;
+
+ private:
+  double scale_;
+  std::uint64_t iterations_;
+  Array1D<double> u_, r_, s_, w2_intact_, w2_sweep_, b_;
+  static constexpr int kSmallArrays = 10;
+  std::array<Array1D<double>, kSmallArrays> g_;
+};
+
+}  // namespace hpm::workloads

@@ -1,0 +1,35 @@
+// swim-like shallow-water kernel (SPEC95 102.swim).
+//
+// Thirteen equal-size N x N double arrays; each is touched exactly three
+// times per timestep, so every array causes the same share of misses —
+// 1/13 = 7.7%, exactly the profile of the paper's Table 1 (CU, H, P, V, U,
+// CV, Z, VOLD, ... all at 7.7%).
+#pragma once
+
+#include "workloads/kernels_common.hpp"
+#include "workloads/workload.hpp"
+
+namespace hpm::workloads {
+
+class Swim final : public Workload {
+ public:
+  explicit Swim(const WorkloadOptions& options = {});
+
+  [[nodiscard]] std::string_view name() const override { return "swim"; }
+  void setup(sim::Machine& machine) override;
+  void run(sim::Machine& machine) override;
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+  static constexpr int kArrayCount = 13;
+
+ private:
+  std::uint64_t n_;
+  std::uint64_t iterations_;
+  // Velocity/pressure fields, fluxes, vorticity, height, previous step.
+  Array2D<double> u_, v_, p_;
+  Array2D<double> unew_, vnew_, pnew_;
+  Array2D<double> uold_, vold_, pold_;
+  Array2D<double> cu_, cv_, z_, h_;
+};
+
+}  // namespace hpm::workloads

@@ -1,0 +1,193 @@
+#include "workloads/synthetic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace hpm::workloads {
+
+SyntheticWorkload::SyntheticWorkload(SyntheticSpec spec)
+    : spec_(std::move(spec)) {
+  for (const auto& phase : spec_.phases) {
+    if (phase.sweeps.size() != spec_.arrays.size()) {
+      throw std::invalid_argument(
+          "SyntheticSpec: phase sweep vector size != array count");
+    }
+    if (spec_.lockstep) {
+      for (auto s : phase.sweeps) {
+        if (s > 1) {
+          throw std::invalid_argument(
+              "SyntheticSpec: lockstep sweeps are 0/1 (weight via sizes — "
+              "back-to-back re-touches of a line cannot miss)");
+        }
+      }
+    }
+  }
+}
+
+void SyntheticWorkload::setup(sim::Machine& machine) {
+  auto& as = machine.address_space();
+  arrays_.clear();
+  arrays_.reserve(spec_.arrays.size());
+  for (const auto& a : spec_.arrays) {
+    if (a.gap_before > 0 && !a.on_heap) {
+      as.reserve_data_gap(a.gap_before);
+    }
+    if (a.on_heap) {
+      arrays_.push_back(
+          Array1D<double>::make_heap(machine, a.bytes / sizeof(double),
+                                     a.site));
+    } else {
+      arrays_.push_back(Array1D<double>::make_static(
+          machine, a.name, a.bytes / sizeof(double)));
+    }
+  }
+}
+
+void SyntheticWorkload::run(sim::Machine& machine) {
+  constexpr std::uint64_t kDoublesPerLine = 8;
+  for (std::uint32_t it = 0; it < spec_.iterations; ++it) {
+    for (const auto& phase : spec_.phases) {
+      for (std::uint32_t rep = 0; rep < phase.repetitions; ++rep) {
+        if (spec_.lockstep) {
+          // Proportional (Bresenham) interleave: each participating array
+          // advances through its lines at a rate proportional to its size,
+          // so any measurement window sees per-array miss shares equal to
+          // the global shares.
+          std::uint64_t max_lines = 0;
+          for (std::size_t i = 0; i < arrays_.size(); ++i) {
+            if (phase.sweeps[i] > 0) {
+              max_lines = std::max(max_lines,
+                                   arrays_[i].size() / kDoublesPerLine);
+            }
+          }
+          std::vector<std::uint64_t> cursor(arrays_.size(), 0);
+          for (std::uint64_t step = 1; step <= max_lines; ++step) {
+            const std::uint32_t rot = line_rotation(
+                step, static_cast<std::uint32_t>(arrays_.size()));
+            for (std::size_t k = 0; k < arrays_.size(); ++k) {
+              const std::size_t i = (rot + k) % arrays_.size();
+              if (phase.sweeps[i] == 0) continue;
+              const std::uint64_t lines_i =
+                  arrays_[i].size() / kDoublesPerLine;
+              const std::uint64_t target = step * lines_i / max_lines;
+              while (cursor[i] < target) {
+                const std::uint64_t e = cursor[i] * kDoublesPerLine;
+                arrays_[i].set(e, arrays_[i].get(e) * 0.5 + 1.0);
+                machine.exec(spec_.exec_per_access);
+                ++cursor[i];
+              }
+            }
+          }
+        } else {
+          for (std::size_t i = 0; i < arrays_.size(); ++i) {
+            for (std::uint32_t s = 0; s < phase.sweeps[i]; ++s) {
+              rmw_pass(machine, arrays_[i], spec_.exec_per_access);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<double> SyntheticWorkload::expected_shares(
+    std::uint64_t line_size) const {
+  std::vector<double> weight(spec_.arrays.size(), 0.0);
+  double total = 0.0;
+  for (const auto& phase : spec_.phases) {
+    for (std::size_t i = 0; i < spec_.arrays.size(); ++i) {
+      // Either way one miss per line per sweep: lockstep touches each line
+      // once; sequential passes touch every element but still miss once.
+      const double lines = static_cast<double>(spec_.arrays[i].bytes) /
+                           static_cast<double>(line_size);
+      const double w = static_cast<double>(phase.sweeps[i]) *
+                       phase.repetitions * lines;
+      weight[i] += w;
+      total += w;
+    }
+  }
+  if (total > 0) {
+    for (auto& w : weight) w = 100.0 * w / total;
+  }
+  return weight;
+}
+
+SyntheticSpec uniform_spec(std::uint32_t arrays, std::uint64_t bytes_each,
+                           std::uint32_t iterations) {
+  SyntheticSpec spec;
+  spec.name = "uniform";
+  spec.iterations = iterations;
+  SyntheticPhase phase;
+  for (std::uint32_t i = 0; i < arrays; ++i) {
+    spec.arrays.push_back({"ARR" + std::to_string(i), bytes_each});
+    phase.sweeps.push_back(1);
+  }
+  spec.phases.push_back(std::move(phase));
+  return spec;
+}
+
+SyntheticSpec hotspot_spec(std::uint32_t arrays, std::uint64_t bytes_each,
+                           double hot_percent, std::uint32_t iterations) {
+  if (arrays < 2) throw std::invalid_argument("hotspot_spec: need >= 2");
+  SyntheticSpec spec;
+  spec.name = "hotspot";
+  spec.iterations = iterations;
+  SyntheticPhase phase;
+  // hot gets h sweeps, the others 1 each: h / (h + n - 1) = p/100.
+  const double p = hot_percent / 100.0;
+  const auto rest = static_cast<double>(arrays - 1);
+  const auto hot = static_cast<std::uint32_t>(
+      p * rest / (1.0 - p) + 0.5);
+  spec.arrays.push_back({"HOT", bytes_each});
+  phase.sweeps.push_back(hot == 0 ? 1 : hot);
+  for (std::uint32_t i = 1; i < arrays; ++i) {
+    spec.arrays.push_back({"COLD" + std::to_string(i), bytes_each});
+    phase.sweeps.push_back(1);
+  }
+  spec.phases.push_back(std::move(phase));
+  return spec;
+}
+
+SyntheticSpec figure2_spec(std::uint64_t bytes_each,
+                           std::uint32_t iterations) {
+  SyntheticSpec spec;
+  spec.name = "figure2";
+  spec.iterations = iterations;
+  spec.lockstep = true;
+  // Address order: A..D fill the lower region (57.5% combined), E and F
+  // the upper one (35% + 7.5%).  Sizes give Figure 2's bar weights: no
+  // array in the lower region reaches E's share on its own, and the span
+  // midpoint falls inside D nearer its *end*, so the first 2-way split
+  // snaps to D's end — putting all of A..D on one side, exactly the
+  // situation of the figure.  `bytes_each` scales the whole layout (it is
+  // the 10%-unit).
+  spec.arrays = {{"A", bytes_each},          {"B", bytes_each},
+                 {"C", bytes_each * 2},      {"D", bytes_each * 7 / 4},
+                 {"E", bytes_each * 7 / 2},  {"F", bytes_each * 3 / 4}};
+  SyntheticPhase phase;
+  phase.sweeps = {1, 1, 1, 1, 1, 1};  // 10/10/20/17.5/35/7.5 percent
+  spec.phases.push_back(std::move(phase));
+  return spec;
+}
+
+SyntheticSpec phased_spec(std::uint64_t bytes_each,
+                          std::uint32_t iterations) {
+  SyntheticSpec spec;
+  spec.name = "phased";
+  spec.iterations = iterations;
+  spec.lockstep = true;
+  spec.arrays = {{"HOT_EARLY", bytes_each * 4},
+                 {"HOT_LATE", bytes_each * 4},
+                 {"STEADY", bytes_each}};
+  // A warm-up phase where everything is hot (so the search measures every
+  // region nonzero at least once), then alternating idle phases: HOT_LATE
+  // fully idle, then HOT_EARLY fully idle — the applu/Figure 5 pattern in
+  // its sharpest form.
+  spec.phases.push_back({{1, 1, 1}, 1});
+  spec.phases.push_back({{1, 0, 1}, 1});
+  spec.phases.push_back({{0, 1, 1}, 1});
+  return spec;
+}
+
+}  // namespace hpm::workloads

@@ -1,0 +1,100 @@
+// Parameterizable synthetic workloads for tests and ablation benches.
+//
+// A SyntheticSpec declares named arrays (static or heap) and a phase
+// program; each phase sweeps its arrays a given number of times per
+// repetition.  Because sweep counts map directly to miss shares (arrays
+// larger than the cache miss every line per sweep), tests can state exact
+// expected profiles.  Factories below build the special layouts the paper
+// discusses: the Figure 2 priority-queue scenario, a boundary-spanning
+// array, phased access, heap churn, and stack-local traffic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/kernels_common.hpp"
+#include "workloads/workload.hpp"
+
+namespace hpm::workloads {
+
+struct SyntheticArray {
+  std::string name;
+  std::uint64_t bytes = 0;
+  bool on_heap = false;
+  sim::AllocSite site = sim::kNoSite;
+  /// Extra bytes of unused address space before this array (layout control
+  /// for region-boundary scenarios).
+  std::uint64_t gap_before = 0;
+};
+
+struct SyntheticPhase {
+  /// sweeps[i] = passes over array i during one repetition of this phase.
+  std::vector<std::uint32_t> sweeps;
+  std::uint32_t repetitions = 1;
+};
+
+struct SyntheticSpec {
+  std::string name = "synthetic";
+  std::vector<SyntheticArray> arrays;
+  std::vector<SyntheticPhase> phases;
+  std::uint32_t iterations = 1;      ///< whole phase-program repetitions
+  std::uint64_t exec_per_access = 2;
+  /// Sweep style.  Sequential (default): arrays are swept one after the
+  /// other, `sweeps[i]` full passes each — miss weight = sweeps x lines,
+  /// but activity is bursty (an array is idle while the others sweep).
+  /// Lockstep: all participating arrays (sweeps[i] > 0) are streamed
+  /// line-by-line together — every array is active in every measurement
+  /// interval and miss weight = lines, so weights are set via array sizes.
+  bool lockstep = false;
+};
+
+class SyntheticWorkload final : public Workload {
+ public:
+  explicit SyntheticWorkload(SyntheticSpec spec);
+
+  [[nodiscard]] std::string_view name() const override { return spec_.name; }
+  void setup(sim::Machine& machine) override;
+  void run(sim::Machine& machine) override;
+
+  [[nodiscard]] const SyntheticSpec& spec() const noexcept { return spec_; }
+  /// Expected long-run miss share of each array, in percent (sweep-count
+  /// weighted by line count) — ground truth for the property tests.
+  [[nodiscard]] std::vector<double> expected_shares(
+      std::uint64_t line_size = 64) const;
+  [[nodiscard]] sim::Addr array_base(std::size_t index) const {
+    return arrays_.at(index).base();
+  }
+
+ private:
+  SyntheticSpec spec_;
+  std::vector<Array1D<double>> arrays_;
+};
+
+// -- Canned scenarios --------------------------------------------------------
+
+/// k equal arrays, equal sweeps: every object the same share.
+[[nodiscard]] SyntheticSpec uniform_spec(std::uint32_t arrays,
+                                         std::uint64_t bytes_each,
+                                         std::uint32_t iterations = 4);
+
+/// One dominant array (~`hot_percent`% of misses) among `arrays` total.
+[[nodiscard]] SyntheticSpec hotspot_spec(std::uint32_t arrays,
+                                         std::uint64_t bytes_each,
+                                         double hot_percent,
+                                         std::uint32_t iterations = 4);
+
+/// The Figure 2 layout: one half of the address range holds several
+/// mid-weight arrays summing to ~60% of misses; the other half holds a
+/// single array E with more misses than any individual array (~35%).  A
+/// greedy search descends into the 60% half and terminates on the wrong
+/// array; the priority queue backtracks and finds E.
+[[nodiscard]] SyntheticSpec figure2_spec(std::uint64_t bytes_each,
+                                         std::uint32_t iterations = 6);
+
+/// Phased access: arrays alternate between hot and completely idle, like
+/// applu's Figure 5 pattern.
+[[nodiscard]] SyntheticSpec phased_spec(std::uint64_t bytes_each,
+                                        std::uint32_t iterations = 6);
+
+}  // namespace hpm::workloads

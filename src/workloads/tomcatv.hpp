@@ -1,0 +1,41 @@
+// tomcatv-like mesh generation kernel (SPEC95 101.tomcatv).
+//
+// Seven N x N double arrays with the original's names.  Per outer iteration
+// the pass structure gives the miss-share profile of the paper's Table 1:
+//   RX 22.5%, RY 22.5%, AA 15%, DD 10%, X 10%, Y 10%, D 10%.
+//
+// The relaxation passes interleave RX and RY misses in strict alternation,
+// which is what makes an *even* sampling period alias catastrophically
+// (every sample lands on the same array) while a prime period samples both
+// fairly — the §3.1 phenomenon.
+#pragma once
+
+#include "workloads/kernels_common.hpp"
+#include "workloads/workload.hpp"
+
+namespace hpm::workloads {
+
+class Tomcatv final : public Workload {
+ public:
+  explicit Tomcatv(const WorkloadOptions& options = {});
+
+  [[nodiscard]] std::string_view name() const override { return "tomcatv"; }
+  void setup(sim::Machine& machine) override;
+  void run(sim::Machine& machine) override;
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+  [[nodiscard]] std::uint64_t iterations() const noexcept {
+    return iterations_;
+  }
+
+ private:
+  void residual_pass(sim::Machine& m);
+  void relax_pass(sim::Machine& m);
+  void coefficient_pass(sim::Machine& m);
+
+  std::uint64_t n_;
+  std::uint64_t iterations_;
+  Array2D<double> x_, y_, rx_, ry_, aa_, dd_, d_;
+};
+
+}  // namespace hpm::workloads

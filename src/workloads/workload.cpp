@@ -1,0 +1,33 @@
+#include "workloads/workload.hpp"
+
+#include <stdexcept>
+
+#include "workloads/applu.hpp"
+#include "workloads/compress.hpp"
+#include "workloads/ijpeg.hpp"
+#include "workloads/mgrid.hpp"
+#include "workloads/su2cor.hpp"
+#include "workloads/swim.hpp"
+#include "workloads/tomcatv.hpp"
+
+namespace hpm::workloads {
+
+std::unique_ptr<Workload> make_workload(std::string_view name,
+                                        const WorkloadOptions& options) {
+  if (name == "tomcatv") return std::make_unique<Tomcatv>(options);
+  if (name == "swim") return std::make_unique<Swim>(options);
+  if (name == "su2cor") return std::make_unique<Su2cor>(options);
+  if (name == "mgrid") return std::make_unique<Mgrid>(options);
+  if (name == "applu") return std::make_unique<Applu>(options);
+  if (name == "compress") return std::make_unique<Compress>(options);
+  if (name == "ijpeg") return std::make_unique<Ijpeg>(options);
+  throw std::invalid_argument("unknown workload: " + std::string(name));
+}
+
+const std::vector<std::string>& paper_workload_names() {
+  static const std::vector<std::string> names = {
+      "tomcatv", "swim", "su2cor", "mgrid", "applu", "compress", "ijpeg"};
+  return names;
+}
+
+}  // namespace hpm::workloads

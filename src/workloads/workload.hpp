@@ -1,0 +1,52 @@
+// Workload framework: the "applications" the measurement techniques run on.
+//
+// Each workload is a scaled-down, from-scratch reimplementation of one of
+// the paper's SPEC95 benchmarks (or a parameterizable synthetic).  It
+// declares named program objects through the simulated address space —
+// which feeds the ObjectMap exactly the way symbol tables and instrumented
+// malloc feed the paper's tool — and then runs a real computation whose
+// per-object cache-miss profile matches the shape of the paper's "Actual"
+// columns.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace hpm::workloads {
+
+struct WorkloadOptions {
+  /// Linear size factor; 1.0 is bench scale (arrays larger than the 2 MB
+  /// cache), smaller values are for tests (use with a smaller cache).
+  double scale = 1.0;
+  /// Outer iterations; 0 picks the workload's default.
+  std::uint64_t iterations = 0;
+  std::uint64_t seed = 0x5ca1ab1e;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Define globals / allocate initial heap blocks.  Call exactly once,
+  /// after the ObjectMap has been attached to the machine's address space.
+  virtual void setup(sim::Machine& machine) = 0;
+  /// Run the kernel to completion.  The instruction stream is a
+  /// deterministic function of the options, independent of any installed
+  /// measurement tool.
+  virtual void run(sim::Machine& machine) = 0;
+};
+
+/// Factory for the seven paper workloads: "tomcatv", "swim", "su2cor",
+/// "mgrid", "applu", "compress", "ijpeg".  Throws std::invalid_argument for
+/// unknown names.
+[[nodiscard]] std::unique_ptr<Workload> make_workload(
+    std::string_view name, const WorkloadOptions& options = {});
+
+/// Names of all paper workloads, in the paper's table order.
+[[nodiscard]] const std::vector<std::string>& paper_workload_names();
+
+}  // namespace hpm::workloads

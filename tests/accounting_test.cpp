@@ -1,0 +1,183 @@
+// Virtual-cycle and perturbation accounting invariants — the bookkeeping
+// behind Figures 3 and 4.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace hpm {
+namespace {
+
+workloads::SyntheticWorkload streaming_workload(std::uint32_t iterations) {
+  workloads::SyntheticSpec spec;
+  spec.lockstep = true;
+  spec.arrays = {{"S", 512 * 1024}, {"T", 512 * 1024}};
+  spec.phases.push_back({{1, 1}, 1});
+  spec.iterations = iterations;
+  return workloads::SyntheticWorkload(spec);
+}
+
+harness::RunConfig base_config() {
+  harness::RunConfig config;
+  config.machine.cache.size_bytes = 128 * 1024;
+  return config;
+}
+
+TEST(CycleAccounting, RefCostDecomposition) {
+  sim::Machine machine;
+  const auto& cycles = machine.config().cycles;
+  const sim::Addr a = machine.address_space().define_static("a", 128);
+  machine.touch(a);  // miss
+  EXPECT_EQ(machine.stats().app_cycles,
+            cycles.cycles_per_instruction + cycles.cache_miss_penalty);
+  machine.touch(a);  // hit
+  EXPECT_EQ(machine.stats().app_cycles,
+            2 * cycles.cycles_per_instruction + cycles.cache_miss_penalty +
+                cycles.cache_hit_extra);
+}
+
+TEST(CycleAccounting, ToolAndAppPlanesAreSeparate) {
+  sim::Machine machine;
+  const sim::Addr a = machine.address_space().define_static("a", 128);
+  const sim::Addr t = machine.address_space().alloc_instr(128);
+  machine.touch(a);
+  const auto app_cycles = machine.stats().app_cycles;
+  machine.tool_touch(t);
+  machine.tool_exec(500);
+  EXPECT_EQ(machine.stats().app_cycles, app_cycles);  // unchanged
+  EXPECT_EQ(machine.stats().tool_cycles,
+            500 + machine.config().cycles.ref_cost(false));
+  EXPECT_EQ(machine.stats().total_cycles(),
+            app_cycles + machine.stats().tool_cycles);
+}
+
+TEST(CycleAccounting, SamplingOverheadMatchesInterruptModel) {
+  // Figure 4's model: slowdown ~= interrupts x (interrupt_cost + handler).
+  auto workload = streaming_workload(20);
+  auto config = base_config();
+  config.tool = harness::ToolKind::kSampler;
+  config.sampler.period = 1'000;
+  const auto result = harness::run_experiment(config, workload);
+
+  auto baseline_workload = streaming_workload(20);
+  const auto baseline =
+      harness::run_experiment(base_config(), baseline_workload);
+
+  const auto tool_cycles = result.stats.tool_cycles;
+  const auto interrupts = result.stats.interrupts;
+  ASSERT_GT(interrupts, 0u);
+  const double per_interrupt =
+      static_cast<double>(tool_cycles) / static_cast<double>(interrupts);
+  // ~8,800 delivery + a small handler: the paper's ~9,000 cycles.
+  EXPECT_GT(per_interrupt, 8'800.0);
+  EXPECT_LT(per_interrupt, 11'000.0);
+  // Total slowdown = tool cycles plus perturbation-induced app misses.
+  EXPECT_GE(result.stats.total_cycles(),
+            baseline.stats.total_cycles() + tool_cycles -
+                tool_cycles / 10);
+}
+
+TEST(CycleAccounting, SearchUsesFarFewerInterruptsThanSampling) {
+  // §3.3: "The search algorithm achieves its efficiency by requiring very
+  // few interrupts."
+  auto sampled_workload = streaming_workload(30);
+  auto sample_cfg = base_config();
+  sample_cfg.tool = harness::ToolKind::kSampler;
+  sample_cfg.sampler.period = 1'000;
+  const auto sampled = harness::run_experiment(sample_cfg, sampled_workload);
+
+  auto searched_workload = streaming_workload(30);
+  auto search_cfg = base_config();
+  search_cfg.tool = harness::ToolKind::kSearch;
+  search_cfg.search.n = 8;
+  search_cfg.search.initial_interval = 500'000;
+  const auto searched =
+      harness::run_experiment(search_cfg, searched_workload);
+
+  EXPECT_LT(searched.stats.interrupts * 10, sampled.stats.interrupts);
+  // ...but each search interrupt costs much more than a sampling one.
+  const double search_per =
+      static_cast<double>(searched.stats.tool_cycles) /
+      static_cast<double>(searched.stats.interrupts);
+  const double sample_per =
+      static_cast<double>(sampled.stats.tool_cycles) /
+      static_cast<double>(sampled.stats.interrupts);
+  EXPECT_GT(search_per, sample_per * 1.3);
+}
+
+TEST(Perturbation, IdenticalAppStreamAcrossConfigs) {
+  // Figure 3's precondition: "the applications were allowed to execute for
+  // the same number of application instructions."
+  std::uint64_t app_instructions[3];
+  int i = 0;
+  for (auto tool : {harness::ToolKind::kNone, harness::ToolKind::kSampler,
+                    harness::ToolKind::kSearch}) {
+    auto workload = streaming_workload(10);
+    auto config = base_config();
+    config.tool = tool;
+    config.sampler.period = 2'000;
+    config.search.initial_interval = 300'000;
+    app_instructions[i++] =
+        harness::run_experiment(config, workload).stats.app_instructions;
+  }
+  EXPECT_EQ(app_instructions[0], app_instructions[1]);
+  EXPECT_EQ(app_instructions[0], app_instructions[2]);
+}
+
+TEST(Perturbation, ToolTrafficCanEvictApplicationLines) {
+  // Measure app-plane misses (not just totals): instrumentation cache
+  // pollution shows up as extra *application* misses.
+  auto run = [&](bool instrumented) {
+    auto workload = streaming_workload(10);
+    auto config = base_config();
+    if (instrumented) {
+      config.tool = harness::ToolKind::kSampler;
+      config.sampler.period = 5'000;
+    }
+    return harness::run_experiment(config, workload).stats;
+  };
+  const auto base = run(false);
+  const auto inst = run(true);
+  EXPECT_GE(inst.app_misses + inst.tool_misses, base.app_misses);
+  // And the increase is tiny, as in Figure 3 (well under 1%).
+  const double increase =
+      100.0 *
+      (static_cast<double>(inst.total_misses()) -
+       static_cast<double>(base.app_misses)) /
+      static_cast<double>(base.app_misses);
+  EXPECT_LT(increase, 1.0);
+}
+
+TEST(Perturbation, InterruptCostIsConfigurable) {
+  auto workload = streaming_workload(5);
+  auto config = base_config();
+  config.tool = harness::ToolKind::kSampler;
+  config.sampler.period = 1'000;
+  config.machine.cycles.interrupt_cost = 100;  // hypothetical fast interrupts
+  const auto cheap = harness::run_experiment(config, workload);
+  auto workload2 = streaming_workload(5);
+  config.machine.cycles.interrupt_cost = 8'800;
+  const auto paper = harness::run_experiment(config, workload2);
+  EXPECT_EQ(cheap.stats.interrupts, paper.stats.interrupts);
+  EXPECT_LT(cheap.stats.tool_cycles, paper.stats.tool_cycles);
+  const auto delta = paper.stats.tool_cycles - cheap.stats.tool_cycles;
+  EXPECT_EQ(delta, (8'800 - 100) * paper.stats.interrupts);
+}
+
+TEST(Perturbation, MissPenaltyAffectsCyclesNotMisses) {
+  auto run = [&](sim::Cycles penalty) {
+    auto workload = streaming_workload(5);
+    auto config = base_config();
+    config.machine.cycles.cache_miss_penalty = penalty;
+    return harness::run_experiment(config, workload).stats;
+  };
+  const auto fast = run(10);
+  const auto slow = run(200);
+  EXPECT_EQ(fast.app_misses, slow.app_misses);
+  EXPECT_LT(fast.app_cycles, slow.app_cycles);
+  EXPECT_EQ(slow.app_cycles - fast.app_cycles,
+            (200 - 10) * fast.app_misses);
+}
+
+}  // namespace
+}  // namespace hpm

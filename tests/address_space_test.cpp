@@ -1,0 +1,220 @@
+#include "sim/address_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace hpm::sim {
+namespace {
+
+TEST(AddressSpace, StaticAllocationIsBumpAndAligned) {
+  AddressSpace as;
+  const Addr a = as.define_static("A", 100);
+  const Addr b = as.define_static("B", 100);
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_GE(b, a + 100);
+  EXPECT_TRUE(as.layout().data.contains(a));
+  EXPECT_TRUE(as.layout().data.contains(b));
+}
+
+TEST(AddressSpace, StaticHookFires) {
+  AddressSpace as;
+  std::vector<std::string> names;
+  AddressSpace::Hooks hooks;
+  hooks.on_static = [&](std::string_view name, Addr, std::uint64_t) {
+    names.emplace_back(name);
+  };
+  as.set_hooks(std::move(hooks));
+  (void)as.define_static("X", 8);
+  (void)as.define_static("Y", 8);
+  EXPECT_EQ(names, (std::vector<std::string>{"X", "Y"}));
+}
+
+TEST(AddressSpace, RejectsBadStatic) {
+  AddressSpace as;
+  EXPECT_THROW((void)as.define_static("Z", 0), std::invalid_argument);
+  EXPECT_THROW((void)as.define_static("Z", 8, 3), std::invalid_argument);
+}
+
+TEST(AddressSpace, HeapBaseMatchesPaperLayout) {
+  AddressSpace as;
+  // The first heap block lands at 0x141000000 — the address family the
+  // paper uses as object names for ijpeg.
+  EXPECT_EQ(as.malloc(64), 0x141000000ULL);
+}
+
+TEST(AddressSpace, IjpegAllocationSequenceReproducesPaperNames) {
+  AddressSpace as;
+  (void)as.malloc(0x1e000);              // work buffer
+  const Addr second = as.malloc(0x2000); // row pointers
+  const Addr third = as.malloc(1 << 20); // image
+  EXPECT_EQ(second, 0x14101e000ULL);
+  EXPECT_EQ(third, 0x141020000ULL);
+}
+
+TEST(AddressSpace, MallocAlignsTo64) {
+  AddressSpace as;
+  const Addr a = as.malloc(1);
+  const Addr b = as.malloc(1);
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_EQ(b - a, 64u);  // blocks never share a cache line
+}
+
+TEST(AddressSpace, FreeReusesSpaceFirstFit) {
+  AddressSpace as;
+  const Addr a = as.malloc(128);
+  const Addr b = as.malloc(128);
+  (void)b;
+  as.free(a);
+  // First fit: the freed hole is reused for a block that fits.
+  EXPECT_EQ(as.malloc(128), a);
+}
+
+TEST(AddressSpace, FreeCoalescesNeighbours) {
+  AddressSpace as;
+  const Addr a = as.malloc(64);
+  const Addr b = as.malloc(64);
+  const Addr c = as.malloc(64);
+  (void)as.malloc(64);  // guard so the tail free block is separate
+  as.free(a);
+  as.free(c);
+  as.free(b);  // merges a+b+c into one hole
+  EXPECT_EQ(as.malloc(192), a);
+}
+
+TEST(AddressSpace, HeapAccounting) {
+  AddressSpace as;
+  EXPECT_EQ(as.heap_bytes_in_use(), 0u);
+  const Addr a = as.malloc(100);  // rounded to 128
+  EXPECT_EQ(as.heap_bytes_in_use(), 128u);
+  EXPECT_EQ(as.heap_block_size(a), 128u);
+  as.free(a);
+  EXPECT_EQ(as.heap_bytes_in_use(), 0u);
+  EXPECT_EQ(as.heap_block_size(a), 0u);
+}
+
+TEST(AddressSpace, FreeOfNonBlockThrows) {
+  AddressSpace as;
+  const Addr a = as.malloc(64);
+  EXPECT_THROW(as.free(a + 64), std::invalid_argument);
+  as.free(a);
+  EXPECT_THROW(as.free(a), std::invalid_argument);  // double free
+  as.free(kNullAddr);                               // free(NULL) is a no-op
+}
+
+TEST(AddressSpace, AllocFreeHooksFire) {
+  AddressSpace as;
+  int allocs = 0;
+  int frees = 0;
+  AllocSite seen_site = kNoSite;
+  AddressSpace::Hooks hooks;
+  hooks.on_alloc = [&](Addr, std::uint64_t, AllocSite site) {
+    ++allocs;
+    seen_site = site;
+  };
+  hooks.on_free = [&](Addr) { ++frees; };
+  as.set_hooks(std::move(hooks));
+  const Addr a = as.malloc(64, /*site=*/7);
+  as.free(a);
+  EXPECT_EQ(allocs, 1);
+  EXPECT_EQ(frees, 1);
+  EXPECT_EQ(seen_site, 7u);
+}
+
+TEST(AddressSpace, MallocChurnStaysDeterministic) {
+  auto run = [] {
+    AddressSpace as;
+    std::vector<Addr> live;
+    std::uint64_t sig = 0;
+    for (int i = 0; i < 2000; ++i) {
+      if (i % 3 == 2 && !live.empty()) {
+        as.free(live[static_cast<std::size_t>(i) % live.size()]);
+        live.erase(live.begin() +
+                   static_cast<std::ptrdiff_t>(
+                       static_cast<std::size_t>(i) % live.size()));
+      } else {
+        live.push_back(as.malloc(64 + (static_cast<std::uint64_t>(i) % 17) * 64));
+      }
+      sig = sig * 1315423911u + (live.empty() ? 0 : live.back());
+    }
+    return sig;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(AddressSpace, StackFramesAndLocals) {
+  AddressSpace as;
+  const Addr sp0 = as.stack_pointer();
+  as.push_frame("main");
+  const Addr x = as.define_local("x", 64);
+  EXPECT_LT(x, sp0);
+  EXPECT_TRUE(as.layout().stack.contains(x));
+  as.push_frame("callee");
+  const Addr y = as.define_local("y", 32);
+  EXPECT_LT(y, x);
+  as.pop_frame();
+  as.pop_frame();
+  EXPECT_EQ(as.stack_pointer(), sp0);
+  EXPECT_EQ(as.frame_depth(), 0u);
+}
+
+TEST(AddressSpace, StackHooksFire) {
+  AddressSpace as;
+  std::vector<std::string> events;
+  AddressSpace::Hooks hooks;
+  hooks.on_frame_push = [&](std::string_view f) {
+    events.push_back("push:" + std::string(f));
+  };
+  hooks.on_frame_local = [&](std::string_view v, Addr, std::uint64_t) {
+    events.push_back("local:" + std::string(v));
+  };
+  hooks.on_frame_pop = [&]() { events.emplace_back("pop"); };
+  as.set_hooks(std::move(hooks));
+  as.push_frame("f");
+  (void)as.define_local("buf", 16);
+  as.pop_frame();
+  EXPECT_EQ(events,
+            (std::vector<std::string>{"push:f", "local:buf", "pop"}));
+}
+
+TEST(AddressSpace, LocalOutsideFrameThrows) {
+  AddressSpace as;
+  EXPECT_THROW((void)as.define_local("x", 8), std::logic_error);
+  EXPECT_THROW(as.pop_frame(), std::logic_error);
+}
+
+TEST(AddressSpace, InstrSegmentIsSeparate) {
+  AddressSpace as;
+  const Addr t = as.alloc_instr(4096);
+  EXPECT_TRUE(as.layout().instr.contains(t));
+  EXPECT_FALSE(as.layout().application_span().contains(t));
+  EXPECT_EQ(as.instr_bytes_in_use(), 4096u);
+}
+
+TEST(AddressSpace, ReserveDataGapSkipsAddresses) {
+  AddressSpace as;
+  const Addr a = as.define_static("A", 64);
+  as.reserve_data_gap(1 << 20);
+  const Addr b = as.define_static("B", 64);
+  EXPECT_GE(b, a + (1 << 20));
+}
+
+TEST(AddressSpace, SegmentsDoNotOverlap) {
+  const SegmentLayout layout;
+  EXPECT_FALSE(layout.data.overlaps(layout.heap));
+  EXPECT_FALSE(layout.data.overlaps(layout.stack));
+  EXPECT_FALSE(layout.data.overlaps(layout.instr));
+  EXPECT_FALSE(layout.heap.overlaps(layout.instr));
+  EXPECT_FALSE(layout.stack.overlaps(layout.heap));
+  // The application span covers stack, data and heap but not instr.
+  EXPECT_TRUE(layout.application_span().contains(layout.data.base));
+  EXPECT_TRUE(layout.application_span().contains(layout.heap.base));
+  EXPECT_TRUE(layout.application_span().contains(layout.stack.base));
+  EXPECT_FALSE(layout.application_span().contains(layout.instr.base));
+}
+
+}  // namespace
+}  // namespace hpm::sim

@@ -1,0 +1,96 @@
+#include "sim/backing_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace hpm::sim {
+namespace {
+
+TEST(BackingStore, UnwrittenMemoryReadsAsZero) {
+  BackingStore store;
+  EXPECT_EQ(store.load<std::uint64_t>(0x1000), 0u);
+  EXPECT_EQ(store.load<std::uint8_t>(0xdeadbeef), 0u);
+  EXPECT_EQ(store.load<double>(0x141020000ULL), 0.0);
+  EXPECT_EQ(store.resident_pages(), 0u);
+}
+
+TEST(BackingStore, RoundTripsScalars) {
+  BackingStore store;
+  store.store<std::uint64_t>(0x2000, 0x1122334455667788ULL);
+  EXPECT_EQ(store.load<std::uint64_t>(0x2000), 0x1122334455667788ULL);
+  store.store<double>(0x3000, 3.25);
+  EXPECT_EQ(store.load<double>(0x3000), 3.25);
+  store.store<std::uint8_t>(0x4000, 0xab);
+  EXPECT_EQ(store.load<std::uint8_t>(0x4000), 0xab);
+}
+
+TEST(BackingStore, DistinctAddressesAreIndependent) {
+  BackingStore store;
+  store.store<std::uint32_t>(0x100, 1);
+  store.store<std::uint32_t>(0x104, 2);
+  EXPECT_EQ(store.load<std::uint32_t>(0x100), 1u);
+  EXPECT_EQ(store.load<std::uint32_t>(0x104), 2u);
+}
+
+TEST(BackingStore, ValuesSurviveOtherPageTraffic) {
+  BackingStore store;
+  store.store<std::uint64_t>(0x10, 42);
+  for (std::uint64_t page = 1; page < 64; ++page) {
+    store.store<std::uint64_t>(page * BackingStore::kPageSize, page);
+  }
+  EXPECT_EQ(store.load<std::uint64_t>(0x10), 42u);
+}
+
+TEST(BackingStore, CrossPageScalarAccess) {
+  BackingStore store;
+  const Addr boundary = BackingStore::kPageSize;
+  const Addr addr = boundary - 4;  // 8-byte value spanning two pages
+  store.store<std::uint64_t>(addr, 0xa1b2c3d4e5f60718ULL);
+  EXPECT_EQ(store.load<std::uint64_t>(addr), 0xa1b2c3d4e5f60718ULL);
+  // The halves are visible byte-wise on both pages.
+  EXPECT_NE(store.load<std::uint8_t>(boundary - 1), 0u);
+}
+
+TEST(BackingStore, BulkReadWrite) {
+  BackingStore store;
+  std::vector<std::uint8_t> data(200'000);
+  util::SplitMix64 rng(7);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  const Addr base = BackingStore::kPageSize - 1234;  // multi-page span
+  store.write_bytes(base, data.data(), data.size());
+  std::vector<std::uint8_t> out(data.size());
+  store.read_bytes(base, out.data(), out.size());
+  EXPECT_EQ(data, out);
+}
+
+TEST(BackingStore, FillSetsBytes) {
+  BackingStore store;
+  store.fill(0x500, 0xcc, 300);
+  EXPECT_EQ(store.load<std::uint8_t>(0x500), 0xcc);
+  EXPECT_EQ(store.load<std::uint8_t>(0x500 + 299), 0xcc);
+  EXPECT_EQ(store.load<std::uint8_t>(0x500 + 300), 0u);
+}
+
+TEST(BackingStore, PagesMaterialiseLazily) {
+  BackingStore store;
+  store.store<std::uint8_t>(0, 1);
+  store.store<std::uint8_t>(10 * BackingStore::kPageSize, 1);
+  EXPECT_EQ(store.resident_pages(), 2u);
+  // Reads do not materialise pages.
+  (void)store.load<std::uint64_t>(99 * BackingStore::kPageSize);
+  EXPECT_EQ(store.resident_pages(), 2u);
+}
+
+TEST(BackingStore, SparseHighAddresses) {
+  BackingStore store;
+  const Addr high = 0x7fff'ffff'0000ULL;
+  store.store<std::uint64_t>(high, 99);
+  EXPECT_EQ(store.load<std::uint64_t>(high), 99u);
+}
+
+}  // namespace
+}  // namespace hpm::sim

@@ -1,0 +1,163 @@
+// Deeper cache-model validation: write policies, and an equivalence proof
+// of the LRU implementation against an independent reference model (an
+// explicit recency list per set).
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "util/prng.hpp"
+
+namespace hpm::sim {
+namespace {
+
+CacheConfig small_config() {
+  CacheConfig c;
+  c.size_bytes = 8 * 1024;
+  c.line_size = 64;
+  c.associativity = 8;
+  return c;
+}
+
+// -- Write policies ----------------------------------------------------------
+
+TEST(WritePolicyModel, WriteThroughNeverWritesBack) {
+  CacheConfig config = small_config();
+  config.write_policy = WritePolicy::kWriteThroughNoAllocate;
+  Cache cache(config);
+  util::Xoshiro256 rng(3);
+  for (int i = 0; i < 50'000; ++i) {
+    (void)cache.access(rng.next_below(1 << 20), (i & 1) == 0);
+  }
+  EXPECT_EQ(cache.writebacks(), 0u);
+}
+
+TEST(WritePolicyModel, StoreMissDoesNotAllocate) {
+  CacheConfig config = small_config();
+  config.write_policy = WritePolicy::kWriteThroughNoAllocate;
+  Cache cache(config);
+  EXPECT_FALSE(cache.access(0x1000, true).hit);   // store miss: no fill
+  EXPECT_FALSE(cache.probe(0x1000));
+  EXPECT_FALSE(cache.access(0x1000, false).hit);  // load miss: fills
+  EXPECT_TRUE(cache.probe(0x1000));
+  EXPECT_TRUE(cache.access(0x1000, true).hit);    // store hit: stays clean
+}
+
+TEST(WritePolicyModel, WriteBackAllocatesOnStoreMiss) {
+  Cache cache(small_config());  // default write-back/allocate
+  EXPECT_FALSE(cache.access(0x1000, true).hit);
+  EXPECT_TRUE(cache.probe(0x1000));
+  EXPECT_TRUE(cache.access(0x1000, false).hit);
+}
+
+TEST(WritePolicyModel, StreamingStoresMissEveryLineUnderBothPolicies) {
+  // The workload design's miss arithmetic (one miss per line per pass)
+  // holds under either policy for store sweeps.
+  for (auto policy : {WritePolicy::kWriteBackAllocate,
+                      WritePolicy::kWriteThroughNoAllocate}) {
+    CacheConfig config = small_config();
+    config.write_policy = policy;
+    Cache cache(config);
+    for (int pass = 0; pass < 3; ++pass) {
+      const std::uint64_t before = cache.misses();
+      for (Addr a = 0; a < (64 << 10); a += 64) (void)cache.access(a, true);
+      EXPECT_EQ(cache.misses() - before, (64u << 10) / 64);
+    }
+  }
+}
+
+// -- LRU reference model -------------------------------------------------------
+
+// Independent LRU: per-set std::list of tags, most recent at front.
+class ReferenceLru {
+ public:
+  explicit ReferenceLru(const CacheConfig& config)
+      : config_(config), sets_(config.num_sets()) {}
+
+  bool access(Addr addr) {
+    const std::uint64_t line = addr / config_.line_size;
+    const std::uint64_t set = line % config_.num_sets();
+    const std::uint64_t tag = line / config_.num_sets();
+    auto& recency = sets_[set];
+    for (auto it = recency.begin(); it != recency.end(); ++it) {
+      if (*it == tag) {
+        recency.erase(it);
+        recency.push_front(tag);
+        return true;  // hit
+      }
+    }
+    recency.push_front(tag);
+    if (recency.size() > config_.associativity) recency.pop_back();
+    return false;
+  }
+
+ private:
+  CacheConfig config_;
+  std::vector<std::list<std::uint64_t>> sets_;
+};
+
+class LruEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LruEquivalence, MatchesReferenceModelOnRandomTraffic) {
+  const CacheConfig config = small_config();
+  Cache cache(config);
+  ReferenceLru reference(config);
+  util::Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 100'000; ++i) {
+    // A mix of hot (small range) and cold (large range) addresses.
+    const Addr addr = (i % 3 == 0) ? rng.next_below(4 << 10)
+                                   : rng.next_below(1 << 20);
+    const bool expected_hit = reference.access(addr);
+    const bool actual_hit = cache.access(addr, (i & 7) == 0).hit;
+    ASSERT_EQ(actual_hit, expected_hit) << "ref " << i << " addr " << addr;
+  }
+}
+
+TEST_P(LruEquivalence, MatchesReferenceModelOnStridedTraffic) {
+  const CacheConfig config = small_config();
+  Cache cache(config);
+  ReferenceLru reference(config);
+  util::Xoshiro256 rng(GetParam() * 977);
+  Addr addr = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    addr += 64 * (1 + rng.next_below(5));
+    if (i % 100 == 99) addr = rng.next_below(1 << 16);  // occasional jump
+    ASSERT_EQ(cache.access(addr, false).hit, reference.access(addr)) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LruEquivalence,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+TEST(LruEquivalence, DirectMappedDegenerateCase) {
+  CacheConfig config;
+  config.size_bytes = 4096;
+  config.line_size = 64;
+  config.associativity = 1;  // direct mapped
+  Cache cache(config);
+  ReferenceLru reference(config);
+  util::Xoshiro256 rng(9);
+  for (int i = 0; i < 50'000; ++i) {
+    const Addr addr = rng.next_below(32 << 10);
+    ASSERT_EQ(cache.access(addr, false).hit, reference.access(addr)) << i;
+  }
+}
+
+TEST(LruEquivalence, FullyAssociativeDegenerateCase) {
+  CacheConfig config;
+  config.size_bytes = 4096;
+  config.line_size = 64;
+  config.associativity = 64;  // one set
+  Cache cache(config);
+  ReferenceLru reference(config);
+  util::Xoshiro256 rng(10);
+  for (int i = 0; i < 30'000; ++i) {
+    const Addr addr = rng.next_below(16 << 10);
+    ASSERT_EQ(cache.access(addr, false).hit, reference.access(addr)) << i;
+  }
+}
+
+}  // namespace
+}  // namespace hpm::sim

@@ -1,0 +1,247 @@
+#include "sim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace hpm::sim {
+namespace {
+
+CacheConfig small_config(ReplacementPolicy policy = ReplacementPolicy::kLru) {
+  CacheConfig c;
+  c.size_bytes = 8 * 1024;  // 8 KB: 16 sets x 8 ways x 64 B
+  c.line_size = 64;
+  c.associativity = 8;
+  c.policy = policy;
+  return c;
+}
+
+TEST(CacheConfig, ValidatesGeometry) {
+  EXPECT_TRUE(CacheConfig{}.valid());  // the paper's 2 MB default
+  CacheConfig c = small_config();
+  EXPECT_TRUE(c.valid());
+  c.line_size = 48;
+  EXPECT_FALSE(c.valid());
+  c = small_config();
+  c.size_bytes = 3000;
+  EXPECT_FALSE(c.valid());
+  c = small_config();
+  c.associativity = 0;
+  EXPECT_FALSE(c.valid());
+}
+
+TEST(CacheConfig, NumSets) {
+  CacheConfig c;
+  EXPECT_EQ(c.num_sets(), 2ULL * 1024 * 1024 / (64 * 8));
+  EXPECT_EQ(small_config().num_sets(), 16u);
+}
+
+TEST(Cache, RejectsBadConfig) {
+  CacheConfig c = small_config();
+  c.line_size = 100;
+  EXPECT_THROW(Cache cache(c), std::invalid_argument);
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache cache(small_config());
+  EXPECT_FALSE(cache.access(0x1000, false).hit);
+  EXPECT_TRUE(cache.access(0x1000, false).hit);
+  EXPECT_TRUE(cache.access(0x103f, false).hit);   // same line
+  EXPECT_FALSE(cache.access(0x1040, false).hit);  // next line
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(Cache, FillsAllWaysBeforeEvicting) {
+  auto config = small_config();
+  Cache cache(config);
+  const std::uint64_t set_stride = config.num_sets() * config.line_size;
+  // 8 distinct lines mapping to set 0: all cold misses, no eviction.
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const auto r = cache.access(i * set_stride, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_FALSE(r.evicted);
+  }
+  // All 8 hit now.
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(cache.access(i * set_stride, false).hit);
+  }
+  // A 9th line evicts.
+  EXPECT_TRUE(cache.access(8 * set_stride, false).evicted);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  auto config = small_config();
+  Cache cache(config);
+  const std::uint64_t stride = config.num_sets() * config.line_size;
+  for (std::uint32_t i = 0; i < 8; ++i) (void)cache.access(i * stride, false);
+  // Touch 0..6, leaving 7 least recently used.
+  for (std::uint32_t i = 0; i < 7; ++i) (void)cache.access(i * stride, false);
+  const auto r = cache.access(8 * stride, false);
+  EXPECT_TRUE(r.evicted);
+  EXPECT_EQ(r.victim_line, 7 * stride);
+  EXPECT_FALSE(cache.probe(7 * stride));
+  EXPECT_TRUE(cache.probe(0));
+}
+
+TEST(Cache, FifoIgnoresHits) {
+  auto config = small_config(ReplacementPolicy::kFifo);
+  Cache cache(config);
+  const std::uint64_t stride = config.num_sets() * config.line_size;
+  for (std::uint32_t i = 0; i < 8; ++i) (void)cache.access(i * stride, false);
+  // Re-touch line 0 many times; FIFO still evicts it first.
+  for (int k = 0; k < 10; ++k) (void)cache.access(0, false);
+  const auto r = cache.access(8 * stride, false);
+  EXPECT_TRUE(r.evicted);
+  EXPECT_EQ(r.victim_line, 0u);
+}
+
+TEST(Cache, WritebackOnlyForDirtyVictims) {
+  auto config = small_config();
+  Cache cache(config);
+  const std::uint64_t stride = config.num_sets() * config.line_size;
+  (void)cache.access(0, true);  // dirty line
+  for (std::uint32_t i = 1; i < 8; ++i) (void)cache.access(i * stride, false);
+  const auto r = cache.access(8 * stride, false);  // evicts line 0 (LRU)
+  EXPECT_TRUE(r.evicted);
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(cache.writebacks(), 1u);
+  // Clean evictions do not write back.
+  for (std::uint32_t i = 9; i < 17; ++i) {
+    const auto rr = cache.access(i * stride, false);
+    EXPECT_FALSE(rr.writeback) << i;
+  }
+}
+
+TEST(Cache, WriteHitMarksLineDirty) {
+  auto config = small_config();
+  Cache cache(config);
+  const std::uint64_t stride = config.num_sets() * config.line_size;
+  (void)cache.access(0, false);       // clean fill
+  (void)cache.access(0x20, true);     // write hit dirties it
+  for (std::uint32_t i = 1; i < 8; ++i) (void)cache.access(i * stride, false);
+  EXPECT_TRUE(cache.access(8 * stride, false).writeback);
+}
+
+TEST(Cache, FlushEmptiesCache) {
+  Cache cache(small_config());
+  for (int i = 0; i < 100; ++i) (void)cache.access(i * 64, false);
+  EXPECT_GT(cache.resident_lines(), 0u);
+  cache.flush();
+  EXPECT_EQ(cache.resident_lines(), 0u);
+  EXPECT_FALSE(cache.probe(0));
+}
+
+TEST(Cache, StreamingLargerThanCacheMissesEveryLine) {
+  // The workload design relies on this: an array bigger than the cache,
+  // swept repeatedly, misses every line on every sweep.
+  auto config = small_config();
+  Cache cache(config);
+  const std::uint64_t lines = 4 * config.size_bytes / config.line_size;
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    const std::uint64_t before = cache.misses();
+    for (std::uint64_t i = 0; i < lines; ++i) {
+      (void)cache.access(i * config.line_size, false);
+    }
+    EXPECT_EQ(cache.misses() - before, lines) << "sweep " << sweep;
+  }
+}
+
+TEST(Cache, WorkingSetWithinCacheHitsAfterWarmup) {
+  auto config = small_config();
+  Cache cache(config);
+  const std::uint64_t lines = config.size_bytes / config.line_size / 2;
+  for (std::uint64_t i = 0; i < lines; ++i) {
+    (void)cache.access(i * config.line_size, false);
+  }
+  const std::uint64_t before = cache.misses();
+  for (int sweep = 0; sweep < 5; ++sweep) {
+    for (std::uint64_t i = 0; i < lines; ++i) {
+      (void)cache.access(i * config.line_size, false);
+    }
+  }
+  EXPECT_EQ(cache.misses(), before);
+}
+
+class CachePolicyTest
+    : public ::testing::TestWithParam<ReplacementPolicy> {};
+
+TEST_P(CachePolicyTest, HitRateIsSaneOnRandomTraffic) {
+  auto config = small_config(GetParam());
+  Cache cache(config);
+  util::Xoshiro256 rng(123);
+  // Working set of 2x the cache: every policy should land strictly between
+  // "all miss" and "all hit".
+  const std::uint64_t span = 2 * config.size_bytes;
+  for (int i = 0; i < 50'000; ++i) {
+    (void)cache.access(rng.next_below(span), (i & 3) == 0);
+  }
+  EXPECT_GT(cache.hits(), 10'000u);
+  EXPECT_GT(cache.misses(), 5'000u);
+}
+
+TEST_P(CachePolicyTest, ResidentLinesNeverExceedCapacity) {
+  auto config = small_config(GetParam());
+  Cache cache(config);
+  util::Xoshiro256 rng(99);
+  for (int i = 0; i < 20'000; ++i) {
+    (void)cache.access(rng.next_below(1 << 20), false);
+  }
+  EXPECT_LE(cache.resident_lines(), config.size_bytes / config.line_size);
+}
+
+TEST_P(CachePolicyTest, EvictionTargetsTheAccessedSetOnly) {
+  auto config = small_config(GetParam());
+  Cache cache(config);
+  const std::uint64_t stride = config.num_sets() * config.line_size;
+  // Fill set 0 and set 1.
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    (void)cache.access(i * stride, false);
+    (void)cache.access(64 + i * stride, false);
+  }
+  // Thrash set 0; set 1 lines stay resident.
+  for (std::uint32_t i = 8; i < 32; ++i) (void)cache.access(i * stride, false);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(cache.probe(64 + i * stride)) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, CachePolicyTest,
+                         ::testing::Values(ReplacementPolicy::kLru,
+                                           ReplacementPolicy::kFifo,
+                                           ReplacementPolicy::kRandom,
+                                           ReplacementPolicy::kTreePlru));
+
+TEST(Cache, PlruRequiresPow2Associativity) {
+  CacheConfig c = small_config(ReplacementPolicy::kTreePlru);
+  EXPECT_NO_THROW(Cache cache(c));
+  // 8 KB with 3-way associativity is not even a valid geometry; use a
+  // geometry that is valid but has non-pow2 ways? Sets must be pow2, so
+  // pick size accordingly: 16 sets * 3 ways * 64 B = 3072 B (not pow2 size)
+  // -> invalid anyway. PLRU's constraint is therefore covered by valid().
+  c.associativity = 3;
+  EXPECT_THROW(Cache cache(c), std::invalid_argument);
+}
+
+TEST(Cache, DeterministicAcrossIdenticalRuns) {
+  auto run = [](std::uint64_t seed) {
+    auto config = small_config(ReplacementPolicy::kRandom);
+    config.random_seed = seed;
+    Cache cache(config);
+    util::Xoshiro256 rng(42);
+    std::uint64_t misses = 0;
+    for (int i = 0; i < 30'000; ++i) {
+      misses += cache.access(rng.next_below(1 << 18), false).hit ? 0 : 1;
+    }
+    return misses;
+  };
+  EXPECT_EQ(run(1), run(1));
+  EXPECT_NE(run(1), run(2));  // different replacement randomness
+}
+
+}  // namespace
+}  // namespace hpm::sim

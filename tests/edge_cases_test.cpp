@@ -1,0 +1,120 @@
+// Small edge cases not covered elsewhere: AddrRange algebra, Report rvalue
+// access, interrupt corner cases, tool interfaces.
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "sim/machine.hpp"
+#include "sim/types.hpp"
+
+namespace hpm {
+namespace {
+
+TEST(AddrRange, ContainsAndOverlaps) {
+  const sim::AddrRange r{0x100, 0x200};
+  EXPECT_TRUE(r.contains(0x100));
+  EXPECT_TRUE(r.contains(0x1ff));
+  EXPECT_FALSE(r.contains(0x200));
+  EXPECT_FALSE(r.contains(0xff));
+  EXPECT_EQ(r.size(), 0x100u);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE(r.overlaps({0x1ff, 0x300}));
+  EXPECT_TRUE(r.overlaps({0x0, 0x101}));
+  EXPECT_FALSE(r.overlaps({0x200, 0x300}));  // adjacent, half-open
+  EXPECT_FALSE(r.overlaps({0x0, 0x100}));
+  EXPECT_TRUE(r.overlaps({0x150, 0x160}));   // contained
+}
+
+TEST(AddrRange, EmptyRanges) {
+  const sim::AddrRange empty{0x100, 0x100};
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_FALSE(empty.contains(0x100));
+  EXPECT_FALSE(empty.overlaps({0x0, 0x1000}));
+  const sim::AddrRange inverted{0x200, 0x100};
+  EXPECT_TRUE(inverted.empty());
+}
+
+TEST(Report, RvalueRowsMovesSafely) {
+  auto make = [] {
+    std::vector<core::ReportRow> rows = {{"x", {}, 10, 100.0}};
+    return core::Report(std::move(rows), 10);
+  };
+  // Calling rows() on a temporary must yield an owned vector, not a
+  // dangling reference (the bug class caught by ASan during development).
+  auto rows = make().rows();
+  EXPECT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].name, "x");
+  for (const auto& row : make().rows()) {
+    EXPECT_EQ(row.percent, 100.0);
+  }
+}
+
+TEST(Machine, TimerWithoutHandlerIsInert) {
+  sim::Machine machine;
+  machine.arm_timer_in(100);
+  machine.exec(10'000);  // no handler installed: nothing fires, no crash
+  EXPECT_EQ(machine.stats().interrupts, 0u);
+  EXPECT_TRUE(machine.timer_armed());  // still pending until a handler polls
+}
+
+TEST(Machine, OverflowWithoutHandlerStaysPending) {
+  sim::Machine machine;
+  machine.arm_miss_overflow(1);
+  const sim::Addr a = machine.address_space().define_static("a", 64);
+  machine.touch(a);
+  EXPECT_TRUE(machine.pmu().overflow_pending());
+  // Installing a handler later delivers on the next poll point.
+  struct H : sim::InterruptHandler {
+    int fired = 0;
+    void on_interrupt(sim::Machine&, sim::InterruptKind) override {
+      ++fired;
+    }
+  } handler;
+  machine.set_handler(&handler);
+  machine.exec(1);
+  EXPECT_EQ(handler.fired, 1);
+}
+
+TEST(Machine, DisarmTimerCancelsDelivery) {
+  sim::Machine machine;
+  struct H : sim::InterruptHandler {
+    int fired = 0;
+    void on_interrupt(sim::Machine&, sim::InterruptKind) override {
+      ++fired;
+    }
+  } handler;
+  machine.set_handler(&handler);
+  machine.arm_timer_in(100);
+  machine.disarm_timer();
+  machine.exec(10'000);
+  EXPECT_EQ(handler.fired, 0);
+}
+
+TEST(Machine, TouchWritesAreRefsWithoutDataMovement) {
+  sim::Machine machine;
+  const sim::Addr a = machine.address_space().define_static("a", 64);
+  machine.store<std::uint64_t>(a, 42);
+  machine.touch(a, /*write=*/true);  // no data change
+  EXPECT_EQ(machine.load<std::uint64_t>(a), 42u);
+  EXPECT_EQ(machine.stats().app_refs, 3u);
+}
+
+TEST(MachineStats, TotalsAreSums) {
+  sim::Machine machine;
+  const sim::Addr a = machine.address_space().define_static("a", 1 << 16);
+  const sim::Addr t = machine.address_space().alloc_instr(1 << 12);
+  for (int i = 0; i < 16; ++i) {
+    machine.touch(a + static_cast<sim::Addr>(i) * 64);
+  }
+  for (int i = 0; i < 4; ++i) {
+    machine.tool_touch(t + static_cast<sim::Addr>(i) * 64);
+  }
+  const auto& s = machine.stats();
+  EXPECT_EQ(s.total_misses(), s.app_misses + s.tool_misses);
+  EXPECT_EQ(s.total_cycles(), s.app_cycles + s.tool_cycles);
+  EXPECT_EQ(s.app_misses, 16u);
+  EXPECT_EQ(s.tool_misses, 4u);
+}
+
+}  // namespace
+}  // namespace hpm

@@ -1,0 +1,144 @@
+#include "core/exact_profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "objmap/object_map.hpp"
+#include "sim/machine.hpp"
+
+namespace hpm::core {
+namespace {
+
+sim::MachineConfig small_machine() {
+  sim::MachineConfig c;
+  c.cache.size_bytes = 8 * 1024;
+  return c;
+}
+
+class ExactProfilerTest : public ::testing::Test {
+ protected:
+  ExactProfilerTest() : machine_(small_machine()) {
+    map_.attach(machine_.address_space());
+  }
+  void sweep(sim::Addr base, std::uint64_t bytes) {
+    for (std::uint64_t off = 0; off < bytes; off += 64) {
+      machine_.touch(base + off);
+    }
+  }
+  sim::Machine machine_;
+  objmap::ObjectMap map_;
+};
+
+TEST_F(ExactProfilerTest, AttributesMissesToObjects) {
+  const sim::Addr a = machine_.address_space().define_static("a", 64 * 1024);
+  const sim::Addr b = machine_.address_space().define_static("b", 64 * 1024);
+  ExactProfiler profiler(machine_, map_);
+  profiler.start();
+  sweep(a, 64 * 1024);  // 1024 misses
+  sweep(b, 32 * 1024);  // 512 misses
+  profiler.stop();
+
+  const auto report = profiler.report();
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_EQ(report.rows()[0].name, "a");
+  EXPECT_EQ(report.rows()[0].count, 1024u);
+  EXPECT_EQ(report.rows()[1].count, 512u);
+  EXPECT_NEAR(report.rows()[0].percent, 100.0 * 1024 / 1536, 1e-9);
+  EXPECT_EQ(profiler.attributed_misses(), 1536u);
+  EXPECT_EQ(profiler.unattributed_misses(), 0u);
+}
+
+TEST_F(ExactProfilerTest, HitsAreNotCounted) {
+  const sim::Addr a = machine_.address_space().define_static("a", 1024);
+  ExactProfiler profiler(machine_, map_);
+  profiler.start();
+  sweep(a, 1024);
+  sweep(a, 1024);  // fits in cache: all hits
+  profiler.stop();
+  EXPECT_EQ(profiler.report().rows()[0].count, 1024 / 64);
+}
+
+TEST_F(ExactProfilerTest, UnattributedMissesTracked) {
+  ExactProfiler profiler(machine_, map_);
+  profiler.start();
+  // Touch a gap address belonging to no object.
+  machine_.touch(machine_.address_space().layout().heap.base + 0x100000);
+  profiler.stop();
+  EXPECT_EQ(profiler.attributed_misses(), 0u);
+  EXPECT_EQ(profiler.unattributed_misses(), 1u);
+  EXPECT_TRUE(profiler.report().empty());
+}
+
+TEST_F(ExactProfilerTest, ToolMissesExcluded) {
+  const sim::Addr shadow = machine_.address_space().alloc_instr(4096);
+  ExactProfiler profiler(machine_, map_);
+  profiler.start();
+  machine_.tool_touch(shadow);
+  profiler.stop();
+  EXPECT_EQ(profiler.attributed_misses(), 0u);
+  EXPECT_EQ(profiler.unattributed_misses(), 0u);
+}
+
+TEST_F(ExactProfilerTest, NothingRecordedBeforeStartOrAfterStop) {
+  const sim::Addr a = machine_.address_space().define_static("a", 4096);
+  ExactProfiler profiler(machine_, map_);
+  machine_.touch(a);  // before start
+  profiler.start();
+  machine_.touch(a + 64);
+  profiler.stop();
+  machine_.touch(a + 128);  // after stop
+  EXPECT_EQ(profiler.attributed_misses(), 1u);
+}
+
+TEST_F(ExactProfilerTest, TimeSeriesCapturesPhases) {
+  const sim::Addr early =
+      machine_.address_space().define_static("early", 64 * 1024);
+  const sim::Addr late =
+      machine_.address_space().define_static("late", 64 * 1024);
+  // ~1024 misses per sweep; each ref costs ~51 cycles -> a sweep is ~52k
+  // cycles.  Use 16k-cycle intervals for several intervals per sweep.
+  ExactProfiler profiler(machine_, map_, /*series_interval=*/16'384);
+  profiler.start();
+  sweep(early, 64 * 1024);
+  sweep(late, 64 * 1024);
+  profiler.stop();
+
+  const auto series = profiler.series();
+  ASSERT_EQ(series.size(), 2u);
+  // Alphabetical order: "early" then "late".
+  EXPECT_EQ(series[0].name, "early");
+  const auto& e = series[0].misses_per_interval;
+  const auto& l = series[1].misses_per_interval;
+  ASSERT_EQ(e.size(), l.size());
+  ASSERT_GE(e.size(), 4u);
+  // Early misses concentrate in the first half, late in the second.
+  std::uint64_t e_first = 0;
+  std::uint64_t e_second = 0;
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    (i < e.size() / 2 ? e_first : e_second) += e[i];
+  }
+  EXPECT_GT(e_first, e_second);
+  std::uint64_t l_first = 0;
+  std::uint64_t l_second = 0;
+  for (std::size_t i = 0; i < l.size(); ++i) {
+    (i < l.size() / 2 ? l_first : l_second) += l[i];
+  }
+  EXPECT_LT(l_first, l_second);
+  // Totals across intervals match the report counts.
+  EXPECT_EQ(e_first + e_second, 1024u);
+  EXPECT_EQ(l_first + l_second, 1024u);
+}
+
+TEST_F(ExactProfilerTest, SeriesDisabledWhenIntervalZero) {
+  const sim::Addr a = machine_.address_space().define_static("a", 4096);
+  ExactProfiler profiler(machine_, map_);
+  profiler.start();
+  sweep(a, 4096);
+  profiler.stop();
+  for (const auto& s : profiler.series()) {
+    EXPECT_TRUE(s.misses_per_interval.empty());
+  }
+  EXPECT_EQ(profiler.interval_count(), 0u);
+}
+
+}  // namespace
+}  // namespace hpm::core

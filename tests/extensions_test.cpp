@@ -1,0 +1,204 @@
+// Tests for the optional-hardware / §5 extensions: the L1 filter cache and
+// the related-block grouping arenas.
+#include <gtest/gtest.h>
+
+#include "core/nway_search.hpp"
+#include "core/sampler.hpp"
+#include "harness/experiment.hpp"
+#include "objmap/object_map.hpp"
+#include "sim/machine.hpp"
+
+namespace hpm {
+namespace {
+
+sim::MachineConfig l1_machine() {
+  sim::MachineConfig c;
+  c.cache.size_bytes = 256 * 1024;
+  sim::CacheConfig l1;
+  l1.size_bytes = 8 * 1024;
+  l1.associativity = 2;
+  c.l1 = l1;
+  return c;
+}
+
+TEST(L1Filter, HitsAreFilteredFromTheMeasuredCache) {
+  sim::Machine machine(l1_machine());
+  const sim::Addr a = machine.address_space().define_static("a", 4096);
+  machine.touch(a);       // misses both levels
+  machine.touch(a + 8);   // L1 hit: measured cache untouched
+  machine.touch(a + 16);  // L1 hit
+  EXPECT_EQ(machine.stats().app_misses, 1u);
+  EXPECT_EQ(machine.stats().l1_hits, 2u);
+  EXPECT_EQ(machine.pmu().global_misses(), 1u);
+}
+
+TEST(L1Filter, RepeatedSmallWorkingSetNeverReachesL2) {
+  sim::Machine machine(l1_machine());
+  const sim::Addr a = machine.address_space().define_static("a", 4096);
+  for (int sweep = 0; sweep < 10; ++sweep) {
+    for (sim::Addr off = 0; off < 4096; off += 64) machine.touch(a + off);
+  }
+  // 64 cold misses; the other 576 references hit the 8 KB L1.
+  EXPECT_EQ(machine.stats().app_misses, 64u);
+  EXPECT_EQ(machine.stats().l1_hits, 9u * 64);
+}
+
+TEST(L1Filter, L1HitsAreCheaper) {
+  auto cycles = [](bool with_l1) {
+    sim::MachineConfig c = l1_machine();
+    if (!with_l1) c.l1.reset();
+    sim::Machine machine(c);
+    const sim::Addr a = machine.address_space().define_static("a", 4096);
+    for (int sweep = 0; sweep < 4; ++sweep) {
+      for (sim::Addr off = 0; off < 4096; off += 64) machine.touch(a + off);
+    }
+    return machine.stats().app_cycles;
+  };
+  // Without L1 the re-sweeps cost hit_extra per ref at least as much.
+  EXPECT_LE(cycles(true), cycles(false));
+}
+
+TEST(L1Filter, SamplingStillAttributesL2Misses) {
+  sim::Machine machine(l1_machine());
+  objmap::ObjectMap map;
+  map.attach(machine.address_space());
+  const sim::Addr hot =
+      machine.address_space().define_static("hot", 1 << 20);
+  core::Sampler sampler(machine, map, {.period = 64});
+  sampler.start();
+  for (int s = 0; s < 2; ++s) {
+    for (sim::Addr off = 0; off < (1 << 20); off += 8) {
+      machine.touch(hot + off);  // 8 refs per line; 7 are L1 hits
+    }
+  }
+  sampler.stop();
+  const auto report = sampler.report();
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report.rows()[0].name, "hot");
+  // Misses seen = lines only, despite 8x more references.
+  EXPECT_EQ(machine.stats().app_misses, 2 * (1u << 20) / 64);
+}
+
+// -- Grouping arenas (§5) ----------------------------------------------------
+
+class ArenaTest : public ::testing::Test {
+ protected:
+  ArenaTest() {
+    config_.cache.size_bytes = 128 * 1024;
+    machine_ = std::make_unique<sim::Machine>(config_);
+    map_.attach(machine_->address_space());
+  }
+  sim::MachineConfig config_;
+  std::unique_ptr<sim::Machine> machine_;
+  objmap::ObjectMap map_;
+};
+
+TEST_F(ArenaTest, SiteAllocationsAreContiguous) {
+  auto& as = machine_->address_space();
+  map_.set_site_name(4, "tree_nodes");
+  const auto arena = as.create_site_arena(4, 1 << 20);
+  const sim::Addr n1 = as.malloc(256, 4);
+  const sim::Addr decoy = as.malloc(1 << 16, 0);  // unrelated block
+  const sim::Addr n2 = as.malloc(256, 4);
+  EXPECT_TRUE(arena.contains(n1));
+  EXPECT_TRUE(arena.contains(n2));
+  EXPECT_FALSE(arena.contains(decoy));
+  EXPECT_EQ(n2, n1 + 256);  // contiguous despite the interleaved malloc
+}
+
+TEST_F(ArenaTest, ArenaResolvesAsOneObject) {
+  auto& as = machine_->address_space();
+  map_.set_site_name(4, "tree_nodes");
+  (void)as.create_site_arena(4, 1 << 20);
+  const sim::Addr n1 = as.malloc(256, 4);
+  const sim::Addr n2 = as.malloc(256, 4);
+  const auto r1 = map_.resolve(n1);
+  const auto r2 = map_.resolve(n2 + 128);
+  ASSERT_TRUE(r1.found && r2.found);
+  EXPECT_EQ(r1.ref, r2.ref);
+  EXPECT_EQ(r1.ref.kind, objmap::ObjectKind::kHeapGroup);
+  EXPECT_EQ(map_.display_name(r1.ref), "tree_nodes");
+}
+
+TEST_F(ArenaTest, RegionGeometryTreatsArenaAsUnit) {
+  auto& as = machine_->address_space();
+  (void)as.create_site_arena(7, 1 << 20);
+  for (int i = 0; i < 64; ++i) (void)as.malloc(4096, 7);
+  const auto span = map_.occupied_span();
+  // The arena counts as exactly one object.
+  EXPECT_EQ(map_.count_objects_overlapping(span), 1u);
+  const auto single = map_.single_object_in(span);
+  ASSERT_TRUE(single.has_value());
+  EXPECT_EQ(single->kind, objmap::ObjectKind::kHeapGroup);
+  // A split point inside the arena snaps to its edge (here: no split).
+  EXPECT_EQ(map_.snap_split_point(span.base + span.size() / 2, span),
+            span.base);
+}
+
+TEST_F(ArenaTest, SearchFindsTheGroupAsOneBottleneck) {
+  auto& as = machine_->address_space();
+  map_.set_site_name(9, "linked_list");
+  (void)as.create_site_arena(9, 2 << 20);
+  // 512 list nodes of 4 KB, plus one big unrelated array.
+  std::vector<sim::Addr> nodes;
+  for (int i = 0; i < 512; ++i) nodes.push_back(as.malloc(4096, 9));
+  const sim::Addr big = as.define_static("big", 1 << 20);
+
+  core::SearchConfig search_config;
+  search_config.n = 4;
+  search_config.initial_interval = 200'000;
+  search_config.search_whole_space = false;
+  core::NWaySearch search(*machine_, map_, search_config);
+  search.start();
+  for (int iter = 0; iter < 60 && !search.done(); ++iter) {
+    // Nodes dominate: 2 MB of node traffic vs 1 MB of array traffic.
+    for (sim::Addr node : nodes) {
+      for (sim::Addr off = 0; off < 4096; off += 64) {
+        machine_->touch(node + off);
+      }
+    }
+    for (sim::Addr off = 0; off < (1 << 20); off += 64) {
+      machine_->touch(big + off);
+    }
+  }
+  search.stop();
+  const auto report = search.report();
+  ASSERT_FALSE(report.empty());
+  EXPECT_EQ(report.rows()[0].name, "linked_list");
+  EXPECT_GT(report.rows()[0].percent, 50.0);
+}
+
+TEST_F(ArenaTest, FreedArenaBlocksAreNotRecycledOutsideTheSite) {
+  auto& as = machine_->address_space();
+  const auto arena = as.create_site_arena(2, 1 << 16);
+  const sim::Addr n = as.malloc(4096, 2);
+  as.free(n);
+  // An unrelated allocation must not land in the arena hole.
+  const sim::Addr other = as.malloc(4096, 0);
+  EXPECT_FALSE(arena.contains(other));
+}
+
+TEST_F(ArenaTest, ArenaValidation) {
+  auto& as = machine_->address_space();
+  EXPECT_THROW((void)as.create_site_arena(sim::kNoSite, 4096),
+               std::invalid_argument);
+  (void)as.create_site_arena(3, 4096);
+  EXPECT_THROW((void)as.create_site_arena(3, 4096), std::invalid_argument);
+  EXPECT_TRUE(as.has_site_arena(3));
+  EXPECT_FALSE(as.has_site_arena(5));
+}
+
+TEST_F(ArenaTest, FullArenaFallsBackToGeneralHeap) {
+  auto& as = machine_->address_space();
+  const auto arena = as.create_site_arena(6, 8192);
+  const sim::Addr a = as.malloc(4096, 6);
+  const sim::Addr b = as.malloc(4096, 6);
+  const sim::Addr c = as.malloc(4096, 6);  // no room left
+  EXPECT_TRUE(arena.contains(a));
+  EXPECT_TRUE(arena.contains(b));
+  EXPECT_FALSE(arena.contains(c));
+  EXPECT_NE(c, sim::kNullAddr);
+}
+
+}  // namespace
+}  // namespace hpm

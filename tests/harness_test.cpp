@@ -1,0 +1,106 @@
+#include "harness/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/synthetic.hpp"
+
+namespace hpm::harness {
+namespace {
+
+TEST(PaperMachine, MatchesThePaperSimulator) {
+  const auto config = paper_machine();
+  EXPECT_EQ(config.cache.size_bytes, 2ULL * 1024 * 1024);  // §3: 2 MB
+  EXPECT_EQ(config.cache.line_size, 64u);
+  EXPECT_TRUE(config.cache.valid());
+  // Enough counters for a 10-way search plus the global counter.
+  EXPECT_GE(config.num_miss_counters, 11u);
+  EXPECT_EQ(config.cycles.interrupt_cost, 8'800u);  // §3.3 SGI measurement
+}
+
+workloads::SyntheticWorkload small_workload() {
+  workloads::SyntheticSpec spec;
+  spec.lockstep = true;
+  spec.arrays = {{"BIG", 512 * 1024}, {"SMALL", 256 * 1024}};
+  spec.phases.push_back({{1, 1}, 1});
+  spec.iterations = 20;
+  return workloads::SyntheticWorkload(spec);
+}
+
+RunConfig small_config() {
+  RunConfig config;
+  config.machine.cache.size_bytes = 64 * 1024;
+  return config;
+}
+
+TEST(RunExperiment, NoToolProducesActualOnly) {
+  auto workload = small_workload();
+  const auto result = run_experiment(small_config(), workload);
+  EXPECT_FALSE(result.actual.empty());
+  EXPECT_TRUE(result.estimated.empty());
+  EXPECT_EQ(result.samples, 0u);
+  EXPECT_EQ(result.stats.interrupts, 0u);
+  EXPECT_EQ(result.stats.tool_cycles, 0u);
+  EXPECT_GT(result.stats.app_misses, 0u);
+}
+
+TEST(RunExperiment, SamplerPathProducesEstimates) {
+  auto workload = small_workload();
+  auto config = small_config();
+  config.tool = ToolKind::kSampler;
+  config.sampler.period = 500;
+  const auto result = run_experiment(config, workload);
+  EXPECT_GT(result.samples, 0u);
+  EXPECT_FALSE(result.estimated.empty());
+  EXPECT_EQ(result.estimated.rows()[0].name, "BIG");
+  EXPECT_GT(result.stats.interrupts, 0u);
+}
+
+TEST(RunExperiment, SearchPathProducesEstimatesAndStats) {
+  auto workload = small_workload();
+  auto config = small_config();
+  config.tool = ToolKind::kSearch;
+  config.search.n = 4;
+  config.search.initial_interval = 100'000;
+  const auto result = run_experiment(config, workload);
+  EXPECT_GT(result.search_stats.iterations, 0u);
+  ASSERT_FALSE(result.estimated.empty());
+  EXPECT_EQ(result.estimated.rows()[0].name, "BIG");
+}
+
+TEST(RunExperiment, ExactProfileCanBeDisabled) {
+  auto workload = small_workload();
+  auto config = small_config();
+  config.exact_profile = false;
+  const auto result = run_experiment(config, workload);
+  EXPECT_TRUE(result.actual.empty());
+  EXPECT_TRUE(result.series.empty());
+}
+
+TEST(RunExperiment, SeriesIntervalEnablesTimeSeries) {
+  auto workload = small_workload();
+  auto config = small_config();
+  config.series_interval = 200'000;
+  const auto result = run_experiment(config, workload);
+  ASSERT_FALSE(result.series.empty());
+  EXPECT_FALSE(result.series.front().misses_per_interval.empty());
+}
+
+TEST(RunExperiment, ByNameOverloadMatchesDirectConstruction) {
+  auto config = small_config();
+  config.machine.cache.size_bytes = 128 * 1024;
+  workloads::WorkloadOptions options;
+  options.scale = 0.25;
+  const auto by_name = run_experiment(config, "mgrid", options);
+  auto direct = workloads::make_workload("mgrid", options);
+  const auto by_object = run_experiment(config, *direct);
+  EXPECT_EQ(by_name.stats.app_misses, by_object.stats.app_misses);
+  EXPECT_EQ(by_name.stats.app_cycles, by_object.stats.app_cycles);
+}
+
+TEST(RunExperiment, UnknownWorkloadThrows) {
+  EXPECT_THROW((void)run_experiment(small_config(), "gcc", {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpm::harness

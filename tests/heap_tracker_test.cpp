@@ -1,0 +1,112 @@
+#include "objmap/heap_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.hpp"
+
+namespace hpm::objmap {
+namespace {
+
+TEST(HeapTracker, NamesBlocksByHexBase) {
+  HeapTracker tracker;
+  tracker.on_alloc(0x141020000ULL, 4096, sim::kNoSite);
+  const auto hit = tracker.find_containing(0x141020800ULL);
+  ASSERT_NE(hit.info, nullptr);
+  EXPECT_EQ(hit.info->name, "0x141020000");  // the paper's naming style
+  EXPECT_EQ(hit.info->kind, ObjectKind::kHeap);
+  EXPECT_TRUE(hit.info->live);
+}
+
+TEST(HeapTracker, FreeRetiresButKeepsObjectRecord) {
+  HeapTracker tracker;
+  const auto id = tracker.on_alloc(0x141000000ULL, 256, sim::kNoSite);
+  tracker.on_free(0x141000000ULL);
+  EXPECT_EQ(tracker.find_containing(0x141000000ULL).info, nullptr);
+  // The record survives so sampled counts attributed to it stay reportable.
+  EXPECT_EQ(tracker.object(id).name, "0x141000000");
+  EXPECT_FALSE(tracker.object(id).live);
+  EXPECT_EQ(tracker.object_count(), 1u);
+  EXPECT_EQ(tracker.live_count(), 0u);
+}
+
+TEST(HeapTracker, ReusedAddressGetsFreshObject) {
+  HeapTracker tracker;
+  const auto first = tracker.on_alloc(0x141000000ULL, 256, 1);
+  tracker.on_free(0x141000000ULL);
+  const auto second = tracker.on_alloc(0x141000000ULL, 512, 2);
+  EXPECT_NE(first, second);
+  const auto hit = tracker.find_containing(0x141000100ULL);
+  ASSERT_NE(hit.info, nullptr);
+  EXPECT_EQ(hit.index, second);
+  EXPECT_EQ(hit.info->size, 512u);
+  EXPECT_EQ(hit.info->site, 2u);
+}
+
+TEST(HeapTracker, FreeOfUnknownAddressIsIgnored) {
+  HeapTracker tracker;
+  tracker.on_alloc(0x141000000ULL, 256, sim::kNoSite);
+  tracker.on_free(0x141000040ULL);  // interior, not a block base
+  EXPECT_EQ(tracker.live_count(), 1u);
+  EXPECT_EQ(tracker.free_events(), 1u);
+}
+
+TEST(HeapTracker, SiteNames) {
+  HeapTracker tracker;
+  tracker.set_site_name(3, "tree_nodes");
+  EXPECT_EQ(tracker.site_name(3) != nullptr, true);
+  EXPECT_EQ(*tracker.site_name(3), "tree_nodes");
+  EXPECT_EQ(tracker.site_name(4), nullptr);
+}
+
+TEST(HeapTracker, VisitLiveRange) {
+  HeapTracker tracker;
+  tracker.on_alloc(0x141000000ULL, 64, sim::kNoSite);
+  tracker.on_alloc(0x141001000ULL, 64, sim::kNoSite);
+  tracker.on_alloc(0x141002000ULL, 64, sim::kNoSite);
+  tracker.on_free(0x141001000ULL);
+  int seen = 0;
+  tracker.visit_live_range(0x141000000ULL, 0x141003000ULL,
+                           [&](const ObjectInfo& info, std::uint32_t) {
+                             EXPECT_TRUE(info.live);
+                             ++seen;
+                             return true;
+                           });
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(HeapTracker, ChurnKeepsTreeConsistent) {
+  HeapTracker tracker;
+  util::Xoshiro256 rng(77);
+  std::vector<sim::Addr> live;
+  for (int i = 0; i < 3000; ++i) {
+    if (rng.next_below(100) < 55 || live.empty()) {
+      const sim::Addr base =
+          0x141000000ULL + rng.next_below(100'000) * 0x80;
+      if (tracker.find_containing(base).info == nullptr) {
+        tracker.on_alloc(base, 0x80, sim::kNoSite);
+        live.push_back(base);
+      }
+    } else {
+      const std::size_t pick = rng.next_below(live.size());
+      tracker.on_free(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+  EXPECT_TRUE(tracker.tree().validate());
+  EXPECT_EQ(tracker.live_count(), live.size());
+  for (sim::Addr base : live) {
+    EXPECT_NE(tracker.find_containing(base + 0x40).info, nullptr);
+  }
+}
+
+TEST(HeapTracker, EventCountsAreMonotonic) {
+  HeapTracker tracker;
+  tracker.on_alloc(0x141000000ULL, 64, sim::kNoSite);
+  tracker.on_alloc(0x141000040ULL, 64, sim::kNoSite);
+  tracker.on_free(0x141000000ULL);
+  EXPECT_EQ(tracker.alloc_events(), 2u);
+  EXPECT_EQ(tracker.free_events(), 1u);
+}
+
+}  // namespace
+}  // namespace hpm::objmap

@@ -1,0 +1,173 @@
+// Quantitative property tests on the kernel miss structure: exact per-pass
+// miss counts, the periodicity that drives the §3.1 aliasing experiment,
+// and the phase geometry behind Figure 5.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/exact_profiler.hpp"
+#include "harness/experiment.hpp"
+#include "workloads/tomcatv.hpp"
+#include "workloads/workload.hpp"
+
+namespace hpm::workloads {
+namespace {
+
+sim::MachineConfig cache_of(std::uint64_t bytes) {
+  sim::MachineConfig c;
+  c.cache.size_bytes = bytes;
+  return c;
+}
+
+TEST(TomcatvStructure, PerIterationMissCountIsExact) {
+  // 40 array passes per iteration, each missing N*N/8 lines: the miss
+  // count per iteration is exactly 40 * N^2 / 8.  This exactness is what
+  // makes the per-iteration miss count a multiple of the 50,000 sampling
+  // period at full scale — the root of the aliasing result.
+  WorkloadOptions options;
+  options.scale = 0.25;  // N = 150 -> 22500 elements per array
+  auto misses_for = [&](std::uint64_t iters) {
+    options.iterations = iters;
+    Tomcatv workload(options);
+    harness::RunConfig config;
+    config.machine = cache_of(128 * 1024);
+    return harness::run_experiment(config, workload).stats.app_misses;
+  };
+  const std::uint64_t one = misses_for(1);
+  const std::uint64_t two = misses_for(2);
+  const std::uint64_t n = 150;
+  // Each pass touches ceil(N*N*8 / 64) lines (the last line is partial at
+  // this N).
+  const std::uint64_t lines = (n * n * 8 + 63) / 64;
+  EXPECT_EQ(one, 40 * lines);
+  EXPECT_EQ(two, 2 * one);  // perfectly periodic, zero drift
+}
+
+TEST(TomcatvStructure, FullScaleIterationAligitsWithSamplingPeriod) {
+  // At scale 1.0 (N = 600): 40 * 600^2 / 8 = 1,800,000 misses/iteration —
+  // an exact multiple of the paper's 50,000 sampling interval, and not of
+  // the prime 50,111.
+  Tomcatv workload{WorkloadOptions{}};
+  EXPECT_EQ(workload.n(), 600u);
+  const std::uint64_t per_iteration = 40 * 600 * 600 / 8;
+  EXPECT_EQ(per_iteration % 50'000, 0u);
+  EXPECT_NE(per_iteration % 50'111, 0u);
+}
+
+TEST(SwimStructure, MissesSplitEquallyAcrossArrays) {
+  WorkloadOptions options;
+  options.scale = 0.25;
+  options.iterations = 2;
+  harness::RunConfig config;
+  config.machine = cache_of(128 * 1024);
+  const auto result = harness::run_experiment(config, "swim", options);
+  ASSERT_EQ(result.actual.size(), 13u);
+  const auto expected = static_cast<double>(result.actual.total_count()) / 13;
+  for (const auto& row : result.actual.rows()) {
+    EXPECT_NEAR(static_cast<double>(row.count), expected, expected * 0.12)
+        << row.name;
+  }
+}
+
+TEST(AppluStructure, PhaseGeometryMatchesFigure5) {
+  WorkloadOptions options;
+  options.scale = 0.25;
+  options.iterations = 4;
+  harness::RunConfig config;
+  config.machine = cache_of(128 * 1024);
+  config.series_interval = 300'000;
+  const auto result = harness::run_experiment(config, "applu", options);
+
+  const core::ExactProfiler::Series* a = nullptr;
+  const core::ExactProfiler::Series* b = nullptr;
+  const core::ExactProfiler::Series* rsd = nullptr;
+  for (const auto& s : result.series) {
+    if (s.name == "a") a = &s;
+    if (s.name == "b") b = &s;
+    if (s.name == "rsd") rsd = &s;
+  }
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(rsd, nullptr);
+
+  // Figure 5: a and b have "almost exactly the same access pattern".
+  ASSERT_EQ(a->misses_per_interval.size(), b->misses_per_interval.size());
+  std::uint64_t diff = 0;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < a->misses_per_interval.size(); ++i) {
+    const auto av = a->misses_per_interval[i];
+    const auto bv = b->misses_per_interval[i];
+    diff += av > bv ? av - bv : bv - av;
+    total += av + bv;
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_LT(static_cast<double>(diff) / static_cast<double>(total), 0.05);
+
+  // a dips to zero while rsd is active in those very windows.
+  bool a_zero_with_rsd_active = false;
+  for (std::size_t i = 0; i < a->misses_per_interval.size() &&
+                          i < rsd->misses_per_interval.size();
+       ++i) {
+    if (a->misses_per_interval[i] == 0 && rsd->misses_per_interval[i] > 0) {
+      a_zero_with_rsd_active = true;
+    }
+  }
+  EXPECT_TRUE(a_zero_with_rsd_active);
+}
+
+TEST(Su2corStructure, LatePhaseDominance) {
+  // U's misses concentrate in the second (intact) half of each
+  // super-iteration — the property that breaks phase-naive searches.
+  WorkloadOptions options;
+  options.scale = 0.25;
+  options.iterations = 1;
+  harness::RunConfig config;
+  config.machine = cache_of(128 * 1024);
+  config.series_interval = 250'000;
+  const auto result = harness::run_experiment(config, "su2cor", options);
+  for (const auto& s : result.series) {
+    if (s.name != "U") continue;
+    const auto& v = s.misses_per_interval;
+    ASSERT_GT(v.size(), 3u);
+    std::uint64_t first_half = 0;
+    std::uint64_t second_half = 0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      (i < v.size() / 2 ? first_half : second_half) += v[i];
+    }
+    EXPECT_GT(second_half, first_half * 2);
+    return;
+  }
+  FAIL() << "no series for U";
+}
+
+TEST(MgridStructure, CoarseGridsAreCacheResident) {
+  WorkloadOptions options;
+  options.scale = 0.25;
+  options.iterations = 3;
+  harness::RunConfig config;
+  config.machine = cache_of(128 * 1024);
+  const auto result = harness::run_experiment(config, "mgrid", options);
+  // The coarse arrays are touched 6+ times per cycle yet miss almost never
+  // after warm-up: their share must be far below a proportional one.
+  const double u2 = result.actual.percent_of("U2").value_or(0.0);
+  EXPECT_LT(u2, 3.0);
+}
+
+TEST(KernelScaling, ArraysScaleQuadraticallyWithScaleFactor) {
+  WorkloadOptions half;
+  half.scale = 0.5;
+  half.iterations = 1;
+  WorkloadOptions quarter;
+  quarter.scale = 0.25;
+  quarter.iterations = 1;
+  harness::RunConfig config;
+  config.machine = cache_of(64 * 1024);
+  const auto big = harness::run_experiment(config, "tomcatv", half);
+  const auto small = harness::run_experiment(config, "tomcatv", quarter);
+  const double ratio = static_cast<double>(big.stats.app_misses) /
+                       static_cast<double>(small.stats.app_misses);
+  EXPECT_NEAR(ratio, 4.0, 0.3);  // linear scale -> quadratic misses
+}
+
+}  // namespace
+}  // namespace hpm::workloads

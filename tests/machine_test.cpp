@@ -1,0 +1,229 @@
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace hpm::sim {
+namespace {
+
+MachineConfig small_machine() {
+  MachineConfig c;
+  c.cache.size_bytes = 8 * 1024;
+  c.cache.line_size = 64;
+  c.cache.associativity = 8;
+  c.num_miss_counters = 12;
+  return c;
+}
+
+TEST(Machine, LoadStoreRoundTrip) {
+  Machine m(small_machine());
+  const Addr a = m.address_space().define_static("v", 8);
+  m.store<double>(a, 2.5);
+  EXPECT_EQ(m.load<double>(a), 2.5);
+  EXPECT_EQ(m.stats().app_refs, 2u);
+}
+
+TEST(Machine, CountsInstructionsAndCycles) {
+  Machine m(small_machine());
+  m.exec(100);
+  EXPECT_EQ(m.stats().app_instructions, 100u);
+  EXPECT_EQ(m.stats().app_cycles, 100u);  // 1 cycle per instruction
+  const Addr a = m.address_space().define_static("v", 8);
+  m.store<std::uint64_t>(a, 1);  // 1 instr + miss penalty
+  EXPECT_EQ(m.stats().app_instructions, 101u);
+  EXPECT_EQ(m.stats().app_cycles,
+            101u + m.config().cycles.cache_miss_penalty);
+}
+
+TEST(Machine, MissesFeedThePmu) {
+  Machine m(small_machine());
+  const Addr a = m.address_space().define_static("v", 4096);
+  m.pmu().configure(0, a, a + 4096);
+  for (int i = 0; i < 4; ++i) m.touch(a + static_cast<Addr>(i) * 64);
+  EXPECT_EQ(m.pmu().read(0), 4u);
+  EXPECT_EQ(m.pmu().global_misses(), 4u);
+  EXPECT_EQ(m.pmu().last_miss_address(), a + 3 * 64);
+  m.touch(a);  // hit: no PMU activity
+  EXPECT_EQ(m.pmu().global_misses(), 4u);
+}
+
+struct CountingHandler : InterruptHandler {
+  int overflow = 0;
+  int timer = 0;
+  Addr last_addr = 0;
+  std::uint64_t rearm = 0;
+  void on_interrupt(Machine& m, InterruptKind kind) override {
+    if (kind == InterruptKind::kMissOverflow) {
+      ++overflow;
+      last_addr = m.pmu().last_miss_address();
+      if (rearm) m.arm_miss_overflow(rearm);
+    } else {
+      ++timer;
+    }
+  }
+};
+
+TEST(Machine, MissOverflowInterruptDelivery) {
+  Machine m(small_machine());
+  CountingHandler handler;
+  handler.rearm = 5;
+  m.set_handler(&handler);
+  m.arm_miss_overflow(5);
+  const Addr a = m.address_space().define_static("v", 1 << 16);
+  for (int i = 0; i < 20; ++i) m.touch(a + static_cast<Addr>(i) * 64);
+  EXPECT_EQ(handler.overflow, 4);  // 20 misses / period 5
+  EXPECT_EQ(m.stats().interrupts, 4u);
+}
+
+TEST(Machine, InterruptCostIsCharged) {
+  Machine m(small_machine());
+  CountingHandler handler;
+  m.set_handler(&handler);
+  m.arm_miss_overflow(1);
+  const Addr a = m.address_space().define_static("v", 4096);
+  m.touch(a);
+  EXPECT_EQ(handler.overflow, 1);
+  EXPECT_EQ(m.stats().tool_cycles, m.config().cycles.interrupt_cost);
+}
+
+TEST(Machine, TimerFiresOnce) {
+  Machine m(small_machine());
+  CountingHandler handler;
+  m.set_handler(&handler);
+  m.arm_timer_in(1000);
+  m.exec(999);
+  EXPECT_EQ(handler.timer, 0);
+  m.exec(10);
+  EXPECT_EQ(handler.timer, 1);
+  m.exec(10'000);
+  EXPECT_EQ(handler.timer, 1);  // one-shot
+  EXPECT_FALSE(m.timer_armed());
+}
+
+struct RearmTimerHandler : InterruptHandler {
+  int fired = 0;
+  void on_interrupt(Machine& m, InterruptKind kind) override {
+    if (kind == InterruptKind::kCycleTimer) {
+      ++fired;
+      m.arm_timer_in(1000);
+    }
+  }
+};
+
+TEST(Machine, TimerCanBePeriodicViaRearm) {
+  Machine m(small_machine());
+  RearmTimerHandler handler;
+  m.set_handler(&handler);
+  m.arm_timer_in(1000);
+  for (int i = 0; i < 100; ++i) m.exec(100);
+  // ~10k cycles plus interrupt costs; allow the drift from interrupt cost.
+  EXPECT_GE(handler.fired, 1);
+  EXPECT_LE(handler.fired, 10);
+}
+
+struct ToolTouchHandler : InterruptHandler {
+  Addr target = 0;
+  void on_interrupt(Machine& m, InterruptKind kind) override {
+    if (kind == InterruptKind::kMissOverflow) {
+      m.tool_touch(target);
+      m.arm_miss_overflow(50);
+    }
+  }
+};
+
+TEST(Machine, ToolAccessesPerturbTheCache) {
+  // Two identical app runs; the instrumented one sees extra (tool) misses
+  // and its tool accesses can evict app lines — the Figure 3 mechanism.
+  auto run = [](bool instrumented) {
+    Machine m(small_machine());
+    ToolTouchHandler handler;
+    handler.target = m.address_space().alloc_instr(64);
+    if (instrumented) {
+      m.set_handler(&handler);
+      m.arm_miss_overflow(50);
+    }
+    const Addr a = m.address_space().define_static("v", 64 * 1024);
+    for (int sweep = 0; sweep < 4; ++sweep) {
+      for (Addr off = 0; off < 64 * 1024; off += 64) m.touch(a + off);
+    }
+    return m.stats();
+  };
+  const auto base = run(false);
+  const auto inst = run(true);
+  EXPECT_EQ(base.app_refs, inst.app_refs);
+  EXPECT_EQ(base.app_instructions, inst.app_instructions);
+  EXPECT_GT(inst.tool_refs, 0u);
+  EXPECT_GE(inst.total_misses(), base.total_misses());
+  EXPECT_GT(inst.interrupts, 0u);
+}
+
+TEST(Machine, ToolPlaneRunsWithInterruptsMasked) {
+  // A tool miss must not recursively trigger the overflow handler.
+  struct Recurse : InterruptHandler {
+    int depth = 0;
+    int max_depth = 0;
+    Addr instr_data = 0;
+    void on_interrupt(Machine& m, InterruptKind) override {
+      ++depth;
+      max_depth = std::max(max_depth, depth);
+      // This tool access misses and bumps the global counter past the
+      // (re-armed) threshold, but no nested interrupt may fire.
+      m.arm_miss_overflow(1);
+      m.tool_touch(instr_data);
+      --depth;
+    }
+  };
+  Machine m(small_machine());
+  Recurse handler;
+  handler.instr_data = m.address_space().alloc_instr(1 << 16);
+  m.set_handler(&handler);
+  m.arm_miss_overflow(1);
+  const Addr a = m.address_space().define_static("v", 1 << 16);
+  for (int i = 0; i < 32; ++i) m.touch(a + static_cast<Addr>(i) * 64);
+  EXPECT_EQ(handler.max_depth, 1);
+}
+
+TEST(Machine, MissObserverSeesEveryAppMiss) {
+  Machine m(small_machine());
+  std::vector<Addr> observed;
+  m.set_miss_observer([&](Addr addr, bool is_tool) {
+    if (!is_tool) observed.push_back(addr);
+  });
+  const Addr a = m.address_space().define_static("v", 8 * 64);
+  for (int i = 0; i < 8; ++i) m.touch(a + static_cast<Addr>(i) * 64);
+  for (int i = 0; i < 8; ++i) m.touch(a + static_cast<Addr>(i) * 64);  // hits
+  ASSERT_EQ(observed.size(), 8u);
+  EXPECT_EQ(observed.front(), a);
+  EXPECT_EQ(m.stats().app_misses, 8u);
+}
+
+TEST(Machine, MissObserverDistinguishesToolMisses) {
+  Machine m(small_machine());
+  int tool_misses = 0;
+  m.set_miss_observer([&](Addr, bool is_tool) { tool_misses += is_tool; });
+  const Addr t = m.address_space().alloc_instr(64);
+  m.tool_touch(t);
+  EXPECT_EQ(tool_misses, 1);
+  EXPECT_EQ(m.stats().tool_misses, 1u);
+  EXPECT_EQ(m.stats().app_misses, 0u);
+}
+
+TEST(Machine, DeterministicReplay) {
+  auto run = [] {
+    Machine m(small_machine());
+    const Addr a = m.address_space().define_static("v", 1 << 18);
+    for (Addr off = 0; off < (1 << 18); off += 64) m.touch(a + off);
+    m.exec(12345);
+    return m.stats();
+  };
+  const auto s1 = run();
+  const auto s2 = run();
+  EXPECT_EQ(s1.app_misses, s2.app_misses);
+  EXPECT_EQ(s1.app_cycles, s2.app_cycles);
+  EXPECT_EQ(s1.total_cycles(), s2.total_cycles());
+}
+
+}  // namespace
+}  // namespace hpm::sim

@@ -1,0 +1,364 @@
+#include "core/nway_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace hpm::core {
+namespace {
+
+using harness::RunConfig;
+using harness::RunResult;
+using harness::ToolKind;
+using workloads::SyntheticPhase;
+using workloads::SyntheticSpec;
+using workloads::SyntheticWorkload;
+
+// Test machine: a small cache so modest arrays behave like the paper's
+// multi-megabyte ones against its 2 MB cache.
+sim::MachineConfig test_machine() {
+  sim::MachineConfig c;
+  c.cache.size_bytes = 256 * 1024;
+  c.num_miss_counters = 16;
+  return c;
+}
+
+SearchConfig fast_search(unsigned n = 8) {
+  SearchConfig c;
+  c.n = n;
+  c.initial_interval = 200'000;
+  return c;
+}
+
+RunResult run_search(SyntheticSpec spec, const SearchConfig& search) {
+  SyntheticWorkload workload(std::move(spec));
+  RunConfig config;
+  config.machine = test_machine();
+  config.tool = ToolKind::kSearch;
+  config.search = search;
+  return harness::run_experiment(config, workload);
+}
+
+SyntheticSpec lockstep_spec(std::vector<std::uint64_t> sizes_kb,
+                            std::uint32_t iterations = 40) {
+  SyntheticSpec spec;
+  spec.name = "weighted";
+  spec.iterations = iterations;
+  spec.lockstep = true;
+  SyntheticPhase phase;
+  for (std::size_t i = 0; i < sizes_kb.size(); ++i) {
+    spec.arrays.push_back(
+        {"ARR" + std::to_string(i), sizes_kb[i] * 1024});
+    phase.sweeps.push_back(1);
+  }
+  spec.phases.push_back(std::move(phase));
+  return spec;
+}
+
+TEST(NWaySearchConfig, Validation) {
+  sim::Machine machine(test_machine());
+  objmap::ObjectMap map;
+  map.attach(machine.address_space());
+  SearchConfig bad;
+  bad.n = 1;
+  EXPECT_THROW(NWaySearch(machine, map, bad), std::invalid_argument);
+  bad = SearchConfig{};
+  bad.n = 17;  // machine has 16 counters
+  EXPECT_THROW(NWaySearch(machine, map, bad), std::invalid_argument);
+  bad = SearchConfig{};
+  bad.initial_interval = 0;
+  EXPECT_THROW(NWaySearch(machine, map, bad), std::invalid_argument);
+}
+
+TEST(NWaySearch, FindsDominantObject) {
+  const auto result =
+      run_search(lockstep_spec({2048, 256, 256}), fast_search());
+  ASSERT_FALSE(result.estimated.empty());
+  EXPECT_EQ(result.estimated.rows()[0].name, "ARR0");
+  EXPECT_TRUE(result.search_done);
+  // ~80% of misses; refinement should be close.
+  EXPECT_NEAR(result.estimated.rows()[0].percent, 80.0, 8.0);
+}
+
+TEST(NWaySearch, RanksMultipleObjects) {
+  // 40 / 30 / 20 / 10 percent by size.
+  const auto result =
+      run_search(lockstep_spec({1600, 1200, 800, 400}), fast_search());
+  const auto& est = result.estimated;
+  ASSERT_GE(est.size(), 4u);
+  EXPECT_EQ(est.rows()[0].name, "ARR0");
+  EXPECT_EQ(est.rows()[1].name, "ARR1");
+  EXPECT_EQ(est.rows()[2].name, "ARR2");
+  EXPECT_EQ(est.rows()[3].name, "ARR3");
+  const auto comparison = Report::compare(result.actual, est, 4);
+  EXPECT_LT(comparison.max_abs_error, 6.0);
+}
+
+TEST(NWaySearch, EstimatesMatchGroundTruth) {
+  const auto result =
+      run_search(lockstep_spec({1024, 1024, 512, 512, 256}), fast_search(10));
+  const auto comparison = Report::compare(result.actual, result.estimated, 5);
+  EXPECT_EQ(comparison.missing, 0u);
+  EXPECT_LT(comparison.max_abs_error, 6.0);
+  EXPECT_GT(comparison.order_agreement, 0.85);
+}
+
+TEST(NWaySearch, TwoWayFindsTopObject) {
+  // The paper's Table 2 headline: with the priority queue, even a 2-way
+  // search identifies the top object.
+  const auto result =
+      run_search(lockstep_spec({1536, 512, 384, 256}), fast_search(2));
+  ASSERT_FALSE(result.estimated.empty());
+  EXPECT_EQ(result.estimated.rows()[0].name, "ARR0");
+}
+
+TEST(NWaySearch, GreedyFailsOnFigure2Layout) {
+  // Figure 2: greedy descends into the 60% half and reports a 20% array.
+  SearchConfig greedy = fast_search(2);
+  greedy.use_priority_queue = false;
+  greedy.search_whole_space = false;
+  const auto greedy_result =
+      run_search(workloads::figure2_spec(512 * 1024, 40), greedy);
+  ASSERT_FALSE(greedy_result.estimated.empty());
+  EXPECT_NE(greedy_result.estimated.rows()[0].name, "E");
+
+  SearchConfig with_queue = fast_search(2);
+  with_queue.search_whole_space = false;
+  const auto pq_result =
+      run_search(workloads::figure2_spec(512 * 1024, 40), with_queue);
+  ASSERT_FALSE(pq_result.estimated.empty());
+  EXPECT_EQ(pq_result.estimated.rows()[0].name, "E");
+}
+
+TEST(NWaySearch, BoundaryAdjustmentPreventsSplitObjects) {
+  // HOT (40%) spans the first 2-way split point of the occupied span.
+  SyntheticSpec spec;
+  spec.name = "spanning";
+  spec.iterations = 50;
+  spec.lockstep = true;
+  spec.arrays = {{"A", 768 * 1024}, {"HOT", 1024 * 1024}, {"B", 768 * 1024}};
+  spec.phases.push_back({{1, 1, 1}, 1});
+
+  SearchConfig adjusted = fast_search(2);
+  adjusted.search_whole_space = false;
+  const auto good = run_search(spec, adjusted);
+  ASSERT_FALSE(good.estimated.empty());
+  EXPECT_EQ(good.estimated.rows()[0].name, "HOT");
+
+  SearchConfig raw = fast_search(2);
+  raw.search_whole_space = false;
+  raw.adjust_boundaries = false;
+  const auto bad = run_search(spec, raw);
+  // Without adjustment HOT's misses split across regions: either it loses
+  // the top rank outright, or its estimate is far off its true ~40%.
+  const bool hot_first =
+      !bad.estimated.empty() && bad.estimated.rank_of("HOT") == 1;
+  const double hot_actual = bad.actual.percent_of("HOT").value_or(40.0);
+  const double hot_est = bad.estimated.percent_of("HOT").value_or(0.0);
+  EXPECT_TRUE(!hot_first || std::abs(hot_est - hot_actual) > 4.0)
+      << "rank1=" << hot_first << " est=" << hot_est
+      << " actual=" << hot_actual;
+}
+
+TEST(NWaySearch, RetireModeReturnsMoreObjects) {
+  // §6 variant: retiring measured single-object regions lets a small-n
+  // search enumerate more objects than n-1.
+  auto spec = lockstep_spec({512, 512, 512, 512, 512, 512}, 60);
+  SearchConfig retire = fast_search(4);
+  retire.retire_measured = true;
+  retire.search_whole_space = false;
+  const auto result = run_search(spec, retire);
+  EXPECT_GE(result.estimated.size(), 4u);  // > n-1 objects
+}
+
+TEST(NWaySearch, ContinuationRevisitsDiscardedRegions) {
+  // A bursty sequential workload: arrays go idle for long stretches, so
+  // some object-bearing regions get discarded during the search.  With the
+  // §6 continuation the search re-seeds from them after refinement.
+  SyntheticSpec spec;
+  spec.name = "bursty";
+  spec.iterations = 40;
+  spec.arrays = {{"P", 1024 * 1024}, {"Q", 512 * 1024}, {"R", 512 * 1024}};
+  spec.phases.push_back({{2, 1, 1}, 1});
+
+  SearchConfig continued = fast_search(4);
+  continued.continue_into_discarded = true;
+  continued.zero_retention_limit = 1;  // provoke discards
+  const auto with = run_search(spec, continued);
+
+  SearchConfig plain = continued;
+  plain.continue_into_discarded = false;
+  const auto without = run_search(spec, plain);
+
+  EXPECT_GT(with.search_stats.continuations, 0u);
+  EXPECT_EQ(without.search_stats.continuations, 0u);
+  // Continuation can only add objects, never lose them.
+  EXPECT_GE(with.estimated.size(), without.estimated.size());
+}
+
+TEST(NWaySearch, HarvestsBestEffortWhenRunEndsEarly) {
+  // Far too little runtime to converge: report from current knowledge.
+  SearchConfig slow = fast_search(8);
+  slow.initial_interval = 2'000'000;
+  const auto result = run_search(lockstep_spec({1024, 768}, 2), slow);
+  EXPECT_FALSE(result.search_done);
+  // Whatever was isolated must still carry sane estimates (<= 100%).
+  for (const auto& row : result.estimated.rows()) {
+    EXPECT_LE(row.percent, 100.0);
+    EXPECT_GE(row.percent, 0.0);
+  }
+}
+
+TEST(NWaySearch, StatsAreCoherent) {
+  const auto result =
+      run_search(lockstep_spec({1024, 512, 256}), fast_search());
+  const auto& stats = result.search_stats;
+  EXPECT_GT(stats.iterations, 0u);
+  EXPECT_GT(stats.splits, 0u);
+  EXPECT_GT(result.stats.interrupts, 0u);
+  EXPECT_GE(result.stats.interrupts, stats.iterations);
+  EXPECT_GT(result.stats.tool_cycles, 0u);
+  // Per-interrupt handler cost is far above a sampling handler's (§3.3).
+  EXPECT_GT(result.stats.tool_cycles / result.stats.interrupts, 9'000u);
+}
+
+TEST(NWaySearch, DoesNotPerturbApplicationStream) {
+  auto run = [&](bool with_search) {
+    SyntheticWorkload workload(lockstep_spec({1024, 512}, 20));
+    RunConfig config;
+    config.machine = test_machine();
+    config.tool = with_search ? ToolKind::kSearch : ToolKind::kNone;
+    config.search = fast_search();
+    return harness::run_experiment(config, workload);
+  };
+  const auto base = run(false);
+  const auto inst = run(true);
+  EXPECT_EQ(base.stats.app_refs, inst.stats.app_refs);
+  EXPECT_EQ(base.stats.app_instructions, inst.stats.app_instructions);
+  EXPECT_GE(inst.stats.total_misses(), base.stats.total_misses());
+  EXPECT_GT(inst.stats.total_cycles(), base.stats.total_cycles());
+}
+
+struct LayoutParam {
+  std::string name;
+  std::vector<std::uint64_t> sizes_kb;
+  unsigned n;
+};
+
+class SearchLayoutSweep : public ::testing::TestWithParam<LayoutParam> {};
+
+// Property: across layouts and counter budgets, the search's top result is
+// the true top object and estimates are within a few percent.
+TEST_P(SearchLayoutSweep, TopObjectIsCorrect) {
+  const auto& param = GetParam();
+  const auto result =
+      run_search(lockstep_spec(param.sizes_kb, 50), fast_search(param.n));
+  ASSERT_FALSE(result.estimated.empty()) << param.name;
+  ASSERT_FALSE(result.actual.empty());
+  EXPECT_EQ(result.estimated.rows()[0].name, result.actual.rows()[0].name)
+      << param.name;
+  const auto comparison = Report::compare(result.actual, result.estimated, 1);
+  EXPECT_LT(comparison.max_abs_error, 8.0) << param.name;
+}
+
+// -- Counter timesharing (§2.2 / §3.4) ---------------------------------------
+
+TEST(NWaySearchMux, ValidatesPhysicalCounterCount) {
+  sim::Machine machine(test_machine());
+  objmap::ObjectMap map;
+  map.attach(machine.address_space());
+  SearchConfig config;
+  config.n = 8;
+  config.physical_counters = 9;  // more than n
+  EXPECT_THROW(NWaySearch(machine, map, config), std::invalid_argument);
+}
+
+TEST(NWaySearchMux, WorksWithFewPhysicalCountersOnMachineWithFew) {
+  // An 8-way *logical* search on a machine with only 4 PMU counters.
+  sim::MachineConfig mc = test_machine();
+  mc.num_miss_counters = 4;
+  sim::Machine machine(mc);
+  objmap::ObjectMap map;
+  map.attach(machine.address_space());
+  SearchConfig config = fast_search(8);
+  config.physical_counters = 4;
+  EXPECT_NO_THROW(NWaySearch(machine, map, config));
+  // Without timesharing, 8 logical counters cannot fit.
+  EXPECT_THROW(NWaySearch(machine, map, fast_search(8)),
+               std::invalid_argument);
+}
+
+class MuxSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MuxSweep, TimesharedSearchStillFindsTheTopObject) {
+  SearchConfig config = fast_search(8);
+  config.physical_counters = GetParam();
+  const auto result =
+      run_search(lockstep_spec({2048, 512, 512, 256}, 60), config);
+  ASSERT_FALSE(result.estimated.empty());
+  EXPECT_EQ(result.estimated.rows()[0].name, "ARR0");
+  // Steady lockstep traffic: even heavy timesharing stays accurate.
+  const auto comparison = Report::compare(result.actual, result.estimated, 1);
+  EXPECT_LT(comparison.max_abs_error, 10.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(PhysicalCounters, MuxSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(NWaySearchMux, TimesharingLosesAccuracyOnPhasedTraffic) {
+  // The §3.4 warning: with one physical counter each region sees only a
+  // sliver of the interval, so bursty traffic mis-ranks.  Compare max
+  // error on a sequential (bursty) workload, averaged over both modes.
+  SyntheticSpec spec;
+  spec.name = "bursty";
+  spec.iterations = 30;
+  spec.arrays = {{"P", 1024 * 1024}, {"Q", 768 * 1024}, {"R", 512 * 1024}};
+  spec.phases.push_back({{1, 1, 1}, 1});
+
+  SearchConfig dedicated = fast_search(8);
+  const auto full = run_search(spec, dedicated);
+  SearchConfig mux = fast_search(8);
+  mux.physical_counters = 1;
+  const auto shared = run_search(spec, mux);
+
+  const auto full_cmp = Report::compare(full.actual, full.estimated, 3);
+  const auto shared_cmp = Report::compare(shared.actual, shared.estimated, 3);
+  // Timesharing is never better here, and both still return something.
+  EXPECT_GE(shared_cmp.max_abs_error + 1e-9, full_cmp.max_abs_error);
+  EXPECT_FALSE(shared.estimated.empty());
+}
+
+TEST(NWaySearch, MinMissesPerIntervalGrowsInterval) {
+  // §5 auto-tuning: a far-too-short interval is doubled until iterations
+  // carry enough misses.
+  SearchConfig config = fast_search(8);
+  config.initial_interval = 10'000;  // absurdly short
+  config.min_misses_per_interval = 2'000;
+  const auto result = run_search(lockstep_spec({1024, 512}, 40), config);
+  EXPECT_GT(result.search_stats.final_interval, 10'000u);
+  ASSERT_FALSE(result.estimated.empty());
+  EXPECT_EQ(result.estimated.rows()[0].name, "ARR0");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, SearchLayoutSweep,
+    ::testing::Values(
+        LayoutParam{"dominant", {4096, 128, 128, 128}, 10},
+        LayoutParam{"two_big", {2048, 1536, 256}, 10},
+        LayoutParam{"many_equalish", {640, 576, 512, 448, 384, 320}, 10},
+        LayoutParam{"two_way_budget", {2048, 512, 512}, 2},
+        LayoutParam{"four_way_budget", {1024, 768, 512, 256}, 4},
+        LayoutParam{"single_object", {2048}, 8},
+        LayoutParam{"sixteen_small", {256, 256, 256, 256, 256, 256, 256, 256,
+                                      512, 256, 256, 256, 256, 256, 256, 256},
+                    10}),
+    [](const ::testing::TestParamInfo<LayoutParam>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace hpm::core

@@ -1,0 +1,228 @@
+#include "objmap/object_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace hpm::objmap {
+namespace {
+
+class ObjectMapTest : public ::testing::Test {
+ protected:
+  ObjectMapTest() { map_.attach(machine_.address_space()); }
+  sim::Machine machine_;
+  ObjectMap map_;
+};
+
+TEST_F(ObjectMapTest, ResolvesStatics) {
+  const sim::Addr a = machine_.address_space().define_static("alpha", 4096);
+  const auto hit = map_.resolve(a + 100);
+  ASSERT_TRUE(hit.found);
+  EXPECT_EQ(hit.ref.kind, ObjectKind::kStatic);
+  EXPECT_EQ(map_.display_name(hit.ref), "alpha");
+  EXPECT_EQ(map_.info(hit.ref).base, a);
+  EXPECT_EQ(map_.info(hit.ref).size, 4096u);
+}
+
+TEST_F(ObjectMapTest, ResolvesHeapBlocksViaMallocHook) {
+  const sim::Addr block = machine_.address_space().malloc(1 << 16);
+  const auto hit = map_.resolve(block + 0x8000);
+  ASSERT_TRUE(hit.found);
+  EXPECT_EQ(hit.ref.kind, ObjectKind::kHeap);
+  EXPECT_EQ(map_.display_name(hit.ref), "0x141000000");
+  machine_.address_space().free(block);
+  EXPECT_FALSE(map_.resolve(block + 0x8000).found);
+}
+
+TEST_F(ObjectMapTest, ResolveMissesGapsAndForeignSegments) {
+  (void)machine_.address_space().define_static("alpha", 64);
+  EXPECT_FALSE(map_.resolve(0x0).found);
+  EXPECT_FALSE(
+      map_.resolve(machine_.address_space().layout().heap.base).found);
+  // Instrumentation data is not an application object.
+  const sim::Addr shadow = machine_.address_space().alloc_instr(64);
+  EXPECT_FALSE(map_.resolve(shadow).found);
+}
+
+TEST_F(ObjectMapTest, ResolveReportsShadowFootprint) {
+  for (int i = 0; i < 32; ++i) {
+    (void)machine_.address_space().define_static("s" + std::to_string(i), 64);
+  }
+  (void)machine_.address_space().malloc(64);
+  const auto& symbols = map_.symbols();
+  const auto hit = map_.resolve(symbols.entry(17).base);
+  ASSERT_TRUE(hit.found);
+  EXPECT_FALSE(hit.shadow_path.empty());
+  for (auto a : hit.shadow_path) {
+    EXPECT_TRUE(machine_.address_space().layout().instr.contains(a));
+  }
+}
+
+TEST_F(ObjectMapTest, StackLocalsAggregateByFunctionAndName) {
+  auto& as = machine_.address_space();
+  as.push_frame("work");
+  const sim::Addr x1 = as.define_local("buf", 128);
+  const auto first = map_.resolve(x1 + 5);
+  ASSERT_TRUE(first.found);
+  EXPECT_EQ(first.ref.kind, ObjectKind::kStackLocal);
+  EXPECT_EQ(map_.display_name(first.ref), "work::buf");
+  as.pop_frame();
+
+  // A second activation of the same function maps to the same aggregate.
+  as.push_frame("work");
+  const sim::Addr x2 = as.define_local("buf", 128);
+  const auto second = map_.resolve(x2 + 5);
+  ASSERT_TRUE(second.found);
+  EXPECT_EQ(second.ref, first.ref);
+  as.pop_frame();
+  // After the frame pops, the address no longer resolves.
+  EXPECT_FALSE(map_.resolve(x2 + 5).found);
+}
+
+TEST_F(ObjectMapTest, InnermostLocalWinsOnRecursion) {
+  auto& as = machine_.address_space();
+  as.push_frame("rec");
+  (void)as.define_local("buf", 64);
+  as.push_frame("rec");
+  const sim::Addr inner = as.define_local("buf", 64);
+  const auto hit = map_.resolve(inner);
+  ASSERT_TRUE(hit.found);
+  EXPECT_EQ(map_.display_name(hit.ref), "rec::buf");
+  as.pop_frame();
+  as.pop_frame();
+}
+
+TEST_F(ObjectMapTest, SiteGroupNames) {
+  map_.set_site_name(9, "list_nodes");
+  const sim::Addr a = machine_.address_space().malloc(64, 9);
+  const sim::Addr b = machine_.address_space().malloc(64, 9);
+  const sim::Addr c = machine_.address_space().malloc(64, 0);
+  const auto ra = map_.resolve(a);
+  const auto rb = map_.resolve(b);
+  const auto rc = map_.resolve(c);
+  ASSERT_TRUE(ra.found && rb.found && rc.found);
+  EXPECT_EQ(map_.site_group_name(ra.ref).value_or(""), "list_nodes");
+  EXPECT_EQ(map_.site_group_name(rb.ref).value_or(""), "list_nodes");
+  EXPECT_FALSE(map_.site_group_name(rc.ref).has_value());
+}
+
+// -- Region geometry ---------------------------------------------------------
+
+TEST_F(ObjectMapTest, SnapSplitPointInGapIsUnchanged) {
+  const sim::Addr a = machine_.address_space().define_static("a", 64);
+  machine_.address_space().reserve_data_gap(1 << 20);
+  const sim::Addr b = machine_.address_space().define_static("b", 64);
+  const sim::Addr mid = (a + b) / 2;
+  const sim::AddrRange region{a, b + 64};
+  EXPECT_EQ(map_.snap_split_point(mid, region), mid);
+}
+
+TEST_F(ObjectMapTest, SnapSplitPointInsideObjectMovesToNearerEdge) {
+  const sim::Addr a = machine_.address_space().define_static("a", 1 << 20);
+  const sim::AddrRange region{a - 0x1000, a + (1 << 20) + 0x1000};
+  // Near the start: snaps to the base.
+  EXPECT_EQ(map_.snap_split_point(a + 0x100, region), a);
+  // Near the end: snaps to one past the end.
+  EXPECT_EQ(map_.snap_split_point(a + (1 << 20) - 0x100, region),
+            a + (1 << 20));
+}
+
+TEST_F(ObjectMapTest, SnapSplitPointOnBoundaryIsKept) {
+  const sim::Addr a = machine_.address_space().define_static("a", 0x1000);
+  const sim::Addr b = machine_.address_space().define_static("b", 0x1000);
+  const sim::AddrRange region{a, b + 0x1000};
+  EXPECT_EQ(map_.snap_split_point(b, region), b);
+}
+
+TEST_F(ObjectMapTest, SnapInsideObjectSpanningWholeRegionSignalsNoSplit) {
+  const sim::Addr a = machine_.address_space().define_static("a", 1 << 20);
+  const sim::AddrRange region{a + 0x1000, a + 0x9000};  // strictly inside a
+  EXPECT_EQ(map_.snap_split_point(a + 0x5000, region), region.base);
+}
+
+TEST_F(ObjectMapTest, SnapWorksOnHeapBlocksToo) {
+  const sim::Addr block = machine_.address_space().malloc(1 << 20);
+  const sim::AddrRange region{block - 0x1000, block + (1 << 20) + 0x1000};
+  EXPECT_EQ(map_.snap_split_point(block + 0x40, region), block);
+}
+
+TEST_F(ObjectMapTest, CountObjectsOverlapping) {
+  auto& as = machine_.address_space();
+  const sim::Addr a = as.define_static("a", 0x1000);
+  const sim::Addr b = as.define_static("b", 0x1000);
+  const sim::Addr c = as.define_static("c", 0x1000);
+  const sim::Addr h = as.malloc(0x1000);
+  EXPECT_EQ(map_.count_objects_overlapping({a, c + 0x1000}), 3u);
+  EXPECT_EQ(map_.count_objects_overlapping({a, c + 0x1000}, 2), 2u);  // cap
+  EXPECT_EQ(map_.count_objects_overlapping({b + 0x10, b + 0x20}), 1u);
+  EXPECT_EQ(map_.count_objects_overlapping({a, h + 0x1000}), 4u);
+  EXPECT_EQ(map_.count_objects_overlapping({c + 0x1000, h}), 0u);
+}
+
+TEST_F(ObjectMapTest, CountIncludesObjectsSpanningRegionStart) {
+  const sim::Addr a = machine_.address_space().define_static("a", 0x10000);
+  // Region begins strictly inside `a`.
+  EXPECT_EQ(map_.count_objects_overlapping({a + 0x100, a + 0x200}), 1u);
+  const sim::Addr h = machine_.address_space().malloc(0x10000);
+  EXPECT_EQ(map_.count_objects_overlapping({h + 0x100, h + 0x200}), 1u);
+}
+
+TEST_F(ObjectMapTest, SingleObjectIn) {
+  auto& as = machine_.address_space();
+  const sim::Addr a = as.define_static("a", 0x1000);
+  const sim::Addr b = as.define_static("b", 0x1000);
+  const auto single = map_.single_object_in({a, a + 0x1000});
+  ASSERT_TRUE(single.has_value());
+  EXPECT_EQ(map_.display_name(*single), "a");
+  EXPECT_FALSE(map_.single_object_in({a, b + 0x1000}).has_value());
+  EXPECT_FALSE(map_.single_object_in({b + 0x1000, b + 0x2000}).has_value());
+}
+
+TEST_F(ObjectMapTest, ForEachOverlappingVisitsAddressOrderAcrossKinds) {
+  auto& as = machine_.address_space();
+  (void)as.define_static("s0", 64);
+  (void)as.define_static("s1", 64);
+  (void)as.malloc(64);
+  (void)as.malloc(64);
+  std::vector<std::string> names;
+  map_.for_each_overlapping(
+      as.layout().application_span(),
+      [&](ObjectRef, const ObjectInfo& info) {
+        names.push_back(info.name);
+        return true;
+      });
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "s0");
+  EXPECT_EQ(names[1], "s1");
+  EXPECT_EQ(names[2], "0x141000000");
+  EXPECT_EQ(names[3], "0x141000040");
+}
+
+TEST_F(ObjectMapTest, OccupiedSpanCoversStaticsAndHeap) {
+  auto& as = machine_.address_space();
+  const sim::Addr s = as.define_static("s", 4096);
+  const sim::Addr h = as.malloc(4096);
+  const auto span = map_.occupied_span();
+  EXPECT_EQ(span.base, s);
+  EXPECT_EQ(span.bound, h + 4096);
+}
+
+TEST_F(ObjectMapTest, OccupiedSpanEmptyWithoutObjects) {
+  EXPECT_TRUE(map_.occupied_span().empty());
+}
+
+TEST(ObjectMapStandalone, WorksWithoutAttachedAddressSpace) {
+  ObjectMap map;
+  map.add_static("g", 0x1000, 0x100);
+  map.add_heap_block(0x141000000ULL, 0x100, sim::kNoSite);
+  EXPECT_TRUE(map.resolve(0x1010).found);
+  EXPECT_TRUE(map.resolve(0x141000010ULL).found);
+  EXPECT_FALSE(map.resolve(0x5000).found);
+  map.remove_heap_block(0x141000000ULL);
+  EXPECT_FALSE(map.resolve(0x141000010ULL).found);
+}
+
+}  // namespace
+}  // namespace hpm::objmap

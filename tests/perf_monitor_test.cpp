@@ -1,0 +1,136 @@
+#include "sim/perf_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpm::sim {
+namespace {
+
+TEST(PerfMonitor, CountsGlobalMissesAndLastAddress) {
+  PerfMonitor pmu(4);
+  pmu.record_miss(0x100);
+  pmu.record_miss(0x200);
+  EXPECT_EQ(pmu.global_misses(), 2u);
+  EXPECT_EQ(pmu.last_miss_address(), 0x200u);
+  pmu.clear_global();
+  EXPECT_EQ(pmu.global_misses(), 0u);
+  // Clearing the global counter does not clear the last-miss register.
+  EXPECT_EQ(pmu.last_miss_address(), 0x200u);
+}
+
+TEST(PerfMonitor, RegionCountersRespectBaseBounds) {
+  PerfMonitor pmu(4);
+  pmu.configure(0, 0x1000, 0x2000);
+  pmu.record_miss(0x0fff);  // below
+  pmu.record_miss(0x1000);  // first in-range byte
+  pmu.record_miss(0x1fff);  // last in-range byte
+  pmu.record_miss(0x2000);  // bound is exclusive
+  EXPECT_EQ(pmu.read(0), 2u);
+  EXPECT_EQ(pmu.global_misses(), 4u);
+}
+
+TEST(PerfMonitor, MultipleCountersCanOverlap) {
+  PerfMonitor pmu(4);
+  pmu.configure(0, 0x0, 0x10000);
+  pmu.configure(1, 0x8000, 0x9000);
+  pmu.record_miss(0x8500);
+  EXPECT_EQ(pmu.read(0), 1u);
+  EXPECT_EQ(pmu.read(1), 1u);
+}
+
+TEST(PerfMonitor, ConfigureResetsCount) {
+  PerfMonitor pmu(2);
+  pmu.configure(0, 0, 0x1000);
+  pmu.record_miss(0x10);
+  EXPECT_EQ(pmu.read(0), 1u);
+  pmu.configure(0, 0, 0x1000);
+  EXPECT_EQ(pmu.read(0), 0u);
+}
+
+TEST(PerfMonitor, DisableStopsCounting) {
+  PerfMonitor pmu(2);
+  pmu.configure(0, 0, 0x1000);
+  pmu.record_miss(0x10);
+  pmu.disable(0);
+  pmu.record_miss(0x10);
+  EXPECT_EQ(pmu.read(0), 1u);
+  EXPECT_FALSE(pmu.enabled(0));
+}
+
+TEST(PerfMonitor, ClearKeepsConfiguration) {
+  PerfMonitor pmu(2);
+  pmu.configure(0, 0x100, 0x200);
+  pmu.record_miss(0x150);
+  pmu.clear(0);
+  EXPECT_EQ(pmu.read(0), 0u);
+  pmu.record_miss(0x150);
+  EXPECT_EQ(pmu.read(0), 1u);
+  EXPECT_EQ(pmu.region(0), (AddrRange{0x100, 0x200}));
+}
+
+TEST(PerfMonitor, OverflowFiresAfterExactlyPeriodMisses) {
+  PerfMonitor pmu(2);
+  pmu.arm_overflow(3);
+  pmu.record_miss(1);
+  pmu.record_miss(2);
+  EXPECT_FALSE(pmu.overflow_pending());
+  pmu.record_miss(3);
+  EXPECT_TRUE(pmu.overflow_pending());
+  EXPECT_EQ(pmu.last_miss_address(), 3u);
+  // One-shot until re-armed.
+  pmu.acknowledge_overflow();
+  pmu.record_miss(4);
+  EXPECT_FALSE(pmu.overflow_pending());
+}
+
+TEST(PerfMonitor, OverflowRearmRestartsCountdown) {
+  PerfMonitor pmu(2);
+  pmu.arm_overflow(2);
+  pmu.record_miss(1);
+  pmu.arm_overflow(2);  // restart
+  pmu.record_miss(2);
+  EXPECT_FALSE(pmu.overflow_pending());
+  pmu.record_miss(3);
+  EXPECT_TRUE(pmu.overflow_pending());
+}
+
+TEST(PerfMonitor, DisarmClearsPending) {
+  PerfMonitor pmu(2);
+  pmu.arm_overflow(1);
+  pmu.record_miss(1);
+  EXPECT_TRUE(pmu.overflow_pending());
+  pmu.disarm_overflow();
+  EXPECT_FALSE(pmu.overflow_pending());
+}
+
+TEST(PerfMonitor, ArmZeroDisarms) {
+  PerfMonitor pmu(2);
+  pmu.arm_overflow(0);
+  for (int i = 0; i < 10; ++i) pmu.record_miss(static_cast<Addr>(i));
+  EXPECT_FALSE(pmu.overflow_pending());
+}
+
+TEST(PerfMonitor, IndexValidation) {
+  PerfMonitor pmu(2);
+  EXPECT_THROW(pmu.configure(2, 0, 1), std::out_of_range);
+  EXPECT_THROW((void)pmu.read(5), std::out_of_range);
+  EXPECT_THROW(pmu.configure(0, 10, 5), std::invalid_argument);
+  EXPECT_THROW(PerfMonitor bad(0), std::invalid_argument);
+  EXPECT_THROW(PerfMonitor bad(PerfMonitor::kMaxCounters + 1),
+               std::invalid_argument);
+}
+
+TEST(PerfMonitor, TenCountersPlusGlobalLikeThePaper) {
+  // The paper's 10-way search: ten region counters plus the global one.
+  PerfMonitor pmu(10);
+  for (unsigned i = 0; i < 10; ++i) {
+    pmu.configure(i, i * 0x1000, (i + 1) * 0x1000);
+  }
+  for (Addr a = 0; a < 0xa000; a += 0x800) pmu.record_miss(a);
+  std::uint64_t sum = 0;
+  for (unsigned i = 0; i < 10; ++i) sum += pmu.read(i);
+  EXPECT_EQ(sum, pmu.global_misses());
+  EXPECT_EQ(pmu.read(0), 2u);
+}
+
+}  // namespace
+}  // namespace hpm::sim

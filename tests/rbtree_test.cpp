@@ -1,0 +1,252 @@
+#include "objmap/rbtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace hpm::objmap {
+namespace {
+
+TEST(RbTree, EmptyTree) {
+  RbTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.validate());
+  EXPECT_EQ(tree.min(), nullptr);
+  EXPECT_EQ(tree.max(), nullptr);
+  EXPECT_EQ(tree.find_containing(0x1000).node, nullptr);
+  EXPECT_EQ(tree.lower_bound(0).node, nullptr);
+  EXPECT_EQ(tree.floor(~0ULL).node, nullptr);
+}
+
+TEST(RbTree, SingleInsertFind) {
+  RbTree tree;
+  tree.insert(0x1000, 256, 7);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.validate());
+  const auto hit = tree.find_containing(0x1080);
+  ASSERT_NE(hit.node, nullptr);
+  EXPECT_EQ(hit.node->base, 0x1000u);
+  EXPECT_EQ(hit.node->size, 256u);
+  EXPECT_EQ(hit.node->object_id, 7u);
+  EXPECT_EQ(tree.find_containing(0x1100).node, nullptr);  // one past end
+  EXPECT_EQ(tree.find_containing(0xfff).node, nullptr);   // below
+}
+
+TEST(RbTree, DuplicateInsertThrows) {
+  RbTree tree;
+  tree.insert(0x1000, 64, 0);
+  EXPECT_THROW(tree.insert(0x1000, 128, 1), std::invalid_argument);
+}
+
+TEST(RbTree, EraseLeafRootAndInternal) {
+  RbTree tree;
+  for (sim::Addr a : {0x3000, 0x1000, 0x5000, 0x2000, 0x4000}) {
+    tree.insert(static_cast<sim::Addr>(a), 64, 0);
+  }
+  EXPECT_TRUE(tree.validate());
+  EXPECT_TRUE(tree.erase(0x2000));  // leaf-ish
+  EXPECT_TRUE(tree.validate());
+  EXPECT_TRUE(tree.erase(0x3000));  // likely root / internal
+  EXPECT_TRUE(tree.validate());
+  EXPECT_FALSE(tree.erase(0x3000));  // already gone
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(tree.find_containing(0x3000).node, nullptr);
+  ASSERT_NE(tree.find_containing(0x4000).node, nullptr);
+}
+
+TEST(RbTree, MinMaxTrackExtremes) {
+  RbTree tree;
+  for (int i = 10; i >= 1; --i) {
+    tree.insert(static_cast<sim::Addr>(i) * 0x100, 64, 0);
+  }
+  ASSERT_NE(tree.min(), nullptr);
+  EXPECT_EQ(tree.min()->base, 0x100u);
+  EXPECT_EQ(tree.max()->base, 0xa00u);
+  tree.erase(0x100);
+  tree.erase(0xa00);
+  EXPECT_EQ(tree.min()->base, 0x200u);
+  EXPECT_EQ(tree.max()->base, 0x900u);
+}
+
+TEST(RbTree, LowerBoundAndFloor) {
+  RbTree tree;
+  tree.insert(0x1000, 64, 0);
+  tree.insert(0x3000, 64, 1);
+  tree.insert(0x5000, 64, 2);
+  EXPECT_EQ(tree.lower_bound(0x0).node->base, 0x1000u);
+  EXPECT_EQ(tree.lower_bound(0x1000).node->base, 0x1000u);
+  EXPECT_EQ(tree.lower_bound(0x1001).node->base, 0x3000u);
+  EXPECT_EQ(tree.lower_bound(0x5001).node, nullptr);
+  EXPECT_EQ(tree.floor(0x0).node, nullptr);
+  EXPECT_EQ(tree.floor(0x1000).node->base, 0x1000u);
+  EXPECT_EQ(tree.floor(0x2fff).node->base, 0x1000u);
+  EXPECT_EQ(tree.floor(~0ULL).node->base, 0x5000u);
+}
+
+TEST(RbTree, VisitRangeInOrder) {
+  RbTree tree;
+  std::vector<sim::Addr> bases = {0x7000, 0x1000, 0x5000, 0x3000, 0x9000};
+  for (auto b : bases) tree.insert(b, 64, 0);
+  std::vector<sim::Addr> seen;
+  tree.visit_range(0x2000, 0x8000, [&](const HeapBlockNode& n) {
+    seen.push_back(n.base);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<sim::Addr>{0x3000, 0x5000, 0x7000}));
+}
+
+TEST(RbTree, VisitRangeEarlyStop) {
+  RbTree tree;
+  for (int i = 0; i < 10; ++i) {
+    tree.insert(static_cast<sim::Addr>(i) * 0x100 + 0x1000, 64, 0);
+  }
+  int visits = 0;
+  tree.visit_range(0, ~0ULL, [&](const HeapBlockNode&) {
+    return ++visits < 3;
+  });
+  EXPECT_EQ(visits, 3);
+}
+
+TEST(RbTree, ShadowAllocCallbackAssignsAddresses) {
+  sim::Addr next = 0x2'0000'0000ULL;
+  RbTree tree([&](std::uint64_t size) {
+    const sim::Addr a = next;
+    next += size;
+    return a;
+  });
+  tree.insert(0x1000, 64, 0);
+  tree.insert(0x2000, 64, 1);
+  const auto hit = tree.find_containing(0x1000);
+  ASSERT_NE(hit.node, nullptr);
+  EXPECT_GE(hit.node->shadow, 0x2'0000'0000ULL);
+  // The lookup path reports the shadow addresses it visited.
+  EXPECT_FALSE(hit.path.empty());
+  for (auto a : hit.path) EXPECT_GE(a, 0x2'0000'0000ULL);
+}
+
+TEST(RbTree, LookupPathLengthIsLogarithmic) {
+  RbTree tree;
+  const int n = 4096;
+  for (int i = 0; i < n; ++i) {
+    tree.insert(static_cast<sim::Addr>(i) * 128, 64, 0);
+  }
+  EXPECT_TRUE(tree.validate());
+  // Red-black height bound: <= 2*log2(n+1).
+  EXPECT_LE(tree.height(), 2 * 13);
+  const auto hit = tree.find_containing(2048 * 128);
+  EXPECT_LE(hit.path.size(), 2 * 13 + 1);
+}
+
+struct RandomOpsParam {
+  std::uint64_t seed;
+  int operations;
+  std::uint64_t key_space;  // number of possible block slots
+};
+
+class RbTreeRandomOps : public ::testing::TestWithParam<RandomOpsParam> {};
+
+// Property test: a shadowing std::map must agree with the tree after every
+// operation, and the red-black invariants must hold throughout.
+TEST_P(RbTreeRandomOps, MatchesStdMapReference) {
+  const auto param = GetParam();
+  util::Xoshiro256 rng(param.seed);
+  RbTree tree;
+  std::map<sim::Addr, std::uint64_t> reference;
+
+  for (int op = 0; op < param.operations; ++op) {
+    const sim::Addr base =
+        0x1000 + rng.next_below(param.key_space) * 0x100;
+    if (rng.next_below(100) < 60) {
+      if (reference.find(base) == reference.end()) {
+        const std::uint64_t size = 0x40 + rng.next_below(3) * 0x40;
+        tree.insert(base, size, static_cast<std::uint32_t>(op));
+        reference[base] = size;
+      }
+    } else {
+      const bool erased = tree.erase(base);
+      EXPECT_EQ(erased, reference.erase(base) == 1);
+    }
+    if (op % 64 == 0) {
+      ASSERT_TRUE(tree.validate()) << "op " << op;
+      ASSERT_EQ(tree.size(), reference.size());
+    }
+  }
+  ASSERT_TRUE(tree.validate());
+  ASSERT_EQ(tree.size(), reference.size());
+
+  // Containment queries agree on random probe points.
+  for (int probe = 0; probe < 500; ++probe) {
+    const sim::Addr addr = 0x1000 + rng.next_below(param.key_space * 0x100);
+    const auto hit = tree.find_containing(addr);
+    auto it = reference.upper_bound(addr);
+    const bool ref_hit = it != reference.begin() &&
+                         ((--it)->first + it->second > addr);
+    if (ref_hit) {
+      ASSERT_NE(hit.node, nullptr) << std::hex << addr;
+      EXPECT_EQ(hit.node->base, it->first);
+    } else {
+      EXPECT_EQ(hit.node, nullptr) << std::hex << addr;
+    }
+  }
+
+  // In-order traversal equals the reference key order.
+  std::vector<sim::Addr> in_tree;
+  tree.visit_range(0, ~0ULL, [&](const HeapBlockNode& n) {
+    in_tree.push_back(n.base);
+    return true;
+  });
+  std::vector<sim::Addr> in_ref;
+  for (const auto& [k, v] : reference) in_ref.push_back(k);
+  EXPECT_EQ(in_tree, in_ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RbTreeRandomOps,
+    ::testing::Values(RandomOpsParam{1, 2000, 256},
+                      RandomOpsParam{2, 2000, 32},    // high collision rate
+                      RandomOpsParam{3, 5000, 1024},
+                      RandomOpsParam{4, 500, 8},      // tiny, heavy churn
+                      RandomOpsParam{5, 8000, 4096},
+                      RandomOpsParam{6, 3000, 64}));
+
+TEST(RbTree, AscendingInsertStaysBalanced) {
+  RbTree tree;
+  for (int i = 0; i < 10'000; ++i) {
+    tree.insert(static_cast<sim::Addr>(i) * 64, 64, 0);
+  }
+  EXPECT_TRUE(tree.validate());
+  EXPECT_LE(tree.height(), 2 * 14);  // 2*log2(10001) ~ 26.6
+}
+
+TEST(RbTree, DescendingInsertStaysBalanced) {
+  RbTree tree;
+  for (int i = 10'000; i > 0; --i) {
+    tree.insert(static_cast<sim::Addr>(i) * 64, 64, 0);
+  }
+  EXPECT_TRUE(tree.validate());
+  EXPECT_LE(tree.height(), 2 * 14);
+}
+
+TEST(RbTree, DrainToEmptyAndReuse) {
+  RbTree tree;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      tree.insert(static_cast<sim::Addr>(i) * 64 + 0x1000, 64, 0);
+    }
+    EXPECT_TRUE(tree.validate());
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_TRUE(tree.erase(static_cast<sim::Addr>(i) * 64 + 0x1000));
+    }
+    EXPECT_TRUE(tree.empty());
+    EXPECT_TRUE(tree.validate());
+  }
+}
+
+}  // namespace
+}  // namespace hpm::objmap

@@ -1,0 +1,148 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/primes.hpp"
+
+namespace hpm::core {
+namespace {
+
+Report make_report() {
+  std::vector<ReportRow> rows = {
+      {"B", {}, 300, 30.0},
+      {"A", {}, 500, 50.0},
+      {"C", {}, 150, 15.0},
+      {"D", {}, 50, 5.0},
+  };
+  return Report(std::move(rows), 1000);
+}
+
+TEST(Report, SortsByPercentDescending) {
+  const auto r = make_report();
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_EQ(r.rows()[0].name, "A");
+  EXPECT_EQ(r.rows()[1].name, "B");
+  EXPECT_EQ(r.rows()[2].name, "C");
+  EXPECT_EQ(r.rows()[3].name, "D");
+  EXPECT_EQ(r.total_count(), 1000u);
+}
+
+TEST(Report, TiesBreakByNameForDeterminism) {
+  std::vector<ReportRow> rows = {{"z", {}, 1, 10.0}, {"a", {}, 1, 10.0}};
+  const Report r(std::move(rows), 2);
+  EXPECT_EQ(r.rows()[0].name, "a");
+}
+
+TEST(Report, RankAndPercentLookups) {
+  const auto r = make_report();
+  EXPECT_EQ(r.rank_of("A"), 1u);
+  EXPECT_EQ(r.rank_of("D"), 4u);
+  EXPECT_EQ(r.rank_of("nope"), 0u);
+  EXPECT_EQ(r.percent_of("C").value_or(-1), 15.0);
+  EXPECT_FALSE(r.percent_of("nope").has_value());
+}
+
+TEST(Report, FilteredDropsSmallRows) {
+  const auto r = make_report().filtered(10.0);
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.rank_of("D"), 0u);
+  // The paper's tables filter at 0.01%: everything here survives that.
+  EXPECT_EQ(make_report().filtered(0.01).size(), 4u);
+}
+
+TEST(Report, TopTruncates) {
+  const auto r = make_report().top(2);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.rows()[1].name, "B");
+  EXPECT_EQ(make_report().top(99).size(), 4u);
+}
+
+TEST(Report, EmptyReport) {
+  const Report r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.rank_of("A"), 0u);
+  EXPECT_TRUE(r.filtered(1.0).empty());
+  EXPECT_TRUE(r.top(5).empty());
+}
+
+TEST(ReportCompare, PerfectEstimate) {
+  const auto actual = make_report();
+  const auto c = Report::compare(actual, make_report(), 4);
+  EXPECT_EQ(c.objects_compared, 4u);
+  EXPECT_EQ(c.max_abs_error, 0.0);
+  EXPECT_EQ(c.mean_abs_error, 0.0);
+  EXPECT_EQ(c.order_agreement, 1.0);
+  EXPECT_EQ(c.missing, 0u);
+}
+
+TEST(ReportCompare, MissingObjectsCountAsFullError) {
+  const auto actual = make_report();
+  std::vector<ReportRow> est_rows = {{"A", {}, 1, 48.0}, {"B", {}, 1, 32.0}};
+  const Report estimate(std::move(est_rows), 2);
+  const auto c = Report::compare(actual, estimate, 4);
+  EXPECT_EQ(c.missing, 2u);  // C and D absent
+  EXPECT_EQ(c.max_abs_error, 15.0);  // C's full 15%
+}
+
+TEST(ReportCompare, TopKLimitsComparison) {
+  const auto actual = make_report();
+  const Report empty;
+  const auto c = Report::compare(actual, empty, 2);
+  EXPECT_EQ(c.objects_compared, 2u);
+  EXPECT_EQ(c.missing, 2u);
+  EXPECT_EQ(c.max_abs_error, 50.0);
+}
+
+TEST(ReportCompare, OrderAgreementDetectsSwaps) {
+  const auto actual = make_report();
+  std::vector<ReportRow> est_rows = {
+      {"A", {}, 1, 20.0}, {"B", {}, 1, 40.0},  // A and B swapped
+      {"C", {}, 1, 15.0}, {"D", {}, 1, 5.0},
+  };
+  const Report estimate(std::move(est_rows), 4);
+  const auto c = Report::compare(actual, estimate, 4);
+  EXPECT_LT(c.order_agreement, 1.0);
+  EXPECT_GE(c.order_agreement, 5.0 / 6.0 - 1e-12);  // one bad pair of six
+}
+
+// -- primes (used by the sampling period policies) --------------------------
+
+TEST(Primes, SmallCases) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(5));
+  EXPECT_FALSE(is_prime(49));
+  EXPECT_TRUE(is_prime(97));
+}
+
+TEST(Primes, PaperInterval) {
+  // The paper's prime sampling interval.
+  EXPECT_TRUE(is_prime(50'111));
+  EXPECT_FALSE(is_prime(50'000));
+  EXPECT_EQ(next_prime(50'001), 50'021u);
+  EXPECT_EQ(next_prime(50'111), 50'111u);
+}
+
+TEST(Primes, NextPrimeEdges) {
+  EXPECT_EQ(next_prime(0), 2u);
+  EXPECT_EQ(next_prime(2), 2u);
+  EXPECT_EQ(next_prime(3), 3u);
+  EXPECT_EQ(next_prime(4), 5u);
+  EXPECT_EQ(next_prime(14), 17u);
+  EXPECT_EQ(next_prime(1'000'000), 1'000'003u);
+}
+
+TEST(Primes, NextPrimeIsAlwaysPrimeAndMinimal) {
+  for (std::uint64_t n = 2; n < 2000; ++n) {
+    const auto p = next_prime(n);
+    EXPECT_TRUE(is_prime(p)) << p;
+    EXPECT_GE(p, n);
+    for (std::uint64_t q = n; q < p; ++q) EXPECT_FALSE(is_prime(q)) << q;
+  }
+}
+
+}  // namespace
+}  // namespace hpm::core

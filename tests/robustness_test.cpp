@@ -1,0 +1,185 @@
+// Randomized-property and adversarial-robustness tests: sampling
+// proportionality over random layouts, and tool behaviour under heap churn
+// (blocks allocated and freed while measurement is running).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/nway_search.hpp"
+#include "core/sampler.hpp"
+#include "harness/experiment.hpp"
+#include "objmap/object_map.hpp"
+#include "util/prng.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace hpm {
+namespace {
+
+sim::MachineConfig test_machine() {
+  sim::MachineConfig c;
+  c.cache.size_bytes = 128 * 1024;
+  return c;
+}
+
+// -- Randomized sampling proportionality -------------------------------------
+
+class SamplingProportionality : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SamplingProportionality, EstimatesTrackActualOnRandomLayouts) {
+  util::Xoshiro256 rng(GetParam());
+  workloads::SyntheticSpec spec;
+  spec.lockstep = true;
+  const int arrays = 3 + static_cast<int>(rng.next_below(6));
+  workloads::SyntheticPhase phase;
+  for (int i = 0; i < arrays; ++i) {
+    // 256 KB .. 1.25 MB, always beyond the 128 KB cache.
+    spec.arrays.push_back({"A" + std::to_string(i),
+                           (256 + rng.next_below(1024)) * 1024});
+    phase.sweeps.push_back(1);
+  }
+  spec.phases.push_back(std::move(phase));
+  spec.iterations = 25;
+  workloads::SyntheticWorkload workload(spec);
+
+  harness::RunConfig config;
+  config.machine = test_machine();
+  config.tool = harness::ToolKind::kSampler;
+  config.sampler.period = 499 + 2 * rng.next_below(500);  // odd period
+  const auto result = harness::run_experiment(config, workload);
+
+  ASSERT_GT(result.samples, 500u);
+  const auto comparison = core::Report::compare(
+      result.actual, result.estimated, static_cast<std::size_t>(arrays));
+  EXPECT_EQ(comparison.missing, 0u);
+  // Binomial noise bound: generous 4-sigma on the largest share.
+  EXPECT_LT(comparison.max_abs_error,
+            4.0 * 100.0 / std::sqrt(static_cast<double>(result.samples)) +
+                1.0);
+  EXPECT_GT(comparison.order_agreement, 0.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SamplingProportionality,
+                         ::testing::Values(7u, 21u, 63u, 189u, 567u, 1701u));
+
+// -- Heap churn while tools run ------------------------------------------------
+
+// A workload that allocates, touches and frees blocks continuously, with a
+// persistent hot block.
+class ChurnWorkload final : public workloads::Workload {
+ public:
+  explicit ChurnWorkload(std::uint64_t seed) : rng_(seed) {}
+
+  [[nodiscard]] std::string_view name() const override { return "churn"; }
+
+  void setup(sim::Machine& machine) override {
+    hot_ = machine.address_space().malloc(512 * 1024, /*site=*/1);
+  }
+
+  void run(sim::Machine& machine) override {
+    auto& as = machine.address_space();
+    std::vector<std::pair<sim::Addr, std::uint64_t>> live;
+    for (int round = 0; round < 400; ++round) {
+      // Hot block dominates.
+      for (sim::Addr off = 0; off < 512 * 1024; off += 64) {
+        machine.touch(hot_ + off, (off & 511) == 0);
+        machine.exec(1);
+      }
+      // Churn: allocate a few transient blocks, touch them once, free an
+      // old one.
+      for (int k = 0; k < 3; ++k) {
+        const std::uint64_t size = (1 + rng_.next_below(64)) * 1024;
+        const sim::Addr block = as.malloc(size, /*site=*/2);
+        ASSERT_NE(block, sim::kNullAddr);
+        for (sim::Addr off = 0; off < size; off += 64) {
+          machine.touch(block + off, true);
+        }
+        live.emplace_back(block, size);
+      }
+      while (live.size() > 32) {
+        const std::size_t pick = rng_.next_below(live.size());
+        as.free(live[pick].first);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+    }
+    for (auto& [addr, size] : live) as.free(addr);
+  }
+
+  [[nodiscard]] sim::Addr hot() const noexcept { return hot_; }
+
+ private:
+  util::Xoshiro256 rng_;
+  sim::Addr hot_ = 0;
+};
+
+TEST(HeapChurn, SamplerAttributesHotBlockThroughChurn) {
+  ChurnWorkload workload(11);
+  harness::RunConfig config;
+  config.machine = test_machine();
+  config.tool = harness::ToolKind::kSampler;
+  config.sampler.period = 997;
+  const auto result = harness::run_experiment(config, workload);
+  ASSERT_FALSE(result.estimated.empty());
+  EXPECT_EQ(result.estimated.rows()[0].name, "0x141000000");  // the hot block
+  EXPECT_GT(result.estimated.rows()[0].percent, 50.0);
+  // Ground truth attributes everything (freed-block records persist).
+  EXPECT_EQ(result.unattributed_misses, 0u);
+}
+
+TEST(HeapChurn, SearchSurvivesChurnAndFindsHotBlock) {
+  ChurnWorkload workload(13);
+  harness::RunConfig config;
+  config.machine = test_machine();
+  config.tool = harness::ToolKind::kSearch;
+  config.search.n = 8;
+  config.search.initial_interval = 400'000;
+  const auto result = harness::run_experiment(config, workload);
+  ASSERT_FALSE(result.estimated.empty());
+  EXPECT_EQ(result.estimated.rows()[0].name, "0x141000000");
+}
+
+TEST(HeapChurn, SiteAggregationSurvivesChurn) {
+  ChurnWorkload workload(17);
+  harness::RunConfig config;
+  config.machine = test_machine();
+  config.tool = harness::ToolKind::kSampler;
+  config.sampler.period = 499;
+  config.sampler.aggregate_sites = true;
+
+  // Run through the harness but name the sites first via a custom wiring.
+  sim::Machine machine(config.machine);
+  objmap::ObjectMap map;
+  map.attach(machine.address_space());
+  map.set_site_name(1, "hot_buffer");
+  map.set_site_name(2, "transients");
+  workload.setup(machine);
+  core::Sampler sampler(machine, map, config.sampler);
+  sampler.start();
+  workload.run(machine);
+  sampler.stop();
+
+  const auto report = sampler.report();
+  ASSERT_GE(report.size(), 2u);
+  EXPECT_EQ(report.rows()[0].name, "hot_buffer");
+  // Every churn block, whichever address it landed at, folds into one row.
+  EXPECT_GT(report.rank_of("transients"), 0u);
+}
+
+TEST(HeapChurn, DeterministicUnderTools) {
+  auto run = [] {
+    ChurnWorkload workload(23);
+    harness::RunConfig config;
+    config.machine = test_machine();
+    config.tool = harness::ToolKind::kSearch;
+    config.search.n = 4;
+    config.search.initial_interval = 300'000;
+    const auto r = harness::run_experiment(config, workload);
+    return std::make_pair(r.stats.app_misses, r.stats.total_cycles());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace hpm

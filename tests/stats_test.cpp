@@ -1,0 +1,118 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace hpm::util {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.min(), 0.0);
+  EXPECT_EQ(acc.max(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(3.5);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_EQ(acc.mean(), 3.5);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.min(), 3.5);
+  EXPECT_EQ(acc.max(), 3.5);
+  EXPECT_EQ(acc.sum(), 3.5);
+}
+
+TEST(Accumulator, KnownMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance of that set is 32/7.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(acc.min(), 2.0);
+  EXPECT_EQ(acc.max(), 9.0);
+  EXPECT_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, NegativeValues) {
+  Accumulator acc;
+  acc.add(-5.0);
+  acc.add(5.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.min(), -5.0);
+  EXPECT_EQ(acc.max(), 5.0);
+}
+
+TEST(Percentile, EmptyAndSingle) {
+  EXPECT_EQ(percentile({}, 50), 0.0);
+  const double one[] = {42.0};
+  EXPECT_EQ(percentile(one, 0), 42.0);
+  EXPECT_EQ(percentile(one, 100), 42.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const double xs[] = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_EQ(percentile(xs, 0), 10.0);
+  EXPECT_EQ(percentile(xs, 100), 50.0);
+  EXPECT_EQ(percentile(xs, 50), 30.0);
+  EXPECT_EQ(percentile(xs, 25), 20.0);
+  EXPECT_NEAR(percentile(xs, 10), 14.0, 1e-12);
+}
+
+TEST(Percentile, UnsortedInput) {
+  const double xs[] = {50.0, 10.0, 40.0, 20.0, 30.0};
+  EXPECT_EQ(percentile(xs, 50), 30.0);
+}
+
+TEST(Percentile, ClampsOutOfRangeP) {
+  const double xs[] = {1.0, 2.0};
+  EXPECT_EQ(percentile(xs, -5), 1.0);
+  EXPECT_EQ(percentile(xs, 200), 2.0);
+}
+
+TEST(ToPercentages, Normalises) {
+  const std::uint64_t counts[] = {25, 50, 25};
+  const auto p = to_percentages(counts);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_DOUBLE_EQ(p[0], 25.0);
+  EXPECT_DOUBLE_EQ(p[1], 50.0);
+  EXPECT_DOUBLE_EQ(p[2], 25.0);
+}
+
+TEST(ToPercentages, AllZeroSafe) {
+  const std::uint64_t counts[] = {0, 0};
+  const auto p = to_percentages(counts);
+  EXPECT_EQ(p, (std::vector<double>{0.0, 0.0}));
+  EXPECT_TRUE(to_percentages({}).empty());
+}
+
+TEST(PairwiseOrderAgreement, PerfectAgreement) {
+  const double a[] = {5.0, 3.0, 1.0};
+  const double b[] = {50.0, 30.0, 10.0};
+  EXPECT_EQ(pairwise_order_agreement(a, b), 1.0);
+}
+
+TEST(PairwiseOrderAgreement, TotalDisagreement) {
+  const double a[] = {3.0, 2.0, 1.0};
+  const double b[] = {1.0, 2.0, 3.0};
+  // Ties count as consistent; here every pair is strictly reversed.
+  EXPECT_EQ(pairwise_order_agreement(a, b), 0.0);
+}
+
+TEST(PairwiseOrderAgreement, PartialAndDegenerate) {
+  const double a[] = {3.0, 2.0, 1.0};
+  const double b[] = {3.0, 1.0, 2.0};
+  EXPECT_NEAR(pairwise_order_agreement(a, b), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(pairwise_order_agreement({}, {}), 1.0);
+  const double single[] = {1.0};
+  EXPECT_EQ(pairwise_order_agreement(single, single), 1.0);
+}
+
+}  // namespace
+}  // namespace hpm::util

@@ -1,0 +1,140 @@
+#include "objmap/symbol_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace hpm::objmap {
+namespace {
+
+TEST(SymbolTable, EmptyLookupMisses) {
+  SymbolTable table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.find_containing(0x1000).entry, nullptr);
+  EXPECT_EQ(table.lower_bound(0), 0u);
+}
+
+TEST(SymbolTable, FindContainingExactBounds) {
+  SymbolTable table;
+  table.add("X", 0x1000, 0x100);
+  const auto at_base = table.find_containing(0x1000);
+  ASSERT_NE(at_base.entry, nullptr);
+  EXPECT_EQ(at_base.entry->name, "X");
+  ASSERT_NE(table.find_containing(0x10ff).entry, nullptr);
+  EXPECT_EQ(table.find_containing(0x1100).entry, nullptr);
+  EXPECT_EQ(table.find_containing(0x0fff).entry, nullptr);
+}
+
+TEST(SymbolTable, KeepsSortedUnderArbitraryInsertOrder) {
+  SymbolTable table;
+  table.add("C", 0x3000, 64);
+  table.add("A", 0x1000, 64);
+  table.add("B", 0x2000, 64);
+  ASSERT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.entry(0).name, "A");
+  EXPECT_EQ(table.entry(1).name, "B");
+  EXPECT_EQ(table.entry(2).name, "C");
+  EXPECT_EQ(table.find_containing(0x2000).index, 1u);
+}
+
+TEST(SymbolTable, RejectsOverlaps) {
+  SymbolTable table;
+  table.add("A", 0x1000, 0x100);
+  EXPECT_THROW(table.add("B", 0x10ff, 1), std::invalid_argument);
+  EXPECT_THROW(table.add("C", 0x0fff, 2), std::invalid_argument);
+  EXPECT_THROW(table.add("D", 0x1000, 0x100), std::invalid_argument);
+  EXPECT_THROW(table.add("E", 0x0f00, 0x1000), std::invalid_argument);
+  // Exactly adjacent is fine.
+  EXPECT_NO_THROW(table.add("F", 0x1100, 0x100));
+  EXPECT_NO_THROW(table.add("G", 0x0f00, 0x100));
+}
+
+TEST(SymbolTable, RejectsEmptySymbol) {
+  SymbolTable table;
+  EXPECT_THROW(table.add("Z", 0x1000, 0), std::invalid_argument);
+}
+
+TEST(SymbolTable, LowerBound) {
+  SymbolTable table;
+  table.add("A", 0x1000, 64);
+  table.add("B", 0x3000, 64);
+  EXPECT_EQ(table.lower_bound(0x0), 0u);
+  EXPECT_EQ(table.lower_bound(0x1000), 0u);
+  EXPECT_EQ(table.lower_bound(0x1001), 1u);
+  EXPECT_EQ(table.lower_bound(0x3001), 2u);
+}
+
+TEST(SymbolTable, ShadowAddressesFollowIndexOrder) {
+  SymbolTable table;
+  table.add("B", 0x2000, 64);
+  table.add("A", 0x1000, 64);  // inserted before B, shifting it
+  table.set_shadow_storage(0x2'0000'0000ULL, 64);
+  EXPECT_EQ(table.entry(0).shadow, 0x2'0000'0000ULL);
+  EXPECT_EQ(table.entry(1).shadow, 0x2'0000'0040ULL);
+  table.add("C", 0x1800, 64);  // lands between A and B
+  EXPECT_EQ(table.entry(1).name, "C");
+  EXPECT_EQ(table.entry(1).shadow, 0x2'0000'0040ULL);
+  EXPECT_EQ(table.entry(2).shadow, 0x2'0000'0080ULL);
+}
+
+TEST(SymbolTable, LookupRecordsProbeSequence) {
+  SymbolTable table;
+  for (int i = 0; i < 64; ++i) {
+    table.add("S" + std::to_string(i),
+              0x1000 + static_cast<sim::Addr>(i) * 0x100, 64);
+  }
+  table.set_shadow_storage(0x2'0000'0000ULL, 64);
+  const auto hit = table.find_containing(0x1000 + 40 * 0x100);
+  ASSERT_NE(hit.entry, nullptr);
+  // Binary search over 64 entries: at most log2(64)+1 probes.
+  EXPECT_LE(hit.shadow_path.size(), 7u);
+  EXPECT_GE(hit.shadow_path.size(), 5u);
+  for (auto a : hit.shadow_path) {
+    EXPECT_GE(a, 0x2'0000'0000ULL);
+    EXPECT_LT(a, 0x2'0000'0000ULL + 64 * 64);
+  }
+}
+
+class SymbolTableRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SymbolTableRandom, FindAgreesWithLinearScan) {
+  util::Xoshiro256 rng(GetParam());
+  SymbolTable table;
+  struct Sym {
+    sim::Addr base;
+    std::uint64_t size;
+  };
+  std::vector<Sym> symbols;
+  // Non-overlapping random symbols on a 0x200 grid with random sizes.
+  for (int i = 0; i < 200; ++i) {
+    const sim::Addr base = 0x10000 + rng.next_below(4096) * 0x200;
+    const std::uint64_t size = 0x40 + rng.next_below(4) * 0x40;
+    bool clash = false;
+    for (const auto& s : symbols) clash = clash || s.base == base;
+    if (clash) continue;
+    table.add("sym", base, size);
+    symbols.push_back({base, size});
+  }
+  for (int probe = 0; probe < 2000; ++probe) {
+    const sim::Addr addr = 0x10000 + rng.next_below(4096 * 0x200);
+    const auto hit = table.find_containing(addr);
+    const Sym* expected = nullptr;
+    for (const auto& s : symbols) {
+      if (addr >= s.base && addr < s.base + s.size) expected = &s;
+    }
+    if (expected != nullptr) {
+      ASSERT_NE(hit.entry, nullptr) << std::hex << addr;
+      EXPECT_EQ(hit.entry->base, expected->base);
+    } else {
+      EXPECT_EQ(hit.entry, nullptr) << std::hex << addr;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SymbolTableRandom,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace hpm::objmap

@@ -1,0 +1,170 @@
+#include "workloads/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_profiler.hpp"
+#include "harness/experiment.hpp"
+#include "objmap/object_map.hpp"
+#include "sim/machine.hpp"
+
+namespace hpm::workloads {
+namespace {
+
+sim::MachineConfig test_machine() {
+  sim::MachineConfig c;
+  c.cache.size_bytes = 128 * 1024;
+  return c;
+}
+
+TEST(SyntheticSpecValidation, SweepVectorSizeMustMatch) {
+  SyntheticSpec spec;
+  spec.arrays = {{"A", 1024}, {"B", 1024}};
+  spec.phases.push_back({{1}, 1});
+  EXPECT_THROW(SyntheticWorkload w(spec), std::invalid_argument);
+}
+
+TEST(SyntheticSpecValidation, LockstepRequiresBinarySweeps) {
+  SyntheticSpec spec;
+  spec.lockstep = true;
+  spec.arrays = {{"A", 1024}};
+  spec.phases.push_back({{2}, 1});
+  EXPECT_THROW(SyntheticWorkload w(spec), std::invalid_argument);
+}
+
+TEST(SyntheticWorkload, ExpectedSharesSequential) {
+  auto spec = hotspot_spec(4, 1 << 20, 60.0);
+  SyntheticWorkload workload(spec);
+  const auto shares = workload.expected_shares();
+  ASSERT_EQ(shares.size(), 4u);
+  EXPECT_NEAR(shares[0], 60.0, 5.0);
+  double sum = 0;
+  for (double s : shares) sum += s;
+  EXPECT_NEAR(sum, 100.0, 1e-9);
+}
+
+TEST(SyntheticWorkload, UniformSpecIsUniform) {
+  SyntheticWorkload workload(uniform_spec(5, 1 << 20));
+  for (double s : workload.expected_shares()) EXPECT_NEAR(s, 20.0, 1e-9);
+}
+
+TEST(SyntheticWorkload, Figure2SharesMatchTheFigure) {
+  SyntheticWorkload workload(figure2_spec(1 << 20));
+  const auto shares = workload.expected_shares();
+  ASSERT_EQ(shares.size(), 6u);
+  EXPECT_NEAR(shares[0], 10.0, 0.1);  // A
+  EXPECT_NEAR(shares[2], 20.0, 0.1);  // C
+  EXPECT_NEAR(shares[3], 17.5, 0.1);  // D
+  EXPECT_NEAR(shares[4], 35.0, 0.1);  // E
+  EXPECT_NEAR(shares[5], 7.5, 0.1);   // F
+}
+
+struct ShareParam {
+  const char* name;
+  SyntheticSpec (*make)();
+};
+
+SyntheticSpec make_hotspot() { return hotspot_spec(4, 1 << 20, 60.0, 6); }
+SyntheticSpec make_uniform() { return uniform_spec(5, 768 * 1024, 6); }
+SyntheticSpec make_figure2() { return figure2_spec(512 * 1024, 8); }
+
+class MeasuredShares : public ::testing::TestWithParam<ShareParam> {};
+
+// Property: the ground-truth profiler's measured shares match the spec's
+// analytic expectation for every canned scenario.
+TEST_P(MeasuredShares, ActualMatchesExpected) {
+  SyntheticWorkload workload(GetParam().make());
+  harness::RunConfig config;
+  config.machine = test_machine();
+  const auto result = harness::run_experiment(config, workload);
+  const auto expected = workload.expected_shares();
+  ASSERT_EQ(result.actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const auto& name = workload.spec().arrays[i].name;
+    const auto measured = result.actual.percent_of(name);
+    ASSERT_TRUE(measured.has_value()) << name;
+    EXPECT_NEAR(*measured, expected[i], 1.5) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, MeasuredShares,
+                         ::testing::Values(ShareParam{"hotspot", make_hotspot},
+                                           ShareParam{"uniform", make_uniform},
+                                           ShareParam{"figure2",
+                                                      make_figure2}),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST(SyntheticWorkload, LockstepKeepsAllArraysConcurrentlyActive) {
+  // In lockstep mode every array incurs misses in every time slice; in
+  // sequential mode activity is bursty.  Verify via the profiler series.
+  auto run = [&](bool lockstep) {
+    SyntheticSpec spec;
+    spec.lockstep = lockstep;
+    spec.arrays = {{"P", 512 * 1024}, {"Q", 512 * 1024}};
+    spec.phases.push_back({{1, 1}, 1});
+    spec.iterations = 8;
+    SyntheticWorkload workload(spec);
+    harness::RunConfig config;
+    config.machine = test_machine();
+    config.series_interval = 500'000;
+    return harness::run_experiment(config, workload);
+  };
+  const auto lockstep = run(true);
+  std::size_t lockstep_zero_intervals = 0;
+  for (const auto& series : lockstep.series) {
+    for (auto v : series.misses_per_interval) {
+      lockstep_zero_intervals += v == 0 ? 1 : 0;
+    }
+  }
+  const auto sequential = run(false);
+  std::size_t sequential_zero_intervals = 0;
+  for (const auto& series : sequential.series) {
+    for (auto v : series.misses_per_interval) {
+      sequential_zero_intervals += v == 0 ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(lockstep_zero_intervals, 0u);
+  EXPECT_GT(sequential_zero_intervals, 0u);
+}
+
+TEST(SyntheticWorkload, GapBeforeControlsLayout) {
+  SyntheticSpec spec;
+  spec.arrays = {{"A", 4096}, {"B", 4096, false, sim::kNoSite,
+                               /*gap_before=*/1 << 20}};
+  spec.phases.push_back({{1, 1}, 1});
+  SyntheticWorkload workload(spec);
+  sim::Machine machine(test_machine());
+  objmap::ObjectMap map;
+  map.attach(machine.address_space());
+  workload.setup(machine);
+  EXPECT_GE(workload.array_base(1), workload.array_base(0) + (1 << 20));
+}
+
+TEST(SyntheticWorkload, HeapArraysRegisterAsHeapObjects) {
+  SyntheticSpec spec;
+  spec.arrays = {{"H", 64 * 1024, /*on_heap=*/true, /*site=*/3}};
+  spec.phases.push_back({{1}, 1});
+  SyntheticWorkload workload(spec);
+  sim::Machine machine(test_machine());
+  objmap::ObjectMap map;
+  map.attach(machine.address_space());
+  workload.setup(machine);
+  const auto hit = map.resolve(workload.array_base(0));
+  ASSERT_TRUE(hit.found);
+  EXPECT_EQ(hit.ref.kind, objmap::ObjectKind::kHeap);
+  EXPECT_EQ(map.info(hit.ref).site, 3u);
+}
+
+TEST(SyntheticWorkload, DeterministicMissCounts) {
+  auto run = [] {
+    SyntheticWorkload workload(hotspot_spec(3, 512 * 1024, 50.0, 4));
+    harness::RunConfig config;
+    config.machine = test_machine();
+    return harness::run_experiment(config, workload).stats.app_misses;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace hpm::workloads

@@ -1,0 +1,186 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/prng.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace hpm::trace {
+namespace {
+
+sim::MachineConfig small_machine() {
+  sim::MachineConfig c;
+  c.cache.size_bytes = 32 * 1024;
+  return c;
+}
+
+TEST(Trace, AppendAndCounts) {
+  Trace trace;
+  trace.append_load(0x100);
+  trace.append_store(0x140);
+  trace.append_exec(10);
+  trace.append_exec(5);  // coalesces
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.reference_count(), 2u);
+  EXPECT_EQ(trace.instruction_count(), 17u);  // 2 refs + 15 exec
+  EXPECT_EQ(trace.events()[2].count, 15u);
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  Trace trace;
+  util::Xoshiro256 rng(5);
+  sim::Addr addr = 0x141000000ULL;
+  for (int i = 0; i < 5000; ++i) {
+    addr += rng.next_below(4096);
+    addr -= rng.next_below(2048);
+    if (rng.next_below(2) == 0) {
+      trace.append_load(addr);
+    } else {
+      trace.append_store(addr);
+    }
+    if (i % 7 == 0) trace.append_exec(rng.next_below(100) + 1);
+  }
+  std::stringstream ss;
+  trace.save(ss);
+  const Trace loaded = Trace::load(ss);
+  EXPECT_EQ(trace, loaded);
+}
+
+TEST(Trace, CompactEncoding) {
+  // Sequential streaming should cost ~2-3 bytes per event.
+  Trace trace;
+  for (int i = 0; i < 10'000; ++i) {
+    trace.append_load(0x141000000ULL + static_cast<sim::Addr>(i) * 64);
+  }
+  std::stringstream ss;
+  trace.save(ss);
+  EXPECT_LT(ss.str().size(), 10'000u * 4);
+}
+
+TEST(Trace, RejectsGarbage) {
+  std::stringstream ss("not a trace");
+  EXPECT_THROW((void)Trace::load(ss), std::runtime_error);
+  std::stringstream truncated;
+  Trace t;
+  t.append_load(1);
+  t.save(truncated);
+  std::string bytes = truncated.str();
+  bytes.resize(bytes.size() - 1);
+  std::stringstream cut(bytes);
+  EXPECT_THROW((void)Trace::load(cut), std::runtime_error);
+}
+
+TEST(Trace, FileRoundTrip) {
+  Trace trace;
+  trace.append_load(0x1000);
+  trace.append_exec(3);
+  trace.append_store(0x2000);
+  const std::string path = ::testing::TempDir() + "/hpm_trace_test.bin";
+  trace.save_file(path);
+  EXPECT_EQ(Trace::load_file(path), trace);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)Trace::load_file(path), std::runtime_error);
+}
+
+TEST(Recorder, CapturesApplicationEvents) {
+  sim::Machine machine(small_machine());
+  const sim::Addr a = machine.address_space().define_static("a", 4096);
+  Recorder recorder(machine);
+  recorder.start();
+  machine.store<double>(a, 1.0);
+  machine.exec(25);
+  (void)machine.load<double>(a);
+  recorder.stop();
+  machine.exec(99);  // not recorded
+
+  const Trace& trace = recorder.trace();
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.events()[0].kind, EventKind::kStore);
+  EXPECT_EQ(trace.events()[0].addr, a);
+  EXPECT_EQ(trace.events()[1].kind, EventKind::kExec);
+  EXPECT_EQ(trace.events()[1].count, 25u);
+  EXPECT_EQ(trace.events()[2].kind, EventKind::kLoad);
+}
+
+TEST(Recorder, IgnoresToolPlaneTraffic) {
+  sim::Machine machine(small_machine());
+  const sim::Addr shadow = machine.address_space().alloc_instr(64);
+  Recorder recorder(machine);
+  recorder.start();
+  machine.tool_touch(shadow);
+  machine.tool_exec(100);
+  recorder.stop();
+  EXPECT_TRUE(recorder.trace().empty());
+}
+
+TEST(Replay, ReproducesCacheBehaviourExactly) {
+  // Record a real workload; replaying the trace on a fresh machine with the
+  // same cache must produce identical miss/cycle counts.
+  workloads::SyntheticSpec spec;
+  spec.lockstep = true;
+  spec.arrays = {{"P", 128 * 1024}, {"Q", 64 * 1024}};
+  spec.phases.push_back({{1, 1}, 1});
+  spec.iterations = 4;
+
+  sim::Machine recording_machine(small_machine());
+  workloads::SyntheticWorkload workload(spec);
+  workload.setup(recording_machine);
+  Recorder recorder(recording_machine);
+  recorder.start();
+  workload.run(recording_machine);
+  recorder.stop();
+  const Trace trace = recorder.take();
+  EXPECT_GT(trace.reference_count(), 0u);
+
+  sim::Machine replay_machine(small_machine());
+  replay(trace, replay_machine);
+  EXPECT_EQ(replay_machine.stats().app_refs,
+            recording_machine.stats().app_refs);
+  EXPECT_EQ(replay_machine.stats().app_misses,
+            recording_machine.stats().app_misses);
+  EXPECT_EQ(replay_machine.stats().app_cycles,
+            recording_machine.stats().app_cycles);
+}
+
+TEST(Replay, DifferentCacheGeometryChangesMisses) {
+  // The point of traces: re-measure one run under another configuration.
+  Trace trace;
+  for (int sweep = 0; sweep < 4; ++sweep) {
+    for (sim::Addr off = 0; off < (64 << 10); off += 64) {
+      trace.append_load(0x120000000ULL + off);
+    }
+  }
+  sim::MachineConfig small = small_machine();  // 32 KB: array thrashes
+  sim::Machine m_small(small);
+  replay(trace, m_small);
+  sim::MachineConfig big = small_machine();
+  big.cache.size_bytes = 256 * 1024;  // array fits
+  sim::Machine m_big(big);
+  replay(trace, m_big);
+  EXPECT_GT(m_small.stats().app_misses, 3u * m_big.stats().app_misses);
+}
+
+TEST(Replay, DrivesPmuAndInterrupts) {
+  Trace trace;
+  for (sim::Addr off = 0; off < (32 << 10); off += 64) {
+    trace.append_load(0x120000000ULL + off);
+  }
+  sim::Machine machine(small_machine());
+  struct Count : sim::InterruptHandler {
+    int fired = 0;
+    void on_interrupt(sim::Machine& m, sim::InterruptKind) override {
+      ++fired;
+      m.arm_miss_overflow(100);
+    }
+  } handler;
+  machine.set_handler(&handler);
+  machine.arm_miss_overflow(100);
+  replay(trace, machine);
+  EXPECT_EQ(handler.fired, 5);  // 512 misses / 100
+}
+
+}  // namespace
+}  // namespace hpm::trace

@@ -1,0 +1,175 @@
+// Tests for the PRNGs, table rendering, and CLI parsing.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+
+namespace hpm::util {
+namespace {
+
+// -- PRNG ---------------------------------------------------------------
+
+TEST(SplitMix64, DeterministicAndSeedSensitive) {
+  SplitMix64 a(1);
+  SplitMix64 b(1);
+  SplitMix64 c(2);
+  EXPECT_EQ(a.next(), b.next());
+  SplitMix64 a2(1);
+  EXPECT_NE(a2.next(), c.next());
+}
+
+TEST(SplitMix64, KnownVector) {
+  // Reference value for seed 1234567 (standard splitmix64).
+  SplitMix64 rng(1234567);
+  EXPECT_EQ(rng.next(), 6457827717110365317ULL);
+}
+
+TEST(Xoshiro256, ReproducibleStreams) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Xoshiro256, NextBelowCoversRange) {
+  Xoshiro256 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+// -- Table ---------------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"}, {Align::kLeft, Align::kRight});
+  t.row().cell("alpha").cell(std::uint64_t{42});
+  t.row().cell("b").cell(3.14159, 2);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| alpha |    42 |"), std::string::npos);
+  EXPECT_NE(s.find("| b     |  3.14 |"), std::string::npos);
+}
+
+TEST(Table, BlankCellsAndSeparators) {
+  Table t({"a", "b"});
+  t.row().cell("x").blank();
+  t.separator();
+  t.row().cell("y").cell("z");
+  const std::string s = t.to_string();
+  // Header rule + separator + bottom = at least 4 rules.
+  std::size_t rules = 0;
+  std::size_t pos = 0;
+  while ((pos = s.find("+--", pos)) != std::string::npos) {
+    ++rules;
+    pos += 3;
+  }
+  EXPECT_GE(rules, 4u);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"name", "note"});
+  t.row().cell("plain").cell("with,comma");
+  t.row().cell("q\"uote").cell("line");
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"q\"\"uote\""), std::string::npos);
+  EXPECT_NE(s.find("name,note\n"), std::string::npos);
+}
+
+TEST(Table, MissingTrailingCellsRenderEmpty) {
+  Table t({"a", "b", "c"});
+  t.row().cell("only");
+  EXPECT_NO_THROW((void)t.to_string());
+}
+
+TEST(LogBar, ScalesLogarithmically) {
+  const auto tiny = log_bar(0.001, 0.001, 10.0, 40);
+  const auto mid = log_bar(0.1, 0.001, 10.0, 40);
+  const auto big = log_bar(10.0, 0.001, 10.0, 40);
+  EXPECT_LT(tiny.size(), mid.size());
+  EXPECT_LT(mid.size(), big.size());
+  EXPECT_EQ(big.size(), 40u);
+  EXPECT_TRUE(log_bar(0.0, 0.001, 10.0, 40).empty());
+  EXPECT_TRUE(log_bar(-1.0, 0.001, 10.0, 40).empty());
+}
+
+// -- CLI ---------------------------------------------------------------
+
+TEST(Cli, ParsesFlagsInBothForms) {
+  const char* argv[] = {"prog", "--alpha=5", "--beta", "7", "--gamma"};
+  Cli cli(5, argv, {"alpha", "beta", "gamma"});
+  ASSERT_TRUE(cli.ok());
+  EXPECT_EQ(cli.get_int("alpha", 0), 5);
+  EXPECT_EQ(cli.get_int("beta", 0), 7);
+  EXPECT_TRUE(cli.get_bool("gamma", false));
+  EXPECT_FALSE(cli.has("delta"));
+  EXPECT_EQ(cli.get_int("delta", 9), 9);
+}
+
+TEST(Cli, RejectsUnknownFlags) {
+  const char* argv[] = {"prog", "--oops=1"};
+  Cli cli(2, argv, {"alpha"});
+  EXPECT_FALSE(cli.ok());
+  EXPECT_NE(cli.error().find("oops"), std::string::npos);
+}
+
+TEST(Cli, PositionalArguments) {
+  const char* argv[] = {"prog", "one", "--alpha=2", "two"};
+  Cli cli(4, argv, {"alpha"});
+  ASSERT_TRUE(cli.ok());
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "one");
+  EXPECT_EQ(cli.positional()[1], "two");
+}
+
+TEST(Cli, TypedGetters) {
+  const char* argv[] = {"prog", "--u=18446744073709551615", "--d=2.5",
+                        "--b=off", "--hex=0x40"};
+  Cli cli(5, argv, {"u", "d", "b", "hex"});
+  ASSERT_TRUE(cli.ok());
+  EXPECT_EQ(cli.get_uint("u", 0), ~0ULL);
+  EXPECT_EQ(cli.get_double("d", 0), 2.5);
+  EXPECT_FALSE(cli.get_bool("b", true));
+  EXPECT_EQ(cli.get_uint("hex", 0), 0x40u);
+  EXPECT_EQ(cli.get("missing", "fallback"), "fallback");
+}
+
+TEST(Cli, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a=true", "--b=1", "--c=yes", "--d=on",
+                        "--e=false"};
+  Cli cli(6, argv, {"a", "b", "c", "d", "e"});
+  ASSERT_TRUE(cli.ok());
+  EXPECT_TRUE(cli.get_bool("a", false));
+  EXPECT_TRUE(cli.get_bool("b", false));
+  EXPECT_TRUE(cli.get_bool("c", false));
+  EXPECT_TRUE(cli.get_bool("d", false));
+  EXPECT_FALSE(cli.get_bool("e", true));
+}
+
+}  // namespace
+}  // namespace hpm::util

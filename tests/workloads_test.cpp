@@ -1,0 +1,254 @@
+// Integration tests for the seven SPEC95-like kernels, run at reduced scale
+// against a proportionally smaller cache.  These pin down the properties
+// the paper reproduction depends on: object sets, miss-share shapes, phase
+// behaviour, determinism, and (for compress) functional correctness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "harness/experiment.hpp"
+#include "workloads/compress.hpp"
+#include "workloads/ijpeg.hpp"
+#include "workloads/workload.hpp"
+
+namespace hpm::workloads {
+namespace {
+
+sim::MachineConfig test_machine() {
+  sim::MachineConfig c;
+  c.cache.size_bytes = 128 * 1024;  // kernels run at scale 0.25
+  return c;
+}
+
+WorkloadOptions test_options(std::uint64_t iterations = 0) {
+  WorkloadOptions o;
+  o.scale = 0.25;
+  o.iterations = iterations;
+  return o;
+}
+
+harness::RunResult profile(const std::string& name,
+                           const WorkloadOptions& options) {
+  harness::RunConfig config;
+  config.machine = test_machine();
+  return harness::run_experiment(config, name, options);
+}
+
+TEST(WorkloadFactory, KnowsAllPaperWorkloads) {
+  for (const auto& name : paper_workload_names()) {
+    EXPECT_NO_THROW((void)make_workload(name, test_options()));
+  }
+  EXPECT_THROW((void)make_workload("vortex", test_options()),
+               std::invalid_argument);
+  EXPECT_EQ(paper_workload_names().size(), 7u);
+}
+
+TEST(Tomcatv, ActualSharesMatchPaperProfile) {
+  const auto result = profile("tomcatv", test_options(2));
+  // Paper Table 1: RX 22.5, RY 22.5, AA 15.0, DD/X/Y/D 10.0.
+  EXPECT_NEAR(result.actual.percent_of("RX").value_or(0), 22.5, 1.5);
+  EXPECT_NEAR(result.actual.percent_of("RY").value_or(0), 22.5, 1.5);
+  EXPECT_NEAR(result.actual.percent_of("AA").value_or(0), 15.0, 1.5);
+  EXPECT_NEAR(result.actual.percent_of("DD").value_or(0), 10.0, 1.5);
+  EXPECT_NEAR(result.actual.percent_of("X").value_or(0), 10.0, 1.5);
+  EXPECT_NEAR(result.actual.percent_of("Y").value_or(0), 10.0, 1.5);
+  EXPECT_NEAR(result.actual.percent_of("D").value_or(0), 10.0, 1.5);
+  EXPECT_EQ(result.unattributed_misses, 0u);
+}
+
+TEST(Swim, ThirteenUniformArrays) {
+  const auto result = profile("swim", test_options(2));
+  EXPECT_EQ(result.actual.size(), 13u);
+  for (const auto& row : result.actual.rows()) {
+    EXPECT_NEAR(row.percent, 100.0 / 13.0, 1.2) << row.name;
+  }
+}
+
+TEST(Su2cor, DominantLatticeAndPhases) {
+  harness::RunConfig config;
+  config.machine = test_machine();
+  config.series_interval = 500'000;
+  const auto result = harness::run_experiment(config, "su2cor",
+                                              test_options(2));
+  ASSERT_FALSE(result.actual.empty());
+  EXPECT_EQ(result.actual.rows()[0].name, "U");
+  EXPECT_GT(result.actual.rows()[0].percent, 45.0);
+  EXPECT_GT(result.actual.rank_of("R"), 0u);
+  EXPECT_GT(result.actual.rank_of("W2-intact"), 0u);
+  // Phases: U must have intervals with zero misses (the sweep phase).
+  for (const auto& series : result.series) {
+    if (series.name != "U") continue;
+    EXPECT_TRUE(std::any_of(series.misses_per_interval.begin(),
+                            series.misses_per_interval.end(),
+                            [](std::uint64_t v) { return v == 0; }));
+    EXPECT_TRUE(std::any_of(series.misses_per_interval.begin(),
+                            series.misses_per_interval.end(),
+                            [](std::uint64_t v) { return v > 0; }));
+  }
+}
+
+TEST(Mgrid, ThreeSignificantArrays) {
+  const auto result = profile("mgrid", test_options(2));
+  // Paper: U 40.8, R 40.4, V 18.8; coarse grids are cache-resident noise.
+  EXPECT_NEAR(result.actual.percent_of("U").value_or(0), 40.6, 3.0);
+  EXPECT_NEAR(result.actual.percent_of("R").value_or(0), 40.6, 3.0);
+  EXPECT_NEAR(result.actual.percent_of("V").value_or(0), 18.8, 3.0);
+  EXPECT_LT(result.actual.percent_of("U2").value_or(0), 3.0);
+  EXPECT_LT(result.actual.percent_of("U3").value_or(0), 1.0);
+}
+
+TEST(Applu, JacobianProfileAndPhases) {
+  harness::RunConfig config;
+  config.machine = test_machine();
+  config.series_interval = 400'000;
+  const auto result =
+      harness::run_experiment(config, "applu", test_options(3));
+  // Paper: a/b/c ~22.9, d 17.4, rsd ~6.9.
+  EXPECT_NEAR(result.actual.percent_of("a").value_or(0), 23.5, 2.0);
+  EXPECT_NEAR(result.actual.percent_of("b").value_or(0), 23.5, 2.0);
+  EXPECT_NEAR(result.actual.percent_of("c").value_or(0), 23.5, 2.0);
+  EXPECT_NEAR(result.actual.percent_of("d").value_or(0), 17.6, 2.0);
+  EXPECT_NEAR(result.actual.percent_of("rsd").value_or(0), 5.9, 2.0);
+  // Figure 5: the Jacobian blocks periodically dip to zero misses while
+  // rsd/u stay active in those windows.
+  for (const auto& series : result.series) {
+    if (series.name != "a") continue;
+    const auto& s = series.misses_per_interval;
+    EXPECT_TRUE(std::any_of(s.begin(), s.end(),
+                            [](std::uint64_t v) { return v == 0; }));
+  }
+}
+
+TEST(Compress, RoundTripAndObjectProfile) {
+  // compress needs a cache that keeps its ~550 KB htab resident (the
+  // paper's 2 MB does); at the test's reduced input size a 1 MB cache
+  // preserves that relationship.
+  WorkloadOptions options;
+  options.scale = 0.5;
+  options.iterations = 2;
+  Compress compress(options);
+  harness::RunConfig config;
+  config.machine.cache.size_bytes = 1024 * 1024;
+  const auto result = harness::run_experiment(config, compress);
+  // The LZW round-trip must reproduce the input byte-for-byte (checksum).
+  EXPECT_TRUE(compress.roundtrip_ok());
+  EXPECT_GT(compress.compressed_bytes(), 0u);
+  EXPECT_LT(compress.compressed_bytes(), compress.input_bytes());
+  // orig dominates, comp second (paper: 63.0 / 35.6).
+  ASSERT_GE(result.actual.size(), 2u);
+  EXPECT_EQ(result.actual.rows()[0].name, "orig_text_buffer");
+  EXPECT_EQ(result.actual.rows()[1].name, "comp_text_buffer");
+  EXPECT_GT(result.actual.rank_of("htab"), 0u);
+}
+
+TEST(Compress, CompressionRatioIsTextLike) {
+  Compress compress(test_options(1));
+  harness::RunConfig config;
+  config.machine = test_machine();
+  (void)harness::run_experiment(config, compress);
+  const double ratio = static_cast<double>(compress.compressed_bytes()) /
+                       static_cast<double>(compress.input_bytes());
+  // 16-bit LZW codes on synthetic text: mild but real compression.
+  EXPECT_GT(ratio, 0.3);
+  EXPECT_LT(ratio, 0.9);
+}
+
+TEST(Ijpeg, HeapBlockNamesMatchThePaper) {
+  const auto result = profile("ijpeg", test_options(1));
+  // The image block must be the paper's 0x141020000, rank 1 by a wide
+  // margin, with jpeg_compressed_data second.
+  ASSERT_GE(result.actual.size(), 2u);
+  EXPECT_EQ(result.actual.rows()[0].name, "0x141020000");
+  EXPECT_GT(result.actual.rows()[0].percent, 70.0);
+  EXPECT_EQ(result.actual.rows()[1].name, "jpeg_compressed_data");
+  EXPECT_GT(result.actual.rank_of("0x14101e000"), 0u);
+}
+
+TEST(Ijpeg, ProducesOutputBytes) {
+  Ijpeg ijpeg(test_options(1));
+  harness::RunConfig config;
+  config.machine = test_machine();
+  (void)harness::run_experiment(config, ijpeg);
+  EXPECT_GT(ijpeg.output_bytes(), 1000u);
+}
+
+TEST(Workloads, MissRateLadderMatchesPaperOrdering) {
+  // §3.2: ijpeg has by far the lowest miss rate (144 misses/Mcycle in the
+  // paper), compress next (361); the HPC kernels are far above both.  Run
+  // at half scale against a half-size cache so capacity relationships match
+  // the full-scale configuration.
+  auto rate = [&](const char* name) {
+    harness::RunConfig config;
+    config.machine.cache.size_bytes = 1024 * 1024;
+    WorkloadOptions options;
+    options.scale = 0.5;
+    const auto r = harness::run_experiment(config, name, options);
+    return static_cast<double>(r.stats.app_misses) * 1e6 /
+           static_cast<double>(r.stats.total_cycles());
+  };
+  const double ijpeg = rate("ijpeg");
+  const double compress = rate("compress");
+  const double tomcatv = rate("tomcatv");
+  EXPECT_LT(ijpeg, compress);
+  EXPECT_LT(compress, tomcatv);
+  EXPECT_GT(tomcatv / ijpeg, 5.0);
+}
+
+class WorkloadDeterminism : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadDeterminism, IdenticalRunsProduceIdenticalStreams) {
+  auto run = [&] {
+    harness::RunConfig config;
+    config.machine = test_machine();
+    const auto r = harness::run_experiment(config, GetParam(), test_options());
+    return std::make_tuple(r.stats.app_refs, r.stats.app_misses,
+                           r.stats.app_cycles);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST_P(WorkloadDeterminism, ToolsDoNotAlterTheApplicationStream) {
+  auto run = [&](harness::ToolKind tool) {
+    harness::RunConfig config;
+    config.machine = test_machine();
+    config.tool = tool;
+    config.sampler.period = 5'000;
+    config.search.initial_interval = 500'000;
+    const auto r = harness::run_experiment(config, GetParam(), test_options());
+    return std::make_pair(r.stats.app_refs, r.stats.app_instructions);
+  };
+  const auto none = run(harness::ToolKind::kNone);
+  EXPECT_EQ(none, run(harness::ToolKind::kSampler));
+  EXPECT_EQ(none, run(harness::ToolKind::kSearch));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaperWorkloads, WorkloadDeterminism,
+                         ::testing::ValuesIn(paper_workload_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(Workloads, IterationsOptionScalesWork) {
+  auto misses = [&](std::uint64_t iters) {
+    return profile("mgrid", test_options(iters)).stats.app_misses;
+  };
+  const auto one = misses(1);
+  const auto three = misses(3);
+  EXPECT_NEAR(static_cast<double>(three), 3.0 * static_cast<double>(one),
+              0.1 * static_cast<double>(three));
+}
+
+TEST(Workloads, ObjectSetsAreRegisteredBeforeRun) {
+  sim::Machine machine(test_machine());
+  objmap::ObjectMap map;
+  map.attach(machine.address_space());
+  auto workload = make_workload("tomcatv", test_options());
+  workload->setup(machine);
+  std::set<std::string> names;
+  for (const auto& e : map.symbols().entries()) names.insert(e.name);
+  const std::set<std::string> expected = {"X",  "Y",  "RX", "RY",
+                                          "AA", "DD", "D"};
+  EXPECT_EQ(names, expected);
+}
+
+}  // namespace
+}  // namespace hpm::workloads

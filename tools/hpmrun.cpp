@@ -1,0 +1,184 @@
+// hpmrun — run any workload under any measurement configuration and print
+// what the paper's tool would: ranked bottleneck objects, overhead, and
+// (optionally) the per-object miss time line.
+//
+//   hpmrun --workload tomcatv --tool search --n 10
+//   hpmrun --workload compress --tool sample --period 10000 --series
+//   hpmrun --workload applu --tool none --series --csv
+//   hpmrun --workload swim --tool search --trace-out swim.trace
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "trace/trace.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hpm;
+
+int usage(const char* error) {
+  if (error != nullptr) std::fprintf(stderr, "hpmrun: %s\n\n", error);
+  std::fputs(
+      "usage: hpmrun [options]\n"
+      "  --workload NAME   tomcatv|swim|su2cor|mgrid|applu|compress|ijpeg\n"
+      "  --tool KIND       none | sample | search        (default: search)\n"
+      "  --period N        sampling: misses per sample   (default 10000)\n"
+      "  --policy P        sampling: fixed|prime|random  (default fixed)\n"
+      "  --n N             search: counters/regions      (default 10)\n"
+      "  --interval N      search: initial interval, cycles (default 1e6)\n"
+      "  --scale F         workload size factor          (default 1.0)\n"
+      "  --iterations N    workload iterations           (default: per app)\n"
+      "  --cache BYTES     measured cache size           (default 2 MiB)\n"
+      "  --series          capture per-object miss time series\n"
+      "  --top K           rows to print                 (default 10)\n"
+      "  --trace-out FILE  record the reference trace to FILE\n"
+      "  --seed N          workload seed\n",
+      stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv,
+                {"workload", "tool", "period", "policy", "n", "interval",
+                 "scale", "iterations", "cache", "series", "top",
+                 "trace-out", "seed", "help"});
+  if (!cli.ok()) return usage(cli.error().c_str());
+  if (cli.has("help")) return usage(nullptr);
+
+  const std::string workload = cli.get("workload", "tomcatv");
+  const std::string tool = cli.get("tool", "search");
+
+  harness::RunConfig config;
+  config.machine = harness::paper_machine();
+  config.machine.cache.size_bytes =
+      cli.get_uint("cache", config.machine.cache.size_bytes);
+  if (!config.machine.cache.valid()) {
+    return usage("cache size must be a power of two");
+  }
+  if (tool == "sample") {
+    config.tool = harness::ToolKind::kSampler;
+    config.sampler.period = cli.get_uint("period", 10'000);
+    const std::string policy = cli.get("policy", "fixed");
+    if (policy == "prime") {
+      config.sampler.policy = core::PeriodPolicy::kPrime;
+    } else if (policy == "random") {
+      config.sampler.policy = core::PeriodPolicy::kPseudoRandom;
+    } else if (policy != "fixed") {
+      return usage("unknown --policy");
+    }
+  } else if (tool == "search") {
+    config.tool = harness::ToolKind::kSearch;
+    config.search.n = static_cast<unsigned>(cli.get_uint("n", 10));
+    config.search.initial_interval = cli.get_uint("interval", 1'000'000);
+  } else if (tool != "none") {
+    return usage("unknown --tool");
+  }
+  if (cli.get_bool("series", false)) config.series_interval = 4'000'000;
+
+  workloads::WorkloadOptions options;
+  options.scale = cli.get_double("scale", 1.0);
+  options.iterations = cli.get_uint("iterations", 0);
+  options.seed = cli.get_uint("seed", 0x5ca1ab1e);
+
+  // Build the workload up front so an optional trace recorder can attach.
+  std::unique_ptr<workloads::Workload> app;
+  try {
+    app = workloads::make_workload(workload, options);
+  } catch (const std::exception& e) {
+    return usage(e.what());
+  }
+
+  harness::RunResult result;
+  const std::string trace_out = cli.get("trace-out", "");
+  if (trace_out.empty()) {
+    result = harness::run_experiment(config, *app);
+  } else {
+    // Tracing needs direct machine access; replicate the harness wiring.
+    sim::Machine machine(config.machine);
+    objmap::ObjectMap map;
+    map.attach(machine.address_space());
+    core::ExactProfiler profiler(machine, map, config.series_interval);
+    profiler.start();
+    trace::Recorder recorder(machine);
+    app->setup(machine);
+    recorder.start();
+    app->run(machine);
+    recorder.stop();
+    profiler.stop();
+    result.actual = profiler.report();
+    result.series = profiler.series();
+    result.stats = machine.stats();
+    recorder.trace().save_file(trace_out);
+    std::printf("trace: %llu references -> %s\n",
+                static_cast<unsigned long long>(
+                    recorder.trace().reference_count()),
+                trace_out.c_str());
+  }
+
+  const auto top_k = static_cast<std::size_t>(cli.get_uint("top", 10));
+  util::Table table({"rank", "object", "actual %", "estimated %"},
+                    {util::Align::kRight, util::Align::kLeft,
+                     util::Align::kRight, util::Align::kRight});
+  const auto actual_top = result.actual.filtered(0.01).top(top_k);
+  std::size_t rank = 0;
+  for (const auto& row : actual_top.rows()) {
+    table.row().cell(static_cast<std::uint64_t>(++rank)).cell(row.name);
+    table.cell(row.percent, 2);
+    if (auto p = result.estimated.percent_of(row.name)) {
+      table.cell(*p, 2);
+    } else {
+      table.blank();
+    }
+  }
+  std::printf("workload: %s   tool: %s\n", workload.c_str(), tool.c_str());
+  table.render(std::cout);
+
+  const auto& s = result.stats;
+  std::printf(
+      "\nrefs: %llu   misses: %llu (%.0f per Mcycle)   cycles: %llu\n",
+      static_cast<unsigned long long>(s.app_refs),
+      static_cast<unsigned long long>(s.app_misses),
+      static_cast<double>(s.app_misses) * 1e6 /
+          static_cast<double>(s.total_cycles()),
+      static_cast<unsigned long long>(s.total_cycles()));
+  if (config.tool != harness::ToolKind::kNone) {
+    std::printf("interrupts: %llu   tool cycles: %llu   overhead: %.4f%%\n",
+                static_cast<unsigned long long>(s.interrupts),
+                static_cast<unsigned long long>(s.tool_cycles),
+                100.0 * static_cast<double>(s.tool_cycles) /
+                    static_cast<double>(s.total_cycles()));
+  }
+  if (config.tool == harness::ToolKind::kSearch) {
+    std::printf("search: %s, %u iterations, %u splits, %u continuations\n",
+                result.search_done ? "converged" : "incomplete",
+                result.search_stats.iterations, result.search_stats.splits,
+                result.search_stats.continuations);
+  }
+  if (config.tool == harness::ToolKind::kSampler) {
+    std::printf("samples: %llu\n",
+                static_cast<unsigned long long>(result.samples));
+  }
+
+  if (config.series_interval > 0) {
+    std::puts("\nmisses over time (per object, log sparkline):");
+    static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+    for (const auto& series : result.series) {
+      if (series.misses_per_interval.empty()) continue;
+      const auto peak = *std::max_element(series.misses_per_interval.begin(),
+                                          series.misses_per_interval.end());
+      if (peak == 0) continue;
+      std::string line;
+      for (auto v : series.misses_per_interval) {
+        line += kLevels[v == 0 ? 0 : 1 + (7 * (v - 1)) / peak];
+      }
+      std::printf("  %-20s |%s|\n", series.name.c_str(), line.c_str());
+    }
+  }
+  return 0;
+}
