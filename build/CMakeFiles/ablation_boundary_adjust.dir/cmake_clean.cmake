@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_boundary_adjust.dir/bench/ablation_boundary_adjust.cpp.o"
+  "CMakeFiles/ablation_boundary_adjust.dir/bench/ablation_boundary_adjust.cpp.o.d"
+  "bench/ablation_boundary_adjust"
+  "bench/ablation_boundary_adjust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_boundary_adjust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_phase_heuristic.dir/bench/ablation_phase_heuristic.cpp.o"
+  "CMakeFiles/ablation_phase_heuristic.dir/bench/ablation_phase_heuristic.cpp.o.d"
+  "bench/ablation_phase_heuristic"
+  "bench/ablation_phase_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_phase_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_priority_queue.dir/bench/ablation_priority_queue.cpp.o"
+  "CMakeFiles/ablation_priority_queue.dir/bench/ablation_priority_queue.cpp.o.d"
+  "bench/ablation_priority_queue"
+  "bench/ablation_priority_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_priority_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_timeshare.dir/bench/ablation_timeshare.cpp.o"
+  "CMakeFiles/ablation_timeshare.dir/bench/ablation_timeshare.cpp.o.d"
+  "bench/ablation_timeshare"
+  "bench/ablation_timeshare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_timeshare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_perturbation.dir/bench/fig3_perturbation.cpp.o"
+  "CMakeFiles/fig3_perturbation.dir/bench/fig3_perturbation.cpp.o.d"
+  "bench/fig3_perturbation"
+  "bench/fig3_perturbation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_perturbation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cost.dir/bench/fig4_cost.cpp.o"
+  "CMakeFiles/fig4_cost.dir/bench/fig4_cost.cpp.o.d"
+  "bench/fig4_cost"
+  "bench/fig4_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

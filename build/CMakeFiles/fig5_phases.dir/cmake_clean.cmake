@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_phases.dir/bench/fig5_phases.cpp.o"
+  "CMakeFiles/fig5_phases.dir/bench/fig5_phases.cpp.o.d"
+  "bench/fig5_phases"
+  "bench/fig5_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

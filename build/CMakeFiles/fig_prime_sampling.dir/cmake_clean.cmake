@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_prime_sampling.dir/bench/fig_prime_sampling.cpp.o"
+  "CMakeFiles/fig_prime_sampling.dir/bench/fig_prime_sampling.cpp.o.d"
+  "bench/fig_prime_sampling"
+  "bench/fig_prime_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_prime_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_quality.dir/bench/table1_quality.cpp.o"
+  "CMakeFiles/table1_quality.dir/bench/table1_quality.cpp.o.d"
+  "bench/table1_quality"
+  "bench/table1_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

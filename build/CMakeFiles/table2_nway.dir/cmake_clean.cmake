@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_nway.dir/bench/table2_nway.cpp.o"
+  "CMakeFiles/table2_nway.dir/bench/table2_nway.cpp.o.d"
+  "bench/table2_nway"
+  "bench/table2_nway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_nway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

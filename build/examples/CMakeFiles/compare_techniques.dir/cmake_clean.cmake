@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_techniques.dir/compare_techniques.cpp.o"
+  "CMakeFiles/compare_techniques.dir/compare_techniques.cpp.o.d"
+  "compare_techniques"
+  "compare_techniques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

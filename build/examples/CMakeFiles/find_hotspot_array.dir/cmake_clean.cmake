@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_hotspot_array.dir/find_hotspot_array.cpp.o"
+  "CMakeFiles/find_hotspot_array.dir/find_hotspot_array.cpp.o.d"
+  "find_hotspot_array"
+  "find_hotspot_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_hotspot_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

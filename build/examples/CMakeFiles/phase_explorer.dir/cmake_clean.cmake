@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_explorer.dir/phase_explorer.cpp.o"
+  "CMakeFiles/phase_explorer.dir/phase_explorer.cpp.o.d"
+  "phase_explorer"
+  "phase_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

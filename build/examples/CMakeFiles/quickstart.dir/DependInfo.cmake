@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/hpm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hpm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hpm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/objmap/CMakeFiles/hpm_objmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/exact_profiler.cpp" "src/core/CMakeFiles/hpm_core.dir/exact_profiler.cpp.o" "gcc" "src/core/CMakeFiles/hpm_core.dir/exact_profiler.cpp.o.d"
+  "/root/repo/src/core/nway_search.cpp" "src/core/CMakeFiles/hpm_core.dir/nway_search.cpp.o" "gcc" "src/core/CMakeFiles/hpm_core.dir/nway_search.cpp.o.d"
+  "/root/repo/src/core/primes.cpp" "src/core/CMakeFiles/hpm_core.dir/primes.cpp.o" "gcc" "src/core/CMakeFiles/hpm_core.dir/primes.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/hpm_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/hpm_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/sampler.cpp" "src/core/CMakeFiles/hpm_core.dir/sampler.cpp.o" "gcc" "src/core/CMakeFiles/hpm_core.dir/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/objmap/CMakeFiles/hpm_objmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpm_core.dir/exact_profiler.cpp.o"
+  "CMakeFiles/hpm_core.dir/exact_profiler.cpp.o.d"
+  "CMakeFiles/hpm_core.dir/nway_search.cpp.o"
+  "CMakeFiles/hpm_core.dir/nway_search.cpp.o.d"
+  "CMakeFiles/hpm_core.dir/primes.cpp.o"
+  "CMakeFiles/hpm_core.dir/primes.cpp.o.d"
+  "CMakeFiles/hpm_core.dir/report.cpp.o"
+  "CMakeFiles/hpm_core.dir/report.cpp.o.d"
+  "CMakeFiles/hpm_core.dir/sampler.cpp.o"
+  "CMakeFiles/hpm_core.dir/sampler.cpp.o.d"
+  "libhpm_core.a"
+  "libhpm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

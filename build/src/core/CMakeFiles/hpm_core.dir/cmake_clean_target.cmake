@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhpm_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpm_harness.dir/experiment.cpp.o"
+  "CMakeFiles/hpm_harness.dir/experiment.cpp.o.d"
+  "libhpm_harness.a"
+  "libhpm_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpm_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objmap/heap_tracker.cpp" "src/objmap/CMakeFiles/hpm_objmap.dir/heap_tracker.cpp.o" "gcc" "src/objmap/CMakeFiles/hpm_objmap.dir/heap_tracker.cpp.o.d"
+  "/root/repo/src/objmap/object_map.cpp" "src/objmap/CMakeFiles/hpm_objmap.dir/object_map.cpp.o" "gcc" "src/objmap/CMakeFiles/hpm_objmap.dir/object_map.cpp.o.d"
+  "/root/repo/src/objmap/rbtree.cpp" "src/objmap/CMakeFiles/hpm_objmap.dir/rbtree.cpp.o" "gcc" "src/objmap/CMakeFiles/hpm_objmap.dir/rbtree.cpp.o.d"
+  "/root/repo/src/objmap/symbol_table.cpp" "src/objmap/CMakeFiles/hpm_objmap.dir/symbol_table.cpp.o" "gcc" "src/objmap/CMakeFiles/hpm_objmap.dir/symbol_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpm_objmap.dir/heap_tracker.cpp.o"
+  "CMakeFiles/hpm_objmap.dir/heap_tracker.cpp.o.d"
+  "CMakeFiles/hpm_objmap.dir/object_map.cpp.o"
+  "CMakeFiles/hpm_objmap.dir/object_map.cpp.o.d"
+  "CMakeFiles/hpm_objmap.dir/rbtree.cpp.o"
+  "CMakeFiles/hpm_objmap.dir/rbtree.cpp.o.d"
+  "CMakeFiles/hpm_objmap.dir/symbol_table.cpp.o"
+  "CMakeFiles/hpm_objmap.dir/symbol_table.cpp.o.d"
+  "libhpm_objmap.a"
+  "libhpm_objmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpm_objmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

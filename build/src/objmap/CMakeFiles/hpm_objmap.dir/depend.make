@@ -1,0 +1,2 @@
+# Empty dependencies file for hpm_objmap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/address_space.cpp" "src/sim/CMakeFiles/hpm_sim.dir/address_space.cpp.o" "gcc" "src/sim/CMakeFiles/hpm_sim.dir/address_space.cpp.o.d"
+  "/root/repo/src/sim/backing_store.cpp" "src/sim/CMakeFiles/hpm_sim.dir/backing_store.cpp.o" "gcc" "src/sim/CMakeFiles/hpm_sim.dir/backing_store.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/hpm_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/hpm_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/hpm_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/hpm_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/perf_monitor.cpp" "src/sim/CMakeFiles/hpm_sim.dir/perf_monitor.cpp.o" "gcc" "src/sim/CMakeFiles/hpm_sim.dir/perf_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

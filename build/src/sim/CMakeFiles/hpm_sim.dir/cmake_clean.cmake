@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpm_sim.dir/address_space.cpp.o"
+  "CMakeFiles/hpm_sim.dir/address_space.cpp.o.d"
+  "CMakeFiles/hpm_sim.dir/backing_store.cpp.o"
+  "CMakeFiles/hpm_sim.dir/backing_store.cpp.o.d"
+  "CMakeFiles/hpm_sim.dir/cache.cpp.o"
+  "CMakeFiles/hpm_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/hpm_sim.dir/machine.cpp.o"
+  "CMakeFiles/hpm_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/hpm_sim.dir/perf_monitor.cpp.o"
+  "CMakeFiles/hpm_sim.dir/perf_monitor.cpp.o.d"
+  "libhpm_sim.a"
+  "libhpm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpm_trace.dir/trace.cpp.o"
+  "CMakeFiles/hpm_trace.dir/trace.cpp.o.d"
+  "libhpm_trace.a"
+  "libhpm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

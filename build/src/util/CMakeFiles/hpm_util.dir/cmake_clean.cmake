@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpm_util.dir/cli.cpp.o"
+  "CMakeFiles/hpm_util.dir/cli.cpp.o.d"
+  "CMakeFiles/hpm_util.dir/stats.cpp.o"
+  "CMakeFiles/hpm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/hpm_util.dir/table.cpp.o"
+  "CMakeFiles/hpm_util.dir/table.cpp.o.d"
+  "libhpm_util.a"
+  "libhpm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/applu.cpp" "src/workloads/CMakeFiles/hpm_workloads.dir/applu.cpp.o" "gcc" "src/workloads/CMakeFiles/hpm_workloads.dir/applu.cpp.o.d"
+  "/root/repo/src/workloads/compress.cpp" "src/workloads/CMakeFiles/hpm_workloads.dir/compress.cpp.o" "gcc" "src/workloads/CMakeFiles/hpm_workloads.dir/compress.cpp.o.d"
+  "/root/repo/src/workloads/ijpeg.cpp" "src/workloads/CMakeFiles/hpm_workloads.dir/ijpeg.cpp.o" "gcc" "src/workloads/CMakeFiles/hpm_workloads.dir/ijpeg.cpp.o.d"
+  "/root/repo/src/workloads/mgrid.cpp" "src/workloads/CMakeFiles/hpm_workloads.dir/mgrid.cpp.o" "gcc" "src/workloads/CMakeFiles/hpm_workloads.dir/mgrid.cpp.o.d"
+  "/root/repo/src/workloads/su2cor.cpp" "src/workloads/CMakeFiles/hpm_workloads.dir/su2cor.cpp.o" "gcc" "src/workloads/CMakeFiles/hpm_workloads.dir/su2cor.cpp.o.d"
+  "/root/repo/src/workloads/swim.cpp" "src/workloads/CMakeFiles/hpm_workloads.dir/swim.cpp.o" "gcc" "src/workloads/CMakeFiles/hpm_workloads.dir/swim.cpp.o.d"
+  "/root/repo/src/workloads/synthetic.cpp" "src/workloads/CMakeFiles/hpm_workloads.dir/synthetic.cpp.o" "gcc" "src/workloads/CMakeFiles/hpm_workloads.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workloads/tomcatv.cpp" "src/workloads/CMakeFiles/hpm_workloads.dir/tomcatv.cpp.o" "gcc" "src/workloads/CMakeFiles/hpm_workloads.dir/tomcatv.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/hpm_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/hpm_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

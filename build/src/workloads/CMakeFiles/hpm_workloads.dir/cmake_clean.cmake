@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpm_workloads.dir/applu.cpp.o"
+  "CMakeFiles/hpm_workloads.dir/applu.cpp.o.d"
+  "CMakeFiles/hpm_workloads.dir/compress.cpp.o"
+  "CMakeFiles/hpm_workloads.dir/compress.cpp.o.d"
+  "CMakeFiles/hpm_workloads.dir/ijpeg.cpp.o"
+  "CMakeFiles/hpm_workloads.dir/ijpeg.cpp.o.d"
+  "CMakeFiles/hpm_workloads.dir/mgrid.cpp.o"
+  "CMakeFiles/hpm_workloads.dir/mgrid.cpp.o.d"
+  "CMakeFiles/hpm_workloads.dir/su2cor.cpp.o"
+  "CMakeFiles/hpm_workloads.dir/su2cor.cpp.o.d"
+  "CMakeFiles/hpm_workloads.dir/swim.cpp.o"
+  "CMakeFiles/hpm_workloads.dir/swim.cpp.o.d"
+  "CMakeFiles/hpm_workloads.dir/synthetic.cpp.o"
+  "CMakeFiles/hpm_workloads.dir/synthetic.cpp.o.d"
+  "CMakeFiles/hpm_workloads.dir/tomcatv.cpp.o"
+  "CMakeFiles/hpm_workloads.dir/tomcatv.cpp.o.d"
+  "CMakeFiles/hpm_workloads.dir/workload.cpp.o"
+  "CMakeFiles/hpm_workloads.dir/workload.cpp.o.d"
+  "libhpm_workloads.a"
+  "libhpm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accounting_test.dir/accounting_test.cpp.o"
+  "CMakeFiles/accounting_test.dir/accounting_test.cpp.o.d"
+  "accounting_test"
+  "accounting_test.pdb"
+  "accounting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accounting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

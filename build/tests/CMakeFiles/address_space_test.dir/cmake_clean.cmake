@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/address_space_test.dir/address_space_test.cpp.o"
+  "CMakeFiles/address_space_test.dir/address_space_test.cpp.o.d"
+  "address_space_test"
+  "address_space_test.pdb"
+  "address_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/address_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

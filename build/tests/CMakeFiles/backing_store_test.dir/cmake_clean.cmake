@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backing_store_test.dir/backing_store_test.cpp.o"
+  "CMakeFiles/backing_store_test.dir/backing_store_test.cpp.o.d"
+  "backing_store_test"
+  "backing_store_test.pdb"
+  "backing_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backing_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_profiler_test.dir/exact_profiler_test.cpp.o"
+  "CMakeFiles/exact_profiler_test.dir/exact_profiler_test.cpp.o.d"
+  "exact_profiler_test"
+  "exact_profiler_test.pdb"
+  "exact_profiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_profiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

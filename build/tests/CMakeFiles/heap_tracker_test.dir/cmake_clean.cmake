@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heap_tracker_test.dir/heap_tracker_test.cpp.o"
+  "CMakeFiles/heap_tracker_test.dir/heap_tracker_test.cpp.o.d"
+  "heap_tracker_test"
+  "heap_tracker_test.pdb"
+  "heap_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heap_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

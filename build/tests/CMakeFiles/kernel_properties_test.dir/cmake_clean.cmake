@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_properties_test.dir/kernel_properties_test.cpp.o"
+  "CMakeFiles/kernel_properties_test.dir/kernel_properties_test.cpp.o.d"
+  "kernel_properties_test"
+  "kernel_properties_test.pdb"
+  "kernel_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nway_search_test.dir/nway_search_test.cpp.o"
+  "CMakeFiles/nway_search_test.dir/nway_search_test.cpp.o.d"
+  "nway_search_test"
+  "nway_search_test.pdb"
+  "nway_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nway_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_map_test.dir/object_map_test.cpp.o"
+  "CMakeFiles/object_map_test.dir/object_map_test.cpp.o.d"
+  "object_map_test"
+  "object_map_test.pdb"
+  "object_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

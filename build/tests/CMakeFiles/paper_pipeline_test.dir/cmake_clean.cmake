@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_pipeline_test.dir/paper_pipeline_test.cpp.o"
+  "CMakeFiles/paper_pipeline_test.dir/paper_pipeline_test.cpp.o.d"
+  "paper_pipeline_test"
+  "paper_pipeline_test.pdb"
+  "paper_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

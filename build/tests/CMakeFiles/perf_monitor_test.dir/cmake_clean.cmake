@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_monitor_test.dir/perf_monitor_test.cpp.o"
+  "CMakeFiles/perf_monitor_test.dir/perf_monitor_test.cpp.o.d"
+  "perf_monitor_test"
+  "perf_monitor_test.pdb"
+  "perf_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbtree_test.dir/rbtree_test.cpp.o"
+  "CMakeFiles/rbtree_test.dir/rbtree_test.cpp.o.d"
+  "rbtree_test"
+  "rbtree_test.pdb"
+  "rbtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

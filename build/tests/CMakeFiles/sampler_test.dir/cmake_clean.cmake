@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampler_test.dir/sampler_test.cpp.o"
+  "CMakeFiles/sampler_test.dir/sampler_test.cpp.o.d"
+  "sampler_test"
+  "sampler_test.pdb"
+  "sampler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbol_table_test.dir/symbol_table_test.cpp.o"
+  "CMakeFiles/symbol_table_test.dir/symbol_table_test.cpp.o.d"
+  "symbol_table_test"
+  "symbol_table_test.pdb"
+  "symbol_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbol_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/backing_store_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/address_space_test[1]_include.cmake")
+include("/root/repo/build/tests/perf_monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/rbtree_test[1]_include.cmake")
+include("/root/repo/build/tests/symbol_table_test[1]_include.cmake")
+include("/root/repo/build/tests/heap_tracker_test[1]_include.cmake")
+include("/root/repo/build/tests/object_map_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/util_misc_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/exact_profiler_test[1]_include.cmake")
+include("/root/repo/build/tests/sampler_test[1]_include.cmake")
+include("/root/repo/build/tests/nway_search_test[1]_include.cmake")
+include("/root/repo/build/tests/synthetic_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/accounting_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_model_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")

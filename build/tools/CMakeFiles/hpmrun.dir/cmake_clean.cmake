@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpmrun.dir/hpmrun.cpp.o"
+  "CMakeFiles/hpmrun.dir/hpmrun.cpp.o.d"
+  "hpmrun"
+  "hpmrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpmrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
