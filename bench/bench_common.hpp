@@ -8,7 +8,10 @@
 #include <string>
 #include <vector>
 
-#include "harness/experiment.hpp"
+#include <fstream>
+
+#include "harness/batch.hpp"
+#include "harness/json_export.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -19,6 +22,8 @@ struct CommonFlags {
   double iters = 1.0;        ///< iteration multiplier (1.0 = paper default)
   std::uint64_t seed = 0x5ca1ab1e;
   bool csv = false;
+  unsigned jobs = 1;         ///< worker threads for batch sweeps (0 = cores)
+  std::string out;           ///< JSON export path ("" = none)
   std::vector<std::string> workloads;  ///< empty = all paper workloads
 
   static std::optional<CommonFlags> parse(
@@ -30,7 +35,7 @@ inline std::optional<CommonFlags> CommonFlags::parse(
     int argc, const char* const* argv,
     std::vector<std::string> extra_flags) {
   std::vector<std::string> known = {"scale", "iters", "seed", "csv",
-                                    "workloads"};
+                                    "workloads", "jobs", "out"};
   known.insert(known.end(), extra_flags.begin(), extra_flags.end());
   util::Cli cli(argc, argv, known);
   if (!cli.ok()) {
@@ -42,6 +47,8 @@ inline std::optional<CommonFlags> CommonFlags::parse(
   flags.iters = cli.get_double("iters", 1.0);
   flags.seed = cli.get_uint("seed", 0x5ca1ab1e);
   flags.csv = cli.get_bool("csv", false);
+  flags.jobs = static_cast<unsigned>(cli.get_uint("jobs", 1));
+  flags.out = cli.get("out", "");
   const std::string list = cli.get("workloads", "");
   if (!list.empty()) {
     std::size_t start = 0;
@@ -100,6 +107,34 @@ inline void emit(const util::Table& table, bool csv) {
   } else {
     table.render(std::cout);
   }
+}
+
+/// BatchRunner options for a bench sweep: honour --jobs and narrate
+/// completions on stderr (stdout stays reserved for the table).
+inline harness::BatchRunner::Options batch_options(const CommonFlags& flags) {
+  harness::BatchRunner::Options options;
+  options.jobs = flags.jobs;
+  options.on_progress = [](std::size_t done, std::size_t total,
+                           const harness::BatchItem& item) {
+    std::fprintf(stderr, "[%zu/%zu] %s (%.3fs)%s%s\n", done, total,
+                 item.spec.name.c_str(), item.wall_seconds,
+                 item.ok ? "" : " FAILED: ", item.ok ? "" : item.error.c_str());
+  };
+  return options;
+}
+
+/// Honour --out: export the batch as hpm.batch.v1 JSON.
+inline void maybe_export(const CommonFlags& flags,
+                         const harness::BatchResult& batch) {
+  if (flags.out.empty()) return;
+  std::ofstream out(flags.out);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", flags.out.c_str());
+    return;
+  }
+  harness::export_json(out, batch);
+  std::fprintf(stderr, "wrote %s (%zu runs)\n", flags.out.c_str(),
+               batch.items.size());
 }
 
 }  // namespace hpm::bench

@@ -4,6 +4,10 @@
 // the rank and percentage estimated by (a) sampling one miss in 50,000 and
 // (b) the 10-way search.  Objects causing less than 0.01% of all misses
 // are excluded, exactly as in the paper.
+//
+// The (workload x tool) sweep runs on the BatchRunner worker pool; pass
+// --jobs N to parallelize and --out FILE to export hpm.batch.v1 JSON.
+// Results are identical for every jobs value (see batch_runner_test).
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -13,7 +17,8 @@ int main(int argc, char** argv) {
   auto flags = bench::CommonFlags::parse(argc, argv, {"period", "n"});
   if (!flags) return 2;
   util::Cli cli(argc, argv,
-                {"scale", "iters", "seed", "csv", "workloads", "period", "n"});
+                {"scale", "iters", "seed", "csv", "workloads", "jobs", "out",
+                 "period", "n"});
   const std::uint64_t period = cli.get_uint("period", 50'000);
   const unsigned n = static_cast<unsigned>(cli.get_uint("n", 10));
 
@@ -29,25 +34,38 @@ int main(int argc, char** argv) {
        util::Align::kRight, util::Align::kRight, util::Align::kRight,
        util::Align::kRight});
 
-  for (const auto& name : bench::selected_workloads(*flags)) {
-    const auto options =
-        bench::options_for(*flags, bench::bench_default_iters(name));
+  harness::RunConfig sample_cfg;
+  sample_cfg.machine = harness::paper_machine();
+  sample_cfg.tool = harness::ToolKind::kSampler;
+  sample_cfg.sampler.period = period;
 
-    harness::RunConfig sample_cfg;
-    sample_cfg.machine = harness::paper_machine();
-    sample_cfg.tool = harness::ToolKind::kSampler;
-    sample_cfg.sampler.period = period;
-    const auto sampled = harness::run_experiment(sample_cfg, name, options);
+  harness::RunConfig search_cfg;
+  search_cfg.machine = harness::paper_machine();
+  search_cfg.tool = harness::ToolKind::kSearch;
+  search_cfg.search.n = n;
 
-    harness::RunConfig search_cfg;
-    search_cfg.machine = harness::paper_machine();
-    search_cfg.tool = harness::ToolKind::kSearch;
-    search_cfg.search.n = n;
-    const auto searched = harness::run_experiment(search_cfg, name, options);
+  const auto& names = bench::selected_workloads(*flags);
+  const auto specs = harness::cross_specs(
+      names, {{"sample", sample_cfg}, {"search", search_cfg}},
+      [&](const std::string& name) {
+        return bench::options_for(*flags, bench::bench_default_iters(name));
+      });
+  const auto batch =
+      harness::BatchRunner(bench::batch_options(*flags)).run(specs);
 
-    const auto actual = sampled.actual.filtered(0.01);
-    const auto sample_est = sampled.estimated.filtered(0.01);
-    const auto search_est = searched.estimated.filtered(0.01);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const auto& name = names[i];
+    const auto& sampled = batch.items[2 * i];
+    const auto& searched = batch.items[2 * i + 1];
+    if (!sampled.ok || !searched.ok) {
+      std::fprintf(stderr, "[%s] failed: %s\n", name.c_str(),
+                   (sampled.ok ? searched.error : sampled.error).c_str());
+      continue;
+    }
+
+    const auto actual = sampled.result.actual.filtered(0.01);
+    const auto sample_est = sampled.result.estimated.filtered(0.01);
+    const auto search_est = searched.result.estimated.filtered(0.01);
 
     table.separator();
     bool first = true;
@@ -71,14 +89,18 @@ int main(int argc, char** argv) {
         table.blank().blank();
       }
     }
-    std::fprintf(stderr,
-                 "[%s] misses=%llu samples=%llu search:%s iters=%u\n",
-                 name.c_str(),
-                 static_cast<unsigned long long>(sampled.stats.app_misses),
-                 static_cast<unsigned long long>(sampled.samples),
-                 searched.search_done ? "done" : "incomplete",
-                 searched.search_stats.iterations);
+    std::fprintf(
+        stderr, "[%s] misses=%llu samples=%llu search:%s iters=%u\n",
+        name.c_str(),
+        static_cast<unsigned long long>(sampled.result.stats.app_misses),
+        static_cast<unsigned long long>(sampled.result.samples),
+        searched.result.search_done ? "done" : "incomplete",
+        searched.result.search_stats.iterations);
   }
   bench::emit(table, flags->csv);
-  return 0;
+  bench::maybe_export(*flags, batch);
+  std::fprintf(stderr, "sweep: %zu runs, jobs=%u, wall=%.3fs\n",
+               batch.metrics.runs, batch.metrics.jobs,
+               batch.metrics.wall_seconds);
+  return batch.metrics.failed == 0 ? 0 : 1;
 }

@@ -5,6 +5,9 @@
 // headline: with the priority queue, even a 2-way search identifies the top
 // one or two objects for almost all applications — su2cor being the
 // exception, because its access pattern changes between phases.
+//
+// The (workload x search-width) sweep runs on the BatchRunner worker pool;
+// pass --jobs N to parallelize and --out FILE to export hpm.batch.v1 JSON.
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -23,23 +26,36 @@ int main(int argc, char** argv) {
        util::Align::kRight, util::Align::kRight, util::Align::kRight,
        util::Align::kRight, util::Align::kRight});
 
-  for (const auto& name : bench::selected_workloads(*flags)) {
-    const auto options =
-        bench::options_for(*flags, bench::bench_default_iters(name));
+  auto search_cfg = [](unsigned n) {
+    harness::RunConfig config;
+    config.machine = harness::paper_machine();
+    config.tool = harness::ToolKind::kSearch;
+    config.search.n = n;
+    return config;
+  };
 
-    auto run_search = [&](unsigned n) {
-      harness::RunConfig config;
-      config.machine = harness::paper_machine();
-      config.tool = harness::ToolKind::kSearch;
-      config.search.n = n;
-      return harness::run_experiment(config, name, options);
-    };
-    const auto two = run_search(2);
-    const auto ten = run_search(10);
+  const auto& names = bench::selected_workloads(*flags);
+  const auto specs = harness::cross_specs(
+      names, {{"search2", search_cfg(2)}, {"search10", search_cfg(10)}},
+      [&](const std::string& name) {
+        return bench::options_for(*flags, bench::bench_default_iters(name));
+      });
+  const auto batch =
+      harness::BatchRunner(bench::batch_options(*flags)).run(specs);
 
-    const auto actual = two.actual.filtered(0.01);
-    const auto est2 = two.estimated.filtered(0.01);
-    const auto est10 = ten.estimated.filtered(0.01);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const auto& name = names[i];
+    const auto& two = batch.items[2 * i];
+    const auto& ten = batch.items[2 * i + 1];
+    if (!two.ok || !ten.ok) {
+      std::fprintf(stderr, "[%s] failed: %s\n", name.c_str(),
+                   (two.ok ? ten.error : two.error).c_str());
+      continue;
+    }
+
+    const auto actual = two.result.actual.filtered(0.01);
+    const auto est2 = two.result.estimated.filtered(0.01);
+    const auto est10 = ten.result.estimated.filtered(0.01);
 
     table.separator();
     bool first = true;
@@ -63,11 +79,16 @@ int main(int argc, char** argv) {
       }
     }
     std::fprintf(stderr, "[%s] 2-way:%s(%u it)  10-way:%s(%u it)\n",
-                 name.c_str(), two.search_done ? "done" : "incomplete",
-                 two.search_stats.iterations,
-                 ten.search_done ? "done" : "incomplete",
-                 ten.search_stats.iterations);
+                 name.c_str(),
+                 two.result.search_done ? "done" : "incomplete",
+                 two.result.search_stats.iterations,
+                 ten.result.search_done ? "done" : "incomplete",
+                 ten.result.search_stats.iterations);
   }
   bench::emit(table, flags->csv);
-  return 0;
+  bench::maybe_export(*flags, batch);
+  std::fprintf(stderr, "sweep: %zu runs, jobs=%u, wall=%.3fs\n",
+               batch.metrics.runs, batch.metrics.jobs,
+               batch.metrics.wall_seconds);
+  return batch.metrics.failed == 0 ? 0 : 1;
 }

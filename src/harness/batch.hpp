@@ -1,0 +1,105 @@
+// Parallel batch experiment engine.
+//
+// Every table and figure in the reproduction is a sweep over
+// (workload x tool x config) points, and each point runs on its own
+// freshly constructed Machine — shared-nothing, embarrassingly parallel
+// work.  BatchRunner executes a vector of named run specs on a worker
+// pool and collects results *in submission order* regardless of
+// completion order, so a parallel sweep is byte-identical to the serial
+// one.
+//
+// Determinism contract: the simulator is bit-for-bit reproducible (see
+// util/prng.hpp), every run owns its Machine/ObjectMap/Workload, and a
+// run's inputs are a pure function of its spec — never of scheduling.
+// Hence `run(specs)` with 1 worker and with N workers produce identical
+// RunResults, and re-running the same specs is bit-stable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "workloads/workload.hpp"
+
+namespace hpm::harness {
+
+/// One point of a sweep: a named (workload, tool-config) pair.
+struct RunSpec {
+  std::string name;        ///< label, e.g. "tomcatv/search10"
+  std::string workload;    ///< factory name, see workloads::make_workload
+  RunConfig config{};
+  workloads::WorkloadOptions options{};
+};
+
+/// A completed point: the spec echoed back plus its result and metrics.
+struct BatchItem {
+  RunSpec spec;
+  RunResult result;        ///< default-constructed when !ok
+  double wall_seconds = 0.0;
+  bool ok = false;
+  std::string error;       ///< exception message when !ok
+};
+
+/// Whole-batch observability counters (sums over successful runs).
+struct BatchMetrics {
+  double wall_seconds = 0.0;  ///< batch wall-clock, submit to last completion
+  std::uint64_t virtual_cycles = 0;
+  std::uint64_t app_misses = 0;
+  std::uint64_t interrupts = 0;
+  std::size_t runs = 0;
+  std::size_t failed = 0;
+  unsigned jobs = 1;  ///< worker count actually used
+};
+
+struct BatchResult {
+  std::vector<BatchItem> items;  ///< one per spec, in submission order
+  BatchMetrics metrics;
+};
+
+class BatchRunner {
+ public:
+  /// Called after each run completes (from a worker thread, serialized by
+  /// an internal mutex): (runs completed so far, total, finished item).
+  using ProgressFn =
+      std::function<void(std::size_t done, std::size_t total,
+                         const BatchItem& item)>;
+
+  struct Options {
+    unsigned jobs = 1;  ///< worker threads; 0 = hardware concurrency
+    ProgressFn on_progress;
+    /// Re-seed each run with derived_seed(spec.options.seed, index) so
+    /// that specs sharing a base seed still get decorrelated streams.
+    /// The derived seed depends only on (base seed, submission index) —
+    /// never on scheduling — so the determinism contract holds.  Off by
+    /// default: a spec's options are then used exactly as given.
+    bool derive_seeds = false;
+  };
+
+  BatchRunner();
+  explicit BatchRunner(Options options);
+
+  /// Run every spec; blocks until all complete.  A spec that throws
+  /// (e.g. unknown workload) yields an item with ok=false and does not
+  /// disturb the other runs.
+  [[nodiscard]] BatchResult run(const std::vector<RunSpec>& specs) const;
+
+  /// SplitMix64-derived per-run seed: pure function of (base, index).
+  [[nodiscard]] static std::uint64_t derived_seed(std::uint64_t base,
+                                                  std::size_t index) noexcept;
+
+ private:
+  Options options_;
+};
+
+/// Convenience: cartesian-product helper used by sweep front-ends.  For
+/// each workload name, emits one spec per (suffix, config) pair with name
+/// "<workload>/<suffix>".
+[[nodiscard]] std::vector<RunSpec> cross_specs(
+    const std::vector<std::string>& workload_names,
+    const std::vector<std::pair<std::string, RunConfig>>& tools,
+    const std::function<workloads::WorkloadOptions(const std::string&)>&
+        options_for);
+
+}  // namespace hpm::harness

@@ -1,0 +1,565 @@
+#include "harness/json_export.hpp"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <system_error>
+
+namespace hpm::harness {
+
+// -- Escaping ----------------------------------------------------------------
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::array<char, 8> buf{};
+          std::snprintf(buf.data(), buf.size(), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf.data();
+        } else {
+          out += c;  // UTF-8 bytes pass through untouched
+        }
+    }
+  }
+  return out;
+}
+
+std::string_view tool_kind_name(ToolKind kind) noexcept {
+  switch (kind) {
+    case ToolKind::kSampler: return "sample";
+    case ToolKind::kSearch: return "search";
+    case ToolKind::kNone: break;
+  }
+  return "none";
+}
+
+// -- Writer ------------------------------------------------------------------
+
+JsonWriter::JsonWriter(std::ostream& out, int indent)
+    : out_(out), indent_(indent) {
+  has_element_.push_back(false);
+}
+
+void JsonWriter::newline() {
+  if (indent_ <= 0) return;
+  out_ << '\n';
+  for (int i = 0; i < depth_ * indent_; ++i) out_ << ' ';
+}
+
+void JsonWriter::before_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (has_element_.back()) out_ << ',';
+  if (depth_ > 0) newline();
+  has_element_.back() = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  ++depth_;
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool had = has_element_.back();
+  has_element_.pop_back();
+  --depth_;
+  if (had) newline();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  ++depth_;
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool had = has_element_.back();
+  has_element_.pop_back();
+  --depth_;
+  if (had) newline();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (has_element_.back()) out_ << ',';
+  newline();
+  has_element_.back() = true;
+  out_ << '"' << json_escape(name) << "\":";
+  if (indent_ > 0) out_ << ' ';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  before_value();
+  out_ << '"' << json_escape(text) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  before_value();
+  out_ << (flag ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  before_value();
+  if (!std::isfinite(number)) {
+    // JSON has no Infinity/NaN; null is the conventional stand-in.
+    out_ << "null";
+    return *this;
+  }
+  // Shortest round-trip representation — deterministic across runs.
+  std::array<char, 32> buf{};
+  const auto [ptr, ec] =
+      std::to_chars(buf.data(), buf.data() + buf.size(), number);
+  if (ec != std::errc{}) {
+    out_ << "null";
+    return *this;
+  }
+  out_ << std::string_view(buf.data(), static_cast<std::size_t>(ptr - buf.data()));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  before_value();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  before_value();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ << "null";
+  return *this;
+}
+
+// -- Exporters ---------------------------------------------------------------
+
+namespace {
+
+void write_report(JsonWriter& w, const core::Report& report) {
+  w.begin_object();
+  w.key("total_count").value(report.total_count());
+  w.key("rows").begin_array();
+  for (const auto& row : report.rows()) {
+    w.begin_object();
+    w.key("name").value(row.name);
+    w.key("count").value(row.count);
+    w.key("percent").value(row.percent);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_stats(JsonWriter& w, const sim::MachineStats& stats) {
+  w.begin_object();
+  w.key("app_instructions").value(stats.app_instructions);
+  w.key("app_refs").value(stats.app_refs);
+  w.key("app_misses").value(stats.app_misses);
+  w.key("l1_hits").value(stats.l1_hits);
+  w.key("tool_refs").value(stats.tool_refs);
+  w.key("tool_misses").value(stats.tool_misses);
+  w.key("app_cycles").value(stats.app_cycles);
+  w.key("tool_cycles").value(stats.tool_cycles);
+  w.key("total_cycles").value(stats.total_cycles());
+  w.key("interrupts").value(stats.interrupts);
+  w.end_object();
+}
+
+void write_series(JsonWriter& w,
+                  const std::vector<core::ExactProfiler::Series>& series) {
+  w.begin_array();
+  for (const auto& entry : series) {
+    w.begin_object();
+    w.key("name").value(entry.name);
+    w.key("misses_per_interval").begin_array();
+    for (const auto misses : entry.misses_per_interval) w.value(misses);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+}
+
+void write_run_result(JsonWriter& w, const RunResult& result,
+                      const JsonExportOptions& options) {
+  w.begin_object();
+  w.key("stats");
+  write_stats(w, result.stats);
+  w.key("samples").value(result.samples);
+  w.key("unattributed_misses").value(result.unattributed_misses);
+  w.key("search_done").value(result.search_done);
+  w.key("search_stats").begin_object();
+  w.key("iterations").value(result.search_stats.iterations);
+  w.key("refine_iterations").value(result.search_stats.refine_iterations);
+  w.key("splits").value(result.search_stats.splits);
+  w.key("discarded").value(result.search_stats.discarded);
+  w.key("zero_retained").value(result.search_stats.zero_retained);
+  w.key("continuations").value(result.search_stats.continuations);
+  w.key("final_interval").value(result.search_stats.final_interval);
+  w.end_object();
+  w.key("actual");
+  write_report(w, result.actual);
+  w.key("estimated");
+  write_report(w, result.estimated);
+  if (options.include_series && !result.series.empty()) {
+    w.key("series");
+    write_series(w, result.series);
+  }
+  w.end_object();
+}
+
+void write_item(JsonWriter& w, const BatchItem& item,
+                const JsonExportOptions& options) {
+  w.begin_object();
+  w.key("name").value(item.spec.name);
+  w.key("workload").value(item.spec.workload);
+  w.key("tool").value(tool_kind_name(item.spec.config.tool));
+  w.key("scale").value(item.spec.options.scale);
+  w.key("iterations").value(item.spec.options.iterations);
+  w.key("seed").value(item.spec.options.seed);
+  w.key("ok").value(item.ok);
+  if (!item.ok) w.key("error").value(item.error);
+  if (options.include_timing) w.key("wall_seconds").value(item.wall_seconds);
+  if (item.ok) {
+    w.key("result");
+    write_run_result(w, item.result, options);
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+void export_json(std::ostream& out, const core::Report& report,
+                 const JsonExportOptions& options) {
+  JsonWriter w(out, options.indent);
+  write_report(w, report);
+  out << '\n';
+}
+
+void export_json(std::ostream& out, const sim::MachineStats& stats,
+                 const JsonExportOptions& options) {
+  JsonWriter w(out, options.indent);
+  write_stats(w, stats);
+  out << '\n';
+}
+
+void export_json(std::ostream& out, const RunResult& result,
+                 const JsonExportOptions& options) {
+  JsonWriter w(out, options.indent);
+  write_run_result(w, result, options);
+  out << '\n';
+}
+
+void export_json(std::ostream& out, const BatchItem& item,
+                 const JsonExportOptions& options) {
+  JsonWriter w(out, options.indent);
+  write_item(w, item, options);
+  out << '\n';
+}
+
+void export_json(std::ostream& out, const BatchResult& batch,
+                 const JsonExportOptions& options) {
+  JsonWriter w(out, options.indent);
+  w.begin_object();
+  w.key("schema").value("hpm.batch.v1");
+  w.key("jobs").value(batch.metrics.jobs);
+  w.key("runs").value(static_cast<std::uint64_t>(batch.metrics.runs));
+  w.key("failed").value(static_cast<std::uint64_t>(batch.metrics.failed));
+  if (options.include_timing) {
+    w.key("wall_seconds").value(batch.metrics.wall_seconds);
+  }
+  w.key("totals").begin_object();
+  w.key("virtual_cycles").value(batch.metrics.virtual_cycles);
+  w.key("app_misses").value(batch.metrics.app_misses);
+  w.key("interrupts").value(batch.metrics.interrupts);
+  w.end_object();
+  w.key("items").begin_array();
+  for (const auto& item : batch.items) write_item(w, item, options);
+  w.end_array();
+  w.end_object();
+  out << '\n';
+}
+
+// -- Parser ------------------------------------------------------------------
+
+bool JsonValue::boolean() const {
+  if (kind_ != Kind::kBool) throw std::runtime_error("json: not a bool");
+  return bool_;
+}
+
+double JsonValue::number() const {
+  if (kind_ != Kind::kNumber) throw std::runtime_error("json: not a number");
+  return number_;
+}
+
+std::uint64_t JsonValue::uint() const {
+  const double n = number();
+  if (n < 0 || n != std::floor(n)) {
+    throw std::runtime_error("json: not a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(n);
+}
+
+const std::string& JsonValue::str() const {
+  if (kind_ != Kind::kString) throw std::runtime_error("json: not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::array() const {
+  if (kind_ != Kind::kArray) throw std::runtime_error("json: not an array");
+  return array_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::object() const {
+  if (kind_ != Kind::kObject) throw std::runtime_error("json: not an object");
+  return object_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = object_.find(std::string(key));
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* found = find(key);
+  if (found == nullptr) {
+    throw std::runtime_error("json: missing key '" + std::string(key) + "'");
+  }
+  return *found;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kString;
+        v.string_ = parse_string();
+        return v;
+      }
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        {
+          JsonValue v;
+          v.kind_ = JsonValue::Kind::kBool;
+          v.bool_ = true;
+          return v;
+        }
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        {
+          JsonValue v;
+          v.kind_ = JsonValue::Kind::kBool;
+          v.bool_ = false;
+          return v;
+        }
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue{};
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object_.emplace(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array_.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Encode as UTF-8 (BMP only — enough for the writer's output,
+          // which only ever \u-escapes control characters).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double number = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, number);
+    if (ec != std::errc{} || ptr != text_.data() + pos_ || pos_ == start) {
+      fail("bad number");
+    }
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kNumber;
+    v.number_ = number;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+}  // namespace hpm::harness

@@ -1,0 +1,137 @@
+// Structured JSON export for experiment results — no third-party deps.
+//
+// Makes `results/*.json` machine-readable for the bench trajectory and
+// gives the regression suite a stable, diffable serialization of every
+// number a run produces.  The writer is deterministic: doubles are
+// emitted with std::to_chars (shortest round-trip form), object keys are
+// written in a fixed order, and wall-clock timing can be omitted so two
+// runs of the same specs export byte-identical documents.
+//
+// A minimal JSON parser (JsonValue) rides along for the golden-result
+// tests and for round-trip checks; it is not a general-purpose validator
+// but accepts everything the writer emits.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/batch.hpp"
+
+namespace hpm::harness {
+
+/// Escape a string for inclusion in a JSON document (quotes not added).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Canonical spelling of a ToolKind ("none" | "sample" | "search").
+[[nodiscard]] std::string_view tool_kind_name(ToolKind kind) noexcept;
+
+// -- Writer ------------------------------------------------------------------
+
+/// Streaming JSON writer with automatic comma/indent management.
+class JsonWriter {
+ public:
+  /// `indent` spaces per nesting level; 0 writes compact single-line JSON.
+  explicit JsonWriter(std::ostream& out, int indent = 2);
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(bool flag);
+  JsonWriter& value(double number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(int number) { return value(std::int64_t{number}); }
+  JsonWriter& value(unsigned number) { return value(std::uint64_t{number}); }
+  JsonWriter& null();
+
+ private:
+  void before_value();
+  void newline();
+
+  std::ostream& out_;
+  int indent_;
+  int depth_ = 0;
+  /// Per-depth flag: has the current container already emitted an element?
+  std::vector<bool> has_element_;
+  bool after_key_ = false;
+};
+
+// -- Exporters ---------------------------------------------------------------
+
+struct JsonExportOptions {
+  /// Include wall-clock fields.  Disable for byte-identical documents
+  /// across runs (the determinism and golden tests do).
+  bool include_timing = true;
+  /// Include per-object miss time series (Figure-5 data) when captured.
+  bool include_series = true;
+  int indent = 2;
+};
+
+void export_json(std::ostream& out, const core::Report& report,
+                 const JsonExportOptions& options = {});
+void export_json(std::ostream& out, const sim::MachineStats& stats,
+                 const JsonExportOptions& options = {});
+void export_json(std::ostream& out, const RunResult& result,
+                 const JsonExportOptions& options = {});
+void export_json(std::ostream& out, const BatchItem& item,
+                 const JsonExportOptions& options = {});
+/// Top-level document ("schema": "hpm.batch.v1") — see docs/parallel_sweeps.md.
+void export_json(std::ostream& out, const BatchResult& batch,
+                 const JsonExportOptions& options = {});
+
+template <typename T>
+[[nodiscard]] std::string to_json(const T& value,
+                                  const JsonExportOptions& options = {}) {
+  std::ostringstream out;
+  export_json(out, value, options);
+  return std::move(out).str();
+}
+
+// -- Parser ------------------------------------------------------------------
+
+/// Parsed JSON document node.  Numbers are stored as double (exact for
+/// the integer magnitudes this project emits, < 2^53).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parse a complete document; throws std::runtime_error on malformed
+  /// input or trailing garbage.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool boolean() const;
+  [[nodiscard]] double number() const;
+  [[nodiscard]] std::uint64_t uint() const;
+  [[nodiscard]] const std::string& str() const;
+  [[nodiscard]] const std::vector<JsonValue>& array() const;
+  [[nodiscard]] const std::map<std::string, JsonValue>& object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  /// Object member access; throws when absent.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+
+  friend class JsonParser;
+};
+
+}  // namespace hpm::harness

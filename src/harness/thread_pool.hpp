@@ -1,0 +1,56 @@
+// Fixed-size worker pool for the batch experiment engine.
+//
+// Deliberately minimal: a bounded set of workers draining a FIFO task
+// queue.  All ordering guarantees live one level up in BatchRunner (which
+// writes results into pre-assigned slots), so the pool itself needs no
+// futures, no task handles, and no completion ordering.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hpm::harness {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (itself clamped to at least one).
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task.  Tasks must not throw — wrap fallible work before
+  /// submitting (BatchRunner catches per-run exceptions itself).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished executing (queue empty
+  /// AND no worker mid-task).  The pool is reusable afterwards.
+  void wait_idle();
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// The worker count a `jobs` request resolves to (0 -> hardware).
+  [[nodiscard]] static unsigned resolve_jobs(unsigned jobs) noexcept;
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  ///< tasks popped but not yet finished
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hpm::harness

@@ -190,4 +190,22 @@ SyntheticSpec phased_spec(std::uint64_t bytes_each,
   return spec;
 }
 
+SyntheticSpec default_synthetic_spec(const WorkloadOptions& options) {
+  SyntheticSpec spec;
+  spec.lockstep = true;
+  const auto bytes = [&](std::uint64_t base) {
+    return scaled(base, options.scale, 4096);
+  };
+  // Lockstep sweeps weight shares by line count, so sizes 4:2:1 give a
+  // 4:2:1 miss profile — exact ground truth for tests and goldens.
+  spec.arrays = {{"BIG", bytes(2 * 1024 * 1024)},
+                 {"MED", bytes(1024 * 1024)},
+                 {"SMALL", bytes(512 * 1024)}};
+  spec.phases.push_back({{1, 1, 1}, 1});
+  spec.iterations = options.iterations != 0
+                        ? static_cast<std::uint32_t>(options.iterations)
+                        : 12;
+  return spec;
+}
+
 }  // namespace hpm::workloads

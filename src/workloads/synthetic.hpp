@@ -97,4 +97,11 @@ class SyntheticWorkload final : public Workload {
 [[nodiscard]] SyntheticSpec phased_spec(std::uint64_t bytes_each,
                                         std::uint32_t iterations = 6);
 
+/// The spec behind the factory name "synthetic" (make_workload): three
+/// arrays in a fixed 4:2:1 miss-share ratio, sized by options.scale (at
+/// 1.0 the largest array is 2 MB, matching bench scale against the paper
+/// machine) and repeated options.iterations times (0 = default).
+[[nodiscard]] SyntheticSpec default_synthetic_spec(
+    const WorkloadOptions& options);
+
 }  // namespace hpm::workloads

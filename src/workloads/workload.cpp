@@ -8,6 +8,7 @@
 #include "workloads/mgrid.hpp"
 #include "workloads/su2cor.hpp"
 #include "workloads/swim.hpp"
+#include "workloads/synthetic.hpp"
 #include "workloads/tomcatv.hpp"
 
 namespace hpm::workloads {
@@ -21,6 +22,9 @@ std::unique_ptr<Workload> make_workload(std::string_view name,
   if (name == "applu") return std::make_unique<Applu>(options);
   if (name == "compress") return std::make_unique<Compress>(options);
   if (name == "ijpeg") return std::make_unique<Ijpeg>(options);
+  if (name == "synthetic") {
+    return std::make_unique<SyntheticWorkload>(default_synthetic_spec(options));
+  }
   throw std::invalid_argument("unknown workload: " + std::string(name));
 }
 

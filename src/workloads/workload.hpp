@@ -41,8 +41,9 @@ class Workload {
 };
 
 /// Factory for the seven paper workloads: "tomcatv", "swim", "su2cor",
-/// "mgrid", "applu", "compress", "ijpeg".  Throws std::invalid_argument for
-/// unknown names.
+/// "mgrid", "applu", "compress", "ijpeg" — plus "synthetic", the canonical
+/// 4:2:1 three-array kernel (see default_synthetic_spec).  Throws
+/// std::invalid_argument for unknown names.
 [[nodiscard]] std::unique_ptr<Workload> make_workload(
     std::string_view name, const WorkloadOptions& options = {});
 

@@ -1,0 +1,235 @@
+// The determinism contract that makes parallelism safe: the same specs run
+// with 1 worker and with N workers produce byte-identical reports and
+// MachineStats, and re-running with the same seed is bit-stable.
+#include "harness/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "harness/json_export.hpp"
+#include "harness/thread_pool.hpp"
+
+namespace hpm::harness {
+namespace {
+
+/// A reduced-scale Table-1-style sweep: several workloads under both
+/// tools, sized so the whole batch takes ~a second.
+std::vector<RunSpec> small_sweep() {
+  RunConfig sample_cfg;
+  sample_cfg.machine.cache.size_bytes = 128 * 1024;
+  sample_cfg.tool = ToolKind::kSampler;
+  sample_cfg.sampler.period = 1'999;
+
+  RunConfig search_cfg;
+  search_cfg.machine.cache.size_bytes = 128 * 1024;
+  search_cfg.tool = ToolKind::kSearch;
+  search_cfg.search.n = 10;
+  search_cfg.search.initial_interval = 250'000;
+
+  return cross_specs({"tomcatv", "mgrid", "applu"},
+                     {{"sample", sample_cfg}, {"search", search_cfg}},
+                     [](const std::string&) {
+                       workloads::WorkloadOptions options;
+                       options.scale = 0.25;
+                       options.iterations = 3;
+                       return options;
+                     });
+}
+
+void expect_stats_equal(const sim::MachineStats& a,
+                        const sim::MachineStats& b) {
+  EXPECT_EQ(a.app_instructions, b.app_instructions);
+  EXPECT_EQ(a.app_refs, b.app_refs);
+  EXPECT_EQ(a.app_misses, b.app_misses);
+  EXPECT_EQ(a.l1_hits, b.l1_hits);
+  EXPECT_EQ(a.tool_refs, b.tool_refs);
+  EXPECT_EQ(a.tool_misses, b.tool_misses);
+  EXPECT_EQ(a.app_cycles, b.app_cycles);
+  EXPECT_EQ(a.tool_cycles, b.tool_cycles);
+  EXPECT_EQ(a.interrupts, b.interrupts);
+}
+
+void expect_reports_equal(const core::Report& a, const core::Report& b) {
+  EXPECT_EQ(a.total_count(), b.total_count());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.rows()[i].name, b.rows()[i].name);
+    EXPECT_EQ(a.rows()[i].count, b.rows()[i].count);
+    EXPECT_DOUBLE_EQ(a.rows()[i].percent, b.rows()[i].percent);
+  }
+}
+
+void expect_batches_equal(const BatchResult& a, const BatchResult& b) {
+  ASSERT_EQ(a.items.size(), b.items.size());
+  for (std::size_t i = 0; i < a.items.size(); ++i) {
+    SCOPED_TRACE(a.items[i].spec.name);
+    EXPECT_EQ(a.items[i].ok, b.items[i].ok);
+    expect_stats_equal(a.items[i].result.stats, b.items[i].result.stats);
+    expect_reports_equal(a.items[i].result.actual, b.items[i].result.actual);
+    expect_reports_equal(a.items[i].result.estimated,
+                         b.items[i].result.estimated);
+    EXPECT_EQ(a.items[i].result.samples, b.items[i].result.samples);
+    EXPECT_EQ(a.items[i].result.unattributed_misses,
+              b.items[i].result.unattributed_misses);
+    EXPECT_EQ(a.items[i].result.search_done, b.items[i].result.search_done);
+    EXPECT_EQ(a.items[i].result.search_stats.iterations,
+              b.items[i].result.search_stats.iterations);
+  }
+  // The strongest form of the contract: the timing-free JSON documents are
+  // byte-identical.
+  JsonExportOptions no_timing;
+  no_timing.include_timing = false;
+  std::string json_a = to_json(a, no_timing);
+  std::string json_b = to_json(b, no_timing);
+  // jobs is the one legitimate difference between serial and parallel.
+  EXPECT_EQ(JsonValue::parse(json_a).at("runs").uint(),
+            JsonValue::parse(json_b).at("runs").uint());
+  const auto strip_jobs = [](std::string text) {
+    const auto pos = text.find("\"jobs\":");
+    const auto end = text.find('\n', pos);
+    return text.erase(pos, end - pos);
+  };
+  EXPECT_EQ(strip_jobs(std::move(json_a)), strip_jobs(std::move(json_b)));
+}
+
+TEST(BatchRunner, ParallelMatchesSerialByteForByte) {
+  const auto specs = small_sweep();
+
+  BatchRunner::Options serial;
+  serial.jobs = 1;
+  const auto one = BatchRunner(serial).run(specs);
+
+  BatchRunner::Options parallel;
+  parallel.jobs = 4;
+  const auto four = BatchRunner(parallel).run(specs);
+
+  EXPECT_EQ(one.metrics.jobs, 1u);
+  EXPECT_EQ(four.metrics.jobs, 4u);
+  expect_batches_equal(one, four);
+}
+
+TEST(BatchRunner, RerunWithSameSeedIsBitStable) {
+  const auto specs = small_sweep();
+  BatchRunner::Options options;
+  options.jobs = 4;
+  const auto first = BatchRunner(options).run(specs);
+  const auto second = BatchRunner(options).run(specs);
+  expect_batches_equal(first, second);
+}
+
+TEST(BatchRunner, ResultsArriveInSubmissionOrder) {
+  const auto specs = small_sweep();
+  BatchRunner::Options options;
+  options.jobs = 4;
+  const auto batch = BatchRunner(options).run(specs);
+  ASSERT_EQ(batch.items.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(batch.items[i].spec.name, specs[i].name);
+    EXPECT_TRUE(batch.items[i].ok) << batch.items[i].error;
+    EXPECT_GT(batch.items[i].wall_seconds, 0.0);
+  }
+  EXPECT_EQ(batch.metrics.runs, specs.size());
+  EXPECT_EQ(batch.metrics.failed, 0u);
+  EXPECT_GT(batch.metrics.virtual_cycles, 0u);
+  EXPECT_GT(batch.metrics.app_misses, 0u);
+}
+
+TEST(BatchRunner, FailedRunIsIsolated) {
+  auto specs = small_sweep();
+  RunSpec bad;
+  bad.name = "bogus/none";
+  bad.workload = "gcc";  // not a paper workload
+  specs.insert(specs.begin() + 1, bad);
+
+  BatchRunner::Options options;
+  options.jobs = 3;
+  const auto batch = BatchRunner(options).run(specs);
+  ASSERT_EQ(batch.items.size(), specs.size());
+  EXPECT_FALSE(batch.items[1].ok);
+  EXPECT_FALSE(batch.items[1].error.empty());
+  EXPECT_EQ(batch.metrics.failed, 1u);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (i == 1) continue;
+    EXPECT_TRUE(batch.items[i].ok) << batch.items[i].error;
+  }
+}
+
+TEST(BatchRunner, ProgressCallbackSeesEveryCompletion) {
+  const auto specs = small_sweep();
+  std::size_t calls = 0;
+  std::size_t last_done = 0;
+  std::set<std::string> seen;
+  BatchRunner::Options options;
+  options.jobs = 4;
+  options.on_progress = [&](std::size_t done, std::size_t total,
+                            const BatchItem& item) {
+    // Serialized by the runner's mutex, so plain state is fine here.
+    ++calls;
+    EXPECT_EQ(done, last_done + 1);
+    last_done = done;
+    EXPECT_EQ(total, 6u);
+    seen.insert(item.spec.name);
+  };
+  const auto batch = BatchRunner(options).run(specs);
+  EXPECT_EQ(calls, specs.size());
+  EXPECT_EQ(seen.size(), specs.size());
+  EXPECT_EQ(batch.metrics.runs, specs.size());
+}
+
+TEST(BatchRunner, DerivedSeedsAreDeterministicAndDecorrelated) {
+  EXPECT_EQ(BatchRunner::derived_seed(42, 0), BatchRunner::derived_seed(42, 0));
+  EXPECT_NE(BatchRunner::derived_seed(42, 0), BatchRunner::derived_seed(42, 1));
+  EXPECT_NE(BatchRunner::derived_seed(42, 0), BatchRunner::derived_seed(43, 0));
+  EXPECT_NE(BatchRunner::derived_seed(0, 0), 0u);
+
+  // With derive_seeds on, the spec echoed back carries the derived seed.
+  auto specs = small_sweep();
+  specs.resize(2);
+  BatchRunner::Options options;
+  options.jobs = 2;
+  options.derive_seeds = true;
+  const auto batch = BatchRunner(options).run(specs);
+  EXPECT_EQ(batch.items[0].spec.options.seed,
+            BatchRunner::derived_seed(specs[0].options.seed, 0));
+  EXPECT_EQ(batch.items[1].spec.options.seed,
+            BatchRunner::derived_seed(specs[1].options.seed, 1));
+  EXPECT_NE(batch.items[0].spec.options.seed,
+            batch.items[1].spec.options.seed);
+}
+
+TEST(BatchRunner, EmptyBatchCompletesImmediately) {
+  const auto batch = BatchRunner().run({});
+  EXPECT_TRUE(batch.items.empty());
+  EXPECT_EQ(batch.metrics.runs, 0u);
+  EXPECT_EQ(batch.metrics.failed, 0u);
+}
+
+TEST(ThreadPool, RunsEveryTaskAndIsReusable) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 100 * (round + 1));
+  }
+}
+
+TEST(ThreadPool, ZeroResolvesToHardwareConcurrency) {
+  EXPECT_GE(ThreadPool::resolve_jobs(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve_jobs(7), 7u);
+}
+
+TEST(ThreadPool, WaitIdleOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // nothing submitted — must not hang
+  pool.submit([] {});
+  pool.wait_idle();
+}
+
+}  // namespace
+}  // namespace hpm::harness

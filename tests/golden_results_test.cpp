@@ -1,0 +1,210 @@
+// Golden regression tests: the small paper pipeline (one sampler run and
+// one N-way search run, on the synthetic kernel and a tomcatv-sized
+// input) exported as hpm.batch.v1 JSON and compared against checked-in
+// goldens, so future PRs cannot silently drift the paper's numbers.
+//
+// Tolerances (documented contract, see docs/parallel_sweeps.md):
+//   * structure (run names, ok flags, report row names and their order,
+//     search_done) must match EXACTLY;
+//   * integer counters (misses, refs, cycles, interrupts, samples) must
+//     match within 1% relative — the simulator is bit-deterministic, so
+//     on any one platform these match exactly; the slack only absorbs
+//     cross-platform libm differences in workload setup;
+//   * percentages must match within 0.5 points absolute.
+//
+// Regenerating after an *intentional* change:
+//   HPM_UPDATE_GOLDEN=1 ./build/tests/golden_results_test
+// then commit the rewritten tests/golden/*.json with a justification.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "harness/batch.hpp"
+#include "harness/json_export.hpp"
+
+#ifndef HPM_GOLDEN_DIR
+#error "HPM_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace hpm::harness {
+namespace {
+
+constexpr double kCountRelTolerance = 0.01;   // 1% on integer counters
+constexpr double kPercentAbsTolerance = 0.5;  // 0.5 points on shares
+
+bool update_mode() {
+  const char* env = std::getenv("HPM_UPDATE_GOLDEN");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(HPM_GOLDEN_DIR) + "/" + name;
+}
+
+/// The pinned pipeline: sampler + 10-way search over the synthetic kernel
+/// and a quarter-scale tomcatv against a proportionally sized cache.
+std::vector<RunSpec> golden_specs() {
+  RunConfig sample_cfg;
+  sample_cfg.machine.cache.size_bytes = 128 * 1024;
+  sample_cfg.tool = ToolKind::kSampler;
+  sample_cfg.sampler.period = 1'999;
+
+  RunConfig search_cfg;
+  search_cfg.machine.cache.size_bytes = 128 * 1024;
+  search_cfg.tool = ToolKind::kSearch;
+  search_cfg.search.n = 10;
+  search_cfg.search.initial_interval = 250'000;
+
+  return cross_specs({"synthetic", "tomcatv"},
+                     {{"sample", sample_cfg}, {"search", search_cfg}},
+                     [](const std::string& name) {
+                       workloads::WorkloadOptions options;
+                       options.scale = 0.25;
+                       options.iterations = name == "synthetic" ? 6 : 4;
+                       return options;
+                     });
+}
+
+std::string export_batch(const BatchResult& batch) {
+  JsonExportOptions options;
+  options.include_timing = false;  // goldens must be byte-stable
+  return to_json(batch, options);
+}
+
+void expect_count_close(const JsonValue& expected, const JsonValue& actual,
+                        const std::string& what) {
+  const double e = expected.number();
+  const double a = actual.number();
+  const double tolerance = e * kCountRelTolerance;
+  EXPECT_NEAR(a, e, tolerance < 1.0 ? 1.0 : tolerance) << what;
+}
+
+void compare_report(const JsonValue& expected, const JsonValue& actual,
+                    const std::string& what) {
+  expect_count_close(expected.at("total_count"), actual.at("total_count"),
+                     what + ".total_count");
+  const auto& expected_rows = expected.at("rows").array();
+  const auto& actual_rows = actual.at("rows").array();
+  ASSERT_EQ(actual_rows.size(), expected_rows.size()) << what;
+  for (std::size_t i = 0; i < expected_rows.size(); ++i) {
+    const std::string row = what + ".rows[" + std::to_string(i) + "]";
+    // Row identity and ORDER are exact: rank drift is a regression even
+    // when the percentages stay within tolerance.
+    EXPECT_EQ(actual_rows[i].at("name").str(),
+              expected_rows[i].at("name").str())
+        << row;
+    EXPECT_NEAR(actual_rows[i].at("percent").number(),
+                expected_rows[i].at("percent").number(),
+                kPercentAbsTolerance)
+        << row;
+  }
+}
+
+void compare_stats(const JsonValue& expected, const JsonValue& actual,
+                   const std::string& what) {
+  for (const auto& key :
+       {"app_instructions", "app_refs", "app_misses", "tool_refs",
+        "tool_misses", "app_cycles", "tool_cycles", "total_cycles",
+        "interrupts"}) {
+    expect_count_close(expected.at(key), actual.at(key),
+                       what + "." + key);
+  }
+}
+
+void compare_batches(const JsonValue& expected, const JsonValue& actual) {
+  EXPECT_EQ(actual.at("schema").str(), expected.at("schema").str());
+  ASSERT_EQ(actual.at("runs").uint(), expected.at("runs").uint());
+  EXPECT_EQ(actual.at("failed").uint(), expected.at("failed").uint());
+  const auto& expected_items = expected.at("items").array();
+  const auto& actual_items = actual.at("items").array();
+  ASSERT_EQ(actual_items.size(), expected_items.size());
+  for (std::size_t i = 0; i < expected_items.size(); ++i) {
+    const auto& e = expected_items[i];
+    const auto& a = actual_items[i];
+    const std::string what = e.at("name").str();
+    EXPECT_EQ(a.at("name").str(), e.at("name").str());
+    EXPECT_EQ(a.at("tool").str(), e.at("tool").str());
+    ASSERT_EQ(a.at("ok").boolean(), e.at("ok").boolean()) << what;
+    const auto& er = e.at("result");
+    const auto& ar = a.at("result");
+    compare_stats(er.at("stats"), ar.at("stats"), what + ".stats");
+    expect_count_close(er.at("samples"), ar.at("samples"), what + ".samples");
+    EXPECT_EQ(ar.at("search_done").boolean(), er.at("search_done").boolean())
+        << what;
+    expect_count_close(er.at("unattributed_misses"),
+                       ar.at("unattributed_misses"),
+                       what + ".unattributed_misses");
+    compare_report(er.at("actual"), ar.at("actual"), what + ".actual");
+    compare_report(er.at("estimated"), ar.at("estimated"),
+                   what + ".estimated");
+  }
+}
+
+void run_golden_case(const std::string& file,
+                     const std::vector<RunSpec>& specs) {
+  BatchRunner::Options options;
+  options.jobs = 2;
+  const auto batch = BatchRunner(options).run(specs);
+  for (const auto& item : batch.items) {
+    ASSERT_TRUE(item.ok) << item.spec.name << ": " << item.error;
+  }
+  const std::string json = export_batch(batch);
+
+  const std::string path = golden_path(file);
+  if (update_mode()) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << json;
+    GTEST_SKIP() << "golden updated: " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden " << path
+                  << " — run with HPM_UPDATE_GOLDEN=1 to create it";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  compare_batches(JsonValue::parse(buffer.str()), JsonValue::parse(json));
+}
+
+TEST(GoldenResults, PaperPipelineSamplerAndSearch) {
+  run_golden_case("paper_pipeline.json", golden_specs());
+}
+
+// The search must keep finding tomcatv's paper-named arrays; pinning the
+// top-3 set here (not just percentages) catches ranking regressions with
+// a readable failure before the JSON diff does.
+TEST(GoldenResults, TomcatvSearchTopObjectsStable) {
+  const auto specs = golden_specs();
+  const auto batch = BatchRunner().run({specs[3]});
+  ASSERT_TRUE(batch.items[0].ok) << batch.items[0].error;
+  const auto& estimated = batch.items[0].result.estimated;
+  ASSERT_GE(estimated.size(), 3u);
+  EXPECT_GT(estimated.rank_of("RX"), 0u);
+  EXPECT_GT(estimated.rank_of("RY"), 0u);
+  const auto& actual = batch.items[0].result.actual;
+  const auto comparison = core::Report::compare(actual.filtered(1.0),
+                                                estimated, 3);
+  EXPECT_EQ(comparison.missing, 0u);
+  EXPECT_LT(comparison.max_abs_error, 5.0);
+}
+
+// The synthetic kernel's ground truth is exact by construction (lockstep
+// 4:2:1 line-count weighting) — assert it directly, independent of the
+// JSON plumbing, so a golden regeneration can never launder a profiler
+// bug through both sides of the comparison.
+TEST(GoldenResults, SyntheticActualSharesMatchConstruction) {
+  const auto specs = golden_specs();
+  const auto batch = BatchRunner().run({specs[0]});
+  ASSERT_TRUE(batch.items[0].ok) << batch.items[0].error;
+  const auto& actual = batch.items[0].result.actual;
+  ASSERT_EQ(actual.size(), 3u);
+  EXPECT_EQ(actual.rows()[0].name, "BIG");
+  EXPECT_NEAR(*actual.percent_of("BIG"), 4.0 / 7.0 * 100.0, 1.0);
+  EXPECT_NEAR(*actual.percent_of("MED"), 2.0 / 7.0 * 100.0, 1.0);
+  EXPECT_NEAR(*actual.percent_of("SMALL"), 1.0 / 7.0 * 100.0, 1.0);
+}
+
+}  // namespace
+}  // namespace hpm::harness

@@ -1,0 +1,208 @@
+// JSON exporter unit tests: escaping, nested reports, and round-trips of
+// the special values the harness can legitimately produce (0 samples,
+// unattributed misses, empty estimated report).
+#include "harness/json_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hpm::harness {
+namespace {
+
+// -- Escaping ----------------------------------------------------------------
+
+TEST(JsonEscape, PassesPlainTextThrough)
+{
+  EXPECT_EQ(json_escape("tomcatv/search10"), "tomcatv/search10");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape(std::string("nul\0!", 5)), "nul\\u0000!");
+  EXPECT_EQ(json_escape("\x01\x1f"), "\\u0001\\u001f");
+  EXPECT_EQ(json_escape("\b\f\r"), "\\b\\f\\r");
+}
+
+TEST(JsonEscape, Utf8BytesPassThroughUntouched) {
+  EXPECT_EQ(json_escape("caché"), "caché");
+}
+
+TEST(JsonEscape, RoundTripsThroughParser) {
+  const std::string nasty = "q\"b\\s\nn\tt\x01u caché";
+  const auto doc = JsonValue::parse("\"" + json_escape(nasty) + "\"");
+  EXPECT_EQ(doc.str(), nasty);
+}
+
+// -- Writer ------------------------------------------------------------------
+
+TEST(JsonWriter, CompactAndIndentedFormsParseIdentically) {
+  const auto build = [](int indent) {
+    std::ostringstream out;
+    JsonWriter w(out, indent);
+    w.begin_object();
+    w.key("name").value("x");
+    w.key("flag").value(true);
+    w.key("none").null();
+    w.key("list").begin_array().value(1).value(2.5).end_array();
+    w.key("nested").begin_object().key("k").value(std::uint64_t{7})
+        .end_object();
+    w.key("empty_list").begin_array().end_array();
+    w.key("empty_obj").begin_object().end_object();
+    w.end_object();
+    return std::move(out).str();
+  };
+  const auto compact = JsonValue::parse(build(0));
+  const auto pretty = JsonValue::parse(build(2));
+  EXPECT_EQ(compact.at("name").str(), "x");
+  EXPECT_TRUE(compact.at("flag").boolean());
+  EXPECT_TRUE(compact.at("none").is_null());
+  ASSERT_EQ(compact.at("list").array().size(), 2u);
+  EXPECT_EQ(compact.at("list").array()[0].uint(), 1u);
+  EXPECT_DOUBLE_EQ(compact.at("list").array()[1].number(), 2.5);
+  EXPECT_EQ(compact.at("nested").at("k").uint(), 7u);
+  EXPECT_TRUE(compact.at("empty_list").array().empty());
+  EXPECT_TRUE(compact.at("empty_obj").object().empty());
+  EXPECT_EQ(pretty.at("name").str(), compact.at("name").str());
+  EXPECT_EQ(pretty.at("list").array().size(),
+            compact.at("list").array().size());
+}
+
+TEST(JsonWriter, DoublesRoundTripExactly) {
+  for (const double v : {0.0, -1.5, 39.915244073082, 1e-9, 123456789.25}) {
+    std::ostringstream out;
+    JsonWriter(out, 0).value(v);
+    EXPECT_EQ(JsonValue::parse(out.str()).number(), v) << out.str();
+  }
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream out;
+  JsonWriter(out, 0).value(std::nan(""));
+  EXPECT_TRUE(JsonValue::parse(out.str()).is_null());
+}
+
+// -- Parser edge cases -------------------------------------------------------
+
+TEST(JsonParser, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)JsonValue::parse(""), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("{"), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("tru"), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("--1"), std::runtime_error);
+}
+
+TEST(JsonParser, ParsesNumbersAndUnicodeEscapes) {
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-2.5e3").number(), -2500.0);
+  EXPECT_EQ(JsonValue::parse("\"\\u0041\"").str(), "A");
+  EXPECT_EQ(JsonValue::parse("\"\\u00e9\"").str(), "\xc3\xa9");
+  EXPECT_THROW((void)JsonValue::parse("1.5").uint(), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("-1").uint(), std::runtime_error);
+}
+
+// -- Harness-type exports ----------------------------------------------------
+
+TEST(JsonExport, EmptyReportExportsCleanly) {
+  const auto doc = JsonValue::parse(to_json(core::Report{}));
+  EXPECT_EQ(doc.at("total_count").uint(), 0u);
+  EXPECT_TRUE(doc.at("rows").array().empty());
+}
+
+TEST(JsonExport, ReportRowsCarryNameCountPercent) {
+  core::Report report({{"BIG", {}, 900, 90.0}, {"SMALL", {}, 100, 10.0}},
+                      1000);
+  const auto doc = JsonValue::parse(to_json(report));
+  EXPECT_EQ(doc.at("total_count").uint(), 1000u);
+  ASSERT_EQ(doc.at("rows").array().size(), 2u);
+  const auto& first = doc.at("rows").array()[0];
+  EXPECT_EQ(first.at("name").str(), "BIG");
+  EXPECT_EQ(first.at("count").uint(), 900u);
+  EXPECT_DOUBLE_EQ(first.at("percent").number(), 90.0);
+}
+
+TEST(JsonExport, DefaultRunResultExportsSpecialValues) {
+  // A tool-less run: 0 samples, empty estimated report — all fields must
+  // still be present and well-typed.
+  RunResult result;
+  result.stats.app_misses = 5;
+  result.unattributed_misses = 3;
+  const auto doc = JsonValue::parse(to_json(result));
+  EXPECT_EQ(doc.at("samples").uint(), 0u);
+  EXPECT_EQ(doc.at("unattributed_misses").uint(), 3u);
+  EXPECT_FALSE(doc.at("search_done").boolean());
+  EXPECT_EQ(doc.at("stats").at("app_misses").uint(), 5u);
+  EXPECT_EQ(doc.at("stats").at("total_cycles").uint(), 0u);
+  EXPECT_TRUE(doc.at("estimated").at("rows").array().empty());
+  EXPECT_EQ(doc.find("series"), nullptr);  // none captured -> omitted
+}
+
+TEST(JsonExport, MachineStatsTotalsAreDerived) {
+  sim::MachineStats stats;
+  stats.app_cycles = 70;
+  stats.tool_cycles = 30;
+  stats.app_misses = 9;
+  stats.tool_misses = 1;
+  const auto doc = JsonValue::parse(to_json(stats));
+  EXPECT_EQ(doc.at("total_cycles").uint(), 100u);
+  EXPECT_EQ(doc.at("app_cycles").uint(), 70u);
+  EXPECT_EQ(doc.at("tool_misses").uint(), 1u);
+}
+
+TEST(JsonExport, FailedItemCarriesErrorAndOmitsResult) {
+  BatchItem item;
+  item.spec.name = "bad \"run\"";
+  item.spec.workload = "gcc";
+  item.error = "unknown workload: gcc";
+  const auto doc = JsonValue::parse(to_json(item));
+  EXPECT_FALSE(doc.at("ok").boolean());
+  EXPECT_EQ(doc.at("name").str(), "bad \"run\"");
+  EXPECT_EQ(doc.at("error").str(), "unknown workload: gcc");
+  EXPECT_EQ(doc.find("result"), nullptr);
+}
+
+TEST(JsonExport, BatchDocumentHasSchemaAndHonoursTimingFlag) {
+  BatchResult batch;
+  batch.metrics.jobs = 8;
+  batch.metrics.runs = 0;
+  batch.metrics.wall_seconds = 1.25;
+
+  const auto with_timing = JsonValue::parse(to_json(batch));
+  EXPECT_EQ(with_timing.at("schema").str(), "hpm.batch.v1");
+  EXPECT_EQ(with_timing.at("jobs").uint(), 8u);
+  EXPECT_DOUBLE_EQ(with_timing.at("wall_seconds").number(), 1.25);
+  EXPECT_TRUE(with_timing.at("items").array().empty());
+
+  JsonExportOptions no_timing;
+  no_timing.include_timing = false;
+  const auto without = JsonValue::parse(to_json(batch, no_timing));
+  EXPECT_EQ(without.find("wall_seconds"), nullptr);
+}
+
+TEST(JsonExport, SeriesIncludedOnlyWhenRequested) {
+  RunResult result;
+  core::ExactProfiler::Series series;
+  series.name = "BIG";
+  series.misses_per_interval = {3, 0, 7};
+  result.series.push_back(series);
+
+  const auto with = JsonValue::parse(to_json(result));
+  ASSERT_NE(with.find("series"), nullptr);
+  const auto& entry = with.at("series").array().at(0);
+  EXPECT_EQ(entry.at("name").str(), "BIG");
+  ASSERT_EQ(entry.at("misses_per_interval").array().size(), 3u);
+  EXPECT_EQ(entry.at("misses_per_interval").array()[2].uint(), 7u);
+
+  JsonExportOptions no_series;
+  no_series.include_series = false;
+  EXPECT_EQ(JsonValue::parse(to_json(result, no_series)).find("series"),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace hpm::harness

@@ -1,17 +1,24 @@
-// hpmrun — run any workload under any measurement configuration and print
-// what the paper's tool would: ranked bottleneck objects, overhead, and
-// (optionally) the per-object miss time line.
+// hpmrun — run workloads under measurement configurations and print what
+// the paper's tool would: ranked bottleneck objects, overhead, and
+// (optionally) the per-object miss time line.  Comma-separated --workload
+// and --tool values form a sweep, executed on a worker pool (--jobs) with
+// results reported in submission order; --out exports machine-readable
+// JSON (schema hpm.batch.v1, see docs/parallel_sweeps.md).
 //
 //   hpmrun --workload tomcatv --tool search --n 10
 //   hpmrun --workload compress --tool sample --period 10000 --series
-//   hpmrun --workload applu --tool none --series --csv
+//   hpmrun --workload tomcatv,swim,mgrid --tool sample,search --jobs 8
 //   hpmrun --workload swim --tool search --trace-out swim.trace
+//   hpmrun --workload applu --tool none --out results/applu.json
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "harness/experiment.hpp"
+#include "harness/batch.hpp"
+#include "harness/json_export.hpp"
 #include "trace/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -24,8 +31,11 @@ int usage(const char* error) {
   if (error != nullptr) std::fprintf(stderr, "hpmrun: %s\n\n", error);
   std::fputs(
       "usage: hpmrun [options]\n"
-      "  --workload NAME   tomcatv|swim|su2cor|mgrid|applu|compress|ijpeg\n"
-      "  --tool KIND       none | sample | search        (default: search)\n"
+      "  --workload LIST   comma list of\n"
+      "                    tomcatv|swim|su2cor|mgrid|applu|compress|ijpeg\n"
+      "  --tool LIST       comma list of none|sample|search (default: search)\n"
+      "  --jobs N          worker threads for sweeps (default 1; 0 = all cores)\n"
+      "  --out FILE        export results as JSON (hpm.batch.v1)\n"
       "  --period N        sampling: misses per sample   (default 10000)\n"
       "  --policy P        sampling: fixed|prime|random  (default fixed)\n"
       "  --n N             search: counters/regions      (default 10)\n"
@@ -35,93 +45,28 @@ int usage(const char* error) {
       "  --cache BYTES     measured cache size           (default 2 MiB)\n"
       "  --series          capture per-object miss time series\n"
       "  --top K           rows to print                 (default 10)\n"
-      "  --trace-out FILE  record the reference trace to FILE\n"
+      "  --trace-out FILE  record the reference trace (single run only)\n"
       "  --seed N          workload seed\n",
       stderr);
   return 2;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  util::Cli cli(argc, argv,
-                {"workload", "tool", "period", "policy", "n", "interval",
-                 "scale", "iterations", "cache", "series", "top",
-                 "trace-out", "seed", "help"});
-  if (!cli.ok()) return usage(cli.error().c_str());
-  if (cli.has("help")) return usage(nullptr);
-
-  const std::string workload = cli.get("workload", "tomcatv");
-  const std::string tool = cli.get("tool", "search");
-
-  harness::RunConfig config;
-  config.machine = harness::paper_machine();
-  config.machine.cache.size_bytes =
-      cli.get_uint("cache", config.machine.cache.size_bytes);
-  if (!config.machine.cache.valid()) {
-    return usage("cache size must be a power of two");
+std::vector<std::string> split_list(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) out.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
   }
-  if (tool == "sample") {
-    config.tool = harness::ToolKind::kSampler;
-    config.sampler.period = cli.get_uint("period", 10'000);
-    const std::string policy = cli.get("policy", "fixed");
-    if (policy == "prime") {
-      config.sampler.policy = core::PeriodPolicy::kPrime;
-    } else if (policy == "random") {
-      config.sampler.policy = core::PeriodPolicy::kPseudoRandom;
-    } else if (policy != "fixed") {
-      return usage("unknown --policy");
-    }
-  } else if (tool == "search") {
-    config.tool = harness::ToolKind::kSearch;
-    config.search.n = static_cast<unsigned>(cli.get_uint("n", 10));
-    config.search.initial_interval = cli.get_uint("interval", 1'000'000);
-  } else if (tool != "none") {
-    return usage("unknown --tool");
-  }
-  if (cli.get_bool("series", false)) config.series_interval = 4'000'000;
+  return out;
+}
 
-  workloads::WorkloadOptions options;
-  options.scale = cli.get_double("scale", 1.0);
-  options.iterations = cli.get_uint("iterations", 0);
-  options.seed = cli.get_uint("seed", 0x5ca1ab1e);
-
-  // Build the workload up front so an optional trace recorder can attach.
-  std::unique_ptr<workloads::Workload> app;
-  try {
-    app = workloads::make_workload(workload, options);
-  } catch (const std::exception& e) {
-    return usage(e.what());
-  }
-
-  harness::RunResult result;
-  const std::string trace_out = cli.get("trace-out", "");
-  if (trace_out.empty()) {
-    result = harness::run_experiment(config, *app);
-  } else {
-    // Tracing needs direct machine access; replicate the harness wiring.
-    sim::Machine machine(config.machine);
-    objmap::ObjectMap map;
-    map.attach(machine.address_space());
-    core::ExactProfiler profiler(machine, map, config.series_interval);
-    profiler.start();
-    trace::Recorder recorder(machine);
-    app->setup(machine);
-    recorder.start();
-    app->run(machine);
-    recorder.stop();
-    profiler.stop();
-    result.actual = profiler.report();
-    result.series = profiler.series();
-    result.stats = machine.stats();
-    recorder.trace().save_file(trace_out);
-    std::printf("trace: %llu references -> %s\n",
-                static_cast<unsigned long long>(
-                    recorder.trace().reference_count()),
-                trace_out.c_str());
-  }
-
-  const auto top_k = static_cast<std::size_t>(cli.get_uint("top", 10));
+/// Detailed single-run rendering — the classic hpmrun output.
+void print_run(const harness::RunSpec& spec, const harness::RunResult& result,
+               std::size_t top_k) {
   util::Table table({"rank", "object", "actual %", "estimated %"},
                     {util::Align::kRight, util::Align::kLeft,
                      util::Align::kRight, util::Align::kRight});
@@ -136,7 +81,8 @@ int main(int argc, char** argv) {
       table.blank();
     }
   }
-  std::printf("workload: %s   tool: %s\n", workload.c_str(), tool.c_str());
+  std::printf("workload: %s   tool: %s\n", spec.workload.c_str(),
+              std::string(harness::tool_kind_name(spec.config.tool)).c_str());
   table.render(std::cout);
 
   const auto& s = result.stats;
@@ -147,25 +93,25 @@ int main(int argc, char** argv) {
       static_cast<double>(s.app_misses) * 1e6 /
           static_cast<double>(s.total_cycles()),
       static_cast<unsigned long long>(s.total_cycles()));
-  if (config.tool != harness::ToolKind::kNone) {
+  if (spec.config.tool != harness::ToolKind::kNone) {
     std::printf("interrupts: %llu   tool cycles: %llu   overhead: %.4f%%\n",
                 static_cast<unsigned long long>(s.interrupts),
                 static_cast<unsigned long long>(s.tool_cycles),
                 100.0 * static_cast<double>(s.tool_cycles) /
                     static_cast<double>(s.total_cycles()));
   }
-  if (config.tool == harness::ToolKind::kSearch) {
+  if (spec.config.tool == harness::ToolKind::kSearch) {
     std::printf("search: %s, %u iterations, %u splits, %u continuations\n",
                 result.search_done ? "converged" : "incomplete",
                 result.search_stats.iterations, result.search_stats.splits,
                 result.search_stats.continuations);
   }
-  if (config.tool == harness::ToolKind::kSampler) {
+  if (spec.config.tool == harness::ToolKind::kSampler) {
     std::printf("samples: %llu\n",
                 static_cast<unsigned long long>(result.samples));
   }
 
-  if (config.series_interval > 0) {
+  if (spec.config.series_interval > 0) {
     std::puts("\nmisses over time (per object, log sparkline):");
     static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
     for (const auto& series : result.series) {
@@ -180,5 +126,173 @@ int main(int argc, char** argv) {
       std::printf("  %-20s |%s|\n", series.name.c_str(), line.c_str());
     }
   }
-  return 0;
+}
+
+/// Compact per-run rows for sweeps.
+void print_sweep(const harness::BatchResult& batch) {
+  util::Table table({"run", "refs", "misses", "cycles", "interrupts",
+                     "top object", "actual %", "estimated %"},
+                    {util::Align::kLeft, util::Align::kRight,
+                     util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight, util::Align::kLeft,
+                     util::Align::kRight, util::Align::kRight});
+  for (const auto& item : batch.items) {
+    table.row().cell(item.spec.name);
+    if (!item.ok) {
+      table.cell(std::string("error: ") + item.error);
+      table.blank().blank().blank().blank().blank();
+      continue;
+    }
+    const auto& s = item.result.stats;
+    table.cell(s.app_refs).cell(s.app_misses).cell(s.total_cycles());
+    table.cell(s.interrupts);
+    const auto top = item.result.actual.top(1);
+    if (!top.empty()) {
+      const auto& row = top.rows().front();
+      table.cell(row.name).cell(row.percent, 2);
+      if (auto p = item.result.estimated.percent_of(row.name)) {
+        table.cell(*p, 2);
+      } else {
+        table.blank();
+      }
+    } else {
+      table.cell(std::string()).blank().blank();
+    }
+  }
+  table.render(std::cout);
+  std::printf("\nbatch: %zu runs (%zu failed)   jobs: %u   wall: %.3fs\n",
+              batch.metrics.runs, batch.metrics.failed, batch.metrics.jobs,
+              batch.metrics.wall_seconds);
+}
+
+bool write_json_file(const std::string& path,
+                     const harness::BatchResult& batch) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "hpmrun: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  harness::export_json(out, batch);
+  std::fprintf(stderr, "wrote %s (%zu runs)\n", path.c_str(),
+               batch.items.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv,
+                {"workload", "tool", "jobs", "out", "period", "policy", "n",
+                 "interval", "scale", "iterations", "cache", "series", "top",
+                 "trace-out", "seed", "help"});
+  if (!cli.ok()) return usage(cli.error().c_str());
+  if (cli.has("help")) return usage(nullptr);
+
+  const auto workload_names = split_list(cli.get("workload", "tomcatv"));
+  const auto tool_names = split_list(cli.get("tool", "search"));
+  if (workload_names.empty()) return usage("empty --workload list");
+  if (tool_names.empty()) return usage("empty --tool list");
+
+  harness::RunConfig base;
+  base.machine = harness::paper_machine();
+  base.machine.cache.size_bytes =
+      cli.get_uint("cache", base.machine.cache.size_bytes);
+  if (!base.machine.cache.valid()) {
+    return usage("cache size must be a power of two");
+  }
+  if (cli.get_bool("series", false)) base.series_interval = 4'000'000;
+
+  std::vector<std::pair<std::string, harness::RunConfig>> tools;
+  for (const auto& tool : tool_names) {
+    harness::RunConfig config = base;
+    if (tool == "sample") {
+      config.tool = harness::ToolKind::kSampler;
+      config.sampler.period = cli.get_uint("period", 10'000);
+      const std::string policy = cli.get("policy", "fixed");
+      if (policy == "prime") {
+        config.sampler.policy = core::PeriodPolicy::kPrime;
+      } else if (policy == "random") {
+        config.sampler.policy = core::PeriodPolicy::kPseudoRandom;
+      } else if (policy != "fixed") {
+        return usage("unknown --policy");
+      }
+    } else if (tool == "search") {
+      config.tool = harness::ToolKind::kSearch;
+      config.search.n = static_cast<unsigned>(cli.get_uint("n", 10));
+      config.search.initial_interval = cli.get_uint("interval", 1'000'000);
+    } else if (tool != "none") {
+      return usage("unknown --tool");
+    }
+    tools.emplace_back(tool, config);
+  }
+
+  workloads::WorkloadOptions options;
+  options.scale = cli.get_double("scale", 1.0);
+  options.iterations = cli.get_uint("iterations", 0);
+  options.seed = cli.get_uint("seed", 0x5ca1ab1e);
+
+  const auto specs = harness::cross_specs(
+      workload_names, tools, [&](const std::string&) { return options; });
+
+  const std::string out_path = cli.get("out", "");
+  const std::string trace_out = cli.get("trace-out", "");
+  const auto top_k = static_cast<std::size_t>(cli.get_uint("top", 10));
+
+  if (!trace_out.empty()) {
+    // Tracing needs direct machine access; replicate the harness wiring.
+    if (specs.size() != 1) return usage("--trace-out needs a single run");
+    const auto& spec = specs.front();
+    std::unique_ptr<workloads::Workload> app;
+    try {
+      app = workloads::make_workload(spec.workload, spec.options);
+    } catch (const std::exception& e) {
+      return usage(e.what());
+    }
+    sim::Machine machine(spec.config.machine);
+    objmap::ObjectMap map;
+    map.attach(machine.address_space());
+    core::ExactProfiler profiler(machine, map, spec.config.series_interval);
+    profiler.start();
+    trace::Recorder recorder(machine);
+    app->setup(machine);
+    recorder.start();
+    app->run(machine);
+    recorder.stop();
+    profiler.stop();
+    harness::RunResult result;
+    result.actual = profiler.report();
+    result.series = profiler.series();
+    result.stats = machine.stats();
+    recorder.trace().save_file(trace_out);
+    std::printf("trace: %llu references -> %s\n",
+                static_cast<unsigned long long>(
+                    recorder.trace().reference_count()),
+                trace_out.c_str());
+    print_run(spec, result, top_k);
+    return 0;
+  }
+
+  harness::BatchRunner::Options batch_options;
+  batch_options.jobs = static_cast<unsigned>(cli.get_uint("jobs", 1));
+  if (specs.size() > 1) {
+    batch_options.on_progress = [](std::size_t done, std::size_t total,
+                                   const harness::BatchItem& item) {
+      std::fprintf(stderr, "[%zu/%zu] %s (%.3fs)%s%s\n", done, total,
+                   item.spec.name.c_str(), item.wall_seconds,
+                   item.ok ? "" : " FAILED: ",
+                   item.ok ? "" : item.error.c_str());
+    };
+  }
+  const auto batch = harness::BatchRunner(batch_options).run(specs);
+
+  if (specs.size() == 1) {
+    const auto& item = batch.items.front();
+    if (!item.ok) return usage(item.error.c_str());
+    print_run(item.spec, item.result, top_k);
+  } else {
+    print_sweep(batch);
+  }
+
+  if (!out_path.empty() && !write_json_file(out_path, batch)) return 1;
+  return batch.metrics.failed == 0 ? 0 : 1;
 }
