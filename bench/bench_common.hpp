@@ -24,6 +24,9 @@ struct CommonFlags {
   bool csv = false;
   unsigned jobs = 1;         ///< worker threads for batch sweeps (0 = cores)
   std::string out;           ///< JSON export path ("" = none)
+  /// --telemetry-guardrail: time the sweep with telemetry off vs on and
+  /// print both, checking the zero-cost-when-disabled contract holds.
+  bool telemetry_guardrail = false;
   std::vector<std::string> workloads;  ///< empty = all paper workloads
 
   static std::optional<CommonFlags> parse(
@@ -35,7 +38,8 @@ inline std::optional<CommonFlags> CommonFlags::parse(
     int argc, const char* const* argv,
     std::vector<std::string> extra_flags) {
   std::vector<std::string> known = {"scale", "iters", "seed", "csv",
-                                    "workloads", "jobs", "out"};
+                                    "workloads", "jobs", "out",
+                                    "telemetry-guardrail"};
   known.insert(known.end(), extra_flags.begin(), extra_flags.end());
   util::Cli cli(argc, argv, known);
   if (!cli.ok()) {
@@ -49,6 +53,7 @@ inline std::optional<CommonFlags> CommonFlags::parse(
   flags.csv = cli.get_bool("csv", false);
   flags.jobs = static_cast<unsigned>(cli.get_uint("jobs", 1));
   flags.out = cli.get("out", "");
+  flags.telemetry_guardrail = cli.get_bool("telemetry-guardrail", false);
   const std::string list = cli.get("workloads", "");
   if (!list.empty()) {
     std::size_t start = 0;
@@ -123,7 +128,37 @@ inline harness::BatchRunner::Options batch_options(const CommonFlags& flags) {
   return options;
 }
 
-/// Honour --out: export the batch as hpm.batch.v1 JSON.
+/// Honour --telemetry-guardrail: re-run the sweep twice — telemetry fully
+/// off, then with metrics + phase timeline on — and print both wall times.
+/// The enabled run's results are discarded; the guardrail exists to catch a
+/// regression where "disabled" stops being free (the acceptance bar is
+/// <2% wall-time delta with the flags omitted).
+inline void maybe_telemetry_guardrail(const CommonFlags& flags,
+                                      const std::vector<harness::RunSpec>&
+                                          specs) {
+  if (!flags.telemetry_guardrail) return;
+  harness::BatchRunner::Options options;
+  options.jobs = flags.jobs;
+  const harness::BatchRunner runner(options);
+  auto timed = [&](bool telemetry) {
+    auto copy = specs;
+    for (auto& spec : copy) {
+      spec.config.telemetry.enabled = telemetry;
+      spec.config.telemetry.timeline_every = telemetry ? 1'000'000 : 0;
+    }
+    const auto batch = runner.run(copy);
+    return batch.metrics.wall_seconds;
+  };
+  const double disabled = timed(false);
+  const double enabled = timed(true);
+  std::fprintf(stderr,
+               "telemetry guardrail: disabled %.3fs, enabled %.3fs "
+               "(enabled/disabled = %.3fx)\n",
+               disabled, enabled,
+               disabled > 0.0 ? enabled / disabled : 0.0);
+}
+
+/// Honour --out: export the batch as hpm.batch.v2 JSON.
 inline void maybe_export(const CommonFlags& flags,
                          const harness::BatchResult& batch) {
   if (flags.out.empty()) return;

@@ -55,7 +55,20 @@ void NWaySearch::pq_insert(const Region& region) {
   queue_.insert(pos, region);
   const std::size_t touches = std::min<std::size_t>(queue_.size() - at, 64);
   for (std::size_t i = 0; i < touches; ++i) pq_touch(at + i);
-  machine_.tool_exec(costs_.pq_op + costs_.per_probe * touches);
+  charge(cy_pq_, costs_.pq_op + costs_.per_probe * touches);
+  if (c_enqueues_ != nullptr) c_enqueues_->inc();
+  if (tracing()) {
+    telem_->emit({.category = "search",
+                  .name = "pq.enqueue",
+                  .phase = 'i',
+                  .ts = machine_.now(),
+                  .args = {{"base", region.range.base},
+                           {"bound", region.range.bound},
+                           {"percent", region.percent},
+                           {"depth", std::uint64_t{region.depth}},
+                           {"queue_size",
+                            static_cast<std::uint64_t>(queue_.size())}}});
+  }
 }
 
 Region NWaySearch::pq_pop_front() {
@@ -63,7 +76,35 @@ Region NWaySearch::pq_pop_front() {
   queue_.erase(queue_.begin());
   const std::size_t touches = std::min<std::size_t>(queue_.size() + 1, 64);
   for (std::size_t i = 0; i < touches; ++i) pq_touch(i);
-  machine_.tool_exec(costs_.pq_op + costs_.per_probe * touches);
+  charge(cy_pq_, costs_.pq_op + costs_.per_probe * touches);
+  if (c_dequeues_ != nullptr) c_dequeues_->inc();
+  // A dequeue that jumps back to a shallower region than the last one is
+  // the priority queue "backing up" to an earlier part of the search tree
+  // (Figure 2's advantage over the greedy search).
+  const bool backtrack = out.depth < last_dequeued_depth_;
+  if (backtrack && c_backtracks_ != nullptr) c_backtracks_->inc();
+  if (tracing()) {
+    telem_->emit({.category = "search",
+                  .name = "pq.dequeue",
+                  .phase = 'i',
+                  .ts = machine_.now(),
+                  .args = {{"base", out.range.base},
+                           {"bound", out.range.bound},
+                           {"percent", out.percent},
+                           {"depth", std::uint64_t{out.depth}}}});
+    if (backtrack) {
+      telem_->emit({.category = "search",
+                    .name = "backtrack",
+                    .phase = 'i',
+                    .ts = machine_.now(),
+                    .args = {{"from_depth",
+                              std::uint64_t{last_dequeued_depth_}},
+                             {"to_depth", std::uint64_t{out.depth}},
+                             {"base", out.range.base},
+                             {"bound", out.range.bound}}});
+    }
+  }
+  last_dequeued_depth_ = out.depth;
   return out;
 }
 
@@ -88,8 +129,53 @@ Region NWaySearch::make_region(sim::AddrRange range, std::uint32_t depth) {
   return r;
 }
 
+// -- Telemetry helpers -------------------------------------------------------
+
+void NWaySearch::phase_event(char ph, std::string_view name) {
+  if (!tracing()) return;
+  telem_->emit({.category = "search",
+                .name = name,
+                .phase = ph,
+                .ts = machine_.now(),
+                .args = {}});
+}
+
+void NWaySearch::open_phase(std::string_view name) {
+  close_phase();
+  open_phase_name_ = name;
+  phase_event('B', name);
+}
+
+void NWaySearch::close_phase() {
+  if (open_phase_name_.empty()) return;
+  phase_event('E', open_phase_name_);
+  open_phase_name_ = {};
+}
+
+// ---------------------------------------------------------------------------
+
 void NWaySearch::start() {
   machine_.set_handler(this);
+  if (telem_ != nullptr) {
+    auto& reg = telem_->registry();
+    c_iterations_ = &reg.counter("search.iterations");
+    c_splits_ = &reg.counter("search.splits");
+    c_enqueues_ = &reg.counter("search.pq.enqueues");
+    c_dequeues_ = &reg.counter("search.pq.dequeues");
+    c_backtracks_ = &reg.counter("search.backtracks");
+    c_discarded_ = &reg.counter("search.discarded");
+    c_zero_retained_ = &reg.counter("search.zero_retained");
+    c_counter_assigns_ = &reg.counter("search.counter_assigns");
+    cy_handler_ = &reg.counter("tool_cycles.search.handler");
+    cy_pq_ = &reg.counter("tool_cycles.search.pq");
+    cy_region_admin_ = &reg.counter("tool_cycles.search.region_admin");
+    cy_counter_io_ = &reg.counter("tool_cycles.search.counter_io");
+    cy_split_ = &reg.counter("tool_cycles.search.split");
+    probe_cycles_ = &reg.counter("tool_cycles.search.probes");
+    h_split_depth_ = &reg.histogram("search.split_depth",
+                                    {1, 2, 4, 8, 12, 16, 24, 32});
+  }
+  open_phase("search");
   phase_ = Phase::kSearching;
   const sim::AddrRange universe =
       config_.search_whole_space
@@ -120,7 +206,7 @@ void NWaySearch::begin_search(sim::AddrRange universe) {
     }
     if (end > cursor) {
       measured_.push_back(make_region({cursor, end}, 0));
-      machine_.tool_exec(costs_.region_admin);
+      charge(cy_region_admin_, costs_.region_admin);
     }
     cursor = end;
   }
@@ -145,10 +231,22 @@ void NWaySearch::program_mux_slot() {
     if (idx < measured_.size()) {
       pmu.configure(i, measured_[idx].range.base,
                     measured_[idx].range.bound);
+      if (c_counter_assigns_ != nullptr) c_counter_assigns_->inc();
+      if (tracing()) {
+        telem_->emit({.category = "search",
+                      .name = "counter.assign",
+                      .phase = 'i',
+                      .ts = machine_.now(),
+                      .args = {{"counter", std::uint64_t{i}},
+                               {"base", measured_[idx].range.base},
+                               {"bound", measured_[idx].range.bound},
+                               {"depth",
+                                std::uint64_t{measured_[idx].depth}}}});
+      }
     } else {
       pmu.disable(i);
     }
-    machine_.tool_exec(costs_.counter_write);
+    charge(cy_counter_io_, costs_.counter_write);
   }
   pmu.clear_global();
   const unsigned slots = std::max(mux_slots(), 1u);
@@ -160,18 +258,19 @@ void NWaySearch::harvest_mux_slot() {
   const unsigned phys = physical();
   const std::size_t base = static_cast<std::size_t>(mux_slot_) * phys;
   const std::uint64_t slot_total = pmu.global_misses();
-  machine_.tool_exec(costs_.counter_read);
+  charge(cy_counter_io_, costs_.counter_read);
   for (unsigned i = 0; i < phys; ++i) {
     const std::size_t idx = base + i;
     if (idx >= measured_.size()) break;
     mux_samples_[idx] = {pmu.read(i), slot_total};
-    machine_.tool_exec(costs_.counter_read);
+    charge(cy_counter_io_, costs_.counter_read);
   }
 }
 
 void NWaySearch::stop() {
   machine_.disarm_timer();
   machine_.set_handler(nullptr);
+  close_phase();
   if (phase_ == Phase::kSearching || phase_ == Phase::kRefining) {
     // The application ended before the search did: harvest the isolated
     // single-object regions found so far so report() returns best-effort
@@ -201,7 +300,7 @@ void NWaySearch::stop() {
 
 void NWaySearch::on_interrupt(sim::Machine&, sim::InterruptKind kind) {
   if (kind != sim::InterruptKind::kCycleTimer) return;
-  machine_.tool_exec(costs_.handler_entry);
+  charge(cy_handler_, costs_.handler_entry);
   on_timer();
 }
 
@@ -227,6 +326,7 @@ void NWaySearch::on_timer() {
 
 void NWaySearch::search_iteration() {
   ++stats_.iterations;
+  if (c_iterations_ != nullptr) c_iterations_->inc();
 
   // §5 auto-tuning: too few misses per interval makes every estimate
   // noise; lengthen future intervals.
@@ -248,7 +348,7 @@ void NWaySearch::search_iteration() {
     // timesharing slot (the whole interval in dedicated mode).
     const std::uint64_t count = mux_samples_[i].count;
     const std::uint64_t total = mux_samples_[i].slot_total;
-    machine_.tool_exec(costs_.region_admin);
+    charge(cy_region_admin_, costs_.region_admin);
     const double pct =
         total == 0 ? 0.0
                    : 100.0 * static_cast<double>(count) /
@@ -264,6 +364,7 @@ void NWaySearch::search_iteration() {
           r.zero_streak < config_.zero_retention_limit) {
         ++r.zero_streak;
         ++stats_.zero_retained;
+        if (c_zero_retained_ != nullptr) c_zero_retained_->inc();
         retained.push_back(r);
         // "each time a region with zero misses is kept, the duration of
         // future sample intervals is increased" — growth is applied at most
@@ -278,6 +379,7 @@ void NWaySearch::search_iteration() {
         }
       } else {
         ++stats_.discarded;
+        if (c_discarded_ != nullptr) c_discarded_->inc();
         discarded_.push_back(r);
       }
       continue;
@@ -299,7 +401,7 @@ void NWaySearch::search_iteration() {
   // Queue maintenance: the instrumentation re-ranks its records each
   // iteration, touching every queue entry.
   for (std::size_t i = 0; i < queue_.size() && i < 64; ++i) pq_touch(i);
-  machine_.tool_exec(costs_.per_probe * std::min<std::size_t>(queue_.size(), 64));
+  charge(cy_pq_, costs_.per_probe * std::min<std::size_t>(queue_.size(), 64));
 
   if (check_termination()) return;
 
@@ -356,7 +458,7 @@ bool NWaySearch::check_termination() {
         break;
       }
     }
-    machine_.tool_exec(costs_.per_probe * need);
+    charge(cy_pq_, costs_.per_probe * need);
     if (all_single) {
       begin_refinement();
       return true;
@@ -399,6 +501,7 @@ void NWaySearch::select_next_measured() {
     Region best = pq_pop_front();
     for (const Region& r : queue_) discarded_.push_back(r);
     stats_.discarded += static_cast<std::uint32_t>(queue_.size());
+    if (c_discarded_ != nullptr) c_discarded_->add(queue_.size());
     queue_.clear();
     if (best.single_object) {
       measured_.push_back(best);
@@ -434,7 +537,7 @@ void NWaySearch::split_region(Region region, std::vector<Region>& out) {
     replay_probes(probe.shadow_path);
     mid = map_.snap_split_point(mid, range);
   }
-  machine_.tool_exec(costs_.split_op);
+  charge(cy_split_, costs_.split_op);
   if (mid <= range.base || mid >= range.bound) {
     // No interior split point exists: a single object covers (nearly) the
     // whole region.  Treat it as terminal.
@@ -451,14 +554,30 @@ void NWaySearch::split_region(Region region, std::vector<Region>& out) {
       out.push_back(region);
     } else {
       ++stats_.discarded;
+      if (c_discarded_ != nullptr) c_discarded_->inc();
       discarded_.push_back(region);
     }
     return;
   }
   ++stats_.splits;
+  if (c_splits_ != nullptr) c_splits_->inc();
+  if (h_split_depth_ != nullptr) {
+    h_split_depth_->record(static_cast<double>(region.depth + 1));
+  }
+  if (tracing()) {
+    telem_->emit({.category = "search",
+                  .name = "region.split",
+                  .phase = 'i',
+                  .ts = machine_.now(),
+                  .args = {{"base", range.base},
+                           {"mid", mid},
+                           {"bound", range.bound},
+                           {"depth", std::uint64_t{region.depth}},
+                           {"percent", region.percent}}});
+  }
   Region lo = make_region({range.base, mid}, region.depth + 1);
   Region hi = make_region({mid, range.bound}, region.depth + 1);
-  machine_.tool_exec(2 * costs_.region_admin);
+  charge(cy_region_admin_, 2 * costs_.region_admin);
   out.push_back(lo);
   out.push_back(hi);
 }
@@ -493,6 +612,7 @@ void NWaySearch::begin_refinement() {
     return;
   }
   phase_ = Phase::kRefining;
+  open_phase("refine");
   refine_cursor_ = 0;
   refine_round_ = 0;
   // Program the first group: each counter covers exactly one found object.
@@ -503,7 +623,7 @@ void NWaySearch::begin_refinement() {
     refine_slots_.push_back(refine_cursor_);
     pmu.configure(i, found_[refine_cursor_].range.base,
                   found_[refine_cursor_].range.bound);
-    machine_.tool_exec(costs_.counter_write);
+    charge(cy_counter_io_, costs_.counter_write);
   }
   for (unsigned i = static_cast<unsigned>(refine_slots_.size());
        i < physical(); ++i) {
@@ -517,13 +637,14 @@ void NWaySearch::refine_iteration() {
   ++stats_.refine_iterations;
   auto& pmu = machine_.pmu();
   const std::uint64_t total = pmu.global_misses();
-  machine_.tool_exec(costs_.counter_read);
+  charge(cy_counter_io_, costs_.counter_read);
   for (unsigned i = 0; i < refine_slots_.size(); ++i) {
     Found& f = found_[refine_slots_[i]];
     f.refine_misses += pmu.read(i);
     f.refine_total += total;
     ++f.refine_rounds;
-    machine_.tool_exec(costs_.counter_read + costs_.region_admin);
+    charge(cy_counter_io_, costs_.counter_read);
+    charge(cy_region_admin_, costs_.region_admin);
   }
 
   // Next group (time-sharing the counters when there are more found objects
@@ -542,7 +663,7 @@ void NWaySearch::refine_iteration() {
     refine_slots_.push_back(refine_cursor_);
     pmu.configure(i, found_[refine_cursor_].range.base,
                   found_[refine_cursor_].range.bound);
-    machine_.tool_exec(costs_.counter_write);
+    charge(cy_counter_io_, costs_.counter_write);
   }
   for (unsigned i = static_cast<unsigned>(refine_slots_.size());
        i < physical(); ++i) {
@@ -576,6 +697,7 @@ void NWaySearch::finish() {
     if (!seeds.empty()) {
       ++stats_.continuations;
       phase_ = Phase::kSearching;
+      open_phase("search");
       for (const Region& r : seeds) pq_insert(r);
       select_next_measured();
       if (!measured_.empty()) {
@@ -587,6 +709,17 @@ void NWaySearch::finish() {
   machine_.disarm_timer();
   phase_ = Phase::kDone;
   stats_.final_interval = interval_;
+  close_phase();
+  if (tracing()) {
+    telem_->emit({.category = "search",
+                  .name = "done",
+                  .phase = 'i',
+                  .ts = machine_.now(),
+                  .args = {{"iterations", std::uint64_t{stats_.iterations}},
+                           {"splits", std::uint64_t{stats_.splits}},
+                           {"objects",
+                            static_cast<std::uint64_t>(found_.size())}}});
+  }
 }
 
 Report NWaySearch::report() const {

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "core/report.hpp"
@@ -170,6 +171,30 @@ class NWaySearch : public Tool {
   sim::Addr queue_shadow_ = 0;
   static constexpr std::size_t kMaxQueue = 4096;
   static constexpr std::uint32_t kMaxContinuations = 4;
+
+  // -- Telemetry (all pointers null when telemetry is off) -----------------
+  /// Emit a 'B'/'E' Chrome duration event for a search phase.
+  void phase_event(char ph, std::string_view name);
+  /// Close the currently open phase span (if any) and open `name`.
+  void open_phase(std::string_view name);
+  void close_phase();
+
+  std::string_view open_phase_name_{};  ///< always a string literal
+  std::uint32_t last_dequeued_depth_ = 0;
+  telemetry::Counter* c_iterations_ = nullptr;
+  telemetry::Counter* c_splits_ = nullptr;
+  telemetry::Counter* c_enqueues_ = nullptr;
+  telemetry::Counter* c_dequeues_ = nullptr;
+  telemetry::Counter* c_backtracks_ = nullptr;
+  telemetry::Counter* c_discarded_ = nullptr;
+  telemetry::Counter* c_zero_retained_ = nullptr;
+  telemetry::Counter* c_counter_assigns_ = nullptr;
+  telemetry::Counter* cy_handler_ = nullptr;
+  telemetry::Counter* cy_pq_ = nullptr;
+  telemetry::Counter* cy_region_admin_ = nullptr;
+  telemetry::Counter* cy_counter_io_ = nullptr;
+  telemetry::Counter* cy_split_ = nullptr;
+  telemetry::Histogram* h_split_depth_ = nullptr;
 };
 
 }  // namespace hpm::core

@@ -47,6 +47,18 @@ sim::Addr Sampler::count_slot(objmap::ObjectRef) {
 
 void Sampler::start() {
   started_at_ = machine_.now();
+  if (telem_ != nullptr) {
+    auto& reg = telem_->registry();
+    c_interrupts_ = &reg.counter("sampler.interrupts");
+    c_attributed_ = &reg.counter("sampler.samples.attributed");
+    c_unresolved_ = &reg.counter("sampler.samples.unresolved");
+    cy_handler_ = &reg.counter("tool_cycles.sampler.handler");
+    cy_counter_io_ = &reg.counter("tool_cycles.sampler.counter_io");
+    cy_count_update_ = &reg.counter("tool_cycles.sampler.count_update");
+    probe_cycles_ = &reg.counter("tool_cycles.sampler.probes");
+    h_period_ = &reg.histogram(
+        "sampler.period", {1e2, 1e3, 1e4, 1e5, 1e6, 1e7});
+  }
   machine_.set_handler(this);
   machine_.arm_miss_overflow(current_period_);
 }
@@ -58,11 +70,22 @@ void Sampler::stop() {
 
 void Sampler::on_interrupt(sim::Machine& machine, sim::InterruptKind kind) {
   if (kind != sim::InterruptKind::kMissOverflow) return;
-  machine.tool_exec(costs_.handler_entry);
+  charge(cy_handler_, costs_.handler_entry);
+  if (c_interrupts_ != nullptr) c_interrupts_->inc();
+  if (h_period_ != nullptr) {
+    h_period_->record(static_cast<double>(current_period_));
+  }
 
   // Read the last-miss-address register and attribute the miss.
   const sim::Addr addr = machine.pmu().last_miss_address();
-  machine.tool_exec(costs_.counter_read);
+  charge(cy_counter_io_, costs_.counter_read);
+  if (tracing()) {
+    telem_->emit({.category = "sampler",
+                  .name = "interrupt",
+                  .phase = 'i',
+                  .ts = machine.now(),
+                  .args = {{"addr", addr}, {"period", current_period_}}});
+  }
 
   auto lookup = map_.resolve(addr);
   replay_probes(lookup.shadow_path);
@@ -76,9 +99,20 @@ void Sampler::on_interrupt(sim::Machine& machine, sim::InterruptKind kind) {
     ++slot.count;
     const auto v = machine.tool_load<std::uint64_t>(slot.shadow);
     machine.tool_store<std::uint64_t>(slot.shadow, v + 1);
-    machine.tool_exec(costs_.count_update);
+    charge(cy_count_update_, costs_.count_update);
+    if (c_attributed_ != nullptr) c_attributed_->inc();
+    if (tracing()) {
+      telem_->emit({.category = "sampler",
+                    .name = "attribute",
+                    .phase = 'i',
+                    .ts = machine.now(),
+                    .args = {{"addr", addr},
+                             {"object", map_.display_name(lookup.ref)},
+                             {"count", slot.count}}});
+    }
   } else {
     ++unresolved_;
+    if (c_unresolved_ != nullptr) c_unresolved_->inc();
   }
 
   // Auto-tuned period (§5): scale toward the target interrupt rate.
@@ -102,7 +136,7 @@ void Sampler::on_interrupt(sim::Machine& machine, sim::InterruptKind kind) {
 
   // Re-arm: "after which the process is repeated".
   machine.arm_miss_overflow(current_period_);
-  machine.tool_exec(costs_.counter_write);
+  charge(cy_counter_io_, costs_.counter_write);
 }
 
 Report Sampler::report() const {

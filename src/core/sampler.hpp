@@ -70,6 +70,15 @@ class Sampler : public Tool {
   std::uint64_t unresolved_ = 0;
   sim::Cycles started_at_ = 0;
 
+  // Telemetry instruments (null when telemetry is off).
+  telemetry::Counter* c_interrupts_ = nullptr;
+  telemetry::Counter* c_attributed_ = nullptr;
+  telemetry::Counter* c_unresolved_ = nullptr;
+  telemetry::Counter* cy_handler_ = nullptr;
+  telemetry::Counter* cy_counter_io_ = nullptr;
+  telemetry::Counter* cy_count_update_ = nullptr;
+  telemetry::Histogram* h_period_ = nullptr;
+
   // Per-object sample counts.  The table itself lives in simulated memory
   // (one 8-byte slot per object, allocated on first sample) so that count
   // updates have a cache footprint; the host-side map mirrors it for exact

@@ -13,6 +13,7 @@
 #include "objmap/object_map.hpp"
 #include "sim/interrupt.hpp"
 #include "sim/machine.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hpm::core {
 
@@ -29,6 +30,12 @@ class Tool : public sim::InterruptHandler {
   /// Disarm; the machine keeps running unmeasured.
   virtual void stop() = 0;
 
+  /// Attach a telemetry context (not owned; null disables).  Must be set
+  /// before start() — tools register their instruments there.
+  void set_telemetry(telemetry::Telemetry* telemetry) noexcept {
+    telem_ = telemetry;
+  }
+
   [[nodiscard]] const ToolCosts& costs() const noexcept { return costs_; }
 
  protected:
@@ -38,12 +45,27 @@ class Tool : public sim::InterruptHandler {
     for (sim::Addr a : shadow_path) {
       if (a != sim::kNullAddr) machine_.tool_touch(a);
     }
-    machine_.tool_exec(costs_.per_probe * shadow_path.size());
+    charge(probe_cycles_, costs_.per_probe * shadow_path.size());
+  }
+
+  /// Charge handler compute and attribute it to an instrumentation site
+  /// (a "tool_cycles.<site>" counter); `site` is null when telemetry is
+  /// off, making the attribution free to skip.
+  void charge(telemetry::Counter* site, sim::Cycles cycles) {
+    machine_.tool_exec(cycles);
+    if (site != nullptr) site->add(cycles);
+  }
+
+  [[nodiscard]] bool tracing() const noexcept {
+    return telem_ != nullptr && telem_->tracing();
   }
 
   sim::Machine& machine_;
   objmap::ObjectMap& map_;
   ToolCosts costs_;
+  telemetry::Telemetry* telem_ = nullptr;
+  /// Site counter for replay_probes; subclasses set it at start().
+  telemetry::Counter* probe_cycles_ = nullptr;
 };
 
 }  // namespace hpm::core

@@ -46,7 +46,8 @@ BatchResult BatchRunner::run(const std::vector<RunSpec>& specs) const {
   {
     ThreadPool pool(jobs);
     for (std::size_t i = 0; i < specs.size(); ++i) {
-      pool.submit([this, &specs, &batch, &progress_mutex, &done, i] {
+      pool.submit([this, &specs, &batch, &progress_mutex, &done, batch_start,
+                   i] {
         BatchItem& item = batch.items[i];
         item.spec = specs[i];
         if (options_.derive_seeds) {
@@ -63,6 +64,30 @@ BatchResult BatchRunner::run(const std::vector<RunSpec>& specs) const {
           item.error = "unknown error";
         }
         item.wall_seconds = seconds_since(run_start);
+        if (options_.sink != nullptr) {
+          // Host-time complete event on the worker's row.  Timestamps are
+          // relative to batch start so traces from different batches line up
+          // at t=0.
+          const auto to_us = [](Clock::duration d) {
+            return static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(d)
+                    .count());
+          };
+          const unsigned worker = ThreadPool::current_worker_index();
+          telemetry::TraceEvent event;
+          event.category = "batch";
+          event.name = item.spec.name;
+          event.phase = 'X';
+          event.ts = to_us(run_start - batch_start);
+          event.dur = to_us(Clock::now() - run_start);
+          event.pid = 1;
+          event.tid = worker;
+          event.args = {{"index", static_cast<std::uint64_t>(i)},
+                        {"workload", item.spec.workload},
+                        {"worker", std::uint64_t{worker}},
+                        {"ok", std::uint64_t{item.ok ? 1u : 0u}}};
+          options_.sink->event(event);
+        }
         if (options_.on_progress) {
           std::lock_guard lock(progress_mutex);
           options_.on_progress(++done, specs.size(), item);

@@ -69,6 +69,11 @@ class BatchRunner {
   struct Options {
     unsigned jobs = 1;  ///< worker threads; 0 = hardware concurrency
     ProgressFn on_progress;
+    /// Batch-level trace sink (not owned; null disables): each run emits a
+    /// complete ('X') event on the worker's row with host-time stamps.
+    /// Observability only — never feeds back into results, so the jobs=1 ==
+    /// jobs=N determinism contract is unaffected.
+    telemetry::TraceSink* sink = nullptr;
     /// Re-seed each run with derived_seed(spec.options.seed, index) so
     /// that specs sharing a base seed still get decorrelated streams.
     /// The derived seed depends only on (base seed, submission index) —

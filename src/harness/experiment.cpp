@@ -19,6 +19,16 @@ RunResult run_experiment(const RunConfig& config,
   objmap::ObjectMap map;
   map.attach(machine.address_space());
 
+  // One telemetry context per run (shared-nothing, like the machine): batch
+  // workers never contend and metric ordering is deterministic.  A trace
+  // sink alone is enough to switch it on.
+  std::optional<telemetry::Telemetry> telem;
+  if (config.telemetry.enabled || config.trace_sink != nullptr) {
+    telem.emplace(config.telemetry);
+    telem->set_sink(config.trace_sink);
+    telem->attach(machine);
+  }
+
   core::ExactProfiler profiler(machine, map, config.series_interval);
   if (config.exact_profile) profiler.start();
 
@@ -30,11 +40,13 @@ RunResult run_experiment(const RunConfig& config,
     case ToolKind::kSampler:
       sampler = std::make_unique<core::Sampler>(machine, map, config.sampler,
                                                 config.costs);
+      if (telem) sampler->set_telemetry(&*telem);
       sampler->start();
       break;
     case ToolKind::kSearch:
       search = std::make_unique<core::NWaySearch>(machine, map, config.search,
                                                   config.costs);
+      if (telem) search->set_telemetry(&*telem);
       search->start();
       break;
     case ToolKind::kNone:
@@ -60,6 +72,10 @@ RunResult run_experiment(const RunConfig& config,
     result.actual = profiler.report();
     result.series = profiler.series();
     result.unattributed_misses = profiler.unattributed_misses();
+  }
+  if (telem) {
+    telem->detach(machine);
+    result.metrics = telem->snapshot();
   }
   result.stats = machine.stats();
   return result;

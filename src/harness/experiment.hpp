@@ -12,6 +12,8 @@
 #include "core/report.hpp"
 #include "core/sampler.hpp"
 #include "sim/machine.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace_sink.hpp"
 #include "workloads/workload.hpp"
 
 namespace hpm::harness {
@@ -29,6 +31,12 @@ struct RunConfig {
   sim::Cycles series_interval = 0;
   /// Ground-truth profiling below the tool layer (costs nothing simulated).
   bool exact_profile = true;
+  /// In-simulator telemetry (metrics registry + phase timeline); disabled by
+  /// default so uninstrumented runs pay nothing.
+  telemetry::Config telemetry{};
+  /// Structured-event sink for this run (not owned; null disables tracing).
+  /// Shared across runs it must be thread-safe — the built-in sinks are.
+  telemetry::TraceSink* trace_sink = nullptr;
 };
 
 struct RunResult {
@@ -40,6 +48,8 @@ struct RunResult {
   std::uint64_t samples = 0;
   bool search_done = false;
   std::uint64_t unattributed_misses = 0;
+  /// Snapshot of the run's telemetry (enabled=false when telemetry was off).
+  telemetry::RunMetrics metrics{};
 };
 
 /// Run `workload` (setup + run) on a fresh machine under `config`.

@@ -211,6 +211,59 @@ void write_series(JsonWriter& w,
   w.end_array();
 }
 
+void write_metrics(JsonWriter& w, const telemetry::RunMetrics& metrics) {
+  w.begin_object();
+  // Registration order, not sorted: the order itself is part of the
+  // deterministic-export contract (jobs=1 == jobs=N, byte-identical).
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : metrics.counters) {
+    w.key(name).value(value);
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : metrics.gauges) {
+    w.key(name).value(value);
+  }
+  w.end_object();
+  w.key("histograms").begin_array();
+  for (const auto& h : metrics.histograms) {
+    w.begin_object();
+    w.key("name").value(h.name);
+    w.key("bounds").begin_array();
+    for (const double b : h.bounds) w.value(b);
+    w.end_array();
+    w.key("counts").begin_array();
+    for (const auto c : h.counts) w.value(c);
+    w.end_array();
+    w.key("count").value(h.count);
+    w.key("sum").value(h.sum);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("timeline").begin_object();
+  w.key("every").value(metrics.timeline_every);
+  w.key("snapshots").value(metrics.timeline_snapshots);
+  w.key("samples").begin_array();
+  for (const auto& s : metrics.timeline) {
+    w.begin_object();
+    w.key("at").value(s.at);
+    w.key("app_instructions").value(s.app_instructions);
+    w.key("app_refs").value(s.app_refs);
+    w.key("app_misses").value(s.app_misses);
+    w.key("tool_refs").value(s.tool_refs);
+    w.key("tool_misses").value(s.tool_misses);
+    w.key("interrupts").value(s.interrupts);
+    w.key("app_cycles").value(s.app_cycles);
+    w.key("tool_cycles").value(s.tool_cycles);
+    w.key("miss_rate").value(s.miss_rate());
+    w.key("ipc").value(s.ipc());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.end_object();
+}
+
 void write_run_result(JsonWriter& w, const RunResult& result,
                       const JsonExportOptions& options) {
   w.begin_object();
@@ -235,6 +288,10 @@ void write_run_result(JsonWriter& w, const RunResult& result,
   if (options.include_series && !result.series.empty()) {
     w.key("series");
     write_series(w, result.series);
+  }
+  if (result.metrics.enabled) {
+    w.key("metrics");
+    write_metrics(w, result.metrics);
   }
   w.end_object();
 }
@@ -292,7 +349,7 @@ void export_json(std::ostream& out, const BatchResult& batch,
                  const JsonExportOptions& options) {
   JsonWriter w(out, options.indent);
   w.begin_object();
-  w.key("schema").value("hpm.batch.v1");
+  w.key("schema").value("hpm.batch.v2");
   w.key("jobs").value(batch.metrics.jobs);
   w.key("runs").value(static_cast<std::uint64_t>(batch.metrics.runs));
   w.key("failed").value(static_cast<std::uint64_t>(batch.metrics.failed));
@@ -309,6 +366,57 @@ void export_json(std::ostream& out, const BatchResult& batch,
   w.end_array();
   w.end_object();
   out << '\n';
+}
+
+void export_metrics_json(std::ostream& out, const BatchResult& batch,
+                         const JsonExportOptions& options) {
+  JsonWriter w(out, options.indent);
+  w.begin_object();
+  w.key("schema").value("hpm.metrics.v1");
+  w.key("runs").begin_array();
+  for (const auto& item : batch.items) {
+    w.begin_object();
+    w.key("name").value(item.spec.name);
+    w.key("workload").value(item.spec.workload);
+    w.key("tool").value(tool_kind_name(item.spec.config.tool));
+    w.key("ok").value(item.ok);
+    if (item.ok && item.result.metrics.enabled) {
+      w.key("metrics");
+      write_metrics(w, item.result.metrics);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << '\n';
+}
+
+ParsedBatchSummary parse_batch_document(std::string_view json) {
+  const JsonValue doc = JsonValue::parse(json);
+  const std::string& schema = doc.at("schema").str();
+  ParsedBatchSummary summary;
+  if (schema == "hpm.batch.v1") {
+    summary.schema_version = 1;
+  } else if (schema == "hpm.batch.v2") {
+    summary.schema_version = 2;
+  } else {
+    throw std::runtime_error("unrecognised batch schema: " + schema);
+  }
+  summary.jobs = static_cast<unsigned>(doc.at("jobs").uint());
+  summary.runs = doc.at("runs").uint();
+  summary.failed = doc.at("failed").uint();
+  for (const auto& item : doc.at("items").array()) {
+    ParsedBatchSummary::Item out;
+    out.name = item.at("name").str();
+    out.workload = item.at("workload").str();
+    out.tool = item.at("tool").str();
+    out.ok = item.at("ok").boolean();
+    if (const JsonValue* result = item.find("result")) {
+      out.has_metrics = result->find("metrics") != nullptr;
+    }
+    summary.items.push_back(std::move(out));
+  }
+  return summary;
 }
 
 // -- Parser ------------------------------------------------------------------

@@ -85,9 +85,17 @@ void export_json(std::ostream& out, const RunResult& result,
                  const JsonExportOptions& options = {});
 void export_json(std::ostream& out, const BatchItem& item,
                  const JsonExportOptions& options = {});
-/// Top-level document ("schema": "hpm.batch.v1") — see docs/parallel_sweeps.md.
+/// Top-level document ("schema": "hpm.batch.v2") — see docs/parallel_sweeps.md.
+/// v2 = v1 plus an optional per-run "metrics" block (telemetry snapshot);
+/// readers written for v1 keep working because every v1 key is unchanged.
 void export_json(std::ostream& out, const BatchResult& batch,
                  const JsonExportOptions& options = {});
+
+/// Telemetry-only companion document ("schema": "hpm.metrics.v1") for
+/// `hpmrun --metrics-out`: per-run counters, histograms and the phase
+/// timeline without the full batch payload.
+void export_metrics_json(std::ostream& out, const BatchResult& batch,
+                         const JsonExportOptions& options = {});
 
 template <typename T>
 [[nodiscard]] std::string to_json(const T& value,
@@ -96,6 +104,30 @@ template <typename T>
   export_json(out, value, options);
   return std::move(out).str();
 }
+
+// -- Batch-document reader ---------------------------------------------------
+
+/// Summary of a parsed hpm.batch.* document.  Accepts both schema v1
+/// (pre-telemetry) and v2; consumers check `schema_version` / `has_metrics`
+/// instead of string-matching the schema themselves.
+struct ParsedBatchSummary {
+  int schema_version = 0;  ///< 1 or 2
+  unsigned jobs = 0;
+  std::uint64_t runs = 0;
+  std::uint64_t failed = 0;
+  struct Item {
+    std::string name;
+    std::string workload;
+    std::string tool;
+    bool ok = false;
+    bool has_metrics = false;  ///< always false in v1 documents
+  };
+  std::vector<Item> items;
+};
+
+/// Parse an exported batch document (v1 or v2); throws std::runtime_error
+/// on malformed JSON or an unrecognised schema string.
+[[nodiscard]] ParsedBatchSummary parse_batch_document(std::string_view json);
 
 // -- Parser ------------------------------------------------------------------
 

@@ -3,6 +3,9 @@
 #include <utility>
 
 namespace hpm::harness {
+namespace {
+thread_local unsigned tl_worker_index = 0;
+}  // namespace
 
 unsigned ThreadPool::resolve_jobs(unsigned jobs) noexcept {
   if (jobs != 0) return jobs;
@@ -10,11 +13,15 @@ unsigned ThreadPool::resolve_jobs(unsigned jobs) noexcept {
   return hw == 0 ? 1 : hw;
 }
 
+unsigned ThreadPool::current_worker_index() noexcept {
+  return tl_worker_index;
+}
+
 ThreadPool::ThreadPool(unsigned threads) {
   const unsigned count = resolve_jobs(threads);
   workers_.reserve(count);
   for (unsigned i = 0; i < count; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i + 1); });
   }
 }
 
@@ -40,7 +47,8 @@ void ThreadPool::wait_idle() {
   all_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned index) {
+  tl_worker_index = index;
   for (;;) {
     std::function<void()> task;
     {

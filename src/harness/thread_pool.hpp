@@ -41,8 +41,13 @@ class ThreadPool {
   /// The worker count a `jobs` request resolves to (0 -> hardware).
   [[nodiscard]] static unsigned resolve_jobs(unsigned jobs) noexcept;
 
+  /// 1-based index of the pool worker running the calling thread, or 0 when
+  /// called from a thread that is not a pool worker.  Observability only
+  /// (batch trace events label rows by worker) — results never depend on it.
+  [[nodiscard]] static unsigned current_worker_index() noexcept;
+
  private:
-  void worker_loop();
+  void worker_loop(unsigned index);
 
   std::mutex mutex_;
   std::condition_variable work_ready_;

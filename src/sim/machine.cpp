@@ -13,6 +13,7 @@ Machine::Machine(const MachineConfig& config)
 void Machine::dispatch(InterruptKind kind) {
   ++stats_.interrupts;
   stats_.tool_cycles += config_.cycles.interrupt_cost;
+  if (interrupt_observer_) interrupt_observer_(kind);
   in_handler_ = true;
   handler_->on_interrupt(*this, kind);
   in_handler_ = false;

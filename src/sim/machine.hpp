@@ -148,6 +148,26 @@ class Machine {
     exec_observer_ = std::move(obs);
   }
 
+  /// Observer invoked on every interrupt delivery, below the tool layer
+  /// and at zero simulated cost (telemetry: overflow/timer accounting).
+  using InterruptObserver = std::function<void(InterruptKind kind)>;
+  void set_interrupt_observer(InterruptObserver obs) {
+    interrupt_observer_ = std::move(obs);
+  }
+
+  /// Periodic stats hook (telemetry's phase timeline): called with the
+  /// cumulative stats roughly every `every` cycles of simulated progress,
+  /// at zero simulated cost.  `every` == 0 uninstalls the hook; otherwise
+  /// `hook` must be callable.  The disabled hot-path cost is a single
+  /// integer test in poll_interrupts().
+  using PeriodicHook = std::function<void(const MachineStats& stats)>;
+  void set_periodic_hook(Cycles every, PeriodicHook hook) {
+    hook_every_ = every;
+    periodic_hook_ = std::move(hook);
+    hook_next_ = every == 0 ? std::numeric_limits<Cycles>::max()
+                            : now() + every;
+  }
+
  private:
   void app_ref(Addr addr, bool write) {
     ++stats_.app_refs;
@@ -187,6 +207,13 @@ class Machine {
   }
 
   void poll_interrupts() {
+    if (hook_every_ != 0 && stats_.total_cycles() >= hook_next_) {
+      // Re-arm relative to *now* so a workload's large exec batches never
+      // produce empty duplicate snapshots; slices are therefore >= every
+      // cycles apart, not exactly every.
+      hook_next_ = stats_.total_cycles() + hook_every_;
+      periodic_hook_(stats_);
+    }
     if (handler_ == nullptr || in_handler_) return;
     if (pmu_.overflow_pending()) {
       pmu_.acknowledge_overflow();
@@ -211,6 +238,10 @@ class Machine {
   MissObserver observer_;
   RefObserver ref_observer_;
   ExecObserver exec_observer_;
+  InterruptObserver interrupt_observer_;
+  PeriodicHook periodic_hook_;
+  Cycles hook_every_ = 0;
+  Cycles hook_next_ = std::numeric_limits<Cycles>::max();
   Cycles timer_at_ = std::numeric_limits<Cycles>::max();
   bool timer_armed_ = false;
   bool in_handler_ = false;

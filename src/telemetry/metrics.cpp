@@ -1,0 +1,81 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpm::telemetry {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument(
+        "Histogram: bounds must be strictly ascending");
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::record(double value) noexcept {
+  // First bucket whose upper bound is >= value; past-the-end = overflow.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += value;
+}
+
+namespace {
+
+template <typename Instrument>
+Instrument* find_by_name(const std::vector<std::string>& names,
+                         std::deque<Instrument>& instruments,
+                         std::string_view name) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return &instruments[i];
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  if (Counter* found = find_by_name(counter_names_, counters_, name)) {
+    return *found;
+  }
+  counter_names_.emplace_back(name);
+  return counters_.emplace_back();
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  if (Gauge* found = find_by_name(gauge_names_, gauges_, name)) {
+    return *found;
+  }
+  gauge_names_.emplace_back(name);
+  return gauges_.emplace_back();
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  if (Histogram* found =
+          find_by_name(histogram_names_, histograms_, name)) {
+    return *found;
+  }
+  histogram_names_.emplace_back(name);
+  return histograms_.emplace_back(std::move(bounds));
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  return find_by_name(counter_names_,
+                      const_cast<std::deque<Counter>&>(counters_), name);
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  return find_by_name(gauge_names_,
+                      const_cast<std::deque<Gauge>&>(gauges_), name);
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    std::string_view name) const {
+  return find_by_name(histogram_names_,
+                      const_cast<std::deque<Histogram>&>(histograms_), name);
+}
+
+}  // namespace hpm::telemetry

@@ -1,0 +1,124 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//
+// The registry is the numeric half of hpm::telemetry (the structured event
+// half is trace_sink.hpp).  Design constraints, in order:
+//   * zero cost when disabled — call sites hold a `Counter*` that is null
+//     when telemetry is off, so the disabled path is one pointer test;
+//   * deterministic export — instruments are iterated in registration
+//     order, never hash order, so two runs of the same spec produce
+//     byte-identical metric blocks (the batch determinism contract);
+//   * stable addresses — instruments live in deques; a `Counter&` obtained
+//     at tool start() stays valid for the registry's lifetime.
+//
+// A registry belongs to exactly one simulated run and is not thread-safe;
+// parallel batch runs each own their own (shared-nothing, like Machine).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpm::telemetry {
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  void add(std::uint64_t delta) noexcept { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double value) noexcept { value_ = value; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram with inclusive upper bounds (Prometheus "le"
+/// convention): a sample lands in the first bucket whose bound is >= the
+/// value, or in the implicit overflow bucket past the last bound.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void record(double value) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::vector<double> bounds_;  ///< ascending upper bounds
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create by name.  References stay valid for the registry's
+  /// lifetime (instruments are deque-backed and never erased).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` is used only on first creation; a later lookup of an
+  /// existing histogram ignores it.  Bounds must be strictly ascending.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Lookup without creation; nullptr when the name is unknown.
+  [[nodiscard]] const Counter* find_counter(std::string_view name) const;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name) const;
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
+
+  // Iteration in registration order (deterministic export).
+  template <typename Fn>  // Fn(const std::string& name, const Counter&)
+  void for_each_counter(Fn&& fn) const {
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+      fn(counter_names_[i], counters_[i]);
+    }
+  }
+  template <typename Fn>  // Fn(const std::string& name, const Gauge&)
+  void for_each_gauge(Fn&& fn) const {
+    for (std::size_t i = 0; i < gauges_.size(); ++i) {
+      fn(gauge_names_[i], gauges_[i]);
+    }
+  }
+  template <typename Fn>  // Fn(const std::string& name, const Histogram&)
+  void for_each_histogram(Fn&& fn) const {
+    for (std::size_t i = 0; i < histograms_.size(); ++i) {
+      fn(histogram_names_[i], histograms_[i]);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  // Linear name scans: a run registers a few dozen instruments once at
+  // tool start; lookup is not on any hot path (call sites cache pointers).
+  std::vector<std::string> counter_names_;
+  std::deque<Counter> counters_;
+  std::vector<std::string> gauge_names_;
+  std::deque<Gauge> gauges_;
+  std::vector<std::string> histogram_names_;
+  std::deque<Histogram> histograms_;
+};
+
+}  // namespace hpm::telemetry

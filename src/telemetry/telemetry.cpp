@@ -1,0 +1,74 @@
+#include "telemetry/telemetry.hpp"
+
+namespace hpm::telemetry {
+
+std::uint64_t RunMetrics::counter_value(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+Telemetry::Telemetry(Config config) : config_(config) {
+  if (config_.timeline_every > 0) {
+    timeline_.emplace(config_.timeline_every, config_.timeline_capacity);
+  }
+}
+
+void Telemetry::attach(sim::Machine& machine) {
+  c_overflow_ = &registry_.counter("machine.interrupts.miss_overflow");
+  c_timer_ = &registry_.counter("machine.interrupts.cycle_timer");
+  machine.set_interrupt_observer([this, &machine](sim::InterruptKind kind) {
+    switch (kind) {
+      case sim::InterruptKind::kMissOverflow:
+        c_overflow_->inc();
+        if (sink_ != nullptr) {
+          emit({.category = "sim",
+                .name = "pmu.overflow",
+                .phase = 'i',
+                .ts = machine.now(),
+                .args = {{"global_misses", machine.pmu().global_misses()}}});
+        }
+        break;
+      case sim::InterruptKind::kCycleTimer:
+        c_timer_->inc();
+        break;
+    }
+  });
+  if (timeline_) {
+    machine.set_periodic_hook(
+        config_.timeline_every,
+        [this](const sim::MachineStats& stats) { timeline_->snapshot(stats); });
+  }
+}
+
+void Telemetry::detach(sim::Machine& machine) {
+  machine.set_interrupt_observer(nullptr);
+  machine.set_periodic_hook(0, nullptr);
+}
+
+RunMetrics Telemetry::snapshot() const {
+  RunMetrics out;
+  out.enabled = true;
+  registry_.for_each_counter(
+      [&](const std::string& name, const Counter& counter) {
+        out.counters.emplace_back(name, counter.value());
+      });
+  registry_.for_each_gauge([&](const std::string& name, const Gauge& gauge) {
+    out.gauges.emplace_back(name, gauge.value());
+  });
+  registry_.for_each_histogram(
+      [&](const std::string& name, const Histogram& histogram) {
+        out.histograms.push_back({name, histogram.bounds(),
+                                  histogram.counts(), histogram.count(),
+                                  histogram.sum()});
+      });
+  if (timeline_) {
+    out.timeline_every = timeline_->every();
+    out.timeline_snapshots = timeline_->total_snapshots();
+    out.timeline = timeline_->samples();
+  }
+  return out;
+}
+
+}  // namespace hpm::telemetry

@@ -1,0 +1,107 @@
+// hpm::telemetry — the per-run instrumentation context.
+//
+// A Telemetry object owns one MetricsRegistry and (optionally) one
+// PhaseTimeline, and forwards typed events to an externally owned
+// TraceSink.  It is wired into a run in three places:
+//   * Machine hooks (attach()): a periodic cycle hook feeds the timeline
+//     and an interrupt observer counts/announces PMU overflow and timer
+//     deliveries — both below the tool layer, costing no virtual cycles;
+//   * Tools (core::Tool::set_telemetry): samplers and the n-way search
+//     register named counters/histograms and emit decision events;
+//   * the harness: run_experiment constructs one Telemetry per run when
+//     RunConfig asks for it and snapshots it into RunResult::metrics.
+//
+// Zero-cost-when-disabled contract: with telemetry off, no Telemetry
+// object exists; every call site guards on a null pointer and the Machine
+// hot path performs a single `hook_every_ != 0` test (measured by the
+// bench_common guardrail, see docs/telemetry.md).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/timeline.hpp"
+#include "telemetry/trace_sink.hpp"
+
+namespace hpm::telemetry {
+
+struct Config {
+  /// Master switch: when false (and no trace sink is installed) the run
+  /// carries no telemetry at all.
+  bool enabled = false;
+  /// Snapshot MachineStats deltas every this many cycles; 0 disables the
+  /// phase timeline.
+  sim::Cycles timeline_every = 0;
+  /// Ring-buffer capacity of the timeline (oldest slices drop off).
+  std::size_t timeline_capacity = PhaseTimeline::kDefaultCapacity;
+};
+
+/// Value-type snapshot of a run's telemetry, taken after the run ends.
+/// Deterministic: instruments appear in registration order, and every
+/// field is a pure function of the run spec (never of wall clock or
+/// scheduling), so jobs=1 and jobs=N batches export identical blocks.
+struct RunMetrics {
+  struct HistogramSnapshot {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (overflow last)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  bool enabled = false;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+  sim::Cycles timeline_every = 0;
+  std::uint64_t timeline_snapshots = 0;  ///< total taken, incl. dropped
+  std::vector<PhaseSample> timeline;
+
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(Config config = {});
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  [[nodiscard]] MetricsRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] const MetricsRegistry& registry() const noexcept {
+    return registry_;
+  }
+  /// Null when the timeline is disabled.
+  [[nodiscard]] PhaseTimeline* timeline() noexcept {
+    return timeline_ ? &*timeline_ : nullptr;
+  }
+
+  /// Install/replace the event sink (not owned; null disables tracing).
+  void set_sink(TraceSink* sink) noexcept { sink_ = sink; }
+  [[nodiscard]] bool tracing() const noexcept { return sink_ != nullptr; }
+  void emit(const TraceEvent& event) {
+    if (sink_ != nullptr) sink_->event(event);
+  }
+
+  /// Install the sim-level hooks: the periodic stats hook (timeline) and
+  /// the interrupt observer (overflow/timer counters + trace events).
+  /// Call detach() before destroying this object while the machine lives.
+  void attach(sim::Machine& machine);
+  void detach(sim::Machine& machine);
+
+  [[nodiscard]] RunMetrics snapshot() const;
+
+ private:
+  Config config_;
+  MetricsRegistry registry_;
+  std::optional<PhaseTimeline> timeline_;
+  TraceSink* sink_ = nullptr;
+  Counter* c_overflow_ = nullptr;
+  Counter* c_timer_ = nullptr;
+};
+
+}  // namespace hpm::telemetry

@@ -1,0 +1,47 @@
+#include "telemetry/timeline.hpp"
+
+#include <stdexcept>
+
+namespace hpm::telemetry {
+
+PhaseTimeline::PhaseTimeline(sim::Cycles every, std::size_t capacity)
+    : every_(every), capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("PhaseTimeline: capacity must be > 0");
+  }
+  ring_.reserve(capacity_);
+}
+
+void PhaseTimeline::snapshot(const sim::MachineStats& stats) {
+  PhaseSample sample;
+  sample.at = stats.total_cycles();
+  sample.app_instructions = stats.app_instructions - last_.app_instructions;
+  sample.app_refs = stats.app_refs - last_.app_refs;
+  sample.app_misses = stats.app_misses - last_.app_misses;
+  sample.tool_refs = stats.tool_refs - last_.tool_refs;
+  sample.tool_misses = stats.tool_misses - last_.tool_misses;
+  sample.interrupts = stats.interrupts - last_.interrupts;
+  sample.app_cycles = stats.app_cycles - last_.app_cycles;
+  sample.tool_cycles = stats.tool_cycles - last_.tool_cycles;
+  last_ = stats;
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(sample);
+    return;
+  }
+  ring_[head_] = sample;
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<PhaseSample> PhaseTimeline::samples() const {
+  std::vector<PhaseSample> out;
+  out.reserve(ring_.size());
+  // Before wraparound head_ is 0 and this is a straight copy; after, the
+  // oldest surviving slice sits at head_.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+}  // namespace hpm::telemetry

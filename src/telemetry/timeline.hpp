@@ -1,0 +1,83 @@
+// Phase-sliced machine time series.
+//
+// The paper's phase results (Figure 5, §3.5) show that end-of-run
+// aggregates hide everything interesting about workloads like su2cor or
+// applu: miss rates swing by an order of magnitude between phases.  The
+// PhaseTimeline makes those dynamics observable for *every* run: it
+// snapshots MachineStats deltas every K cycles into a fixed-capacity ring
+// buffer, yielding per-phase miss-rate / IPC / tool-overhead series
+// without unbounded memory (the oldest slices fall off a long run).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace hpm::telemetry {
+
+/// One timeline slice: deltas over [at - previous at, at].
+struct PhaseSample {
+  sim::Cycles at = 0;  ///< cumulative total_cycles at the snapshot
+  std::uint64_t app_instructions = 0;
+  std::uint64_t app_refs = 0;
+  std::uint64_t app_misses = 0;
+  std::uint64_t tool_refs = 0;
+  std::uint64_t tool_misses = 0;
+  std::uint64_t interrupts = 0;
+  sim::Cycles app_cycles = 0;
+  sim::Cycles tool_cycles = 0;
+
+  /// Misses per application reference within the slice (0 when idle).
+  [[nodiscard]] double miss_rate() const noexcept {
+    return app_refs == 0 ? 0.0
+                         : static_cast<double>(app_misses) /
+                               static_cast<double>(app_refs);
+  }
+  /// Application instructions per cycle within the slice.
+  [[nodiscard]] double ipc() const noexcept {
+    const sim::Cycles cycles = app_cycles + tool_cycles;
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(app_instructions) /
+                             static_cast<double>(cycles);
+  }
+};
+
+class PhaseTimeline {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 512;
+
+  /// Snapshot roughly every `every` cycles (the driver decides exactly
+  /// when; see Machine::set_periodic_hook), keeping the most recent
+  /// `capacity` slices.
+  PhaseTimeline(sim::Cycles every, std::size_t capacity = kDefaultCapacity);
+
+  /// Record the delta between `stats` and the previous snapshot.  When the
+  /// ring is full the oldest slice is overwritten.
+  void snapshot(const sim::MachineStats& stats);
+
+  /// Slices in chronological order (oldest surviving slice first).
+  [[nodiscard]] std::vector<PhaseSample> samples() const;
+
+  [[nodiscard]] sim::Cycles every() const noexcept { return every_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
+  /// Total snapshots ever taken (>= size() once the ring has wrapped).
+  [[nodiscard]] std::uint64_t total_snapshots() const noexcept {
+    return total_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return total_ - ring_.size();
+  }
+
+ private:
+  sim::Cycles every_;
+  std::size_t capacity_;
+  std::vector<PhaseSample> ring_;
+  std::size_t head_ = 0;  ///< overwrite position once full
+  std::uint64_t total_ = 0;
+  sim::MachineStats last_{};
+};
+
+}  // namespace hpm::telemetry

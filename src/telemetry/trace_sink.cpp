@@ -1,0 +1,146 @@
+#include "telemetry/trace_sink.hpp"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace hpm::telemetry {
+
+namespace {
+
+// Local minimal JSON string escaping (telemetry sits below harness, whose
+// exporter cannot be used here without inverting the dependency).
+void write_escaped(std::ostream& out, std::string_view text) {
+  out << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::array<char, 8> buf{};
+          std::snprintf(buf.data(), buf.size(), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf.data();
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void write_double(std::ostream& out, double value) {
+  if (!std::isfinite(value)) {
+    out << "null";
+    return;
+  }
+  std::array<char, 32> buf{};
+  const auto [ptr, ec] =
+      std::to_chars(buf.data(), buf.data() + buf.size(), value);
+  if (ec != std::errc{}) {
+    out << "null";
+    return;
+  }
+  out << std::string_view(buf.data(),
+                          static_cast<std::size_t>(ptr - buf.data()));
+}
+
+}  // namespace
+
+void write_event_json(std::ostream& out, const TraceEvent& event) {
+  out << "{\"name\":";
+  write_escaped(out, event.name);
+  out << ",\"cat\":";
+  write_escaped(out, event.category);
+  out << ",\"ph\":\"" << event.phase << "\"";
+  out << ",\"ts\":" << event.ts;
+  if (event.phase == 'X') out << ",\"dur\":" << event.dur;
+  out << ",\"pid\":" << event.pid << ",\"tid\":" << event.tid;
+  if (event.phase == 'i') {
+    out << ",\"s\":\"t\"";  // instant scope: thread
+  }
+  if (!event.args.empty()) {
+    out << ",\"args\":{";
+    bool first = true;
+    for (const TraceArg& arg : event.args) {
+      if (!first) out << ',';
+      first = false;
+      write_escaped(out, arg.key);
+      out << ':';
+      switch (arg.kind) {
+        case TraceArg::Kind::kUint: out << arg.uint_value; break;
+        case TraceArg::Kind::kInt: out << arg.int_value; break;
+        case TraceArg::Kind::kDouble: write_double(out, arg.double_value); break;
+        case TraceArg::Kind::kString: write_escaped(out, arg.string_value); break;
+      }
+    }
+    out << '}';
+  }
+  out << '}';
+}
+
+// -- ChromeTraceSink ---------------------------------------------------------
+
+ChromeTraceSink::ChromeTraceSink(std::ostream& out) : out_(out) {
+  out_ << "{\"traceEvents\":[";
+}
+
+ChromeTraceSink::~ChromeTraceSink() { close(); }
+
+void ChromeTraceSink::event(const TraceEvent& event) {
+  std::lock_guard lock(mutex_);
+  if (closed_) return;
+  if (any_) out_ << ',';
+  any_ = true;
+  out_ << "\n";
+  write_event_json(out_, event);
+}
+
+void ChromeTraceSink::close() {
+  std::lock_guard lock(mutex_);
+  if (closed_) return;
+  closed_ = true;
+  if (any_) out_ << '\n';
+  out_ << "]}" << '\n';
+  out_.flush();
+}
+
+// -- JsonlTraceSink ----------------------------------------------------------
+
+void JsonlTraceSink::event(const TraceEvent& event) {
+  std::lock_guard lock(mutex_);
+  write_event_json(out_, event);
+  out_ << '\n';
+}
+
+// -- CountingTraceSink -------------------------------------------------------
+
+void CountingTraceSink::event(const TraceEvent& event) {
+  std::lock_guard lock(mutex_);
+  ++total_;
+  const std::string key =
+      std::string(event.category) + "/" + std::string(event.name);
+  for (auto& [name, count] : by_key_) {
+    if (name == key) {
+      ++count;
+      return;
+    }
+  }
+  by_key_.emplace_back(key, 1);
+}
+
+std::uint64_t CountingTraceSink::count(std::string_view category,
+                                       std::string_view name) const {
+  const std::string key = std::string(category) + "/" + std::string(name);
+  for (const auto& [k, v] : by_key_) {
+    if (k == key) return v;
+  }
+  return 0;
+}
+
+}  // namespace hpm::telemetry

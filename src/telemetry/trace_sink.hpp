@@ -1,0 +1,118 @@
+// Structured event sink: typed trace events from inside the simulator.
+//
+// Emitters (core::Sampler, core::NWaySearch, sim-level interrupt hooks,
+// harness::BatchRunner) construct TraceEvents only when a sink is
+// installed, so the disabled path costs one pointer test.  Two backends:
+//   * ChromeTraceSink — the Chrome trace_event JSON array format, loadable
+//     in chrome://tracing and https://ui.perfetto.dev.  Virtual cycles map
+//     onto the "ts"/"dur" microsecond fields 1:1 (1 cycle = 1 us on the
+//     viewer's axis).
+//   * JsonlTraceSink — one compact JSON object per line, for grep/jq and
+//     for streaming consumers that do not want a trailing-footer format.
+//
+// Both backends serialize identically-keyed objects and are internally
+// mutex-guarded, so a single sink may be shared across batch workers.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpm::telemetry {
+
+/// One typed argument of a trace event.  Keys are expected to be string
+/// literals (they are not copied into owned storage).
+struct TraceArg {
+  enum class Kind : std::uint8_t { kUint, kInt, kDouble, kString };
+
+  TraceArg(std::string_view k, std::uint64_t v)
+      : key(k), kind(Kind::kUint), uint_value(v) {}
+  TraceArg(std::string_view k, std::int64_t v)
+      : key(k), kind(Kind::kInt), int_value(v) {}
+  TraceArg(std::string_view k, double v)
+      : key(k), kind(Kind::kDouble), double_value(v) {}
+  TraceArg(std::string_view k, std::string v)
+      : key(k), kind(Kind::kString), string_value(std::move(v)) {}
+
+  std::string_view key;
+  Kind kind;
+  std::uint64_t uint_value = 0;
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+  std::string string_value;
+};
+
+/// Chrome trace_event phases used here: 'B'/'E' duration begin/end,
+/// 'X' complete (with dur), 'i' instant, 'C' counter.
+struct TraceEvent {
+  std::string_view category;
+  std::string_view name;
+  char phase = 'i';
+  std::uint64_t ts = 0;   ///< virtual cycles (or host us for batch events)
+  std::uint64_t dur = 0;  ///< 'X' only
+  std::uint32_t pid = 0;  ///< 0 = simulator; 1 = batch/harness plane
+  std::uint32_t tid = 0;  ///< run index / worker id
+  std::vector<TraceArg> args;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void event(const TraceEvent& event) = 0;
+};
+
+/// Serialize one event as a compact JSON object with a fixed key order
+/// (name, cat, ph, ts[, dur], pid, tid[, args]).  Shared by both backends
+/// and by the golden-snippet test.
+void write_event_json(std::ostream& out, const TraceEvent& event);
+
+/// Chrome trace_event JSON: {"traceEvents":[...]}.  The footer is written
+/// by close() (or the destructor); the stream must outlive the sink.
+class ChromeTraceSink : public TraceSink {
+ public:
+  explicit ChromeTraceSink(std::ostream& out);
+  ~ChromeTraceSink() override;
+
+  void event(const TraceEvent& event) override;
+  /// Write the closing "]}"; further events are discarded.  Idempotent.
+  void close();
+
+ private:
+  std::mutex mutex_;
+  std::ostream& out_;
+  bool any_ = false;
+  bool closed_ = false;
+};
+
+/// One JSON object per line; no header or footer.
+class JsonlTraceSink : public TraceSink {
+ public:
+  explicit JsonlTraceSink(std::ostream& out) : out_(out) {}
+
+  void event(const TraceEvent& event) override;
+
+ private:
+  std::mutex mutex_;
+  std::ostream& out_;
+};
+
+/// Counts events instead of serializing them — for tests and for cheap
+/// "how chatty was this run" diagnostics.
+class CountingTraceSink : public TraceSink {
+ public:
+  void event(const TraceEvent& event) override;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t count(std::string_view category,
+                                    std::string_view name) const;
+
+ private:
+  std::mutex mutex_;
+  std::uint64_t total_ = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> by_key_;
+};
+
+}  // namespace hpm::telemetry

@@ -136,10 +136,16 @@ Trace Trace::load_file(const std::string& path) {
 Recorder::Recorder(sim::Machine& machine) : machine_(machine) {}
 
 Recorder::~Recorder() {
-  if (running_) stop();
+  stop();  // noexcept: a throwing stop() here would terminate during unwind
 }
 
 void Recorder::start() {
+  if (running_) {
+    throw std::logic_error("trace::Recorder: start() while recording");
+  }
+  if (taken_) {
+    throw std::logic_error("trace::Recorder: start() after take()");
+  }
   running_ = true;
   machine_.set_ref_observer([this](sim::Addr addr, bool write) {
     if (write) {
@@ -152,10 +158,17 @@ void Recorder::start() {
       [this](std::uint64_t count) { trace_.append_exec(count); });
 }
 
-void Recorder::stop() {
+void Recorder::stop() noexcept {
+  if (!running_) return;
   running_ = false;
   machine_.set_ref_observer(nullptr);
   machine_.set_exec_observer(nullptr);
+}
+
+Trace Recorder::take() {
+  stop();
+  taken_ = true;
+  return std::move(trace_);
 }
 
 void replay(const Trace& trace, sim::Machine& machine) {

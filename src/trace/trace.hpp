@@ -79,6 +79,13 @@ class Trace {
 /// Records the application-plane event stream of a machine while live code
 /// runs.  Tool-plane traffic is not recorded (the point of a trace is to
 /// re-measure the *application* under different instrumentation).
+///
+/// Lifetime contract: the Recorder must not outlive the Machine (its
+/// observers hold `this`).  The destructor detaches them without throwing,
+/// so a Recorder destroyed mid-recording (e.g. during exception unwinding)
+/// is safe.  take() ends the Recorder's useful life: a subsequent start()
+/// throws std::logic_error rather than silently recording into a
+/// moved-from trace, as does start() while already recording.
 class Recorder {
  public:
   explicit Recorder(sim::Machine& machine);
@@ -86,15 +93,23 @@ class Recorder {
   Recorder(const Recorder&) = delete;
   Recorder& operator=(const Recorder&) = delete;
 
+  /// Begin recording.  Throws std::logic_error if already recording or if
+  /// the trace has been take()n.
   void start();
-  void stop();
-  [[nodiscard]] Trace take() { return std::move(trace_); }
+  /// Detach from the machine; idempotent and safe to call when not
+  /// recording.
+  void stop() noexcept;
+  /// Move the recorded trace out, stopping first if needed.  The Recorder
+  /// cannot be restarted afterwards.
+  [[nodiscard]] Trace take();
   [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+  [[nodiscard]] bool running() const noexcept { return running_; }
 
  private:
   sim::Machine& machine_;
   Trace trace_;
   bool running_ = false;
+  bool taken_ = false;
 };
 
 /// Replay a trace against a machine: every recorded reference becomes a

@@ -173,7 +173,7 @@ TEST(JsonExport, BatchDocumentHasSchemaAndHonoursTimingFlag) {
   batch.metrics.wall_seconds = 1.25;
 
   const auto with_timing = JsonValue::parse(to_json(batch));
-  EXPECT_EQ(with_timing.at("schema").str(), "hpm.batch.v1");
+  EXPECT_EQ(with_timing.at("schema").str(), "hpm.batch.v2");
   EXPECT_EQ(with_timing.at("jobs").uint(), 8u);
   EXPECT_DOUBLE_EQ(with_timing.at("wall_seconds").number(), 1.25);
   EXPECT_TRUE(with_timing.at("items").array().empty());
@@ -202,6 +202,118 @@ TEST(JsonExport, SeriesIncludedOnlyWhenRequested) {
   no_series.include_series = false;
   EXPECT_EQ(JsonValue::parse(to_json(result, no_series)).find("series"),
             nullptr);
+}
+
+// -- v2 metrics block and the batch-document reader --------------------------
+
+BatchResult tiny_batch(bool with_metrics) {
+  BatchResult batch;
+  batch.metrics.jobs = 2;
+  batch.metrics.runs = 1;
+  BatchItem item;
+  item.spec.name = "synthetic/t";
+  item.spec.workload = "synthetic";
+  item.spec.config.tool = ToolKind::kSampler;
+  item.ok = true;
+  if (with_metrics) {
+    auto& m = item.result.metrics;
+    m.enabled = true;
+    m.counters = {{"sampler.interrupts", 42}, {"sampler.samples.attributed", 40}};
+    m.gauges = {{"sampler.rate", 1.5}};
+    m.histograms.push_back({"sampler.period", {100.0, 1000.0}, {3, 2, 1}, 6,
+                            12345.0});
+    m.timeline_every = 1000;
+    m.timeline_snapshots = 1;
+    telemetry::PhaseSample sample;
+    sample.at = 1000;
+    sample.app_refs = 10;
+    sample.app_misses = 5;
+    m.timeline.push_back(sample);
+  }
+  batch.items.push_back(std::move(item));
+  return batch;
+}
+
+TEST(JsonExport, MetricsBlockAppearsOnlyWhenTelemetryRan) {
+  const auto bare = JsonValue::parse(to_json(tiny_batch(false)));
+  EXPECT_EQ(bare.at("items").array()[0].at("result").find("metrics"), nullptr);
+
+  const auto doc = JsonValue::parse(to_json(tiny_batch(true)));
+  const auto& metrics =
+      doc.at("items").array()[0].at("result").at("metrics");
+  EXPECT_EQ(metrics.at("counters").at("sampler.interrupts").uint(), 42u);
+  EXPECT_DOUBLE_EQ(metrics.at("gauges").at("sampler.rate").number(), 1.5);
+  const auto& histogram = metrics.at("histograms").array()[0];
+  EXPECT_EQ(histogram.at("name").str(), "sampler.period");
+  ASSERT_EQ(histogram.at("counts").array().size(), 3u);
+  EXPECT_EQ(histogram.at("count").uint(), 6u);
+  const auto& timeline = metrics.at("timeline");
+  EXPECT_EQ(timeline.at("every").uint(), 1000u);
+  const auto& slice = timeline.at("samples").array()[0];
+  EXPECT_EQ(slice.at("app_misses").uint(), 5u);
+  EXPECT_DOUBLE_EQ(slice.at("miss_rate").number(), 0.5);
+}
+
+TEST(JsonExport, MetricsCompanionDocument) {
+  std::ostringstream out;
+  export_metrics_json(out, tiny_batch(true));
+  const auto doc = JsonValue::parse(out.str());
+  EXPECT_EQ(doc.at("schema").str(), "hpm.metrics.v1");
+  const auto& run = doc.at("runs").array().at(0);
+  EXPECT_EQ(run.at("name").str(), "synthetic/t");
+  EXPECT_EQ(run.at("tool").str(), "sample");
+  EXPECT_EQ(run.at("metrics").at("counters").at("sampler.interrupts").uint(),
+            42u);
+}
+
+TEST(ParseBatchDocument, ReadsV2Export) {
+  const auto summary = parse_batch_document(to_json(tiny_batch(true)));
+  EXPECT_EQ(summary.schema_version, 2);
+  EXPECT_EQ(summary.jobs, 2u);
+  EXPECT_EQ(summary.runs, 1u);
+  EXPECT_EQ(summary.failed, 0u);
+  ASSERT_EQ(summary.items.size(), 1u);
+  EXPECT_EQ(summary.items[0].name, "synthetic/t");
+  EXPECT_EQ(summary.items[0].workload, "synthetic");
+  EXPECT_EQ(summary.items[0].tool, "sample");
+  EXPECT_TRUE(summary.items[0].ok);
+  EXPECT_TRUE(summary.items[0].has_metrics);
+
+  const auto bare = parse_batch_document(to_json(tiny_batch(false)));
+  EXPECT_FALSE(bare.items[0].has_metrics);
+}
+
+TEST(ParseBatchDocument, StillReadsLegacyV1Documents) {
+  // A pre-telemetry export, as written before the v2 schema: no "metrics"
+  // anywhere.  Kept inline so this contract cannot rot silently.
+  const std::string v1 = R"({
+    "schema": "hpm.batch.v1",
+    "jobs": 4,
+    "runs": 2,
+    "failed": 1,
+    "items": [
+      {"name": "tomcatv/sample", "workload": "tomcatv", "tool": "sample",
+       "ok": true,
+       "result": {"samples": 7, "search_done": false}},
+      {"name": "gcc/sample", "workload": "gcc", "tool": "sample",
+       "ok": false, "error": "unknown workload: gcc"}
+    ]
+  })";
+  const auto summary = parse_batch_document(v1);
+  EXPECT_EQ(summary.schema_version, 1);
+  EXPECT_EQ(summary.jobs, 4u);
+  EXPECT_EQ(summary.runs, 2u);
+  EXPECT_EQ(summary.failed, 1u);
+  ASSERT_EQ(summary.items.size(), 2u);
+  EXPECT_TRUE(summary.items[0].ok);
+  EXPECT_FALSE(summary.items[0].has_metrics);
+  EXPECT_FALSE(summary.items[1].ok);
+}
+
+TEST(ParseBatchDocument, RejectsUnknownSchemaAndGarbage) {
+  EXPECT_THROW((void)parse_batch_document("{\"schema\":\"hpm.batch.v9\"}"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_batch_document("not json"), std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,362 @@
+// hpm::telemetry unit tests plus end-to-end checks that the telemetry
+// layer observes runs without changing them: histogram bucket edges, the
+// phase-timeline ring buffer, the exact Chrome trace_event serialization
+// (golden snippet), tool event emission, and the batch determinism
+// contract extended to exported metrics (jobs=1 == jobs=N).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "harness/batch.hpp"
+#include "harness/json_export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/timeline.hpp"
+#include "telemetry/trace_sink.hpp"
+
+namespace hpm::telemetry {
+namespace {
+
+// -- Histogram ---------------------------------------------------------------
+
+TEST(Histogram, BucketEdgesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 4.0});
+  ASSERT_EQ(h.counts().size(), 4u);  // 3 bounds + overflow
+
+  h.record(0.5);  // <= 1       -> bucket 0
+  h.record(1.0);  // == 1 ("le") -> bucket 0
+  h.record(1.5);  //            -> bucket 1
+  h.record(2.0);  // == 2       -> bucket 1
+  h.record(4.0);  // == 4       -> bucket 2
+  h.record(4.1);  // past last  -> overflow
+  h.record(100);  //            -> overflow
+
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 2u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.counts()[3], 2u);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 4.1 + 100.0);
+}
+
+TEST(Histogram, RejectsNonAscendingBounds) {
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, NegativeAndExtremeValuesLand) {
+  Histogram h({0.0, 10.0});
+  h.record(-5.0);  // below first bound -> bucket 0
+  h.record(1e300);
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[2], 1u);  // overflow
+}
+
+// -- Registry ----------------------------------------------------------------
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableInstruments) {
+  MetricsRegistry reg;
+  Counter& b = reg.counter("b");
+  Counter& a = reg.counter("a");
+  b.inc(3);
+  EXPECT_EQ(&reg.counter("b"), &b);  // find, not create
+  EXPECT_EQ(reg.counter("b").value(), 3u);
+  EXPECT_EQ(reg.find_counter("missing"), nullptr);
+  ASSERT_NE(reg.find_counter("a"), nullptr);
+  EXPECT_EQ(reg.find_counter("a"), &a);
+}
+
+TEST(MetricsRegistry, IterationFollowsRegistrationOrderNotName) {
+  MetricsRegistry reg;
+  reg.counter("zebra");
+  reg.counter("apple");
+  reg.counter("mango");
+  std::vector<std::string> order;
+  reg.for_each_counter(
+      [&](const std::string& name, const Counter&) { order.push_back(name); });
+  EXPECT_EQ(order, (std::vector<std::string>{"zebra", "apple", "mango"}));
+}
+
+TEST(MetricsRegistry, HistogramBoundsFixedAtFirstCreation) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", {1.0, 2.0});
+  Histogram& again = reg.histogram("h", {99.0});  // bounds ignored
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+// -- PhaseTimeline -----------------------------------------------------------
+
+sim::MachineStats stats_at(std::uint64_t step) {
+  sim::MachineStats s;
+  s.app_instructions = 1000 * step;
+  s.app_refs = 100 * step;
+  s.app_misses = 10 * step;
+  s.tool_refs = 5 * step;
+  s.tool_misses = step;
+  s.interrupts = step;
+  s.app_cycles = 2000 * step;
+  s.tool_cycles = 50 * step;
+  return s;
+}
+
+TEST(PhaseTimeline, SnapshotsAreDeltasNotCumulative) {
+  PhaseTimeline tl(100, 8);
+  tl.snapshot(stats_at(1));
+  tl.snapshot(stats_at(3));  // uneven stride on purpose
+  const auto samples = tl.samples();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].app_misses, 10u);
+  EXPECT_EQ(samples[1].app_misses, 20u);  // 30 - 10
+  EXPECT_EQ(samples[1].app_cycles, 4000u);
+  EXPECT_EQ(samples[1].at, stats_at(3).total_cycles());
+}
+
+TEST(PhaseTimeline, RingWrapsKeepingTheMostRecentSlices) {
+  PhaseTimeline tl(100, 4);
+  for (std::uint64_t step = 1; step <= 7; ++step) tl.snapshot(stats_at(step));
+  EXPECT_EQ(tl.size(), 4u);
+  EXPECT_EQ(tl.total_snapshots(), 7u);
+  EXPECT_EQ(tl.dropped(), 3u);
+  const auto samples = tl.samples();
+  ASSERT_EQ(samples.size(), 4u);
+  // Chronological order, oldest surviving slice first: steps 4..7.
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].at, stats_at(4 + i).total_cycles()) << i;
+    EXPECT_EQ(samples[i].app_misses, 10u) << i;  // every delta is one step
+  }
+}
+
+TEST(PhaseTimeline, DerivedRatesHandleIdleSlices) {
+  PhaseSample idle;
+  EXPECT_DOUBLE_EQ(idle.miss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(idle.ipc(), 0.0);
+  PhaseSample busy;
+  busy.app_refs = 100;
+  busy.app_misses = 25;
+  busy.app_instructions = 500;
+  busy.app_cycles = 900;
+  busy.tool_cycles = 100;
+  EXPECT_DOUBLE_EQ(busy.miss_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(busy.ipc(), 0.5);
+}
+
+// -- Trace sinks -------------------------------------------------------------
+
+// The exact serialization is a contract (external viewers parse it);
+// golden strings, not structural checks.
+TEST(TraceSink, GoldenEventJson) {
+  std::ostringstream out;
+  TraceEvent instant;
+  instant.category = "search";
+  instant.name = "backtrack";
+  instant.phase = 'i';
+  instant.ts = 12345;
+  instant.args = {{"from_depth", std::uint64_t{7}},
+                  {"to_depth", std::uint64_t{2}},
+                  {"why", std::string("pq \"jump\"")}};
+  write_event_json(out, instant);
+  EXPECT_EQ(out.str(),
+            R"({"name":"backtrack","cat":"search","ph":"i","ts":12345,)"
+            R"("pid":0,"tid":0,"s":"t",)"
+            R"("args":{"from_depth":7,"to_depth":2,"why":"pq \"jump\""}})");
+
+  out.str("");
+  TraceEvent complete;
+  complete.category = "batch";
+  complete.name = "tomcatv/search";
+  complete.phase = 'X';
+  complete.ts = 10;
+  complete.dur = 250;
+  complete.pid = 1;
+  complete.tid = 3;
+  write_event_json(out, complete);
+  EXPECT_EQ(out.str(),
+            R"({"name":"tomcatv/search","cat":"batch","ph":"X","ts":10,)"
+            R"("dur":250,"pid":1,"tid":3})");
+}
+
+TEST(TraceSink, ChromeSinkWrapsEventsInTraceEventsArray) {
+  std::ostringstream out;
+  {
+    ChromeTraceSink sink(out);
+    TraceEvent e;
+    e.category = "c";
+    e.name = "a";
+    e.ts = 1;
+    sink.event(e);
+    e.name = "b";
+    e.ts = 2;
+    sink.event(e);
+    sink.close();
+    sink.event(e);  // after close: dropped, not appended
+  }
+  EXPECT_EQ(out.str(),
+            "{\"traceEvents\":[\n"
+            R"({"name":"a","cat":"c","ph":"i","ts":1,"pid":0,"tid":0,"s":"t"})"
+            ",\n"
+            R"({"name":"b","cat":"c","ph":"i","ts":2,"pid":0,"tid":0,"s":"t"})"
+            "\n]}\n");
+}
+
+TEST(TraceSink, ChromeSinkEmptyTraceIsValid) {
+  std::ostringstream out;
+  { ChromeTraceSink sink(out); }  // destructor closes
+  EXPECT_EQ(out.str(), "{\"traceEvents\":[]}\n");
+}
+
+TEST(TraceSink, JsonlSinkWritesOneObjectPerLine) {
+  std::ostringstream out;
+  JsonlTraceSink sink(out);
+  TraceEvent e;
+  e.category = "c";
+  e.name = "n";
+  sink.event(e);
+  sink.event(e);
+  EXPECT_EQ(out.str(),
+            R"({"name":"n","cat":"c","ph":"i","ts":0,"pid":0,"tid":0,"s":"t"})"
+            "\n"
+            R"({"name":"n","cat":"c","ph":"i","ts":0,"pid":0,"tid":0,"s":"t"})"
+            "\n");
+}
+
+// -- End-to-end through the harness ------------------------------------------
+
+harness::RunSpec small_spec(harness::ToolKind tool) {
+  harness::RunSpec spec;
+  spec.name = "synthetic/t";
+  spec.workload = "synthetic";
+  spec.config.machine.cache.size_bytes = 128 * 1024;
+  spec.config.tool = tool;
+  spec.config.sampler.period = 2'000;
+  spec.config.search.n = 4;
+  spec.config.search.initial_interval = 200'000;
+  spec.options.scale = 0.25;
+  spec.options.iterations = 4;
+  return spec;
+}
+
+TEST(TelemetryEndToEnd, SamplerRegistersCountersAndEmitsEvents) {
+  auto spec = small_spec(harness::ToolKind::kSampler);
+  spec.config.telemetry.enabled = true;
+  spec.config.telemetry.timeline_every = 500'000;
+  CountingTraceSink sink;
+  spec.config.trace_sink = &sink;
+
+  const auto batch = harness::BatchRunner().run({spec});
+  ASSERT_TRUE(batch.items[0].ok) << batch.items[0].error;
+  const auto& metrics = batch.items[0].result.metrics;
+  ASSERT_TRUE(metrics.enabled);
+
+  const auto interrupts = metrics.counter_value("sampler.interrupts");
+  EXPECT_GT(interrupts, 0u);
+  EXPECT_EQ(interrupts,
+            metrics.counter_value("machine.interrupts.miss_overflow"));
+  EXPECT_EQ(interrupts, batch.items[0].result.samples);
+  EXPECT_EQ(metrics.counter_value("sampler.samples.attributed") +
+                metrics.counter_value("sampler.samples.unresolved"),
+            interrupts);
+  // The attributed tool_cycles sites must sum to at most the machine's
+  // total tool plane (delivery cost is charged by the machine itself).
+  std::uint64_t site_total = 0;
+  for (const auto& [name, value] : metrics.counters) {
+    if (name.rfind("tool_cycles.", 0) == 0) site_total += value;
+  }
+  EXPECT_GT(site_total, 0u);
+  EXPECT_LE(site_total, batch.items[0].result.stats.tool_cycles);
+
+  EXPECT_EQ(sink.count("sampler", "interrupt"), interrupts);
+  EXPECT_EQ(sink.count("sim", "pmu.overflow"), interrupts);
+  EXPECT_GT(sink.count("sampler", "attribute"), 0u);
+  EXPECT_GT(metrics.timeline.size(), 0u);
+}
+
+TEST(TelemetryEndToEnd, SearchEmitsSplitAndQueueEvents) {
+  auto spec = small_spec(harness::ToolKind::kSearch);
+  spec.config.telemetry.enabled = true;
+  CountingTraceSink sink;
+  spec.config.trace_sink = &sink;
+
+  const auto batch = harness::BatchRunner().run({spec});
+  ASSERT_TRUE(batch.items[0].ok) << batch.items[0].error;
+  const auto& metrics = batch.items[0].result.metrics;
+  const auto& search_stats = batch.items[0].result.search_stats;
+
+  EXPECT_EQ(metrics.counter_value("search.iterations"),
+            search_stats.iterations);
+  EXPECT_EQ(metrics.counter_value("search.splits"), search_stats.splits);
+  EXPECT_EQ(sink.count("search", "region.split"), search_stats.splits);
+  EXPECT_EQ(sink.count("search", "pq.enqueue"),
+            metrics.counter_value("search.pq.enqueues"));
+  EXPECT_EQ(sink.count("search", "backtrack"),
+            metrics.counter_value("search.backtracks"));
+  // Phase spans open/close in pairs ('B' on open, 'E' on close); the
+  // search phase may reopen after a continuation, so require balance,
+  // not an exact count.
+  const auto search_phase_events = sink.count("search", "search");
+  EXPECT_GE(search_phase_events, 2u);
+  EXPECT_EQ(search_phase_events % 2, 0u);
+}
+
+TEST(TelemetryEndToEnd, DisabledRunCarriesNoMetrics) {
+  const auto batch =
+      harness::BatchRunner().run({small_spec(harness::ToolKind::kSampler)});
+  ASSERT_TRUE(batch.items[0].ok) << batch.items[0].error;
+  EXPECT_FALSE(batch.items[0].result.metrics.enabled);
+  EXPECT_TRUE(batch.items[0].result.metrics.counters.empty());
+}
+
+TEST(TelemetryEndToEnd, TelemetryDoesNotPerturbTheSimulation) {
+  // Observability must be free *inside* the simulation: the virtual
+  // machine's numbers are identical with telemetry on and off.
+  auto plain = small_spec(harness::ToolKind::kSearch);
+  auto instrumented = plain;
+  instrumented.config.telemetry.enabled = true;
+  instrumented.config.telemetry.timeline_every = 250'000;
+  const auto off = harness::BatchRunner().run({plain});
+  const auto on = harness::BatchRunner().run({instrumented});
+  ASSERT_TRUE(off.items[0].ok && on.items[0].ok);
+  harness::JsonExportOptions options;
+  options.include_timing = false;
+  // Compare everything except the metrics block itself.
+  EXPECT_EQ(to_json(off.items[0].result.stats, options),
+            to_json(on.items[0].result.stats, options));
+  EXPECT_EQ(to_json(off.items[0].result.estimated, options),
+            to_json(on.items[0].result.estimated, options));
+}
+
+TEST(TelemetryEndToEnd, MetricsExportIsIdenticalAcrossJobCounts) {
+  std::vector<harness::RunSpec> specs;
+  for (int i = 0; i < 4; ++i) {
+    auto spec = small_spec(i % 2 == 0 ? harness::ToolKind::kSampler
+                                      : harness::ToolKind::kSearch);
+    spec.name = "synthetic/run" + std::to_string(i);
+    spec.config.telemetry.enabled = true;
+    spec.config.telemetry.timeline_every = 500'000;
+    specs.push_back(std::move(spec));
+  }
+  harness::JsonExportOptions options;
+  options.include_timing = false;
+
+  harness::BatchRunner::Options serial;
+  serial.jobs = 1;
+  harness::BatchRunner::Options parallel;
+  parallel.jobs = 4;
+  const auto a = harness::BatchRunner(serial).run(specs);
+  const auto b = harness::BatchRunner(parallel).run(specs);
+
+  std::ostringstream ja, jb;
+  harness::export_metrics_json(ja, a, options);
+  harness::export_metrics_json(jb, b, options);
+  EXPECT_EQ(ja.str(), jb.str());
+  // The full batch document differs only in its "jobs" header field;
+  // every item (including each metrics block) must be byte-identical.
+  ASSERT_EQ(a.items.size(), b.items.size());
+  for (std::size_t i = 0; i < a.items.size(); ++i) {
+    EXPECT_EQ(to_json(a.items[i], options), to_json(b.items[i], options)) << i;
+  }
+}
+
+}  // namespace
+}  // namespace hpm::telemetry

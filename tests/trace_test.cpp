@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <sstream>
+#include <stdexcept>
 
 #include "util/prng.hpp"
 #include "workloads/synthetic.hpp"
@@ -103,6 +104,45 @@ TEST(Recorder, CapturesApplicationEvents) {
   EXPECT_EQ(trace.events()[1].kind, EventKind::kExec);
   EXPECT_EQ(trace.events()[1].count, 25u);
   EXPECT_EQ(trace.events()[2].kind, EventKind::kLoad);
+}
+
+TEST(Recorder, LifetimeContractIsEnforced) {
+  sim::Machine machine(small_machine());
+  const sim::Addr a = machine.address_space().define_static("a", 4096);
+  Recorder recorder(machine);
+  recorder.start();
+  EXPECT_TRUE(recorder.running());
+  EXPECT_THROW(recorder.start(), std::logic_error);  // already recording
+
+  machine.store<double>(a, 1.0);
+  const Trace trace = recorder.take();  // take() implies stop()
+  EXPECT_FALSE(recorder.running());
+  EXPECT_EQ(trace.size(), 1u);
+  machine.store<double>(a, 2.0);  // not observed: hooks are gone
+  EXPECT_TRUE(recorder.trace().empty());
+
+  // The trace was moved out; re-recording into the same Recorder would
+  // silently produce a partial trace, so it is an error.
+  EXPECT_THROW(recorder.start(), std::logic_error);
+}
+
+TEST(Recorder, StopIsIdempotentAndDestructionWhileRecordingIsSafe) {
+  sim::Machine machine(small_machine());
+  const sim::Addr a = machine.address_space().define_static("a", 4096);
+  {
+    Recorder recorder(machine);
+    recorder.stop();  // never started: no-op
+    recorder.start();
+    machine.store<double>(a, 1.0);
+    recorder.stop();
+    recorder.stop();  // second stop: no-op
+    recorder.start();  // stop() (unlike take()) permits re-recording
+    // Destroyed mid-recording while the machine still lives: the
+    // destructor must detach the observers.
+  }
+  // A dangling observer would fault (or record into freed memory) here.
+  machine.store<double>(a, 2.0);
+  (void)machine.load<double>(a);
 }
 
 TEST(Recorder, IgnoresToolPlaneTraffic) {

@@ -3,22 +3,31 @@
 // (optionally) the per-object miss time line.  Comma-separated --workload
 // and --tool values form a sweep, executed on a worker pool (--jobs) with
 // results reported in submission order; --out exports machine-readable
-// JSON (schema hpm.batch.v1, see docs/parallel_sweeps.md).
+// JSON (schema hpm.batch.v2, see docs/parallel_sweeps.md).
+//
+// Telemetry (see docs/telemetry.md): --trace-out writes a Chrome
+// trace_event JSON of the run's structured events (sampler interrupts,
+// n-way splits/backtracks, PMU overflows; batch rows per worker on
+// sweeps), --metrics-out writes per-run counters/histograms and the phase
+// timeline, and --timeline-every sets the timeline granularity.
 //
 //   hpmrun --workload tomcatv --tool search --n 10
 //   hpmrun --workload compress --tool sample --period 10000 --series
 //   hpmrun --workload tomcatv,swim,mgrid --tool sample,search --jobs 8
-//   hpmrun --workload swim --tool search --trace-out swim.trace
+//   hpmrun --workload tomcatv --tool nway --trace-out t.json --metrics-out m.json
+//   hpmrun --workload swim --tool search --record-trace swim.trace
 //   hpmrun --workload applu --tool none --out results/applu.json
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "harness/batch.hpp"
 #include "harness/json_export.hpp"
+#include "telemetry/trace_sink.hpp"
 #include "trace/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -33,9 +42,10 @@ int usage(const char* error) {
       "usage: hpmrun [options]\n"
       "  --workload LIST   comma list of\n"
       "                    tomcatv|swim|su2cor|mgrid|applu|compress|ijpeg\n"
-      "  --tool LIST       comma list of none|sample|search (default: search)\n"
+      "  --tool LIST       comma list of none|sample|search|nway\n"
+      "                    (default: search; nway is an alias for search)\n"
       "  --jobs N          worker threads for sweeps (default 1; 0 = all cores)\n"
-      "  --out FILE        export results as JSON (hpm.batch.v1)\n"
+      "  --out FILE        export results as JSON (hpm.batch.v2)\n"
       "  --period N        sampling: misses per sample   (default 10000)\n"
       "  --policy P        sampling: fixed|prime|random  (default fixed)\n"
       "  --n N             search: counters/regions      (default 10)\n"
@@ -45,7 +55,16 @@ int usage(const char* error) {
       "  --cache BYTES     measured cache size           (default 2 MiB)\n"
       "  --series          capture per-object miss time series\n"
       "  --top K           rows to print                 (default 10)\n"
-      "  --trace-out FILE  record the reference trace (single run only)\n"
+      "  --trace-out FILE  write a Chrome trace_event JSON of telemetry\n"
+      "                    events (open in chrome://tracing or Perfetto)\n"
+      "  --metrics-out FILE  write per-run telemetry metrics + phase\n"
+      "                    timeline as JSON (hpm.metrics.v1)\n"
+      "  --timeline-every N  phase-timeline snapshot interval in cycles\n"
+      "                    (default 1e6 when telemetry is on; 0 disables)\n"
+      "  --record-trace FILE  record the binary reference trace for replay\n"
+      "                    (single run only)\n"
+      "  --list-workloads  print available workload names and exit\n"
+      "  --list-tools      print available tool names and exit\n"
       "  --seed N          workload seed\n",
       stderr);
   return 2;
@@ -184,9 +203,24 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv,
                 {"workload", "tool", "jobs", "out", "period", "policy", "n",
                  "interval", "scale", "iterations", "cache", "series", "top",
-                 "trace-out", "seed", "help"});
+                 "trace-out", "metrics-out", "timeline-every", "record-trace",
+                 "list-workloads", "list-tools", "seed", "help"});
   if (!cli.ok()) return usage(cli.error().c_str());
   if (cli.has("help")) return usage(nullptr);
+
+  if (cli.get_bool("list-workloads", false)) {
+    for (const auto& name : workloads::paper_workload_names()) {
+      std::puts(name.c_str());
+    }
+    std::puts("synthetic");
+    return 0;
+  }
+  if (cli.get_bool("list-tools", false)) {
+    std::puts("none");
+    std::puts("sample");
+    std::puts("search (alias: nway)");
+    return 0;
+  }
 
   const auto workload_names = split_list(cli.get("workload", "tomcatv"));
   const auto tool_names = split_list(cli.get("tool", "search"));
@@ -202,6 +236,16 @@ int main(int argc, char** argv) {
   }
   if (cli.get_bool("series", false)) base.series_interval = 4'000'000;
 
+  // Any telemetry output switches the in-simulator instrumentation on; with
+  // none of these flags the run carries zero telemetry cost.
+  const std::string trace_out = cli.get("trace-out", "");
+  const std::string metrics_out = cli.get("metrics-out", "");
+  if (!trace_out.empty() || !metrics_out.empty() ||
+      cli.has("timeline-every")) {
+    base.telemetry.enabled = true;
+    base.telemetry.timeline_every = cli.get_uint("timeline-every", 1'000'000);
+  }
+
   std::vector<std::pair<std::string, harness::RunConfig>> tools;
   for (const auto& tool : tool_names) {
     harness::RunConfig config = base;
@@ -216,7 +260,7 @@ int main(int argc, char** argv) {
       } else if (policy != "fixed") {
         return usage("unknown --policy");
       }
-    } else if (tool == "search") {
+    } else if (tool == "search" || tool == "nway") {
       config.tool = harness::ToolKind::kSearch;
       config.search.n = static_cast<unsigned>(cli.get_uint("n", 10));
       config.search.initial_interval = cli.get_uint("interval", 1'000'000);
@@ -231,16 +275,17 @@ int main(int argc, char** argv) {
   options.iterations = cli.get_uint("iterations", 0);
   options.seed = cli.get_uint("seed", 0x5ca1ab1e);
 
-  const auto specs = harness::cross_specs(
+  auto specs = harness::cross_specs(
       workload_names, tools, [&](const std::string&) { return options; });
 
   const std::string out_path = cli.get("out", "");
-  const std::string trace_out = cli.get("trace-out", "");
+  const std::string record_trace = cli.get("record-trace", "");
   const auto top_k = static_cast<std::size_t>(cli.get_uint("top", 10));
 
-  if (!trace_out.empty()) {
-    // Tracing needs direct machine access; replicate the harness wiring.
-    if (specs.size() != 1) return usage("--trace-out needs a single run");
+  if (!record_trace.empty()) {
+    // Trace recording needs direct machine access; replicate the harness
+    // wiring.
+    if (specs.size() != 1) return usage("--record-trace needs a single run");
     const auto& spec = specs.front();
     std::unique_ptr<workloads::Workload> app;
     try {
@@ -263,17 +308,37 @@ int main(int argc, char** argv) {
     result.actual = profiler.report();
     result.series = profiler.series();
     result.stats = machine.stats();
-    recorder.trace().save_file(trace_out);
+    recorder.trace().save_file(record_trace);
     std::printf("trace: %llu references -> %s\n",
                 static_cast<unsigned long long>(
                     recorder.trace().reference_count()),
-                trace_out.c_str());
+                record_trace.c_str());
     print_run(spec, result, top_k);
     return 0;
   }
 
+  // Chrome trace sink: single runs stream their in-simulator events
+  // (virtual-cycle timestamps); sweeps get one complete event per run on
+  // the worker's row instead, since interleaving several machines' virtual
+  // clocks in one trace would be meaningless.
+  std::ofstream trace_stream;
+  std::unique_ptr<telemetry::ChromeTraceSink> trace_sink;
+  if (!trace_out.empty()) {
+    trace_stream.open(trace_out);
+    if (!trace_stream) {
+      std::fprintf(stderr, "hpmrun: cannot open %s for writing\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    trace_sink = std::make_unique<telemetry::ChromeTraceSink>(trace_stream);
+    if (specs.size() == 1) {
+      specs.front().config.trace_sink = trace_sink.get();
+    }
+  }
+
   harness::BatchRunner::Options batch_options;
   batch_options.jobs = static_cast<unsigned>(cli.get_uint("jobs", 1));
+  if (trace_sink && specs.size() > 1) batch_options.sink = trace_sink.get();
   if (specs.size() > 1) {
     batch_options.on_progress = [](std::size_t done, std::size_t total,
                                    const harness::BatchItem& item) {
@@ -285,12 +350,30 @@ int main(int argc, char** argv) {
   }
   const auto batch = harness::BatchRunner(batch_options).run(specs);
 
+  if (trace_sink) {
+    trace_sink->close();
+    std::fprintf(stderr, "wrote %s (Chrome trace; open in chrome://tracing)\n",
+                 trace_out.c_str());
+  }
+
   if (specs.size() == 1) {
     const auto& item = batch.items.front();
     if (!item.ok) return usage(item.error.c_str());
     print_run(item.spec, item.result, top_k);
   } else {
     print_sweep(batch);
+  }
+
+  if (!metrics_out.empty()) {
+    std::ofstream metrics_stream(metrics_out);
+    if (!metrics_stream) {
+      std::fprintf(stderr, "hpmrun: cannot open %s for writing\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    harness::export_metrics_json(metrics_stream, batch);
+    std::fprintf(stderr, "wrote %s (%zu runs)\n", metrics_out.c_str(),
+                 batch.items.size());
   }
 
   if (!out_path.empty() && !write_json_file(out_path, batch)) return 1;
