@@ -1,0 +1,196 @@
+// Table 3 (extension): attribution quality under PMU fault injection.
+//
+// Sweeps interrupt skid (overflow delivered K application references late)
+// crossed with dropped-overflow probability, runs the hardened sampler on
+// each cell, and scores the estimated per-object miss profile against the
+// exact profiler's ground truth (Report::compare).  The skid=0/drop=0 cell
+// is the fault-free baseline — no injector is installed there, so its
+// numbers are bit-identical to an unfaulted run — and every other cell
+// reports the accuracy delta attributable to the injected faults, plus the
+// fault counters (interrupts dropped, skid refs, watchdog re-arms,
+// discarded samples) that explain the degradation.
+//
+// Reading the table: drop-rate degradation is monotone (each dropped
+// interrupt loses a sample and shifts the sampling phase; the watchdog
+// re-arm bounds the loss to one period).  Skid error is NOT monotone in K:
+// a deterministic K-reference skid shifts which miss the handler observes,
+// so the error depends on where K lands in the workload's access-pattern
+// phase — e.g. on tomcatv skid=4 misattributes heavily while skid=64
+// realigns with the stride and is nearly exact.  The skid-refs counter
+// makes the shift auditable either way.
+//
+// The sweep runs on the BatchRunner pool (--jobs N) and exports
+// hpm.batch.v2 JSON with per-cell RunOutcome and fault blocks (--out).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+struct Cell {
+  unsigned skid = 0;
+  double drop = 0.0;
+  std::size_t runs = 0;        // cells aggregate over the selected workloads
+  std::size_t ok = 0;
+  double mean_err = 0.0;       // mean over workloads of mean |actual-est| %
+  double max_err = 0.0;        // worst per-object error in the cell
+  double order = 0.0;          // mean pairwise order agreement
+  std::uint64_t dropped = 0;
+  std::uint64_t skid_refs = 0;
+  std::uint64_t rearms = 0;
+  std::uint64_t discarded = 0;
+  std::string outcome = "ok";  // worst outcome across the cell's runs
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hpm;
+  auto flags = bench::CommonFlags::parse(argc, argv,
+                                         {"period", "top-k", "fault-seed"});
+  if (!flags) return 2;
+  util::Cli cli(argc, argv,
+                {"scale", "iters", "seed", "csv", "workloads", "jobs", "out",
+                 "telemetry-guardrail", "period", "top-k", "fault-seed"});
+  // Default to a dense prime period: the paper's fixed 50,000 period
+  // aliases with tomcatv's strided access pattern (see fig_prime_sampling),
+  // and that aliasing error would swamp — and under drops, even invert —
+  // the fault degradation this table is measuring; a coarse period leaves
+  // so few samples that sampling noise does the same.
+  const std::uint64_t period = cli.get_uint("period", 4'999);
+  const auto top_k = static_cast<std::size_t>(cli.get_uint("top-k", 8));
+  const std::uint64_t fault_seed = cli.get_uint("fault-seed", 0x0fa417);
+
+  const std::vector<unsigned> skids = {0, 1, 4, 16, 64};
+  const std::vector<double> drops = {0.0, 0.01, 0.05, 0.20};
+
+  // Three workloads with distinct miss profiles by default (dense stencil,
+  // banded, pointer-ish); --workloads widens the sweep to taste.
+  const std::vector<std::string> names =
+      flags->workloads.empty()
+          ? std::vector<std::string>{"tomcatv", "swim", "compress"}
+          : flags->workloads;
+
+  std::printf("Table 3: Attribution quality under PMU faults\n");
+  std::printf("(sampling 1 in %llu misses; top-%zu objects; %zu workloads; "
+              "fault seed %llu)\n\n",
+              static_cast<unsigned long long>(period), top_k, names.size(),
+              static_cast<unsigned long long>(fault_seed));
+
+  std::vector<harness::RunSpec> specs;
+  for (const unsigned skid : skids) {
+    for (const double drop : drops) {
+      for (const auto& name : names) {
+        harness::RunSpec spec;
+        spec.workload = name;
+        char label[96];
+        std::snprintf(label, sizeof label, "%s/skid%u_drop%g", name.c_str(),
+                      skid, drop * 100.0);
+        spec.name = label;
+        spec.options =
+            bench::options_for(*flags, bench::bench_default_iters(name));
+        spec.config.machine = harness::paper_machine();
+        spec.config.tool = harness::ToolKind::kSampler;
+        spec.config.sampler.period = period;
+        if (skid != 0 || drop != 0.0) {
+          spec.config.machine.faults.seed = fault_seed;
+          spec.config.machine.faults.skid_refs = skid;
+          spec.config.machine.faults.drop_rate = drop;
+        }
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+
+  const auto batch =
+      harness::BatchRunner(bench::batch_options(*flags)).run(specs);
+
+  std::vector<Cell> cells;
+  std::size_t index = 0;
+  for (const unsigned skid : skids) {
+    for (const double drop : drops) {
+      Cell cell;
+      cell.skid = skid;
+      cell.drop = drop;
+      for (std::size_t w = 0; w < names.size(); ++w, ++index) {
+        const auto& item = batch.items[index];
+        ++cell.runs;
+        // Worst outcome wins the cell label: failed > timed_out > retried.
+        const auto rank = [](harness::RunOutcome o) {
+          switch (o) {
+            case harness::RunOutcome::kFailed: return 3;
+            case harness::RunOutcome::kTimedOut: return 2;
+            case harness::RunOutcome::kRetried: return 1;
+            case harness::RunOutcome::kOk: return 0;
+          }
+          return 0;
+        };
+        if (rank(item.outcome) >
+            rank(harness::parse_run_outcome(cell.outcome))) {
+          cell.outcome = std::string(harness::run_outcome_name(item.outcome));
+        }
+        if (!item.ok) continue;
+        ++cell.ok;
+        const auto cmp = core::Report::compare(
+            item.result.actual, item.result.estimated, top_k);
+        cell.mean_err += cmp.mean_abs_error;
+        cell.max_err = std::max(cell.max_err, cmp.max_abs_error);
+        cell.order += cmp.order_agreement;
+        cell.dropped += item.result.fault_stats.interrupts_dropped;
+        cell.skid_refs += item.result.fault_stats.skid_refs;
+        cell.rearms += item.result.sampler_rearms;
+        cell.discarded += item.result.samples_discarded;
+      }
+      if (cell.ok != 0) {
+        cell.mean_err /= static_cast<double>(cell.ok);
+        cell.order /= static_cast<double>(cell.ok);
+      }
+      cells.push_back(cell);
+    }
+  }
+
+  const double baseline = cells.front().mean_err;
+  util::Table table(
+      {"skid", "drop %", "mean err %", "max err %", "order", "delta err",
+       "dropped", "skid refs", "rearms", "discarded", "outcome"},
+      {util::Align::kRight, util::Align::kRight, util::Align::kRight,
+       util::Align::kRight, util::Align::kRight, util::Align::kRight,
+       util::Align::kRight, util::Align::kRight, util::Align::kRight,
+       util::Align::kRight, util::Align::kLeft});
+  unsigned last_skid = skids.front();
+  for (const auto& cell : cells) {
+    if (cell.skid != last_skid) {
+      table.separator();
+      last_skid = cell.skid;
+    }
+    table.row()
+        .cell(static_cast<std::uint64_t>(cell.skid))
+        .cell(cell.drop * 100.0, 0)
+        .cell(cell.mean_err, 3)
+        .cell(cell.max_err, 3)
+        .cell(cell.order, 3)
+        .cell(cell.mean_err - baseline, 3)
+        .cell(cell.dropped)
+        .cell(cell.skid_refs)
+        .cell(cell.rearms)
+        .cell(cell.discarded)
+        .cell(cell.outcome);
+  }
+  bench::emit(table, flags->csv);
+  bench::maybe_export(*flags, batch);
+
+  // Sanity narration: the fault-free cell must show zero extra error, and
+  // degradation should grow with the injected fault intensity.
+  const auto& worst = cells.back();
+  std::fprintf(stderr,
+               "baseline (skid=0 drop=0) mean err %.3f%%; worst cell "
+               "(skid=%u drop=%g%%) mean err %.3f%% (+%.3f)\n",
+               baseline, worst.skid, worst.drop * 100.0, worst.mean_err,
+               worst.mean_err - baseline);
+  std::fprintf(stderr, "sweep: %zu runs, jobs=%u, wall=%.3fs\n",
+               batch.metrics.runs, batch.metrics.jobs,
+               batch.metrics.wall_seconds);
+  return batch.metrics.failed == 0 ? 0 : 1;
+}

@@ -262,7 +262,9 @@ void NWaySearch::harvest_mux_slot() {
   for (unsigned i = 0; i < phys; ++i) {
     const std::size_t idx = base + i;
     if (idx >= measured_.size()) break;
-    mux_samples_[idx] = {pmu.read(i), slot_total};
+    // Clamp to the slot total: a region's count can never legitimately
+    // exceed the global count, so anything above it is read jitter.
+    mux_samples_[idx] = {std::min(pmu.read(i), slot_total), slot_total};
     charge(cy_counter_io_, costs_.counter_read);
   }
 }
@@ -640,7 +642,7 @@ void NWaySearch::refine_iteration() {
   charge(cy_counter_io_, costs_.counter_read);
   for (unsigned i = 0; i < refine_slots_.size(); ++i) {
     Found& f = found_[refine_slots_[i]];
-    f.refine_misses += pmu.read(i);
+    f.refine_misses += std::min(pmu.read(i), total);  // jitter guard
     f.refine_total += total;
     ++f.refine_rounds;
     charge(cy_counter_io_, costs_.counter_read);

@@ -58,17 +58,45 @@ void Sampler::start() {
     probe_cycles_ = &reg.counter("tool_cycles.sampler.probes");
     h_period_ = &reg.histogram(
         "sampler.period", {1e2, 1e3, 1e4, 1e5, 1e6, 1e7});
+    // Registered only when the corresponding hardening feature is on, so
+    // fault-free metrics exports stay byte-identical.
+    if (config_.watchdog_interval != 0) {
+      c_rearms_ = &reg.counter("sampler.rearms");
+    }
+    if (config_.discard_out_of_range) {
+      c_discarded_ = &reg.counter("sampler.samples.discarded");
+    }
   }
   machine_.set_handler(this);
   machine_.arm_miss_overflow(current_period_);
+  if (config_.watchdog_interval != 0) {
+    machine_.arm_timer_in(config_.watchdog_interval);
+  }
 }
 
 void Sampler::stop() {
   machine_.pmu().disarm_overflow();
+  if (config_.watchdog_interval != 0) machine_.disarm_timer();
   machine_.set_handler(nullptr);
 }
 
 void Sampler::on_interrupt(sim::Machine& machine, sim::InterruptKind kind) {
+  if (kind == sim::InterruptKind::kCycleTimer &&
+      config_.watchdog_interval != 0) {
+    // Dropped-interrupt watchdog: the overflow countdown reached zero
+    // (armed went down) but no interrupt is pending and none was delivered
+    // — the interrupt was lost.  Re-arm so sampling continues.  A skidding
+    // delivery keeps pending up, so it is never mistaken for a drop.
+    charge(cy_handler_, costs_.handler_entry);
+    if (!machine.pmu().overflow_armed() && !machine.pmu().overflow_pending()) {
+      ++rearms_;
+      if (c_rearms_ != nullptr) c_rearms_->inc();
+      machine.arm_miss_overflow(current_period_);
+      charge(cy_counter_io_, costs_.counter_write);
+    }
+    machine.arm_timer_in(config_.watchdog_interval);
+    return;
+  }
   if (kind != sim::InterruptKind::kMissOverflow) return;
   charge(cy_handler_, costs_.handler_entry);
   if (c_interrupts_ != nullptr) c_interrupts_->inc();
@@ -85,6 +113,21 @@ void Sampler::on_interrupt(sim::Machine& machine, sim::InterruptKind kind) {
                   .phase = 'i',
                   .ts = machine.now(),
                   .args = {{"addr", addr}, {"period", current_period_}}});
+  }
+
+  if (config_.discard_out_of_range) {
+    const sim::AddrRange span =
+        machine.address_space().layout().application_span();
+    if (addr == sim::kNullAddr || addr < span.base || addr >= span.bound) {
+      // Skid or a tool-plane miss left a non-application address in the
+      // last-miss register; attributing it would charge the wrong object.
+      ++discarded_;
+      if (c_discarded_ != nullptr) c_discarded_->inc();
+      current_period_ = next_period();
+      machine.arm_miss_overflow(current_period_);
+      charge(cy_counter_io_, costs_.counter_write);
+      return;
+    }
   }
 
   auto lookup = map_.resolve(addr);

@@ -34,6 +34,18 @@ struct SamplerConfig {
   /// Adaptive period (§5 auto-tuning): target this many interrupts per
   /// billion cycles by scaling the period; 0 disables.
   std::uint64_t target_interrupts_per_gcycle = 0;
+  /// Dropped-interrupt watchdog: arm the machine's one-shot cycle timer at
+  /// this interval and, whenever it fires with the overflow counter neither
+  /// armed nor pending, conclude the interrupt was lost and re-arm (fault
+  /// tolerance for FaultPlan::drop_rate).  0 disables — bit-identical to
+  /// the pre-watchdog sampler.
+  sim::Cycles watchdog_interval = 0;
+  /// Discard samples whose attributed address lies outside the application
+  /// span (skid can leave a tool-plane or null address in the last-miss
+  /// register).  Off by default: fault-free runs can legitimately sample
+  /// tool addresses and counting them as unresolved is the paper's
+  /// behaviour.
+  bool discard_out_of_range = false;
 };
 
 class Sampler : public Tool {
@@ -58,6 +70,12 @@ class Sampler : public Tool {
   [[nodiscard]] std::uint64_t current_period() const noexcept {
     return current_period_;
   }
+  /// Overflow re-arms forced by the dropped-interrupt watchdog.
+  [[nodiscard]] std::uint64_t rearms() const noexcept { return rearms_; }
+  /// Samples rejected by the out-of-range filter.
+  [[nodiscard]] std::uint64_t discarded_samples() const noexcept {
+    return discarded_;
+  }
 
  private:
   [[nodiscard]] std::uint64_t next_period();
@@ -68,12 +86,16 @@ class Sampler : public Tool {
   std::uint64_t current_period_;
   std::uint64_t samples_ = 0;
   std::uint64_t unresolved_ = 0;
+  std::uint64_t rearms_ = 0;
+  std::uint64_t discarded_ = 0;
   sim::Cycles started_at_ = 0;
 
   // Telemetry instruments (null when telemetry is off).
   telemetry::Counter* c_interrupts_ = nullptr;
   telemetry::Counter* c_attributed_ = nullptr;
   telemetry::Counter* c_unresolved_ = nullptr;
+  telemetry::Counter* c_rearms_ = nullptr;
+  telemetry::Counter* c_discarded_ = nullptr;
   telemetry::Counter* cy_handler_ = nullptr;
   telemetry::Counter* cy_counter_io_ = nullptr;
   telemetry::Counter* cy_count_update_ = nullptr;

@@ -1,10 +1,17 @@
 #include "harness/batch.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <exception>
+#include <memory>
 #include <mutex>
+#include <optional>
+#include <thread>
 #include <utility>
+#include <vector>
 
+#include "harness/json_export.hpp"
 #include "harness/thread_pool.hpp"
 #include "util/prng.hpp"
 
@@ -17,7 +24,44 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+void fnv_mix(std::uint64_t& hash, std::string_view bytes) {
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  hash ^= 0xff;  // field separator so "ab"+"c" != "a"+"bc"
+  hash *= 0x100000001b3ULL;
+}
+
+void fnv_mix(std::uint64_t& hash, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (i * 8)) & 0xff;
+    hash *= 0x100000001b3ULL;
+  }
+}
+
 }  // namespace
+
+std::string spec_fingerprint(const std::vector<RunSpec>& specs) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  fnv_mix(hash, std::uint64_t{specs.size()});
+  for (const RunSpec& spec : specs) {
+    fnv_mix(hash, spec.name);
+    fnv_mix(hash, spec.workload);
+    fnv_mix(hash, spec.options.seed);
+    fnv_mix(hash, spec.options.iterations);
+    fnv_mix(hash, static_cast<std::uint64_t>(spec.config.tool));
+    fnv_mix(hash, describe(spec.config.machine.faults));
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+std::string checkpoint_key(const RunSpec& spec) {
+  return spec.name + "#" + std::to_string(spec.options.seed);
+}
 
 BatchRunner::BatchRunner() : BatchRunner(Options{}) {}
 
@@ -39,30 +83,96 @@ BatchResult BatchRunner::run(const std::vector<RunSpec>& specs) const {
   const unsigned jobs = ThreadPool::resolve_jobs(options_.jobs);
   batch.metrics.jobs = jobs;
 
+  const std::string fingerprint = spec_fingerprint(specs);
+
+  // Resume: adopt completed items from a prior journal before any run
+  // starts.  Keys are validated per entry so a stale index never smuggles
+  // a foreign result in.
+  std::vector<bool> prefilled(specs.size(), false);
+  if (options_.resume != nullptr) {
+    if (options_.resume->fingerprint != fingerprint) {
+      throw std::runtime_error(
+          "checkpoint journal does not match these specs (fingerprint " +
+          options_.resume->fingerprint + " != " + fingerprint + ")");
+    }
+    for (const CheckpointEntry& entry : options_.resume->entries) {
+      if (entry.index >= specs.size()) continue;
+      if (entry.key != checkpoint_key(specs[entry.index])) continue;
+      batch.items[entry.index] = parse_batch_item(entry.item_json);
+      prefilled[entry.index] = true;
+    }
+  }
+
+  std::optional<CheckpointWriter> journal;
+  if (!options_.resilience.checkpoint_path.empty()) {
+    journal.emplace(options_.resilience.checkpoint_path, fingerprint,
+                    specs.size(), /*append=*/options_.resume != nullptr,
+                    options_.resilience.checkpoint_every);
+  }
+
   const auto batch_start = Clock::now();
   std::mutex progress_mutex;
   std::size_t done = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (prefilled[i]) ++done;
+  }
 
   {
     ThreadPool pool(jobs);
     for (std::size_t i = 0; i < specs.size(); ++i) {
-      pool.submit([this, &specs, &batch, &progress_mutex, &done, batch_start,
-                   i] {
+      if (prefilled[i]) continue;
+      pool.submit([this, &specs, &batch, &progress_mutex, &done, &journal,
+                   batch_start, i] {
         BatchItem& item = batch.items[i];
         item.spec = specs[i];
         if (options_.derive_seeds) {
           item.spec.options.seed = derived_seed(specs[i].options.seed, i);
         }
+        const RetryPolicy& retry = options_.resilience.retry;
+        const unsigned max_attempts = std::max(1u, retry.max_attempts);
         const auto run_start = Clock::now();
-        try {
-          item.result = run_experiment(item.spec.config, item.spec.workload,
-                                       item.spec.options);
-          item.ok = true;
-        } catch (const std::exception& e) {
-          item.error = e.what();
-        } catch (...) {
-          item.error = "unknown error";
+        unsigned attempt = 0;
+        for (;;) {
+          ++attempt;
+          try {
+            item.result = options_.runner
+                              ? options_.runner(item.spec, i)
+                              : run_experiment(item.spec.config,
+                                               item.spec.workload,
+                                               item.spec.options);
+            item.ok = true;
+            item.error.clear();
+            item.outcome =
+                attempt > 1 ? RunOutcome::kRetried : RunOutcome::kOk;
+            break;
+          } catch (const sim::BudgetExceeded& e) {
+            // Budget exhaustion is deterministic for max_cycles — retrying
+            // would burn the same cycles again.
+            item.error = e.what();
+            item.outcome = RunOutcome::kTimedOut;
+            break;
+          } catch (const TransientError& e) {
+            item.error = e.what();
+            if (attempt >= max_attempts) {
+              item.outcome = RunOutcome::kFailed;
+              break;
+            }
+            const double backoff = retry.backoff_seconds(attempt);
+            if (backoff > 0.0) {
+              std::this_thread::sleep_for(
+                  std::chrono::duration<double>(backoff));
+            }
+          } catch (const std::exception& e) {
+            item.error = e.what();
+            item.outcome = RunOutcome::kFailed;
+            break;
+          } catch (...) {
+            item.error = "unknown error";
+            item.outcome = RunOutcome::kFailed;
+            break;
+          }
         }
+        item.attempts = attempt;
         item.wall_seconds = seconds_since(run_start);
         if (options_.sink != nullptr) {
           // Host-time complete event on the worker's row.  Timestamps are
@@ -88,12 +198,17 @@ BatchResult BatchRunner::run(const std::vector<RunSpec>& specs) const {
                         {"ok", std::uint64_t{item.ok ? 1u : 0u}}};
           options_.sink->event(event);
         }
-        if (options_.on_progress) {
+        {
           std::lock_guard lock(progress_mutex);
-          options_.on_progress(++done, specs.size(), item);
-        } else {
-          std::lock_guard lock(progress_mutex);
+          if (journal) {
+            journal->append(
+                i, checkpoint_key(specs[i]),
+                to_json(item, {.include_timing = true, .indent = 0}));
+          }
           ++done;
+          if (options_.on_progress) {
+            options_.on_progress(done, specs.size(), item);
+          }
         }
       });
     }

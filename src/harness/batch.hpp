@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/resilience.hpp"
 #include "workloads/workload.hpp"
 
 namespace hpm::harness {
@@ -40,6 +41,8 @@ struct BatchItem {
   double wall_seconds = 0.0;
   bool ok = false;
   std::string error;       ///< exception message when !ok
+  RunOutcome outcome = RunOutcome::kFailed;  ///< kOk/kRetried when ok
+  unsigned attempts = 1;   ///< total attempts, including the final one
 };
 
 /// Whole-batch observability counters (sums over successful runs).
@@ -80,6 +83,17 @@ class BatchRunner {
     /// never on scheduling — so the determinism contract holds.  Off by
     /// default: a spec's options are then used exactly as given.
     bool derive_seeds = false;
+    /// Retry policy and checkpoint journal (see resilience.hpp).  The
+    /// defaults — no retry, no journal — reproduce pre-hardening behaviour
+    /// exactly.
+    ResilienceOptions resilience{};
+    /// Journal from a prior interrupted sweep (not owned).  Entries whose
+    /// key matches the spec at their index are adopted without re-running;
+    /// a fingerprint mismatch throws before any run starts.
+    const CheckpointLoad* resume = nullptr;
+    /// Test hook: replaces run_experiment for every run.  Used by the
+    /// resilience tests to inject transient failures deterministically.
+    std::function<RunResult(const RunSpec& spec, std::size_t index)> runner;
   };
 
   BatchRunner();
@@ -97,6 +111,17 @@ class BatchRunner {
  private:
   Options options_;
 };
+
+/// Identity hash of a spec list (FNV-1a over each spec's name, workload,
+/// seed, tool and fault plan), rendered as 16 hex digits.  Stored in the
+/// checkpoint-journal header so a resume against different specs is
+/// rejected instead of silently mixing results.
+[[nodiscard]] std::string spec_fingerprint(const std::vector<RunSpec>& specs);
+
+/// Journal key of one spec: "<name>#<seed>".  Uses the seed as given in
+/// the spec (pre-derivation), so resume matching is independent of the
+/// derive_seeds option.
+[[nodiscard]] std::string checkpoint_key(const RunSpec& spec);
 
 /// Convenience: cartesian-product helper used by sweep front-ends.  For
 /// each workload name, emits one spec per (suffix, config) pair with name

@@ -34,15 +34,30 @@ RunResult run_experiment(const RunConfig& config,
 
   workload.setup(machine);
 
+  const bool faulted = !config.machine.faults.none();
+
   std::unique_ptr<core::Sampler> sampler;
   std::unique_ptr<core::NWaySearch> search;
   switch (config.tool) {
-    case ToolKind::kSampler:
-      sampler = std::make_unique<core::Sampler>(machine, map, config.sampler,
+    case ToolKind::kSampler: {
+      core::SamplerConfig sampler_config = config.sampler;
+      if (faulted) {
+        // Auto-harden against the injected faults: detect dropped overflow
+        // interrupts via a periodic timer, and refuse to attribute skidded
+        // addresses that left the application span.  Explicit settings in
+        // the run config win.
+        if (sampler_config.watchdog_interval == 0 &&
+            config.machine.faults.drop_rate > 0.0) {
+          sampler_config.watchdog_interval = 500'000;
+        }
+        sampler_config.discard_out_of_range = true;
+      }
+      sampler = std::make_unique<core::Sampler>(machine, map, sampler_config,
                                                 config.costs);
       if (telem) sampler->set_telemetry(&*telem);
       sampler->start();
       break;
+    }
     case ToolKind::kSearch:
       search = std::make_unique<core::NWaySearch>(machine, map, config.search,
                                                   config.costs);
@@ -60,6 +75,8 @@ RunResult run_experiment(const RunConfig& config,
     sampler->stop();
     result.estimated = sampler->report();
     result.samples = sampler->samples_taken();
+    result.sampler_rearms = sampler->rearms();
+    result.samples_discarded = sampler->discarded_samples();
   }
   if (search) {
     result.search_done = search->done();
@@ -72,6 +89,20 @@ RunResult run_experiment(const RunConfig& config,
     result.actual = profiler.report();
     result.series = profiler.series();
     result.unattributed_misses = profiler.unattributed_misses();
+  }
+  if (const sim::FaultInjector* faults = machine.fault_injector()) {
+    result.fault_stats = faults->stats();
+    if (telem) {
+      // Registered only on faulted runs so fault-free metrics exports stay
+      // byte-identical to pre-fault-layer builds.
+      auto& reg = telem->registry();
+      reg.counter("pmu.interrupts_dropped")
+          .add(result.fault_stats.interrupts_dropped);
+      reg.counter("pmu.skid_refs").add(result.fault_stats.skid_refs);
+      reg.counter("pmu.reads_jittered").add(result.fault_stats.reads_jittered);
+      reg.counter("pmu.reprograms_delayed")
+          .add(result.fault_stats.reprograms_delayed);
+    }
   }
   if (telem) {
     telem->detach(machine);

@@ -50,6 +50,12 @@ struct RunResult {
   std::uint64_t unattributed_misses = 0;
   /// Snapshot of the run's telemetry (enabled=false when telemetry was off).
   telemetry::RunMetrics metrics{};
+  /// Faults actually injected (all zero when the plan was none()).
+  sim::FaultStats fault_stats{};
+  /// Sampler hardening counters (nonzero only when the watchdog /
+  /// out-of-range filter were enabled).
+  std::uint64_t sampler_rearms = 0;
+  std::uint64_t samples_discarded = 0;
 };
 
 /// Run `workload` (setup + run) on a fresh machine under `config`.

@@ -296,8 +296,41 @@ void write_run_result(JsonWriter& w, const RunResult& result,
   w.end_object();
 }
 
+void write_faults(JsonWriter& w, const BatchItem& item) {
+  const sim::FaultPlan& plan = item.spec.config.machine.faults;
+  const sim::FaultStats& stats = item.result.fault_stats;
+  w.begin_object();
+  w.key("plan").begin_object();
+  w.key("seed").value(plan.seed);
+  w.key("skid_refs").value(plan.skid_refs);
+  w.key("drop_rate").value(plan.drop_rate);
+  w.key("jitter_rate").value(plan.jitter_rate);
+  w.key("jitter_magnitude").value(plan.jitter_magnitude);
+  w.key("saturate_at").value(plan.saturate_at);
+  w.key("reprogram_delay_misses").value(plan.reprogram_delay_misses);
+  w.end_object();
+  w.key("stats").begin_object();
+  w.key("interrupts_dropped").value(stats.interrupts_dropped);
+  w.key("skid_events").value(stats.skid_events);
+  w.key("skid_refs").value(stats.skid_refs);
+  w.key("reads_jittered").value(stats.reads_jittered);
+  w.key("reads_saturated").value(stats.reads_saturated);
+  w.key("reprograms_delayed").value(stats.reprograms_delayed);
+  w.key("sampler_rearms").value(item.result.sampler_rearms);
+  w.key("samples_discarded").value(item.result.samples_discarded);
+  w.end_object();
+  w.end_object();
+}
+
 void write_item(JsonWriter& w, const BatchItem& item,
                 const JsonExportOptions& options) {
+  // Additive v2 keys (outcome/attempts/faults) are emitted only when the
+  // run was faulted, retried or timed out, so fault-free sweeps stay
+  // byte-identical to pre-hardening exports.
+  const bool faulted = !item.spec.config.machine.faults.none();
+  const bool nontrivial_outcome = item.attempts > 1 ||
+                                  item.outcome == RunOutcome::kTimedOut ||
+                                  item.outcome == RunOutcome::kRetried;
   w.begin_object();
   w.key("name").value(item.spec.name);
   w.key("workload").value(item.spec.workload);
@@ -307,6 +340,14 @@ void write_item(JsonWriter& w, const BatchItem& item,
   w.key("seed").value(item.spec.options.seed);
   w.key("ok").value(item.ok);
   if (!item.ok) w.key("error").value(item.error);
+  if (faulted || nontrivial_outcome) {
+    w.key("outcome").value(run_outcome_name(item.outcome));
+    w.key("attempts").value(item.attempts);
+  }
+  if (faulted) {
+    w.key("faults");
+    write_faults(w, item);
+  }
   if (options.include_timing) w.key("wall_seconds").value(item.wall_seconds);
   if (item.ok) {
     w.key("result");
@@ -419,6 +460,176 @@ ParsedBatchSummary parse_batch_document(std::string_view json) {
   return summary;
 }
 
+// -- BatchItem round-trip -----------------------------------------------------
+
+namespace {
+
+ToolKind parse_tool_kind(std::string_view name) {
+  if (name == "sample") return ToolKind::kSampler;
+  if (name == "search") return ToolKind::kSearch;
+  if (name == "none") return ToolKind::kNone;
+  throw std::runtime_error("unknown tool kind: " + std::string(name));
+}
+
+core::Report parse_report(const JsonValue& node) {
+  std::vector<core::ReportRow> rows;
+  for (const JsonValue& row : node.at("rows").array()) {
+    core::ReportRow out;
+    out.name = row.at("name").str();
+    out.count = row.at("count").uint();
+    out.percent = row.at("percent").number();
+    rows.push_back(std::move(out));
+  }
+  return core::Report(std::move(rows), node.at("total_count").uint());
+}
+
+telemetry::RunMetrics parse_metrics(const JsonValue& node) {
+  telemetry::RunMetrics metrics;
+  metrics.enabled = true;
+  const JsonValue& counters = node.at("counters");
+  for (const std::string& name : counters.object_keys()) {
+    metrics.counters.emplace_back(name, counters.at(name).uint());
+  }
+  const JsonValue& gauges = node.at("gauges");
+  for (const std::string& name : gauges.object_keys()) {
+    metrics.gauges.emplace_back(name, gauges.at(name).number());
+  }
+  for (const JsonValue& h : node.at("histograms").array()) {
+    telemetry::RunMetrics::HistogramSnapshot snap;
+    snap.name = h.at("name").str();
+    for (const JsonValue& b : h.at("bounds").array()) {
+      snap.bounds.push_back(b.number());
+    }
+    for (const JsonValue& c : h.at("counts").array()) {
+      snap.counts.push_back(c.uint());
+    }
+    snap.count = h.at("count").uint();
+    snap.sum = h.at("sum").number();
+    metrics.histograms.push_back(std::move(snap));
+  }
+  const JsonValue& timeline = node.at("timeline");
+  metrics.timeline_every = timeline.at("every").uint();
+  metrics.timeline_snapshots = timeline.at("snapshots").uint();
+  for (const JsonValue& s : timeline.at("samples").array()) {
+    telemetry::PhaseSample sample;
+    sample.at = s.at("at").uint();
+    sample.app_instructions = s.at("app_instructions").uint();
+    sample.app_refs = s.at("app_refs").uint();
+    sample.app_misses = s.at("app_misses").uint();
+    sample.tool_refs = s.at("tool_refs").uint();
+    sample.tool_misses = s.at("tool_misses").uint();
+    sample.interrupts = s.at("interrupts").uint();
+    sample.app_cycles = s.at("app_cycles").uint();
+    sample.tool_cycles = s.at("tool_cycles").uint();
+    // miss_rate / ipc are derived — not stored.
+    metrics.timeline.push_back(sample);
+  }
+  return metrics;
+}
+
+RunResult parse_run_result(const JsonValue& node) {
+  RunResult result;
+  const JsonValue& stats = node.at("stats");
+  result.stats.app_instructions = stats.at("app_instructions").uint();
+  result.stats.app_refs = stats.at("app_refs").uint();
+  result.stats.app_misses = stats.at("app_misses").uint();
+  result.stats.l1_hits = stats.at("l1_hits").uint();
+  result.stats.tool_refs = stats.at("tool_refs").uint();
+  result.stats.tool_misses = stats.at("tool_misses").uint();
+  result.stats.app_cycles = stats.at("app_cycles").uint();
+  result.stats.tool_cycles = stats.at("tool_cycles").uint();
+  result.stats.interrupts = stats.at("interrupts").uint();
+  result.samples = node.at("samples").uint();
+  result.unattributed_misses = node.at("unattributed_misses").uint();
+  result.search_done = node.at("search_done").boolean();
+  const JsonValue& search = node.at("search_stats");
+  result.search_stats.iterations =
+      static_cast<std::uint32_t>(search.at("iterations").uint());
+  result.search_stats.refine_iterations =
+      static_cast<std::uint32_t>(search.at("refine_iterations").uint());
+  result.search_stats.splits =
+      static_cast<std::uint32_t>(search.at("splits").uint());
+  result.search_stats.discarded =
+      static_cast<std::uint32_t>(search.at("discarded").uint());
+  result.search_stats.zero_retained =
+      static_cast<std::uint32_t>(search.at("zero_retained").uint());
+  result.search_stats.continuations =
+      static_cast<std::uint32_t>(search.at("continuations").uint());
+  result.search_stats.final_interval = search.at("final_interval").uint();
+  result.actual = parse_report(node.at("actual"));
+  result.estimated = parse_report(node.at("estimated"));
+  if (const JsonValue* series = node.find("series")) {
+    for (const JsonValue& entry : series->array()) {
+      core::ExactProfiler::Series out;
+      out.name = entry.at("name").str();
+      for (const JsonValue& misses :
+           entry.at("misses_per_interval").array()) {
+        out.misses_per_interval.push_back(misses.uint());
+      }
+      result.series.push_back(std::move(out));
+    }
+  }
+  if (const JsonValue* metrics = node.find("metrics")) {
+    result.metrics = parse_metrics(*metrics);
+  }
+  return result;
+}
+
+}  // namespace
+
+BatchItem parse_batch_item(const JsonValue& item) {
+  BatchItem out;
+  out.spec.name = item.at("name").str();
+  out.spec.workload = item.at("workload").str();
+  out.spec.config.tool = parse_tool_kind(item.at("tool").str());
+  out.spec.options.scale = item.at("scale").number();
+  out.spec.options.iterations = item.at("iterations").uint();
+  out.spec.options.seed = item.at("seed").uint();
+  out.ok = item.at("ok").boolean();
+  if (const JsonValue* error = item.find("error")) out.error = error->str();
+  out.outcome = out.ok ? RunOutcome::kOk : RunOutcome::kFailed;
+  if (const JsonValue* outcome = item.find("outcome")) {
+    out.outcome = parse_run_outcome(outcome->str());
+  }
+  if (const JsonValue* attempts = item.find("attempts")) {
+    out.attempts = static_cast<unsigned>(attempts->uint());
+  }
+  if (const JsonValue* wall = item.find("wall_seconds")) {
+    out.wall_seconds = wall->number();
+  }
+  if (out.ok) {
+    out.result = parse_run_result(item.at("result"));
+  }
+  if (const JsonValue* faults = item.find("faults")) {
+    const JsonValue& plan = faults->at("plan");
+    sim::FaultPlan& p = out.spec.config.machine.faults;
+    p.seed = plan.at("seed").uint();
+    p.skid_refs = static_cast<std::uint32_t>(plan.at("skid_refs").uint());
+    p.drop_rate = plan.at("drop_rate").number();
+    p.jitter_rate = plan.at("jitter_rate").number();
+    p.jitter_magnitude =
+        static_cast<std::uint32_t>(plan.at("jitter_magnitude").uint());
+    p.saturate_at = plan.at("saturate_at").uint();
+    p.reprogram_delay_misses = static_cast<std::uint32_t>(
+        plan.at("reprogram_delay_misses").uint());
+    const JsonValue& stats = faults->at("stats");
+    sim::FaultStats& s = out.result.fault_stats;
+    s.interrupts_dropped = stats.at("interrupts_dropped").uint();
+    s.skid_events = stats.at("skid_events").uint();
+    s.skid_refs = stats.at("skid_refs").uint();
+    s.reads_jittered = stats.at("reads_jittered").uint();
+    s.reads_saturated = stats.at("reads_saturated").uint();
+    s.reprograms_delayed = stats.at("reprograms_delayed").uint();
+    out.result.sampler_rearms = stats.at("sampler_rearms").uint();
+    out.result.samples_discarded = stats.at("samples_discarded").uint();
+  }
+  return out;
+}
+
+BatchItem parse_batch_item(std::string_view json) {
+  return parse_batch_item(JsonValue::parse(json));
+}
+
 // -- Parser ------------------------------------------------------------------
 
 bool JsonValue::boolean() const {
@@ -432,6 +643,7 @@ double JsonValue::number() const {
 }
 
 std::uint64_t JsonValue::uint() const {
+  if (kind_ == Kind::kNumber && exact_uint_) return uint_;
   const double n = number();
   if (n < 0 || n != std::floor(n)) {
     throw std::runtime_error("json: not a non-negative integer");
@@ -452,6 +664,11 @@ const std::vector<JsonValue>& JsonValue::array() const {
 const std::map<std::string, JsonValue>& JsonValue::object() const {
   if (kind_ != Kind::kObject) throw std::runtime_error("json: not an object");
   return object_;
+}
+
+const std::vector<std::string>& JsonValue::object_keys() const {
+  if (kind_ != Kind::kObject) throw std::runtime_error("json: not an object");
+  return object_order_;
 }
 
 const JsonValue* JsonValue::find(std::string_view key) const {
@@ -557,6 +774,7 @@ class JsonParser {
       std::string key = parse_string();
       skip_ws();
       expect(':');
+      v.object_order_.push_back(key);
       v.object_.emplace(std::move(key), parse_value());
       skip_ws();
       if (peek() == ',') {
@@ -643,11 +861,18 @@ class JsonParser {
 
   JsonValue parse_number() {
     const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
+    bool integral = true;
+    if (peek() == '-') {
+      integral = false;  // negative: double is exact for our magnitudes
+      ++pos_;
+    }
     while (pos_ < text_.size() &&
            (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
             text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
             text_[pos_] == '+' || text_[pos_] == '-')) {
+      if (std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+        integral = false;
+      }
       ++pos_;
     }
     double number = 0.0;
@@ -659,6 +884,17 @@ class JsonParser {
     JsonValue v;
     v.kind_ = JsonValue::Kind::kNumber;
     v.number_ = number;
+    if (integral) {
+      // Keep the exact value alongside the double: 64-bit counters and
+      // seeds exceed 2^53 and must round-trip losslessly.
+      std::uint64_t exact = 0;
+      const auto [iptr, iec] =
+          std::from_chars(text_.data() + start, text_.data() + pos_, exact);
+      if (iec == std::errc{} && iptr == text_.data() + pos_) {
+        v.exact_uint_ = true;
+        v.uint_ = exact;
+      }
+    }
     return v;
   }
 
@@ -668,6 +904,61 @@ class JsonParser {
 
 JsonValue JsonValue::parse(std::string_view text) {
   return JsonParser(text).parse_document();
+}
+
+void write_json_value(std::ostream& out, const JsonValue& value) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      out << "null";
+      return;
+    case JsonValue::Kind::kBool:
+      out << (value.boolean() ? "true" : "false");
+      return;
+    case JsonValue::Kind::kNumber: {
+      if (value.exact_uint_) {
+        out << value.uint_;
+        return;
+      }
+      std::array<char, 32> buf{};
+      const auto [ptr, ec] =
+          std::to_chars(buf.data(), buf.data() + buf.size(), value.number());
+      if (ec != std::errc{}) {
+        out << "null";
+        return;
+      }
+      out << std::string_view(buf.data(),
+                              static_cast<std::size_t>(ptr - buf.data()));
+      return;
+    }
+    case JsonValue::Kind::kString:
+      out << '"' << json_escape(value.str()) << '"';
+      return;
+    case JsonValue::Kind::kArray: {
+      out << '[';
+      bool first = true;
+      for (const auto& element : value.array()) {
+        if (!first) out << ',';
+        first = false;
+        write_json_value(out, element);
+      }
+      out << ']';
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      // Document order, not map order: key order carries information for
+      // the metrics round-trip (counters export in registration order).
+      out << '{';
+      bool first = true;
+      for (const auto& key : value.object_keys()) {
+        if (!first) out << ',';
+        first = false;
+        out << '"' << json_escape(key) << "\":";
+        write_json_value(out, *value.find(key));
+      }
+      out << '}';
+      return;
+    }
+  }
 }
 
 }  // namespace hpm::harness

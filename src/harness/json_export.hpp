@@ -129,6 +129,14 @@ struct ParsedBatchSummary {
 /// on malformed JSON or an unrecognised schema string.
 [[nodiscard]] ParsedBatchSummary parse_batch_document(std::string_view json);
 
+class JsonValue;
+
+/// Full BatchItem round-trip: reconstruct every field write_item emits so a
+/// checkpoint-resumed sweep re-exports byte-identically (see resilience.hpp).
+/// Fields absent from the document keep their defaults.
+[[nodiscard]] BatchItem parse_batch_item(const JsonValue& item);
+[[nodiscard]] BatchItem parse_batch_item(std::string_view json);
+
 // -- Parser ------------------------------------------------------------------
 
 /// Parsed JSON document node.  Numbers are stored as double (exact for
@@ -149,6 +157,10 @@ class JsonValue {
   [[nodiscard]] const std::string& str() const;
   [[nodiscard]] const std::vector<JsonValue>& array() const;
   [[nodiscard]] const std::map<std::string, JsonValue>& object() const;
+  /// Object keys in document order (std::map iteration is sorted; consumers
+  /// that must preserve the writer's key order — e.g. the metrics counters
+  /// round-trip — iterate this instead).
+  [[nodiscard]] const std::vector<std::string>& object_keys() const;
 
   /// Object member lookup; nullptr when absent or not an object.
   [[nodiscard]] const JsonValue* find(std::string_view key) const;
@@ -162,8 +174,19 @@ class JsonValue {
   std::string string_;
   std::vector<JsonValue> array_;
   std::map<std::string, JsonValue> object_;
+  std::vector<std::string> object_order_;  ///< keys in document order
+  /// Exact value for non-negative integer tokens: doubles lose precision
+  /// above 2^53 and 64-bit seeds must survive a checkpoint round-trip.
+  bool exact_uint_ = false;
+  std::uint64_t uint_ = 0;
 
   friend class JsonParser;
+  friend void write_json_value(std::ostream& out, const JsonValue& value);
 };
+
+/// Re-serialize a parsed node compactly, preserving the document's key
+/// order.  For intermediates (checkpoint-journal subtrees, tests), not for
+/// golden comparisons — use the typed exporters for those.
+void write_json_value(std::ostream& out, const JsonValue& value);
 
 }  // namespace hpm::harness

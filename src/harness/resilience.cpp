@@ -1,0 +1,143 @@
+#include "harness/resilience.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "harness/json_export.hpp"
+
+namespace hpm::harness {
+
+std::string_view run_outcome_name(RunOutcome outcome) noexcept {
+  switch (outcome) {
+    case RunOutcome::kOk:
+      return "ok";
+    case RunOutcome::kFailed:
+      return "failed";
+    case RunOutcome::kTimedOut:
+      return "timed_out";
+    case RunOutcome::kRetried:
+      return "retried";
+  }
+  return "failed";
+}
+
+RunOutcome parse_run_outcome(std::string_view name) {
+  if (name == "ok") return RunOutcome::kOk;
+  if (name == "failed") return RunOutcome::kFailed;
+  if (name == "timed_out") return RunOutcome::kTimedOut;
+  if (name == "retried") return RunOutcome::kRetried;
+  throw std::invalid_argument("unknown run outcome: " + std::string(name));
+}
+
+double RetryPolicy::backoff_seconds(unsigned attempt) const noexcept {
+  if (attempt == 0) return backoff_base_seconds;
+  return backoff_base_seconds *
+         std::pow(backoff_factor, static_cast<double>(attempt - 1));
+}
+
+namespace {
+
+/// True when `path` exists, is non-empty, and does not end in '\n' — i.e.
+/// a writer was killed mid-line.  An append must then start on a fresh
+/// line or it would concatenate into (and corrupt) the truncated record;
+/// the loader already skips both the half-line and the blank line.
+bool needs_leading_newline(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  in.seekg(0, std::ios::end);
+  const auto size = in.tellg();
+  if (size <= 0) return false;
+  in.seekg(-1, std::ios::end);
+  char last = '\n';
+  in.get(last);
+  return last != '\n';
+}
+
+}  // namespace
+
+CheckpointWriter::CheckpointWriter(const std::string& path,
+                                   const std::string& fingerprint,
+                                   std::size_t total, bool append,
+                                   std::size_t flush_every)
+    : flush_every_(flush_every == 0 ? 1 : flush_every) {
+  const bool repair_line = append && needs_leading_newline(path);
+  out_.open(path, append ? (std::ios::out | std::ios::app)
+                         : (std::ios::out | std::ios::trunc));
+  if (!out_) {
+    throw std::runtime_error("cannot open checkpoint journal: " + path);
+  }
+  if (repair_line) out_ << '\n';
+  if (!append) {
+    out_ << "{\"schema\":\"hpm.checkpoint.v1\",\"fingerprint\":\""
+         << json_escape(fingerprint) << "\",\"total\":" << total << "}\n";
+    out_.flush();
+  }
+}
+
+void CheckpointWriter::append(std::size_t index, std::string_view key,
+                              std::string_view item_json) {
+  // Trim trailing whitespace (to_json appends '\n'); an embedded newline
+  // would split the JSONL record and the loader would drop it.
+  while (!item_json.empty() &&
+         (item_json.back() == '\n' || item_json.back() == '\r' ||
+          item_json.back() == ' ')) {
+    item_json.remove_suffix(1);
+  }
+  out_ << "{\"index\":" << index << ",\"key\":\"" << json_escape(key)
+       << "\",\"item\":" << item_json << "}\n";
+  if (++since_flush_ >= flush_every_) flush();
+}
+
+void CheckpointWriter::flush() {
+  out_.flush();
+  since_flush_ = 0;
+}
+
+CheckpointLoad load_checkpoint(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open checkpoint journal: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("checkpoint journal is empty: " + path);
+  }
+  CheckpointLoad load;
+  try {
+    const JsonValue header = JsonValue::parse(line);
+    if (header.at("schema").str() != "hpm.checkpoint.v1") {
+      throw std::runtime_error("not an hpm.checkpoint.v1 journal");
+    }
+    load.fingerprint = header.at("fingerprint").str();
+    load.total = static_cast<std::size_t>(header.at("total").uint());
+  } catch (const std::exception& e) {
+    throw std::runtime_error("bad checkpoint header in " + path + ": " +
+                             e.what());
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JsonValue entry;
+    try {
+      entry = JsonValue::parse(line);
+    } catch (const std::exception&) {
+      // A line truncated by an interrupted write.  Usually the last line,
+      // but after a kill + resume the repaired journal legitimately has a
+      // half-line mid-file followed by good entries — skip, don't stop.
+      continue;
+    }
+    CheckpointEntry out;
+    out.index = static_cast<std::size_t>(entry.at("index").uint());
+    out.key = entry.at("key").str();
+    // Re-serialize the item subtree so the batch runner can hand it to
+    // parse_batch_item without keeping a parsed tree alive per entry.
+    std::ostringstream item;
+    const JsonValue* node = entry.find("item");
+    if (node == nullptr) continue;
+    write_json_value(item, *node);
+    out.item_json = std::move(item).str();
+    load.entries.push_back(std::move(out));
+  }
+  return load;
+}
+
+}  // namespace hpm::harness

@@ -1,0 +1,108 @@
+// Batch-harness resilience: run outcomes, transient-failure retry policy,
+// and the hpm.checkpoint.v1 journal that lets an interrupted sweep resume
+// without re-running completed cells.
+//
+// Journal format (JSONL — one JSON document per line, flushed after every
+// completed run so a kill loses at most the in-flight runs):
+//
+//   {"schema":"hpm.checkpoint.v1","fingerprint":"<16 hex>","total":N}
+//   {"index":3,"key":"tomcatv/sample#1234","item":{...BatchItem JSON...}}
+//   ...
+//
+// The fingerprint is a hash of the spec list's identity; a resume against
+// different specs is rejected instead of silently mixing results.  The
+// loader tolerates a truncated final line (the writer may have been killed
+// mid-write).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpm::harness {
+
+/// How a batch run ended.  kRetried means it ultimately succeeded but
+/// needed more than one attempt (item.ok is still true).
+enum class RunOutcome : std::uint8_t { kOk, kFailed, kTimedOut, kRetried };
+
+[[nodiscard]] std::string_view run_outcome_name(RunOutcome outcome) noexcept;
+/// Inverse of run_outcome_name; throws std::invalid_argument.
+[[nodiscard]] RunOutcome parse_run_outcome(std::string_view name);
+
+/// Failure class the batch harness is allowed to retry (resource blips,
+/// injected test failures).  Anything else — including BudgetExceeded —
+/// fails the run on the first attempt.
+class TransientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Bounded retry with exponential backoff.
+struct RetryPolicy {
+  unsigned max_attempts = 1;  ///< total attempts; 1 disables retry
+  double backoff_base_seconds = 0.05;
+  double backoff_factor = 2.0;
+
+  /// Sleep before attempt `attempt + 1` (attempt counts from 1):
+  /// base * factor^(attempt-1).
+  [[nodiscard]] double backoff_seconds(unsigned attempt) const noexcept;
+};
+
+struct ResilienceOptions {
+  RetryPolicy retry{};
+  /// Journal path; empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Write one journal line per this many completed runs (>=1).  The line
+  /// for every completed run is still written — this only batches flushes.
+  std::size_t checkpoint_every = 1;
+};
+
+// -- Checkpoint journal -------------------------------------------------------
+
+/// Appends completed items to an hpm.checkpoint.v1 journal.  Not
+/// thread-safe; the batch runner serializes appends under its progress
+/// mutex.
+class CheckpointWriter {
+ public:
+  /// Opens `path` (truncating unless `append`); writes the header line
+  /// when starting fresh.  Throws std::runtime_error when the file cannot
+  /// be opened.
+  CheckpointWriter(const std::string& path, const std::string& fingerprint,
+                   std::size_t total, bool append, std::size_t flush_every = 1);
+
+  /// Record one completed run.  `item_json` must be a compact (single-line)
+  /// BatchItem document.
+  void append(std::size_t index, std::string_view key,
+              std::string_view item_json);
+
+  /// Force pending lines to disk (also done by the destructor).
+  void flush();
+
+ private:
+  std::ofstream out_;
+  std::size_t flush_every_;
+  std::size_t since_flush_ = 0;
+};
+
+struct CheckpointEntry {
+  std::size_t index = 0;
+  std::string key;
+  std::string item_json;  ///< compact BatchItem document, unparsed
+};
+
+struct CheckpointLoad {
+  std::string fingerprint;
+  std::size_t total = 0;
+  std::vector<CheckpointEntry> entries;
+};
+
+/// Read a journal back.  Ignores a truncated or malformed trailing line
+/// (interrupted write); throws std::runtime_error when the file is missing
+/// or the header is not an hpm.checkpoint.v1 header.
+[[nodiscard]] CheckpointLoad load_checkpoint(const std::string& path);
+
+}  // namespace hpm::harness

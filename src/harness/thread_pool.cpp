@@ -45,6 +45,12 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   all_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    // Hand the error to exactly one waiter and leave the pool reusable.
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop(unsigned index) {
@@ -59,9 +65,17 @@ void ThreadPool::worker_loop(unsigned index) {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      // Deterministic drain-on-failure: the worker survives, remaining
+      // tasks still run, and wait_idle() reports the first failure.
+      error = std::current_exception();
+    }
     {
       std::lock_guard lock(mutex_);
+      if (error && !first_error_) first_error_ = std::move(error);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) all_idle_.notify_all();
     }

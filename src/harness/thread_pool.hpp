@@ -9,6 +9,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -26,12 +27,16 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task.  Tasks must not throw — wrap fallible work before
-  /// submitting (BatchRunner catches per-run exceptions itself).
+  /// Enqueue a task.  A task that throws no longer terminates the process:
+  /// the worker captures the first escaping exception and keeps draining
+  /// the queue; wait_idle() rethrows it.  Wrap fallible work anyway when a
+  /// partial batch must survive (BatchRunner catches per-run exceptions
+  /// itself).
   void submit(std::function<void()> task);
 
   /// Block until every submitted task has finished executing (queue empty
-  /// AND no worker mid-task).  The pool is reusable afterwards.
+  /// AND no worker mid-task).  Rethrows the first exception that escaped a
+  /// task since the last wait_idle(); the pool stays usable either way.
   void wait_idle();
 
   [[nodiscard]] unsigned size() const noexcept {
@@ -55,6 +60,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::size_t in_flight_ = 0;  ///< tasks popped but not yet finished
   bool stopping_ = false;
+  std::exception_ptr first_error_;  ///< first task exception since wait_idle
   std::vector<std::thread> workers_;
 };
 

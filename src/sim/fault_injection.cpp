@@ -1,0 +1,31 @@
+#include "sim/fault_injection.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace hpm::sim {
+
+void validate(const FaultPlan& plan) {
+  if (plan.drop_rate < 0.0 || plan.drop_rate > 1.0) {
+    throw std::invalid_argument("FaultPlan: drop_rate must be in [0,1]");
+  }
+  if (plan.jitter_rate < 0.0 || plan.jitter_rate > 1.0) {
+    throw std::invalid_argument("FaultPlan: jitter_rate must be in [0,1]");
+  }
+}
+
+std::string describe(const FaultPlan& plan) {
+  if (plan.none()) return "none";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "skid=%u drop=%g jitter=%g/%u saturate=%llu delay=%u seed=%llu",
+                plan.skid_refs, plan.drop_rate, plan.jitter_rate,
+                plan.jitter_magnitude,
+                static_cast<unsigned long long>(plan.saturate_at),
+                plan.reprogram_delay_misses,
+                static_cast<unsigned long long>(plan.seed));
+  return buf;
+}
+
+}  // namespace hpm::sim

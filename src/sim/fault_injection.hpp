@@ -1,0 +1,143 @@
+// PMU fault injection: deterministic, seed-driven perturbation of the
+// simulated performance-monitoring hardware.
+//
+// The paper's techniques assume ideal counters — every Nth-miss overflow
+// interrupt arrives instantly with a precise miss address.  Real hardware
+// does not behave this way: overflow interrupts exhibit skid (the handler
+// runs several references after the miss that armed it, so the "last miss
+// address" register already holds a later reference's address), interrupts
+// are occasionally dropped outright, counter reads can be jittered or
+// saturated by narrow hardware registers, and reprogramming base/bounds
+// registers takes effect only after a latency window.  A FaultPlan makes
+// each of these imperfections injectable so the measurement tools can be
+// shown to degrade gracefully instead of silently mis-attributing.
+//
+// Determinism contract: every fault decision flows through one PRNG seeded
+// from the plan, owned by the run's Machine (shared-nothing, like the rest
+// of the simulator).  The same (workload, tool, plan) triple therefore
+// produces bit-identical results at any --jobs level, and an all-zero plan
+// installs no fault layer at all — the unfaulted hot paths are untouched.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/prng.hpp"
+
+namespace hpm::sim {
+
+/// Declarative description of the hardware imperfections to inject.  The
+/// default-constructed plan is the null plan: no layer is installed.
+struct FaultPlan {
+  std::uint64_t seed = 0x0fa417;  ///< PRNG seed for probabilistic faults
+  /// Overflow interrupts are delivered this many application references
+  /// after the overflow occurs; the last-miss-address register keeps
+  /// tracking newer misses during the window, so the handler may attribute
+  /// the sample to a later reference's object.
+  std::uint32_t skid_refs = 0;
+  /// Probability in [0,1] that a pending overflow interrupt is silently
+  /// dropped (the counter fired but no interrupt is ever delivered).
+  double drop_rate = 0.0;
+  /// Probability in [0,1] that a region-counter read returns a jittered
+  /// value (uniform in [value - magnitude, value + magnitude], floored at
+  /// zero).
+  double jitter_rate = 0.0;
+  std::uint32_t jitter_magnitude = 0;
+  /// Region-counter reads clamp at this value (narrow hardware counter);
+  /// 0 disables saturation.
+  std::uint64_t saturate_at = 0;
+  /// Base/bounds reprogramming takes effect only after this many further
+  /// recorded misses; the counter keeps counting its old region (and keeps
+  /// its old count) during the window.
+  std::uint32_t reprogram_delay_misses = 0;
+
+  /// True when every knob is at its neutral value — no layer is installed
+  /// and behaviour is bit-identical to a build without fault injection.
+  [[nodiscard]] bool none() const noexcept {
+    return skid_refs == 0 && drop_rate <= 0.0 && jitter_rate <= 0.0 &&
+           saturate_at == 0 && reprogram_delay_misses == 0;
+  }
+};
+
+/// Throws std::invalid_argument when a probability falls outside [0,1].
+void validate(const FaultPlan& plan);
+
+/// One-line human-readable summary ("skid=4 drop=0.01 ..."), "none" for the
+/// null plan.  Used by bench rows and hpmrun diagnostics.
+[[nodiscard]] std::string describe(const FaultPlan& plan);
+
+/// Counters of every fault actually injected during a run (ground truth for
+/// the degradation study; exported as the batch "faults" block and the
+/// pmu.* telemetry counters).
+struct FaultStats {
+  std::uint64_t interrupts_dropped = 0;
+  std::uint64_t skid_events = 0;  ///< overflow deliveries that were delayed
+  std::uint64_t skid_refs = 0;    ///< total references of skid applied
+  std::uint64_t reads_jittered = 0;
+  std::uint64_t reads_saturated = 0;
+  std::uint64_t reprograms_delayed = 0;
+};
+
+/// The runtime half of a FaultPlan: owns the PRNG and decides, per event,
+/// whether and how to perturb.  One injector per Machine; never shared.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan)
+      : plan_(plan), rng_(plan.seed) {}
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+
+  /// Decide whether the overflow that just fired is dropped.  Consumes
+  /// PRNG state only when drop_rate is in (0,1), so a zero-rate plan stays
+  /// bit-identical to no plan.
+  [[nodiscard]] bool drop_overflow() {
+    if (plan_.drop_rate <= 0.0) return false;
+    if (plan_.drop_rate < 1.0 && rng_.next_double() >= plan_.drop_rate) {
+      return false;
+    }
+    ++stats_.interrupts_dropped;
+    return true;
+  }
+
+  /// Record that an overflow delivery was deferred by `refs` references.
+  void note_skid(std::uint32_t refs) noexcept {
+    ++stats_.skid_events;
+    stats_.skid_refs += refs;
+  }
+
+  void note_reprogram_delayed() noexcept { ++stats_.reprograms_delayed; }
+
+  /// True when counter reads need to pass through perturb_read at all.
+  [[nodiscard]] bool perturbs_reads() const noexcept {
+    return plan_.jitter_rate > 0.0 || plan_.saturate_at != 0;
+  }
+
+  /// Apply read jitter and saturation to a raw counter value.
+  [[nodiscard]] std::uint64_t perturb_read(std::uint64_t value) {
+    if (plan_.jitter_rate > 0.0 && rng_.next_double() < plan_.jitter_rate) {
+      const std::uint64_t magnitude =
+          plan_.jitter_magnitude == 0
+              ? 0
+              : rng_.next_below(std::uint64_t{plan_.jitter_magnitude} + 1);
+      if ((rng_.next() & 1) != 0) {
+        value += magnitude;
+      } else {
+        value = value > magnitude ? value - magnitude : 0;
+      }
+      ++stats_.reads_jittered;
+    }
+    if (plan_.saturate_at != 0 && value > plan_.saturate_at) {
+      value = plan_.saturate_at;
+      ++stats_.reads_saturated;
+    }
+    return value;
+  }
+
+ private:
+  FaultPlan plan_;
+  util::Xoshiro256 rng_;
+  FaultStats stats_;
+};
+
+}  // namespace hpm::sim

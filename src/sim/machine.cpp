@@ -8,6 +8,20 @@ Machine::Machine(const MachineConfig& config)
       cache_(config.cache),
       pmu_(config.num_miss_counters) {
   if (config.l1) l1_.emplace(*config.l1);
+  if (!config.faults.none()) {
+    validate(config.faults);
+    faults_.emplace(config.faults);
+    pmu_.set_fault_injector(&*faults_);
+  }
+  budgets_armed_ =
+      config.max_cycles != 0 || config.wall_budget_seconds > 0.0;
+  if (config.wall_budget_seconds > 0.0) {
+    wall_deadline_ = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(
+                             config.wall_budget_seconds));
+  }
 }
 
 void Machine::dispatch(InterruptKind kind) {
@@ -17,6 +31,54 @@ void Machine::dispatch(InterruptKind kind) {
   in_handler_ = true;
   handler_->on_interrupt(*this, kind);
   in_handler_ = false;
+}
+
+// Skid/drop state machine for a pending overflow.  On the first poll after
+// the counter fires, decide drop (acknowledge, never dispatch) or skid
+// (leave the interrupt pending — the armed flag stays down, but pending
+// stays up so tools cannot mistake the window for a dropped interrupt —
+// and deliver once the application has issued skid_refs more references,
+// by which point last_miss_address may already name a later miss).
+void Machine::deliver_overflow_faulted() {
+  if (!overflow_deferred_) {
+    if (faults_->drop_overflow()) {
+      pmu_.acknowledge_overflow();
+      return;
+    }
+    const std::uint32_t skid = faults_->plan().skid_refs;
+    if (skid != 0) {
+      overflow_deferred_ = true;
+      overflow_due_refs_ = stats_.app_refs + skid;
+      return;
+    }
+    pmu_.acknowledge_overflow();
+    dispatch(InterruptKind::kMissOverflow);
+    return;
+  }
+  if (stats_.app_refs < overflow_due_refs_) return;
+  overflow_deferred_ = false;
+  faults_->note_skid(faults_->plan().skid_refs);
+  pmu_.acknowledge_overflow();
+  dispatch(InterruptKind::kMissOverflow);
+}
+
+void Machine::check_budgets() {
+  if (config_.max_cycles != 0 && stats_.total_cycles() > config_.max_cycles) {
+    throw BudgetExceeded(
+        BudgetExceeded::Kind::kCycles,
+        "simulated-cycle budget exceeded (" +
+            std::to_string(config_.max_cycles) + " cycles)");
+  }
+  // Wall clock is sampled sparsely: a syscall per poll would dominate the
+  // simulation, and the budget is only a hang backstop.
+  if (config_.wall_budget_seconds > 0.0 &&
+      (++budget_polls_ & 0xFFFF) == 0 &&
+      std::chrono::steady_clock::now() > wall_deadline_) {
+    throw BudgetExceeded(
+        BudgetExceeded::Kind::kWallClock,
+        "wall-clock budget exceeded (" +
+            std::to_string(config_.wall_budget_seconds) + " s)");
+  }
 }
 
 }  // namespace hpm::sim

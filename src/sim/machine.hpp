@@ -11,15 +11,19 @@
 //     (Figure 4).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <optional>
+#include <stdexcept>
+#include <string>
 
 #include "sim/address_space.hpp"
 #include "sim/backing_store.hpp"
 #include "sim/cache.hpp"
 #include "sim/cycle_model.hpp"
+#include "sim/fault_injection.hpp"
 #include "sim/interrupt.hpp"
 #include "sim/perf_monitor.hpp"
 #include "sim/types.hpp"
@@ -35,6 +39,25 @@ struct MachineConfig {
   /// simulator is single-level (disabled by default); enabling it models
   /// Itanium-style counting where the PMU sees only L1-filtered misses.
   std::optional<CacheConfig> l1{};
+  /// Hardware imperfections to inject (null plan: no fault layer at all,
+  /// bit-identical behaviour to builds predating fault injection).
+  FaultPlan faults{};
+  /// Cooperative watchdog: abort the run with BudgetExceeded once the
+  /// simulated clock passes this many cycles (0 = unlimited).  Deterministic.
+  Cycles max_cycles = 0;
+  /// Cooperative watchdog on host wall-clock time (0 = unlimited).  Only a
+  /// hang backstop — it is inherently nondeterministic, so keep it off for
+  /// reproducibility-sensitive sweeps and rely on max_cycles instead.
+  double wall_budget_seconds = 0.0;
+};
+
+/// Thrown from the simulation loop when a cooperative budget is exhausted.
+/// The batch harness maps this to RunOutcome::kTimedOut (never retried).
+struct BudgetExceeded : std::runtime_error {
+  enum class Kind { kCycles, kWallClock };
+  BudgetExceeded(Kind k, const std::string& what)
+      : std::runtime_error(what), kind(k) {}
+  Kind kind;
 };
 
 struct MachineStats {
@@ -71,6 +94,11 @@ class Machine {
     return config_;
   }
   [[nodiscard]] Cycles now() const noexcept { return stats_.total_cycles(); }
+  /// Fault layer installed from MachineConfig::faults (null when the plan
+  /// is none()).  Exposed so the harness can export FaultStats.
+  [[nodiscard]] const FaultInjector* fault_injector() const noexcept {
+    return faults_ ? &*faults_ : nullptr;
+  }
 
   // -- Application plane -----------------------------------------------------
   /// Charge `count` non-memory instructions to the application.
@@ -214,10 +242,15 @@ class Machine {
       hook_next_ = stats_.total_cycles() + hook_every_;
       periodic_hook_(stats_);
     }
+    if (budgets_armed_) check_budgets();
     if (handler_ == nullptr || in_handler_) return;
     if (pmu_.overflow_pending()) {
-      pmu_.acknowledge_overflow();
-      dispatch(InterruptKind::kMissOverflow);
+      if (faults_) {
+        deliver_overflow_faulted();
+      } else {
+        pmu_.acknowledge_overflow();
+        dispatch(InterruptKind::kMissOverflow);
+      }
     }
     if (timer_armed_ && now() >= timer_at_) {
       timer_armed_ = false;
@@ -225,6 +258,8 @@ class Machine {
     }
   }
 
+  void deliver_overflow_faulted();
+  void check_budgets();
   void dispatch(InterruptKind kind);
 
   MachineConfig config_;
@@ -245,6 +280,15 @@ class Machine {
   Cycles timer_at_ = std::numeric_limits<Cycles>::max();
   bool timer_armed_ = false;
   bool in_handler_ = false;
+  // Fault layer (absent for the null plan — zero cost on the hot path
+  // beyond one optional-engaged test per pending overflow).
+  std::optional<FaultInjector> faults_;
+  bool overflow_deferred_ = false;      ///< overflow held back by skid
+  std::uint64_t overflow_due_refs_ = 0; ///< app_refs at which skid expires
+  // Cooperative budgets (single-branch when disarmed).
+  bool budgets_armed_ = false;
+  std::uint64_t budget_polls_ = 0;
+  std::chrono::steady_clock::time_point wall_deadline_{};
 };
 
 }  // namespace hpm::sim

@@ -20,12 +20,38 @@ void PerfMonitor::check_index(unsigned idx) const {
 void PerfMonitor::configure(unsigned idx, Addr base, Addr bound) {
   check_index(idx);
   if (bound < base) throw std::invalid_argument("PerfMonitor: bound < base");
+  if (faults_ != nullptr && faults_->plan().reprogram_delay_misses != 0) {
+    PendingReprogram& p = pending_[idx];
+    if (!p.active) ++pending_reprograms_;
+    p = {.base = base,
+         .bound = bound,
+         .remaining = faults_->plan().reprogram_delay_misses,
+         .active = true};
+    faults_->note_reprogram_delayed();
+    return;
+  }
   counters_[idx] = {.base = base, .bound = bound, .count = 0, .enabled = true};
+}
+
+void PerfMonitor::tick_pending_reprograms() noexcept {
+  for (unsigned i = 0; i < num_counters_; ++i) {
+    PendingReprogram& p = pending_[i];
+    if (!p.active) continue;
+    if (--p.remaining != 0) continue;
+    counters_[i] = {
+        .base = p.base, .bound = p.bound, .count = 0, .enabled = true};
+    p.active = false;
+    --pending_reprograms_;
+  }
 }
 
 void PerfMonitor::disable(unsigned idx) {
   check_index(idx);
   counters_[idx].enabled = false;
+  if (pending_[idx].active) {
+    pending_[idx].active = false;
+    --pending_reprograms_;
+  }
 }
 
 void PerfMonitor::clear(unsigned idx) {
@@ -40,7 +66,11 @@ bool PerfMonitor::enabled(unsigned idx) const {
 
 std::uint64_t PerfMonitor::read(unsigned idx) const {
   check_index(idx);
-  return counters_[idx].count;
+  const std::uint64_t value = counters_[idx].count;
+  if (faults_ != nullptr && faults_->perturbs_reads()) {
+    return faults_->perturb_read(value);
+  }
+  return value;
 }
 
 AddrRange PerfMonitor::region(unsigned idx) const {

@@ -10,6 +10,7 @@
 #include <array>
 #include <cstdint>
 
+#include "sim/fault_injection.hpp"
 #include "sim/types.hpp"
 
 namespace hpm::sim {
@@ -23,6 +24,11 @@ class PerfMonitor {
   [[nodiscard]] unsigned num_counters() const noexcept {
     return num_counters_;
   }
+
+  /// Install the fault layer (not owned; null restores ideal hardware).
+  /// With an injector present, reads may be jittered/saturated and
+  /// configure() may be applied only after the plan's reprogram delay.
+  void set_fault_injector(FaultInjector* faults) noexcept { faults_ = faults; }
 
   // -- Region miss counters -------------------------------------------------
   /// Program counter `idx` to count misses whose address lies in
@@ -53,6 +59,7 @@ class PerfMonitor {
     overflow_armed_ = false;
     overflow_pending_ = false;
   }
+  [[nodiscard]] bool overflow_armed() const noexcept { return overflow_armed_; }
   [[nodiscard]] bool overflow_pending() const noexcept {
     return overflow_pending_;
   }
@@ -75,6 +82,7 @@ class PerfMonitor {
         overflow_armed_ = false;
       }
     }
+    if (pending_reprograms_ != 0) tick_pending_reprograms();
   }
 
  private:
@@ -85,7 +93,17 @@ class PerfMonitor {
     bool enabled = false;
   };
 
+  /// A configure() held back by the fault layer's reprogram delay; applied
+  /// after `remaining` further recorded misses.
+  struct PendingReprogram {
+    Addr base = 0;
+    Addr bound = 0;
+    std::uint64_t remaining = 0;
+    bool active = false;
+  };
+
   void check_index(unsigned idx) const;
+  void tick_pending_reprograms() noexcept;
 
   std::array<Counter, kMaxCounters> counters_{};
   unsigned num_counters_;
@@ -94,6 +112,9 @@ class PerfMonitor {
   std::uint64_t overflow_remaining_ = 0;
   bool overflow_armed_ = false;
   bool overflow_pending_ = false;
+  FaultInjector* faults_ = nullptr;
+  std::array<PendingReprogram, kMaxCounters> pending_{};
+  unsigned pending_reprograms_ = 0;
 };
 
 }  // namespace hpm::sim

@@ -34,4 +34,12 @@ const std::vector<std::string>& paper_workload_names() {
   return names;
 }
 
+bool is_workload_name(std::string_view name) noexcept {
+  if (name == "synthetic") return true;
+  for (const auto& known : paper_workload_names()) {
+    if (name == known) return true;
+  }
+  return false;
+}
+
 }  // namespace hpm::workloads

@@ -50,4 +50,8 @@ class Workload {
 /// Names of all paper workloads, in the paper's table order.
 [[nodiscard]] const std::vector<std::string>& paper_workload_names();
 
+/// True when make_workload accepts `name` (paper workloads + "synthetic").
+/// Lets front-ends validate before constructing anything.
+[[nodiscard]] bool is_workload_name(std::string_view name) noexcept;
+
 }  // namespace hpm::workloads

@@ -224,6 +224,27 @@ TEST(ThreadPool, ZeroResolvesToHardwareConcurrency) {
   EXPECT_EQ(ThreadPool::resolve_jobs(7), 7u);
 }
 
+TEST(ThreadPool, SurvivesThrowingTasksAndDrainsDeterministically) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 100; ++i) {
+    if (i == 10) {
+      pool.submit([] { throw std::runtime_error("task blew up"); });
+    } else {
+      pool.submit([&completed] { completed.fetch_add(1); });
+    }
+  }
+  // The throwing task neither terminates the process nor wedges a worker:
+  // every other task still runs, and wait_idle surfaces the exception.
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(completed.load(), 99);
+
+  // The pool stays usable and a clean wait_idle no longer throws.
+  pool.submit([&completed] { completed.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(completed.load(), 100);
+}
+
 TEST(ThreadPool, WaitIdleOnIdlePoolReturns) {
   ThreadPool pool(2);
   pool.wait_idle();  // nothing submitted — must not hang

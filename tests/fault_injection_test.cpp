@@ -1,0 +1,258 @@
+// The fault layer's contract: a null plan installs nothing (bit-identical
+// to builds predating fault injection), every knob perturbs exactly the
+// event it documents, faulted runs stay deterministic at any --jobs level,
+// and the hardened sampler recovers from dropped interrupts.
+#include "sim/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/batch.hpp"
+#include "harness/experiment.hpp"
+#include "harness/json_export.hpp"
+#include "sim/machine.hpp"
+
+namespace hpm {
+namespace {
+
+using harness::RunConfig;
+using harness::ToolKind;
+
+/// A sampler run small enough for a test but big enough to overflow the
+/// period many times.
+RunConfig small_sampler_config() {
+  RunConfig config;
+  config.machine.cache.size_bytes = 128 * 1024;
+  config.tool = ToolKind::kSampler;
+  config.sampler.period = 1'999;
+  return config;
+}
+
+workloads::WorkloadOptions small_options() {
+  workloads::WorkloadOptions options;
+  options.scale = 0.25;
+  options.iterations = 3;
+  return options;
+}
+
+TEST(FaultPlan, ValidationRejectsOutOfRangeRates) {
+  sim::FaultPlan plan;
+  EXPECT_NO_THROW(sim::validate(plan));
+  plan.drop_rate = 1.5;
+  EXPECT_THROW(sim::validate(plan), std::invalid_argument);
+  plan.drop_rate = -0.1;
+  EXPECT_THROW(sim::validate(plan), std::invalid_argument);
+  plan.drop_rate = 0.0;
+  plan.jitter_rate = 2.0;
+  EXPECT_THROW(sim::validate(plan), std::invalid_argument);
+}
+
+TEST(FaultPlan, DescribeSummarizesKnobs) {
+  EXPECT_EQ(sim::describe(sim::FaultPlan{}), "none");
+  sim::FaultPlan plan;
+  plan.skid_refs = 4;
+  plan.drop_rate = 0.01;
+  const std::string text = sim::describe(plan);
+  EXPECT_NE(text.find("skid=4"), std::string::npos);
+  EXPECT_NE(text.find("drop=0.01"), std::string::npos);
+}
+
+TEST(FaultPlan, NullPlanInstallsNoLayer) {
+  sim::MachineConfig config;
+  config.faults.seed = 1234;  // seed alone does not make a plan non-null
+  sim::Machine clean(config);
+  EXPECT_EQ(clean.fault_injector(), nullptr);
+
+  config.faults.skid_refs = 1;
+  sim::Machine faulted(config);
+  ASSERT_NE(faulted.fault_injector(), nullptr);
+  EXPECT_EQ(faulted.fault_injector()->plan().skid_refs, 1u);
+}
+
+// The acceptance bar for the whole layer: a plan whose knobs are all at
+// their neutral values adds zero attribution error — the run is
+// byte-identical to one with no fault layer configured at all.
+TEST(FaultInjection, ZeroPerturbationPlanMatchesNoFaultRun) {
+  const auto baseline =
+      harness::run_experiment(small_sampler_config(), "tomcatv",
+                              small_options());
+
+  RunConfig faulted_config = small_sampler_config();
+  faulted_config.machine.faults.seed = 99;  // different seed, neutral knobs
+  const auto faulted =
+      harness::run_experiment(faulted_config, "tomcatv", small_options());
+
+  const harness::JsonExportOptions stable{.include_timing = false};
+  EXPECT_EQ(harness::to_json(baseline, stable),
+            harness::to_json(faulted, stable));
+  EXPECT_EQ(faulted.fault_stats.interrupts_dropped, 0u);
+  EXPECT_EQ(faulted.sampler_rearms, 0u);
+}
+
+/// Machine-level handler that records the application-ref clock at each
+/// delivery.
+class RefRecorder : public sim::InterruptHandler {
+ public:
+  void on_interrupt(sim::Machine& machine, sim::InterruptKind kind) override {
+    if (kind == sim::InterruptKind::kMissOverflow) {
+      deliveries.push_back(machine.stats().app_refs);
+    }
+  }
+  std::vector<std::uint64_t> deliveries;
+};
+
+TEST(FaultInjection, SkidDefersDeliveryByExactlyKRefs) {
+  sim::MachineConfig config;
+  config.faults.skid_refs = 7;
+  sim::Machine machine(config);
+  RefRecorder recorder;
+  machine.set_handler(&recorder);
+  machine.arm_miss_overflow(1);
+
+  // Cold, line-strided touches: every reference misses.
+  for (unsigned i = 0; i < 32; ++i) {
+    machine.touch(0x10'0000 + i * 4096);
+  }
+
+  // The overflow fires on the first miss (ref 1) but is delivered only
+  // once seven further application references have retired.
+  ASSERT_EQ(recorder.deliveries.size(), 1u);
+  EXPECT_EQ(recorder.deliveries[0], 8u);
+  ASSERT_NE(machine.fault_injector(), nullptr);
+  EXPECT_EQ(machine.fault_injector()->stats().skid_events, 1u);
+  EXPECT_EQ(machine.fault_injector()->stats().skid_refs, 7u);
+  EXPECT_EQ(machine.stats().interrupts, 1u);
+}
+
+TEST(FaultInjection, DroppedOverflowIsNeverDelivered) {
+  sim::MachineConfig config;
+  config.faults.drop_rate = 1.0;  // drop every overflow, PRNG-free
+  sim::Machine machine(config);
+  RefRecorder recorder;
+  machine.set_handler(&recorder);
+  machine.arm_miss_overflow(1);
+
+  for (unsigned i = 0; i < 16; ++i) {
+    machine.touch(0x10'0000 + i * 4096);
+  }
+
+  EXPECT_TRUE(recorder.deliveries.empty());
+  EXPECT_EQ(machine.stats().interrupts, 0u);
+  ASSERT_NE(machine.fault_injector(), nullptr);
+  // Only one drop: nothing re-armed the counter afterwards (that is the
+  // sampler watchdog's job, tested below).
+  EXPECT_EQ(machine.fault_injector()->stats().interrupts_dropped, 1u);
+}
+
+TEST(FaultInjection, SamplerWatchdogRearmsAfterDrops) {
+  RunConfig config = small_sampler_config();
+  config.machine.faults.drop_rate = 0.5;
+  config.machine.faults.seed = 7;
+  // run_experiment auto-hardens a faulted sampler (watchdog on, discard
+  // on), so no explicit sampler tweaks are needed here.
+  const auto result =
+      harness::run_experiment(config, "tomcatv", small_options());
+
+  EXPECT_GT(result.fault_stats.interrupts_dropped, 0u);
+  EXPECT_GT(result.sampler_rearms, 0u);
+  // Every drop is eventually recovered by a watchdog re-arm, so sampling
+  // continues for the whole run and still produces samples.
+  EXPECT_GT(result.samples, 0u);
+  // Each drop is recovered by exactly one re-arm, except a drop in the
+  // final watchdog window (the workload may finish before the timer).
+  EXPECT_LE(result.sampler_rearms, result.fault_stats.interrupts_dropped);
+  EXPECT_GE(result.sampler_rearms + 1,
+            result.fault_stats.interrupts_dropped);
+}
+
+TEST(FaultInjection, ReprogramDelayHoldsOldConfiguration) {
+  sim::FaultPlan plan;
+  plan.reprogram_delay_misses = 3;
+  sim::FaultInjector injector(plan);
+  sim::PerfMonitor pmu(4);
+  pmu.set_fault_injector(&injector);
+
+  pmu.configure(0, 0x1000, 0x2000);
+  EXPECT_FALSE(pmu.enabled(0));  // still in the latency window
+  pmu.record_miss(0x1800);       // window: 3 -> 2 (not counted)
+  pmu.record_miss(0x1800);       // 2 -> 1
+  pmu.record_miss(0x1800);       // 1 -> 0, configuration applies
+  EXPECT_TRUE(pmu.enabled(0));
+  EXPECT_EQ(pmu.read(0), 0u);
+  pmu.record_miss(0x1800);  // first counted miss
+  EXPECT_EQ(pmu.read(0), 1u);
+  EXPECT_EQ(injector.stats().reprograms_delayed, 1u);
+}
+
+TEST(FaultInjection, JitterAndSaturationPerturbReads) {
+  sim::FaultPlan jitter_plan;
+  jitter_plan.jitter_rate = 1.0;
+  jitter_plan.jitter_magnitude = 5;
+  sim::FaultInjector jitter(jitter_plan);
+  const std::uint64_t value = jitter.perturb_read(100);
+  EXPECT_GE(value, 95u);
+  EXPECT_LE(value, 105u);
+  EXPECT_EQ(jitter.stats().reads_jittered, 1u);
+
+  sim::FaultPlan sat_plan;
+  sat_plan.saturate_at = 50;
+  sim::FaultInjector saturating(sat_plan);
+  EXPECT_EQ(saturating.perturb_read(100), 50u);
+  EXPECT_EQ(saturating.perturb_read(10), 10u);
+  EXPECT_EQ(saturating.stats().reads_saturated, 1u);
+}
+
+TEST(FaultInjection, FaultedSweepIsDeterministicAcrossJobs) {
+  RunConfig config = small_sampler_config();
+  config.machine.faults.skid_refs = 3;
+  config.machine.faults.drop_rate = 0.2;
+  config.machine.faults.jitter_rate = 0.1;
+  config.machine.faults.jitter_magnitude = 2;
+  config.machine.faults.seed = 42;
+
+  const auto specs = harness::cross_specs(
+      {"tomcatv", "mgrid", "applu"}, {{"faulted", config}},
+      [](const std::string&) { return small_options(); });
+
+  harness::BatchRunner::Options serial;
+  serial.jobs = 1;
+  harness::BatchRunner::Options wide;
+  wide.jobs = 4;
+  const auto a = harness::BatchRunner(serial).run(specs);
+  const auto b = harness::BatchRunner(wide).run(specs);
+
+  // Compare per-item documents: the batch header legitimately differs in
+  // its "jobs" field.
+  const harness::JsonExportOptions stable{.include_timing = false};
+  ASSERT_EQ(a.items.size(), b.items.size());
+  for (std::size_t i = 0; i < a.items.size(); ++i) {
+    EXPECT_EQ(harness::to_json(a.items[i], stable),
+              harness::to_json(b.items[i], stable));
+  }
+  // The faults actually fired (this is not vacuous determinism).
+  EXPECT_GT(a.items.at(0).result.fault_stats.interrupts_dropped, 0u);
+}
+
+TEST(FaultInjection, DiscardFilterIsNoOpOnCleanRuns) {
+  const auto baseline =
+      harness::run_experiment(small_sampler_config(), "mgrid",
+                              small_options());
+
+  RunConfig filtered = small_sampler_config();
+  filtered.sampler.discard_out_of_range = true;
+  const auto guarded =
+      harness::run_experiment(filtered, "mgrid", small_options());
+
+  // Every simulated miss address lies in the application span, so the
+  // filter discards nothing and the estimate is unchanged.
+  EXPECT_EQ(guarded.samples_discarded, 0u);
+  const harness::JsonExportOptions stable{.include_timing = false};
+  EXPECT_EQ(harness::to_json(baseline.estimated, stable),
+            harness::to_json(guarded.estimated, stable));
+  EXPECT_EQ(baseline.samples, guarded.samples);
+}
+
+}  // namespace
+}  // namespace hpm

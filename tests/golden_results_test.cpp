@@ -67,6 +67,24 @@ std::vector<RunSpec> golden_specs() {
                      });
 }
 
+/// The faulted pipeline: the golden sampler runs re-run under a pinned
+/// fault plan (skid=4, 1% dropped interrupts, fixed seed).  Locks in both
+/// the degraded attribution numbers and the injected-fault counters, so a
+/// hardening change that silently alters fault behaviour shows up as a
+/// golden diff.
+std::vector<RunSpec> faulted_specs() {
+  std::vector<RunSpec> faulted;
+  for (auto& spec : golden_specs()) {
+    if (spec.config.tool != ToolKind::kSampler) continue;
+    spec.name += "+faults";
+    spec.config.machine.faults.seed = 0x0fa417;
+    spec.config.machine.faults.skid_refs = 4;
+    spec.config.machine.faults.drop_rate = 0.01;
+    faulted.push_back(std::move(spec));
+  }
+  return faulted;
+}
+
 std::string export_batch(const BatchResult& batch) {
   JsonExportOptions options;
   options.include_timing = false;  // goldens must be byte-stable
@@ -139,6 +157,33 @@ void compare_batches(const JsonValue& expected, const JsonValue& actual) {
     compare_report(er.at("actual"), ar.at("actual"), what + ".actual");
     compare_report(er.at("estimated"), ar.at("estimated"),
                    what + ".estimated");
+    // Faulted items carry a "faults" block: the plan is configuration and
+    // must match exactly; the injected-fault counters get the usual
+    // integer tolerance.
+    if (const JsonValue* ef = e.find("faults")) {
+      const JsonValue* af = a.find("faults");
+      ASSERT_NE(af, nullptr) << what << ".faults missing";
+      const auto& ep = ef->at("plan");
+      const auto& ap = af->at("plan");
+      for (const auto& key : {"seed", "skid_refs", "jitter_magnitude",
+                              "saturate_at", "reprogram_delay_misses"}) {
+        EXPECT_EQ(ap.at(key).uint(), ep.at(key).uint())
+            << what << ".faults.plan." << key;
+      }
+      for (const auto& key : {"drop_rate", "jitter_rate"}) {
+        EXPECT_DOUBLE_EQ(ap.at(key).number(), ep.at(key).number())
+            << what << ".faults.plan." << key;
+      }
+      for (const auto& key :
+           {"interrupts_dropped", "skid_events", "skid_refs",
+            "sampler_rearms", "samples_discarded"}) {
+        expect_count_close(ef->at("stats").at(key), af->at("stats").at(key),
+                           what + ".faults.stats." + key);
+      }
+    } else {
+      EXPECT_EQ(a.find("faults"), nullptr) << what << " gained a faults "
+                                              "block its golden lacks";
+    }
   }
 }
 
@@ -170,6 +215,10 @@ void run_golden_case(const std::string& file,
 
 TEST(GoldenResults, PaperPipelineSamplerAndSearch) {
   run_golden_case("paper_pipeline.json", golden_specs());
+}
+
+TEST(GoldenResults, FaultedPipelineDegradationIsPinned) {
+  run_golden_case("faulted_pipeline.json", faulted_specs());
 }
 
 // The search must keep finding tomcatv's paper-named arrays; pinning the

@@ -1,0 +1,295 @@
+// Hardened-harness contract: outcomes classify how each run ended, only
+// TransientError is retried, budget exhaustion maps to kTimedOut, and an
+// interrupted sweep resumes from its checkpoint journal to a final JSON
+// document byte-identical to the uninterrupted run's.
+#include "harness/resilience.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/batch.hpp"
+#include "harness/experiment.hpp"
+#include "harness/json_export.hpp"
+
+namespace hpm::harness {
+namespace {
+
+std::vector<RunSpec> tiny_sweep() {
+  RunConfig config;
+  config.machine.cache.size_bytes = 128 * 1024;
+  config.tool = ToolKind::kSampler;
+  config.sampler.period = 1'999;
+  return cross_specs({"tomcatv", "mgrid"}, {{"sample", config}},
+                     [](const std::string&) {
+                       workloads::WorkloadOptions options;
+                       options.scale = 0.25;
+                       options.iterations = 2;
+                       return options;
+                     });
+}
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return std::move(out).str();
+}
+
+TEST(RunOutcomeNames, RoundTrip) {
+  for (const RunOutcome outcome :
+       {RunOutcome::kOk, RunOutcome::kFailed, RunOutcome::kTimedOut,
+        RunOutcome::kRetried}) {
+    EXPECT_EQ(parse_run_outcome(run_outcome_name(outcome)), outcome);
+  }
+  EXPECT_THROW((void)parse_run_outcome("bogus"), std::invalid_argument);
+}
+
+TEST(RetryPolicy, BackoffGrowsExponentially) {
+  RetryPolicy policy;
+  policy.backoff_base_seconds = 0.05;
+  policy.backoff_factor = 2.0;
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(1), 0.05);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(2), 0.10);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(3), 0.20);
+}
+
+TEST(BatchResilience, TransientErrorIsRetriedUntilSuccess) {
+  auto specs = tiny_sweep();
+  std::atomic<unsigned> failures{0};
+  BatchRunner::Options options;
+  options.jobs = 2;
+  options.resilience.retry.max_attempts = 3;
+  options.resilience.retry.backoff_base_seconds = 0.0;  // no test sleeps
+  options.runner = [&](const RunSpec& spec, std::size_t index) {
+    if (index == 0 && failures.fetch_add(1) == 0) {
+      throw TransientError("injected blip");
+    }
+    return run_experiment(spec.config, spec.workload, spec.options);
+  };
+
+  const auto batch = BatchRunner(options).run(specs);
+  ASSERT_EQ(batch.items.size(), specs.size());
+  EXPECT_TRUE(batch.items[0].ok);
+  EXPECT_EQ(batch.items[0].outcome, RunOutcome::kRetried);
+  EXPECT_EQ(batch.items[0].attempts, 2u);
+  EXPECT_TRUE(batch.items[0].error.empty());
+  EXPECT_EQ(batch.items[1].outcome, RunOutcome::kOk);
+  EXPECT_EQ(batch.items[1].attempts, 1u);
+  EXPECT_EQ(batch.metrics.failed, 0u);
+}
+
+TEST(BatchResilience, TransientErrorExhaustsIntoFailure) {
+  auto specs = tiny_sweep();
+  BatchRunner::Options options;
+  options.jobs = 1;
+  options.resilience.retry.max_attempts = 2;
+  options.resilience.retry.backoff_base_seconds = 0.0;
+  options.runner = [&](const RunSpec& spec, std::size_t index) {
+    if (index == 0) throw TransientError("always down");
+    return run_experiment(spec.config, spec.workload, spec.options);
+  };
+
+  const auto batch = BatchRunner(options).run(specs);
+  EXPECT_FALSE(batch.items[0].ok);
+  EXPECT_EQ(batch.items[0].outcome, RunOutcome::kFailed);
+  EXPECT_EQ(batch.items[0].attempts, 2u);
+  EXPECT_NE(batch.items[0].error.find("always down"), std::string::npos);
+}
+
+TEST(BatchResilience, NonTransientErrorFailsWithoutRetry) {
+  auto specs = tiny_sweep();
+  BatchRunner::Options options;
+  options.jobs = 1;
+  options.resilience.retry.max_attempts = 5;
+  options.runner = [&](const RunSpec& spec, std::size_t index) {
+    if (index == 1) throw std::runtime_error("deterministic bug");
+    return run_experiment(spec.config, spec.workload, spec.options);
+  };
+
+  const auto batch = BatchRunner(options).run(specs);
+  EXPECT_FALSE(batch.items[1].ok);
+  EXPECT_EQ(batch.items[1].outcome, RunOutcome::kFailed);
+  EXPECT_EQ(batch.items[1].attempts, 1u);
+}
+
+TEST(BatchResilience, CycleBudgetMapsToTimedOutAndIsNeverRetried) {
+  auto specs = tiny_sweep();
+  specs[0].config.machine.max_cycles = 10'000;  // far below the run's cost
+  BatchRunner::Options options;
+  options.jobs = 1;
+  options.resilience.retry.max_attempts = 3;  // must NOT apply to budgets
+
+  const auto batch = BatchRunner(options).run(specs);
+  EXPECT_FALSE(batch.items[0].ok);
+  EXPECT_EQ(batch.items[0].outcome, RunOutcome::kTimedOut);
+  EXPECT_EQ(batch.items[0].attempts, 1u);
+  EXPECT_NE(batch.items[0].error.find("cycle"), std::string::npos);
+  EXPECT_TRUE(batch.items[1].ok);
+}
+
+TEST(Checkpoint, JournalRoundTripsItems) {
+  const auto specs = tiny_sweep();
+  const std::string path = temp_path("journal_roundtrip.jsonl");
+  BatchRunner::Options options;
+  options.jobs = 1;
+  options.resilience.checkpoint_path = path;
+
+  const auto batch = BatchRunner(options).run(specs);
+  const auto load = load_checkpoint(path);
+  EXPECT_EQ(load.fingerprint, spec_fingerprint(specs));
+  EXPECT_EQ(load.total, specs.size());
+  ASSERT_EQ(load.entries.size(), specs.size());
+  for (const auto& entry : load.entries) {
+    EXPECT_EQ(entry.key, checkpoint_key(specs[entry.index]));
+    // Each journal line round-trips to the item the runner produced.
+    const BatchItem parsed = parse_batch_item(entry.item_json);
+    const JsonExportOptions stable{.include_timing = false};
+    EXPECT_EQ(to_json(parsed, stable),
+              to_json(batch.items[entry.index], stable));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TruncatedTrailingLineIsTolerated) {
+  const auto specs = tiny_sweep();
+  const std::string path = temp_path("journal_truncated.jsonl");
+  BatchRunner::Options options;
+  options.jobs = 1;
+  options.resilience.checkpoint_path = path;
+  (void)BatchRunner(options).run(specs);
+
+  // Chop the file mid-way through its final line (a mid-write kill).
+  std::string contents = read_file(path);
+  ASSERT_GT(contents.size(), 40u);
+  contents.resize(contents.size() - 25);
+  std::ofstream(path, std::ios::trunc) << contents;
+
+  const auto load = load_checkpoint(path);
+  EXPECT_EQ(load.entries.size(), specs.size() - 1);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, LoadRejectsMissingOrForeignFiles) {
+  EXPECT_THROW((void)load_checkpoint(temp_path("nonexistent.jsonl")),
+               std::runtime_error);
+  const std::string path = temp_path("journal_foreign.jsonl");
+  std::ofstream(path) << "{\"schema\":\"other.v9\"}\n";
+  EXPECT_THROW((void)load_checkpoint(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumeProducesIdenticalFinalJson) {
+  const auto specs = tiny_sweep();
+  const JsonExportOptions stable{.include_timing = false};
+
+  // Ground truth: the uninterrupted sweep.
+  const std::string full_path = temp_path("journal_full.jsonl");
+  BatchRunner::Options full_options;
+  full_options.jobs = 1;
+  full_options.resilience.checkpoint_path = full_path;
+  const auto full = BatchRunner(full_options).run(specs);
+  const std::string expected = to_json(full, stable);
+
+  // Simulate a kill after the first completed run: keep the header and
+  // the first journal line only.
+  const std::string partial_path = temp_path("journal_partial.jsonl");
+  {
+    std::istringstream in(read_file(full_path));
+    std::ofstream out(partial_path, std::ios::trunc);
+    std::string line;
+    for (int kept = 0; kept < 2 && std::getline(in, line); ++kept) {
+      out << line << '\n';
+    }
+  }
+
+  const auto load = load_checkpoint(partial_path);
+  ASSERT_EQ(load.entries.size(), 1u);
+  BatchRunner::Options resume_options;
+  resume_options.jobs = 1;
+  resume_options.resilience.checkpoint_path = partial_path;
+  resume_options.resume = &load;
+  const auto resumed = BatchRunner(resume_options).run(specs);
+
+  EXPECT_EQ(to_json(resumed, stable), expected);
+  // The journal was extended in place and now replays to the full sweep.
+  const auto reload = load_checkpoint(partial_path);
+  EXPECT_EQ(reload.entries.size(), specs.size());
+  std::remove(full_path.c_str());
+  std::remove(partial_path.c_str());
+}
+
+TEST(Checkpoint, AppendAfterMidLineKillRepairsJournal) {
+  const auto specs = tiny_sweep();
+  const JsonExportOptions stable{.include_timing = false};
+  const std::string path = temp_path("journal_midline.jsonl");
+  BatchRunner::Options options;
+  options.jobs = 1;
+  options.resilience.checkpoint_path = path;
+  const auto full = BatchRunner(options).run(specs);
+
+  // Kill mid-write: the final line loses its tail AND its newline.
+  std::string contents = read_file(path);
+  contents.resize(contents.size() - 25);
+  std::ofstream(path, std::ios::trunc) << contents;
+
+  const auto load = load_checkpoint(path);
+  ASSERT_EQ(load.entries.size(), specs.size() - 1);
+  BatchRunner::Options resume_options;
+  resume_options.jobs = 1;
+  resume_options.resilience.checkpoint_path = path;
+  resume_options.resume = &load;
+  const auto resumed = BatchRunner(resume_options).run(specs);
+  EXPECT_EQ(to_json(resumed, stable), to_json(full, stable));
+
+  // The repaired journal replays every run despite the half-line mid-file.
+  const auto reload = load_checkpoint(path);
+  EXPECT_EQ(reload.entries.size(), specs.size());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumeRejectsFingerprintMismatch) {
+  const auto specs = tiny_sweep();
+  const std::string path = temp_path("journal_mismatch.jsonl");
+  BatchRunner::Options options;
+  options.jobs = 1;
+  options.resilience.checkpoint_path = path;
+  (void)BatchRunner(options).run(specs);
+
+  auto other = tiny_sweep();
+  other[0].options.seed ^= 0xdead;
+  const auto load = load_checkpoint(path);
+  BatchRunner::Options resume_options;
+  resume_options.resume = &load;
+  EXPECT_THROW((void)BatchRunner(resume_options).run(other),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(JsonRoundTrip, ExactSixtyFourBitSeedsSurvive) {
+  auto specs = tiny_sweep();
+  specs.resize(1);
+  // A seed above 2^53 would be corrupted by a double-typed JSON reader.
+  specs[0].options.seed = (std::uint64_t{1} << 60) + 7;
+  BatchRunner::Options options;
+  options.jobs = 1;
+  const auto batch = BatchRunner(options).run(specs);
+
+  const JsonExportOptions compact{.include_timing = true, .indent = 0};
+  const std::string once = to_json(batch.items[0], compact);
+  const BatchItem parsed = parse_batch_item(once);
+  EXPECT_EQ(parsed.spec.options.seed, specs[0].options.seed);
+  EXPECT_EQ(to_json(parsed, compact), once);
+}
+
+}  // namespace
+}  // namespace hpm::harness

@@ -65,7 +65,26 @@ int usage(const char* error) {
       "                    (single run only)\n"
       "  --list-workloads  print available workload names and exit\n"
       "  --list-tools      print available tool names and exit\n"
-      "  --seed N          workload seed\n",
+      "  --seed N          workload seed\n"
+      "\nfault injection (docs/fault_injection.md):\n"
+      "  --skid N          deliver overflow interrupts N app refs late\n"
+      "  --drop-rate P     drop overflow interrupts with probability P\n"
+      "  --jitter-rate P   jitter counter reads with probability P\n"
+      "  --jitter-magnitude N  max read jitter (counts, default 0)\n"
+      "  --saturate N      saturate counter reads at N (0 = off)\n"
+      "  --reprogram-delay N  apply base/bounds writes N misses late\n"
+      "  --fault-seed N    PRNG seed for probabilistic faults\n"
+      "  --watchdog N      sampler dropped-interrupt watchdog interval,\n"
+      "                    cycles (default: auto when --drop-rate > 0)\n"
+      "\nresilience (docs/fault_injection.md):\n"
+      "  --max-cycles N    abort a run after N simulated cycles\n"
+      "  --wall-budget S   abort a run after S wall-clock seconds\n"
+      "  --retries N       retry transient failures up to N more times\n"
+      "  --checkpoint FILE journal completed runs (hpm.checkpoint.v1)\n"
+      "  --checkpoint-every N  flush the journal every N runs (default 1)\n"
+      "  --resume FILE     skip runs already completed in a journal\n"
+      "                    (continues journaling to the same file)\n"
+      "  --no-timing       omit wall-clock fields from JSON exports\n",
       stderr);
   return 2;
 }
@@ -185,13 +204,14 @@ void print_sweep(const harness::BatchResult& batch) {
 }
 
 bool write_json_file(const std::string& path,
-                     const harness::BatchResult& batch) {
+                     const harness::BatchResult& batch,
+                     const harness::JsonExportOptions& options) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "hpmrun: cannot open %s for writing\n", path.c_str());
     return false;
   }
-  harness::export_json(out, batch);
+  harness::export_json(out, batch, options);
   std::fprintf(stderr, "wrote %s (%zu runs)\n", path.c_str(),
                batch.items.size());
   return true;
@@ -204,7 +224,11 @@ int main(int argc, char** argv) {
                 {"workload", "tool", "jobs", "out", "period", "policy", "n",
                  "interval", "scale", "iterations", "cache", "series", "top",
                  "trace-out", "metrics-out", "timeline-every", "record-trace",
-                 "list-workloads", "list-tools", "seed", "help"});
+                 "list-workloads", "list-tools", "seed", "help", "skid",
+                 "drop-rate", "jitter-rate", "jitter-magnitude", "saturate",
+                 "reprogram-delay", "fault-seed", "watchdog", "max-cycles",
+                 "wall-budget", "retries", "checkpoint", "checkpoint-every",
+                 "resume", "no-timing"});
   if (!cli.ok()) return usage(cli.error().c_str());
   if (cli.has("help")) return usage(nullptr);
 
@@ -226,6 +250,27 @@ int main(int argc, char** argv) {
   const auto tool_names = split_list(cli.get("tool", "search"));
   if (workload_names.empty()) return usage("empty --workload list");
   if (tool_names.empty()) return usage("empty --tool list");
+  // Validate names up front: a typo should fail fast with a clear message,
+  // not surface as a mid-sweep per-run error.
+  for (const auto& name : workload_names) {
+    if (!workloads::is_workload_name(name)) {
+      std::fprintf(stderr,
+                   "hpmrun: unknown workload '%s' (--list-workloads shows "
+                   "available names)\n",
+                   name.c_str());
+      return 2;
+    }
+  }
+  for (const auto& tool : tool_names) {
+    if (tool != "none" && tool != "sample" && tool != "search" &&
+        tool != "nway") {
+      std::fprintf(
+          stderr,
+          "hpmrun: unknown tool '%s' (--list-tools shows available names)\n",
+          tool.c_str());
+      return 2;
+    }
+  }
 
   harness::RunConfig base;
   base.machine = harness::paper_machine();
@@ -235,6 +280,26 @@ int main(int argc, char** argv) {
     return usage("cache size must be a power of two");
   }
   if (cli.get_bool("series", false)) base.series_interval = 4'000'000;
+
+  // Fault plan and per-run budgets (applied to every run of the sweep).
+  base.machine.faults.skid_refs =
+      static_cast<std::uint32_t>(cli.get_uint("skid", 0));
+  base.machine.faults.drop_rate = cli.get_double("drop-rate", 0.0);
+  base.machine.faults.jitter_rate = cli.get_double("jitter-rate", 0.0);
+  base.machine.faults.jitter_magnitude =
+      static_cast<std::uint32_t>(cli.get_uint("jitter-magnitude", 0));
+  base.machine.faults.saturate_at = cli.get_uint("saturate", 0);
+  base.machine.faults.reprogram_delay_misses =
+      static_cast<std::uint32_t>(cli.get_uint("reprogram-delay", 0));
+  base.machine.faults.seed =
+      cli.get_uint("fault-seed", base.machine.faults.seed);
+  try {
+    sim::validate(base.machine.faults);
+  } catch (const std::exception& e) {
+    return usage(e.what());
+  }
+  base.machine.max_cycles = cli.get_uint("max-cycles", 0);
+  base.machine.wall_budget_seconds = cli.get_double("wall-budget", 0.0);
 
   // Any telemetry output switches the in-simulator instrumentation on; with
   // none of these flags the run carries zero telemetry cost.
@@ -259,6 +324,9 @@ int main(int argc, char** argv) {
         config.sampler.policy = core::PeriodPolicy::kPseudoRandom;
       } else if (policy != "fixed") {
         return usage("unknown --policy");
+      }
+      if (cli.has("watchdog")) {
+        config.sampler.watchdog_interval = cli.get_uint("watchdog", 0);
       }
     } else if (tool == "search" || tool == "nway") {
       config.tool = harness::ToolKind::kSearch;
@@ -339,6 +407,29 @@ int main(int argc, char** argv) {
   harness::BatchRunner::Options batch_options;
   batch_options.jobs = static_cast<unsigned>(cli.get_uint("jobs", 1));
   if (trace_sink && specs.size() > 1) batch_options.sink = trace_sink.get();
+
+  batch_options.resilience.retry.max_attempts =
+      1 + static_cast<unsigned>(cli.get_uint("retries", 0));
+  batch_options.resilience.checkpoint_every =
+      static_cast<std::size_t>(cli.get_uint("checkpoint-every", 1));
+  const std::string checkpoint_path = cli.get("checkpoint", "");
+  const std::string resume_path = cli.get("resume", "");
+  harness::CheckpointLoad resume_load;
+  if (!resume_path.empty()) {
+    try {
+      resume_load = harness::load_checkpoint(resume_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "hpmrun: %s\n", e.what());
+      return 1;
+    }
+    batch_options.resume = &resume_load;
+    // Keep journaling to the same file so a second interruption resumes
+    // from an even later point.
+    batch_options.resilience.checkpoint_path =
+        checkpoint_path.empty() ? resume_path : checkpoint_path;
+  } else if (!checkpoint_path.empty()) {
+    batch_options.resilience.checkpoint_path = checkpoint_path;
+  }
   if (specs.size() > 1) {
     batch_options.on_progress = [](std::size_t done, std::size_t total,
                                    const harness::BatchItem& item) {
@@ -348,7 +439,13 @@ int main(int argc, char** argv) {
                    item.ok ? "" : item.error.c_str());
     };
   }
-  const auto batch = harness::BatchRunner(batch_options).run(specs);
+  harness::BatchResult batch;
+  try {
+    batch = harness::BatchRunner(batch_options).run(specs);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hpmrun: %s\n", e.what());
+    return 1;
+  }
 
   if (trace_sink) {
     trace_sink->close();
@@ -358,11 +455,22 @@ int main(int argc, char** argv) {
 
   if (specs.size() == 1) {
     const auto& item = batch.items.front();
-    if (!item.ok) return usage(item.error.c_str());
+    if (!item.ok) {
+      // A run that started and then failed or timed out is a runtime
+      // error, not a usage error — report the outcome, skip the flag dump.
+      std::fprintf(stderr, "hpmrun: %s: %s (%s)\n", item.spec.name.c_str(),
+                   item.error.c_str(),
+                   std::string(harness::run_outcome_name(item.outcome))
+                       .c_str());
+      return 1;
+    }
     print_run(item.spec, item.result, top_k);
   } else {
     print_sweep(batch);
   }
+
+  harness::JsonExportOptions export_options;
+  export_options.include_timing = !cli.get_bool("no-timing", false);
 
   if (!metrics_out.empty()) {
     std::ofstream metrics_stream(metrics_out);
@@ -371,11 +479,13 @@ int main(int argc, char** argv) {
                    metrics_out.c_str());
       return 1;
     }
-    harness::export_metrics_json(metrics_stream, batch);
+    harness::export_metrics_json(metrics_stream, batch, export_options);
     std::fprintf(stderr, "wrote %s (%zu runs)\n", metrics_out.c_str(),
                  batch.items.size());
   }
 
-  if (!out_path.empty() && !write_json_file(out_path, batch)) return 1;
+  if (!out_path.empty() && !write_json_file(out_path, batch, export_options)) {
+    return 1;
+  }
   return batch.metrics.failed == 0 ? 0 : 1;
 }
