@@ -27,12 +27,8 @@ int main(int argc, char** argv) {
               "excluded)\n\n",
               static_cast<unsigned long long>(period), n);
 
-  util::Table table(
-      {"application", "object", "actual rank", "actual %", "sample rank",
-       "sample %", "search rank", "search %"},
-      {util::Align::kLeft, util::Align::kLeft, util::Align::kRight,
-       util::Align::kRight, util::Align::kRight, util::Align::kRight,
-       util::Align::kRight});
+  util::Table table =
+      core::make_comparison_table("application", {"sample", "search"});
 
   harness::RunConfig sample_cfg;
   sample_cfg.machine = harness::paper_machine();
@@ -69,27 +65,12 @@ int main(int argc, char** argv) {
     const auto search_est = searched.result.estimated.filtered(0.01);
 
     table.separator();
-    bool first = true;
     // The paper lists the top (up to) 5-8 actual objects per application.
-    const auto actual_top = actual.top(8);
-    for (const auto& row : actual_top.rows()) {
-      table.row().cell(first ? name : std::string()).cell(row.name);
-      first = false;
-      table.cell(static_cast<std::uint64_t>(actual.rank_of(row.name)));
-      table.cell(row.percent, 1);
-      if (const auto r = sample_est.rank_of(row.name)) {
-        table.cell(static_cast<std::uint64_t>(r));
-        table.cell(*sample_est.percent_of(row.name), 1);
-      } else {
-        table.blank().blank();
-      }
-      if (const auto r = search_est.rank_of(row.name)) {
-        table.cell(static_cast<std::uint64_t>(r));
-        table.cell(*search_est.percent_of(row.name), 1);
-      } else {
-        table.blank().blank();
-      }
-    }
+    core::append_comparison_rows(
+        table, {.label = name,
+                .actual = &actual,
+                .estimates = {&sample_est, &search_est},
+                .top_k = 8});
     std::fprintf(
         stderr, "[%s] misses=%llu samples=%llu search:%s iters=%u\n",
         name.c_str(),

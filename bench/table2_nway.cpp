@@ -19,12 +19,8 @@ int main(int argc, char** argv) {
 
   std::printf("Table 2: Results of Two-Way Versus Ten-Way Search\n\n");
 
-  util::Table table(
-      {"application", "object", "actual rank", "actual %", "2-way rank",
-       "2-way %", "10-way rank", "10-way %"},
-      {util::Align::kLeft, util::Align::kLeft, util::Align::kRight,
-       util::Align::kRight, util::Align::kRight, util::Align::kRight,
-       util::Align::kRight, util::Align::kRight});
+  util::Table table =
+      core::make_comparison_table("application", {"2-way", "10-way"});
 
   auto search_cfg = [](unsigned n) {
     harness::RunConfig config;
@@ -59,26 +55,10 @@ int main(int argc, char** argv) {
     const auto est10 = ten.result.estimated.filtered(0.01);
 
     table.separator();
-    bool first = true;
-    const auto actual_top = actual.top(8);
-    for (const auto& row : actual_top.rows()) {
-      table.row().cell(first ? name : std::string()).cell(row.name);
-      first = false;
-      table.cell(static_cast<std::uint64_t>(actual.rank_of(row.name)));
-      table.cell(row.percent, 1);
-      if (const auto r = est2.rank_of(row.name)) {
-        table.cell(static_cast<std::uint64_t>(r));
-        table.cell(*est2.percent_of(row.name), 1);
-      } else {
-        table.blank().blank();
-      }
-      if (const auto r = est10.rank_of(row.name)) {
-        table.cell(static_cast<std::uint64_t>(r));
-        table.cell(*est10.percent_of(row.name), 1);
-      } else {
-        table.blank().blank();
-      }
-    }
+    core::append_comparison_rows(table, {.label = name,
+                                         .actual = &actual,
+                                         .estimates = {&est2, &est10},
+                                         .top_k = 8});
     std::fprintf(stderr, "[%s] 2-way:%s(%u it)  10-way:%s(%u it)\n",
                  name.c_str(),
                  two.result.search_done ? "done" : "incomplete",

@@ -1,0 +1,193 @@
+#include "analysis/diff.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "harness/json_export.hpp"
+
+namespace hpm::analysis {
+namespace {
+
+/// Identity of a run for alignment: position-independent, includes the
+/// seed so re-seeded sweeps do not silently compare unlike runs.
+std::string run_key(const harness::BatchItem& item) {
+  return item.spec.name + "|" +
+         std::string(harness::tool_kind_name(item.spec.config.tool)) + "|" +
+         std::to_string(item.spec.options.seed);
+}
+
+class Comparer {
+ public:
+  Comparer(DiffResult& diff, const DiffOptions& options,
+           const std::string& run)
+      : diff_(diff), options_(options), run_(run) {}
+
+  /// Counters and other magnitudes: relative tolerance.
+  void count(const std::string& metric, double old_value, double new_value) {
+    ++diff_.metrics_compared;
+    if (old_value == new_value) return;
+    const bool regression =
+        std::abs(new_value - old_value) >
+        options_.count_rel_tol * std::abs(old_value);
+    push(metric, old_value, new_value, regression);
+  }
+
+  /// Miss-share percentages: absolute tolerance in points.
+  void percent(const std::string& metric, double old_value,
+               double new_value) {
+    ++diff_.metrics_compared;
+    if (old_value == new_value) return;
+    const bool regression =
+        std::abs(new_value - old_value) > options_.percent_abs_tol;
+    push(metric, old_value, new_value, regression);
+  }
+
+  /// Flags and identities: any change is a regression.
+  void exact(const std::string& metric, double old_value, double new_value) {
+    ++diff_.metrics_compared;
+    if (old_value == new_value) return;
+    push(metric, old_value, new_value, /*regression=*/true);
+  }
+
+ private:
+  void push(const std::string& metric, double old_value, double new_value,
+            bool regression) {
+    diff_.changed.push_back({run_, metric, old_value, new_value, regression});
+    if (regression) ++diff_.regressions;
+  }
+
+  DiffResult& diff_;
+  const DiffOptions& options_;
+  const std::string& run_;
+};
+
+void diff_reports(Comparer& compare, const std::string& prefix,
+                  const core::Report& older, const core::Report& newer) {
+  compare.count(prefix + ".total_count",
+                static_cast<double>(older.total_count()),
+                static_cast<double>(newer.total_count()));
+  // Union of object names, in a stable order: a vanished or newly
+  // appearing object is a share going to/from zero.
+  std::set<std::string> names;
+  for (const auto& row : older.rows()) names.insert(row.name);
+  for (const auto& row : newer.rows()) names.insert(row.name);
+  for (const auto& name : names) {
+    compare.percent(prefix + "." + name,
+                    older.percent_of(name).value_or(0.0),
+                    newer.percent_of(name).value_or(0.0));
+  }
+}
+
+void diff_items(DiffResult& diff, const DiffOptions& options,
+                const std::string& run, const harness::BatchItem& older,
+                const harness::BatchItem& newer) {
+  Comparer compare(diff, options, run);
+  compare.exact("ok", older.ok ? 1.0 : 0.0, newer.ok ? 1.0 : 0.0);
+  if (!older.ok || !newer.ok) return;
+
+  const auto& os = older.result.stats;
+  const auto& ns = newer.result.stats;
+  compare.count("stats.app_instructions",
+                static_cast<double>(os.app_instructions),
+                static_cast<double>(ns.app_instructions));
+  compare.count("stats.app_refs", static_cast<double>(os.app_refs),
+                static_cast<double>(ns.app_refs));
+  compare.count("stats.app_misses", static_cast<double>(os.app_misses),
+                static_cast<double>(ns.app_misses));
+  compare.count("stats.l1_hits", static_cast<double>(os.l1_hits),
+                static_cast<double>(ns.l1_hits));
+  compare.count("stats.tool_refs", static_cast<double>(os.tool_refs),
+                static_cast<double>(ns.tool_refs));
+  compare.count("stats.tool_misses", static_cast<double>(os.tool_misses),
+                static_cast<double>(ns.tool_misses));
+  compare.count("stats.app_cycles", static_cast<double>(os.app_cycles),
+                static_cast<double>(ns.app_cycles));
+  compare.count("stats.tool_cycles", static_cast<double>(os.tool_cycles),
+                static_cast<double>(ns.tool_cycles));
+  compare.count("stats.interrupts", static_cast<double>(os.interrupts),
+                static_cast<double>(ns.interrupts));
+  compare.count("samples", static_cast<double>(older.result.samples),
+                static_cast<double>(newer.result.samples));
+  compare.count("unattributed_misses",
+                static_cast<double>(older.result.unattributed_misses),
+                static_cast<double>(newer.result.unattributed_misses));
+  compare.exact("search_done", older.result.search_done ? 1.0 : 0.0,
+                newer.result.search_done ? 1.0 : 0.0);
+  compare.count("search_stats.iterations",
+                older.result.search_stats.iterations,
+                newer.result.search_stats.iterations);
+  compare.count("search_stats.splits", older.result.search_stats.splits,
+                newer.result.search_stats.splits);
+  compare.count("search_stats.continuations",
+                older.result.search_stats.continuations,
+                newer.result.search_stats.continuations);
+  diff_reports(compare, "actual", older.result.actual, newer.result.actual);
+  diff_reports(compare, "estimated", older.result.estimated,
+               newer.result.estimated);
+}
+
+}  // namespace
+
+DiffResult diff_batches(const harness::BatchResult& older,
+                        const harness::BatchResult& newer,
+                        const DiffOptions& options) {
+  DiffResult diff;
+  std::map<std::string, const harness::BatchItem*> old_by_key;
+  for (const auto& item : older.items) old_by_key[run_key(item)] = &item;
+
+  std::set<std::string> matched;
+  for (const auto& item : newer.items) {
+    const std::string key = run_key(item);
+    const auto it = old_by_key.find(key);
+    if (it == old_by_key.end()) {
+      diff.only_new.push_back(item.spec.name);
+      continue;
+    }
+    matched.insert(key);
+    ++diff.runs_compared;
+    diff_items(diff, options, item.spec.name, *it->second, item);
+  }
+  for (const auto& item : older.items) {
+    if (matched.count(run_key(item)) == 0) {
+      diff.only_old.push_back(item.spec.name);
+    }
+  }
+  diff.regressions += diff.only_old.size() + diff.only_new.size();
+  return diff;
+}
+
+util::Table diff_table(const DiffResult& diff) {
+  util::Table table({"run", "metric", "old", "new", "delta", "status"},
+                    {util::Align::kLeft, util::Align::kLeft,
+                     util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight, util::Align::kLeft});
+  for (const auto& delta : diff.changed) {
+    table.row().cell(delta.run).cell(delta.metric);
+    table.cell(delta.old_value, 4).cell(delta.new_value, 4);
+    const double rel = delta.old_value != 0.0
+                           ? 100.0 * (delta.new_value - delta.old_value) /
+                                 std::abs(delta.old_value)
+                           : 0.0;
+    if (delta.old_value != 0.0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%+.2f%%", rel);
+      table.cell(std::string(buf));
+    } else {
+      table.cell(std::string("new"));
+    }
+    table.cell(delta.regression ? "REGRESSION" : "ok (tolerated)");
+  }
+  for (const auto& name : diff.only_old) {
+    table.row().cell(name).cell("(run)").blank().blank().blank();
+    table.cell("REMOVED");
+  }
+  for (const auto& name : diff.only_new) {
+    table.row().cell(name).cell("(run)").blank().blank().blank();
+    table.cell("ADDED");
+  }
+  return table;
+}
+
+}  // namespace hpm::analysis

@@ -1,0 +1,59 @@
+// Run-to-run diff engine: align two batch documents and explain what
+// moved, so CI can gate on "did the numbers change?" instead of a human
+// eyeballing JSON.
+//
+// Runs are aligned by identity — (workload, tool, run name, seed) — never
+// by position, so reordering a sweep or interleaving extra runs does not
+// produce false deltas.  Every numeric metric of an aligned pair is
+// compared under configurable tolerances; anything beyond tolerance is a
+// regression, and unmatched runs always are.  diff of a document against
+// itself is empty by construction (the acceptance gate for CI self-diff).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "harness/batch.hpp"
+#include "util/table.hpp"
+
+namespace hpm::analysis {
+
+struct DiffOptions {
+  /// Relative tolerance on integer counters (misses, cycles, samples…):
+  /// |new - old| <= rel_tol * |old| passes.  0 = exact match required.
+  double count_rel_tol = 0.0;
+  /// Absolute tolerance, in percentage points, on per-object miss shares.
+  double percent_abs_tol = 0.0;
+};
+
+/// One metric that differs between the two documents.
+struct MetricDelta {
+  std::string run;     ///< aligned run key, e.g. "tomcatv/sample"
+  std::string metric;  ///< dotted path, e.g. "stats.app_misses"
+  double old_value = 0.0;
+  double new_value = 0.0;
+  bool regression = false;  ///< beyond tolerance
+};
+
+struct DiffResult {
+  std::size_t runs_compared = 0;
+  std::size_t metrics_compared = 0;
+  std::vector<MetricDelta> changed;     ///< every difference, tolerated or not
+  std::vector<std::string> only_old;    ///< runs missing from the new document
+  std::vector<std::string> only_new;    ///< runs absent from the old document
+  std::size_t regressions = 0;          ///< out-of-tolerance deltas + unmatched runs
+
+  [[nodiscard]] bool clean() const noexcept { return regressions == 0; }
+};
+
+/// Compare `older` against `newer`.  Wall-clock fields are never compared
+/// (they are environment, not results).
+[[nodiscard]] DiffResult diff_batches(const harness::BatchResult& older,
+                                      const harness::BatchResult& newer,
+                                      const DiffOptions& options = {});
+
+/// Render the changed metrics (and unmatched runs) as a util::Table.
+[[nodiscard]] util::Table diff_table(const DiffResult& diff);
+
+}  // namespace hpm::analysis

@@ -1,0 +1,47 @@
+#include "analysis/document.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace hpm::analysis {
+namespace {
+
+/// Re-throw any parse/validation failure with the file name prepended, so
+/// a user looking at a pipeline of several JSON artifacts knows which one
+/// is broken (the parser's own message carries the byte offset).
+template <typename Fn>
+auto with_context(const std::string& path, Fn&& parse)
+    -> decltype(parse()) {
+  try {
+    return parse();
+  } catch (const DocumentError&) {
+    throw;  // already located
+  } catch (const std::exception& e) {
+    throw DocumentError(path + ": " + e.what());
+  }
+}
+
+}  // namespace
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw DocumentError(path + ": cannot open for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) throw DocumentError(path + ": read error");
+  return std::move(buffer).str();
+}
+
+harness::BatchResult load_batch_file(const std::string& path) {
+  const std::string text = read_file(path);
+  return with_context(path,
+                      [&] { return harness::parse_batch_result(text); });
+}
+
+harness::MetricsDocument load_metrics_file(const std::string& path) {
+  const std::string text = read_file(path);
+  return with_context(path,
+                      [&] { return harness::parse_metrics_document(text); });
+}
+
+}  // namespace hpm::analysis

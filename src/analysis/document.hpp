@@ -1,0 +1,39 @@
+// Artifact ingestion for the analysis layer (hpmreport).
+//
+// Everything downstream — scoreboards, diffs, HTML reports — starts by
+// reading one of the JSON documents the write side already produces
+// (hpm.batch.v1/v2, hpm.metrics.v1).  These loaders wrap the harness
+// parsers with *located* errors: a malformed or truncated file fails with
+// the file name and the byte offset of the first bad character, never
+// with a default-constructed document.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "harness/json_export.hpp"
+
+namespace hpm::analysis {
+
+/// Failure to load or parse an analysis input.  what() always names the
+/// offending file; for syntax errors it also carries the byte offset
+/// reported by the JSON parser.
+class DocumentError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Read a whole file; throws DocumentError naming the path when the file
+/// cannot be opened or read.
+[[nodiscard]] std::string read_file(const std::string& path);
+
+/// Load + parse an hpm.batch.v1/v2 document.  Throws DocumentError with
+/// "path: ..." context on I/O errors, malformed JSON (with byte offset),
+/// or an unrecognised schema.
+[[nodiscard]] harness::BatchResult load_batch_file(const std::string& path);
+
+/// Load + parse an hpm.metrics.v1 companion document, same error contract.
+[[nodiscard]] harness::MetricsDocument load_metrics_file(
+    const std::string& path);
+
+}  // namespace hpm::analysis

@@ -1,0 +1,260 @@
+#include "analysis/html_report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace hpm::analysis {
+namespace {
+
+std::string fmt(double value, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt_u(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+constexpr const char* kStyle = R"css(
+  :root { color-scheme: light; }
+  body { font: 14px/1.5 -apple-system, "Segoe UI", Roboto, sans-serif;
+         margin: 2rem auto; max-width: 60rem; padding: 0 1rem;
+         color: #1c2733; background: #fafbfc; }
+  h1 { font-size: 1.5rem; } h2 { font-size: 1.1rem; margin: 0 0 .5rem; }
+  .card { background: #fff; border: 1px solid #dde3ea; border-radius: 8px;
+          padding: 1rem 1.25rem; margin: 1rem 0; }
+  .badges span { display: inline-block; border-radius: 4px; padding: 0 .5em;
+          margin-right: .5em; font-size: .85em; background: #eef2f6; }
+  .badges .bad { background: #fdecea; color: #8a1f11; }
+  .badges .warn { background: #fff4e5; color: #7a4d05; }
+  table { border-collapse: collapse; margin: .5rem 0; }
+  th, td { border: 1px solid #dde3ea; padding: .2rem .6rem; text-align: right; }
+  th:first-child, td:first-child { text-align: left; }
+  th { background: #f1f4f8; font-weight: 600; }
+  .bar-actual { fill: #3b6ea5; } .bar-estimated { fill: #e0a43b; }
+  .axis { stroke: #c3ccd6; stroke-width: 1; }
+  .spark { stroke: #3b6ea5; stroke-width: 1.5; fill: none; }
+  .label { font: 11px sans-serif; fill: #4a5763; }
+  .legend { font-size: .85em; color: #4a5763; }
+)css";
+
+/// Horizontal grouped bar chart: actual vs estimated miss share per object.
+void write_bar_chart(std::ostream& out, const core::Report& actual,
+                     const core::Report& estimated, std::size_t top_k) {
+  const auto top = actual.top(top_k);
+  if (top.empty()) return;
+  double max_percent = 1.0;
+  for (const auto& row : top.rows()) {
+    max_percent = std::max(max_percent, row.percent);
+    max_percent =
+        std::max(max_percent, estimated.percent_of(row.name).value_or(0.0));
+  }
+  const int label_w = 150;
+  const int chart_w = 440;
+  const int row_h = 34;
+  const int height = static_cast<int>(top.size()) * row_h + 8;
+  out << "<svg width=\"" << (label_w + chart_w + 60) << "\" height=\""
+      << height << "\" role=\"img\">\n";
+  int y = 4;
+  for (const auto& row : top.rows()) {
+    const double est = estimated.percent_of(row.name).value_or(0.0);
+    const double wa = row.percent / max_percent * chart_w;
+    const double we = est / max_percent * chart_w;
+    out << "<text class=\"label\" x=\"" << (label_w - 6) << "\" y=\""
+        << (y + 16) << "\" text-anchor=\"end\">" << html_escape(row.name)
+        << "</text>\n";
+    out << "<rect class=\"bar-actual\" x=\"" << label_w << "\" y=\"" << y
+        << "\" width=\"" << fmt(wa, 1) << "\" height=\"11\"/>\n";
+    out << "<rect class=\"bar-estimated\" x=\"" << label_w << "\" y=\""
+        << (y + 13) << "\" width=\"" << fmt(we, 1) << "\" height=\"11\"/>\n";
+    out << "<text class=\"label\" x=\"" << (label_w + wa + 4) << "\" y=\""
+        << (y + 10) << "\">" << fmt(row.percent, 1) << "</text>\n";
+    out << "<text class=\"label\" x=\"" << (label_w + we + 4) << "\" y=\""
+        << (y + 23) << "\">" << fmt(est, 1) << "</text>\n";
+    y += row_h;
+  }
+  out << "<line class=\"axis\" x1=\"" << label_w << "\" y1=\"0\" x2=\""
+      << label_w << "\" y2=\"" << height << "\"/>\n";
+  out << "</svg>\n";
+  out << "<div class=\"legend\"><svg width=\"12\" height=\"10\"><rect "
+         "class=\"bar-actual\" width=\"12\" height=\"10\"/></svg> actual % "
+         "&nbsp; <svg width=\"12\" height=\"10\"><rect "
+         "class=\"bar-estimated\" width=\"12\" height=\"10\"/></svg> "
+         "estimated %</div>\n";
+}
+
+/// Miss-rate sparkline over the phase timeline.
+void write_sparkline(std::ostream& out,
+                     const telemetry::RunMetrics& metrics) {
+  if (metrics.timeline.size() < 2) return;
+  const int width = 560;
+  const int height = 56;
+  double max_rate = 0.0;
+  for (const auto& sample : metrics.timeline) {
+    max_rate = std::max(max_rate, sample.miss_rate());
+  }
+  if (max_rate <= 0.0) return;
+  out << "<div><span class=\"legend\">miss rate over phase timeline ("
+      << metrics.timeline.size() << " slices of "
+      << fmt_u(metrics.timeline_every) << " cycles)</span><br>\n";
+  out << "<svg width=\"" << width << "\" height=\"" << height
+      << "\"><polyline class=\"spark\" points=\"";
+  const std::size_t n = metrics.timeline.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / static_cast<double>(n - 1) *
+                     (width - 4) + 2;
+    const double y = height - 4 -
+                     metrics.timeline[i].miss_rate() / max_rate *
+                         (height - 8);
+    if (i != 0) out << ' ';
+    out << fmt(x, 1) << ',' << fmt(y, 1);
+  }
+  out << "\"/></svg></div>\n";
+}
+
+void write_scoreboard_section(std::ostream& out,
+                              const Scoreboard& scoreboard) {
+  out << "<div class=\"card\"><h2>Accuracy scoreboard (top-"
+      << scoreboard.options.top_k << ")</h2>\n";
+  out << "<table><tr><th>run</th><th>tool</th><th>objects</th>"
+         "<th>missing</th><th>mean |err| %</th><th>max |err| %</th>"
+         "<th>top-k overlap</th><th>spearman</th><th>order agree</th>"
+         "<th>overhead %</th></tr>\n";
+  for (const auto& row : scoreboard.rows) {
+    out << "<tr><td>" << html_escape(row.name) << "</td><td>"
+        << html_escape(row.tool) << "</td><td>" << row.objects << "</td><td>"
+        << row.missing << "</td><td>" << fmt(row.mean_abs_error)
+        << "</td><td>" << fmt(row.max_abs_error) << "</td><td>"
+        << fmt(row.topk_overlap, 3) << "</td><td>" << fmt(row.spearman, 3)
+        << "</td><td>" << fmt(row.order_agreement, 3) << "</td><td>"
+        << fmt(row.overhead_percent, 4) << "</td></tr>\n";
+  }
+  out << "</table></div>\n";
+}
+
+void write_faults_block(std::ostream& out, const harness::BatchItem& item) {
+  const sim::FaultPlan& plan = item.spec.config.machine.faults;
+  const sim::FaultStats& stats = item.result.fault_stats;
+  out << "<h3>Injected faults</h3><table>"
+      << "<tr><th>plan</th><th>value</th><th>observed</th><th>count</th></tr>"
+      << "<tr><td>skid_refs</td><td>" << plan.skid_refs
+      << "</td><td>skid_events</td><td>" << fmt_u(stats.skid_events)
+      << "</td></tr>"
+      << "<tr><td>drop_rate</td><td>" << fmt(plan.drop_rate, 4)
+      << "</td><td>interrupts_dropped</td><td>"
+      << fmt_u(stats.interrupts_dropped) << "</td></tr>"
+      << "<tr><td>jitter_rate</td><td>" << fmt(plan.jitter_rate, 4)
+      << "</td><td>reads_jittered</td><td>" << fmt_u(stats.reads_jittered)
+      << "</td></tr>"
+      << "<tr><td>saturate_at</td><td>" << fmt_u(plan.saturate_at)
+      << "</td><td>reads_saturated</td><td>" << fmt_u(stats.reads_saturated)
+      << "</td></tr>"
+      << "<tr><td>reprogram_delay</td><td>" << plan.reprogram_delay_misses
+      << "</td><td>reprograms_delayed</td><td>"
+      << fmt_u(stats.reprograms_delayed) << "</td></tr>"
+      << "<tr><td>sampler</td><td>-</td><td>rearms / discarded</td><td>"
+      << fmt_u(item.result.sampler_rearms) << " / "
+      << fmt_u(item.result.samples_discarded) << "</td></tr></table>\n";
+}
+
+}  // namespace
+
+std::string html_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&#39;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void render_html(std::ostream& out, const harness::BatchResult& batch,
+                 const Scoreboard* scoreboard,
+                 const harness::MetricsDocument* metrics,
+                 const HtmlOptions& options) {
+  out << "<!doctype html>\n<html lang=\"en\">\n<head>\n"
+      << "<meta charset=\"utf-8\">\n<title>" << html_escape(options.title)
+      << "</title>\n<style>" << kStyle << "</style>\n</head>\n<body>\n";
+  out << "<h1>" << html_escape(options.title) << "</h1>\n";
+
+  out << "<div class=\"card\"><h2>Batch</h2><table>"
+      << "<tr><th>runs</th><th>failed</th><th>jobs</th>"
+      << "<th>virtual cycles</th><th>app misses</th><th>interrupts</th></tr>"
+      << "<tr><td>" << batch.metrics.runs << "</td><td>"
+      << batch.metrics.failed << "</td><td>" << batch.metrics.jobs
+      << "</td><td>" << fmt_u(batch.metrics.virtual_cycles) << "</td><td>"
+      << fmt_u(batch.metrics.app_misses) << "</td><td>"
+      << fmt_u(batch.metrics.interrupts) << "</td></tr></table></div>\n";
+
+  if (scoreboard != nullptr && !scoreboard->rows.empty()) {
+    write_scoreboard_section(out, *scoreboard);
+  }
+
+  for (const auto& item : batch.items) {
+    out << "<div class=\"card\">\n<h2>" << html_escape(item.spec.name)
+        << "</h2>\n<div class=\"badges\">"
+        << "<span>" << html_escape(item.spec.workload) << "</span>"
+        << "<span>"
+        << html_escape(
+               std::string(harness::tool_kind_name(item.spec.config.tool)))
+        << "</span>";
+    if (!item.ok) {
+      out << "<span class=\"bad\">"
+          << html_escape(std::string(harness::run_outcome_name(item.outcome)))
+          << "</span>";
+    } else if (item.outcome == harness::RunOutcome::kRetried) {
+      out << "<span class=\"warn\">retried (" << item.attempts
+          << " attempts)</span>";
+    }
+    out << "</div>\n";
+    if (!item.ok) {
+      out << "<p class=\"bad\">" << html_escape(item.error) << "</p></div>\n";
+      continue;
+    }
+
+    const auto& stats = item.result.stats;
+    out << "<table><tr><th>refs</th><th>misses</th><th>cycles</th>"
+        << "<th>interrupts</th><th>tool cycles</th><th>overhead %</th>"
+        << "</tr><tr><td>" << fmt_u(stats.app_refs) << "</td><td>"
+        << fmt_u(stats.app_misses) << "</td><td>"
+        << fmt_u(stats.total_cycles()) << "</td><td>"
+        << fmt_u(stats.interrupts) << "</td><td>"
+        << fmt_u(stats.tool_cycles) << "</td><td>"
+        << fmt(stats.total_cycles() > 0
+                   ? 100.0 * static_cast<double>(stats.tool_cycles) /
+                         static_cast<double>(stats.total_cycles())
+                   : 0.0,
+               4)
+        << "</td></tr></table>\n";
+
+    write_bar_chart(out, item.result.actual, item.result.estimated,
+                    options.top_k);
+
+    if (!item.spec.config.machine.faults.none()) {
+      write_faults_block(out, item);
+    }
+
+    if (metrics != nullptr) {
+      for (const auto& run : metrics->runs) {
+        if (run.name == item.spec.name && run.metrics.enabled) {
+          write_sparkline(out, run.metrics);
+          break;
+        }
+      }
+    }
+    out << "</div>\n";
+  }
+
+  out << "</body>\n</html>\n";
+}
+
+}  // namespace hpm::analysis

@@ -1,0 +1,37 @@
+// Self-contained HTML report: one file, no external dependencies — all
+// CSS inline, all charts hand-written SVG — so a sweep's results can be
+// attached to a CI run or mailed around and still render anywhere.
+//
+// Content per run: per-object miss bar chart (actual vs estimated share),
+// machine stats, outcome/attempt and injected-fault blocks when present,
+// and — when an hpm.metrics.v1 companion is supplied — a phase-timeline
+// sparkline of the miss rate.  Deterministic output: no timestamps, no
+// random ids, so the same inputs render byte-identical HTML.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "analysis/scoreboard.hpp"
+#include "harness/batch.hpp"
+#include "harness/json_export.hpp"
+
+namespace hpm::analysis {
+
+struct HtmlOptions {
+  std::string title = "hpmreport";
+  std::size_t top_k = 10;  ///< objects charted per run
+};
+
+/// Escape text for inclusion in HTML body or attribute context.
+[[nodiscard]] std::string html_escape(std::string_view text);
+
+/// Render the full report.  `scoreboard` and `metrics` are optional
+/// (nullptr skips the section); `metrics` runs are matched to batch items
+/// by run name.
+void render_html(std::ostream& out, const harness::BatchResult& batch,
+                 const Scoreboard* scoreboard,
+                 const harness::MetricsDocument* metrics,
+                 const HtmlOptions& options = {});
+
+}  // namespace hpm::analysis

@@ -1,0 +1,200 @@
+#include "analysis/scoreboard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "harness/json_export.hpp"
+#include "util/stats.hpp"
+
+namespace hpm::analysis {
+namespace {
+
+/// Fractional ranks (1-based, average ties).  Larger value = rank 1, to
+/// match how the reports rank objects (descending miss share).
+std::vector<double> fractional_ranks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return values[a] > values[b];
+                   });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Positions i..j (0-based) share the average of ranks i+1..j+1.
+    const double rank = (static_cast<double>(i) + static_cast<double>(j)) /
+                            2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double spearman_rank_correlation(std::span<const double> a,
+                                 std::span<const double> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n < 2) return 1.0;
+  const auto ra = fractional_ranks(a.subspan(0, n));
+  const auto rb = fractional_ranks(b.subspan(0, n));
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mean_a += ra[i];
+    mean_b += rb[i];
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = ra[i] - mean_a;
+    const double db = rb[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 && var_b == 0.0) return 1.0;  // both constant: all tied
+  if (var_a == 0.0 || var_b == 0.0) return 0.0;  // one side uninformative
+  return cov / std::sqrt(var_a * var_b);
+}
+
+Scoreboard score_batch(const harness::BatchResult& batch,
+                       const ScoreboardOptions& options) {
+  Scoreboard scoreboard;
+  scoreboard.options = options;
+
+  // Exact-profile baseline for a run: its own "actual" report, or — when
+  // the run was executed with exact profiling off — the profile of a
+  // tool="none" run of the same workload and seed.
+  const auto baseline_for =
+      [&](const harness::BatchItem& item) -> const core::Report* {
+    if (!item.result.actual.empty()) return &item.result.actual;
+    for (const auto& other : batch.items) {
+      if (!other.ok) continue;
+      if (other.spec.config.tool != harness::ToolKind::kNone) continue;
+      if (other.spec.workload != item.spec.workload) continue;
+      if (other.spec.options.seed != item.spec.options.seed) continue;
+      if (!other.result.actual.empty()) return &other.result.actual;
+    }
+    return nullptr;
+  };
+
+  for (const auto& item : batch.items) {
+    if (!item.ok) continue;
+    if (item.spec.config.tool == harness::ToolKind::kNone) continue;
+    const core::Report* baseline = baseline_for(item);
+    if (baseline == nullptr) continue;
+
+    ScoreRow row;
+    row.name = item.spec.name;
+    row.workload = item.spec.workload;
+    row.tool = harness::tool_kind_name(item.spec.config.tool);
+    row.samples = item.result.samples;
+    const auto& stats = item.result.stats;
+    if (stats.total_cycles() > 0) {
+      row.overhead_percent = 100.0 *
+                             static_cast<double>(stats.tool_cycles) /
+                             static_cast<double>(stats.total_cycles());
+    }
+
+    const core::Report actual =
+        baseline->filtered(options.min_percent).top(options.top_k);
+    const core::Report& estimated = item.result.estimated;
+    std::vector<double> act;
+    std::vector<double> est;
+    for (const auto& object : actual.rows()) {
+      ++row.objects;
+      act.push_back(object.percent);
+      const auto e = estimated.percent_of(object.name);
+      est.push_back(e.value_or(0.0));
+      if (!e) ++row.missing;
+      const double err = std::abs(object.percent - e.value_or(0.0));
+      row.max_abs_error = std::max(row.max_abs_error, err);
+      row.mean_abs_error += err;
+    }
+    if (row.objects > 0) {
+      row.mean_abs_error /= static_cast<double>(row.objects);
+    }
+
+    std::unordered_set<std::string> estimated_top;
+    for (const auto& object : estimated.top(options.top_k).rows()) {
+      estimated_top.insert(object.name);
+    }
+    if (row.objects > 0) {
+      std::size_t hits = 0;
+      for (const auto& object : actual.rows()) {
+        if (estimated_top.count(object.name) != 0) ++hits;
+      }
+      row.topk_overlap = static_cast<double>(hits) /
+                         static_cast<double>(row.objects);
+    }
+
+    row.spearman = spearman_rank_correlation(act, est);
+    row.order_agreement = util::pairwise_order_agreement(act, est);
+    scoreboard.rows.push_back(std::move(row));
+  }
+  return scoreboard;
+}
+
+util::Table scoreboard_table(const Scoreboard& scoreboard) {
+  util::Table table(
+      {"run", "tool", "objects", "missing", "mean |err| %", "max |err| %",
+       "top-k overlap", "spearman", "order agree", "overhead %", "samples"},
+      {util::Align::kLeft, util::Align::kLeft, util::Align::kRight,
+       util::Align::kRight, util::Align::kRight, util::Align::kRight,
+       util::Align::kRight, util::Align::kRight, util::Align::kRight,
+       util::Align::kRight, util::Align::kRight});
+  for (const auto& row : scoreboard.rows) {
+    table.row().cell(row.name).cell(row.tool);
+    table.cell(static_cast<std::uint64_t>(row.objects));
+    table.cell(static_cast<std::uint64_t>(row.missing));
+    table.cell(row.mean_abs_error, 2).cell(row.max_abs_error, 2);
+    table.cell(row.topk_overlap, 3).cell(row.spearman, 3);
+    table.cell(row.order_agreement, 3).cell(row.overhead_percent, 4);
+    if (row.samples > 0) {
+      table.cell(row.samples);
+    } else {
+      table.blank();
+    }
+  }
+  return table;
+}
+
+void export_json(std::ostream& out, const Scoreboard& scoreboard,
+                 int indent) {
+  harness::JsonWriter w(out, indent);
+  w.begin_object();
+  w.key("schema").value("hpm.analysis.v1");
+  w.key("top_k").value(static_cast<std::uint64_t>(scoreboard.options.top_k));
+  w.key("min_percent").value(scoreboard.options.min_percent);
+  w.key("rows").begin_array();
+  for (const auto& row : scoreboard.rows) {
+    w.begin_object();
+    w.key("name").value(row.name);
+    w.key("workload").value(row.workload);
+    w.key("tool").value(row.tool);
+    w.key("objects").value(static_cast<std::uint64_t>(row.objects));
+    w.key("missing").value(static_cast<std::uint64_t>(row.missing));
+    w.key("mean_abs_error").value(row.mean_abs_error);
+    w.key("max_abs_error").value(row.max_abs_error);
+    w.key("topk_overlap").value(row.topk_overlap);
+    w.key("spearman").value(row.spearman);
+    w.key("order_agreement").value(row.order_agreement);
+    w.key("overhead_percent").value(row.overhead_percent);
+    w.key("samples").value(row.samples);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << '\n';
+}
+
+}  // namespace hpm::analysis

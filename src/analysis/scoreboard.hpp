@@ -1,0 +1,76 @@
+// Accuracy scoreboard: mechanically score every sampled / N-way run in a
+// batch document against the exact per-object miss profile.
+//
+// The paper's contribution is judged by how closely the cheap techniques
+// track ground truth (Tables 1-2); the scoreboard turns that judgement
+// into numbers — per-object attribution error, top-k overlap, Spearman
+// rank correlation, pairwise order agreement — computed per run from a
+// parsed hpm.batch document.  Deterministic: the scoreboard is a pure
+// function of the document, so scoring a checked-in golden export is
+// byte-for-byte stable across platforms (see tests/golden/
+// analysis_scoreboard.json).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "harness/batch.hpp"
+#include "util/table.hpp"
+
+namespace hpm::analysis {
+
+struct ScoreboardOptions {
+  /// Ground-truth objects scored per run (the paper's tables list the top
+  /// 5-8; the golden pipeline uses 10).
+  std::size_t top_k = 10;
+  /// Drop ground-truth objects below this miss share before scoring
+  /// (0 scores everything; the paper's tables use 0.01).
+  double min_percent = 0.0;
+};
+
+/// One run's accuracy against the exact profile.
+struct ScoreRow {
+  std::string name;      ///< run label, e.g. "tomcatv/sample"
+  std::string workload;
+  std::string tool;      ///< "sample" | "search"
+  std::size_t objects = 0;  ///< ground-truth objects scored (<= top_k)
+  std::size_t missing = 0;  ///< of those, absent from the estimate
+  double mean_abs_error = 0.0;  ///< mean |actual% - estimated%|, points
+  double max_abs_error = 0.0;   ///< worst single object, points
+  double topk_overlap = 1.0;    ///< |top-k(actual) ∩ top-k(est)| / k
+  double spearman = 1.0;        ///< rank correlation in [-1, 1]
+  double order_agreement = 1.0; ///< pairwise order consistency in [0, 1]
+  double overhead_percent = 0.0;  ///< tool cycles / total cycles
+  std::uint64_t samples = 0;      ///< sampler runs only
+};
+
+struct Scoreboard {
+  ScoreboardOptions options;
+  std::vector<ScoreRow> rows;  ///< document order (skipped runs omitted)
+};
+
+/// Spearman rank correlation of two paired vectors (average ranks for
+/// ties).  Degenerate inputs: fewer than two points or two constant
+/// vectors score 1.0; one constant vector against a varying one scores
+/// 0.0 (no ordering information to agree with).
+[[nodiscard]] double spearman_rank_correlation(std::span<const double> a,
+                                               std::span<const double> b);
+
+/// Score every successful run that produced an estimate.  Ground truth is
+/// the run's own exact profile ("actual"); a run whose exact profile is
+/// empty borrows the profile of a tool="none" run of the same workload
+/// and seed, and is skipped (not scored) when no baseline exists.
+[[nodiscard]] Scoreboard score_batch(const harness::BatchResult& batch,
+                                     const ScoreboardOptions& options = {});
+
+/// Render as an aligned util::Table (one row per scored run).
+[[nodiscard]] util::Table scoreboard_table(const Scoreboard& scoreboard);
+
+/// Export as an "hpm.analysis.v1" JSON document (see docs/analysis.md).
+void export_json(std::ostream& out, const Scoreboard& scoreboard,
+                 int indent = 2);
+
+}  // namespace hpm::analysis

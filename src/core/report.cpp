@@ -73,4 +73,43 @@ Report::Comparison Report::compare(const Report& actual,
   return c;
 }
 
+util::Table make_comparison_table(
+    std::string_view label_header,
+    const std::vector<std::string>& estimate_names) {
+  std::vector<std::string> headers{std::string(label_header), "object",
+                                   "actual rank", "actual %"};
+  std::vector<util::Align> aligns{util::Align::kLeft, util::Align::kLeft,
+                                  util::Align::kRight, util::Align::kRight};
+  for (const auto& name : estimate_names) {
+    headers.push_back(name + " rank");
+    headers.push_back(name + " %");
+    aligns.push_back(util::Align::kRight);
+    aligns.push_back(util::Align::kRight);
+  }
+  return util::Table(std::move(headers), std::move(aligns));
+}
+
+void append_comparison_rows(util::Table& table,
+                            const ComparisonTableSpec& spec) {
+  if (spec.actual == nullptr) return;
+  const Report top = spec.actual->top(spec.top_k);
+  bool first = true;
+  for (const auto& row : top.rows()) {
+    table.row().cell(first ? spec.label : std::string()).cell(row.name);
+    first = false;
+    table.cell(static_cast<std::uint64_t>(spec.actual->rank_of(row.name)));
+    table.cell(row.percent, spec.precision);
+    for (const Report* estimate : spec.estimates) {
+      const std::size_t rank =
+          estimate != nullptr ? estimate->rank_of(row.name) : 0;
+      if (rank != 0) {
+        table.cell(static_cast<std::uint64_t>(rank));
+        table.cell(*estimate->percent_of(row.name), spec.precision);
+      } else {
+        table.blank().blank();
+      }
+    }
+  }
+}
+
 }  // namespace hpm::core

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "objmap/object_id.hpp"
+#include "util/table.hpp"
 
 namespace hpm::core {
 
@@ -68,5 +69,36 @@ class Report {
   std::vector<ReportRow> rows_;
   std::uint64_t total_ = 0;
 };
+
+// -- Comparison tables --------------------------------------------------------
+//
+// The paper's Tables 1-2, hpmrun's single-run output, and the HTML report
+// all print the same shape: per top-k actual object, the actual rank and
+// miss share next to each estimate's rank and share (blank when the
+// estimate missed the object entirely).  These helpers are the single
+// implementation of that shape.
+
+/// One comparison block: ground truth plus any number of named estimates.
+struct ComparisonTableSpec {
+  /// First-column value (e.g. the application name), printed on the first
+  /// row only; empty prints nothing.
+  std::string label;
+  const Report* actual = nullptr;  ///< ground truth, already filtered
+  std::vector<const Report*> estimates;
+  std::size_t top_k = 8;  ///< actual objects listed
+  int precision = 1;      ///< decimal places on percent cells
+};
+
+/// Build an empty table with the canonical header layout:
+/// {label_header, "object", "actual rank", "actual %"} then
+/// {"<name> rank", "<name> %"} per estimate name.
+[[nodiscard]] util::Table make_comparison_table(
+    std::string_view label_header,
+    const std::vector<std::string>& estimate_names);
+
+/// Append one row per top-k actual object.  Ranks are looked up in the
+/// full (filtered) reports, so an object's estimate rank can exceed top_k.
+void append_comparison_rows(util::Table& table,
+                            const ComparisonTableSpec& spec);
 
 }  // namespace hpm::core

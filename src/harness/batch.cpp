@@ -116,6 +116,9 @@ BatchResult BatchRunner::run(const std::vector<RunSpec>& specs) const {
   for (std::size_t i = 0; i < specs.size(); ++i) {
     if (prefilled[i]) ++done;
   }
+  if (options_.observer != nullptr) {
+    options_.observer->on_batch_start(specs.size(), done, jobs);
+  }
 
   {
     ThreadPool pool(jobs);
@@ -127,6 +130,11 @@ BatchResult BatchRunner::run(const std::vector<RunSpec>& specs) const {
         item.spec = specs[i];
         if (options_.derive_seeds) {
           item.spec.options.seed = derived_seed(specs[i].options.seed, i);
+        }
+        const unsigned worker = ThreadPool::current_worker_index();
+        if (options_.observer != nullptr) {
+          std::lock_guard lock(progress_mutex);
+          options_.observer->on_run_start(i, item.spec, worker);
         }
         const RetryPolicy& retry = options_.resilience.retry;
         const unsigned max_attempts = std::max(1u, retry.max_attempts);
@@ -157,6 +165,11 @@ BatchResult BatchRunner::run(const std::vector<RunSpec>& specs) const {
               item.outcome = RunOutcome::kFailed;
               break;
             }
+            if (options_.observer != nullptr) {
+              std::lock_guard lock(progress_mutex);
+              options_.observer->on_run_retry(i, item.spec, worker, attempt,
+                                              item.error);
+            }
             const double backoff = retry.backoff_seconds(attempt);
             if (backoff > 0.0) {
               std::this_thread::sleep_for(
@@ -183,7 +196,6 @@ BatchResult BatchRunner::run(const std::vector<RunSpec>& specs) const {
                 std::chrono::duration_cast<std::chrono::microseconds>(d)
                     .count());
           };
-          const unsigned worker = ThreadPool::current_worker_index();
           telemetry::TraceEvent event;
           event.category = "batch";
           event.name = item.spec.name;
@@ -209,6 +221,10 @@ BatchResult BatchRunner::run(const std::vector<RunSpec>& specs) const {
           if (options_.on_progress) {
             options_.on_progress(done, specs.size(), item);
           }
+          if (options_.observer != nullptr) {
+            options_.observer->on_run_finish(done, specs.size(), i, item,
+                                             worker);
+          }
         }
       });
     }
@@ -225,6 +241,9 @@ BatchResult BatchRunner::run(const std::vector<RunSpec>& specs) const {
     batch.metrics.virtual_cycles += item.result.stats.total_cycles();
     batch.metrics.app_misses += item.result.stats.app_misses;
     batch.metrics.interrupts += item.result.stats.interrupts;
+  }
+  if (options_.observer != nullptr) {
+    options_.observer->on_batch_finish(batch.metrics);
   }
   return batch;
 }

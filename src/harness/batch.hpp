@@ -61,6 +61,36 @@ struct BatchResult {
   BatchMetrics metrics;
 };
 
+/// Structured progress sink for a batch run.  Every callback is invoked
+/// under one internal mutex, so implementations may mutate their own state
+/// without further locking; `worker` is the pool worker index executing the
+/// run.  Observability only: observers see results, they never influence
+/// them, so the jobs=1 == jobs=N determinism contract is unaffected.
+class BatchObserver {
+ public:
+  virtual ~BatchObserver() = default;
+  /// Before any run starts.  `already_done` counts items adopted from a
+  /// resume journal; `jobs` is the resolved worker count.
+  virtual void on_batch_start(std::size_t /*total*/,
+                              std::size_t /*already_done*/,
+                              unsigned /*jobs*/) {}
+  /// A worker picked up spec `index` (seed already derived if enabled).
+  virtual void on_run_start(std::size_t /*index*/, const RunSpec& /*spec*/,
+                            unsigned /*worker*/) {}
+  /// Attempt `attempts` of spec `index` failed transiently and will be
+  /// retried (called before any backoff sleep).
+  virtual void on_run_retry(std::size_t /*index*/, const RunSpec& /*spec*/,
+                            unsigned /*worker*/, unsigned /*attempts*/,
+                            const std::string& /*error*/) {}
+  /// Spec `index` finished (ok or not); `done` counts completed runs
+  /// including resumed ones.
+  virtual void on_run_finish(std::size_t /*done*/, std::size_t /*total*/,
+                             std::size_t /*index*/, const BatchItem& /*item*/,
+                             unsigned /*worker*/) {}
+  /// After the pool drained and metrics were finalized.
+  virtual void on_batch_finish(const BatchMetrics& /*metrics*/) {}
+};
+
 class BatchRunner {
  public:
   /// Called after each run completes (from a worker thread, serialized by
@@ -94,6 +124,9 @@ class BatchRunner {
     /// Test hook: replaces run_experiment for every run.  Used by the
     /// resilience tests to inject transient failures deterministically.
     std::function<RunResult(const RunSpec& spec, std::size_t index)> runner;
+    /// Structured progress sink (not owned; null disables).  Richer than
+    /// on_progress: start/retry/finish events with worker attribution.
+    BatchObserver* observer = nullptr;
   };
 
   BatchRunner();

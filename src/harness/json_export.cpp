@@ -483,7 +483,9 @@ core::Report parse_report(const JsonValue& node) {
   return core::Report(std::move(rows), node.at("total_count").uint());
 }
 
-telemetry::RunMetrics parse_metrics(const JsonValue& node) {
+}  // namespace
+
+telemetry::RunMetrics parse_run_metrics(const JsonValue& node) {
   telemetry::RunMetrics metrics;
   metrics.enabled = true;
   const JsonValue& counters = node.at("counters");
@@ -526,6 +528,8 @@ telemetry::RunMetrics parse_metrics(const JsonValue& node) {
   }
   return metrics;
 }
+
+namespace {
 
 RunResult parse_run_result(const JsonValue& node) {
   RunResult result;
@@ -570,12 +574,59 @@ RunResult parse_run_result(const JsonValue& node) {
     }
   }
   if (const JsonValue* metrics = node.find("metrics")) {
-    result.metrics = parse_metrics(*metrics);
+    result.metrics = parse_run_metrics(*metrics);
   }
   return result;
 }
 
 }  // namespace
+
+BatchResult parse_batch_result(const JsonValue& doc) {
+  const std::string& schema = doc.at("schema").str();
+  if (schema != "hpm.batch.v1" && schema != "hpm.batch.v2") {
+    throw std::runtime_error("unrecognised batch schema: " + schema);
+  }
+  BatchResult batch;
+  batch.metrics.jobs = static_cast<unsigned>(doc.at("jobs").uint());
+  batch.metrics.runs = static_cast<std::size_t>(doc.at("runs").uint());
+  batch.metrics.failed = static_cast<std::size_t>(doc.at("failed").uint());
+  if (const JsonValue* wall = doc.find("wall_seconds")) {
+    batch.metrics.wall_seconds = wall->number();
+  }
+  const JsonValue& totals = doc.at("totals");
+  batch.metrics.virtual_cycles = totals.at("virtual_cycles").uint();
+  batch.metrics.app_misses = totals.at("app_misses").uint();
+  batch.metrics.interrupts = totals.at("interrupts").uint();
+  for (const JsonValue& item : doc.at("items").array()) {
+    batch.items.push_back(parse_batch_item(item));
+  }
+  return batch;
+}
+
+BatchResult parse_batch_result(std::string_view json) {
+  return parse_batch_result(JsonValue::parse(json));
+}
+
+MetricsDocument parse_metrics_document(std::string_view json) {
+  const JsonValue doc = JsonValue::parse(json);
+  const std::string& schema = doc.at("schema").str();
+  if (schema != "hpm.metrics.v1") {
+    throw std::runtime_error("unrecognised metrics schema: " + schema);
+  }
+  MetricsDocument out;
+  for (const JsonValue& run : doc.at("runs").array()) {
+    MetricsDocument::Run entry;
+    entry.name = run.at("name").str();
+    entry.workload = run.at("workload").str();
+    entry.tool = run.at("tool").str();
+    entry.ok = run.at("ok").boolean();
+    if (const JsonValue* metrics = run.find("metrics")) {
+      entry.metrics = parse_run_metrics(*metrics);
+    }
+    out.runs.push_back(std::move(entry));
+  }
+  return out;
+}
 
 BatchItem parse_batch_item(const JsonValue& item) {
   BatchItem out;

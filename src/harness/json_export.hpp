@@ -131,6 +131,35 @@ struct ParsedBatchSummary {
 
 class JsonValue;
 
+/// Full-fidelity batch-document reader: every item is reconstructed via
+/// parse_batch_item, so re-exporting the result with export_json
+/// round-trips byte-identically (timing fields excepted when the source
+/// document omitted them).  Accepts schema v1 and v2; throws
+/// std::runtime_error on malformed JSON or an unrecognised schema.  This
+/// is the ingestion path of the analysis layer (hpmreport).
+[[nodiscard]] BatchResult parse_batch_result(std::string_view json);
+[[nodiscard]] BatchResult parse_batch_result(const JsonValue& doc);
+
+/// Parsed hpm.metrics.v1 companion document (`hpmrun --metrics-out`).
+struct MetricsDocument {
+  struct Run {
+    std::string name;
+    std::string workload;
+    std::string tool;
+    bool ok = false;
+    telemetry::RunMetrics metrics;  ///< enabled=false when absent
+  };
+  std::vector<Run> runs;
+};
+
+/// Parse an hpm.metrics.v1 document; throws std::runtime_error on
+/// malformed JSON or a different schema string.
+[[nodiscard]] MetricsDocument parse_metrics_document(std::string_view json);
+
+/// Reconstruct one run's telemetry snapshot from its "metrics" JSON block
+/// (the inverse of the writer's metrics section).
+[[nodiscard]] telemetry::RunMetrics parse_run_metrics(const JsonValue& node);
+
 /// Full BatchItem round-trip: reconstruct every field write_item emits so a
 /// checkpoint-resumed sweep re-exports byte-identically (see resilience.hpp).
 /// Fields absent from the document keep their defaults.

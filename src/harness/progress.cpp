@@ -1,0 +1,203 @@
+#include "harness/progress.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "harness/json_export.hpp"
+
+namespace hpm::harness {
+namespace {
+
+std::string fmt_seconds(double seconds) {
+  char buf[32];
+  if (seconds >= 90.0) {
+    std::snprintf(buf, sizeof(buf), "%.0fm%02.0fs", seconds / 60.0,
+                  seconds - 60.0 * static_cast<double>(
+                                       static_cast<long>(seconds / 60.0)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
+  }
+  return buf;
+}
+
+}  // namespace
+
+ProgressReporter::ProgressReporter(ProgressOptions options)
+    : options_(options) {}
+
+double ProgressReporter::eta_seconds() const noexcept {
+  if (!have_ema_ || total_ <= done_) return 0.0;
+  return ema_seconds_ * static_cast<double>(total_ - done_) /
+         static_cast<double>(std::max(1u, jobs_));
+}
+
+void ProgressReporter::on_batch_start(std::size_t total,
+                                      std::size_t already_done,
+                                      unsigned jobs) {
+  total_ = total;
+  done_ = already_done;
+  jobs_ = jobs;
+  current_.assign(static_cast<std::size_t>(jobs) + 1, std::string());
+  if (options_.jsonl_out != nullptr) {
+    JsonWriter w(*options_.jsonl_out, 0);
+    w.begin_object();
+    w.key("event").value("batch_start");
+    w.key("total").value(static_cast<std::uint64_t>(total));
+    w.key("resumed").value(static_cast<std::uint64_t>(already_done));
+    w.key("jobs").value(jobs);
+    w.end_object();
+    *options_.jsonl_out << '\n' << std::flush;
+  }
+  emit_line();
+}
+
+void ProgressReporter::on_run_start(std::size_t index, const RunSpec& spec,
+                                    unsigned worker) {
+  if (worker < current_.size()) current_[worker] = spec.name;
+  if (options_.jsonl_out != nullptr) {
+    JsonWriter w(*options_.jsonl_out, 0);
+    w.begin_object();
+    w.key("event").value("run_start");
+    w.key("index").value(static_cast<std::uint64_t>(index));
+    w.key("name").value(spec.name);
+    w.key("workload").value(spec.workload);
+    w.key("worker").value(worker);
+    w.end_object();
+    *options_.jsonl_out << '\n' << std::flush;
+  }
+  emit_line();
+}
+
+void ProgressReporter::on_run_retry(std::size_t index, const RunSpec& spec,
+                                    unsigned worker, unsigned attempts,
+                                    const std::string& error) {
+  ++retries_;
+  if (options_.jsonl_out != nullptr) {
+    JsonWriter w(*options_.jsonl_out, 0);
+    w.begin_object();
+    w.key("event").value("run_retry");
+    w.key("index").value(static_cast<std::uint64_t>(index));
+    w.key("name").value(spec.name);
+    w.key("worker").value(worker);
+    w.key("attempts").value(attempts);
+    w.key("error").value(error);
+    w.end_object();
+    *options_.jsonl_out << '\n' << std::flush;
+  }
+  emit_line();
+}
+
+void ProgressReporter::on_run_finish(std::size_t done, std::size_t total,
+                                     std::size_t index, const BatchItem& item,
+                                     unsigned worker) {
+  done_ = done;
+  total_ = total;
+  if (worker < current_.size()) current_[worker].clear();
+  if (item.wall_seconds > 0.0) {
+    ema_seconds_ = have_ema_ ? options_.ema_alpha * item.wall_seconds +
+                                   (1.0 - options_.ema_alpha) * ema_seconds_
+                             : item.wall_seconds;
+    have_ema_ = true;
+  }
+  if (options_.jsonl_out != nullptr) {
+    JsonWriter w(*options_.jsonl_out, 0);
+    w.begin_object();
+    w.key("event").value("run_finish");
+    w.key("index").value(static_cast<std::uint64_t>(index));
+    w.key("name").value(item.spec.name);
+    w.key("worker").value(worker);
+    w.key("ok").value(item.ok);
+    w.key("outcome").value(run_outcome_name(item.outcome));
+    w.key("attempts").value(item.attempts);
+    if (!item.ok) w.key("error").value(item.error);
+    w.key("done").value(static_cast<std::uint64_t>(done));
+    w.key("total").value(static_cast<std::uint64_t>(total));
+    w.key("wall_seconds").value(item.wall_seconds);
+    w.key("eta_seconds").value(eta_seconds());
+    w.end_object();
+    *options_.jsonl_out << '\n' << std::flush;
+  }
+  emit_line();
+}
+
+void ProgressReporter::on_batch_finish(const BatchMetrics& metrics) {
+  if (options_.jsonl_out != nullptr) {
+    JsonWriter w(*options_.jsonl_out, 0);
+    w.begin_object();
+    w.key("event").value("batch_finish");
+    w.key("runs").value(static_cast<std::uint64_t>(metrics.runs));
+    w.key("failed").value(static_cast<std::uint64_t>(metrics.failed));
+    w.key("retries").value(static_cast<std::uint64_t>(retries_));
+    w.key("wall_seconds").value(metrics.wall_seconds);
+    w.end_object();
+    *options_.jsonl_out << '\n' << std::flush;
+  }
+  if (options_.line_out != nullptr) {
+    std::string line = "[";
+    line += std::to_string(metrics.runs);
+    line += "/";
+    line += std::to_string(metrics.runs);
+    line += "] done in ";
+    line += fmt_seconds(metrics.wall_seconds);
+    if (metrics.failed > 0) {
+      line += ", ";
+      line += std::to_string(metrics.failed);
+      line += " failed";
+    }
+    if (retries_ > 0) {
+      line += ", ";
+      line += std::to_string(retries_);
+      line += " retried";
+    }
+    if (line.size() < last_line_length_) {
+      line.append(last_line_length_ - line.size(), ' ');
+    }
+    *options_.line_out << '\r' << line << '\n' << std::flush;
+    last_line_length_ = 0;
+  }
+}
+
+void ProgressReporter::emit_line() {
+  if (options_.line_out == nullptr) return;
+  std::string line = "[";
+  line += std::to_string(done_);
+  line += "/";
+  line += std::to_string(total_);
+  line += "]";
+  if (total_ > 0) {
+    line += " ";
+    line += std::to_string(done_ * 100 / total_);
+    line += "%";
+  }
+  if (have_ema_ && done_ < total_) {
+    line += " eta ";
+    line += fmt_seconds(eta_seconds());
+  }
+  if (retries_ > 0) {
+    line += " retries ";
+    line += std::to_string(retries_);
+  }
+  std::string busy;
+  for (std::size_t w = 0; w < current_.size(); ++w) {
+    if (current_[w].empty()) continue;
+    if (!busy.empty()) busy += ' ';
+    busy += "w";
+    busy += std::to_string(w);
+    busy += ":";
+    busy += current_[w];
+  }
+  if (!busy.empty()) line += " | " + busy;
+  // Keep the single-line promise on narrow terminals.
+  if (line.size() > 120) {
+    line.resize(117);
+    line += "...";
+  }
+  std::string padded = line;
+  if (padded.size() < last_line_length_) {
+    padded.append(last_line_length_ - padded.size(), ' ');
+  }
+  *options_.line_out << '\r' << padded << std::flush;
+  last_line_length_ = line.size();
+}
+
+}  // namespace hpm::harness

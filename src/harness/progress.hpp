@@ -1,0 +1,70 @@
+// Live progress reporting for batch sweeps.
+//
+// ProgressReporter is a BatchObserver that renders what the runner is doing
+// *while it runs*: a single overwritten status line for humans (runs
+// completed/total, per-worker current item, retry count, EMA-smoothed ETA)
+// and/or a machine-readable JSONL event stream, one compact JSON object per
+// line, for dashboards and CI log scrapers.
+//
+// Strictly observability: the reporter writes to the streams it is given
+// (conventionally stderr) and never touches batch results, so enabling it
+// leaves every exported document byte-identical — the determinism tests
+// assert exactly that.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/batch.hpp"
+
+namespace hpm::harness {
+
+struct ProgressOptions {
+  /// Human status line, overwritten in place with '\r' (null disables).
+  std::ostream* line_out = nullptr;
+  /// JSONL event stream: batch_start / run_start / run_retry / run_finish /
+  /// batch_finish, one object per line (null disables).
+  std::ostream* jsonl_out = nullptr;
+  /// Smoothing factor for the per-run wall-time EMA behind the ETA;
+  /// higher = more weight on the latest run.
+  double ema_alpha = 0.3;
+};
+
+class ProgressReporter final : public BatchObserver {
+ public:
+  explicit ProgressReporter(ProgressOptions options);
+
+  void on_batch_start(std::size_t total, std::size_t already_done,
+                      unsigned jobs) override;
+  void on_run_start(std::size_t index, const RunSpec& spec,
+                    unsigned worker) override;
+  void on_run_retry(std::size_t index, const RunSpec& spec, unsigned worker,
+                    unsigned attempts, const std::string& error) override;
+  void on_run_finish(std::size_t done, std::size_t total, std::size_t index,
+                     const BatchItem& item, unsigned worker) override;
+  void on_batch_finish(const BatchMetrics& metrics) override;
+
+  /// EMA-based remaining-time estimate: mean run seconds * remaining /
+  /// workers.  0 until the first run finishes.
+  [[nodiscard]] double eta_seconds() const noexcept;
+  [[nodiscard]] std::size_t retries() const noexcept { return retries_; }
+
+ private:
+  void emit_line();
+
+  ProgressOptions options_;
+  std::size_t total_ = 0;
+  std::size_t done_ = 0;
+  std::size_t retries_ = 0;
+  unsigned jobs_ = 1;
+  double ema_seconds_ = 0.0;
+  bool have_ema_ = false;
+  std::size_t last_line_length_ = 0;
+  /// Run name a worker is currently executing, indexed by the 1-based pool
+  /// worker index (slot 0 = non-pool thread); empty = idle.
+  std::vector<std::string> current_;
+};
+
+}  // namespace hpm::harness

@@ -1,0 +1,353 @@
+// Unit tests for the hpmreport analysis layer: Spearman correlation,
+// accuracy scoreboards, the run-to-run diff engine, located document
+// errors, and the HTML renderer.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "analysis/diff.hpp"
+#include "analysis/document.hpp"
+#include "analysis/html_report.hpp"
+#include "analysis/scoreboard.hpp"
+
+namespace hpm::analysis {
+namespace {
+
+// -- Spearman ----------------------------------------------------------------
+
+TEST(Spearman, PerfectAgreementIsOne) {
+  const std::vector<double> a{50.0, 30.0, 15.0, 5.0};
+  const std::vector<double> b{40.0, 35.0, 20.0, 5.0};  // same order
+  EXPECT_DOUBLE_EQ(spearman_rank_correlation(a, b), 1.0);
+}
+
+TEST(Spearman, PerfectReversalIsMinusOne) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b{4.0, 3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(spearman_rank_correlation(a, b), -1.0);
+}
+
+TEST(Spearman, TiesGetAverageRanks) {
+  // a ranks: 1, 2.5, 2.5, 4 — agreement with b is high but not perfect.
+  const std::vector<double> a{40.0, 20.0, 20.0, 10.0};
+  const std::vector<double> b{40.0, 30.0, 20.0, 10.0};
+  const double rho = spearman_rank_correlation(a, b);
+  EXPECT_GT(rho, 0.9);
+  EXPECT_LT(rho, 1.0);
+}
+
+TEST(Spearman, DegenerateInputs) {
+  const std::vector<double> constant{5.0, 5.0, 5.0};
+  const std::vector<double> varying{1.0, 2.0, 3.0};
+  const std::vector<double> single{1.0};
+  EXPECT_DOUBLE_EQ(spearman_rank_correlation(constant, constant), 1.0);
+  EXPECT_DOUBLE_EQ(spearman_rank_correlation(constant, varying), 0.0);
+  EXPECT_DOUBLE_EQ(spearman_rank_correlation(single, single), 1.0);
+  EXPECT_DOUBLE_EQ(spearman_rank_correlation({}, {}), 1.0);
+}
+
+// -- Scoreboard --------------------------------------------------------------
+
+core::Report make_report(
+    const std::vector<std::pair<std::string, double>>& shares,
+    std::uint64_t total = 1000) {
+  std::vector<core::ReportRow> rows;
+  for (const auto& [name, percent] : shares) {
+    core::ReportRow row;
+    row.name = name;
+    row.percent = percent;
+    row.count = static_cast<std::uint64_t>(percent * 10.0);
+    rows.push_back(std::move(row));
+  }
+  return core::Report(std::move(rows), total);
+}
+
+harness::BatchItem make_item(
+    const std::string& name, harness::ToolKind tool,
+    const std::vector<std::pair<std::string, double>>& actual,
+    const std::vector<std::pair<std::string, double>>& estimated) {
+  harness::BatchItem item;
+  item.spec.name = name;
+  item.spec.workload = "synthetic";
+  item.spec.config.tool = tool;
+  item.ok = true;
+  item.outcome = harness::RunOutcome::kOk;
+  item.result.actual = make_report(actual);
+  item.result.estimated = make_report(estimated);
+  item.result.stats.app_cycles = 900;
+  item.result.stats.tool_cycles = 100;
+  return item;
+}
+
+TEST(Scoreboard, ScoresEstimateAgainstOwnActual) {
+  harness::BatchResult batch;
+  batch.items.push_back(make_item("synthetic/sample",
+                                  harness::ToolKind::kSampler,
+                                  {{"A", 60.0}, {"B", 30.0}, {"C", 10.0}},
+                                  {{"A", 55.0}, {"B", 35.0}, {"C", 10.0}}));
+  const Scoreboard scoreboard = score_batch(batch, {.top_k = 10});
+  ASSERT_EQ(scoreboard.rows.size(), 1u);
+  const ScoreRow& row = scoreboard.rows[0];
+  EXPECT_EQ(row.objects, 3u);
+  EXPECT_EQ(row.missing, 0u);
+  EXPECT_NEAR(row.mean_abs_error, (5.0 + 5.0 + 0.0) / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(row.max_abs_error, 5.0);
+  EXPECT_DOUBLE_EQ(row.topk_overlap, 1.0);
+  EXPECT_DOUBLE_EQ(row.spearman, 1.0);
+  EXPECT_DOUBLE_EQ(row.overhead_percent, 10.0);
+}
+
+TEST(Scoreboard, MissingObjectsCountFullError) {
+  harness::BatchResult batch;
+  batch.items.push_back(make_item("synthetic/sample",
+                                  harness::ToolKind::kSampler,
+                                  {{"A", 70.0}, {"B", 30.0}},
+                                  {{"A", 70.0}}));
+  const Scoreboard scoreboard = score_batch(batch, {.top_k = 10});
+  ASSERT_EQ(scoreboard.rows.size(), 1u);
+  EXPECT_EQ(scoreboard.rows[0].missing, 1u);
+  EXPECT_DOUBLE_EQ(scoreboard.rows[0].max_abs_error, 30.0);
+  EXPECT_DOUBLE_EQ(scoreboard.rows[0].topk_overlap, 0.5);
+}
+
+TEST(Scoreboard, BorrowsBaselineFromToolNoneRun) {
+  harness::BatchResult batch;
+  // Estimate-only run: actual profile empty (exact profiling off).
+  batch.items.push_back(make_item("synthetic/sample",
+                                  harness::ToolKind::kSampler, {},
+                                  {{"A", 50.0}, {"B", 50.0}}));
+  batch.items.push_back(make_item("synthetic/none", harness::ToolKind::kNone,
+                                  {{"A", 60.0}, {"B", 40.0}}, {}));
+  const Scoreboard scoreboard = score_batch(batch, {.top_k = 10});
+  // The tool=none run itself is never scored; the sampler borrows its
+  // profile.
+  ASSERT_EQ(scoreboard.rows.size(), 1u);
+  EXPECT_EQ(scoreboard.rows[0].name, "synthetic/sample");
+  EXPECT_EQ(scoreboard.rows[0].objects, 2u);
+  EXPECT_DOUBLE_EQ(scoreboard.rows[0].max_abs_error, 10.0);
+}
+
+TEST(Scoreboard, SkipsFailedAndUnscorableRuns) {
+  harness::BatchResult batch;
+  batch.items.push_back(make_item("a", harness::ToolKind::kSampler, {},
+                                  {{"A", 100.0}}));  // no baseline anywhere
+  auto failed = make_item("b", harness::ToolKind::kSearch,
+                          {{"A", 100.0}}, {{"A", 100.0}});
+  failed.ok = false;
+  batch.items.push_back(std::move(failed));
+  EXPECT_TRUE(score_batch(batch, {}).rows.empty());
+}
+
+TEST(Scoreboard, ExportIsValidAnalysisV1) {
+  harness::BatchResult batch;
+  batch.items.push_back(make_item("synthetic/sample",
+                                  harness::ToolKind::kSampler,
+                                  {{"A", 60.0}, {"B", 40.0}},
+                                  {{"A", 61.0}, {"B", 39.0}}));
+  std::ostringstream out;
+  export_json(out, score_batch(batch, {.top_k = 5}));
+  const auto doc = harness::JsonValue::parse(out.str());
+  EXPECT_EQ(doc.at("schema").str(), "hpm.analysis.v1");
+  EXPECT_EQ(doc.at("top_k").uint(), 5u);
+  ASSERT_EQ(doc.at("rows").array().size(), 1u);
+  EXPECT_EQ(doc.at("rows").array()[0].at("name").str(), "synthetic/sample");
+  EXPECT_DOUBLE_EQ(doc.at("rows").array()[0].at("max_abs_error").number(),
+                   1.0);
+}
+
+// -- Diff --------------------------------------------------------------------
+
+harness::BatchResult two_run_batch() {
+  harness::BatchResult batch;
+  batch.items.push_back(make_item("synthetic/sample",
+                                  harness::ToolKind::kSampler,
+                                  {{"A", 60.0}, {"B", 40.0}},
+                                  {{"A", 58.0}, {"B", 42.0}}));
+  batch.items.push_back(make_item("synthetic/search",
+                                  harness::ToolKind::kSearch,
+                                  {{"A", 60.0}, {"B", 40.0}},
+                                  {{"A", 60.0}, {"B", 40.0}}));
+  batch.items[0].result.stats.app_misses = 1000;
+  batch.items[1].result.stats.app_misses = 1000;
+  return batch;
+}
+
+TEST(Diff, SelfDiffIsEmptyByConstruction) {
+  const auto batch = two_run_batch();
+  const DiffResult diff = diff_batches(batch, batch);
+  EXPECT_TRUE(diff.clean());
+  EXPECT_TRUE(diff.changed.empty());
+  EXPECT_EQ(diff.runs_compared, 2u);
+  EXPECT_GT(diff.metrics_compared, 0u);
+}
+
+TEST(Diff, CounterPerturbationIsARegression) {
+  const auto older = two_run_batch();
+  auto newer = two_run_batch();
+  newer.items[0].result.stats.app_misses = 1100;  // +10%
+  const DiffResult diff = diff_batches(older, newer);
+  EXPECT_FALSE(diff.clean());
+  ASSERT_EQ(diff.changed.size(), 1u);
+  EXPECT_EQ(diff.changed[0].metric, "stats.app_misses");
+  EXPECT_TRUE(diff.changed[0].regression);
+}
+
+TEST(Diff, ToleranceDowngradesRegressionToChange) {
+  const auto older = two_run_batch();
+  auto newer = two_run_batch();
+  newer.items[0].result.stats.app_misses = 1050;  // +5%
+  const DiffResult diff =
+      diff_batches(older, newer, {.count_rel_tol = 0.10});
+  EXPECT_TRUE(diff.clean());  // within 10%
+  ASSERT_EQ(diff.changed.size(), 1u);  // still reported as changed
+  EXPECT_FALSE(diff.changed[0].regression);
+}
+
+TEST(Diff, PercentShiftUsesAbsoluteTolerance) {
+  const auto older = two_run_batch();
+  auto newer = two_run_batch();
+  newer.items[0].result.estimated =
+      make_report({{"A", 57.0}, {"B", 43.0}});  // 1 point shift
+  EXPECT_FALSE(diff_batches(older, newer).clean());
+  EXPECT_TRUE(diff_batches(older, newer, {.percent_abs_tol = 1.5}).clean());
+}
+
+TEST(Diff, UnmatchedRunsAreRegressions) {
+  const auto older = two_run_batch();
+  auto newer = two_run_batch();
+  newer.items.pop_back();
+  auto renamed = make_item("synthetic/extra", harness::ToolKind::kSampler,
+                           {{"A", 100.0}}, {{"A", 100.0}});
+  newer.items.push_back(std::move(renamed));
+  const DiffResult diff = diff_batches(older, newer);
+  ASSERT_EQ(diff.only_old.size(), 1u);
+  ASSERT_EQ(diff.only_new.size(), 1u);
+  EXPECT_EQ(diff.only_old[0], "synthetic/search");
+  EXPECT_EQ(diff.only_new[0], "synthetic/extra");
+  EXPECT_EQ(diff.regressions, 2u);
+}
+
+TEST(Diff, SeedIsPartOfRunIdentity) {
+  const auto older = two_run_batch();
+  auto newer = two_run_batch();
+  newer.items[0].spec.options.seed += 1;
+  const DiffResult diff = diff_batches(older, newer);
+  // Re-seeded run does not silently compare against the old seed's result.
+  EXPECT_EQ(diff.only_old.size(), 1u);
+  EXPECT_EQ(diff.only_new.size(), 1u);
+}
+
+TEST(Diff, VanishedObjectIsAShareGoingToZero) {
+  const auto older = two_run_batch();
+  auto newer = two_run_batch();
+  newer.items[0].result.estimated = make_report({{"A", 100.0}});
+  const DiffResult diff = diff_batches(older, newer);
+  bool saw_b = false;
+  for (const auto& delta : diff.changed) {
+    if (delta.metric == "estimated.B") {
+      saw_b = true;
+      EXPECT_DOUBLE_EQ(delta.new_value, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_b);
+}
+
+// -- Document loading --------------------------------------------------------
+
+std::string write_temp(const std::string& name, const std::string& content) {
+  const std::string path = testing::TempDir() + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  return path;
+}
+
+TEST(Document, MissingFileNamesThePath) {
+  try {
+    static_cast<void>(load_batch_file("/nonexistent/never.json"));
+    FAIL() << "expected DocumentError";
+  } catch (const DocumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/never.json"),
+              std::string::npos);
+  }
+}
+
+TEST(Document, TruncatedJsonReportsFileAndByteOffset) {
+  const std::string path =
+      write_temp("truncated.json", R"({"schema": "hpm.batch.v2", "runs")");
+  try {
+    static_cast<void>(load_batch_file(path));
+    FAIL() << "expected DocumentError";
+  } catch (const DocumentError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("offset"), std::string::npos) << what;
+  }
+}
+
+TEST(Document, WrongSchemaIsALocatedError) {
+  const std::string path =
+      write_temp("wrong_schema.json", R"({"schema": "hpm.trace.v9"})");
+  try {
+    static_cast<void>(load_batch_file(path));
+    FAIL() << "expected DocumentError";
+  } catch (const DocumentError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("hpm.trace.v9"), std::string::npos) << what;
+  }
+}
+
+TEST(Document, MalformedMetricsReportsFileAndOffset) {
+  const std::string path = write_temp(
+      "bad_metrics.json", R"({"schema": "hpm.metrics.v1", "runs": [{]})");
+  try {
+    static_cast<void>(load_metrics_file(path));
+    FAIL() << "expected DocumentError";
+  } catch (const DocumentError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("offset"), std::string::npos) << what;
+  }
+}
+
+// -- HTML --------------------------------------------------------------------
+
+TEST(Html, EscapesMarkup) {
+  EXPECT_EQ(html_escape("a<b>&\"'c"), "a&lt;b&gt;&amp;&quot;&#39;c");
+}
+
+TEST(Html, RendersRunsScoreboardAndCharts) {
+  const auto batch = two_run_batch();
+  const Scoreboard scoreboard = score_batch(batch, {.top_k = 10});
+  std::ostringstream out;
+  render_html(out, batch, &scoreboard, nullptr, {.title = "t<1>"});
+  const std::string html = out.str();
+  EXPECT_NE(html.find("<!doctype html>"), std::string::npos);
+  EXPECT_NE(html.find("t&lt;1&gt;"), std::string::npos);  // escaped title
+  EXPECT_NE(html.find("synthetic/sample"), std::string::npos);
+  EXPECT_NE(html.find("Accuracy scoreboard"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);  // bar charts
+  // Deterministic: same input renders byte-identical output.
+  std::ostringstream again;
+  render_html(again, batch, &scoreboard, nullptr, {.title = "t<1>"});
+  EXPECT_EQ(html, again.str());
+}
+
+TEST(Html, FailedRunShowsOutcomeInsteadOfCharts) {
+  harness::BatchResult batch;
+  auto item = make_item("bad/run", harness::ToolKind::kSampler,
+                        {{"A", 100.0}}, {{"A", 100.0}});
+  item.ok = false;
+  item.error = "simulated <failure>";
+  item.outcome = harness::RunOutcome::kFailed;
+  batch.items.push_back(std::move(item));
+  std::ostringstream out;
+  render_html(out, batch, nullptr, nullptr, {});
+  const std::string html = out.str();
+  EXPECT_NE(html.find("failed"), std::string::npos);
+  EXPECT_NE(html.find("simulated &lt;failure&gt;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpm::analysis

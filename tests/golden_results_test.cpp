@@ -21,6 +21,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/document.hpp"
+#include "analysis/scoreboard.hpp"
 #include "harness/batch.hpp"
 #include "harness/json_export.hpp"
 
@@ -237,6 +239,36 @@ TEST(GoldenResults, TomcatvSearchTopObjectsStable) {
                                                 estimated, 3);
   EXPECT_EQ(comparison.missing, 0u);
   EXPECT_LT(comparison.max_abs_error, 5.0);
+}
+
+// The accuracy scoreboard is a pure function of a batch document —
+// parse, IEEE double arithmetic, shortest-round-trip formatting — so
+// scoring the checked-in golden pipeline must reproduce the pinned
+// hpm.analysis.v1 export BIT FOR BIT on every platform.  This is the
+// fixture `hpmreport scoreboard` is gated on in CI.
+TEST(GoldenResults, AnalysisScoreboardIsByteStable) {
+  const auto batch =
+      analysis::load_batch_file(golden_path("paper_pipeline.json"));
+  const auto scoreboard = analysis::score_batch(batch, {.top_k = 10});
+  std::ostringstream exported;
+  analysis::export_json(exported, scoreboard);
+
+  const std::string path = golden_path("analysis_scoreboard.json");
+  if (update_mode()) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << exported.str();
+    GTEST_SKIP() << "golden updated: " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden " << path
+                  << " — run with HPM_UPDATE_GOLDEN=1 to create it";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(exported.str(), buffer.str())
+      << "scoreboard drifted from " << path
+      << " — if intentional, regenerate with HPM_UPDATE_GOLDEN=1";
 }
 
 // The synthetic kernel's ground truth is exact by construction (lockstep

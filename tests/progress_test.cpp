@@ -1,0 +1,187 @@
+// BatchObserver / ProgressReporter: structured live-progress events and
+// the guarantee that observing a sweep never changes its results.
+#include "harness/progress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "harness/json_export.hpp"
+
+namespace hpm::harness {
+namespace {
+
+std::vector<RunSpec> tiny_sweep() {
+  RunConfig sample_cfg;
+  sample_cfg.machine.cache.size_bytes = 128 * 1024;
+  sample_cfg.tool = ToolKind::kSampler;
+  sample_cfg.sampler.period = 1'999;
+
+  RunConfig none_cfg;
+  none_cfg.machine.cache.size_bytes = 128 * 1024;
+
+  return cross_specs({"synthetic"},
+                     {{"none", none_cfg}, {"sample", sample_cfg}},
+                     [](const std::string&) {
+                       workloads::WorkloadOptions options;
+                       options.scale = 0.25;
+                       options.iterations = 4;
+                       return options;
+                     });
+}
+
+std::vector<JsonValue> parse_events(const std::string& jsonl) {
+  std::vector<JsonValue> events;
+  std::istringstream in(jsonl);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) events.push_back(JsonValue::parse(line));
+  }
+  return events;
+}
+
+TEST(ProgressReporter, EmitsOneEventPerRunPhase) {
+  const auto specs = tiny_sweep();
+  std::ostringstream jsonl;
+  ProgressReporter reporter({.jsonl_out = &jsonl});
+  BatchRunner::Options options;
+  options.jobs = 2;
+  options.observer = &reporter;
+  const auto batch = BatchRunner(options).run(specs);
+  ASSERT_EQ(batch.metrics.failed, 0u);
+
+  const auto events = parse_events(jsonl.str());
+  ASSERT_EQ(events.size(), 2 + 2 * specs.size());
+  EXPECT_EQ(events.front().at("event").str(), "batch_start");
+  EXPECT_EQ(events.front().at("total").uint(), specs.size());
+  EXPECT_EQ(events.front().at("jobs").uint(), 2u);
+  EXPECT_EQ(events.back().at("event").str(), "batch_finish");
+  EXPECT_EQ(events.back().at("runs").uint(), specs.size());
+  EXPECT_EQ(events.back().at("failed").uint(), 0u);
+
+  std::size_t starts = 0;
+  std::size_t finishes = 0;
+  std::size_t last_done = 0;
+  for (const auto& event : events) {
+    const std::string kind = event.at("event").str();
+    if (kind == "run_start") ++starts;
+    if (kind == "run_finish") {
+      ++finishes;
+      const std::size_t done = event.at("done").uint();
+      // done is monotonically increasing under the progress mutex.
+      EXPECT_GT(done, last_done);
+      last_done = done;
+      EXPECT_TRUE(event.at("ok").boolean());
+      EXPECT_EQ(event.at("outcome").str(), "ok");
+    }
+  }
+  EXPECT_EQ(starts, specs.size());
+  EXPECT_EQ(finishes, specs.size());
+  EXPECT_EQ(last_done, specs.size());
+}
+
+TEST(ProgressReporter, RetriesAreCountedAndStreamed) {
+  const auto specs = tiny_sweep();
+  std::ostringstream jsonl;
+  ProgressReporter reporter({.jsonl_out = &jsonl});
+  BatchRunner::Options options;
+  options.observer = &reporter;
+  options.resilience.retry.max_attempts = 3;
+  options.resilience.retry.backoff_base_seconds = 0.0;
+  int failures_left = 2;
+  options.runner = [&](const RunSpec& spec, std::size_t index) {
+    if (index == 0 && failures_left-- > 0) {
+      throw TransientError("injected blip");
+    }
+    return run_experiment(spec.config, spec.workload, spec.options);
+  };
+  const auto batch = BatchRunner(options).run(specs);
+  ASSERT_EQ(batch.metrics.failed, 0u);
+  EXPECT_EQ(batch.items[0].outcome, RunOutcome::kRetried);
+  EXPECT_EQ(batch.items[0].attempts, 3u);
+  EXPECT_EQ(reporter.retries(), 2u);
+
+  std::size_t retry_events = 0;
+  for (const auto& event : parse_events(jsonl.str())) {
+    if (event.at("event").str() != "run_retry") continue;
+    ++retry_events;
+    EXPECT_EQ(event.at("name").str(), specs[0].name);
+    EXPECT_EQ(event.at("error").str(), "injected blip");
+    EXPECT_EQ(event.at("attempts").uint(), retry_events);
+  }
+  EXPECT_EQ(retry_events, 2u);
+}
+
+TEST(ProgressReporter, StatusLineRendersAndFinishes) {
+  const auto specs = tiny_sweep();
+  std::ostringstream line;
+  ProgressReporter reporter({.line_out = &line});
+  BatchRunner::Options options;
+  options.observer = &reporter;
+  const auto batch = BatchRunner(options).run(specs);
+  ASSERT_EQ(batch.metrics.failed, 0u);
+  const std::string text = line.str();
+  EXPECT_NE(text.find('\r'), std::string::npos);
+  EXPECT_NE(text.find("[0/2]"), std::string::npos);
+  EXPECT_NE(text.find("done in"), std::string::npos);
+  // The final line is newline-terminated so the shell prompt is clean.
+  EXPECT_EQ(text.back(), '\n');
+}
+
+// EMA/ETA math, driven directly so the values are exact.
+TEST(ProgressReporter, EtaIsEmaTimesRemainingOverWorkers) {
+  ProgressReporter reporter({.ema_alpha = 0.3});
+  reporter.on_batch_start(4, 0, 2);
+  EXPECT_DOUBLE_EQ(reporter.eta_seconds(), 0.0);  // no sample yet
+
+  BatchItem item;
+  item.ok = true;
+  item.wall_seconds = 2.0;
+  reporter.on_run_finish(1, 4, 0, item, 1);
+  // First sample seeds the EMA: 2.0 * 3 remaining / 2 workers.
+  EXPECT_DOUBLE_EQ(reporter.eta_seconds(), 3.0);
+
+  item.wall_seconds = 4.0;
+  reporter.on_run_finish(2, 4, 1, item, 2);
+  // ema = 0.3*4 + 0.7*2 = 2.6; eta = 2.6 * 2 / 2.
+  EXPECT_DOUBLE_EQ(reporter.eta_seconds(), 2.6);
+
+  item.wall_seconds = 2.6;
+  reporter.on_run_finish(3, 4, 2, item, 1);
+  reporter.on_run_finish(4, 4, 3, item, 2);
+  EXPECT_DOUBLE_EQ(reporter.eta_seconds(), 0.0);  // nothing remaining
+}
+
+// The acceptance gate for the whole progress feature: enabling every
+// observer output leaves the exported document byte-identical to a silent
+// serial run (modulo the jobs field).
+TEST(ProgressReporter, ObservedParallelRunMatchesSilentSerialByteForByte) {
+  const auto specs = tiny_sweep();
+
+  BatchRunner::Options silent_options;
+  silent_options.jobs = 1;
+  const auto silent = BatchRunner(silent_options).run(specs);
+
+  std::ostringstream line;
+  std::ostringstream jsonl;
+  ProgressReporter reporter({.line_out = &line, .jsonl_out = &jsonl});
+  BatchRunner::Options observed_options;
+  observed_options.jobs = 4;
+  observed_options.observer = &reporter;
+  const auto observed = BatchRunner(observed_options).run(specs);
+
+  JsonExportOptions no_timing;
+  no_timing.include_timing = false;
+  const auto strip_jobs = [](std::string text) {
+    const auto pos = text.find("\"jobs\":");
+    const auto end = text.find('\n', pos);
+    return text.erase(pos, end - pos);
+  };
+  EXPECT_EQ(strip_jobs(to_json(silent, no_timing)),
+            strip_jobs(to_json(observed, no_timing)));
+  EXPECT_FALSE(jsonl.str().empty());
+}
+
+}  // namespace
+}  // namespace hpm::harness

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "core/primes.hpp"
 
 namespace hpm::core {
@@ -142,6 +144,117 @@ TEST(Primes, NextPrimeIsAlwaysPrimeAndMinimal) {
     EXPECT_GE(p, n);
     for (std::uint64_t q = n; q < p; ++q) EXPECT_FALSE(is_prime(q)) << q;
   }
+}
+
+// -- Comparison-table helper (shared by Tables 1-2, hpmrun, hpmreport) -------
+
+Report report_from(
+    const std::vector<std::pair<std::string, double>>& shares) {
+  std::vector<ReportRow> rows;
+  for (const auto& [name, percent] : shares) {
+    rows.push_back({name, {}, static_cast<std::uint64_t>(percent * 10), percent});
+  }
+  return Report(std::move(rows), 1000);
+}
+
+std::string render(const util::Table& table) {
+  std::ostringstream out;
+  table.render(out);
+  return out.str();
+}
+
+TEST(ComparisonTable, HeadersFollowEstimateNames) {
+  const util::Table table = make_comparison_table("app", {"sample", "search"});
+  const std::string text = render(table);
+  EXPECT_NE(text.find("actual rank"), std::string::npos);
+  EXPECT_NE(text.find("sample rank"), std::string::npos);
+  EXPECT_NE(text.find("search %"), std::string::npos);
+}
+
+TEST(ComparisonTable, LabelPrintsOnFirstRowOnly) {
+  const Report actual = report_from({{"A", 60.0}, {"B", 40.0}});
+  const Report estimate = report_from({{"A", 58.0}, {"B", 42.0}});
+  util::Table table = make_comparison_table("app", {"est"});
+  append_comparison_rows(table, {.label = "tomcatv",
+                                 .actual = &actual,
+                                 .estimates = {&estimate}});
+  const std::string text = render(table);
+  // Exactly one occurrence of the label across both data rows.
+  const auto first = text.find("tomcatv");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("tomcatv", first + 1), std::string::npos);
+}
+
+TEST(ComparisonTable, TruncatesToTopKButRanksInFullReport) {
+  // 5 objects, top_k = 3: rows beyond 3 are dropped, but the rank column
+  // still reflects each object's position in the FULL report.
+  const Report actual = report_from(
+      {{"A", 40.0}, {"B", 25.0}, {"C", 15.0}, {"D", 12.0}, {"E", 8.0}});
+  // The estimate ranks C first, so A's estimate rank is > 1.
+  const Report estimate = report_from(
+      {{"C", 50.0}, {"A", 30.0}, {"B", 10.0}, {"D", 6.0}, {"E", 4.0}});
+  util::Table table = make_comparison_table("app", {"est"});
+  append_comparison_rows(table, {.label = "x",
+                                 .actual = &actual,
+                                 .estimates = {&estimate},
+                                 .top_k = 3});
+  const std::string text = render(table);
+  EXPECT_NE(text.find("A"), std::string::npos);
+  EXPECT_NE(text.find("C"), std::string::npos);
+  EXPECT_EQ(text.find("D"), std::string::npos);  // beyond top_k
+  EXPECT_EQ(text.find("E"), std::string::npos);
+}
+
+TEST(ComparisonTable, TiedSharesKeepDeterministicNameOrder) {
+  // Ties sort by name (the Report constructor's contract), so the table is
+  // stable across platforms and reruns.
+  const Report actual =
+      report_from({{"Z", 30.0}, {"M", 30.0}, {"A", 30.0}, {"Q", 10.0}});
+  util::Table table = make_comparison_table("app", {});
+  append_comparison_rows(
+      table, {.label = "x", .actual = &actual, .estimates = {}});
+  const std::string text = render(table);
+  const auto a = text.find("| A");
+  const auto m = text.find("| M");
+  const auto z = text.find("| Z");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(m, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a, m);
+  EXPECT_LT(m, z);
+}
+
+TEST(ComparisonTable, ZeroMissObjectAndMissingEstimateBlankOut) {
+  // An object the estimate never saw renders blank cells, not 0 — the
+  // paper's tables distinguish "not found" from "found with 0%".
+  const Report actual = report_from({{"A", 99.0}, {"ZERO", 0.0}});
+  const Report estimate = report_from({{"A", 100.0}});
+  util::Table table = make_comparison_table("app", {"est"});
+  append_comparison_rows(table, {.label = "x",
+                                 .actual = &actual,
+                                 .estimates = {&estimate}});
+  const std::string text = render(table);
+  // ZERO is listed (it is in the actual report) with a blank estimate.
+  EXPECT_NE(text.find("ZERO"), std::string::npos);
+  std::istringstream lines(text);
+  std::string line;
+  bool saw_zero_row = false;
+  while (std::getline(lines, line)) {
+    if (line.find("ZERO") == std::string::npos) continue;
+    saw_zero_row = true;
+    // actual rank=2, actual %=0.0, then two blank estimate cells.
+    EXPECT_NE(line.find("0.0"), std::string::npos);
+    EXPECT_EQ(line.find("100.0"), std::string::npos);
+  }
+  EXPECT_TRUE(saw_zero_row);
+}
+
+TEST(ComparisonTable, NullActualAppendsNothing) {
+  util::Table table = make_comparison_table("app", {"est"});
+  const std::string before = render(table);
+  append_comparison_rows(
+      table, {.label = "x", .actual = nullptr, .estimates = {}});
+  EXPECT_EQ(render(table), before);
 }
 
 }  // namespace

@@ -1,0 +1,190 @@
+// hpmreport: read-side companion to hpmrun.
+//
+// Ingests the JSON artifacts the harness already writes (hpm.batch.v1/v2
+// sweeps, hpm.metrics.v1 telemetry) and turns them into human- and
+// CI-facing reports:
+//
+//   hpmreport scoreboard batch.json      accuracy scoreboard (table / JSON)
+//   hpmreport diff old.json new.json     run-to-run regression gate
+//   hpmreport html batch.json            self-contained HTML report
+//
+// Exit codes: 0 success (diff: no regressions), 1 diff found regressions,
+// 2 usage or input errors.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/diff.hpp"
+#include "analysis/document.hpp"
+#include "analysis/html_report.hpp"
+#include "analysis/scoreboard.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace hpm;
+
+int usage(const char* error) {
+  if (error != nullptr) std::fprintf(stderr, "hpmreport: %s\n\n", error);
+  std::fputs(
+      "usage: hpmreport <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  scoreboard <batch.json>    score estimated profiles against exact\n"
+      "    --top=N                  ground-truth objects per run (default 10)\n"
+      "    --min-percent=P          ignore objects below P% share (default 0)\n"
+      "    --json[=FILE]            hpm.analysis.v1 JSON instead of a table\n"
+      "    --csv=FILE               also write the table as CSV\n"
+      "\n"
+      "  diff <old.json> <new.json> compare two sweeps, gate on regressions\n"
+      "    --rel-tol=R              relative tolerance on counters (default 0)\n"
+      "    --percent-tol=P          tolerance on miss shares, points (default 0)\n"
+      "    exit 0 = no regressions, 1 = regressions found\n"
+      "\n"
+      "  html <batch.json>          self-contained HTML report\n"
+      "    --metrics=FILE           hpm.metrics.v1 companion (sparklines)\n"
+      "    --out=FILE               output path (default: stdout)\n"
+      "    --title=TEXT             report title\n"
+      "    --top=N                  objects charted per run (default 10)\n",
+      error != nullptr ? stderr : stdout);
+  return error != nullptr ? 2 : 0;
+}
+
+/// Open `path` for writing, or fail loudly with exit-code semantics left
+/// to the caller.
+bool open_output(std::ofstream& out, const std::string& path) {
+  out.open(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "hpmreport: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+int cmd_scoreboard(const util::Cli& cli) {
+  if (cli.positional().size() != 2) {
+    return usage("scoreboard takes exactly one batch document");
+  }
+  analysis::ScoreboardOptions options;
+  options.top_k = cli.get_uint("top", 10);
+  options.min_percent = cli.get_double("min-percent", 0.0);
+  const harness::BatchResult batch =
+      analysis::load_batch_file(cli.positional()[1]);
+  const analysis::Scoreboard scoreboard =
+      analysis::score_batch(batch, options);
+
+  const std::string csv_path = cli.get("csv", "");
+  if (!csv_path.empty()) {
+    std::ofstream csv;
+    if (!open_output(csv, csv_path)) return 2;
+    analysis::scoreboard_table(scoreboard).write_csv(csv);
+  }
+  if (cli.has("json")) {
+    const std::string json_path = cli.get("json", "");
+    if (json_path.empty() || json_path == "true") {
+      analysis::export_json(std::cout, scoreboard);
+    } else {
+      std::ofstream json;
+      if (!open_output(json, json_path)) return 2;
+      analysis::export_json(json, scoreboard);
+    }
+  } else {
+    analysis::scoreboard_table(scoreboard).render(std::cout);
+    if (scoreboard.rows.empty()) {
+      std::fputs("no scoreable runs (need estimated + exact profiles)\n",
+                 stdout);
+    }
+  }
+  return 0;
+}
+
+int cmd_diff(const util::Cli& cli) {
+  if (cli.positional().size() != 3) {
+    return usage("diff takes exactly two batch documents");
+  }
+  analysis::DiffOptions options;
+  options.count_rel_tol = cli.get_double("rel-tol", 0.0);
+  options.percent_abs_tol = cli.get_double("percent-tol", 0.0);
+  const harness::BatchResult older =
+      analysis::load_batch_file(cli.positional()[1]);
+  const harness::BatchResult newer =
+      analysis::load_batch_file(cli.positional()[2]);
+  const analysis::DiffResult diff =
+      analysis::diff_batches(older, newer, options);
+
+  if (diff.changed.empty() && diff.only_old.empty() &&
+      diff.only_new.empty()) {
+    std::printf("identical: %zu runs, %zu metrics compared\n",
+                diff.runs_compared, diff.metrics_compared);
+    return 0;
+  }
+  analysis::diff_table(diff).render(std::cout);
+  std::printf("%zu runs, %zu metrics compared, %zu changed, %zu regressions\n",
+              diff.runs_compared, diff.metrics_compared, diff.changed.size(),
+              diff.regressions);
+  return diff.clean() ? 0 : 1;
+}
+
+int cmd_html(const util::Cli& cli) {
+  if (cli.positional().size() != 2) {
+    return usage("html takes exactly one batch document");
+  }
+  const harness::BatchResult batch =
+      analysis::load_batch_file(cli.positional()[1]);
+
+  harness::MetricsDocument metrics;
+  const harness::MetricsDocument* metrics_ptr = nullptr;
+  const std::string metrics_path = cli.get("metrics", "");
+  if (!metrics_path.empty()) {
+    metrics = analysis::load_metrics_file(metrics_path);
+    metrics_ptr = &metrics;
+  }
+
+  analysis::HtmlOptions options;
+  options.title = cli.get("title", "hpmreport");
+  options.top_k = cli.get_uint("top", 10);
+  const analysis::Scoreboard scoreboard = analysis::score_batch(
+      batch, {.top_k = options.top_k, .min_percent = 0.0});
+
+  std::ostringstream body;
+  analysis::render_html(body, batch, &scoreboard, metrics_ptr, options);
+
+  const std::string out_path = cli.get("out", "");
+  if (out_path.empty()) {
+    std::cout << body.str();
+  } else {
+    std::ofstream out;
+    if (!open_output(out, out_path)) return 2;
+    out << body.str();
+    std::fprintf(stderr, "wrote %s (%zu runs)\n", out_path.c_str(),
+                 batch.items.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv,
+                      {"help", "top", "min-percent", "json", "csv", "rel-tol",
+                       "percent-tol", "metrics", "out", "title"});
+  if (!cli.ok()) return usage(cli.error().c_str());
+  if (cli.has("help") || cli.positional().empty()) {
+    return usage(cli.has("help") ? nullptr : "missing command");
+  }
+  const std::string& command = cli.positional()[0];
+  try {
+    if (command == "scoreboard") return cmd_scoreboard(cli);
+    if (command == "diff") return cmd_diff(cli);
+    if (command == "html") return cmd_html(cli);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hpmreport: %s\n", e.what());
+    return 2;
+  }
+  return usage(("unknown command '" + command + "'").c_str());
+}

@@ -25,8 +25,10 @@
 #include <string>
 #include <vector>
 
+#include "core/report.hpp"
 #include "harness/batch.hpp"
 #include "harness/json_export.hpp"
+#include "harness/progress.hpp"
 #include "telemetry/trace_sink.hpp"
 #include "trace/trace.hpp"
 #include "util/cli.hpp"
@@ -40,32 +42,43 @@ int usage(const char* error) {
   if (error != nullptr) std::fprintf(stderr, "hpmrun: %s\n\n", error);
   std::fputs(
       "usage: hpmrun [options]\n"
+      "\nrun selection:\n"
       "  --workload LIST   comma list of\n"
       "                    tomcatv|swim|su2cor|mgrid|applu|compress|ijpeg\n"
       "  --tool LIST       comma list of none|sample|search|nway\n"
       "                    (default: search; nway is an alias for search)\n"
-      "  --jobs N          worker threads for sweeps (default 1; 0 = all cores)\n"
-      "  --out FILE        export results as JSON (hpm.batch.v2)\n"
+      "  --scale F         workload size factor          (default 1.0)\n"
+      "  --iterations N    workload iterations           (default: per app)\n"
+      "  --seed N          workload seed\n"
+      "  --cache BYTES     measured cache size           (default 2 MiB)\n"
+      "  --list-workloads  print available workload names and exit\n"
+      "  --list-tools      print available tool names and exit\n"
+      "\ntool parameters:\n"
       "  --period N        sampling: misses per sample   (default 10000)\n"
       "  --policy P        sampling: fixed|prime|random  (default fixed)\n"
       "  --n N             search: counters/regions      (default 10)\n"
       "  --interval N      search: initial interval, cycles (default 1e6)\n"
-      "  --scale F         workload size factor          (default 1.0)\n"
-      "  --iterations N    workload iterations           (default: per app)\n"
-      "  --cache BYTES     measured cache size           (default 2 MiB)\n"
-      "  --series          capture per-object miss time series\n"
+      "\nsweep & output:\n"
+      "  --jobs N          worker threads for sweeps (default 1; 0 = all cores)\n"
+      "  --out FILE        export results as JSON (hpm.batch.v2); pipe to\n"
+      "                    hpmreport for scoreboards, diffs and HTML\n"
       "  --top K           rows to print                 (default 10)\n"
+      "  --series          capture per-object miss time series\n"
+      "  --record-trace FILE  record the binary reference trace for replay\n"
+      "                    (single run only)\n"
+      "  --no-timing       omit wall-clock fields from JSON exports\n"
+      "\nlive progress (stderr; never touches exported JSON):\n"
+      "  --progress        one overwritten status line: done/total, per-worker\n"
+      "                    current run, retries, EMA-based ETA\n"
+      "  --progress-jsonl FILE  machine-readable event stream, one JSON\n"
+      "                    object per line (batch/run start/retry/finish)\n"
+      "\ntelemetry (docs/telemetry.md):\n"
       "  --trace-out FILE  write a Chrome trace_event JSON of telemetry\n"
       "                    events (open in chrome://tracing or Perfetto)\n"
       "  --metrics-out FILE  write per-run telemetry metrics + phase\n"
       "                    timeline as JSON (hpm.metrics.v1)\n"
       "  --timeline-every N  phase-timeline snapshot interval in cycles\n"
       "                    (default 1e6 when telemetry is on; 0 disables)\n"
-      "  --record-trace FILE  record the binary reference trace for replay\n"
-      "                    (single run only)\n"
-      "  --list-workloads  print available workload names and exit\n"
-      "  --list-tools      print available tool names and exit\n"
-      "  --seed N          workload seed\n"
       "\nfault injection (docs/fault_injection.md):\n"
       "  --skid N          deliver overflow interrupts N app refs late\n"
       "  --drop-rate P     drop overflow interrupts with probability P\n"
@@ -83,10 +96,23 @@ int usage(const char* error) {
       "  --checkpoint FILE journal completed runs (hpm.checkpoint.v1)\n"
       "  --checkpoint-every N  flush the journal every N runs (default 1)\n"
       "  --resume FILE     skip runs already completed in a journal\n"
-      "                    (continues journaling to the same file)\n"
-      "  --no-timing       omit wall-clock fields from JSON exports\n",
-      stderr);
-  return 2;
+      "                    (continues journaling to the same file)\n",
+      error != nullptr ? stderr : stdout);
+  return error != nullptr ? 2 : 0;
+}
+
+/// Probe an output path before any run starts: a long sweep must fail in
+/// the first millisecond, not at export time, when a directory is missing
+/// or read-only.  Append mode creates a missing file but never truncates
+/// an existing one.
+bool probe_writable(const std::string& path) {
+  if (path.empty()) return true;
+  std::ofstream probe(path, std::ios::app);
+  if (!probe) {
+    std::fprintf(stderr, "hpmrun: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  return true;
 }
 
 std::vector<std::string> split_list(const std::string& list) {
@@ -105,22 +131,16 @@ std::vector<std::string> split_list(const std::string& list) {
 /// Detailed single-run rendering — the classic hpmrun output.
 void print_run(const harness::RunSpec& spec, const harness::RunResult& result,
                std::size_t top_k) {
-  util::Table table({"rank", "object", "actual %", "estimated %"},
-                    {util::Align::kRight, util::Align::kLeft,
-                     util::Align::kRight, util::Align::kRight});
-  const auto actual_top = result.actual.filtered(0.01).top(top_k);
-  std::size_t rank = 0;
-  for (const auto& row : actual_top.rows()) {
-    table.row().cell(static_cast<std::uint64_t>(++rank)).cell(row.name);
-    table.cell(row.percent, 2);
-    if (auto p = result.estimated.percent_of(row.name)) {
-      table.cell(*p, 2);
-    } else {
-      table.blank();
-    }
-  }
+  const std::string tool(harness::tool_kind_name(spec.config.tool));
+  util::Table table = core::make_comparison_table("workload", {tool});
+  const auto actual = result.actual.filtered(0.01);
+  core::append_comparison_rows(table, {.label = spec.workload,
+                                       .actual = &actual,
+                                       .estimates = {&result.estimated},
+                                       .top_k = top_k,
+                                       .precision = 2});
   std::printf("workload: %s   tool: %s\n", spec.workload.c_str(),
-              std::string(harness::tool_kind_name(spec.config.tool)).c_str());
+              tool.c_str());
   table.render(std::cout);
 
   const auto& s = result.stats;
@@ -228,7 +248,7 @@ int main(int argc, char** argv) {
                  "drop-rate", "jitter-rate", "jitter-magnitude", "saturate",
                  "reprogram-delay", "fault-seed", "watchdog", "max-cycles",
                  "wall-budget", "retries", "checkpoint", "checkpoint-every",
-                 "resume", "no-timing"});
+                 "resume", "no-timing", "progress", "progress-jsonl"});
   if (!cli.ok()) return usage(cli.error().c_str());
   if (cli.has("help")) return usage(nullptr);
 
@@ -349,6 +369,14 @@ int main(int argc, char** argv) {
   const std::string out_path = cli.get("out", "");
   const std::string record_trace = cli.get("record-trace", "");
   const auto top_k = static_cast<std::size_t>(cli.get_uint("top", 10));
+  const std::string progress_jsonl = cli.get("progress-jsonl", "");
+
+  // Every output path is probed before the first run starts; a bad path is
+  // a usage error (exit 2), not a failure after hours of simulation.
+  if (!probe_writable(out_path) || !probe_writable(metrics_out) ||
+      !probe_writable(trace_out) || !probe_writable(progress_jsonl)) {
+    return 2;
+  }
 
   if (!record_trace.empty()) {
     // Trace recording needs direct machine access; replicate the harness
@@ -430,7 +458,31 @@ int main(int argc, char** argv) {
   } else if (!checkpoint_path.empty()) {
     batch_options.resilience.checkpoint_path = checkpoint_path;
   }
-  if (specs.size() > 1) {
+  // Live progress (opt-in, stderr/JSONL only): the reporter observes runs
+  // but never feeds back into them, so exported documents stay
+  // byte-identical with it on or off (batch_runner_test asserts this).
+  const bool progress_line = cli.get_bool("progress", false);
+  std::ofstream progress_stream;
+  harness::ProgressOptions progress_options;
+  if (progress_line) progress_options.line_out = &std::cerr;
+  if (!progress_jsonl.empty()) {
+    progress_stream.open(progress_jsonl);
+    if (!progress_stream) {
+      std::fprintf(stderr, "hpmrun: cannot open %s for writing\n",
+                   progress_jsonl.c_str());
+      return 2;
+    }
+    progress_options.jsonl_out = &progress_stream;
+  }
+  std::unique_ptr<harness::ProgressReporter> reporter;
+  if (progress_options.line_out != nullptr ||
+      progress_options.jsonl_out != nullptr) {
+    reporter = std::make_unique<harness::ProgressReporter>(progress_options);
+    batch_options.observer = reporter.get();
+  }
+  if (specs.size() > 1 && !progress_line) {
+    // Classic one-line-per-run log; suppressed under --progress, which
+    // owns the stderr line.
     batch_options.on_progress = [](std::size_t done, std::size_t total,
                                    const harness::BatchItem& item) {
       std::fprintf(stderr, "[%zu/%zu] %s (%.3fs)%s%s\n", done, total,
