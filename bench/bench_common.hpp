@@ -27,6 +27,11 @@ struct CommonFlags {
   /// --telemetry-guardrail: time the sweep with telemetry off vs on and
   /// print both, checking the zero-cost-when-disabled contract holds.
   bool telemetry_guardrail = false;
+  /// --hierarchy-guardrail: time the sweep with the implicit single-level
+  /// machine vs an explicit 1-level hierarchy config and print both,
+  /// checking that the MemoryHierarchy generalization kept single-level
+  /// runs hot (acceptance bar: <2% wall-time delta).
+  bool hierarchy_guardrail = false;
   std::vector<std::string> workloads;  ///< empty = all paper workloads
 
   static std::optional<CommonFlags> parse(
@@ -39,7 +44,8 @@ inline std::optional<CommonFlags> CommonFlags::parse(
     std::vector<std::string> extra_flags) {
   std::vector<std::string> known = {"scale", "iters", "seed", "csv",
                                     "workloads", "jobs", "out",
-                                    "telemetry-guardrail"};
+                                    "telemetry-guardrail",
+                                    "hierarchy-guardrail"};
   known.insert(known.end(), extra_flags.begin(), extra_flags.end());
   util::Cli cli(argc, argv, known);
   if (!cli.ok()) {
@@ -54,6 +60,7 @@ inline std::optional<CommonFlags> CommonFlags::parse(
   flags.jobs = static_cast<unsigned>(cli.get_uint("jobs", 1));
   flags.out = cli.get("out", "");
   flags.telemetry_guardrail = cli.get_bool("telemetry-guardrail", false);
+  flags.hierarchy_guardrail = cli.get_bool("hierarchy-guardrail", false);
   const std::string list = cli.get("workloads", "");
   if (!list.empty()) {
     std::size_t start = 0;
@@ -158,7 +165,43 @@ inline void maybe_telemetry_guardrail(const CommonFlags& flags,
                disabled > 0.0 ? enabled / disabled : 0.0);
 }
 
-/// Honour --out: export the batch as hpm.batch.v2 JSON.
+/// Honour --hierarchy-guardrail: re-run the sweep twice — once with the
+/// specs as given (implicit single-level machine) and once with the same
+/// geometry spelled as an explicit 1-level HierarchyConfig — and print
+/// both wall times.  The explicit run's results are discarded; the
+/// guardrail exists to catch a regression where the MemoryHierarchy walk
+/// makes single-level machines slower than the old hard-wired cache (the
+/// acceptance bar is <2% wall-time delta).
+inline void maybe_hierarchy_guardrail(const CommonFlags& flags,
+                                      const std::vector<harness::RunSpec>&
+                                          specs) {
+  if (!flags.hierarchy_guardrail) return;
+  harness::BatchRunner::Options options;
+  options.jobs = flags.jobs;
+  const harness::BatchRunner runner(options);
+  auto timed = [&](bool explicit_levels) {
+    auto copy = specs;
+    for (auto& spec : copy) {
+      auto& machine = spec.config.machine;
+      machine.hierarchy.levels.clear();
+      if (explicit_levels) {
+        machine.hierarchy.levels.push_back({"L1", machine.cache});
+      }
+    }
+    const auto batch = runner.run(copy);
+    return batch.metrics.wall_seconds;
+  };
+  const double implicit_level = timed(false);
+  const double explicit_level = timed(true);
+  std::fprintf(stderr,
+               "hierarchy guardrail: implicit %.3fs, explicit 1-level %.3fs "
+               "(explicit/implicit = %.3fx)\n",
+               implicit_level, explicit_level,
+               implicit_level > 0.0 ? explicit_level / implicit_level : 0.0);
+}
+
+/// Honour --out: export the batch as hpm.batch JSON (v2, or v3 when a run
+/// carries per-level hierarchy stats).
 inline void maybe_export(const CommonFlags& flags,
                          const harness::BatchResult& batch) {
   if (flags.out.empty()) return;

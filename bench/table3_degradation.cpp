@@ -20,7 +20,7 @@
 // makes the shift auditable either way.
 //
 // The sweep runs on the BatchRunner pool (--jobs N) and exports
-// hpm.batch.v2 JSON with per-cell RunOutcome and fault blocks (--out).
+// hpm.batch.v2/v3 JSON with per-cell RunOutcome and fault blocks (--out).
 #include <cstdio>
 #include <string>
 #include <vector>

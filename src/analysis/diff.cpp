@@ -96,8 +96,9 @@ void diff_items(DiffResult& diff, const DiffOptions& options,
                 static_cast<double>(ns.app_refs));
   compare.count("stats.app_misses", static_cast<double>(os.app_misses),
                 static_cast<double>(ns.app_misses));
-  compare.count("stats.l1_hits", static_cast<double>(os.l1_hits),
-                static_cast<double>(ns.l1_hits));
+  // Metric name matches the historical JSON export key for this counter.
+  compare.count("stats.l1_hits", static_cast<double>(os.filtered_hits),
+                static_cast<double>(ns.filtered_hits));
   compare.count("stats.tool_refs", static_cast<double>(os.tool_refs),
                 static_cast<double>(ns.tool_refs));
   compare.count("stats.tool_misses", static_cast<double>(os.tool_misses),
@@ -126,6 +127,47 @@ void diff_items(DiffResult& diff, const DiffOptions& options,
   diff_reports(compare, "actual", older.result.actual, newer.result.actual);
   diff_reports(compare, "estimated", older.result.estimated,
                newer.result.estimated);
+
+  // Per-level hierarchy counters (v3 documents).  Levels are aligned by
+  // name so an inserted/removed level reads as that level's counters going
+  // to/from zero instead of shifting every downstream comparison.
+  if (!older.result.levels.empty() || !newer.result.levels.empty()) {
+    compare.exact("hierarchy.observe_level",
+                  static_cast<double>(older.result.observe_level),
+                  static_cast<double>(newer.result.observe_level));
+    std::map<std::string, const sim::LevelSnapshot*> old_levels;
+    std::map<std::string, const sim::LevelSnapshot*> new_levels;
+    for (const auto& level : older.result.levels) {
+      old_levels[level.name] = &level;
+    }
+    for (const auto& level : newer.result.levels) {
+      new_levels[level.name] = &level;
+    }
+    std::set<std::string> level_names;
+    for (const auto& [name, level] : old_levels) level_names.insert(name);
+    for (const auto& [name, level] : new_levels) level_names.insert(name);
+    static const sim::LevelSnapshot kEmptyLevel{};
+    for (const auto& name : level_names) {
+      const auto old_it = old_levels.find(name);
+      const auto new_it = new_levels.find(name);
+      const sim::LevelSnapshot& ol =
+          old_it != old_levels.end() ? *old_it->second : kEmptyLevel;
+      const sim::LevelSnapshot& nl =
+          new_it != new_levels.end() ? *new_it->second : kEmptyLevel;
+      const std::string prefix = "hierarchy." + name;
+      compare.count(prefix + ".accesses", static_cast<double>(ol.accesses),
+                    static_cast<double>(nl.accesses));
+      compare.count(prefix + ".hits", static_cast<double>(ol.hits),
+                    static_cast<double>(nl.hits));
+      compare.count(prefix + ".misses", static_cast<double>(ol.misses),
+                    static_cast<double>(nl.misses));
+      compare.count(prefix + ".writebacks",
+                    static_cast<double>(ol.writebacks),
+                    static_cast<double>(nl.writebacks));
+      compare.percent(prefix + ".miss_rate_pct", 100.0 * ol.miss_rate(),
+                      100.0 * nl.miss_rate());
+    }
+  }
 }
 
 }  // namespace

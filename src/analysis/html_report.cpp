@@ -134,6 +134,26 @@ void write_scoreboard_section(std::ostream& out,
   out << "</table></div>\n";
 }
 
+/// Per-cache-level table (multi-level hierarchies only; hpm.batch.v3).
+void write_hierarchy_block(std::ostream& out,
+                           const harness::BatchItem& item) {
+  out << "<h3>Cache hierarchy</h3><table>"
+      << "<tr><th>level</th><th>size</th><th>assoc</th><th>accesses</th>"
+      << "<th>misses</th><th>miss %</th><th>writebacks</th>"
+      << "<th>PMU</th></tr>";
+  for (std::size_t i = 0; i < item.result.levels.size(); ++i) {
+    const sim::LevelSnapshot& level = item.result.levels[i];
+    out << "<tr><td>" << html_escape(level.name) << "</td><td>"
+        << fmt_u(level.size_bytes) << "</td><td>" << level.associativity
+        << "</td><td>" << fmt_u(level.accesses) << "</td><td>"
+        << fmt_u(level.misses) << "</td><td>"
+        << fmt(100.0 * level.miss_rate()) << "</td><td>"
+        << fmt_u(level.writebacks) << "</td><td>"
+        << (i == item.result.observe_level ? "observed" : "") << "</td></tr>";
+  }
+  out << "</table>\n";
+}
+
 void write_faults_block(std::ostream& out, const harness::BatchItem& item) {
   const sim::FaultPlan& plan = item.spec.config.machine.faults;
   const sim::FaultStats& stats = item.result.fault_stats;
@@ -238,6 +258,10 @@ void render_html(std::ostream& out, const harness::BatchResult& batch,
 
     write_bar_chart(out, item.result.actual, item.result.estimated,
                     options.top_k);
+
+    if (!item.result.levels.empty()) {
+      write_hierarchy_block(out, item);
+    }
 
     if (!item.spec.config.machine.faults.none()) {
       write_faults_block(out, item);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <numeric>
 #include <unordered_set>
 
@@ -139,19 +140,34 @@ Scoreboard score_batch(const harness::BatchResult& batch,
 
     row.spearman = spearman_rank_correlation(act, est);
     row.order_agreement = util::pairwise_order_agreement(act, est);
+    for (const auto& level : item.result.levels) {
+      row.level_miss_rates.emplace_back(level.name, 100.0 * level.miss_rate());
+    }
+    row.observe_level = item.result.observe_level;
     scoreboard.rows.push_back(std::move(row));
   }
   return scoreboard;
 }
 
 util::Table scoreboard_table(const Scoreboard& scoreboard) {
-  util::Table table(
-      {"run", "tool", "objects", "missing", "mean |err| %", "max |err| %",
-       "top-k overlap", "spearman", "order agree", "overhead %", "samples"},
-      {util::Align::kLeft, util::Align::kLeft, util::Align::kRight,
-       util::Align::kRight, util::Align::kRight, util::Align::kRight,
-       util::Align::kRight, util::Align::kRight, util::Align::kRight,
-       util::Align::kRight, util::Align::kRight});
+  // The per-level miss-rate column appears only when some run carries
+  // hierarchy data, so single-level scoreboards render exactly as before.
+  const bool any_levels = std::any_of(
+      scoreboard.rows.begin(), scoreboard.rows.end(),
+      [](const ScoreRow& row) { return !row.level_miss_rates.empty(); });
+  std::vector<std::string> headers = {
+      "run", "tool", "objects", "missing", "mean |err| %", "max |err| %",
+      "top-k overlap", "spearman", "order agree", "overhead %", "samples"};
+  std::vector<util::Align> aligns = {
+      util::Align::kLeft, util::Align::kLeft, util::Align::kRight,
+      util::Align::kRight, util::Align::kRight, util::Align::kRight,
+      util::Align::kRight, util::Align::kRight, util::Align::kRight,
+      util::Align::kRight, util::Align::kRight};
+  if (any_levels) {
+    headers.push_back("level miss %");
+    aligns.push_back(util::Align::kLeft);
+  }
+  util::Table table(headers, aligns);
   for (const auto& row : scoreboard.rows) {
     table.row().cell(row.name).cell(row.tool);
     table.cell(static_cast<std::uint64_t>(row.objects));
@@ -163,6 +179,18 @@ util::Table scoreboard_table(const Scoreboard& scoreboard) {
       table.cell(row.samples);
     } else {
       table.blank();
+    }
+    if (any_levels) {
+      std::string cell;
+      for (std::size_t i = 0; i < row.level_miss_rates.size(); ++i) {
+        const auto& [name, rate] = row.level_miss_rates[i];
+        if (!cell.empty()) cell += ' ';
+        if (i == row.observe_level) cell += '*';
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%s=%.2f", name.c_str(), rate);
+        cell += buf;
+      }
+      table.cell(cell);
     }
   }
   return table;
@@ -190,6 +218,19 @@ void export_json(std::ostream& out, const Scoreboard& scoreboard,
     w.key("order_agreement").value(row.order_agreement);
     w.key("overhead_percent").value(row.overhead_percent);
     w.key("samples").value(row.samples);
+    // Hierarchy block only for multi-level runs: single-level scoreboard
+    // documents stay byte-identical to the pre-hierarchy golden.
+    if (!row.level_miss_rates.empty()) {
+      w.key("observe_level").value(row.observe_level);
+      w.key("level_miss_rates").begin_array();
+      for (const auto& [name, rate] : row.level_miss_rates) {
+        w.begin_object();
+        w.key("name").value(name);
+        w.key("miss_rate_pct").value(rate);
+        w.end_object();
+      }
+      w.end_array();
+    }
     w.end_object();
   }
   w.end_array();

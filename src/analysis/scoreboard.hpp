@@ -45,6 +45,11 @@ struct ScoreRow {
   double order_agreement = 1.0; ///< pairwise order consistency in [0, 1]
   double overhead_percent = 0.0;  ///< tool cycles / total cycles
   std::uint64_t samples = 0;      ///< sampler runs only
+  /// Per-cache-level miss rates (percent), innermost first.  Populated only
+  /// for runs on a multi-level hierarchy (hpm.batch.v3 documents); empty
+  /// rows keep scoreboard exports byte-identical to pre-hierarchy builds.
+  std::vector<std::pair<std::string, double>> level_miss_rates;
+  std::uint64_t observe_level = 0;  ///< meaningful when levels are present
 };
 
 struct Scoreboard {

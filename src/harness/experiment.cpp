@@ -104,6 +104,21 @@ RunResult run_experiment(const RunConfig& config,
           .add(result.fault_stats.reprograms_delayed);
     }
   }
+  if (machine.hierarchy().num_levels() > 1) {
+    result.levels = machine.hierarchy().snapshot();
+    result.observe_level = machine.hierarchy().observe_level();
+    if (telem) {
+      // Registered only on multi-level runs so single-level metrics exports
+      // stay byte-identical to pre-hierarchy builds.
+      auto& reg = telem->registry();
+      for (const sim::LevelSnapshot& level : result.levels) {
+        reg.counter("hier." + level.name + ".hits").add(level.hits);
+        reg.counter("hier." + level.name + ".misses").add(level.misses);
+        reg.counter("hier." + level.name + ".writebacks")
+            .add(level.writebacks);
+      }
+    }
+  }
   if (telem) {
     telem->detach(machine);
     result.metrics = telem->snapshot();

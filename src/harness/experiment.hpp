@@ -48,6 +48,12 @@ struct RunResult {
   std::uint64_t samples = 0;
   bool search_done = false;
   std::uint64_t unattributed_misses = 0;
+  /// Per-level cache counters, innermost first.  Populated only for
+  /// multi-level machines so single-level exports stay byte-identical to
+  /// pre-hierarchy builds.
+  std::vector<sim::LevelSnapshot> levels;
+  /// Index of the PMU observation level (meaningful when !levels.empty()).
+  std::uint64_t observe_level = 0;
   /// Snapshot of the run's telemetry (enabled=false when telemetry was off).
   telemetry::RunMetrics metrics{};
   /// Faults actually injected (all zero when the plan was none()).

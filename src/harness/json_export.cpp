@@ -1,5 +1,6 @@
 #include "harness/json_export.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cctype>
 #include <charconv>
@@ -187,7 +188,9 @@ void write_stats(JsonWriter& w, const sim::MachineStats& stats) {
   w.key("app_instructions").value(stats.app_instructions);
   w.key("app_refs").value(stats.app_refs);
   w.key("app_misses").value(stats.app_misses);
-  w.key("l1_hits").value(stats.l1_hits);
+  // Historical key: filtered_hits generalizes the old L1-filter counter,
+  // and the key is pinned by the v1/v2 goldens.
+  w.key("l1_hits").value(stats.filtered_hits);
   w.key("tool_refs").value(stats.tool_refs);
   w.key("tool_misses").value(stats.tool_misses);
   w.key("app_cycles").value(stats.app_cycles);
@@ -255,6 +258,16 @@ void write_metrics(JsonWriter& w, const telemetry::RunMetrics& metrics) {
     w.key("interrupts").value(s.interrupts);
     w.key("app_cycles").value(s.app_cycles);
     w.key("tool_cycles").value(s.tool_cycles);
+    // Per-level columns exist only on multi-level machines; omitting them
+    // otherwise keeps single-level metrics documents byte-identical.
+    if (!s.level_misses.empty()) {
+      w.key("level_misses").begin_array();
+      for (std::uint64_t m : s.level_misses) w.value(m);
+      w.end_array();
+      w.key("level_resident").begin_array();
+      for (std::uint64_t r : s.level_resident) w.value(r);
+      w.end_array();
+    }
     w.key("miss_rate").value(s.miss_rate());
     w.key("ipc").value(s.ipc());
     w.end_object();
@@ -264,11 +277,35 @@ void write_metrics(JsonWriter& w, const telemetry::RunMetrics& metrics) {
   w.end_object();
 }
 
+/// Per-level cache stats (hpm.batch.v3; emitted only for multi-level
+/// machines so single-level documents stay byte-identical to v2).
+void write_levels(JsonWriter& w, const RunResult& result) {
+  w.key("observe_level").value(result.observe_level);
+  w.key("levels").begin_array();
+  for (const sim::LevelSnapshot& level : result.levels) {
+    w.begin_object();
+    w.key("name").value(level.name);
+    w.key("size_bytes").value(level.size_bytes);
+    w.key("line_size").value(static_cast<std::uint64_t>(level.line_size));
+    w.key("associativity")
+        .value(static_cast<std::uint64_t>(level.associativity));
+    w.key("accesses").value(level.accesses);
+    w.key("hits").value(level.hits);
+    w.key("misses").value(level.misses);
+    w.key("writebacks").value(level.writebacks);
+    w.key("resident_lines").value(level.resident_lines);
+    w.key("miss_rate").value(level.miss_rate());
+    w.end_object();
+  }
+  w.end_array();
+}
+
 void write_run_result(JsonWriter& w, const RunResult& result,
                       const JsonExportOptions& options) {
   w.begin_object();
   w.key("stats");
   write_stats(w, result.stats);
+  if (!result.levels.empty()) write_levels(w, result);
   w.key("samples").value(result.samples);
   w.key("unattributed_misses").value(result.unattributed_misses);
   w.key("search_done").value(result.search_done);
@@ -390,7 +427,13 @@ void export_json(std::ostream& out, const BatchResult& batch,
                  const JsonExportOptions& options) {
   JsonWriter w(out, options.indent);
   w.begin_object();
-  w.key("schema").value("hpm.batch.v2");
+  // The schema advances to v3 only when a run actually carries per-level
+  // stats; single-level batches keep exporting v2 byte for byte (the
+  // checked-in goldens pin this).
+  const bool multi_level = std::any_of(
+      batch.items.begin(), batch.items.end(),
+      [](const BatchItem& item) { return !item.result.levels.empty(); });
+  w.key("schema").value(multi_level ? "hpm.batch.v3" : "hpm.batch.v2");
   w.key("jobs").value(batch.metrics.jobs);
   w.key("runs").value(static_cast<std::uint64_t>(batch.metrics.runs));
   w.key("failed").value(static_cast<std::uint64_t>(batch.metrics.failed));
@@ -440,6 +483,8 @@ ParsedBatchSummary parse_batch_document(std::string_view json) {
     summary.schema_version = 1;
   } else if (schema == "hpm.batch.v2") {
     summary.schema_version = 2;
+  } else if (schema == "hpm.batch.v3") {
+    summary.schema_version = 3;
   } else {
     throw std::runtime_error("unrecognised batch schema: " + schema);
   }
@@ -523,6 +568,14 @@ telemetry::RunMetrics parse_run_metrics(const JsonValue& node) {
     sample.interrupts = s.at("interrupts").uint();
     sample.app_cycles = s.at("app_cycles").uint();
     sample.tool_cycles = s.at("tool_cycles").uint();
+    if (const JsonValue* misses = s.find("level_misses")) {
+      for (const JsonValue& m : misses->array()) {
+        sample.level_misses.push_back(m.uint());
+      }
+      for (const JsonValue& r : s.at("level_resident").array()) {
+        sample.level_resident.push_back(r.uint());
+      }
+    }
     // miss_rate / ipc are derived — not stored.
     metrics.timeline.push_back(sample);
   }
@@ -537,7 +590,7 @@ RunResult parse_run_result(const JsonValue& node) {
   result.stats.app_instructions = stats.at("app_instructions").uint();
   result.stats.app_refs = stats.at("app_refs").uint();
   result.stats.app_misses = stats.at("app_misses").uint();
-  result.stats.l1_hits = stats.at("l1_hits").uint();
+  result.stats.filtered_hits = stats.at("l1_hits").uint();
   result.stats.tool_refs = stats.at("tool_refs").uint();
   result.stats.tool_misses = stats.at("tool_misses").uint();
   result.stats.app_cycles = stats.at("app_cycles").uint();
@@ -573,6 +626,27 @@ RunResult parse_run_result(const JsonValue& node) {
       result.series.push_back(std::move(out));
     }
   }
+  if (const JsonValue* levels = node.find("levels")) {
+    if (const JsonValue* observe = node.find("observe_level")) {
+      result.observe_level = observe->uint();
+    }
+    for (const JsonValue& entry : levels->array()) {
+      sim::LevelSnapshot level;
+      level.name = entry.at("name").str();
+      level.size_bytes = entry.at("size_bytes").uint();
+      level.line_size =
+          static_cast<std::uint32_t>(entry.at("line_size").uint());
+      level.associativity =
+          static_cast<std::uint32_t>(entry.at("associativity").uint());
+      level.accesses = entry.at("accesses").uint();
+      level.hits = entry.at("hits").uint();
+      level.misses = entry.at("misses").uint();
+      level.writebacks = entry.at("writebacks").uint();
+      level.resident_lines = entry.at("resident_lines").uint();
+      // miss_rate is derived — not stored.
+      result.levels.push_back(std::move(level));
+    }
+  }
   if (const JsonValue* metrics = node.find("metrics")) {
     result.metrics = parse_run_metrics(*metrics);
   }
@@ -583,7 +657,8 @@ RunResult parse_run_result(const JsonValue& node) {
 
 BatchResult parse_batch_result(const JsonValue& doc) {
   const std::string& schema = doc.at("schema").str();
-  if (schema != "hpm.batch.v1" && schema != "hpm.batch.v2") {
+  if (schema != "hpm.batch.v1" && schema != "hpm.batch.v2" &&
+      schema != "hpm.batch.v3") {
     throw std::runtime_error("unrecognised batch schema: " + schema);
   }
   BatchResult batch;

@@ -85,7 +85,9 @@ void export_json(std::ostream& out, const RunResult& result,
                  const JsonExportOptions& options = {});
 void export_json(std::ostream& out, const BatchItem& item,
                  const JsonExportOptions& options = {});
-/// Top-level document ("schema": "hpm.batch.v2") — see docs/parallel_sweeps.md.
+/// Top-level document ("schema": "hpm.batch.v2", or "hpm.batch.v3" when a
+/// run carries per-level hierarchy stats) — see docs/parallel_sweeps.md and
+/// docs/memory_hierarchy.md.
 /// v2 = v1 plus an optional per-run "metrics" block (telemetry snapshot);
 /// readers written for v1 keep working because every v1 key is unchanged.
 void export_json(std::ostream& out, const BatchResult& batch,
@@ -107,11 +109,12 @@ template <typename T>
 
 // -- Batch-document reader ---------------------------------------------------
 
-/// Summary of a parsed hpm.batch.* document.  Accepts both schema v1
-/// (pre-telemetry) and v2; consumers check `schema_version` / `has_metrics`
-/// instead of string-matching the schema themselves.
+/// Summary of a parsed hpm.batch.* document.  Accepts schema v1
+/// (pre-telemetry), v2 and v3 (per-level hierarchy stats); consumers check
+/// `schema_version` / `has_metrics` instead of string-matching the schema
+/// themselves.
 struct ParsedBatchSummary {
-  int schema_version = 0;  ///< 1 or 2
+  int schema_version = 0;  ///< 1, 2 or 3
   unsigned jobs = 0;
   std::uint64_t runs = 0;
   std::uint64_t failed = 0;
@@ -125,8 +128,8 @@ struct ParsedBatchSummary {
   std::vector<Item> items;
 };
 
-/// Parse an exported batch document (v1 or v2); throws std::runtime_error
-/// on malformed JSON or an unrecognised schema string.
+/// Parse an exported batch document (v1, v2 or v3); throws
+/// std::runtime_error on malformed JSON or an unrecognised schema string.
 [[nodiscard]] ParsedBatchSummary parse_batch_document(std::string_view json);
 
 class JsonValue;
@@ -134,7 +137,7 @@ class JsonValue;
 /// Full-fidelity batch-document reader: every item is reconstructed via
 /// parse_batch_item, so re-exporting the result with export_json
 /// round-trips byte-identically (timing fields excepted when the source
-/// document omitted them).  Accepts schema v1 and v2; throws
+/// document omitted them).  Accepts schema v1, v2 and v3; throws
 /// std::runtime_error on malformed JSON or an unrecognised schema.  This
 /// is the ingestion path of the analysis layer (hpmreport).
 [[nodiscard]] BatchResult parse_batch_result(std::string_view json);

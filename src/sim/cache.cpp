@@ -78,6 +78,7 @@ AccessResult Cache::access(Addr addr, bool write) {
     if (v.dirty) ++writebacks_;
   }
   Line& l = base[victim];
+  if (!l.valid) ++valid_lines_;  // filled a previously empty way
   l.valid = true;
   l.tag = tag;
   l.dirty = write && write_allocates;
@@ -100,12 +101,7 @@ bool Cache::probe(Addr addr) const {
 void Cache::flush() {
   for (auto& l : lines_) l = Line{};
   if (!plru_.empty()) plru_.assign(plru_.size(), 0);
-}
-
-std::uint64_t Cache::resident_lines() const noexcept {
-  std::uint64_t n = 0;
-  for (const auto& l : lines_) n += l.valid ? 1 : 0;
-  return n;
+  valid_lines_ = 0;
 }
 
 std::uint32_t Cache::pick_victim(std::uint64_t set) {

@@ -69,8 +69,12 @@ class Cache {
   [[nodiscard]] std::uint64_t writebacks() const noexcept {
     return writebacks_;
   }
-  /// Number of distinct lines currently valid.
-  [[nodiscard]] std::uint64_t resident_lines() const noexcept;
+  /// Number of distinct lines currently valid.  O(1): maintained
+  /// incrementally on fill/flush, so telemetry may sample it every
+  /// timeline tick without an O(sets x ways) scan.
+  [[nodiscard]] std::uint64_t resident_lines() const noexcept {
+    return valid_lines_;
+  }
 
   /// Line-align an address under this cache's geometry.
   [[nodiscard]] Addr line_base(Addr addr) const noexcept {
@@ -99,6 +103,7 @@ class Cache {
   std::uint64_t accesses_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t writebacks_ = 0;
+  std::uint64_t valid_lines_ = 0;
 };
 
 }  // namespace hpm::sim

@@ -7,7 +7,9 @@
 // own measurement on a 175 MHz SGI Octane (~50 µs per interrupt).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "sim/types.hpp"
 
@@ -18,10 +20,36 @@ struct CycleModel {
   Cycles cache_hit_extra = 0;         ///< additional cycles on a hit
   Cycles cache_miss_penalty = 50;     ///< additional cycles on a miss
   Cycles interrupt_cost = 8'800;      ///< OS signal delivery (paper §3.3)
+  /// Per-hierarchy-level hit latencies: extra cycles charged when a
+  /// reference hits at level i (a hit at level i+1 is by definition the
+  /// miss latency of level i, so this vector is also the per-level miss
+  /// latency table; cache_miss_penalty is the miss latency of the last
+  /// level — DRAM).  Levels beyond the vector fall back to the defaults
+  /// that reproduce the pre-hierarchy model exactly: 0 for inner levels,
+  /// cache_hit_extra for the last level.
+  std::vector<Cycles> level_hit_extra{};
 
   [[nodiscard]] constexpr Cycles ref_cost(bool hit) const noexcept {
     return cycles_per_instruction +
            (hit ? cache_hit_extra : cache_miss_penalty);
+  }
+
+  /// Extra cycles for a reference that hit at `level` of `num_levels`.
+  [[nodiscard]] Cycles hit_extra_at(std::size_t level,
+                                    std::size_t num_levels) const noexcept {
+    if (level < level_hit_extra.size()) return level_hit_extra[level];
+    return level + 1 == num_levels ? cache_hit_extra : 0;
+  }
+
+  /// Full reference cost under the hierarchy model: `hit_level` is the
+  /// level that hit, or >= num_levels when the reference missed everywhere.
+  [[nodiscard]] Cycles hierarchy_ref_cost(std::size_t hit_level,
+                                          std::size_t num_levels)
+      const noexcept {
+    if (hit_level >= num_levels) {
+      return cycles_per_instruction + cache_miss_penalty;
+    }
+    return cycles_per_instruction + hit_extra_at(hit_level, num_levels);
   }
 };
 

@@ -5,9 +5,9 @@ namespace hpm::sim {
 Machine::Machine(const MachineConfig& config)
     : config_(config),
       as_(config.layout),
-      cache_(config.cache),
+      hierarchy_(resolve_levels(config.hierarchy, config.cache),
+                 config.hierarchy.observe_level),
       pmu_(config.num_miss_counters) {
-  if (config.l1) l1_.emplace(*config.l1);
   if (!config.faults.none()) {
     validate(config.faults);
     faults_.emplace(config.faults);

@@ -25,20 +25,24 @@
 #include "sim/cycle_model.hpp"
 #include "sim/fault_injection.hpp"
 #include "sim/interrupt.hpp"
+#include "sim/memory_hierarchy.hpp"
 #include "sim/perf_monitor.hpp"
 #include "sim/types.hpp"
 
 namespace hpm::sim {
 
 struct MachineConfig {
+  /// Geometry of the single measured cache when `hierarchy` is empty —
+  /// the paper's setup.  Ignored once `hierarchy.levels` is non-empty.
   CacheConfig cache{};
   CycleModel cycles{};
   SegmentLayout layout{};
   unsigned num_miss_counters = 16;
-  /// Optional L1 filter cache in front of the measured cache.  The paper's
-  /// simulator is single-level (disabled by default); enabling it models
-  /// Itanium-style counting where the PMU sees only L1-filtered misses.
-  std::optional<CacheConfig> l1{};
+  /// Multi-level cache hierarchy (innermost level first) with a
+  /// configurable PMU observation level.  Empty levels = one level built
+  /// from `cache`; observing the last level of a 2-level hierarchy
+  /// reproduces the old Itanium-style L1-filter configuration bit for bit.
+  HierarchyConfig hierarchy{};
   /// Hardware imperfections to inject (null plan: no fault layer at all,
   /// bit-identical behaviour to builds predating fault injection).
   FaultPlan faults{};
@@ -63,8 +67,11 @@ struct BudgetExceeded : std::runtime_error {
 struct MachineStats {
   std::uint64_t app_instructions = 0;  ///< includes one per memory reference
   std::uint64_t app_refs = 0;
-  std::uint64_t app_misses = 0;  ///< misses in the measured cache
-  std::uint64_t l1_hits = 0;     ///< refs filtered by the optional L1
+  std::uint64_t app_misses = 0;  ///< misses at the PMU observation level
+  /// App refs that hit a cache level above the observation level and were
+  /// therefore invisible to the PMU (exported under the historical JSON
+  /// key "l1_hits"; zero whenever the observation level is innermost).
+  std::uint64_t filtered_hits = 0;
   std::uint64_t tool_refs = 0;
   std::uint64_t tool_misses = 0;
   Cycles app_cycles = 0;   ///< cycles attributable to the application
@@ -88,7 +95,13 @@ class Machine {
   [[nodiscard]] AddressSpace& address_space() noexcept { return as_; }
   [[nodiscard]] PerfMonitor& pmu() noexcept { return pmu_; }
   [[nodiscard]] const PerfMonitor& pmu() const noexcept { return pmu_; }
-  [[nodiscard]] Cache& cache() noexcept { return cache_; }
+  /// The cache the PMU observes — the paper's "measured cache" (for a
+  /// single-level machine, the only one).
+  [[nodiscard]] Cache& cache() noexcept { return hierarchy_.observed_cache(); }
+  [[nodiscard]] MemoryHierarchy& hierarchy() noexcept { return hierarchy_; }
+  [[nodiscard]] const MemoryHierarchy& hierarchy() const noexcept {
+    return hierarchy_;
+  }
   [[nodiscard]] const MachineStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const MachineConfig& config() const noexcept {
     return config_;
@@ -201,31 +214,25 @@ class Machine {
     ++stats_.app_refs;
     ++stats_.app_instructions;
     if (ref_observer_) ref_observer_(addr, write);
-    if (l1_ && l1_->access(addr, write).hit) {
-      ++stats_.l1_hits;
-      stats_.app_cycles += config_.cycles.cycles_per_instruction;
-      poll_interrupts();
-      return;
-    }
-    const AccessResult r = cache_.access(addr, write);
-    stats_.app_cycles += config_.cycles.ref_cost(r.hit);
-    if (!r.hit) {
+    const MemoryHierarchy::AccessOutcome r = hierarchy_.access(addr, write);
+    stats_.app_cycles += config_.cycles.hierarchy_ref_cost(
+        r.hit_level, hierarchy_.num_levels());
+    if (r.observed_miss) {
       ++stats_.app_misses;
       pmu_.record_miss(addr);
       if (observer_) observer_(addr, /*is_tool=*/false);
+    } else if (r.hit_level < hierarchy_.observe_level()) {
+      ++stats_.filtered_hits;
     }
     poll_interrupts();
   }
 
   void tool_ref(Addr addr, bool write) {
     ++stats_.tool_refs;
-    if (l1_ && l1_->access(addr, write).hit) {
-      stats_.tool_cycles += config_.cycles.cycles_per_instruction;
-      return;
-    }
-    const AccessResult r = cache_.access(addr, write);
-    stats_.tool_cycles += config_.cycles.ref_cost(r.hit);
-    if (!r.hit) {
+    const MemoryHierarchy::AccessOutcome r = hierarchy_.access(addr, write);
+    stats_.tool_cycles += config_.cycles.hierarchy_ref_cost(
+        r.hit_level, hierarchy_.num_levels());
+    if (r.observed_miss) {
       ++stats_.tool_misses;
       // Real hardware counts instrumentation misses too.
       pmu_.record_miss(addr);
@@ -265,8 +272,7 @@ class Machine {
   MachineConfig config_;
   BackingStore store_;
   AddressSpace as_;
-  Cache cache_;
-  std::optional<Cache> l1_;
+  MemoryHierarchy hierarchy_;
   PerfMonitor pmu_;
   MachineStats stats_{};
   InterruptHandler* handler_ = nullptr;

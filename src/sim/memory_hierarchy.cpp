@@ -1,0 +1,189 @@
+#include "sim/memory_hierarchy.hpp"
+
+#include <cctype>
+#include <set>
+#include <stdexcept>
+
+namespace hpm::sim {
+
+MemoryHierarchy::MemoryHierarchy(const std::vector<LevelConfig>& levels,
+                                 std::size_t observe) {
+  if (levels.empty()) {
+    throw std::invalid_argument("MemoryHierarchy: at least one level");
+  }
+  if (observe == kObserveLast) observe = levels.size() - 1;
+  if (observe >= levels.size()) {
+    throw std::invalid_argument(
+        "MemoryHierarchy: observation level " + std::to_string(observe) +
+        " out of range for " + std::to_string(levels.size()) + " levels");
+  }
+  observe_ = observe;
+  caches_.reserve(levels.size());
+  names_.reserve(levels.size());
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const LevelConfig& level = levels[i];
+    const std::string name =
+        level.name.empty() ? "L" + std::to_string(i + 1) : level.name;
+    if (!seen.insert(name).second) {
+      throw std::invalid_argument("MemoryHierarchy: duplicate level name '" +
+                                  name + "'");
+    }
+    caches_.emplace_back(level.cache);  // Cache ctor validates the geometry
+    names_.push_back(name);
+  }
+}
+
+void MemoryHierarchy::flush() {
+  for (Cache& cache : caches_) cache.flush();
+}
+
+std::vector<LevelSnapshot> MemoryHierarchy::snapshot() const {
+  std::vector<LevelSnapshot> out;
+  out.reserve(caches_.size());
+  for (std::size_t i = 0; i < caches_.size(); ++i) {
+    const Cache& cache = caches_[i];
+    LevelSnapshot snap;
+    snap.name = names_[i];
+    snap.size_bytes = cache.config().size_bytes;
+    snap.line_size = cache.config().line_size;
+    snap.associativity = cache.config().associativity;
+    snap.accesses = cache.accesses();
+    snap.hits = cache.hits();
+    snap.misses = cache.misses();
+    snap.writebacks = cache.writebacks();
+    snap.resident_lines = cache.resident_lines();
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+// -- Spec grammar -------------------------------------------------------------
+
+std::uint64_t parse_size_bytes(const std::string& text) {
+  if (text.empty()) throw std::invalid_argument("size: empty");
+  std::uint64_t multiplier = 1;
+  std::string digits = text;
+  const char suffix =
+      static_cast<char>(std::tolower(static_cast<unsigned char>(text.back())));
+  if (suffix == 'k' || suffix == 'm' || suffix == 'g') {
+    multiplier = suffix == 'k' ? 1024ULL
+                               : suffix == 'm' ? 1024ULL * 1024
+                                               : 1024ULL * 1024 * 1024;
+    digits = text.substr(0, text.size() - 1);
+  }
+  if (digits.empty()) throw std::invalid_argument("size: no digits in '" +
+                                                  text + "'");
+  std::uint64_t value = 0;
+  for (const char c : digits) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      throw std::invalid_argument("size: bad character in '" + text + "'");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value * multiplier;
+}
+
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t at = text.find(sep, start);
+    const std::size_t end = at == std::string::npos ? text.size() : at;
+    out.push_back(text.substr(start, end - start));
+    if (at == std::string::npos) break;
+    start = at + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+HierarchyConfig parse_hierarchy_spec(const std::string& spec) {
+  HierarchyConfig config;
+  for (const std::string& entry : split(spec, ',')) {
+    if (entry.empty()) continue;
+    const auto fields = split(entry, ':');
+    if (fields.size() < 2 || fields.size() > 4 || fields[0].empty()) {
+      throw std::invalid_argument(
+          "level spec '" + entry +
+          "': expected NAME:SIZE[:LINE[:ASSOC]] (e.g. L1:32k:64:2)");
+    }
+    LevelConfig level;
+    level.name = fields[0];
+    level.cache.size_bytes = parse_size_bytes(fields[1]);
+    if (fields.size() > 2) {
+      level.cache.line_size =
+          static_cast<std::uint32_t>(parse_size_bytes(fields[2]));
+    }
+    if (fields.size() > 3) {
+      level.cache.associativity =
+          static_cast<std::uint32_t>(parse_size_bytes(fields[3]));
+    }
+    if (!level.cache.valid()) {
+      throw std::invalid_argument("level spec '" + entry +
+                                  "': size, line size and set count must be "
+                                  "powers of two");
+    }
+    config.levels.push_back(std::move(level));
+  }
+  if (config.levels.empty()) {
+    throw std::invalid_argument("level spec '" + spec + "': no levels");
+  }
+  return config;
+}
+
+bool hierarchy_preset(const std::string& name, HierarchyConfig& out) {
+  auto level = [](std::string label, std::uint64_t size,
+                  std::uint32_t assoc) {
+    LevelConfig config;
+    config.name = std::move(label);
+    config.cache.size_bytes = size;
+    config.cache.line_size = 64;
+    config.cache.associativity = assoc;
+    return config;
+  };
+  if (name == "paper" || name == "single") {
+    out = HierarchyConfig{{level("LLC", 2ULL * 1024 * 1024, 8)}, kObserveLast};
+    return true;
+  }
+  if (name == "2level") {
+    out = HierarchyConfig{{level("L1", 32 * 1024, 2),
+                           level("LLC", 2ULL * 1024 * 1024, 8)},
+                          kObserveLast};
+    return true;
+  }
+  if (name == "3level") {
+    out = HierarchyConfig{{level("L1", 32 * 1024, 2),
+                           level("L2", 256 * 1024, 8),
+                           level("LLC", 2ULL * 1024 * 1024, 8)},
+                          kObserveLast};
+    return true;
+  }
+  return false;
+}
+
+std::vector<LevelConfig> resolve_levels(const HierarchyConfig& config,
+                                        const CacheConfig& fallback) {
+  if (config.levels.empty()) {
+    LevelConfig single;
+    single.name = "L1";
+    single.cache = fallback;
+    return {single};
+  }
+  std::vector<LevelConfig> levels = config.levels;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (levels[i].name.empty()) levels[i].name = "L" + std::to_string(i + 1);
+  }
+  return levels;
+}
+
+std::size_t resolve_observe_level(const HierarchyConfig& config,
+                                  std::size_t num_levels) {
+  return config.observe_level == kObserveLast ? num_levels - 1
+                                              : config.observe_level;
+}
+
+}  // namespace hpm::sim

@@ -1,0 +1,171 @@
+// Configurable multi-level memory hierarchy.
+//
+// The paper's simulator is single-level (2 MB, §3), but its discussion of
+// real PMUs — Itanium-style counters that observe only L1-filtered misses —
+// needs more than one cache between the CPU and memory.  MemoryHierarchy
+// generalizes the former `Cache` + optional L1-filter pair in sim::Machine
+// into an ordered list of set-associative cache levels (innermost first,
+// each keeping the full replacement/write-policy machinery of sim::Cache)
+// plus a configurable *PMU observation level*: the level whose misses
+// drive the miss counters, the last-miss-address register and the overflow
+// interrupt.  The default observes the last (outermost) level, which is
+// bit-for-bit the pre-hierarchy behaviour for both the single-level
+// machine and the old 2-level L1-filter configuration.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/types.hpp"
+
+namespace hpm::sim {
+
+/// One cache level of the hierarchy: a name (used in exports, reports and
+/// the --levels CLI grammar) plus the full set-associative cache geometry.
+struct LevelConfig {
+  std::string name;  ///< e.g. "L1"; empty names resolve to "L<index+1>"
+  CacheConfig cache{};
+};
+
+/// Sentinel for HierarchyConfig::observe_level: observe the outermost level.
+inline constexpr std::size_t kObserveLast = static_cast<std::size_t>(-1);
+
+struct HierarchyConfig {
+  /// Levels in access order, innermost (closest to the CPU) first.  Empty
+  /// means "single level from MachineConfig::cache" — the paper's setup.
+  std::vector<LevelConfig> levels;
+  /// Index of the level whose misses the PMU observes (counters, last-miss
+  /// address, overflow).  kObserveLast preserves today's behaviour: the PMU
+  /// sees only references that missed every cache.
+  std::size_t observe_level = kObserveLast;
+};
+
+/// Value snapshot of one level's counters after (or during) a run.  The
+/// counts are application + tool plane combined, exactly as the underlying
+/// Cache counts them — real hardware cannot tell the planes apart either.
+struct LevelSnapshot {
+  std::string name;
+  std::uint64_t size_bytes = 0;
+  std::uint32_t line_size = 0;
+  std::uint32_t associativity = 0;
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t resident_lines = 0;
+
+  [[nodiscard]] double miss_rate() const noexcept {
+    return accesses == 0
+               ? 0.0
+               : static_cast<double>(misses) / static_cast<double>(accesses);
+  }
+};
+
+class MemoryHierarchy {
+ public:
+  /// Missed every level (AccessOutcome::hit_level).
+  static constexpr std::size_t kMissedAll = static_cast<std::size_t>(-1);
+
+  /// Result of one reference walking the hierarchy.
+  struct AccessOutcome {
+    std::size_t hit_level = kMissedAll;  ///< kMissedAll when no level hit
+    bool observed_miss = false;  ///< the reference missed the observed level
+  };
+
+  /// Build from resolved level configs (innermost first) and an observation
+  /// index; `observe` may be kObserveLast.  Throws std::invalid_argument on
+  /// an empty level list, an invalid cache geometry, a duplicate level name
+  /// or an out-of-range observation level.
+  MemoryHierarchy(const std::vector<LevelConfig>& levels, std::size_t observe);
+
+  /// Walk the levels innermost-first until a hit; every level on the miss
+  /// path allocates (subject to its own write policy), exactly as the old
+  /// L1-filter + measured-cache pair did.  The walk continues past the
+  /// observed level so outer levels stay warm even when the PMU observes an
+  /// inner one.
+  AccessOutcome access(Addr addr, bool write) {
+    const std::size_t n = caches_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (caches_[i].access(addr, write).hit) {
+        return {i, i > observe_};
+      }
+    }
+    return {kMissedAll, true};
+  }
+
+  [[nodiscard]] std::size_t num_levels() const noexcept {
+    return caches_.size();
+  }
+  [[nodiscard]] std::size_t observe_level() const noexcept { return observe_; }
+  [[nodiscard]] const std::string& level_name(std::size_t i) const {
+    return names_.at(i);
+  }
+  [[nodiscard]] Cache& level(std::size_t i) { return caches_.at(i); }
+  [[nodiscard]] const Cache& level(std::size_t i) const {
+    return caches_.at(i);
+  }
+  /// The cache whose misses the PMU observes — the "measured cache" in the
+  /// paper's single-level terminology.
+  [[nodiscard]] Cache& observed_cache() noexcept { return caches_[observe_]; }
+  [[nodiscard]] const Cache& observed_cache() const noexcept {
+    return caches_[observe_];
+  }
+
+  /// Invalidate every level.
+  void flush();
+
+  /// Per-level counter snapshot, innermost first.
+  [[nodiscard]] std::vector<LevelSnapshot> snapshot() const;
+
+ private:
+  std::vector<Cache> caches_;  ///< innermost first
+  std::vector<std::string> names_;
+  std::size_t observe_;
+};
+
+// -- Level-spec grammar and presets ------------------------------------------
+//
+// The CLI (and docs/memory_hierarchy.md) describe hierarchies as a comma
+// list of levels, innermost first:
+//
+//     NAME:SIZE[:LINE[:ASSOC]][,NAME:SIZE[:LINE[:ASSOC]]...]
+//
+// SIZE accepts k/m/g suffixes (powers of two: 32k = 32768).  LINE defaults
+// to 64 bytes and ASSOC to 8 ways.  Example from the issue:
+//
+//     L1:32k:64:2,L2:256k:64:8,LLC:2m:64:8
+//
+// A bare preset name is also accepted: "paper" (single 2 MB level, §3),
+// "2level" (32 KB L1 + 2 MB LLC) and "3level" (adds a 256 KB L2).
+
+/// Parse "12345", "32k", "2m", "1g" (case-insensitive, power-of-two
+/// multipliers).  Throws std::invalid_argument on malformed input.
+[[nodiscard]] std::uint64_t parse_size_bytes(const std::string& text);
+
+/// Parse a level-spec string (grammar above; preset names NOT accepted
+/// here).  Throws std::invalid_argument with a message naming the bad
+/// field on malformed input.
+[[nodiscard]] HierarchyConfig parse_hierarchy_spec(const std::string& spec);
+
+/// Named presets: "paper"/"single" (one 2 MB level), "2level" (32 KB L1 +
+/// 2 MB LLC), "3level" (adds a 256 KB L2).  Returns true and fills `out`
+/// when `name` names a preset, false otherwise so callers can fall back to
+/// the explicit grammar.
+[[nodiscard]] bool hierarchy_preset(const std::string& name,
+                                    HierarchyConfig& out);
+
+/// Resolve a HierarchyConfig plus the single-level fallback geometry into
+/// the concrete level list MemoryHierarchy is built from: empty levels
+/// become one level of `fallback`, and empty names become "L<i+1>".
+[[nodiscard]] std::vector<LevelConfig> resolve_levels(
+    const HierarchyConfig& config, const CacheConfig& fallback);
+
+/// The observation index implied by `config` for `num_levels` levels
+/// (kObserveLast resolves to num_levels - 1).
+[[nodiscard]] std::size_t resolve_observe_level(const HierarchyConfig& config,
+                                                std::size_t num_levels);
+
+}  // namespace hpm::sim

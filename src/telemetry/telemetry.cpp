@@ -36,6 +36,10 @@ void Telemetry::attach(sim::Machine& machine) {
     }
   });
   if (timeline_) {
+    // Multi-level machines get per-level miss/resident columns in every
+    // slice; single-level timelines are unchanged (watch_hierarchy ignores
+    // hierarchies of one level).
+    timeline_->watch_hierarchy(&machine.hierarchy());
     machine.set_periodic_hook(
         config_.timeline_every,
         [this](const sim::MachineStats& stats) { timeline_->snapshot(stats); });
@@ -45,6 +49,7 @@ void Telemetry::attach(sim::Machine& machine) {
 void Telemetry::detach(sim::Machine& machine) {
   machine.set_interrupt_observer(nullptr);
   machine.set_periodic_hook(0, nullptr);
+  if (timeline_) timeline_->watch_hierarchy(nullptr);
 }
 
 RunMetrics Telemetry::snapshot() const {

@@ -12,6 +12,13 @@ PhaseTimeline::PhaseTimeline(sim::Cycles every, std::size_t capacity)
   ring_.reserve(capacity_);
 }
 
+void PhaseTimeline::watch_hierarchy(const sim::MemoryHierarchy* hierarchy) {
+  if (hierarchy != nullptr && hierarchy->num_levels() <= 1) hierarchy = nullptr;
+  hierarchy_ = hierarchy;
+  last_level_misses_.assign(
+      hierarchy_ != nullptr ? hierarchy_->num_levels() : 0, 0);
+}
+
 void PhaseTimeline::snapshot(const sim::MachineStats& stats) {
   PhaseSample sample;
   sample.at = stats.total_cycles();
@@ -23,6 +30,17 @@ void PhaseTimeline::snapshot(const sim::MachineStats& stats) {
   sample.interrupts = stats.interrupts - last_.interrupts;
   sample.app_cycles = stats.app_cycles - last_.app_cycles;
   sample.tool_cycles = stats.tool_cycles - last_.tool_cycles;
+  if (hierarchy_ != nullptr) {
+    const std::size_t n = hierarchy_->num_levels();
+    sample.level_misses.resize(n);
+    sample.level_resident.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t misses = hierarchy_->level(i).misses();
+      sample.level_misses[i] = misses - last_level_misses_[i];
+      last_level_misses_[i] = misses;
+      sample.level_resident[i] = hierarchy_->level(i).resident_lines();
+    }
+  }
   last_ = stats;
   ++total_;
   if (ring_.size() < capacity_) {

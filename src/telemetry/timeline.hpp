@@ -28,6 +28,11 @@ struct PhaseSample {
   std::uint64_t interrupts = 0;
   sim::Cycles app_cycles = 0;
   sim::Cycles tool_cycles = 0;
+  /// Per-cache-level miss deltas / resident-line samples, innermost first.
+  /// Populated only when the timeline watches a multi-level hierarchy, so
+  /// single-level metrics exports stay byte-identical.
+  std::vector<std::uint64_t> level_misses;
+  std::vector<std::uint64_t> level_resident;
 
   /// Misses per application reference within the slice (0 when idle).
   [[nodiscard]] double miss_rate() const noexcept {
@@ -57,6 +62,12 @@ class PhaseTimeline {
   /// ring is full the oldest slice is overwritten.
   void snapshot(const sim::MachineStats& stats);
 
+  /// Also sample per-level miss deltas and resident-line counts from
+  /// `hierarchy` (not owned; must outlive the timeline) on every snapshot.
+  /// Only multi-level hierarchies populate the per-level columns; pass
+  /// nullptr (or a single-level hierarchy) to keep slices hierarchy-free.
+  void watch_hierarchy(const sim::MemoryHierarchy* hierarchy);
+
   /// Slices in chronological order (oldest surviving slice first).
   [[nodiscard]] std::vector<PhaseSample> samples() const;
 
@@ -78,6 +89,8 @@ class PhaseTimeline {
   std::size_t head_ = 0;  ///< overwrite position once full
   std::uint64_t total_ = 0;
   sim::MachineStats last_{};
+  const sim::MemoryHierarchy* hierarchy_ = nullptr;  ///< multi-level only
+  std::vector<std::uint64_t> last_level_misses_;
 };
 
 }  // namespace hpm::telemetry

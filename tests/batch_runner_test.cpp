@@ -43,7 +43,7 @@ void expect_stats_equal(const sim::MachineStats& a,
   EXPECT_EQ(a.app_instructions, b.app_instructions);
   EXPECT_EQ(a.app_refs, b.app_refs);
   EXPECT_EQ(a.app_misses, b.app_misses);
-  EXPECT_EQ(a.l1_hits, b.l1_hits);
+  EXPECT_EQ(a.filtered_hits, b.filtered_hits);
   EXPECT_EQ(a.tool_refs, b.tool_refs);
   EXPECT_EQ(a.tool_misses, b.tool_misses);
   EXPECT_EQ(a.app_cycles, b.app_cycles);

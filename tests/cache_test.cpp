@@ -6,6 +6,7 @@
 #include <map>
 #include <vector>
 
+#include "sim/memory_hierarchy.hpp"
 #include "util/prng.hpp"
 
 namespace hpm::sim {
@@ -241,6 +242,79 @@ TEST(Cache, DeterministicAcrossIdenticalRuns) {
   };
   EXPECT_EQ(run(1), run(1));
   EXPECT_NE(run(1), run(2));  // different replacement randomness
+}
+
+// -- Incremental resident-line counter ---------------------------------------
+
+TEST(Cache, ResidentLinesTracksFillsEvictionsAndFlush) {
+  auto config = small_config();  // 8 KB = 128 lines capacity
+  Cache cache(config);
+  const std::uint64_t capacity = config.size_bytes / config.line_size;
+  // Sequential distinct lines: the first `capacity` fills land in empty
+  // ways, every later fill replaces a valid line, so the counter rises to
+  // capacity and stays there.
+  for (std::uint64_t i = 0; i < 2 * capacity; ++i) {
+    (void)cache.access(i * config.line_size, false);
+    EXPECT_EQ(cache.resident_lines(), std::min(i + 1, capacity)) << i;
+  }
+  cache.flush();
+  EXPECT_EQ(cache.resident_lines(), 0u);
+  (void)cache.access(0, false);
+  EXPECT_EQ(cache.resident_lines(), 1u);
+}
+
+// -- Write-through / no-allocate ---------------------------------------------
+
+TEST(WriteThroughNoAllocate, StoreMissesBypassTheCache) {
+  auto config = small_config();
+  config.write_policy = WritePolicy::kWriteThroughNoAllocate;
+  Cache cache(config);
+  EXPECT_FALSE(cache.access(0, true).hit);  // store miss: no fill
+  EXPECT_FALSE(cache.probe(0));
+  EXPECT_EQ(cache.resident_lines(), 0u);
+  (void)cache.access(0, false);              // load miss fills
+  EXPECT_TRUE(cache.access(0x20, true).hit); // store hit writes through
+  EXPECT_EQ(cache.resident_lines(), 1u);
+}
+
+TEST(WriteThroughNoAllocate, NeverHoldsDirtyLinesSoNeverWritesBack) {
+  auto config = small_config();
+  config.write_policy = WritePolicy::kWriteThroughNoAllocate;
+  Cache cache(config);
+  const std::uint64_t stride = config.num_sets() * config.line_size;
+  (void)cache.access(0, false);    // fill clean
+  (void)cache.access(0x20, true);  // store hit: written through, stays clean
+  // Thrash the set far past capacity: every eviction must be clean.
+  for (std::uint32_t i = 1; i < 32; ++i) {
+    EXPECT_FALSE(cache.access(i * stride, false).writeback) << i;
+  }
+  EXPECT_EQ(cache.writebacks(), 0u);
+}
+
+TEST(WriteThroughNoAllocate, MultiLevelWritebacksStayAtTheWriteBackLevel) {
+  // Write-through L1 in front of a write-back LLC: a store miss skips the
+  // L1 fill but still dirties the LLC; evicting that line later writes
+  // back from the LLC only.
+  CacheConfig wt = small_config();
+  wt.write_policy = WritePolicy::kWriteThroughNoAllocate;
+  CacheConfig wb = small_config();
+  MemoryHierarchy hierarchy({{"L1", wt}, {"LLC", wb}}, kObserveLast);
+
+  const auto miss = hierarchy.access(0, /*write=*/true);
+  EXPECT_EQ(miss.hit_level, MemoryHierarchy::kMissedAll);
+  EXPECT_EQ(hierarchy.level(0).resident_lines(), 0u);  // no-allocate
+  EXPECT_EQ(hierarchy.level(1).resident_lines(), 1u);  // allocated dirty
+
+  // Fill the LLC set past capacity with clean loads; the dirty store line
+  // is the LRU victim and must write back exactly once, from the LLC.
+  const std::uint64_t stride = wb.num_sets() * wb.line_size;
+  for (std::uint32_t i = 1; i <= 8; ++i) {
+    (void)hierarchy.access(i * stride, /*write=*/false);
+  }
+  EXPECT_EQ(hierarchy.level(1).writebacks(), 1u);
+  EXPECT_EQ(hierarchy.level(0).writebacks(), 0u);
+  const auto snapshot = hierarchy.snapshot();
+  EXPECT_EQ(snapshot[1].writebacks, 1u);
 }
 
 }  // namespace

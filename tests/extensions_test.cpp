@@ -11,13 +11,16 @@
 namespace hpm {
 namespace {
 
+// A 2-level hierarchy with the PMU observing the last level: the modern
+// spelling of the historical `MachineConfig::l1` filter cache.
 sim::MachineConfig l1_machine() {
   sim::MachineConfig c;
-  c.cache.size_bytes = 256 * 1024;
   sim::CacheConfig l1;
   l1.size_bytes = 8 * 1024;
   l1.associativity = 2;
-  c.l1 = l1;
+  sim::CacheConfig measured;
+  measured.size_bytes = 256 * 1024;
+  c.hierarchy.levels = {{"L1", l1}, {"L2", measured}};
   return c;
 }
 
@@ -28,7 +31,7 @@ TEST(L1Filter, HitsAreFilteredFromTheMeasuredCache) {
   machine.touch(a + 8);   // L1 hit: measured cache untouched
   machine.touch(a + 16);  // L1 hit
   EXPECT_EQ(machine.stats().app_misses, 1u);
-  EXPECT_EQ(machine.stats().l1_hits, 2u);
+  EXPECT_EQ(machine.stats().filtered_hits, 2u);
   EXPECT_EQ(machine.pmu().global_misses(), 1u);
 }
 
@@ -40,13 +43,17 @@ TEST(L1Filter, RepeatedSmallWorkingSetNeverReachesL2) {
   }
   // 64 cold misses; the other 576 references hit the 8 KB L1.
   EXPECT_EQ(machine.stats().app_misses, 64u);
-  EXPECT_EQ(machine.stats().l1_hits, 9u * 64);
+  EXPECT_EQ(machine.stats().filtered_hits, 9u * 64);
 }
 
 TEST(L1Filter, L1HitsAreCheaper) {
   auto cycles = [](bool with_l1) {
     sim::MachineConfig c = l1_machine();
-    if (!with_l1) c.l1.reset();
+    if (!with_l1) {
+      // Drop the filter level, keeping only the measured cache.
+      c.cache = c.hierarchy.levels.back().cache;
+      c.hierarchy.levels.clear();
+    }
     sim::Machine machine(c);
     const sim::Addr a = machine.address_space().define_static("a", 4096);
     for (int sweep = 0; sweep < 4; ++sweep) {

@@ -235,6 +235,41 @@ TEST(FaultInjection, FaultedSweepIsDeterministicAcrossJobs) {
   EXPECT_GT(a.items.at(0).result.fault_stats.interrupts_dropped, 0u);
 }
 
+TEST(FaultInjection, JitteredReadsOnWriteThroughHierarchyStayDeterministic) {
+  // Fault-injected jittered counter reads on a multi-level machine whose
+  // L1 is write-through/no-allocate: the faults must fire, the per-level
+  // counters must be populated, and two identical runs must agree bit for
+  // bit.  Jitter only perturbs PMU region-counter reads, so drive the
+  // n-way search tool rather than the sampler.
+  RunConfig config = small_sampler_config();
+  config.tool = ToolKind::kSearch;
+  sim::CacheConfig wt_l1;
+  wt_l1.size_bytes = 8 * 1024;
+  wt_l1.line_size = 64;
+  wt_l1.associativity = 2;
+  wt_l1.write_policy = sim::WritePolicy::kWriteThroughNoAllocate;
+  config.machine.hierarchy.levels = {{"L1", wt_l1},
+                                     {"LLC", config.machine.cache}};
+  config.machine.faults.jitter_rate = 0.5;
+  config.machine.faults.jitter_magnitude = 3;
+  config.machine.faults.seed = 7;
+
+  const auto a = harness::run_experiment(config, "tomcatv", small_options());
+  const auto b = harness::run_experiment(config, "tomcatv", small_options());
+
+  EXPECT_GT(a.fault_stats.reads_jittered, 0u);
+  ASSERT_EQ(a.levels.size(), 2u);
+  EXPECT_EQ(a.levels[0].name, "L1");
+  EXPECT_EQ(a.levels[0].writebacks, 0u);  // write-through lines stay clean
+  EXPECT_GT(a.levels[0].misses, a.levels[1].misses);
+
+  EXPECT_EQ(a.fault_stats.reads_jittered, b.fault_stats.reads_jittered);
+  EXPECT_EQ(a.stats.app_misses, b.stats.app_misses);
+  const harness::JsonExportOptions stable{.include_timing = false};
+  EXPECT_EQ(harness::to_json(a.estimated, stable),
+            harness::to_json(b.estimated, stable));
+}
+
 TEST(FaultInjection, DiscardFilterIsNoOpOnCleanRuns) {
   const auto baseline =
       harness::run_experiment(small_sampler_config(), "mgrid",

@@ -87,6 +87,23 @@ std::vector<RunSpec> faulted_specs() {
   return faulted;
 }
 
+/// The hierarchy pipeline: the golden sampler + search runs re-run on the
+/// 2-level preset (32 KB L1 filter in front of the 2 MB LLC, PMU
+/// observing the last level).  Locks in the per-level counters — the
+/// hpm.batch.v3 "levels" blocks — so a hierarchy-walk change that shifts
+/// inter-level traffic shows up as a golden diff.
+std::vector<RunSpec> hierarchy_specs() {
+  std::vector<RunSpec> specs = golden_specs();
+  sim::HierarchyConfig hierarchy;
+  const bool is_preset = sim::hierarchy_preset("2level", hierarchy);
+  EXPECT_TRUE(is_preset);
+  for (auto& spec : specs) {
+    spec.name += "+2level";
+    spec.config.machine.hierarchy = hierarchy;
+  }
+  return specs;
+}
+
 std::string export_batch(const BatchResult& batch) {
   JsonExportOptions options;
   options.include_timing = false;  // goldens must be byte-stable
@@ -186,6 +203,35 @@ void compare_batches(const JsonValue& expected, const JsonValue& actual) {
       EXPECT_EQ(a.find("faults"), nullptr) << what << " gained a faults "
                                               "block its golden lacks";
     }
+    // Multi-level items carry a "levels" array (hpm.batch.v3): the level
+    // geometry and observation point are configuration and must match
+    // exactly; the per-level counters get the usual integer tolerance.
+    if (const JsonValue* el = er.find("levels")) {
+      const JsonValue* al = ar.find("levels");
+      ASSERT_NE(al, nullptr) << what << ".levels missing";
+      EXPECT_EQ(ar.at("observe_level").uint(), er.at("observe_level").uint())
+          << what;
+      const auto& expected_levels = el->array();
+      const auto& actual_levels = al->array();
+      ASSERT_EQ(actual_levels.size(), expected_levels.size()) << what;
+      for (std::size_t j = 0; j < expected_levels.size(); ++j) {
+        const auto& elv = expected_levels[j];
+        const auto& alv = actual_levels[j];
+        const std::string level = what + ".levels[" + std::to_string(j) + "]";
+        EXPECT_EQ(alv.at("name").str(), elv.at("name").str()) << level;
+        for (const auto& key : {"size_bytes", "line_size", "associativity"}) {
+          EXPECT_EQ(alv.at(key).uint(), elv.at(key).uint())
+              << level << "." << key;
+        }
+        for (const auto& key : {"accesses", "hits", "misses", "writebacks",
+                                "resident_lines"}) {
+          expect_count_close(elv.at(key), alv.at(key), level + "." + key);
+        }
+      }
+    } else {
+      EXPECT_EQ(ar.find("levels"), nullptr) << what << " gained a levels "
+                                               "block its golden lacks";
+    }
   }
 }
 
@@ -221,6 +267,10 @@ TEST(GoldenResults, PaperPipelineSamplerAndSearch) {
 
 TEST(GoldenResults, FaultedPipelineDegradationIsPinned) {
   run_golden_case("faulted_pipeline.json", faulted_specs());
+}
+
+TEST(GoldenResults, HierarchyPipelinePerLevelCountersArePinned) {
+  run_golden_case("hierarchy_pipeline.json", hierarchy_specs());
 }
 
 // The search must keep finding tomcatv's paper-named arrays; pinning the

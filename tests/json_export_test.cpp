@@ -310,6 +310,62 @@ TEST(ParseBatchDocument, StillReadsLegacyV1Documents) {
   EXPECT_FALSE(summary.items[1].ok);
 }
 
+TEST(JsonExport, HierarchyBatchRoundTripsThroughV3) {
+  // A batch whose item carries per-level counters must export as v3 with a
+  // "levels" block, survive parse_batch_result, and re-export byte for
+  // byte.  A batch without levels must stay on v2 untouched.
+  BatchResult batch = tiny_batch(false);
+  auto& result = batch.items[0].result;
+  result.observe_level = 1;
+  sim::LevelSnapshot l1;
+  l1.name = "L1";
+  l1.size_bytes = 32 * 1024;
+  l1.line_size = 64;
+  l1.associativity = 2;
+  l1.accesses = 1000;
+  l1.hits = 900;
+  l1.misses = 100;
+  l1.writebacks = 7;
+  l1.resident_lines = 512;
+  sim::LevelSnapshot llc = l1;
+  llc.name = "LLC";
+  llc.size_bytes = 2ULL * 1024 * 1024;
+  llc.associativity = 8;
+  llc.accesses = 100;
+  llc.hits = 80;
+  llc.misses = 20;
+  llc.writebacks = 0;
+  result.levels = {l1, llc};
+
+  const std::string exported = to_json(batch);
+  const auto doc = JsonValue::parse(exported);
+  EXPECT_EQ(doc.at("schema").str(), "hpm.batch.v3");
+  const auto& item = doc.at("items").array().at(0);
+  EXPECT_EQ(item.at("result").at("observe_level").uint(), 1u);
+  const auto& levels = item.at("result").at("levels").array();
+  ASSERT_EQ(levels.size(), 2u);
+  EXPECT_EQ(levels[0].at("name").str(), "L1");
+  EXPECT_EQ(levels[0].at("misses").uint(), 100u);
+  EXPECT_EQ(levels[0].at("writebacks").uint(), 7u);
+  EXPECT_EQ(levels[0].at("resident_lines").uint(), 512u);
+  EXPECT_EQ(levels[1].at("name").str(), "LLC");
+  EXPECT_EQ(levels[1].at("size_bytes").uint(), 2ULL * 1024 * 1024);
+
+  const BatchResult reparsed = parse_batch_result(exported);
+  ASSERT_EQ(reparsed.items.size(), 1u);
+  ASSERT_EQ(reparsed.items[0].result.levels.size(), 2u);
+  EXPECT_EQ(reparsed.items[0].result.levels[1].hits, 80u);
+  EXPECT_EQ(reparsed.items[0].result.observe_level, 1u);
+  EXPECT_EQ(to_json(reparsed), exported);
+
+  const auto summary = parse_batch_document(exported);
+  EXPECT_EQ(summary.schema_version, 3);
+
+  // Single-level batches keep the v2 schema string byte-for-byte.
+  EXPECT_EQ(JsonValue::parse(to_json(tiny_batch(false))).at("schema").str(),
+            "hpm.batch.v2");
+}
+
 TEST(ParseBatchDocument, RejectsUnknownSchemaAndGarbage) {
   EXPECT_THROW((void)parse_batch_document("{\"schema\":\"hpm.batch.v9\"}"),
                std::runtime_error);

@@ -1,0 +1,314 @@
+// Tests for sim::MemoryHierarchy: the level-spec grammar and presets, the
+// innermost-first walk, the configurable PMU observation level, and the
+// compatibility contracts the refactor rests on — an explicit 1-level
+// hierarchy is bit-identical to the implicit single-level machine, and a
+// 2-level hierarchy observing the last level reproduces the old L1-filter
+// behaviour exactly.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/cycle_model.hpp"
+#include "sim/machine.hpp"
+#include "sim/memory_hierarchy.hpp"
+
+namespace hpm::sim {
+namespace {
+
+// -- Size and spec parsing ---------------------------------------------------
+
+TEST(ParseSize, AcceptsPlainAndSuffixedSizes) {
+  EXPECT_EQ(parse_size_bytes("12345"), 12345u);
+  EXPECT_EQ(parse_size_bytes("32k"), 32u * 1024);
+  EXPECT_EQ(parse_size_bytes("32K"), 32u * 1024);
+  EXPECT_EQ(parse_size_bytes("2m"), 2u * 1024 * 1024);
+  EXPECT_EQ(parse_size_bytes("1g"), 1ull * 1024 * 1024 * 1024);
+}
+
+TEST(ParseSize, RejectsMalformedSizes) {
+  EXPECT_THROW((void)parse_size_bytes(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_size_bytes("k"), std::invalid_argument);
+  EXPECT_THROW((void)parse_size_bytes("32q"), std::invalid_argument);
+  EXPECT_THROW((void)parse_size_bytes("3.5k"), std::invalid_argument);
+  EXPECT_THROW((void)parse_size_bytes("32kb"), std::invalid_argument);
+}
+
+TEST(ParseHierarchySpec, FullSpecFromTheIssue) {
+  const auto config =
+      parse_hierarchy_spec("L1:32k:64:2,L2:256k:64:8,LLC:2m:64:8");
+  ASSERT_EQ(config.levels.size(), 3u);
+  EXPECT_EQ(config.levels[0].name, "L1");
+  EXPECT_EQ(config.levels[0].cache.size_bytes, 32u * 1024);
+  EXPECT_EQ(config.levels[0].cache.associativity, 2u);
+  EXPECT_EQ(config.levels[1].name, "L2");
+  EXPECT_EQ(config.levels[1].cache.size_bytes, 256u * 1024);
+  EXPECT_EQ(config.levels[2].name, "LLC");
+  EXPECT_EQ(config.levels[2].cache.size_bytes, 2u * 1024 * 1024);
+  EXPECT_EQ(config.levels[2].cache.line_size, 64u);
+  EXPECT_EQ(config.observe_level, kObserveLast);
+}
+
+TEST(ParseHierarchySpec, LineAndAssociativityDefault) {
+  const auto config = parse_hierarchy_spec("L1:8k");
+  ASSERT_EQ(config.levels.size(), 1u);
+  EXPECT_EQ(config.levels[0].cache.line_size, 64u);
+  EXPECT_EQ(config.levels[0].cache.associativity, 8u);
+}
+
+TEST(ParseHierarchySpec, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)parse_hierarchy_spec(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_hierarchy_spec("L1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_hierarchy_spec(":32k"), std::invalid_argument);
+  EXPECT_THROW((void)parse_hierarchy_spec("L1:32k:64:2:9"),
+               std::invalid_argument);
+  // Geometry that is not a power of two fails at parse time, not run time.
+  EXPECT_THROW((void)parse_hierarchy_spec("L1:3000"), std::invalid_argument);
+}
+
+TEST(HierarchyPresets, KnownPresetsResolve) {
+  HierarchyConfig config;
+  ASSERT_TRUE(hierarchy_preset("paper", config));
+  ASSERT_EQ(config.levels.size(), 1u);
+  EXPECT_EQ(config.levels[0].cache.size_bytes, 2u * 1024 * 1024);
+
+  ASSERT_TRUE(hierarchy_preset("single", config));
+  EXPECT_EQ(config.levels.size(), 1u);
+
+  ASSERT_TRUE(hierarchy_preset("2level", config));
+  ASSERT_EQ(config.levels.size(), 2u);
+  EXPECT_EQ(config.levels[0].cache.size_bytes, 32u * 1024);
+  EXPECT_EQ(config.levels[1].cache.size_bytes, 2u * 1024 * 1024);
+
+  ASSERT_TRUE(hierarchy_preset("3level", config));
+  ASSERT_EQ(config.levels.size(), 3u);
+  EXPECT_EQ(config.levels[1].cache.size_bytes, 256u * 1024);
+
+  EXPECT_FALSE(hierarchy_preset("4level", config));
+  EXPECT_FALSE(hierarchy_preset("", config));
+}
+
+TEST(ResolveLevels, EmptyConfigFallsBackToSingleLevel) {
+  CacheConfig fallback;
+  fallback.size_bytes = 128 * 1024;
+  const auto levels = resolve_levels(HierarchyConfig{}, fallback);
+  ASSERT_EQ(levels.size(), 1u);
+  EXPECT_EQ(levels[0].name, "L1");
+  EXPECT_EQ(levels[0].cache.size_bytes, 128u * 1024);
+}
+
+TEST(ResolveLevels, EmptyNamesGetPositionalDefaults) {
+  HierarchyConfig config;
+  config.levels.resize(2);
+  config.levels[0].cache.size_bytes = 8 * 1024;
+  const auto levels = resolve_levels(config, CacheConfig{});
+  EXPECT_EQ(levels[0].name, "L1");
+  EXPECT_EQ(levels[1].name, "L2");
+}
+
+TEST(ResolveObserveLevel, SentinelMeansLastLevel) {
+  HierarchyConfig config;
+  EXPECT_EQ(resolve_observe_level(config, 3), 2u);
+  config.observe_level = 0;
+  EXPECT_EQ(resolve_observe_level(config, 3), 0u);
+}
+
+// -- Construction validation -------------------------------------------------
+
+TEST(MemoryHierarchyValidation, RejectsBadConfigurations) {
+  EXPECT_THROW(MemoryHierarchy({}, kObserveLast), std::invalid_argument);
+
+  LevelConfig level;
+  level.name = "L1";
+  level.cache.size_bytes = 8 * 1024;
+  EXPECT_THROW(MemoryHierarchy({level}, 1), std::invalid_argument);
+  EXPECT_THROW(MemoryHierarchy({level, level}, kObserveLast),
+               std::invalid_argument);
+
+  LevelConfig bad = level;
+  bad.cache.size_bytes = 3000;  // not a power of two
+  EXPECT_THROW(MemoryHierarchy({bad}, kObserveLast), std::invalid_argument);
+}
+
+// -- Walk semantics ----------------------------------------------------------
+
+MemoryHierarchy three_level() {
+  LevelConfig l1{"L1", {}};
+  l1.cache.size_bytes = 4 * 1024;
+  l1.cache.associativity = 2;
+  LevelConfig l2{"L2", {}};
+  l2.cache.size_bytes = 32 * 1024;
+  LevelConfig llc{"LLC", {}};
+  llc.cache.size_bytes = 256 * 1024;
+  return MemoryHierarchy({l1, l2, llc}, kObserveLast);
+}
+
+TEST(MemoryHierarchyWalk, ColdMissFillsEveryLevelOnThePath) {
+  auto hierarchy = three_level();
+  const auto cold = hierarchy.access(0x1000, /*write=*/false);
+  EXPECT_EQ(cold.hit_level, MemoryHierarchy::kMissedAll);
+  EXPECT_TRUE(cold.observed_miss);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(hierarchy.level(i).accesses(), 1u);
+    EXPECT_EQ(hierarchy.level(i).misses(), 1u);
+    EXPECT_TRUE(hierarchy.level(i).probe(0x1000));
+  }
+
+  // The re-reference hits innermost and never reaches the outer levels.
+  const auto warm = hierarchy.access(0x1000, /*write=*/false);
+  EXPECT_EQ(warm.hit_level, 0u);
+  EXPECT_FALSE(warm.observed_miss);
+  EXPECT_EQ(hierarchy.level(0).accesses(), 2u);
+  EXPECT_EQ(hierarchy.level(1).accesses(), 1u);
+  EXPECT_EQ(hierarchy.level(2).accesses(), 1u);
+}
+
+TEST(MemoryHierarchyWalk, InnerEvictionCanStillHitOuterLevels) {
+  auto hierarchy = three_level();
+  // Fill one L1 set (2 ways, 4 KB / 64 B / 2 = 32 sets) past capacity:
+  // three lines mapping to the same set evict the first from L1 while the
+  // 32 KB L2 keeps all of them.
+  const Addr stride = 32 * 64;  // one L1 set apart
+  hierarchy.access(0 * stride, false);
+  hierarchy.access(1 * stride, false);
+  hierarchy.access(2 * stride, false);
+  const auto outcome = hierarchy.access(0, false);
+  EXPECT_EQ(outcome.hit_level, 1u);  // evicted from L1, resident in L2
+  EXPECT_FALSE(outcome.observed_miss);
+}
+
+TEST(MemoryHierarchyWalk, SnapshotReportsGeometryAndCounters) {
+  auto hierarchy = three_level();
+  hierarchy.access(0, false);
+  hierarchy.access(0, false);
+  const auto levels = hierarchy.snapshot();
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_EQ(levels[0].name, "L1");
+  EXPECT_EQ(levels[0].size_bytes, 4u * 1024);
+  EXPECT_EQ(levels[0].associativity, 2u);
+  EXPECT_EQ(levels[0].accesses, 2u);
+  EXPECT_EQ(levels[0].hits, 1u);
+  EXPECT_EQ(levels[0].misses, 1u);
+  EXPECT_EQ(levels[0].resident_lines, 1u);
+  EXPECT_DOUBLE_EQ(levels[0].miss_rate(), 0.5);
+  EXPECT_EQ(levels[2].name, "LLC");
+  EXPECT_EQ(levels[2].accesses, 1u);
+}
+
+TEST(MemoryHierarchyWalk, FlushInvalidatesEveryLevel) {
+  auto hierarchy = three_level();
+  hierarchy.access(0, false);
+  hierarchy.flush();
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_FALSE(hierarchy.level(i).probe(0));
+    EXPECT_EQ(hierarchy.level(i).resident_lines(), 0u);
+  }
+}
+
+// -- Observation level -------------------------------------------------------
+
+TEST(ObservationLevel, ObservingTheInnermostLevelCountsItsMisses) {
+  MachineConfig config;
+  CacheConfig l1;
+  l1.size_bytes = 8 * 1024;
+  l1.associativity = 2;
+  CacheConfig llc;
+  llc.size_bytes = 256 * 1024;
+  config.hierarchy.levels = {{"L1", l1}, {"LLC", llc}};
+  config.hierarchy.observe_level = 0;
+  Machine machine(config);
+
+  const Addr a = machine.address_space().define_static("a", 64 * 1024);
+  // Two sweeps over 64 KB: every line misses the 8 KB L1 both times, so
+  // the PMU observing level 0 sees 2x the line count.
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (Addr off = 0; off < 64 * 1024; off += 64) machine.touch(a + off);
+  }
+  const std::uint64_t lines = 64 * 1024 / 64;
+  EXPECT_EQ(machine.stats().app_misses, 2 * lines);
+  EXPECT_EQ(machine.pmu().global_misses(), 2 * lines);
+  // Nothing hits below the observed level, so no filtered hits.
+  EXPECT_EQ(machine.stats().filtered_hits, 0u);
+  // The outer level stayed warm behind the observation point: the second
+  // sweep hit the 256 KB LLC on every reference.
+  EXPECT_EQ(machine.hierarchy().level(1).misses(), lines);
+  EXPECT_EQ(machine.hierarchy().level(1).hits(), lines);
+}
+
+TEST(ObservationLevel, ObservingTheLastLevelReproducesTheL1Filter) {
+  // The historical MachineConfig::l1 filter: hits below the measured cache
+  // count as filtered_hits, PMU sees only last-level misses.
+  MachineConfig config;
+  CacheConfig l1;
+  l1.size_bytes = 8 * 1024;
+  l1.associativity = 2;
+  CacheConfig measured;
+  measured.size_bytes = 256 * 1024;
+  config.hierarchy.levels = {{"L1", l1}, {"L2", measured}};
+  Machine machine(config);
+
+  const Addr a = machine.address_space().define_static("a", 4096);
+  machine.touch(a);       // misses both levels
+  machine.touch(a + 8);   // L1 hit
+  machine.touch(a + 16);  // L1 hit
+  EXPECT_EQ(machine.stats().app_misses, 1u);
+  EXPECT_EQ(machine.stats().filtered_hits, 2u);
+  EXPECT_EQ(machine.pmu().global_misses(), 1u);
+}
+
+// -- Single-level identity ---------------------------------------------------
+
+TEST(SingleLevelIdentity, ExplicitOneLevelHierarchyMatchesImplicitMachine) {
+  const auto run = [](bool explicit_hierarchy) {
+    MachineConfig config;
+    config.cache.size_bytes = 64 * 1024;
+    if (explicit_hierarchy) {
+      config.hierarchy.levels = {{"L1", config.cache}};
+    }
+    Machine machine(config);
+    const Addr a = machine.address_space().define_static("a", 256 * 1024);
+    for (int sweep = 0; sweep < 3; ++sweep) {
+      for (Addr off = 0; off < 256 * 1024; off += 32) {
+        machine.touch(a + off, /*write=*/(off % 128) == 0);
+      }
+    }
+    return machine.stats();
+  };
+  const MachineStats implicit_stats = run(false);
+  const MachineStats explicit_stats = run(true);
+  EXPECT_EQ(implicit_stats.app_refs, explicit_stats.app_refs);
+  EXPECT_EQ(implicit_stats.app_misses, explicit_stats.app_misses);
+  EXPECT_EQ(implicit_stats.app_cycles, explicit_stats.app_cycles);
+  EXPECT_EQ(implicit_stats.filtered_hits, explicit_stats.filtered_hits);
+  EXPECT_EQ(implicit_stats.interrupts, explicit_stats.interrupts);
+}
+
+// -- Per-level cycle costs ---------------------------------------------------
+
+TEST(CycleModelHierarchy, DefaultCostsReproduceTheOldModel) {
+  CycleModel cycles;
+  // Single level: a hit at the only (= last) level costs cpi + hit_extra;
+  // a full miss costs cpi + miss_penalty.  Matches the old ref_cost.
+  EXPECT_EQ(cycles.hierarchy_ref_cost(0, 1),
+            cycles.cycles_per_instruction + cycles.cache_hit_extra);
+  EXPECT_EQ(cycles.hierarchy_ref_cost(MemoryHierarchy::kMissedAll, 1),
+            cycles.cycles_per_instruction + cycles.cache_miss_penalty);
+  // Two levels: the old L1-filter model — an L1 hit costs bare cpi.
+  EXPECT_EQ(cycles.hierarchy_ref_cost(0, 2), cycles.cycles_per_instruction);
+  EXPECT_EQ(cycles.hierarchy_ref_cost(1, 2),
+            cycles.cycles_per_instruction + cycles.cache_hit_extra);
+}
+
+TEST(CycleModelHierarchy, PerLevelHitExtrasOverrideTheDefaults) {
+  CycleModel cycles;
+  cycles.level_hit_extra = {0, 4, 12};
+  EXPECT_EQ(cycles.hierarchy_ref_cost(0, 3), cycles.cycles_per_instruction);
+  EXPECT_EQ(cycles.hierarchy_ref_cost(1, 3),
+            cycles.cycles_per_instruction + 4);
+  EXPECT_EQ(cycles.hierarchy_ref_cost(2, 3),
+            cycles.cycles_per_instruction + 12);
+  EXPECT_EQ(cycles.hierarchy_ref_cost(MemoryHierarchy::kMissedAll, 3),
+            cycles.cycles_per_instruction + cycles.cache_miss_penalty);
+}
+
+}  // namespace
+}  // namespace hpm::sim

@@ -3,7 +3,9 @@
 // (optionally) the per-object miss time line.  Comma-separated --workload
 // and --tool values form a sweep, executed on a worker pool (--jobs) with
 // results reported in submission order; --out exports machine-readable
-// JSON (schema hpm.batch.v2, see docs/parallel_sweeps.md).
+// JSON (schema hpm.batch.v2, or hpm.batch.v3 when --levels configures a
+// multi-level hierarchy; see docs/parallel_sweeps.md and
+// docs/memory_hierarchy.md).
 //
 // Telemetry (see docs/telemetry.md): --trace-out writes a Chrome
 // trace_event JSON of the run's structured events (sampler interrupts,
@@ -53,6 +55,15 @@ int usage(const char* error) {
       "  --cache BYTES     measured cache size           (default 2 MiB)\n"
       "  --list-workloads  print available workload names and exit\n"
       "  --list-tools      print available tool names and exit\n"
+      "\ncache hierarchy (docs/memory_hierarchy.md):\n"
+      "  --levels SPEC     preset (paper|single|2level|3level) or a comma\n"
+      "                    list NAME:SIZE[:LINE[:ASSOC]], innermost first;\n"
+      "                    sizes accept k/m/g (e.g. L1:32k:64:2,LLC:2m)\n"
+      "  --observe N       index of the level the PMU observes\n"
+      "                    (0 = innermost; default: the last level)\n"
+      "  --l1-size BYTES   deprecated aliases: prepend an L1 filter level\n"
+      "  --l1-assoc N      in front of the measured cache (equivalent to a\n"
+      "  --l1-line BYTES   2-level --levels spec; kept for old scripts)\n"
       "\ntool parameters:\n"
       "  --period N        sampling: misses per sample   (default 10000)\n"
       "  --policy P        sampling: fixed|prime|random  (default fixed)\n"
@@ -60,8 +71,9 @@ int usage(const char* error) {
       "  --interval N      search: initial interval, cycles (default 1e6)\n"
       "\nsweep & output:\n"
       "  --jobs N          worker threads for sweeps (default 1; 0 = all cores)\n"
-      "  --out FILE        export results as JSON (hpm.batch.v2); pipe to\n"
-      "                    hpmreport for scoreboards, diffs and HTML\n"
+      "  --out FILE        export results as JSON (hpm.batch.v2, or .v3\n"
+      "                    with per-level stats on multi-level hierarchies);\n"
+      "                    pipe to hpmreport for scoreboards, diffs and HTML\n"
       "  --top K           rows to print                 (default 10)\n"
       "  --series          capture per-object miss time series\n"
       "  --record-trace FILE  record the binary reference trace for replay\n"
@@ -169,6 +181,23 @@ void print_run(const harness::RunSpec& spec, const harness::RunResult& result,
                 static_cast<unsigned long long>(result.samples));
   }
 
+  if (!result.levels.empty()) {
+    std::puts("\ncache hierarchy (* = level the PMU observes):");
+    for (std::size_t i = 0; i < result.levels.size(); ++i) {
+      const auto& level = result.levels[i];
+      std::printf(
+          "  %c %-6s %10llu B %2u-way  accesses: %-12llu misses: %-10llu "
+          "(%5.2f%%)  writebacks: %llu\n",
+          i == result.observe_level ? '*' : ' ', level.name.c_str(),
+          static_cast<unsigned long long>(level.size_bytes),
+          level.associativity,
+          static_cast<unsigned long long>(level.accesses),
+          static_cast<unsigned long long>(level.misses),
+          100.0 * level.miss_rate(),
+          static_cast<unsigned long long>(level.writebacks));
+    }
+  }
+
   if (spec.config.series_interval > 0) {
     std::puts("\nmisses over time (per object, log sparkline):");
     static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
@@ -242,7 +271,8 @@ bool write_json_file(const std::string& path,
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv,
                 {"workload", "tool", "jobs", "out", "period", "policy", "n",
-                 "interval", "scale", "iterations", "cache", "series", "top",
+                 "interval", "scale", "iterations", "cache", "levels",
+                 "observe", "l1-size", "l1-assoc", "l1-line", "series", "top",
                  "trace-out", "metrics-out", "timeline-every", "record-trace",
                  "list-workloads", "list-tools", "seed", "help", "skid",
                  "drop-rate", "jitter-rate", "jitter-magnitude", "saturate",
@@ -299,6 +329,47 @@ int main(int argc, char** argv) {
   if (!base.machine.cache.valid()) {
     return usage("cache size must be a power of two");
   }
+
+  // Cache hierarchy: --levels takes a preset name or the explicit
+  // level-spec grammar; the --l1-* flags are deprecated aliases for the
+  // historical 2-level filter setup (L1 in front of the --cache geometry).
+  if (cli.has("levels")) {
+    const std::string spec = cli.get("levels", "");
+    try {
+      if (!sim::hierarchy_preset(spec, base.machine.hierarchy)) {
+        base.machine.hierarchy = sim::parse_hierarchy_spec(spec);
+      }
+    } catch (const std::exception& e) {
+      return usage(e.what());
+    }
+  }
+  if (cli.has("l1-size") || cli.has("l1-assoc") || cli.has("l1-line")) {
+    if (cli.has("levels")) {
+      return usage("--l1-* flags conflict with --levels (use --levels alone)");
+    }
+    sim::CacheConfig l1;
+    l1.size_bytes = cli.get_uint("l1-size", 32 * 1024);
+    l1.associativity =
+        static_cast<std::uint32_t>(cli.get_uint("l1-assoc", 2));
+    l1.line_size = static_cast<std::uint32_t>(
+        cli.get_uint("l1-line", base.machine.cache.line_size));
+    if (!l1.valid()) return usage("invalid --l1-* cache geometry");
+    base.machine.hierarchy.levels = {{"L1", l1}, {"L2", base.machine.cache}};
+  }
+  if (cli.has("observe")) {
+    base.machine.hierarchy.observe_level =
+        static_cast<std::size_t>(cli.get_uint("observe", 0));
+  }
+  // Validate the resolved hierarchy up front: a bad spec is a usage error,
+  // not a per-run failure surfaced mid-sweep.
+  try {
+    sim::MemoryHierarchy probe(
+        sim::resolve_levels(base.machine.hierarchy, base.machine.cache),
+        base.machine.hierarchy.observe_level);
+  } catch (const std::exception& e) {
+    return usage(e.what());
+  }
+
   if (cli.get_bool("series", false)) base.series_interval = 4'000'000;
 
   // Fault plan and per-run budgets (applied to every run of the sweep).
