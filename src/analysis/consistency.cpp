@@ -1,0 +1,141 @@
+#include "analysis/consistency.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace hpm::analysis {
+namespace {
+
+double severity_of(double delta, double tolerance) {
+  if (tolerance > 0.0) return delta / tolerance;
+  return delta > 0.0 ? kStructuralSeverity : 0.0;
+}
+
+MetricDelta make_delta(std::string metric, const std::string& run,
+                       double observed, double replayed, double tolerance) {
+  MetricDelta d;
+  d.metric = std::move(metric);
+  d.run = run;
+  d.observed = observed;
+  d.replayed = replayed;
+  d.delta = std::abs(observed - replayed);
+  d.tolerance = tolerance;
+  d.severity = severity_of(d.delta, tolerance);
+  d.within = d.severity <= 1.0;
+  return d;
+}
+
+/// Counter metric: delta is |observed - replayed| / max(observed, replayed),
+/// so it is symmetric and well-defined when either side is zero.
+MetricDelta make_relative_delta(std::string metric, const std::string& run,
+                                std::uint64_t observed, std::uint64_t replayed,
+                                double tolerance) {
+  MetricDelta d;
+  d.metric = std::move(metric);
+  d.run = run;
+  d.observed = static_cast<double>(observed);
+  d.replayed = static_cast<double>(replayed);
+  const double base = std::max(d.observed, d.replayed);
+  d.delta = base > 0.0 ? std::abs(d.observed - d.replayed) / base : 0.0;
+  d.tolerance = tolerance;
+  d.severity = severity_of(d.delta, tolerance);
+  d.within = d.severity <= 1.0;
+  return d;
+}
+
+}  // namespace
+
+std::vector<MetricDelta> consistency_deltas(
+    const harness::BatchItem& observed, const harness::RunResult& replayed,
+    const ConsistencyTolerances& tolerances) {
+  std::vector<MetricDelta> deltas;
+  const std::string& run = observed.spec.name;
+  const harness::RunResult& obs = observed.result;
+
+  // Per-object miss shares: the observation's own exact profile is the
+  // reference ranking; each of its top objects must reappear in the
+  // replay with a close share.
+  const core::Report top = obs.actual.top(tolerances.top_k);
+  for (const auto& row : top.rows()) {
+    const double predicted =
+        replayed.actual.percent_of(row.name).value_or(0.0);
+    deltas.push_back(make_delta("miss_share(" + row.name + ")", run,
+                                row.percent, predicted,
+                                tolerances.share_points));
+  }
+
+  // The tool's own estimated shares: the plane PMU faults actually
+  // perturb (skid mis-attributes, jitter corrupts counts), while the
+  // exact profile above stays clean.  A replay is bit-exact, so a clean
+  // observation matches with zero delta even here.
+  const core::Report est_top = obs.estimated.top(tolerances.top_k);
+  for (const auto& row : est_top.rows()) {
+    const double predicted =
+        replayed.estimated.percent_of(row.name).value_or(0.0);
+    deltas.push_back(make_delta("est_share(" + row.name + ")", run,
+                                row.percent, predicted,
+                                tolerances.share_points));
+  }
+
+  // PMU-observed miss count (the counter the paper's tools are built on).
+  deltas.push_back(make_relative_delta("pmu_misses", run,
+                                       obs.stats.app_misses,
+                                       replayed.stats.app_misses,
+                                       tolerances.miss_rel));
+
+  // Overflow interrupts delivered: dropped or saturated interrupts thin
+  // this count well past any workload-model mismatch.
+  deltas.push_back(make_relative_delta("interrupts", run,
+                                       obs.stats.interrupts,
+                                       replayed.stats.interrupts,
+                                       tolerances.miss_rel));
+
+  // Total virtual cycles: the one counter that separates cycle-model
+  // variants (a doubled miss penalty roughly doubles the memory stall
+  // share of the clock).
+  deltas.push_back(make_relative_delta("cycles", run,
+                                       obs.stats.total_cycles(),
+                                       replayed.stats.total_cycles(),
+                                       tolerances.cycles_rel));
+
+  // Per-level counters exist only in hpm.batch.v3 observations; absent
+  // counters cannot refute structure.
+  if (!obs.levels.empty()) {
+    deltas.push_back(make_delta("level_count", run,
+                                static_cast<double>(obs.levels.size()),
+                                static_cast<double>(replayed.levels.size()),
+                                /*tolerance=*/0.0));
+    if (obs.levels.size() == replayed.levels.size()) {
+      for (std::size_t i = 0; i < obs.levels.size(); ++i) {
+        deltas.push_back(make_delta(
+            "level_miss(" + obs.levels[i].name + ")", run,
+            100.0 * obs.levels[i].miss_rate(),
+            100.0 * replayed.levels[i].miss_rate(),
+            tolerances.level_points));
+      }
+    }
+  }
+
+  return deltas;
+}
+
+double worst_severity(std::span<const MetricDelta> deltas) {
+  double worst = 0.0;
+  for (const MetricDelta& d : deltas) worst = std::max(worst, d.severity);
+  return worst;
+}
+
+std::size_t worst_delta_index(std::span<const MetricDelta> deltas) {
+  std::size_t at = static_cast<std::size_t>(-1);
+  double worst = -1.0;
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    if (deltas[i].severity > worst) {
+      worst = deltas[i].severity;
+      at = i;
+    }
+  }
+  return at;
+}
+
+}  // namespace hpm::analysis

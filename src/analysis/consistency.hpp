@@ -1,0 +1,94 @@
+// Counter-consistency scoring: is a replayed machine model consistent
+// with an observed counter profile?
+//
+// The scoreboard (scoreboard.hpp) asks how well a *tool estimate* tracks
+// ground truth within one run; this module asks the inverse,
+// CounterPoint-style question — given the counters one run *observed*
+// (a parsed hpm.batch item, real or fault-perturbed) and the counters a
+// candidate machine model *predicts* for the same workload (a fresh
+// replay), which metrics agree within tolerance and which refute the
+// model?  Every metric is a pure function of its two inputs, so scoring
+// is deterministic and independent of how the replay was scheduled.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "harness/batch.hpp"
+
+namespace hpm::analysis {
+
+/// Per-metric agreement thresholds.  A delta at or below its tolerance is
+/// consistent; above it, the metric refutes the candidate.  The defaults
+/// absorb the cross-plane noise a tool-bearing observation carries (tool
+/// refs share the cache with the application, so even the true model
+/// replays within a fraction of a percent, not exactly) while still
+/// separating genuinely wrong hierarchies and latencies by an order of
+/// magnitude.
+struct ConsistencyTolerances {
+  double share_points = 1.0;  ///< per-object miss share, percent points
+  double miss_rel = 0.02;     ///< PMU-observed miss count, relative
+  double cycles_rel = 0.02;   ///< total virtual cycles, relative
+  double level_points = 1.0;  ///< per-level miss rate, percent points
+  /// Observed ground-truth objects scored per run (paper tables use 5-10).
+  std::size_t top_k = 10;
+};
+
+/// One metric's observed-vs-replayed comparison.  `delta` and `tolerance`
+/// share the metric's own unit (points or relative fraction); `severity`
+/// is the unit-free ratio delta/tolerance used for ranking, with a
+/// zero-tolerance metric (structural mismatch) mapping to kStructural.
+struct MetricDelta {
+  std::string metric;  ///< "miss_share(X)" | "pmu_misses" | "cycles" |
+                       ///< "level_count" | "level_miss(L1)"
+  std::string run;     ///< observed run name the metric came from
+  double observed = 0.0;
+  double replayed = 0.0;
+  double delta = 0.0;
+  double tolerance = 0.0;
+  double severity = 0.0;
+  bool within = true;
+};
+
+/// Severity assigned to a violated zero-tolerance (structural) metric:
+/// finite so reports stay valid JSON, but far above any graded metric.
+inline constexpr double kStructuralSeverity = 1e9;
+
+/// Score one observed batch item against the result of replaying the same
+/// (workload, options, tool) point under a candidate machine model.
+/// Metrics emitted, in order:
+///   * miss_share(<object>) — |observed% - replayed%| for each of the
+///     observed run's top_k exact-profile objects (points);
+///   * est_share(<object>) — same for the tool's *estimated* profile,
+///     the plane PMU faults perturb (skid mis-attributes samples, jitter
+///     corrupts counts); replays are bit-exact, so a clean observation
+///     still matches with zero delta;
+///   * pmu_misses — relative error on the PMU-observed miss count;
+///   * interrupts — relative error on delivered overflow interrupts
+///     (dropped/saturated interrupts thin this count);
+///   * cycles — relative error on total virtual cycles (this is the
+///     metric that separates cycle-model variants);
+///   * level_count — only when the observation carries per-level counters
+///     (hpm.batch.v3): a candidate with a different number of levels is
+///     structurally refuted (tolerance 0);
+///   * level_miss(<name>) — per-level miss-rate delta in points, when the
+///     level counts match.  Names are the observation's.
+/// A profile observed without per-level counters cannot refute a
+/// candidate's level structure — absent counters carry no evidence, which
+/// is exactly the CounterPoint semantics.
+[[nodiscard]] std::vector<MetricDelta> consistency_deltas(
+    const harness::BatchItem& observed, const harness::RunResult& replayed,
+    const ConsistencyTolerances& tolerances = {});
+
+/// Worst severity over a set of deltas (0.0 when empty).  A candidate is
+/// consistent with the observation iff this is <= 1.0.
+[[nodiscard]] double worst_severity(std::span<const MetricDelta> deltas);
+
+/// Index of the worst delta (severity ties broken towards the earliest,
+/// so reports are deterministic); npos when empty.
+[[nodiscard]] std::size_t worst_delta_index(
+    std::span<const MetricDelta> deltas);
+
+}  // namespace hpm::analysis

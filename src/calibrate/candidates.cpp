@@ -1,0 +1,125 @@
+#include "calibrate/candidates.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+namespace hpm::calibrate {
+namespace {
+
+std::vector<sim::LevelConfig> canonical_levels(
+    const sim::HierarchyConfig& hierarchy) {
+  return sim::resolve_levels(hierarchy, sim::CacheConfig{});
+}
+
+Candidate make_candidate(std::string label, sim::HierarchyConfig hierarchy,
+                         sim::Cycles penalty, std::size_t round) {
+  Candidate candidate;
+  candidate.name = std::move(label) + "/p" + std::to_string(penalty);
+  candidate.hierarchy = std::move(hierarchy);
+  candidate.cycles.cache_miss_penalty = penalty;
+  candidate.round = round;
+  return candidate;
+}
+
+/// One neighbor with `mutate` applied to a copy of the seed's resolved
+/// levels; dropped (no push) when the mutated geometry is invalid.
+template <typename Fn>
+void push_geometry_neighbor(std::vector<Candidate>& out, const Candidate& seed,
+                            std::size_t round, Fn&& mutate) {
+  std::vector<sim::LevelConfig> levels = canonical_levels(seed.hierarchy);
+  mutate(levels);
+  for (const sim::LevelConfig& level : levels) {
+    if (!level.cache.valid()) return;
+  }
+  sim::HierarchyConfig hierarchy;
+  hierarchy.levels = std::move(levels);
+  hierarchy.observe_level = seed.hierarchy.observe_level;
+  // Label before moving `hierarchy` into the candidate: evaluation order
+  // of function arguments is unspecified.
+  std::string label = sim::format_hierarchy_spec(hierarchy.levels);
+  out.push_back(make_candidate(std::move(label), std::move(hierarchy),
+                               seed.cycles.cache_miss_penalty, round));
+}
+
+}  // namespace
+
+std::string candidate_key(const Candidate& candidate) {
+  return sim::format_hierarchy_spec(canonical_levels(candidate.hierarchy)) +
+         "/p" + std::to_string(candidate.cycles.cache_miss_penalty);
+}
+
+CandidateComplexity candidate_complexity(const Candidate& candidate) {
+  CandidateComplexity complexity;
+  for (const sim::LevelConfig& level : canonical_levels(candidate.hierarchy)) {
+    complexity.levels += 1;
+    complexity.total_bytes += level.cache.size_bytes;
+  }
+  return complexity;
+}
+
+const std::vector<sim::Cycles>& default_penalties() {
+  static const std::vector<sim::Cycles> penalties = {25, 50, 100};
+  return penalties;
+}
+
+std::vector<Candidate> candidate_grid(
+    const std::vector<std::string>& specs,
+    const std::vector<sim::Cycles>& penalties) {
+  const std::vector<std::string>& spec_axis =
+      specs.empty() ? sim::hierarchy_preset_names() : specs;
+  const std::vector<sim::Cycles>& penalty_axis =
+      penalties.empty() ? default_penalties() : penalties;
+
+  std::vector<Candidate> grid;
+  grid.reserve(spec_axis.size() * penalty_axis.size());
+  std::unordered_set<std::string> seen;
+  for (const std::string& spec : spec_axis) {
+    sim::HierarchyConfig hierarchy;
+    if (!sim::hierarchy_preset(spec, hierarchy)) {
+      hierarchy = sim::parse_hierarchy_spec(spec);  // throws on bad grammar
+    }
+    for (const sim::Cycles penalty : penalty_axis) {
+      Candidate candidate =
+          make_candidate(spec, hierarchy, penalty, /*round=*/0);
+      if (seen.insert(candidate_key(candidate)).second) {
+        grid.push_back(std::move(candidate));
+      }
+    }
+  }
+  return grid;
+}
+
+std::vector<Candidate> candidate_neighbors(const Candidate& seed,
+                                           std::size_t round) {
+  std::vector<Candidate> out;
+
+  // Latency axis: miss penalty x2 and /2.
+  const sim::Cycles penalty = seed.cycles.cache_miss_penalty;
+  const std::string spec =
+      sim::format_hierarchy_spec(canonical_levels(seed.hierarchy));
+  out.push_back(make_candidate(spec, seed.hierarchy, penalty * 2, round));
+  if (penalty >= 2) {
+    out.push_back(make_candidate(spec, seed.hierarchy, penalty / 2, round));
+  }
+
+  // Geometry axes: per-level size and associativity, x2 and /2.
+  const std::size_t num_levels = canonical_levels(seed.hierarchy).size();
+  for (std::size_t i = 0; i < num_levels; ++i) {
+    push_geometry_neighbor(out, seed, round, [i](auto& levels) {
+      levels[i].cache.size_bytes *= 2;
+    });
+    push_geometry_neighbor(out, seed, round, [i](auto& levels) {
+      levels[i].cache.size_bytes /= 2;
+    });
+    push_geometry_neighbor(out, seed, round, [i](auto& levels) {
+      levels[i].cache.associativity *= 2;
+    });
+    push_geometry_neighbor(out, seed, round, [i](auto& levels) {
+      levels[i].cache.associativity /= 2;
+    });
+  }
+  return out;
+}
+
+}  // namespace hpm::calibrate

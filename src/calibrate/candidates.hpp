@@ -1,0 +1,71 @@
+// Candidate machine models for the calibration search.
+//
+// A candidate is one (memory hierarchy, cycle model) hypothesis about the
+// machine that produced an observed counter profile.  The search space is
+// spanned two ways: a deterministic *grid* (hierarchy specs or presets
+// crossed with a small set of miss penalties — CounterPoint's "families of
+// machine models"), and *neighbors* of a promising candidate (geometry and
+// latency perturbations) for greedy refinement.  Candidates are value
+// types; everything here is a pure function, so candidate generation is
+// deterministic and independent of evaluation order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/cycle_model.hpp"
+#include "sim/memory_hierarchy.hpp"
+
+namespace hpm::calibrate {
+
+/// One machine-model hypothesis.
+struct Candidate {
+  /// Display name, e.g. "paper/p50" or "L1:32k:64:2,LLC:2m:64:8/p100".
+  std::string name;
+  sim::HierarchyConfig hierarchy;
+  sim::CycleModel cycles;
+  /// 0 for grid candidates, k for candidates minted in refinement round k.
+  std::size_t round = 0;
+};
+
+/// Canonical identity of a candidate: the canonical hierarchy spelling
+/// (format_hierarchy_spec) plus the miss penalty.  Two candidates with the
+/// same key predict identical counters, so the search dedups on it.
+[[nodiscard]] std::string candidate_key(const Candidate& candidate);
+
+/// Resolved level count and total cache bytes of a candidate — its
+/// "complexity" for the parsimony tie-break: among equally consistent
+/// candidates the search ranks the simplest model first (fewest levels,
+/// then least total cache), CounterPoint's Occam's-razor reading of
+/// counters that cannot tell two models apart.
+struct CandidateComplexity {
+  std::size_t levels = 0;
+  std::uint64_t total_bytes = 0;
+};
+[[nodiscard]] CandidateComplexity candidate_complexity(
+    const Candidate& candidate);
+
+/// The default miss-penalty axis of the grid: {25, 50, 100} cycles
+/// (half / paper §3 / double).
+[[nodiscard]] const std::vector<sim::Cycles>& default_penalties();
+
+/// Build the grid: every spec crossed with every penalty, in the given
+/// order.  Each spec may be a preset name ("paper", "2level", "3level") or
+/// an explicit NAME:SIZE[:LINE[:ASSOC]] list; the candidate is named after
+/// the spelling the caller used.  Throws std::invalid_argument on a spec
+/// that is neither.  Empty `specs` defaults to hierarchy_preset_names();
+/// empty `penalties` defaults to default_penalties().
+[[nodiscard]] std::vector<Candidate> candidate_grid(
+    const std::vector<std::string>& specs,
+    const std::vector<sim::Cycles>& penalties);
+
+/// Geometry/latency perturbations of `seed` for greedy refinement: miss
+/// penalty x2 and /2, and for each level its size x2 and /2 and its
+/// associativity x2 and /2 — each yielding one candidate when the
+/// perturbed geometry is still valid.  Deterministic order; the caller
+/// dedups against already-evaluated keys.  `round` labels the new
+/// candidates.
+[[nodiscard]] std::vector<Candidate> candidate_neighbors(
+    const Candidate& seed, std::size_t round);
+
+}  // namespace hpm::calibrate

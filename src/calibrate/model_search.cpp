@@ -1,0 +1,152 @@
+#include "calibrate/model_search.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+namespace hpm::calibrate {
+namespace {
+
+harness::RunConfig config_for(const Candidate& candidate,
+                              const harness::RunConfig& base) {
+  harness::RunConfig config = base;
+  config.machine.hierarchy = candidate.hierarchy;
+  config.machine.cycles = candidate.cycles;
+  return config;
+}
+
+/// Evaluate `batch` candidates against `points` as ONE BatchRunner batch
+/// (candidate-major spec order), then score each candidate.  Appends the
+/// verdicts to `out` and returns the number of replays executed.
+std::size_t evaluate_round(const std::vector<Candidate>& batch,
+                           const harness::BatchResult& observed,
+                           const std::vector<harness::ReplayPoint>& points,
+                           const ModelSearchOptions& options,
+                           std::vector<CandidateVerdict>& out) {
+  std::vector<harness::RunSpec> specs;
+  specs.reserve(batch.size() * points.size());
+  for (const Candidate& candidate : batch) {
+    const harness::RunConfig config = config_for(candidate, options.base);
+    for (const harness::ReplayPoint& point : points) {
+      specs.push_back(harness::replay_spec(point, config));
+    }
+  }
+
+  harness::BatchRunner::Options runner_options;
+  runner_options.jobs = options.jobs;
+  runner_options.on_progress = options.on_progress;
+  const harness::BatchResult replays =
+      harness::BatchRunner(runner_options).run(specs);
+
+  for (std::size_t c = 0; c < batch.size(); ++c) {
+    CandidateVerdict verdict;
+    verdict.candidate = batch[c];
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      const harness::BatchItem& replay = replays.items[c * points.size() + p];
+      const harness::BatchItem& item = observed.items[points[p].item_index];
+      if (!replay.ok) {
+        // A candidate that cannot even run the workload (e.g. the budget
+        // blows up under an absurd latency) is structurally refuted.
+        analysis::MetricDelta failed;
+        failed.metric = "replay_failed";
+        failed.run = points[p].name;
+        failed.tolerance = 0.0;
+        failed.delta = 1.0;
+        failed.severity = analysis::kStructuralSeverity;
+        failed.within = false;
+        verdict.deltas.push_back(std::move(failed));
+        continue;
+      }
+      std::vector<analysis::MetricDelta> deltas =
+          analysis::consistency_deltas(item, replay.result,
+                                       options.tolerances);
+      verdict.deltas.insert(verdict.deltas.end(),
+                            std::make_move_iterator(deltas.begin()),
+                            std::make_move_iterator(deltas.end()));
+    }
+    verdict.inconsistency = analysis::worst_severity(verdict.deltas);
+    verdict.consistent = verdict.inconsistency <= 1.0;
+    verdict.worst = analysis::worst_delta_index(verdict.deltas);
+    out.push_back(std::move(verdict));
+  }
+  return specs.size();
+}
+
+/// Ranking order: inconsistency first, then — among candidates the
+/// counters cannot tell apart — parsimony: grid candidates before refined
+/// ones, fewer levels, less total cache, name.  Counters that are equally
+/// consistent with several models carry no evidence to prefer the complex
+/// one, so the simplest consistent hypothesis ranks first (and an
+/// unfaulted self-calibration ranks its generating spec #1).
+void rank(std::vector<CandidateVerdict>& verdicts) {
+  std::stable_sort(
+      verdicts.begin(), verdicts.end(),
+      [](const CandidateVerdict& a, const CandidateVerdict& b) {
+        if (a.inconsistency != b.inconsistency) {
+          return a.inconsistency < b.inconsistency;
+        }
+        if (a.candidate.round != b.candidate.round) {
+          return a.candidate.round < b.candidate.round;
+        }
+        const CandidateComplexity ca = candidate_complexity(a.candidate);
+        const CandidateComplexity cb = candidate_complexity(b.candidate);
+        if (ca.levels != cb.levels) return ca.levels < cb.levels;
+        if (ca.total_bytes != cb.total_bytes) {
+          return ca.total_bytes < cb.total_bytes;
+        }
+        return a.candidate.name < b.candidate.name;
+      });
+}
+
+}  // namespace
+
+CalibrationResult calibrate(const harness::BatchResult& observed,
+                            const std::vector<Candidate>& grid,
+                            const ModelSearchOptions& options) {
+  if (grid.empty()) {
+    throw std::invalid_argument("calibrate: empty candidate grid");
+  }
+
+  CalibrationResult result;
+  result.points = harness::replay_points(observed, &result.skipped);
+  if (result.points.empty()) {
+    throw std::invalid_argument(
+        "calibrate: observation has no replayable runs");
+  }
+
+  std::unordered_set<std::string> evaluated;
+  std::vector<Candidate> pending;
+  for (const Candidate& candidate : grid) {
+    if (evaluated.insert(candidate_key(candidate)).second) {
+      pending.push_back(candidate);
+    }
+  }
+
+  for (std::size_t round = 0; round <= options.refine_rounds; ++round) {
+    if (pending.empty()) break;  // refinement converged: no unseen neighbor
+    result.replays += evaluate_round(pending, observed, result.points,
+                                     options, result.ranked);
+    result.rounds += 1;
+    rank(result.ranked);
+
+    pending.clear();
+    if (round == options.refine_rounds) break;
+    const std::size_t seeds =
+        std::min(options.refine_top, result.ranked.size());
+    for (std::size_t i = 0; i < seeds; ++i) {
+      for (Candidate& neighbor : candidate_neighbors(
+               result.ranked[i].candidate, round + 1)) {
+        if (evaluated.insert(candidate_key(neighbor)).second) {
+          pending.push_back(std::move(neighbor));
+        }
+      }
+    }
+  }
+
+  result.explained =
+      !result.ranked.empty() && result.ranked.front().consistent;
+  return result;
+}
+
+}  // namespace hpm::calibrate

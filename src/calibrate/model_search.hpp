@@ -1,0 +1,91 @@
+// ModelSearch: counter-driven model refutation and self-calibration.
+//
+// CounterPoint's core loop, inverted from the rest of the harness: instead
+// of asking "what do the counters say about the program", ask "which
+// machine models could have produced these counters".  Given an observed
+// counter profile (a parsed hpm.batch.v2/v3 document — real, simulated or
+// fault-perturbed) and a candidate space of (hierarchy, cycle model)
+// hypotheses, replay every observed workload point under every candidate
+// on fresh shared-nothing Machines, score each candidate's predicted
+// counters against the observation (analysis/consistency.hpp), and rank:
+// candidates within tolerance on every metric are CONSISTENT, the rest
+// are REFUTED by their worst metric.  An optional greedy refinement loop
+// perturbs the best candidates (candidate_neighbors) for a bounded number
+// of rounds.
+//
+// Determinism: candidate generation is pure, every round's replays run as
+// one BatchRunner batch (results collected in submission order), scoring
+// is a pure function of (observation, replay), and the final ranking is a
+// stable sort on (inconsistency, name).  Hence the full search — and the
+// report rendered from it — is byte-identical at any --jobs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/consistency.hpp"
+#include "calibrate/candidates.hpp"
+#include "harness/batch.hpp"
+#include "harness/replay.hpp"
+
+namespace hpm::calibrate {
+
+struct ModelSearchOptions {
+  /// Worker threads per replay batch (0 = hardware concurrency).  Affects
+  /// wall-clock only, never results.
+  unsigned jobs = 1;
+  analysis::ConsistencyTolerances tolerances{};
+  /// Tool parameters, budgets and costs for the replays.  The machine
+  /// model inside (cache/hierarchy/cycles) is overwritten per candidate;
+  /// the fault plan should stay none() — replays predict clean hardware,
+  /// which is exactly how a faulted observation gets refuted.
+  harness::RunConfig base{};
+  /// Greedy refinement: rounds beyond the grid (0 = grid only) and how
+  /// many of the current best candidates seed neighbors each round.
+  std::size_t refine_rounds = 0;
+  std::size_t refine_top = 3;
+  /// Called after each replay completes (see BatchRunner::ProgressFn).
+  harness::BatchRunner::ProgressFn on_progress;
+};
+
+/// One candidate's scored verdict against the whole observation.
+struct CandidateVerdict {
+  Candidate candidate;
+  /// Every metric delta, replay-point major, in document order.
+  std::vector<analysis::MetricDelta> deltas;
+  /// Worst severity over `deltas` (<= 1.0 means consistent).  Violated
+  /// structural metrics and failed replays score kStructuralSeverity.
+  double inconsistency = 0.0;
+  bool consistent = false;
+  /// Index into `deltas` of the refuting metric (earliest worst); npos
+  /// when `deltas` is empty.
+  std::size_t worst = static_cast<std::size_t>(-1);
+};
+
+struct CalibrationResult {
+  /// Every evaluated candidate, best first: stable-sorted by
+  /// (inconsistency, round, level count, total cache bytes, name) — ties
+  /// the counters cannot break fall to parsimony, so the simplest
+  /// consistent model ranks first.
+  std::vector<CandidateVerdict> ranked;
+  /// The observation points that were replayed, in document order.
+  std::vector<harness::ReplayPoint> points;
+  /// Observed item indices that could not be replayed (failed runs,
+  /// unknown workloads).
+  std::vector<std::size_t> skipped;
+  /// True when at least one candidate is consistent — the profile is
+  /// *explained*.  False flags an unexplainable profile (every candidate
+  /// refuted: perturbed counters, or a machine outside the search space).
+  bool explained = false;
+  std::size_t rounds = 0;   ///< rounds executed (1 = grid only)
+  std::size_t replays = 0;  ///< total replay runs executed
+};
+
+/// Run the search.  Throws std::invalid_argument when `grid` is empty or
+/// the observation yields no replayable points.
+[[nodiscard]] CalibrationResult calibrate(
+    const harness::BatchResult& observed, const std::vector<Candidate>& grid,
+    const ModelSearchOptions& options = {});
+
+}  // namespace hpm::calibrate

@@ -1,0 +1,227 @@
+#include "calibrate/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "analysis/html_report.hpp"  // html_escape
+#include "harness/json_export.hpp"   // JsonWriter, tool_kind_name
+
+namespace hpm::calibrate {
+namespace {
+
+std::string fmt(double value, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string verdict_name(const CandidateVerdict& verdict) {
+  return verdict.consistent ? "CONSISTENT" : "REFUTED";
+}
+
+/// "metric: observed X, replayed Y, delta D > tol T" — the one-line
+/// explanation of why a candidate is refuted.
+std::string refutation(const analysis::MetricDelta& delta) {
+  return delta.metric + ": observed " + fmt(delta.observed) + ", replayed " +
+         fmt(delta.replayed) + ", delta " + fmt(delta.delta) + " > " +
+         fmt(delta.tolerance);
+}
+
+std::size_t violation_count(const CandidateVerdict& verdict) {
+  return static_cast<std::size_t>(
+      std::count_if(verdict.deltas.begin(), verdict.deltas.end(),
+                    [](const analysis::MetricDelta& d) { return !d.within; }));
+}
+
+void write_delta(harness::JsonWriter& w, const analysis::MetricDelta& delta) {
+  w.begin_object();
+  w.key("metric").value(delta.metric);
+  w.key("run").value(delta.run);
+  w.key("observed").value(delta.observed);
+  w.key("replayed").value(delta.replayed);
+  w.key("delta").value(delta.delta);
+  w.key("tolerance").value(delta.tolerance);
+  w.key("severity").value(delta.severity);
+  w.key("within").value(delta.within);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string calibration_table(const CalibrationResult& result) {
+  std::ostringstream out;
+  std::size_t name_width = 9;  // "candidate"
+  for (const CandidateVerdict& v : result.ranked) {
+    name_width = std::max(name_width, v.candidate.name.size());
+  }
+
+  char line[512];
+  std::snprintf(line, sizeof(line), "%4s  %-10s  %-*s  %13s  %s\n", "rank",
+                "verdict", static_cast<int>(name_width), "candidate",
+                "inconsistency", "why");
+  out << line;
+  for (std::size_t i = 0; i < result.ranked.size(); ++i) {
+    const CandidateVerdict& v = result.ranked[i];
+    std::string why = "-";
+    if (!v.consistent && v.worst < v.deltas.size()) {
+      why = refutation(v.deltas[v.worst]);
+    }
+    std::snprintf(line, sizeof(line), "%4zu  %-10s  %-*s  %13s  %s\n", i + 1,
+                  verdict_name(v).c_str(), static_cast<int>(name_width),
+                  v.candidate.name.c_str(), fmt(v.inconsistency).c_str(),
+                  why.c_str());
+    out << line;
+  }
+
+  out << '\n'
+      << (result.explained
+              ? "profile EXPLAINED: at least one candidate is consistent"
+              : "profile UNEXPLAINABLE within this candidate space: every "
+                "candidate refuted")
+      << " (" << result.ranked.size() << " candidates, " << result.replays
+      << " replays, " << result.rounds << " round"
+      << (result.rounds == 1 ? "" : "s") << ")\n";
+  if (!result.skipped.empty()) {
+    out << result.skipped.size()
+        << " observed run(s) skipped (failed or unknown workload)\n";
+  }
+  return std::move(out).str();
+}
+
+void export_json(std::ostream& out, const CalibrationResult& result,
+                 const ReportOptions& options) {
+  harness::JsonWriter w(out, options.indent);
+  w.begin_object();
+  w.key("schema").value("hpm.calibrate.v1");
+  w.key("explained").value(result.explained);
+  w.key("rounds").value(static_cast<std::uint64_t>(result.rounds));
+  w.key("replays").value(static_cast<std::uint64_t>(result.replays));
+
+  w.key("points").begin_array();
+  for (const harness::ReplayPoint& point : result.points) {
+    w.begin_object();
+    w.key("name").value(point.name);
+    w.key("workload").value(point.workload);
+    w.key("tool").value(harness::tool_kind_name(point.tool));
+    w.key("item").value(static_cast<std::uint64_t>(point.item_index));
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("skipped").begin_array();
+  for (const std::size_t index : result.skipped) {
+    w.value(static_cast<std::uint64_t>(index));
+  }
+  w.end_array();
+
+  w.key("candidates").begin_array();
+  for (std::size_t i = 0; i < result.ranked.size(); ++i) {
+    const CandidateVerdict& v = result.ranked[i];
+    w.begin_object();
+    w.key("rank").value(static_cast<std::uint64_t>(i + 1));
+    w.key("name").value(v.candidate.name);
+    w.key("spec").value(candidate_key(v.candidate));
+    w.key("hierarchy").value(sim::format_hierarchy_spec(sim::resolve_levels(
+        v.candidate.hierarchy, sim::CacheConfig{})));
+    w.key("miss_penalty")
+        .value(static_cast<std::uint64_t>(v.candidate.cycles.cache_miss_penalty));
+    w.key("round").value(static_cast<std::uint64_t>(v.candidate.round));
+    w.key("verdict").value(verdict_name(v));
+    w.key("inconsistency").value(v.inconsistency);
+    w.key("metrics_total").value(static_cast<std::uint64_t>(v.deltas.size()));
+    w.key("metrics_violated")
+        .value(static_cast<std::uint64_t>(violation_count(v)));
+    if (v.worst < v.deltas.size()) {
+      w.key("worst");
+      write_delta(w, v.deltas[v.worst]);
+    }
+    w.key("violations").begin_array();
+    std::size_t listed = 0;
+    for (const analysis::MetricDelta& delta : v.deltas) {
+      if (delta.within) continue;
+      if (listed == options.max_violations) break;
+      write_delta(w, delta);
+      ++listed;
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << '\n';
+}
+
+void render_html(std::ostream& out, const CalibrationResult& result,
+                 const ReportOptions& options) {
+  using analysis::html_escape;
+  out << "<!doctype html>\n<html lang=\"en\">\n<head>\n"
+      << "<meta charset=\"utf-8\">\n<title>" << html_escape(options.title)
+      << "</title>\n<style>\n"
+      << "body{font:14px/1.5 system-ui,sans-serif;margin:2em auto;"
+         "max-width:72em;padding:0 1em;color:#1a1a2e}\n"
+      << "table{border-collapse:collapse;margin:1em 0;width:100%}\n"
+      << "th,td{border:1px solid #d0d0e0;padding:.3em .6em;"
+         "text-align:left;font-variant-numeric:tabular-nums}\n"
+      << "th{background:#f0f0f8}\n"
+      << ".consistent{background:#e6f6e6}\n"
+      << ".refuted{background:#fbeaea}\n"
+      << ".banner{padding:.6em 1em;border-radius:4px;margin:1em 0;"
+         "font-weight:600}\n"
+      << ".ok{background:#e6f6e6;border:1px solid #7ab87a}\n"
+      << ".bad{background:#fbeaea;border:1px solid #c98484}\n"
+      << "code{background:#f4f4fa;padding:0 .3em}\n"
+      << "</style>\n</head>\n<body>\n"
+      << "<h1>" << html_escape(options.title) << "</h1>\n";
+
+  out << "<div class=\"banner " << (result.explained ? "ok" : "bad") << "\">"
+      << (result.explained
+              ? "Profile explained: at least one candidate model is "
+                "consistent with the observed counters."
+              : "Profile unexplainable: every candidate model is refuted "
+                "&mdash; the counters were perturbed, or the machine lies "
+                "outside the search space.")
+      << "</div>\n";
+
+  out << "<p>" << result.ranked.size() << " candidates scored over "
+      << result.points.size() << " observed run(s) in " << result.rounds
+      << " round(s), " << result.replays << " replays total";
+  if (!result.skipped.empty()) {
+    out << "; " << result.skipped.size() << " observed run(s) skipped";
+  }
+  out << ".</p>\n";
+
+  out << "<table>\n<tr><th>rank</th><th>verdict</th><th>candidate</th>"
+         "<th>hierarchy</th><th>penalty</th><th>round</th>"
+         "<th>inconsistency</th><th>violated</th><th>refuted by</th></tr>\n";
+  for (std::size_t i = 0; i < result.ranked.size(); ++i) {
+    const CandidateVerdict& v = result.ranked[i];
+    out << "<tr class=\"" << (v.consistent ? "consistent" : "refuted")
+        << "\"><td>" << (i + 1) << "</td><td>" << verdict_name(v)
+        << "</td><td><code>" << html_escape(v.candidate.name)
+        << "</code></td><td><code>"
+        << html_escape(sim::format_hierarchy_spec(sim::resolve_levels(
+               v.candidate.hierarchy, sim::CacheConfig{})))
+        << "</code></td><td>" << v.candidate.cycles.cache_miss_penalty
+        << "</td><td>" << v.candidate.round << "</td><td>"
+        << fmt(v.inconsistency) << "</td><td>" << violation_count(v) << "/"
+        << v.deltas.size() << "</td><td>"
+        << (!v.consistent && v.worst < v.deltas.size()
+                ? html_escape(refutation(v.deltas[v.worst]))
+                : std::string("&mdash;"))
+        << "</td></tr>\n";
+  }
+  out << "</table>\n";
+
+  out << "<h2>Observed runs replayed</h2>\n<table>\n"
+         "<tr><th>#</th><th>run</th><th>workload</th><th>tool</th></tr>\n";
+  for (const harness::ReplayPoint& point : result.points) {
+    out << "<tr><td>" << point.item_index << "</td><td>"
+        << html_escape(point.name) << "</td><td>"
+        << html_escape(point.workload) << "</td><td>"
+        << harness::tool_kind_name(point.tool) << "</td></tr>\n";
+  }
+  out << "</table>\n</body>\n</html>\n";
+}
+
+}  // namespace hpm::calibrate

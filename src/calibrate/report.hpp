@@ -1,0 +1,37 @@
+// Calibration explanation report: the ranked verdict list of a
+// ModelSearch run, rendered three ways — a text table for the terminal, a
+// machine-readable "hpm.calibrate.v1" JSON document, and a self-contained
+// HTML page (inline CSS, no external assets).  All three renderings are
+// pure functions of the CalibrationResult, so they inherit the search's
+// determinism: byte-identical output at any --jobs.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+
+#include "calibrate/model_search.hpp"
+
+namespace hpm::calibrate {
+
+struct ReportOptions {
+  std::string title = "hpmcalibrate";
+  /// Violated metrics listed per candidate in JSON/HTML (the worst one is
+  /// always included); the rest are summarized by count.
+  std::size_t max_violations = 8;
+  int indent = 2;  ///< JSON indent
+};
+
+/// Fixed-width text table: rank, verdict, candidate, inconsistency and the
+/// refuting metric (with observed/replayed/delta) for refuted candidates.
+[[nodiscard]] std::string calibration_table(const CalibrationResult& result);
+
+/// "hpm.calibrate.v1" JSON document — see docs/calibration.md.
+void export_json(std::ostream& out, const CalibrationResult& result,
+                 const ReportOptions& options = {});
+
+/// Self-contained HTML explanation report.
+void render_html(std::ostream& out, const CalibrationResult& result,
+                 const ReportOptions& options = {});
+
+}  // namespace hpm::calibrate

@@ -823,6 +823,24 @@ class JsonParser {
   }
 
  private:
+  /// Containers may nest this deep before the parser refuses the input.
+  /// The parser is recursive, so without a cap an adversarial document —
+  /// ten thousand '[' bytes — would overflow the stack instead of failing
+  /// cleanly.  Far above anything the writer emits (its documents nest
+  /// single digits deep).
+  static constexpr int kMaxDepth = 256;
+
+  /// Guards one parse_object/parse_array frame.
+  struct DepthGuard {
+    explicit DepthGuard(JsonParser& parser) : parser_(parser) {
+      if (++parser_.depth_ > kMaxDepth) parser_.fail("nesting too deep");
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    JsonParser& parser_;
+  };
+
   [[noreturn]] void fail(const char* what) const {
     throw std::runtime_error("json parse error at offset " +
                              std::to_string(pos_) + ": " + what);
@@ -855,8 +873,14 @@ class JsonParser {
   JsonValue parse_value() {
     skip_ws();
     switch (peek()) {
-      case '{': return parse_object();
-      case '[': return parse_array();
+      case '{': {
+        const DepthGuard guard(*this);
+        return parse_object();
+      }
+      case '[': {
+        const DepthGuard guard(*this);
+        return parse_array();
+      }
       case '"': {
         JsonValue v;
         v.kind_ = JsonValue::Kind::kString;
@@ -1026,6 +1050,7 @@ class JsonParser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;  ///< open containers; bounded by kMaxDepth
 };
 
 JsonValue JsonValue::parse(std::string_view text) {

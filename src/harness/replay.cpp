@@ -1,0 +1,38 @@
+#include "harness/replay.hpp"
+
+#include "workloads/workload.hpp"
+
+namespace hpm::harness {
+
+std::vector<ReplayPoint> replay_points(const BatchResult& observed,
+                                       std::vector<std::size_t>* skipped) {
+  std::vector<ReplayPoint> points;
+  points.reserve(observed.items.size());
+  for (std::size_t i = 0; i < observed.items.size(); ++i) {
+    const BatchItem& item = observed.items[i];
+    if (!item.ok || !workloads::is_workload_name(item.spec.workload)) {
+      if (skipped != nullptr) skipped->push_back(i);
+      continue;
+    }
+    ReplayPoint point;
+    point.name = item.spec.name;
+    point.workload = item.spec.workload;
+    point.tool = item.spec.config.tool;
+    point.options = item.spec.options;
+    point.item_index = i;
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+RunSpec replay_spec(const ReplayPoint& point, const RunConfig& base) {
+  RunSpec spec;
+  spec.name = point.name;
+  spec.workload = point.workload;
+  spec.options = point.options;
+  spec.config = base;
+  spec.config.tool = point.tool;
+  return spec;
+}
+
+}  // namespace hpm::harness

@@ -1,0 +1,48 @@
+// Observation replay: turn a parsed hpm.batch document back into runnable
+// specs so the same workload points can be re-executed under a *different*
+// machine model (the calibration search) or simply re-checked.
+//
+// A batch export carries, per item, everything needed to reconstruct the
+// instruction stream — workload name, scale, iterations, seed, tool kind —
+// but deliberately not the machine geometry (that is what calibration
+// searches over) and not the tool parameters (period, n, interval), which
+// callers supply; the defaults match hpmrun's.  Replays inherit the
+// existing harness guarantees: shared-nothing Machines, determinism at any
+// worker count, cooperative budgets and retries via BatchRunner options.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "harness/batch.hpp"
+
+namespace hpm::harness {
+
+/// One replayable observation: the spec fields an hpm.batch item records,
+/// plus the index of the item it came from.
+struct ReplayPoint {
+  std::string name;      ///< observed run name (reused as the replay name)
+  std::string workload;  ///< factory name
+  ToolKind tool = ToolKind::kNone;
+  workloads::WorkloadOptions options{};
+  std::size_t item_index = 0;  ///< into the observed batch's items
+};
+
+/// Extract the replayable points of an observed batch, in document order:
+/// every ok item whose workload factory exists.  Items that failed, or
+/// whose workload this build does not know, are skipped (their indices are
+/// returned via `skipped` when non-null) — a foreign document must degrade
+/// to partial coverage, not throw.
+[[nodiscard]] std::vector<ReplayPoint> replay_points(
+    const BatchResult& observed, std::vector<std::size_t>* skipped = nullptr);
+
+/// Build the spec that re-runs `point` under `base`'s machine model, tool
+/// parameters and budgets.  Only the tool *kind* is taken from the point;
+/// everything else (machine, sampler/search config, costs, resilience
+/// knobs) comes from `base`, so a sweep over candidate machine models is a
+/// sweep over `base.machine` with the points held fixed.
+[[nodiscard]] RunSpec replay_spec(const ReplayPoint& point,
+                                  const RunConfig& base);
+
+}  // namespace hpm::harness

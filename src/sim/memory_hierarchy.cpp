@@ -135,6 +135,46 @@ HierarchyConfig parse_hierarchy_spec(const std::string& spec) {
   return config;
 }
 
+std::string format_size_bytes(std::uint64_t bytes) {
+  constexpr std::uint64_t kGib = 1024ULL * 1024 * 1024;
+  constexpr std::uint64_t kMib = 1024ULL * 1024;
+  if (bytes >= kGib && bytes % kGib == 0) {
+    return std::to_string(bytes / kGib) + "g";
+  }
+  if (bytes >= kMib && bytes % kMib == 0) {
+    return std::to_string(bytes / kMib) + "m";
+  }
+  if (bytes >= 1024 && bytes % 1024 == 0) {
+    return std::to_string(bytes / 1024) + "k";
+  }
+  return std::to_string(bytes);
+}
+
+std::string format_hierarchy_spec(const std::vector<LevelConfig>& levels) {
+  std::string out;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (i > 0) out += ',';
+    const LevelConfig& level = levels[i];
+    out += level.name.empty() ? "L" + std::to_string(i + 1) : level.name;
+    out += ':';
+    out += format_size_bytes(level.cache.size_bytes);
+    out += ':';
+    out += std::to_string(level.cache.line_size);
+    out += ':';
+    out += std::to_string(level.cache.associativity);
+  }
+  return out;
+}
+
+std::string format_hierarchy_spec(const HierarchyConfig& config) {
+  return format_hierarchy_spec(config.levels);
+}
+
+const std::vector<std::string>& hierarchy_preset_names() {
+  static const std::vector<std::string> names = {"paper", "2level", "3level"};
+  return names;
+}
+
 bool hierarchy_preset(const std::string& name, HierarchyConfig& out) {
   auto level = [](std::string label, std::uint64_t size,
                   std::uint32_t assoc) {

@@ -150,6 +150,25 @@ class MemoryHierarchy {
 /// field on malformed input.
 [[nodiscard]] HierarchyConfig parse_hierarchy_spec(const std::string& spec);
 
+/// Render a size as the shortest spec-grammar token ("32768" -> "32k",
+/// "2097152" -> "2m"); sizes that are not whole multiples of a suffix stay
+/// decimal.
+[[nodiscard]] std::string format_size_bytes(std::uint64_t bytes);
+
+/// Render resolved levels back into the spec grammar, one
+/// NAME:SIZE:LINE:ASSOC entry per level, innermost first.  The result
+/// round-trips through parse_hierarchy_spec and is the *canonical* spelling
+/// of a hierarchy: two configs with the same geometry format identically,
+/// which is what the calibration search keys its candidate dedup on.
+[[nodiscard]] std::string format_hierarchy_spec(
+    const std::vector<LevelConfig>& levels);
+[[nodiscard]] std::string format_hierarchy_spec(const HierarchyConfig& config);
+
+/// The canonical preset names, in depth order: {"paper", "2level",
+/// "3level"} ("single" is an alias of "paper" and is not listed).  This is
+/// the default hierarchy candidate space of the calibration search.
+[[nodiscard]] const std::vector<std::string>& hierarchy_preset_names();
+
 /// Named presets: "paper"/"single" (one 2 MB level), "2level" (32 KB L1 +
 /// 2 MB LLC), "3level" (adds a 256 KB L2).  Returns true and fills `out`
 /// when `name` names a preset, false otherwise so callers can fall back to

@@ -1,0 +1,249 @@
+// Property and differential tests for the calibration subsystem.
+//
+// Three families:
+//   * differential — an explicit 1-level MemoryHierarchy must be
+//     counter-identical to the implicit single-cache machine under seeded
+//     randomized workloads (the equivalence ModelSearch's replay step
+//     silently relies on);
+//   * self-calibration — calibrating an UNFAULTED observation against the
+//     default candidate grid must rank the generating spec #1 with zero
+//     inconsistency, for every hierarchy preset;
+//   * refutation & determinism — a wrong cycle model or hierarchy must be
+//     REFUTED by the expected named metric, and the full search must be
+//     byte-identical at any worker count.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "calibrate/candidates.hpp"
+#include "calibrate/model_search.hpp"
+#include "calibrate/report.hpp"
+#include "harness/batch.hpp"
+#include "harness/json_export.hpp"
+#include "harness/replay.hpp"
+#include "sim/memory_hierarchy.hpp"
+
+namespace hpm {
+namespace {
+
+/// One small, fast observation batch: the synthetic kernel under the
+/// n-way search tool on `machine`.  Everything (tool parameters, seeds)
+/// is left at the defaults ModelSearch replays with, so the generating
+/// machine spec must reproduce the observation bit for bit.
+harness::BatchResult observe(const sim::MachineConfig& machine,
+                             std::uint64_t seed = 0x5ca1ab1e) {
+  harness::RunSpec spec;
+  spec.name = "synthetic/search";
+  spec.workload = "synthetic";
+  spec.config.machine = machine;
+  spec.config.tool = harness::ToolKind::kSearch;
+  spec.options.scale = 0.25;
+  spec.options.iterations = 4;
+  spec.options.seed = seed;
+  return harness::BatchRunner().run({spec});
+}
+
+sim::MachineConfig preset_machine(const std::string& preset) {
+  sim::MachineConfig machine;
+  const bool known = sim::hierarchy_preset(preset, machine.hierarchy);
+  EXPECT_TRUE(known) << preset;
+  return machine;
+}
+
+// -- Differential: explicit 1-level hierarchy == implicit single cache ------
+
+TEST(HierarchyDifferential, OneLevelMachineMatchesImplicitCacheExactly) {
+  for (const std::uint64_t seed : {1ull, 42ull, 0xfeedf00dull}) {
+    sim::MachineConfig implicit;  // hierarchy empty: the paper's setup
+    implicit.cache.size_bytes = 256 * 1024;
+
+    sim::MachineConfig explicit_one = implicit;
+    explicit_one.hierarchy.levels = {{"L1", implicit.cache}};
+    explicit_one.hierarchy.observe_level = 0;
+
+    const harness::BatchResult a = observe(implicit, seed);
+    const harness::BatchResult b = observe(explicit_one, seed);
+    ASSERT_TRUE(a.items[0].ok) << a.items[0].error;
+    ASSERT_TRUE(b.items[0].ok) << b.items[0].error;
+
+    const sim::MachineStats& sa = a.items[0].result.stats;
+    const sim::MachineStats& sb = b.items[0].result.stats;
+    EXPECT_EQ(sa.app_refs, sb.app_refs) << seed;
+    EXPECT_EQ(sa.app_misses, sb.app_misses) << seed;
+    EXPECT_EQ(sa.interrupts, sb.interrupts) << seed;
+    EXPECT_EQ(sa.total_cycles(), sb.total_cycles()) << seed;
+
+    // Scoring one against the other must find zero inconsistency on
+    // every metric — this is the invariant replay-based scoring rests on.
+    const auto deltas =
+        analysis::consistency_deltas(a.items[0], b.items[0].result);
+    EXPECT_GT(deltas.size(), 0u);
+    EXPECT_EQ(analysis::worst_severity(deltas), 0.0) << seed;
+  }
+}
+
+// -- Replay point extraction -------------------------------------------------
+
+TEST(ReplayPoints, SkipsFailedAndUnknownWorkloadItems) {
+  harness::BatchResult observed = observe(preset_machine("paper"));
+  // A failed item and a foreign workload must degrade to partial
+  // coverage, never throw.
+  harness::BatchItem failed;
+  failed.spec.name = "broken";
+  failed.spec.workload = "synthetic";
+  failed.ok = false;
+  observed.items.push_back(failed);
+  harness::BatchItem foreign;
+  foreign.spec.name = "foreign";
+  foreign.spec.workload = "not_a_workload";
+  foreign.ok = true;
+  observed.items.push_back(foreign);
+
+  std::vector<std::size_t> skipped;
+  const auto points = harness::replay_points(observed, &skipped);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].name, "synthetic/search");
+  EXPECT_EQ(points[0].item_index, 0u);
+  EXPECT_EQ(skipped, (std::vector<std::size_t>{1, 2}));
+}
+
+// -- Self-calibration: the generating spec wins, for every preset ------------
+
+TEST(SelfCalibration, GeneratingPresetRanksFirstWithZeroInconsistency) {
+  for (const std::string preset : {"paper", "single", "2level", "3level"}) {
+    const harness::BatchResult observed = observe(preset_machine(preset));
+    ASSERT_TRUE(observed.items[0].ok) << observed.items[0].error;
+
+    calibrate::ModelSearchOptions options;
+    options.jobs = 2;
+    const calibrate::CalibrationResult result = calibrate::calibrate(
+        observed, calibrate::candidate_grid({}, {}), options);
+
+    // "single" is an alias of "paper"; the grid lists it as "paper".
+    const std::string expected =
+        (preset == "single" ? "paper" : preset) + "/p50";
+    EXPECT_TRUE(result.explained) << preset;
+    ASSERT_FALSE(result.ranked.empty());
+    EXPECT_EQ(result.ranked.front().candidate.name, expected) << preset;
+    EXPECT_EQ(result.ranked.front().inconsistency, 0.0) << preset;
+    EXPECT_TRUE(result.ranked.front().consistent) << preset;
+  }
+}
+
+// -- Refutation: wrong models are named and blamed ----------------------------
+
+TEST(Refutation, WrongMissPenaltyIsRefutedByTheCyclesMetric) {
+  const harness::BatchResult observed = observe(preset_machine("paper"));
+  const auto grid = calibrate::candidate_grid({"paper"}, {100});
+  const calibrate::CalibrationResult result =
+      calibrate::calibrate(observed, grid, {});
+
+  EXPECT_FALSE(result.explained);
+  ASSERT_EQ(result.ranked.size(), 1u);
+  const calibrate::CandidateVerdict& verdict = result.ranked.front();
+  EXPECT_FALSE(verdict.consistent);
+  EXPECT_GT(verdict.inconsistency, 1.0);
+
+  // The doubled penalty must blow the cycles tolerance directly...
+  bool cycles_violated = false;
+  for (const auto& delta : verdict.deltas) {
+    if (delta.metric == "cycles") cycles_violated = !delta.within;
+  }
+  EXPECT_TRUE(cycles_violated);
+  // ...and the worst metric is one of the clock-driven counters (a slower
+  // virtual clock also moves the search tool's interval boundaries, so the
+  // interrupt count can drift even further than total cycles).
+  ASSERT_LT(verdict.worst, verdict.deltas.size());
+  const std::string& worst = verdict.deltas[verdict.worst].metric;
+  EXPECT_TRUE(worst == "cycles" || worst == "interrupts") << worst;
+}
+
+TEST(Refutation, WrongLevelCountIsStructurallyRefuted) {
+  // A 3-level observation carries per-level counters (hpm.batch.v3), so a
+  // 2-level candidate is refuted structurally, at kStructuralSeverity.
+  const harness::BatchResult observed = observe(preset_machine("3level"));
+  ASSERT_FALSE(observed.items[0].result.levels.empty());
+
+  const auto grid = calibrate::candidate_grid({"2level"}, {50});
+  const calibrate::CalibrationResult result =
+      calibrate::calibrate(observed, grid, {});
+
+  EXPECT_FALSE(result.explained);
+  ASSERT_EQ(result.ranked.size(), 1u);
+  const calibrate::CandidateVerdict& verdict = result.ranked.front();
+  EXPECT_FALSE(verdict.consistent);
+  EXPECT_EQ(verdict.inconsistency, analysis::kStructuralSeverity);
+  ASSERT_LT(verdict.worst, verdict.deltas.size());
+  EXPECT_EQ(verdict.deltas[verdict.worst].metric, "level_count");
+}
+
+TEST(Refutation, SingleLevelObservationCannotRefuteStructure) {
+  // CounterPoint semantics: absent counters are absent evidence.  A v2
+  // observation (no per-level block) must not structurally refute a
+  // multi-level candidate with the same observed geometry and latency.
+  const harness::BatchResult observed = observe(preset_machine("paper"));
+  ASSERT_TRUE(observed.items[0].result.levels.empty());
+
+  const auto grid = calibrate::candidate_grid({"2level"}, {50});
+  const calibrate::CalibrationResult result =
+      calibrate::calibrate(observed, grid, {});
+  for (const auto& delta : result.ranked.front().deltas) {
+    EXPECT_NE(delta.metric, "level_count");
+  }
+}
+
+// -- Determinism: byte-identical reports at any worker count -----------------
+
+TEST(Determinism, CalibrationReportIsByteIdenticalAcrossJobs) {
+  const harness::BatchResult observed = observe(preset_machine("paper"));
+
+  auto run_with_jobs = [&](unsigned jobs) {
+    calibrate::ModelSearchOptions options;
+    options.jobs = jobs;
+    options.refine_rounds = 1;  // exercise the multi-round path too
+    const calibrate::CalibrationResult result = calibrate::calibrate(
+        observed, calibrate::candidate_grid({}, {}), options);
+    std::ostringstream json;
+    calibrate::export_json(json, result);
+    std::ostringstream html;
+    calibrate::render_html(html, result);
+    return std::move(json).str() + "\n---\n" + std::move(html).str();
+  };
+
+  const std::string serial = run_with_jobs(1);
+  const std::string parallel = run_with_jobs(4);
+  EXPECT_EQ(serial, parallel);
+}
+
+// -- Candidate space invariants -----------------------------------------------
+
+TEST(Candidates, GridIsDedupedAndNamedCanonically) {
+  // "paper" and its explicit spelling collapse to one candidate per
+  // penalty; the preset spelling (listed first) wins the name.
+  const auto grid =
+      calibrate::candidate_grid({"paper", "LLC:2m:64:8"}, {25, 50});
+  ASSERT_EQ(grid.size(), 2u);
+  EXPECT_EQ(grid[0].name, "paper/p25");
+  EXPECT_EQ(grid[1].name, "paper/p50");
+  EXPECT_EQ(calibrate::candidate_key(grid[0]), "LLC:2m:64:8/p25");
+}
+
+TEST(Candidates, NeighborsAreValidDistinctAndLabeled) {
+  const auto grid = calibrate::candidate_grid({"2level"}, {50});
+  const auto neighbors = calibrate::candidate_neighbors(grid[0], 1);
+  ASSERT_FALSE(neighbors.empty());
+  for (const auto& neighbor : neighbors) {
+    EXPECT_FALSE(neighbor.name.empty());
+    EXPECT_EQ(neighbor.round, 1u);
+    EXPECT_NE(calibrate::candidate_key(neighbor),
+              calibrate::candidate_key(grid[0]));
+    for (const auto& level : sim::resolve_levels(neighbor.hierarchy, {})) {
+      EXPECT_TRUE(level.cache.valid()) << neighbor.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hpm

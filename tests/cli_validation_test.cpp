@@ -1,0 +1,80 @@
+// End-to-end CLI validation: hpmrun must reject malformed or out-of-range
+// flag values up front with exit code 2 and a usage message, before any
+// simulation starts.  Regression cover for --observe, which used to accept
+// garbage silently: util::Cli::get_uint falls back on unparsable text,
+// wraps "-1" to the observe-last sentinel and maps >uint64 values to the
+// fallback — all of which turned typos into multi-hour runs observing the
+// wrong level.
+//
+// The tests drive the real binary (HPM_HPMRUN_PATH, injected by CMake)
+// through std::system, so they pin the actual process exit codes, not a
+// reimplementation of the parsing.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#ifndef HPM_HPMRUN_PATH
+#error "HPM_HPMRUN_PATH must point at the hpmrun binary"
+#endif
+
+namespace {
+
+/// Run hpmrun with `args`, muting its output, and return the process exit
+/// code (-1 if the shell could not run it).
+int run_hpmrun(const std::string& args) {
+  const std::string command = std::string("\"") + HPM_HPMRUN_PATH + "\" " +
+                              args + " >/dev/null 2>&1";
+  const int status = std::system(command.c_str());
+#if defined(_WIN32)
+  return status;
+#else
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#endif
+}
+
+/// A tiny but real run: one synthetic iteration under the cheapest tool.
+const char* kFastRun = "--workload synthetic --tool none --scale 0.05 "
+                       "--iterations 1";
+
+TEST(HpmrunObserve, RejectsNonNumericValues) {
+  EXPECT_EQ(run_hpmrun(std::string(kFastRun) + " --observe abc"), 2);
+  EXPECT_EQ(run_hpmrun(std::string(kFastRun) + " --observe 1x"), 2);
+  EXPECT_EQ(run_hpmrun(std::string(kFastRun) + " --observe ''"), 2);
+}
+
+TEST(HpmrunObserve, RejectsNegativeValues) {
+  // "-1" used to wrap to the observe-last sentinel and run "successfully".
+  EXPECT_EQ(run_hpmrun(std::string(kFastRun) + " --observe -1"), 2);
+}
+
+TEST(HpmrunObserve, RejectsValuesThatOverflowALevelIndex) {
+  EXPECT_EQ(run_hpmrun(std::string(kFastRun) +
+                       " --observe 18446744073709551615"),
+            2);
+  EXPECT_EQ(run_hpmrun(std::string(kFastRun) +
+                       " --observe 99999999999999999999999999"),
+            2);
+}
+
+TEST(HpmrunObserve, RejectsIndexesPastTheLastLevel) {
+  // The implicit hierarchy has exactly one level, so 1 is out of range...
+  EXPECT_EQ(run_hpmrun(std::string(kFastRun) + " --observe 1"), 2);
+  // ...and a 2-level hierarchy accepts 1 but not 2.
+  EXPECT_EQ(
+      run_hpmrun(std::string(kFastRun) + " --levels 2level --observe 2"), 2);
+}
+
+TEST(HpmrunObserve, AcceptsInRangeIndexes) {
+  EXPECT_EQ(run_hpmrun(std::string(kFastRun) + " --observe 0"), 0);
+  EXPECT_EQ(
+      run_hpmrun(std::string(kFastRun) + " --levels 2level --observe 1"), 0);
+}
+
+TEST(HpmrunUsage, BadFlagValuesElsewhereStillExitTwo) {
+  EXPECT_EQ(run_hpmrun("--workload no_such_workload --tool none"), 2);
+  EXPECT_EQ(run_hpmrun(std::string(kFastRun) + " --levels nonsense:spec:"),
+            2);
+}
+
+}  // namespace

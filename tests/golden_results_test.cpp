@@ -23,6 +23,9 @@
 
 #include "analysis/document.hpp"
 #include "analysis/scoreboard.hpp"
+#include "calibrate/candidates.hpp"
+#include "calibrate/model_search.hpp"
+#include "calibrate/report.hpp"
 #include "harness/batch.hpp"
 #include "harness/json_export.hpp"
 
@@ -271,6 +274,130 @@ TEST(GoldenResults, FaultedPipelineDegradationIsPinned) {
 
 TEST(GoldenResults, HierarchyPipelinePerLevelCountersArePinned) {
   run_golden_case("hierarchy_pipeline.json", hierarchy_specs());
+}
+
+// The deepest preset gets its own golden: three levels of inter-level
+// traffic exercise the walk (and the v3 export) harder than the 2-level
+// configuration, and the calibration search treats "3level" as a
+// first-class candidate, so its counters must stay pinned too.
+TEST(GoldenResults, Hierarchy3PipelinePerLevelCountersArePinned) {
+  std::vector<RunSpec> specs = golden_specs();
+  sim::HierarchyConfig hierarchy;
+  const bool is_preset = sim::hierarchy_preset("3level", hierarchy);
+  ASSERT_TRUE(is_preset);
+  for (auto& spec : specs) {
+    spec.name += "+3level";
+    spec.config.machine.hierarchy = hierarchy;
+  }
+  run_golden_case("hierarchy3_pipeline.json", specs);
+}
+
+// -- Calibration report golden -------------------------------------------------
+
+/// Structural comparison for hpm.calibrate.v1: ranking, names, verdicts
+/// and refuting metrics are exact (rank drift is a regression); the
+/// inconsistency scores get a small relative tolerance for cross-platform
+/// libm noise, exactly like the pipeline counters above.
+void compare_calibrate_reports(const JsonValue& expected,
+                               const JsonValue& actual) {
+  EXPECT_EQ(actual.at("schema").str(), expected.at("schema").str());
+  EXPECT_EQ(actual.at("explained").boolean(),
+            expected.at("explained").boolean());
+  EXPECT_EQ(actual.at("rounds").uint(), expected.at("rounds").uint());
+  EXPECT_EQ(actual.at("replays").uint(), expected.at("replays").uint());
+
+  const auto& expected_points = expected.at("points").array();
+  const auto& actual_points = actual.at("points").array();
+  ASSERT_EQ(actual_points.size(), expected_points.size());
+  for (std::size_t i = 0; i < expected_points.size(); ++i) {
+    for (const auto& key : {"name", "workload", "tool"}) {
+      EXPECT_EQ(actual_points[i].at(key).str(),
+                expected_points[i].at(key).str())
+          << "points[" << i << "]." << key;
+    }
+  }
+  EXPECT_EQ(actual.at("skipped").array().size(),
+            expected.at("skipped").array().size());
+
+  const auto& expected_cands = expected.at("candidates").array();
+  const auto& actual_cands = actual.at("candidates").array();
+  ASSERT_EQ(actual_cands.size(), expected_cands.size());
+  for (std::size_t i = 0; i < expected_cands.size(); ++i) {
+    const auto& e = expected_cands[i];
+    const auto& a = actual_cands[i];
+    const std::string what =
+        "candidates[" + std::to_string(i) + "] (" + e.at("name").str() + ")";
+    EXPECT_EQ(a.at("rank").uint(), e.at("rank").uint()) << what;
+    for (const auto& key : {"name", "spec", "hierarchy", "verdict"}) {
+      EXPECT_EQ(a.at(key).str(), e.at(key).str()) << what << "." << key;
+    }
+    for (const auto& key : {"miss_penalty", "round", "metrics_total"}) {
+      EXPECT_EQ(a.at(key).uint(), e.at(key).uint()) << what << "." << key;
+    }
+    const double inconsistency = e.at("inconsistency").number();
+    EXPECT_NEAR(a.at("inconsistency").number(), inconsistency,
+                inconsistency * kCountRelTolerance + 0.05)
+        << what;
+    if (const JsonValue* worst = e.find("worst")) {
+      const JsonValue* actual_worst = a.find("worst");
+      ASSERT_NE(actual_worst, nullptr) << what << ".worst missing";
+      EXPECT_EQ(actual_worst->at("metric").str(), worst->at("metric").str())
+          << what << ".worst.metric";
+    }
+  }
+}
+
+// Pins the full calibrate pipeline: a search-only observation against a
+// small candidate space whose true spec (the 128 KB golden cache) must
+// stay rank 1 and CONSISTENT at zero inconsistency, while the paper's
+// 2 MB spec and the wrong penalties stay REFUTED, each blaming the same
+// metric.  This is the `hpm.calibrate.v1` schema's regression anchor.
+TEST(GoldenResults, CalibrateReportIsPinned) {
+  std::vector<RunSpec> specs;
+  for (auto& spec : golden_specs()) {
+    if (spec.config.tool == ToolKind::kSearch) specs.push_back(spec);
+  }
+  BatchRunner::Options batch_options;
+  batch_options.jobs = 2;
+  const auto observed = BatchRunner(batch_options).run(specs);
+  for (const auto& item : observed.items) {
+    ASSERT_TRUE(item.ok) << item.spec.name << ": " << item.error;
+  }
+
+  calibrate::ModelSearchOptions options;
+  options.jobs = 2;
+  options.refine_rounds = 0;
+  // Replays must use the tool parameters the observation ran with.
+  options.base.search.n = 10;
+  options.base.search.initial_interval = 250'000;
+  const auto grid = calibrate::candidate_grid({"LLC:128k:64:8", "paper"}, {});
+  const auto result = calibrate::calibrate(observed, grid, options);
+
+  // Invariants worth asserting before any golden exists: the generating
+  // spec wins outright and the observation is explained.
+  EXPECT_TRUE(result.explained);
+  ASSERT_FALSE(result.ranked.empty());
+  EXPECT_EQ(result.ranked.front().candidate.name, "LLC:128k:64:8/p50");
+  EXPECT_EQ(result.ranked.front().inconsistency, 0.0);
+
+  std::ostringstream exported;
+  calibrate::export_json(exported, result);
+
+  const std::string path = golden_path("calibrate_report.json");
+  if (update_mode()) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << exported.str();
+    GTEST_SKIP() << "golden updated: " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden " << path
+                  << " — run with HPM_UPDATE_GOLDEN=1 to create it";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  compare_calibrate_reports(JsonValue::parse(buffer.str()),
+                            JsonValue::parse(exported.str()));
 }
 
 // The search must keep finding tomcatv's paper-named arrays; pinning the

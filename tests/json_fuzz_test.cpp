@@ -1,0 +1,231 @@
+// Fuzz tests for the JSON ingestion path: JsonValue::parse,
+// parse_batch_document/parse_batch_result and the analysis-layer file
+// loaders must never crash on adversarial input — they either parse or
+// throw a clean std::runtime_error carrying the byte offset of the first
+// bad character (and, through analysis::load_batch_file, the file name).
+//
+// Two sources of hostility: a checked-in corpus (tests/corpus/*.json —
+// truncation, duplicate keys, 64-bit edge values, deep nesting, bad
+// schemas, trailing garbage) and seeded deterministic mutation of a valid
+// document (byte flips, deletions, insertions, truncations).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/document.hpp"
+#include "harness/batch.hpp"
+#include "harness/json_export.hpp"
+#include "util/prng.hpp"
+
+#ifndef HPM_CORPUS_DIR
+#error "HPM_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace hpm::harness {
+namespace {
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(HPM_CORPUS_DIR)) {
+    if (entry.path().extension() == ".json") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+/// The only acceptable outcomes for hostile input: a parsed value or a
+/// std::runtime_error.  Anything else (other exception types, crashes)
+/// fails the test.
+enum class Outcome { kParsed, kRejected };
+
+Outcome try_parse_value(const std::string& text) {
+  try {
+    (void)JsonValue::parse(text);
+    return Outcome::kParsed;
+  } catch (const std::runtime_error&) {
+    return Outcome::kRejected;
+  }
+}
+
+Outcome try_parse_batch(const std::string& text) {
+  try {
+    (void)parse_batch_result(text);
+    return Outcome::kParsed;
+  } catch (const std::runtime_error&) {
+    return Outcome::kRejected;
+  }
+}
+
+/// A small valid hpm.batch document to mutate.
+std::string valid_document() {
+  RunSpec spec;
+  spec.name = "synthetic/search";
+  spec.workload = "synthetic";
+  spec.config.tool = ToolKind::kSearch;
+  spec.options.scale = 0.25;
+  spec.options.iterations = 2;
+  const BatchResult batch = BatchRunner().run({spec});
+  EXPECT_TRUE(batch.items[0].ok) << batch.items[0].error;
+  JsonExportOptions options;
+  options.include_timing = false;
+  return to_json(batch, options);
+}
+
+// -- Corpus ------------------------------------------------------------------
+
+TEST(JsonFuzzCorpus, EveryFileParsesOrIsRejectedCleanly) {
+  const auto files = corpus_files();
+  ASSERT_GE(files.size(), 10u) << "corpus missing from " << HPM_CORPUS_DIR;
+  for (const auto& file : files) {
+    const std::string text = read_file(file);
+    (void)try_parse_value(text);   // must not crash
+    (void)try_parse_batch(text);   // must not crash
+    SUCCEED() << file;
+  }
+}
+
+TEST(JsonFuzzCorpus, SyntaxErrorsCarryByteOffsets) {
+  for (const char* name : {"truncated.json", "not_json.json", "empty.json",
+                           "trailing_garbage.json", "deep_nesting.json",
+                           "bad_escapes.json"}) {
+    const std::string path = std::string(HPM_CORPUS_DIR) + "/" + name;
+    try {
+      (void)JsonValue::parse(read_file(path));
+      FAIL() << name << " unexpectedly parsed";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos)
+          << name << ": " << e.what();
+    }
+  }
+}
+
+TEST(JsonFuzzCorpus, LoaderErrorsNameTheFile) {
+  for (const char* name : {"truncated.json", "bad_schema.json",
+                           "not_json.json", "empty.json"}) {
+    const std::string path = std::string(HPM_CORPUS_DIR) + "/" + name;
+    try {
+      (void)analysis::load_batch_file(path);
+      FAIL() << name << " unexpectedly loaded as a batch document";
+    } catch (const analysis::DocumentError& e) {
+      EXPECT_NE(std::string(e.what()).find(name), std::string::npos)
+          << "error must name the file: " << e.what();
+    }
+  }
+  try {
+    (void)analysis::load_batch_file("/nonexistent/no_such_file.json");
+    FAIL() << "missing file unexpectedly loaded";
+  } catch (const analysis::DocumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("no_such_file.json"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(JsonFuzzCorpus, DuplicateKeysKeepTheFirstValue) {
+  const std::string path =
+      std::string(HPM_CORPUS_DIR) + "/duplicate_keys.json";
+  const JsonValue doc = JsonValue::parse(read_file(path));
+  EXPECT_EQ(doc.at("schema").str(), "hpm.batch.v2");
+  EXPECT_EQ(doc.at("runs").uint(), 0u);
+}
+
+TEST(JsonFuzzCorpus, Uint64EdgeValuesRoundTripExactly) {
+  const std::string path = std::string(HPM_CORPUS_DIR) + "/uint64_edges.json";
+  const JsonValue doc = JsonValue::parse(read_file(path));
+  EXPECT_EQ(doc.at("seed").uint(), 18446744073709551615ull);
+  EXPECT_EQ(doc.at("precise").uint(), 9007199254740993ull);
+  // One past uint64 max cannot be exact; it degrades to the double value
+  // instead of crashing or wrapping.
+  EXPECT_GT(doc.at("overflow").number(), 1.8e19);
+  EXPECT_LT(doc.at("negative").number(), 0.0);
+}
+
+// -- Nesting depth ------------------------------------------------------------
+
+TEST(JsonFuzzNesting, DepthBelowTheCapParses) {
+  const int depth = 200;
+  std::string text(static_cast<std::size_t>(depth), '[');
+  text.append(static_cast<std::size_t>(depth), ']');
+  EXPECT_EQ(try_parse_value(text), Outcome::kParsed);
+}
+
+TEST(JsonFuzzNesting, AdversarialDepthIsRejectedNotOverflowed) {
+  // Without the parser's depth cap this input would overflow the stack —
+  // the recursive parser would recurse 100k frames deep.
+  for (const int depth : {300, 100'000}) {
+    std::string text(static_cast<std::size_t>(depth), '[');
+    try {
+      (void)JsonValue::parse(text);
+      FAIL() << "depth " << depth << " unexpectedly parsed";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("nesting too deep"),
+                std::string::npos)
+          << e.what();
+    }
+    // Objects recurse through the same path.
+    std::string objects;
+    for (int i = 0; i < depth; ++i) objects += "{\"k\":";
+    EXPECT_EQ(try_parse_value(objects), Outcome::kRejected);
+  }
+}
+
+// -- Seeded mutation fuzzing ---------------------------------------------------
+
+TEST(JsonFuzzMutation, TruncationAtEveryLengthIsHandled) {
+  const std::string doc = valid_document();
+  ASSERT_EQ(try_parse_batch(doc), Outcome::kParsed);
+  // Every strict prefix is malformed; all must be rejected cleanly.
+  const std::size_t step = doc.size() < 512 ? 1 : doc.size() / 512;
+  for (std::size_t len = 0; len < doc.size(); len += step) {
+    EXPECT_EQ(try_parse_batch(doc.substr(0, len)), Outcome::kRejected)
+        << "prefix of length " << len << " parsed as a complete document";
+  }
+}
+
+TEST(JsonFuzzMutation, SeededByteMutationsNeverCrashTheParser) {
+  const std::string doc = valid_document();
+  util::Xoshiro256 rng(0xf022ed5ull);
+  int parsed = 0;
+  int rejected = 0;
+  for (int round = 0; round < 500; ++round) {
+    std::string mutated = doc;
+    const int edits = 1 + static_cast<int>(rng.next_below(4));
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t at = rng.next_below(mutated.size());
+      switch (rng.next_below(3)) {
+        case 0:  // flip
+          mutated[at] = static_cast<char>(rng.next_below(256));
+          break;
+        case 1:  // delete
+          mutated.erase(at, 1);
+          break;
+        default:  // insert
+          mutated.insert(at, 1, static_cast<char>(rng.next_below(256)));
+          break;
+      }
+    }
+    (try_parse_batch(mutated) == Outcome::kParsed ? parsed : rejected) += 1;
+  }
+  // The exact split is platform-stable but uninteresting; what matters is
+  // that all 500 rounds ended in one of the two clean outcomes.
+  EXPECT_EQ(parsed + rejected, 500);
+}
+
+}  // namespace
+}  // namespace hpm::harness

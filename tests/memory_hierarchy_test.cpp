@@ -6,11 +6,15 @@
 // behaviour exactly.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "sim/cycle_model.hpp"
 #include "sim/machine.hpp"
 #include "sim/memory_hierarchy.hpp"
+#include "util/prng.hpp"
 
 namespace hpm::sim {
 namespace {
@@ -308,6 +312,87 @@ TEST(CycleModelHierarchy, PerLevelHitExtrasOverrideTheDefaults) {
             cycles.cycles_per_instruction + 12);
   EXPECT_EQ(cycles.hierarchy_ref_cost(MemoryHierarchy::kMissedAll, 3),
             cycles.cycles_per_instruction + cycles.cache_miss_penalty);
+}
+
+// -- Canonical formatting (the calibration search keys its dedup on it) ------
+
+TEST(FormatSize, RendersTheShortestSuffixedToken) {
+  EXPECT_EQ(format_size_bytes(32 * 1024), "32k");
+  EXPECT_EQ(format_size_bytes(2 * 1024 * 1024), "2m");
+  EXPECT_EQ(format_size_bytes(1ull * 1024 * 1024 * 1024), "1g");
+  EXPECT_EQ(format_size_bytes(12345), "12345");   // not a whole multiple
+  EXPECT_EQ(format_size_bytes(1536), "1536");     // 1.5k stays decimal
+}
+
+TEST(FormatHierarchySpec, RoundTripsThroughTheParser) {
+  for (const char* spec :
+       {"L1:32k:64:2,L2:256k:64:8,LLC:2m:64:8", "LLC:2m:64:8",
+        "L1:16k:32:1,LLC:1m:32:4"}) {
+    const HierarchyConfig config = parse_hierarchy_spec(spec);
+    EXPECT_EQ(format_hierarchy_spec(config), spec);
+    // Reparse of the canonical form is geometry-identical.
+    const HierarchyConfig again =
+        parse_hierarchy_spec(format_hierarchy_spec(config));
+    EXPECT_EQ(format_hierarchy_spec(again), format_hierarchy_spec(config));
+  }
+}
+
+TEST(FormatHierarchySpec, PresetsAndAliasesFormatIdentically) {
+  HierarchyConfig paper;
+  HierarchyConfig single;
+  ASSERT_TRUE(hierarchy_preset("paper", paper));
+  ASSERT_TRUE(hierarchy_preset("single", single));
+  EXPECT_EQ(format_hierarchy_spec(paper), format_hierarchy_spec(single));
+  EXPECT_EQ(format_hierarchy_spec(paper), "LLC:2m:64:8");
+
+  const auto& names = hierarchy_preset_names();
+  EXPECT_EQ(names, (std::vector<std::string>{"paper", "2level", "3level"}));
+  for (const auto& name : names) {
+    HierarchyConfig config;
+    EXPECT_TRUE(hierarchy_preset(name, config)) << name;
+  }
+}
+
+// -- Randomized differential: 1-level hierarchy == bare Cache ----------------
+
+TEST(HierarchyDifferential, OneLevelHierarchyIsCounterIdenticalToBareCache) {
+  struct Geometry {
+    std::uint64_t size;
+    std::uint32_t line;
+    std::uint32_t assoc;
+  };
+  for (const Geometry g : {Geometry{32 * 1024, 64, 2},
+                           Geometry{128 * 1024, 32, 8},
+                           Geometry{64 * 1024, 64, 1}}) {
+    for (const std::uint64_t seed : {7ull, 1234ull, 0xabcdefull}) {
+      CacheConfig config;
+      config.size_bytes = g.size;
+      config.line_size = g.line;
+      config.associativity = g.assoc;
+
+      Cache bare(config);
+      MemoryHierarchy one({{"L1", config}}, 0);
+      util::Xoshiro256 rng(seed);
+      for (int i = 0; i < 20'000; ++i) {
+        // Mix sequential and random traffic over ~4x the cache size so
+        // the stream has both reuse and capacity misses.
+        const Addr addr = rng.next_below(2) == 0
+                              ? static_cast<Addr>(i) * g.line
+                              : static_cast<Addr>(rng.next_below(4 * g.size));
+        const bool write = rng.next_below(4) == 0;
+        const bool bare_hit = bare.access(addr, write).hit;
+        const auto outcome = one.access(addr, write);
+        ASSERT_EQ(outcome.hit_level == 0, bare_hit) << "ref " << i;
+        ASSERT_EQ(outcome.observed_miss, !bare_hit) << "ref " << i;
+      }
+      const Cache& observed = one.observed_cache();
+      EXPECT_EQ(observed.accesses(), bare.accesses());
+      EXPECT_EQ(observed.hits(), bare.hits());
+      EXPECT_EQ(observed.misses(), bare.misses());
+      EXPECT_EQ(observed.writebacks(), bare.writebacks());
+      EXPECT_EQ(observed.resident_lines(), bare.resident_lines());
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,214 @@
+// hpmcalibrate — counter-driven model refutation and self-calibration.
+//
+// Reads an observed counter profile (an hpm.batch.v2/v3 document from
+// hpmrun, real or fault-perturbed), replays its workloads under a
+// candidate space of machine models (hierarchy presets/specs crossed with
+// miss penalties, plus optional greedy refinement), and reports which
+// candidates are CONSISTENT with the observed counters and which are
+// REFUTED — and by which metric.  An unexplainable profile (every
+// candidate refuted) flags perturbed counters or a machine outside the
+// search space.
+//
+//   hpmcalibrate observed.json
+//   hpmcalibrate observed.json --specs paper,2level,3level --refine 2
+//   hpmcalibrate observed.json --json report.json --html report.html
+//
+// The search is deterministic: output is byte-identical at any --jobs.
+// Exit codes: 0 profile explained, 1 unexplainable, 2 usage/input errors.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/document.hpp"
+#include "calibrate/candidates.hpp"
+#include "calibrate/model_search.hpp"
+#include "calibrate/report.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace hpm;
+
+int usage(const char* error) {
+  if (error != nullptr) std::fprintf(stderr, "hpmcalibrate: %s\n\n", error);
+  std::fputs(
+      "usage: hpmcalibrate <observed.json> [options]\n"
+      "\ncandidate space:\n"
+      "  --specs LIST      comma list of hierarchy presets\n"
+      "                    (paper|2level|3level) and/or explicit specs\n"
+      "                    NAME:SIZE[:LINE[:ASSOC]][+...], innermost first;\n"
+      "                    '+' separates levels inside one candidate\n"
+      "                    (default: paper,2level,3level)\n"
+      "  --penalties LIST  comma list of miss penalties, cycles\n"
+      "                    (default: 25,50,100)\n"
+      "  --refine N        greedy refinement rounds beyond the grid\n"
+      "                    (default 1; 0 = grid only)\n"
+      "  --refine-top N    best candidates seeding each round (default 3)\n"
+      "\nreplay (tool parameters must match the observed sweep's;\n"
+      " defaults are hpmrun's):\n"
+      "  --period N        sampling period                (default 10000)\n"
+      "  --n N             search counters/regions        (default 10)\n"
+      "  --interval N      search initial interval, cycles (default 1e6)\n"
+      "  --max-cycles N    abort a replay after N simulated cycles\n"
+      "  --jobs N          worker threads (default 1; 0 = all cores);\n"
+      "                    affects wall-clock only, never the report\n"
+      "\ntolerances (docs/calibration.md):\n"
+      "  --share-tol P     per-object miss share, points  (default 1.0)\n"
+      "  --miss-tol R      PMU miss count, relative       (default 0.02)\n"
+      "  --cycles-tol R    total cycles, relative         (default 0.02)\n"
+      "  --level-tol P     per-level miss rate, points    (default 1.0)\n"
+      "  --top K           ground-truth objects per run   (default 10)\n"
+      "\noutput:\n"
+      "  --json[=FILE]     hpm.calibrate.v1 JSON (stdout when no FILE)\n"
+      "  --html FILE       self-contained HTML explanation report\n"
+      "  --title TEXT      report title (default: hpmcalibrate)\n"
+      "  --progress        per-replay progress lines on stderr\n"
+      "\nexit: 0 = explained, 1 = unexplainable, 2 = usage/input error\n",
+      error != nullptr ? stderr : stdout);
+  return error != nullptr ? 2 : 0;
+}
+
+std::vector<std::string> split_list(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) out.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// The --specs grammar uses '+' between the levels of one candidate (the
+/// comma already separates candidates); translate to the core grammar.
+std::string plus_to_comma(std::string spec) {
+  for (char& c : spec) {
+    if (c == '+') c = ',';
+  }
+  return spec;
+}
+
+bool parse_penalties(const std::string& list, std::vector<sim::Cycles>& out) {
+  for (const std::string& token : split_list(list)) {
+    if (token.empty() || token.find_first_not_of("0123456789") !=
+                             std::string::npos) {
+      return false;
+    }
+    const unsigned long long value = std::stoull(token);
+    if (value == 0) return false;
+    out.push_back(static_cast<sim::Cycles>(value));
+  }
+  return !out.empty();
+}
+
+bool open_output(std::ofstream& out, const std::string& path) {
+  out.open(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "hpmcalibrate: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(
+      argc, argv,
+      {"help", "specs", "penalties", "refine", "refine-top", "period", "n",
+       "interval", "max-cycles", "jobs", "share-tol", "miss-tol", "cycles-tol",
+       "level-tol", "top", "json", "html", "title", "progress"});
+  if (!cli.ok()) return usage(cli.error().c_str());
+  if (cli.has("help")) return usage(nullptr);
+  if (cli.positional().empty()) return usage("missing observed batch document");
+  if (cli.positional().size() != 1) {
+    return usage("exactly one observed batch document expected");
+  }
+
+  // Candidate space.
+  std::vector<std::string> specs;
+  for (const std::string& spec : split_list(cli.get("specs", ""))) {
+    specs.push_back(plus_to_comma(spec));
+  }
+  std::vector<sim::Cycles> penalties;
+  const std::string penalties_list = cli.get("penalties", "");
+  if (!penalties_list.empty() && !parse_penalties(penalties_list, penalties)) {
+    return usage("--penalties must be a comma list of positive integers");
+  }
+  std::vector<calibrate::Candidate> grid;
+  try {
+    grid = calibrate::candidate_grid(specs, penalties);
+  } catch (const std::exception& e) {
+    return usage(e.what());
+  }
+
+  // Search options.
+  calibrate::ModelSearchOptions options;
+  options.jobs = static_cast<unsigned>(cli.get_uint("jobs", 1));
+  options.refine_rounds = cli.get_uint("refine", 1);
+  options.refine_top = cli.get_uint("refine-top", 3);
+  options.tolerances.share_points = cli.get_double("share-tol", 1.0);
+  options.tolerances.miss_rel = cli.get_double("miss-tol", 0.02);
+  options.tolerances.cycles_rel = cli.get_double("cycles-tol", 0.02);
+  options.tolerances.level_points = cli.get_double("level-tol", 1.0);
+  options.tolerances.top_k = cli.get_uint("top", 10);
+  options.base.sampler.period = cli.get_uint("period", 10'000);
+  options.base.search.n = static_cast<unsigned>(cli.get_uint("n", 10));
+  options.base.search.initial_interval = cli.get_uint("interval", 1'000'000);
+  options.base.machine.max_cycles = cli.get_uint("max-cycles", 0);
+  if (cli.get_bool("progress", false)) {
+    options.on_progress = [](std::size_t done, std::size_t total,
+                             const harness::BatchItem& item) {
+      std::fprintf(stderr, "[%zu/%zu] %s (%.3fs)%s%s\n", done, total,
+                   item.spec.name.c_str(), item.wall_seconds,
+                   item.ok ? "" : " FAILED: ", item.ok ? "" : item.error.c_str());
+    };
+  }
+
+  // Load, search, report.
+  calibrate::CalibrationResult result;
+  try {
+    const harness::BatchResult observed =
+        analysis::load_batch_file(cli.positional()[0]);
+    result = calibrate::calibrate(observed, grid, options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hpmcalibrate: %s\n", e.what());
+    return 2;
+  }
+
+  calibrate::ReportOptions report_options;
+  report_options.title = cli.get("title", "hpmcalibrate");
+
+  const std::string html_path = cli.get("html", "");
+  if (!html_path.empty()) {
+    std::ofstream html;
+    if (!open_output(html, html_path)) return 2;
+    calibrate::render_html(html, result, report_options);
+    std::fprintf(stderr, "wrote %s (%zu candidates)\n", html_path.c_str(),
+                 result.ranked.size());
+  }
+
+  if (cli.has("json")) {
+    const std::string json_path = cli.get("json", "");
+    if (json_path.empty() || json_path == "true") {
+      calibrate::export_json(std::cout, result, report_options);
+    } else {
+      std::ofstream json;
+      if (!open_output(json, json_path)) return 2;
+      calibrate::export_json(json, result, report_options);
+      std::fprintf(stderr, "wrote %s (%zu candidates)\n", json_path.c_str(),
+                   result.ranked.size());
+    }
+  } else {
+    std::fputs(calibrate::calibration_table(result).c_str(), stdout);
+  }
+
+  return result.explained ? 0 : 1;
+}

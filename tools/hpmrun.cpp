@@ -357,8 +357,29 @@ int main(int argc, char** argv) {
     base.machine.hierarchy.levels = {{"L1", l1}, {"L2", base.machine.cache}};
   }
   if (cli.has("observe")) {
-    base.machine.hierarchy.observe_level =
-        static_cast<std::size_t>(cli.get_uint("observe", 0));
+    // Strict parse: get_uint would silently map "abc" to the fallback and
+    // wrap "-1" to the observe-last sentinel — both must be usage errors,
+    // and the range check below must see the value the user actually typed.
+    const std::string raw = cli.get("observe", "");
+    if (raw.empty() ||
+        raw.find_first_not_of("0123456789") != std::string::npos) {
+      return usage(("--observe expects a level index, got '" + raw + "'")
+                       .c_str());
+    }
+    try {
+      base.machine.hierarchy.observe_level =
+          static_cast<std::size_t>(std::stoull(raw));
+    } catch (const std::exception&) {
+      return usage(("--observe " + raw + " does not fit a level index")
+                       .c_str());
+    }
+    const std::size_t num_levels =
+        sim::resolve_levels(base.machine.hierarchy, base.machine.cache).size();
+    if (base.machine.hierarchy.observe_level >= num_levels) {
+      return usage(("--observe " + raw + " out of range: hierarchy has " +
+                    std::to_string(num_levels) + " level(s)")
+                       .c_str());
+    }
   }
   // Validate the resolved hierarchy up front: a bad spec is a usage error,
   // not a per-run failure surfaced mid-sweep.
