@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,7 @@
 
 #include "harness/batch.hpp"
 #include "harness/json_export.hpp"
+#include "harness/live_stream.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -32,6 +34,10 @@ struct CommonFlags {
   /// checking that the MemoryHierarchy generalization kept single-level
   /// runs hot (acceptance bar: <2% wall-time delta).
   bool hierarchy_guardrail = false;
+  /// --live-guardrail: time the sweep with hpm.live.v1 streaming off vs on
+  /// (events discarded into an in-memory sink) and print both, checking
+  /// that live monitoring stays within the <2% perturbation bar.
+  bool live_guardrail = false;
   std::vector<std::string> workloads;  ///< empty = all paper workloads
 
   static std::optional<CommonFlags> parse(
@@ -45,7 +51,8 @@ inline std::optional<CommonFlags> CommonFlags::parse(
   std::vector<std::string> known = {"scale", "iters", "seed", "csv",
                                     "workloads", "jobs", "out",
                                     "telemetry-guardrail",
-                                    "hierarchy-guardrail"};
+                                    "hierarchy-guardrail",
+                                    "live-guardrail"};
   known.insert(known.end(), extra_flags.begin(), extra_flags.end());
   util::Cli cli(argc, argv, known);
   if (!cli.ok()) {
@@ -61,6 +68,7 @@ inline std::optional<CommonFlags> CommonFlags::parse(
   flags.out = cli.get("out", "");
   flags.telemetry_guardrail = cli.get_bool("telemetry-guardrail", false);
   flags.hierarchy_guardrail = cli.get_bool("hierarchy-guardrail", false);
+  flags.live_guardrail = cli.get_bool("live-guardrail", false);
   const std::string list = cli.get("workloads", "");
   if (!list.empty()) {
     std::size_t start = 0;
@@ -198,6 +206,39 @@ inline void maybe_hierarchy_guardrail(const CommonFlags& flags,
                "(explicit/implicit = %.3fx)\n",
                implicit_level, explicit_level,
                implicit_level > 0.0 ? explicit_level / implicit_level : 0.0);
+}
+
+/// Honour --live-guardrail: re-run the sweep twice — live streaming fully
+/// off, then with hpm.live.v1 window sampling on at the default period,
+/// the stream discarded into an in-memory sink — and print both wall
+/// times.  The enabled run's results are discarded; the guardrail exists
+/// to catch a regression where the per-reference hook test or the window
+/// encoder stops being cheap (the acceptance bar is <2% wall-time delta).
+inline void maybe_live_guardrail(const CommonFlags& flags,
+                                 const std::vector<harness::RunSpec>& specs) {
+  if (!flags.live_guardrail) return;
+  auto timed = [&](bool live) {
+    std::ostringstream discard;
+    harness::JsonlSink sink(discard);
+    harness::LiveStreamer streamer(
+        {.sink = &sink, .every_refs = 250'000, .include_build_meta = false});
+    harness::BatchRunner::Options options;
+    options.jobs = flags.jobs;
+    if (live) {
+      options.observer = &streamer;
+      options.live_sink = &sink;
+      options.live_every_refs = 250'000;
+    }
+    const auto batch = harness::BatchRunner(options).run(specs);
+    return batch.metrics.wall_seconds;
+  };
+  const double disabled = timed(false);
+  const double enabled = timed(true);
+  std::fprintf(stderr,
+               "live guardrail: disabled %.3fs, enabled %.3fs "
+               "(enabled/disabled = %.3fx)\n",
+               disabled, enabled,
+               disabled > 0.0 ? enabled / disabled : 0.0);
 }
 
 /// Honour --out: export the batch as hpm.batch JSON (v2, or v3 when a run

@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
       harness::BatchRunner(bench::batch_options(*flags)).run(specs);
   bench::maybe_telemetry_guardrail(*flags, specs);
   bench::maybe_hierarchy_guardrail(*flags, specs);
+  bench::maybe_live_guardrail(*flags, specs);
 
   for (std::size_t i = 0; i < names.size(); ++i) {
     const auto& name = names[i];

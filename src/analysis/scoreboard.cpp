@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "harness/json_export.hpp"
+#include "harness/provenance.hpp"
 #include "util/stats.hpp"
 
 namespace hpm::analysis {
@@ -201,6 +202,9 @@ void export_json(std::ostream& out, const Scoreboard& scoreboard,
   harness::JsonWriter w(out, indent);
   w.begin_object();
   w.key("schema").value("hpm.analysis.v1");
+  // Stable provenance half only: this document is pinned byte-for-byte
+  // across platforms, so the volatile build block must never appear.
+  harness::write_meta(w, /*include_build=*/false);
   w.key("top_k").value(static_cast<std::uint64_t>(scoreboard.options.top_k));
   w.key("min_percent").value(scoreboard.options.min_percent);
   w.key("rows").begin_array();

@@ -6,6 +6,7 @@
 
 #include "analysis/html_report.hpp"  // html_escape
 #include "harness/json_export.hpp"   // JsonWriter, tool_kind_name
+#include "harness/provenance.hpp"    // write_meta
 
 namespace hpm::calibrate {
 namespace {
@@ -94,6 +95,7 @@ void export_json(std::ostream& out, const CalibrationResult& result,
   harness::JsonWriter w(out, options.indent);
   w.begin_object();
   w.key("schema").value("hpm.calibrate.v1");
+  harness::write_meta(w, options.include_build);
   w.key("explained").value(result.explained);
   w.key("rounds").value(static_cast<std::uint64_t>(result.rounds));
   w.key("replays").value(static_cast<std::uint64_t>(result.replays));

@@ -20,6 +20,10 @@ struct ReportOptions {
   /// always included); the rest are summarized by count.
   std::size_t max_violations = 8;
   int indent = 2;  ///< JSON indent
+  /// Include the volatile build sub-block in the JSON "meta" block
+  /// (compiler, git describe, ...).  Off by default so the pinned golden
+  /// stays environment-independent; the hpmcalibrate CLI turns it on.
+  bool include_build = false;
 };
 
 /// Fixed-width text table: rank, verdict, candidate, inconsistency and the

@@ -131,6 +131,14 @@ BatchResult BatchRunner::run(const std::vector<RunSpec>& specs) const {
         if (options_.derive_seeds) {
           item.spec.options.seed = derived_seed(specs[i].options.seed, i);
         }
+        if (options_.live_sink != nullptr && options_.live_every_refs != 0) {
+          // Per-run live probe on the worker's private spec copy; the
+          // exported spec is unaffected (LiveProbe is not serialized).
+          item.spec.config.live.sink = options_.live_sink;
+          item.spec.config.live.every_refs = options_.live_every_refs;
+          item.spec.config.live.index = i;
+          item.spec.config.live.name = item.spec.name;
+        }
         const unsigned worker = ThreadPool::current_worker_index();
         if (options_.observer != nullptr) {
           std::lock_guard lock(progress_mutex);

@@ -126,7 +126,17 @@ class BatchRunner {
     std::function<RunResult(const RunSpec& spec, std::size_t index)> runner;
     /// Structured progress sink (not owned; null disables).  Richer than
     /// on_progress: start/retry/finish events with worker attribution.
+    /// Use harness::ObserverList to fan out to several observers.
     BatchObserver* observer = nullptr;
+    /// hpm.live.v1 streaming (see live_stream.hpp): when both are set,
+    /// every run gets a LiveProbe wired into its config so the experiment
+    /// samples its monitor tree every `live_every_refs` app references and
+    /// streams window events to `live_sink` (not owned).  Observability
+    /// only — results and exports are byte-identical with streaming on or
+    /// off, and live lines never name a worker, so a sorted --jobs N
+    /// stream equals the --jobs 1 stream.
+    JsonlSink* live_sink = nullptr;
+    std::uint64_t live_every_refs = 0;
   };
 
   BatchRunner();

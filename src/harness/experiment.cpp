@@ -1,5 +1,8 @@
 #include "harness/experiment.hpp"
 
+#include <optional>
+
+#include "harness/live_stream.hpp"
 #include "objmap/object_map.hpp"
 
 namespace hpm::harness {
@@ -29,10 +32,24 @@ RunResult run_experiment(const RunConfig& config,
     telem->attach(machine);
   }
 
+  // Live monitor tree: samples the machine every K app references and
+  // streams hpm.live.v1 window events.  The hook sits below the tool layer
+  // and costs no simulated cycles, so results are byte-identical with the
+  // probe on or off.
+  std::optional<LiveRunMonitor> live;
+  if (config.live.sink != nullptr && config.live.every_refs > 0) {
+    live.emplace(*config.live.sink, config.live.every_refs,
+                 config.live.index, config.live.name, machine);
+  }
+
   core::ExactProfiler profiler(machine, map, config.series_interval);
   if (config.exact_profile) profiler.start();
 
-  workload.setup(machine);
+  {
+    telemetry::WallSpan span(config.trace_sink, "run.setup",
+                             static_cast<std::uint32_t>(config.live.index));
+    workload.setup(machine);
+  }
 
   const bool faulted = !config.machine.faults.none();
 
@@ -68,8 +85,15 @@ RunResult run_experiment(const RunConfig& config,
       break;
   }
 
-  workload.run(machine);
+  {
+    telemetry::WallSpan span(config.trace_sink, "run.simulate",
+                             static_cast<std::uint32_t>(config.live.index));
+    workload.run(machine);
+  }
 
+  telemetry::WallSpan collect_span(
+      config.trace_sink, "run.collect",
+      static_cast<std::uint32_t>(config.live.index));
   RunResult result;
   if (sampler) {
     sampler->stop();
@@ -123,6 +147,9 @@ RunResult run_experiment(const RunConfig& config,
     telem->detach(machine);
     result.metrics = telem->snapshot();
   }
+  // Final cumulative sample + "run_total" line, after the tool shut down so
+  // the totals include every charged cycle.
+  if (live) live->finish(machine);
   result.stats = machine.stats();
   return result;
 }

@@ -18,7 +18,20 @@
 
 namespace hpm::harness {
 
+class JsonlSink;
+
 enum class ToolKind { kNone, kSampler, kSearch };
+
+/// Live-streaming probe for one run (see live_stream.hpp).  Filled in by
+/// BatchRunner when live streaming is enabled; a null sink (the default)
+/// disables it with zero perturbation — the machine's refs hook is never
+/// installed, so the hot path pays one integer test per poll.
+struct LiveProbe {
+  JsonlSink* sink = nullptr;      ///< not owned
+  std::uint64_t every_refs = 0;   ///< sampling period in app references
+  std::size_t index = 0;          ///< submission index (stream identity)
+  std::string name;               ///< run label for the stream
+};
 
 struct RunConfig {
   sim::MachineConfig machine{};
@@ -37,6 +50,8 @@ struct RunConfig {
   /// Structured-event sink for this run (not owned; null disables tracing).
   /// Shared across runs it must be thread-safe — the built-in sinks are.
   telemetry::TraceSink* trace_sink = nullptr;
+  /// hpm.live.v1 streaming probe (disabled by default).
+  LiveProbe live{};
 };
 
 struct RunResult {

@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <system_error>
 
+#include "harness/provenance.hpp"
+
 namespace hpm::harness {
 
 // -- Escaping ----------------------------------------------------------------
@@ -434,6 +436,10 @@ void export_json(std::ostream& out, const BatchResult& batch,
       batch.items.begin(), batch.items.end(),
       [](const BatchItem& item) { return !item.result.levels.empty(); });
   w.key("schema").value(multi_level ? "hpm.batch.v3" : "hpm.batch.v2");
+  // Provenance block: the volatile build half rides with the timing fields
+  // (both are environment-dependent), so deterministic golden exports stay
+  // byte-identical across machines.
+  write_meta(w, /*include_build=*/options.include_timing);
   w.key("jobs").value(batch.metrics.jobs);
   w.key("runs").value(static_cast<std::uint64_t>(batch.metrics.runs));
   w.key("failed").value(static_cast<std::uint64_t>(batch.metrics.failed));
@@ -457,6 +463,7 @@ void export_metrics_json(std::ostream& out, const BatchResult& batch,
   JsonWriter w(out, options.indent);
   w.begin_object();
   w.key("schema").value("hpm.metrics.v1");
+  write_meta(w, /*include_build=*/options.include_timing);
   w.key("runs").begin_array();
   for (const auto& item : batch.items) {
     w.begin_object();

@@ -1,0 +1,304 @@
+#include "harness/live_stream.hpp"
+
+#include <sstream>
+
+#include "harness/json_export.hpp"
+#include "harness/provenance.hpp"
+#include "sim/machine.hpp"
+
+namespace hpm::harness {
+namespace {
+
+using telemetry::MonitorNode;
+using telemetry::Reducer;
+
+/// Declare the machine-tier metrics on `machine_node`.  Names are chosen so
+/// the hierarchy-level children (accesses/misses/resident) roll up into the
+/// machine node without colliding with the PMU-plane counters
+/// (refs/pmu_misses): after a sample, machine.misses is the subtree sum of
+/// level misses while machine.pmu_misses is what the simulated PMU saw.
+void declare_machine_metrics(MonitorNode& machine_node) {
+  machine_node.metric("refs", Reducer::kSum);
+  machine_node.metric("pmu_misses", Reducer::kSum);
+  machine_node.metric("interrupts", Reducer::kSum);
+  machine_node.metric("cycles", Reducer::kSum);
+  machine_node.metric("tool_cycles", Reducer::kSum);
+  machine_node.ratio("miss_rate", "pmu_misses", "refs");
+  machine_node.ratio("tool_share", "tool_cycles", "cycles");
+  machine_node.ratio("int_per_mcycle", "interrupts", "cycles", 1e6);
+}
+
+void declare_level_metrics(MonitorNode& level_node) {
+  level_node.metric("accesses", Reducer::kSum);
+  level_node.metric("misses", Reducer::kSum);
+  level_node.metric("resident", Reducer::kMax);
+  level_node.ratio("level_miss_rate", "misses", "accesses");
+}
+
+double metric_value(const MonitorNode& node, std::string_view name) {
+  const MonitorNode::Metric* metric = node.find(name);
+  return metric != nullptr ? metric->value : 0.0;
+}
+
+double metric_window(const MonitorNode& node, std::string_view name) {
+  const MonitorNode::Metric* metric = node.find(name);
+  return metric != nullptr ? metric->window : 0.0;
+}
+
+double safe_ratio(double num, double den) {
+  return den != 0.0 ? num / den : 0.0;
+}
+
+}  // namespace
+
+// -- LiveRunMonitor ----------------------------------------------------------
+
+LiveRunMonitor::LiveRunMonitor(JsonlSink& sink, std::uint64_t every_refs,
+                               std::size_t index, std::string name,
+                               sim::Machine& machine)
+    : sink_(sink),
+      index_(index),
+      name_(std::move(name)),
+      tree_("run", "run") {
+  MonitorNode& machine_node = tree_.root().child("machine", "machine");
+  declare_machine_metrics(machine_node);
+  for (std::size_t i = 0; i < machine.hierarchy().num_levels(); ++i) {
+    declare_level_metrics(
+        machine_node.child(machine.hierarchy().level_name(i), "level"));
+  }
+  machine.set_refs_hook(every_refs,
+                        [this, &machine](const sim::MachineStats& stats) {
+                          on_tick(stats, machine);
+                        });
+}
+
+void LiveRunMonitor::feed(const sim::MachineStats& stats,
+                          sim::Machine& machine) {
+  MonitorNode& machine_node = tree_.root().child("machine", "machine");
+  machine_node.input("refs", static_cast<double>(stats.app_refs));
+  machine_node.input("pmu_misses", static_cast<double>(stats.app_misses));
+  machine_node.input("interrupts", static_cast<double>(stats.interrupts));
+  machine_node.input("cycles", static_cast<double>(stats.total_cycles()));
+  machine_node.input("tool_cycles", static_cast<double>(stats.tool_cycles));
+  const auto levels = machine.hierarchy().snapshot();
+  for (const sim::LevelSnapshot& level : levels) {
+    MonitorNode& level_node = machine_node.child(level.name, "level");
+    level_node.input("accesses", static_cast<double>(level.accesses));
+    level_node.input("misses", static_cast<double>(level.misses));
+    level_node.input("resident", static_cast<double>(level.resident_lines));
+  }
+  tree_.sample();
+}
+
+void LiveRunMonitor::on_tick(const sim::MachineStats& stats,
+                             sim::Machine& machine) {
+  feed(stats, machine);
+  ++seq_;
+  const MonitorNode& machine_node = *tree_.root().find_child("machine");
+  std::ostringstream line;
+  JsonWriter w(line, 0);
+  w.begin_object();
+  w.key("type").value("hpm.live.v1");
+  w.key("event").value("window");
+  w.key("index").value(static_cast<std::uint64_t>(index_));
+  w.key("name").value(name_);
+  w.key("seq").value(seq_);
+  w.key("refs").value(stats.app_refs);
+  w.key("cycles").value(stats.total_cycles());
+  w.key("window").begin_object();
+  w.key("refs").value(metric_window(machine_node, "refs"));
+  w.key("misses").value(metric_window(machine_node, "pmu_misses"));
+  w.key("miss_rate").value(metric_value(machine_node, "miss_rate"));
+  w.key("interrupts").value(metric_window(machine_node, "interrupts"));
+  w.key("int_per_mcycle").value(metric_value(machine_node, "int_per_mcycle"));
+  w.key("tool_share").value(metric_value(machine_node, "tool_share"));
+  w.end_object();
+  w.key("levels").begin_array();
+  for (const auto& level : machine_node.children()) {
+    w.begin_object();
+    w.key("name").value(level->name());
+    w.key("misses").value(metric_window(*level, "misses"));
+    w.key("miss_rate").value(metric_value(*level, "level_miss_rate"));
+    w.key("resident").value(metric_window(*level, "resident"));
+    w.key("resident_peak").value(metric_value(*level, "resident"));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  sink_.write_line(line.str());
+}
+
+void LiveRunMonitor::finish(sim::Machine& machine) {
+  machine.set_refs_hook(0, nullptr);
+  feed(machine.stats(), machine);
+  const MonitorNode& machine_node = *tree_.root().find_child("machine");
+  const double refs = metric_value(machine_node, "refs");
+  const double misses = metric_value(machine_node, "pmu_misses");
+  const double cycles = metric_value(machine_node, "cycles");
+  std::ostringstream line;
+  JsonWriter w(line, 0);
+  w.begin_object();
+  w.key("type").value("hpm.live.v1");
+  w.key("event").value("run_total");
+  w.key("index").value(static_cast<std::uint64_t>(index_));
+  w.key("name").value(name_);
+  w.key("windows").value(seq_);
+  w.key("refs").value(refs);
+  w.key("misses").value(misses);
+  w.key("miss_rate").value(safe_ratio(misses, refs));
+  w.key("interrupts").value(metric_value(machine_node, "interrupts"));
+  w.key("cycles").value(cycles);
+  w.key("tool_share")
+      .value(safe_ratio(metric_value(machine_node, "tool_cycles"), cycles));
+  w.key("levels").begin_array();
+  for (const auto& level : machine_node.children()) {
+    const double accesses = metric_value(*level, "accesses");
+    const double level_misses = metric_value(*level, "misses");
+    w.begin_object();
+    w.key("name").value(level->name());
+    w.key("accesses").value(accesses);
+    w.key("misses").value(level_misses);
+    w.key("miss_rate").value(safe_ratio(level_misses, accesses));
+    w.key("resident_peak").value(metric_value(*level, "resident"));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  sink_.write_line(line.str());
+}
+
+// -- LiveStreamer ------------------------------------------------------------
+
+LiveStreamer::LiveStreamer(LiveStreamOptions options)
+    : options_(options) {}
+
+void LiveStreamer::on_batch_start(std::size_t total,
+                                  std::size_t already_done, unsigned jobs) {
+  (void)already_done;
+  (void)jobs;
+  if (options_.sink == nullptr) return;
+  std::ostringstream line;
+  JsonWriter w(line, 0);
+  w.begin_object();
+  w.key("type").value("hpm.live.v1");
+  w.key("event").value("stream_start");
+  w.key("every_refs").value(options_.every_refs);
+  w.key("total").value(static_cast<std::uint64_t>(total));
+  write_meta(w, options_.include_build_meta);
+  w.end_object();
+  options_.sink->write_line(line.str());
+}
+
+void LiveStreamer::on_run_finish(std::size_t done, std::size_t total,
+                                 std::size_t index, const BatchItem& item,
+                                 unsigned worker) {
+  (void)done;
+  (void)total;
+  (void)worker;
+  RunTotals totals;
+  totals.name = item.spec.name;
+  totals.ok = item.ok;
+  totals.stats = item.result.stats;
+  totals.levels = item.result.levels;
+  finished_[index] = std::move(totals);
+}
+
+void LiveStreamer::on_batch_finish(const BatchMetrics& metrics) {
+  (void)metrics;
+  // Build the batch tier in submission-index order (finished_ is keyed by
+  // index), so the rollup tree — and the OpenMetrics exposition derived
+  // from it — is identical at any --jobs.
+  MonitorNode& root = tree_.root();
+  root.ratio("miss_rate", "pmu_misses", "refs");
+  root.ratio("tool_share", "tool_cycles", "cycles");
+  for (const auto& [index, totals] : finished_) {
+    std::string node_name = totals.name;
+    if (root.find_child(node_name) != nullptr) {
+      node_name += "#" + std::to_string(index);
+    }
+    MonitorNode& run_node = root.child(node_name, "run");
+    run_node.metric("runs", Reducer::kSum);
+    run_node.metric("failed", Reducer::kSum);
+    run_node.metric("refs", Reducer::kSum);
+    run_node.metric("pmu_misses", Reducer::kSum);
+    run_node.metric("interrupts", Reducer::kSum);
+    run_node.metric("cycles", Reducer::kSum);
+    run_node.metric("tool_cycles", Reducer::kSum);
+    run_node.input("runs", 1.0);
+    run_node.input("failed", totals.ok ? 0.0 : 1.0);
+    run_node.input("refs", static_cast<double>(totals.stats.app_refs));
+    run_node.input("pmu_misses",
+                   static_cast<double>(totals.stats.app_misses));
+    run_node.input("interrupts",
+                   static_cast<double>(totals.stats.interrupts));
+    run_node.input("cycles",
+                   static_cast<double>(totals.stats.total_cycles()));
+    run_node.input("tool_cycles",
+                   static_cast<double>(totals.stats.tool_cycles));
+  }
+  tree_.sample();
+  if (options_.sink == nullptr) return;
+  const double refs = metric_value(root, "refs");
+  const double misses = metric_value(root, "pmu_misses");
+  const double cycles = metric_value(root, "cycles");
+  std::ostringstream line;
+  JsonWriter w(line, 0);
+  w.begin_object();
+  w.key("type").value("hpm.live.v1");
+  w.key("event").value("batch_rollup");
+  w.key("runs").value(metric_value(root, "runs"));
+  w.key("failed").value(metric_value(root, "failed"));
+  w.key("refs").value(refs);
+  w.key("misses").value(misses);
+  w.key("miss_rate").value(safe_ratio(misses, refs));
+  w.key("interrupts").value(metric_value(root, "interrupts"));
+  w.key("cycles").value(cycles);
+  w.key("tool_share")
+      .value(safe_ratio(metric_value(root, "tool_cycles"), cycles));
+  w.end_object();
+  options_.sink->write_line(line.str());
+}
+
+// -- ObserverList ------------------------------------------------------------
+
+void ObserverList::add(BatchObserver* observer) {
+  if (observer != nullptr) observers_.push_back(observer);
+}
+
+void ObserverList::on_batch_start(std::size_t total, std::size_t already_done,
+                                  unsigned jobs) {
+  for (BatchObserver* observer : observers_) {
+    observer->on_batch_start(total, already_done, jobs);
+  }
+}
+
+void ObserverList::on_run_start(std::size_t index, const RunSpec& spec,
+                                unsigned worker) {
+  for (BatchObserver* observer : observers_) {
+    observer->on_run_start(index, spec, worker);
+  }
+}
+
+void ObserverList::on_run_retry(std::size_t index, const RunSpec& spec,
+                                unsigned worker, unsigned attempts,
+                                const std::string& error) {
+  for (BatchObserver* observer : observers_) {
+    observer->on_run_retry(index, spec, worker, attempts, error);
+  }
+}
+
+void ObserverList::on_run_finish(std::size_t done, std::size_t total,
+                                 std::size_t index, const BatchItem& item,
+                                 unsigned worker) {
+  for (BatchObserver* observer : observers_) {
+    observer->on_run_finish(done, total, index, item, worker);
+  }
+}
+
+void ObserverList::on_batch_finish(const BatchMetrics& metrics) {
+  for (BatchObserver* observer : observers_) {
+    observer->on_batch_finish(metrics);
+  }
+}
+
+}  // namespace hpm::harness

@@ -1,0 +1,152 @@
+// hpm.live.v1: live counter streaming for batch sweeps.
+//
+// Streams periodic monitor-tree snapshots on the --progress-jsonl channel,
+// interleaved with the ProgressReporter's events.  Live lines are
+// distinguished by a versioned "type":"hpm.live.v1" field (progress events
+// carry "event" and no "type", so old consumers keep working unchanged).
+//
+// Event vocabulary (one compact JSON object per line):
+//   * stream_start  — once per batch: sampling period + provenance meta;
+//   * window        — per run, every K app references: windowed rates from
+//                     the run's monitor tree (run → machine → level);
+//   * run_total     — per run, at completion: final cumulative values;
+//   * batch_rollup  — once, after the last run: the batch-tier rollup of
+//                     every completed run (sums only, so the line is
+//                     independent of completion order).
+//
+// Determinism contract: every value is a pure function of the run's spec —
+// never of scheduling or wall-clock time — and no line names a worker, so
+// sorting the live lines of a --jobs N stream yields the --jobs 1 stream
+// byte-for-byte.  Streaming disabled (null sink) costs one integer test
+// per reference poll; exported documents are byte-identical either way.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/batch.hpp"
+#include "telemetry/monitor_tree.hpp"
+
+namespace hpm::harness {
+
+/// Line-atomic JSONL sink shared by the progress reporter and every live
+/// run monitor: each write_line() is one mutex-guarded line, so streams
+/// from parallel workers interleave per line, never mid-line.
+class JsonlSink {
+ public:
+  explicit JsonlSink(std::ostream& out) : out_(out) {}
+  JsonlSink(const JsonlSink&) = delete;
+  JsonlSink& operator=(const JsonlSink&) = delete;
+
+  void write_line(std::string_view line) {
+    std::lock_guard lock(mutex_);
+    out_ << line << '\n' << std::flush;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::ostream& out_;
+};
+
+struct LiveStreamOptions {
+  JsonlSink* sink = nullptr;       ///< not owned; null disables streaming
+  std::uint64_t every_refs = 250'000;  ///< sampling period (app references)
+  /// Carry the volatile build sub-block in stream_start's meta.  Tests that
+  /// assert byte-identical streams across build environments disable it.
+  bool include_build_meta = true;
+};
+
+/// Per-run live monitor: owns the run's monitor tree (run → machine →
+/// hierarchy level), installs the Machine's app-refs hook, and emits one
+/// "window" line per sampling period plus a final "run_total" line.
+/// Constructed inside run_experiment when the run config carries a live
+/// probe; lives entirely on the worker thread, so only the sink locks.
+class LiveRunMonitor {
+ public:
+  LiveRunMonitor(JsonlSink& sink, std::uint64_t every_refs, std::size_t index,
+                 std::string name, sim::Machine& machine);
+
+  /// Final sample + "run_total" line; uninstalls the hook.
+  void finish(sim::Machine& machine);
+
+  [[nodiscard]] const telemetry::MonitorTree& tree() const noexcept {
+    return tree_;
+  }
+
+ private:
+  void on_tick(const sim::MachineStats& stats, sim::Machine& machine);
+  void feed(const sim::MachineStats& stats, sim::Machine& machine);
+
+  JsonlSink& sink_;
+  std::size_t index_;
+  std::string name_;
+  telemetry::MonitorTree tree_;
+  std::uint64_t seq_ = 0;
+};
+
+/// Batch-tier streamer: a BatchObserver that emits "stream_start" when the
+/// batch begins and the bottom-to-top "batch_rollup" after the last run.
+/// Completed runs are folded in keyed by submission index, so the rollup
+/// tree (and its OpenMetrics exposition) is independent of completion
+/// order.  Pair it with a ProgressReporter via ObserverList.
+class LiveStreamer final : public BatchObserver {
+ public:
+  explicit LiveStreamer(LiveStreamOptions options);
+
+  void on_batch_start(std::size_t total, std::size_t already_done,
+                      unsigned jobs) override;
+  void on_run_finish(std::size_t done, std::size_t total, std::size_t index,
+                     const BatchItem& item, unsigned worker) override;
+  void on_batch_finish(const BatchMetrics& metrics) override;
+
+  [[nodiscard]] JsonlSink* sink() const noexcept { return options_.sink; }
+  [[nodiscard]] std::uint64_t every_refs() const noexcept {
+    return options_.every_refs;
+  }
+  /// The batch rollup tree (valid after on_batch_finish) — the source for
+  /// the OpenMetrics end-of-run exposition (`hpmrun --live-metrics`).
+  [[nodiscard]] const telemetry::MonitorTree& batch_tree() const noexcept {
+    return tree_;
+  }
+
+ private:
+  struct RunTotals {
+    std::string name;
+    bool ok = false;
+    sim::MachineStats stats{};
+    std::vector<sim::LevelSnapshot> levels;
+  };
+
+  LiveStreamOptions options_;
+  telemetry::MonitorTree tree_{"batch", "batch"};
+  std::map<std::size_t, RunTotals> finished_;  ///< keyed by submission index
+};
+
+/// Fan-out observer: forwards every callback to each registered observer
+/// in registration order.  Lets the progress reporter and the live
+/// streamer share BatchRunner's single observer slot.
+class ObserverList final : public BatchObserver {
+ public:
+  /// Register an observer (not owned; null is ignored).
+  void add(BatchObserver* observer);
+
+  void on_batch_start(std::size_t total, std::size_t already_done,
+                      unsigned jobs) override;
+  void on_run_start(std::size_t index, const RunSpec& spec,
+                    unsigned worker) override;
+  void on_run_retry(std::size_t index, const RunSpec& spec, unsigned worker,
+                    unsigned attempts, const std::string& error) override;
+  void on_run_finish(std::size_t done, std::size_t total, std::size_t index,
+                     const BatchItem& item, unsigned worker) override;
+  void on_batch_finish(const BatchMetrics& metrics) override;
+
+ private:
+  std::vector<BatchObserver*> observers_;
+};
+
+}  // namespace hpm::harness

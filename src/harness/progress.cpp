@@ -1,9 +1,12 @@
 #include "harness/progress.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <sstream>
 
 #include "harness/json_export.hpp"
+#include "harness/live_stream.hpp"
 
 namespace hpm::harness {
 namespace {
@@ -11,9 +14,12 @@ namespace {
 std::string fmt_seconds(double seconds) {
   char buf[32];
   if (seconds >= 90.0) {
-    std::snprintf(buf, sizeof(buf), "%.0fm%02.0fs", seconds / 60.0,
-                  seconds - 60.0 * static_cast<double>(
-                                       static_cast<long>(seconds / 60.0)));
+    // Floor the minutes (rounding would render 100s as "2m40s") and round
+    // the whole seconds first so the remainder can never show as 60.
+    const double whole = std::floor(seconds + 0.5);
+    const double minutes = std::floor(whole / 60.0);
+    std::snprintf(buf, sizeof(buf), "%.0fm%02.0fs", minutes,
+                  whole - 60.0 * minutes);
   } else {
     std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
   }
@@ -31,6 +37,14 @@ double ProgressReporter::eta_seconds() const noexcept {
          static_cast<double>(std::max(1u, jobs_));
 }
 
+void ProgressReporter::emit_jsonl(const std::string& line) {
+  if (options_.jsonl_sink != nullptr) {
+    options_.jsonl_sink->write_line(line);
+  } else if (options_.jsonl_out != nullptr) {
+    *options_.jsonl_out << line << '\n' << std::flush;
+  }
+}
+
 void ProgressReporter::on_batch_start(std::size_t total,
                                       std::size_t already_done,
                                       unsigned jobs) {
@@ -38,15 +52,16 @@ void ProgressReporter::on_batch_start(std::size_t total,
   done_ = already_done;
   jobs_ = jobs;
   current_.assign(static_cast<std::size_t>(jobs) + 1, std::string());
-  if (options_.jsonl_out != nullptr) {
-    JsonWriter w(*options_.jsonl_out, 0);
+  if (jsonl_enabled()) {
+    std::ostringstream event;
+    JsonWriter w(event, 0);
     w.begin_object();
     w.key("event").value("batch_start");
     w.key("total").value(static_cast<std::uint64_t>(total));
     w.key("resumed").value(static_cast<std::uint64_t>(already_done));
     w.key("jobs").value(jobs);
     w.end_object();
-    *options_.jsonl_out << '\n' << std::flush;
+    emit_jsonl(event.str());
   }
   emit_line();
 }
@@ -54,8 +69,9 @@ void ProgressReporter::on_batch_start(std::size_t total,
 void ProgressReporter::on_run_start(std::size_t index, const RunSpec& spec,
                                     unsigned worker) {
   if (worker < current_.size()) current_[worker] = spec.name;
-  if (options_.jsonl_out != nullptr) {
-    JsonWriter w(*options_.jsonl_out, 0);
+  if (jsonl_enabled()) {
+    std::ostringstream event;
+    JsonWriter w(event, 0);
     w.begin_object();
     w.key("event").value("run_start");
     w.key("index").value(static_cast<std::uint64_t>(index));
@@ -63,7 +79,7 @@ void ProgressReporter::on_run_start(std::size_t index, const RunSpec& spec,
     w.key("workload").value(spec.workload);
     w.key("worker").value(worker);
     w.end_object();
-    *options_.jsonl_out << '\n' << std::flush;
+    emit_jsonl(event.str());
   }
   emit_line();
 }
@@ -72,8 +88,9 @@ void ProgressReporter::on_run_retry(std::size_t index, const RunSpec& spec,
                                     unsigned worker, unsigned attempts,
                                     const std::string& error) {
   ++retries_;
-  if (options_.jsonl_out != nullptr) {
-    JsonWriter w(*options_.jsonl_out, 0);
+  if (jsonl_enabled()) {
+    std::ostringstream event;
+    JsonWriter w(event, 0);
     w.begin_object();
     w.key("event").value("run_retry");
     w.key("index").value(static_cast<std::uint64_t>(index));
@@ -82,7 +99,7 @@ void ProgressReporter::on_run_retry(std::size_t index, const RunSpec& spec,
     w.key("attempts").value(attempts);
     w.key("error").value(error);
     w.end_object();
-    *options_.jsonl_out << '\n' << std::flush;
+    emit_jsonl(event.str());
   }
   emit_line();
 }
@@ -99,8 +116,9 @@ void ProgressReporter::on_run_finish(std::size_t done, std::size_t total,
                              : item.wall_seconds;
     have_ema_ = true;
   }
-  if (options_.jsonl_out != nullptr) {
-    JsonWriter w(*options_.jsonl_out, 0);
+  if (jsonl_enabled()) {
+    std::ostringstream event;
+    JsonWriter w(event, 0);
     w.begin_object();
     w.key("event").value("run_finish");
     w.key("index").value(static_cast<std::uint64_t>(index));
@@ -115,14 +133,15 @@ void ProgressReporter::on_run_finish(std::size_t done, std::size_t total,
     w.key("wall_seconds").value(item.wall_seconds);
     w.key("eta_seconds").value(eta_seconds());
     w.end_object();
-    *options_.jsonl_out << '\n' << std::flush;
+    emit_jsonl(event.str());
   }
   emit_line();
 }
 
 void ProgressReporter::on_batch_finish(const BatchMetrics& metrics) {
-  if (options_.jsonl_out != nullptr) {
-    JsonWriter w(*options_.jsonl_out, 0);
+  if (jsonl_enabled()) {
+    std::ostringstream event;
+    JsonWriter w(event, 0);
     w.begin_object();
     w.key("event").value("batch_finish");
     w.key("runs").value(static_cast<std::uint64_t>(metrics.runs));
@@ -130,7 +149,7 @@ void ProgressReporter::on_batch_finish(const BatchMetrics& metrics) {
     w.key("retries").value(static_cast<std::uint64_t>(retries_));
     w.key("wall_seconds").value(metrics.wall_seconds);
     w.end_object();
-    *options_.jsonl_out << '\n' << std::flush;
+    emit_jsonl(event.str());
   }
   if (options_.line_out != nullptr) {
     std::string line = "[";
@@ -169,7 +188,10 @@ void ProgressReporter::emit_line() {
     line += std::to_string(done_ * 100 / total_);
     line += "%";
   }
-  if (have_ema_ && done_ < total_) {
+  // ETA only once a run has actually finished (the EMA is primed) and only
+  // while work remains: eta_seconds() is 0 in every other state, and a
+  // literal "eta 0.0s" on the first or last status line is noise.
+  if (have_ema_ && done_ < total_ && eta_seconds() > 0.0) {
     line += " eta ";
     line += fmt_seconds(eta_seconds());
   }

@@ -21,12 +21,18 @@
 
 namespace hpm::harness {
 
+class JsonlSink;
+
 struct ProgressOptions {
   /// Human status line, overwritten in place with '\r' (null disables).
   std::ostream* line_out = nullptr;
   /// JSONL event stream: batch_start / run_start / run_retry / run_finish /
   /// batch_finish, one object per line (null disables).
   std::ostream* jsonl_out = nullptr;
+  /// Line-atomic sink shared with hpm.live.v1 streaming (see
+  /// live_stream.hpp).  When set it takes precedence over jsonl_out, so
+  /// progress and live events interleave per line on one channel.
+  JsonlSink* jsonl_sink = nullptr;
   /// Smoothing factor for the per-run wall-time EMA behind the ETA;
   /// higher = more weight on the latest run.
   double ema_alpha = 0.3;
@@ -53,6 +59,10 @@ class ProgressReporter final : public BatchObserver {
 
  private:
   void emit_line();
+  void emit_jsonl(const std::string& line);
+  [[nodiscard]] bool jsonl_enabled() const noexcept {
+    return options_.jsonl_sink != nullptr || options_.jsonl_out != nullptr;
+  }
 
   ProgressOptions options_;
   std::size_t total_ = 0;

@@ -1,0 +1,58 @@
+#include "harness/provenance.hpp"
+
+#include "harness/json_export.hpp"
+
+// Stamped by src/harness/CMakeLists.txt at configure time; the fallbacks
+// keep non-CMake builds (and tooling that compiles this file standalone)
+// working.
+#ifndef HPM_BUILD_COMPILER
+#define HPM_BUILD_COMPILER "unknown"
+#endif
+#ifndef HPM_BUILD_TYPE
+#define HPM_BUILD_TYPE "unknown"
+#endif
+#ifndef HPM_GIT_DESCRIBE
+#define HPM_GIT_DESCRIBE "unknown"
+#endif
+#ifndef HPM_PROJECT_VERSION
+#define HPM_PROJECT_VERSION "unknown"
+#endif
+
+namespace hpm::harness {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{
+      HPM_BUILD_COMPILER,
+      HPM_BUILD_TYPE[0] != '\0' ? HPM_BUILD_TYPE : "unknown",
+      HPM_GIT_DESCRIBE,
+      HPM_PROJECT_VERSION,
+  };
+  return info;
+}
+
+void write_meta(JsonWriter& writer, bool include_build) {
+  writer.key("meta").begin_object();
+  writer.key("generator").value("hpm");
+  // Schema-version map: which document versions this tree emits.  Bump a
+  // value here whenever the matching exporter's schema string changes.
+  writer.key("schemas").begin_object();
+  writer.key("hpm.analysis").value(1);
+  writer.key("hpm.batch").value(3);
+  writer.key("hpm.calibrate").value(1);
+  writer.key("hpm.checkpoint").value(1);
+  writer.key("hpm.live").value(1);
+  writer.key("hpm.metrics").value(1);
+  writer.end_object();
+  if (include_build) {
+    const BuildInfo& info = build_info();
+    writer.key("build").begin_object();
+    writer.key("compiler").value(info.compiler);
+    writer.key("build_type").value(info.build_type);
+    writer.key("git").value(info.git_describe);
+    writer.key("version").value(info.version);
+    writer.end_object();
+  }
+  writer.end_object();
+}
+
+}  // namespace hpm::harness

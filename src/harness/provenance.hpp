@@ -1,0 +1,37 @@
+// Build/provenance stamping for exported documents.
+//
+// Every JSON export (hpm.batch.*, hpm.metrics.v1, hpm.analysis.v1,
+// hpm.calibrate.v1, hpm.live.v1) carries a "meta" block so a document can
+// be traced back to the code that produced it.  Two halves with different
+// stability contracts:
+//   * stable half (always written): generator name and the schema-version
+//     map — a pure function of the source tree, safe inside byte-stable
+//     goldens;
+//   * volatile half ("build" sub-block, written only when the caller asks):
+//     compiler, build type, git describe, project version — environment-
+//     dependent, so deterministic exports (JsonExportOptions::
+//     include_timing == false, the golden mode) must omit it.
+#pragma once
+
+#include <string>
+
+namespace hpm::harness {
+
+class JsonWriter;
+
+/// Configure-time build facts (compiled in via CMake definitions; every
+/// field falls back to "unknown" when the build system did not provide it).
+struct BuildInfo {
+  std::string compiler;      ///< e.g. "GNU 13.2.0"
+  std::string build_type;    ///< e.g. "Release"
+  std::string git_describe;  ///< `git describe --always --dirty`
+  std::string version;       ///< project version
+};
+
+[[nodiscard]] const BuildInfo& build_info();
+
+/// Write `"meta": {...}` into an object the writer currently has open.
+/// `include_build` gates the volatile build sub-block (goldens: false).
+void write_meta(JsonWriter& writer, bool include_build);
+
+}  // namespace hpm::harness

@@ -209,6 +209,20 @@ class Machine {
                             : now() + every;
   }
 
+  /// Application-reference-count hook (live monitor-tree sampling): called
+  /// with the cumulative stats roughly every `every` app references, at
+  /// zero simulated cost.  Independent of the cycles-based periodic hook so
+  /// telemetry's phase timeline and live streaming can coexist.  `every`
+  /// == 0 uninstalls; the disabled hot-path cost is a single integer test
+  /// in poll_interrupts().
+  using RefsHook = std::function<void(const MachineStats& stats)>;
+  void set_refs_hook(std::uint64_t every, RefsHook hook) {
+    refs_hook_every_ = every;
+    refs_hook_ = std::move(hook);
+    refs_hook_next_ = every == 0 ? std::numeric_limits<std::uint64_t>::max()
+                                 : stats_.app_refs + every;
+  }
+
  private:
   void app_ref(Addr addr, bool write) {
     ++stats_.app_refs;
@@ -249,6 +263,12 @@ class Machine {
       hook_next_ = stats_.total_cycles() + hook_every_;
       periodic_hook_(stats_);
     }
+    if (refs_hook_every_ != 0 && stats_.app_refs >= refs_hook_next_) {
+      // Re-arm relative to now (like the cycles hook) so windows are
+      // >= every refs apart and never empty.
+      refs_hook_next_ = stats_.app_refs + refs_hook_every_;
+      refs_hook_(stats_);
+    }
     if (budgets_armed_) check_budgets();
     if (handler_ == nullptr || in_handler_) return;
     if (pmu_.overflow_pending()) {
@@ -283,6 +303,9 @@ class Machine {
   PeriodicHook periodic_hook_;
   Cycles hook_every_ = 0;
   Cycles hook_next_ = std::numeric_limits<Cycles>::max();
+  RefsHook refs_hook_;
+  std::uint64_t refs_hook_every_ = 0;
+  std::uint64_t refs_hook_next_ = std::numeric_limits<std::uint64_t>::max();
   Cycles timer_at_ = std::numeric_limits<Cycles>::max();
   bool timer_armed_ = false;
   bool in_handler_ = false;

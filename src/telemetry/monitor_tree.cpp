@@ -1,0 +1,234 @@
+#include "telemetry/monitor_tree.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+
+namespace hpm::telemetry {
+namespace {
+
+/// Shortest round-trip double rendering (matches the JSON exporter's
+/// discipline so streamed and exposed values agree byte-for-byte).
+void append_double(std::string& out, double value) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc()) {
+    out += "0";
+    return;
+  }
+  out.append(buf, ptr);
+}
+
+/// OpenMetrics label values: escape backslash, double quote and newline.
+std::string escape_label(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+void write_node(std::ostream& out, const MonitorNode& node,
+                const std::string& path) {
+  for (const MonitorNode::Metric& metric : node.metrics()) {
+    std::string line = "hpm_monitor{node=\"";
+    line += escape_label(path);
+    line += "\",kind=\"";
+    line += escape_label(node.kind());
+    line += "\",metric=\"";
+    line += escape_label(metric.name);
+    line += "\",reducer=\"";
+    line += metric.is_ratio ? "ratio" : reducer_name(metric.reducer);
+    line += "\"} ";
+    append_double(line, metric.value);
+    out << line << '\n';
+  }
+  for (const auto& child : node.children()) {
+    write_node(out, *child, path + "/" + child->name());
+  }
+}
+
+}  // namespace
+
+std::string_view reducer_name(Reducer reducer) noexcept {
+  switch (reducer) {
+    case Reducer::kSum: return "sum";
+    case Reducer::kDelta: return "delta";
+    case Reducer::kEma: return "ema";
+    case Reducer::kMax: return "max";
+  }
+  return "sum";
+}
+
+MonitorNode& MonitorNode::child(std::string_view name, std::string_view kind) {
+  for (const auto& existing : children_) {
+    if (existing->name() == name) return *existing;
+  }
+  children_.push_back(
+      std::make_unique<MonitorNode>(std::string(name), std::string(kind)));
+  return *children_.back();
+}
+
+const MonitorNode* MonitorNode::find_child(
+    std::string_view name) const noexcept {
+  for (const auto& existing : children_) {
+    if (existing->name() == name) return existing.get();
+  }
+  return nullptr;
+}
+
+MonitorNode::Metric& MonitorNode::find_or_create(std::string_view name,
+                                                 Reducer reducer,
+                                                 double alpha) {
+  for (Metric& metric : metrics_) {
+    if (metric.name == name) return metric;
+  }
+  Metric metric;
+  metric.name = std::string(name);
+  metric.reducer = reducer;
+  metric.alpha = alpha;
+  metrics_.push_back(std::move(metric));
+  return metrics_.back();
+}
+
+MonitorNode::Metric& MonitorNode::metric(std::string_view name,
+                                         Reducer reducer, double alpha) {
+  return find_or_create(name, reducer, alpha);
+}
+
+MonitorNode::Metric& MonitorNode::ratio(std::string_view name,
+                                        std::string_view numerator,
+                                        std::string_view denominator,
+                                        double scale, double alpha) {
+  Metric& metric = find_or_create(name, Reducer::kEma, alpha);
+  metric.is_ratio = true;
+  metric.numerator = std::string(numerator);
+  metric.denominator = std::string(denominator);
+  metric.scale = scale;
+  return metric;
+}
+
+void MonitorNode::input(std::string_view name, double cumulative) {
+  for (Metric& metric : metrics_) {
+    if (metric.name == name) {
+      metric.raw = cumulative;
+      return;
+    }
+  }
+  throw std::invalid_argument("monitor metric not declared: " +
+                              std::string(name));
+}
+
+const MonitorNode::Metric* MonitorNode::find(
+    std::string_view name) const noexcept {
+  for (const Metric& metric : metrics_) {
+    if (metric.name == name) return &metric;
+  }
+  return nullptr;
+}
+
+void MonitorNode::sample() {
+  // Post-order: children first, so rollup sees their freshly reduced
+  // values.
+  for (const auto& node : children_) node->sample();
+
+  // Adopt metric declarations from children that this node lacks — the
+  // rollup topology is therefore implicit: declare metrics on leaves and
+  // every ancestor aggregates them.  Ratio declarations propagate too and
+  // are recomputed per node from the node's own aggregated inputs.
+  for (const auto& node : children_) {
+    for (const Metric& theirs : node->metrics_) {
+      Metric& mine = find_or_create(theirs.name, theirs.reducer, theirs.alpha);
+      if (theirs.is_ratio && !mine.is_ratio) {
+        mine.is_ratio = true;
+        mine.numerator = theirs.numerator;
+        mine.denominator = theirs.denominator;
+        mine.scale = theirs.scale;
+      }
+    }
+  }
+
+  for (Metric& metric : metrics_) {
+    if (metric.is_ratio) continue;  // derived below, after inputs settle
+    bool rolled_up = false;
+    double agg_value = 0.0;
+    double agg_window = 0.0;
+    for (const auto& node : children_) {
+      const Metric* theirs = node->find(metric.name);
+      if (theirs == nullptr || theirs->is_ratio) continue;
+      if (!rolled_up) {
+        agg_value = theirs->value;
+        agg_window = theirs->window;
+        rolled_up = true;
+        continue;
+      }
+      if (metric.reducer == Reducer::kMax) {
+        agg_value = std::max(agg_value, theirs->value);
+        agg_window = std::max(agg_window, theirs->window);
+      } else {
+        agg_value += theirs->value;
+        agg_window += theirs->window;
+      }
+    }
+    if (rolled_up) {
+      // Interior node: the subtree is authoritative; any direct input on
+      // this node is ignored for the shared metric name.
+      metric.value = agg_value;
+      metric.window = agg_window;
+      metric.primed = true;
+      continue;
+    }
+    switch (metric.reducer) {
+      case Reducer::kSum:
+        metric.window = metric.raw - metric.last_raw;
+        metric.value = metric.raw;
+        break;
+      case Reducer::kDelta:
+        metric.window = metric.raw - metric.last_raw;
+        metric.value = metric.window;
+        break;
+      case Reducer::kEma:
+        metric.window = metric.raw - metric.last_raw;
+        metric.value = metric.primed ? metric.alpha * metric.window +
+                                           (1.0 - metric.alpha) * metric.value
+                                     : metric.window;
+        break;
+      case Reducer::kMax:
+        metric.window = metric.raw;
+        metric.value =
+            metric.primed ? std::max(metric.value, metric.raw) : metric.raw;
+        break;
+    }
+    metric.last_raw = metric.raw;
+    metric.primed = true;
+  }
+
+  for (Metric& metric : metrics_) {
+    if (!metric.is_ratio) continue;
+    const Metric* num = find(metric.numerator);
+    const Metric* den = find(metric.denominator);
+    const double d = den != nullptr ? den->window : 0.0;
+    metric.window =
+        (num != nullptr && d != 0.0) ? num->window / d * metric.scale : 0.0;
+    metric.value = metric.primed ? metric.alpha * metric.window +
+                                       (1.0 - metric.alpha) * metric.value
+                                 : metric.window;
+    metric.primed = true;
+  }
+}
+
+void write_openmetrics(std::ostream& out, const MonitorTree& tree) {
+  out << "# HELP hpm_monitor Monitor-tree metric values (windowed "
+         "reduction, rolled up bottom-to-top).\n"
+      << "# TYPE hpm_monitor gauge\n";
+  write_node(out, tree.root(), tree.root().name());
+  out << "# EOF\n";
+}
+
+}  // namespace hpm::telemetry

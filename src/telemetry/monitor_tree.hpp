@@ -1,0 +1,142 @@
+// Topology-aware monitor tree: the observability spine for live counter
+// streaming and — once multi-core lands — per-core rollups.
+//
+// A MonitorTree mirrors the system topology (batch → run → machine →
+// hierarchy level; a future per-core tier slots in as one more level of
+// children).  Each node carries named metrics fed with *cumulative* raw
+// counter values; sample() reduces them into windowed values with a
+// pluggable reducer per metric and rolls identically-named metrics up
+// bottom-to-top, the way NicolasDenoyelle/Hierarchical-monitors aggregates
+// per-level monitors from their children.
+//
+// Everything here is deterministic: children and metrics iterate in
+// insertion order, reductions are pure functions of the input sequence,
+// and no wall-clock time is read — so a live stream produced at --jobs N
+// is byte-identical (modulo line interleaving) to the --jobs 1 stream.
+//
+// This layer is pure (no JSON, no I/O dependencies beyond <ostream> for
+// the OpenMetrics writer); the hpm.live.v1 wire encoding lives in
+// harness/live_stream.hpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpm::telemetry {
+
+/// How a metric's windowed value is derived from its cumulative inputs
+/// (leaves) or from identically-named child metrics (interior nodes).
+enum class Reducer : std::uint8_t {
+  kSum,    ///< value = cumulative input; window = delta since last sample
+  kDelta,  ///< value = window = delta since last sample
+  kEma,    ///< value = EMA of per-window deltas (rate smoothing)
+  kMax,    ///< value = running max of inputs; rollup takes max over children
+};
+
+[[nodiscard]] std::string_view reducer_name(Reducer reducer) noexcept;
+
+class MonitorNode {
+ public:
+  /// One named, reduced counter on a node.
+  struct Metric {
+    std::string name;
+    Reducer reducer = Reducer::kSum;
+    double alpha = 0.25;  ///< EMA smoothing (kEma and ratio metrics)
+    double scale = 1.0;   ///< ratio metrics: value = num/den * scale
+    bool is_ratio = false;
+    std::string numerator;    ///< ratio only: sibling metric names
+    std::string denominator;  ///< ratio only
+    double raw = 0.0;         ///< latest cumulative input
+    double last_raw = 0.0;    ///< raw at the previous sample
+    double window = 0.0;      ///< reduced per-window quantity
+    double value = 0.0;       ///< reduced value (see Reducer)
+    bool primed = false;      ///< has at least one sample landed?
+  };
+
+  MonitorNode(std::string name, std::string kind)
+      : name_(std::move(name)), kind_(std::move(kind)) {}
+  MonitorNode(const MonitorNode&) = delete;
+  MonitorNode& operator=(const MonitorNode&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& kind() const noexcept { return kind_; }
+
+  /// Find-or-create a child node.  Children keep insertion order; a child
+  /// is identified by name alone (the kind of an existing child wins).
+  MonitorNode& child(std::string_view name, std::string_view kind);
+  /// Find an existing child; nullptr when absent.
+  [[nodiscard]] const MonitorNode* find_child(
+      std::string_view name) const noexcept;
+
+  /// Declare a metric (find-or-create; the first declaration's reducer and
+  /// alpha win).  Metrics keep declaration order.
+  Metric& metric(std::string_view name, Reducer reducer,
+                 double alpha = 0.25);
+  /// Declare a derived ratio metric: after every sample, window and value
+  /// are numerator.window / denominator.window * scale, EMA-smoothed into
+  /// `value` with `alpha`.  Rollup nodes recompute the ratio from their own
+  /// aggregated numerator/denominator — child ratios are never summed.
+  Metric& ratio(std::string_view name, std::string_view numerator,
+                std::string_view denominator, double scale = 1.0,
+                double alpha = 0.25);
+
+  /// Feed the latest *cumulative* raw value (monotone for kSum/kDelta/kEma;
+  /// kMax takes any sequence).  The metric must have been declared.
+  void input(std::string_view name, double cumulative);
+
+  /// Lookup after sample(); nullptr when the metric does not exist.
+  [[nodiscard]] const Metric* find(std::string_view name) const noexcept;
+
+  [[nodiscard]] const std::vector<std::unique_ptr<MonitorNode>>& children()
+      const noexcept {
+    return children_;
+  }
+  [[nodiscard]] const std::vector<Metric>& metrics() const noexcept {
+    return metrics_;
+  }
+
+ private:
+  friend class MonitorTree;
+  void sample();  ///< post-order: reduce leaves, then roll children up
+  Metric& find_or_create(std::string_view name, Reducer reducer,
+                         double alpha);
+
+  std::string name_;
+  std::string kind_;
+  std::vector<Metric> metrics_;
+  std::vector<std::unique_ptr<MonitorNode>> children_;
+};
+
+/// The tree: a root node plus a sample counter.  sample() visits the whole
+/// topology bottom-to-top, so after it returns every interior node's
+/// metrics reflect its subtree.
+class MonitorTree {
+ public:
+  MonitorTree(std::string root_name, std::string root_kind)
+      : root_(std::move(root_name), std::move(root_kind)) {}
+
+  [[nodiscard]] MonitorNode& root() noexcept { return root_; }
+  [[nodiscard]] const MonitorNode& root() const noexcept { return root_; }
+
+  void sample() {
+    root_.sample();
+    ++samples_;
+  }
+  [[nodiscard]] std::uint64_t samples() const noexcept { return samples_; }
+
+ private:
+  MonitorNode root_;
+  std::uint64_t samples_ = 0;
+};
+
+/// OpenMetrics-style text exposition of the tree's current values — one
+/// gauge family, one sample per (node, metric), labelled with the node's
+/// slash-joined path, kind and reducer.  Deterministic: iteration follows
+/// insertion order and doubles render in shortest round-trip form.
+void write_openmetrics(std::ostream& out, const MonitorTree& tree);
+
+}  // namespace hpm::telemetry

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <charconv>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 
@@ -116,6 +117,36 @@ void JsonlTraceSink::event(const TraceEvent& event) {
   std::lock_guard lock(mutex_);
   write_event_json(out_, event);
   out_ << '\n';
+}
+
+// -- WallSpan ----------------------------------------------------------------
+
+std::uint64_t WallSpan::now_us() {
+  // One epoch per process so spans recorded by different runs and by the
+  // exporters share a time axis.
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+WallSpan::WallSpan(TraceSink* sink, std::string_view name, std::uint32_t tid)
+    : sink_(sink), name_(name), tid_(tid) {
+  if (sink_ != nullptr) start_us_ = now_us();
+}
+
+WallSpan::~WallSpan() {
+  if (sink_ == nullptr) return;
+  TraceEvent event;
+  event.category = "self";
+  event.name = name_;
+  event.phase = 'X';
+  event.ts = start_us_;
+  event.dur = now_us() - start_us_;
+  event.pid = 2;  // self-profiling plane (0 = simulator, 1 = batch)
+  event.tid = tid_;
+  sink_->event(event);
 }
 
 // -- CountingTraceSink -------------------------------------------------------

@@ -99,6 +99,30 @@ class JsonlTraceSink : public TraceSink {
   std::ostream& out_;
 };
 
+/// Scoped self-profiling span: measures host wall time of a harness phase
+/// (simulate / collect / export / analysis) and emits one 'X' complete
+/// event on pid 2 (the self-profiling plane) when it goes out of scope.
+/// Timestamps are host microseconds relative to a process-wide epoch, so
+/// spans from every run and the exporters line up on one axis in
+/// chrome://tracing.  A null sink makes the span free apart from two
+/// pointer tests.
+class WallSpan {
+ public:
+  WallSpan(TraceSink* sink, std::string_view name, std::uint32_t tid = 0);
+  ~WallSpan();
+  WallSpan(const WallSpan&) = delete;
+  WallSpan& operator=(const WallSpan&) = delete;
+
+  /// Microseconds since the process-wide span epoch (first use).
+  [[nodiscard]] static std::uint64_t now_us();
+
+ private:
+  TraceSink* sink_;
+  std::string_view name_;  ///< expected to be a string literal
+  std::uint32_t tid_;
+  std::uint64_t start_us_ = 0;
+};
+
 /// Counts events instead of serializing them — for tests and for cheap
 /// "how chatty was this run" diagnostics.
 class CountingTraceSink : public TraceSink {

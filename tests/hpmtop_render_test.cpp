@@ -1,0 +1,137 @@
+// hpmtop --once rendering contract: a recorded hpm.live.v1 stream renders
+// a byte-pinned final frame, malformed/unknown lines are skipped, and the
+// exit codes distinguish "no events" (1) from usage errors (2).
+//
+// Drives the real binary (HPM_HPMTOP_PATH, injected by CMake) through
+// std::system, like cli_validation_test does for hpmrun.  Regenerate the
+// pinned frame after an intentional layout change with
+//   HPM_UPDATE_GOLDEN=1 ./build/tests/hpmtop_render_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef HPM_HPMTOP_PATH
+#error "HPM_HPMTOP_PATH must point at the hpmtop binary"
+#endif
+#ifndef HPM_FIXTURE_DIR
+#error "HPM_FIXTURE_DIR must point at tests/fixtures"
+#endif
+#ifndef HPM_GOLDEN_DIR
+#error "HPM_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace {
+
+const std::string kFixture =
+    std::string(HPM_FIXTURE_DIR) + "/live_stream.jsonl";
+const std::string kGoldenFrame =
+    std::string(HPM_GOLDEN_DIR) + "/hpmtop_frame.txt";
+
+int run_hpmtop(const std::string& args, const std::string& stdout_to) {
+  const std::string command = std::string("\"") + HPM_HPMTOP_PATH + "\" " +
+                              args + " >" + stdout_to + " 2>/dev/null";
+  const int status = std::system(command.c_str());
+#if defined(_WIN32)
+  return status;
+#else
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#endif
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string temp_path(const char* leaf) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + leaf;
+}
+
+TEST(HpmtopOnce, RendersTheRecordedStreamByteForByte) {
+  const std::string out = temp_path("hpmtop_frame_actual.txt");
+  ASSERT_EQ(run_hpmtop(kFixture + " --once", out), 0);
+  const std::string frame = slurp(out);
+
+  if (std::getenv("HPM_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream golden(kGoldenFrame, std::ios::binary);
+    golden << frame;
+    GTEST_SKIP() << "updated " << kGoldenFrame;
+  }
+  EXPECT_EQ(frame, slurp(kGoldenFrame))
+      << "hpmtop frame drifted; if intentional, regenerate with "
+         "HPM_UPDATE_GOLDEN=1";
+}
+
+TEST(HpmtopOnce, FrameCarriesTheLoadBearingNumbers) {
+  const std::string out = temp_path("hpmtop_frame_spot.txt");
+  ASSERT_EQ(run_hpmtop(kFixture + " --once", out), 0);
+  const std::string frame = slurp(out);
+  // Header totals come from batch_finish/batch_start, not a recount.
+  EXPECT_NE(frame.find("runs 2/2"), std::string::npos);
+  EXPECT_NE(frame.find("jobs 2"), std::string::npos);
+  EXPECT_NE(frame.find("window 100000 refs"), std::string::npos);
+  // Per-run: miss totals from run_total, resident peak from the levels.
+  EXPECT_NE(frame.find("tomcatv/sample [ok] 3 windows"), std::string::npos);
+  EXPECT_NE(frame.find("total 2.81%"), std::string::npos);
+  EXPECT_NE(frame.find("resident 2900"), std::string::npos);
+  // Rollup footer from batch_rollup.
+  EXPECT_NE(frame.find("batch  refs 570000"), std::string::npos);
+  // The malformed/unknown fixture lines must not leak into the frame.
+  EXPECT_EQ(frame.find("future_event_kind"), std::string::npos);
+}
+
+TEST(HpmtopOnce, SparklineWidthIsAdjustable) {
+  const std::string wide = temp_path("hpmtop_frame_wide.txt");
+  const std::string narrow = temp_path("hpmtop_frame_narrow.txt");
+  ASSERT_EQ(run_hpmtop(kFixture + " --once --width 64", wide), 0);
+  // The minimum width clamps at 8, and 3 samples fit either way: frames
+  // only differ when a series is longer than the narrower width.
+  ASSERT_EQ(run_hpmtop(kFixture + " --once --width 8", narrow), 0);
+  EXPECT_EQ(slurp(wide), slurp(narrow));
+}
+
+TEST(HpmtopExitCodes, MissingStreamIsUsageError) {
+  EXPECT_EQ(run_hpmtop(temp_path("hpmtop_no_such_file.jsonl") + " --once",
+                       "/dev/null"),
+            2);
+}
+
+TEST(HpmtopExitCodes, NoArgumentsIsUsageError) {
+  EXPECT_EQ(run_hpmtop("", "/dev/null"), 2);
+  EXPECT_EQ(run_hpmtop("--bogus-flag", "/dev/null"), 2);
+}
+
+TEST(HpmtopExitCodes, EventFreeStreamExitsOne) {
+  const std::string empty = temp_path("hpmtop_empty.jsonl");
+  { std::ofstream touch(empty); }
+  EXPECT_EQ(run_hpmtop(empty + " --once", "/dev/null"), 1);
+
+  const std::string junk = temp_path("hpmtop_junk.jsonl");
+  {
+    std::ofstream out(junk);
+    out << "not json\n{\"no_event_key\":true}\n";
+  }
+  EXPECT_EQ(run_hpmtop(junk + " --once", "/dev/null"), 1);
+}
+
+TEST(HpmtopFollow, PipeInputRendersAndExitsCleanly) {
+  // Follow mode on a closed pipe: drain, render, exit 0 — the CI smoke
+  // pattern `hpmrun ... | hpmtop -`.
+  const std::string out = temp_path("hpmtop_pipe.txt");
+  const std::string command = std::string("cat \"") + kFixture + "\" | \"" +
+                              HPM_HPMTOP_PATH + "\" - >" + out +
+                              " 2>/dev/null";
+  const int status = std::system(command.c_str());
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  // The final follow frame carries the same rollup as --once.
+  EXPECT_NE(slurp(out).find("batch  refs 570000"), std::string::npos);
+}
+
+}  // namespace

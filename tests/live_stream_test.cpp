@@ -1,0 +1,394 @@
+// Monitor tree reducers/rollup and the hpm.live.v1 streaming contract:
+// deterministic across worker counts, invisible in exported documents.
+#include "harness/live_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/json_export.hpp"
+#include "telemetry/monitor_tree.hpp"
+
+namespace hpm::harness {
+namespace {
+
+using telemetry::MonitorNode;
+using telemetry::MonitorTree;
+using telemetry::Reducer;
+
+// -- Reducer math ------------------------------------------------------------
+
+TEST(MonitorTree, SumReducerSplitsCumulativeIntoWindows) {
+  MonitorTree tree("root", "test");
+  tree.root().metric("refs", Reducer::kSum);
+  tree.root().input("refs", 10.0);
+  tree.sample();
+  EXPECT_DOUBLE_EQ(tree.root().find("refs")->value, 10.0);
+  EXPECT_DOUBLE_EQ(tree.root().find("refs")->window, 10.0);
+  tree.root().input("refs", 25.0);
+  tree.sample();
+  EXPECT_DOUBLE_EQ(tree.root().find("refs")->value, 25.0);  // cumulative
+  EXPECT_DOUBLE_EQ(tree.root().find("refs")->window, 15.0);  // delta
+  EXPECT_EQ(tree.samples(), 2u);
+}
+
+TEST(MonitorTree, DeltaReducerReportsPerWindowChange) {
+  MonitorTree tree("root", "test");
+  tree.root().metric("ints", Reducer::kDelta);
+  tree.root().input("ints", 4.0);
+  tree.sample();
+  tree.root().input("ints", 9.0);
+  tree.sample();
+  EXPECT_DOUBLE_EQ(tree.root().find("ints")->value, 5.0);
+  EXPECT_DOUBLE_EQ(tree.root().find("ints")->window, 5.0);
+}
+
+TEST(MonitorTree, EmaReducerSmoothsWindowDeltas) {
+  MonitorTree tree("root", "test");
+  tree.root().metric("rate", Reducer::kEma, /*alpha=*/0.5);
+  tree.root().input("rate", 10.0);
+  tree.sample();
+  EXPECT_DOUBLE_EQ(tree.root().find("rate")->value, 10.0);  // seeds the EMA
+  tree.root().input("rate", 30.0);  // delta 20
+  tree.sample();
+  EXPECT_DOUBLE_EQ(tree.root().find("rate")->value, 0.5 * 20.0 + 0.5 * 10.0);
+}
+
+TEST(MonitorTree, MaxReducerKeepsRunningMaximum) {
+  MonitorTree tree("root", "test");
+  tree.root().metric("resident", Reducer::kMax);
+  tree.root().input("resident", 5.0);
+  tree.sample();
+  tree.root().input("resident", 3.0);
+  tree.sample();
+  EXPECT_DOUBLE_EQ(tree.root().find("resident")->value, 5.0);
+  EXPECT_DOUBLE_EQ(tree.root().find("resident")->window, 3.0);  // latest
+}
+
+TEST(MonitorTree, RatioDerivesFromSiblingWindowsWithScale) {
+  MonitorTree tree("root", "test");
+  tree.root().metric("misses", Reducer::kSum);
+  tree.root().metric("refs", Reducer::kSum);
+  tree.root().ratio("per_kref", "misses", "refs", /*scale=*/1000.0,
+                    /*alpha=*/1.0);  // alpha 1: no smoothing, exact values
+  tree.root().input("misses", 5.0);
+  tree.root().input("refs", 1000.0);
+  tree.sample();
+  EXPECT_DOUBLE_EQ(tree.root().find("per_kref")->window, 5.0);
+  tree.root().input("misses", 25.0);  // window 20
+  tree.root().input("refs", 2000.0);  // window 1000
+  tree.sample();
+  EXPECT_DOUBLE_EQ(tree.root().find("per_kref")->window, 20.0);
+}
+
+TEST(MonitorTree, RatioWithZeroDenominatorIsZeroNotNan) {
+  MonitorTree tree("root", "test");
+  tree.root().metric("misses", Reducer::kSum);
+  tree.root().metric("refs", Reducer::kSum);
+  tree.root().ratio("miss_rate", "misses", "refs");
+  tree.sample();  // nothing fed: both windows are 0
+  EXPECT_DOUBLE_EQ(tree.root().find("miss_rate")->window, 0.0);
+  EXPECT_DOUBLE_EQ(tree.root().find("miss_rate")->value, 0.0);
+}
+
+TEST(MonitorTree, InputOnUndeclaredMetricThrows) {
+  MonitorTree tree("root", "test");
+  EXPECT_THROW(tree.root().input("nope", 1.0), std::invalid_argument);
+}
+
+// -- Bottom-to-top rollup ----------------------------------------------------
+
+TEST(MonitorTree, RollupSumsChildrenAndAdoptsDeclarations) {
+  MonitorTree tree("batch", "batch");
+  MonitorNode& a = tree.root().child("a", "run");
+  MonitorNode& b = tree.root().child("b", "run");
+  for (MonitorNode* node : {&a, &b}) {
+    node->metric("refs", Reducer::kSum);
+    node->metric("resident", Reducer::kMax);
+  }
+  a.input("refs", 100.0);
+  a.input("resident", 7.0);
+  b.input("refs", 40.0);
+  b.input("resident", 9.0);
+  tree.sample();
+  // The root never declared anything: declarations propagate up, sums roll
+  // up bottom-to-top, kMax takes the max over children.
+  EXPECT_DOUBLE_EQ(tree.root().find("refs")->value, 140.0);
+  EXPECT_DOUBLE_EQ(tree.root().find("resident")->value, 9.0);
+  // Children iterate in insertion order.
+  ASSERT_EQ(tree.root().children().size(), 2u);
+  EXPECT_EQ(tree.root().children()[0]->name(), "a");
+  EXPECT_EQ(tree.root().children()[1]->name(), "b");
+}
+
+TEST(MonitorTree, RollupRecomputesRatiosInsteadOfSummingThem) {
+  MonitorTree tree("batch", "batch");
+  MonitorNode& a = tree.root().child("a", "run");
+  MonitorNode& b = tree.root().child("b", "run");
+  for (MonitorNode* node : {&a, &b}) {
+    node->metric("misses", Reducer::kSum);
+    node->metric("refs", Reducer::kSum);
+    node->ratio("miss_rate", "misses", "refs", 1.0, /*alpha=*/1.0);
+  }
+  a.input("misses", 50.0);
+  a.input("refs", 100.0);  // child rate 0.5
+  b.input("misses", 10.0);
+  b.input("refs", 900.0);  // child rate ~0.011
+  tree.sample();
+  // 60/1000, not 0.5 + 0.011 and not their mean.
+  EXPECT_DOUBLE_EQ(tree.root().find("miss_rate")->window, 0.06);
+  EXPECT_DOUBLE_EQ(tree.root().find("misses")->value, 60.0);
+}
+
+TEST(MonitorTree, OpenMetricsExpositionIsStable) {
+  MonitorTree tree("batch", "batch");
+  MonitorNode& run = tree.root().child("run0", "run");
+  run.metric("refs", Reducer::kSum);
+  run.input("refs", 42.0);
+  tree.sample();
+  std::ostringstream out;
+  telemetry::write_openmetrics(out, tree);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE hpm_monitor gauge"), std::string::npos);
+  EXPECT_NE(
+      text.find("hpm_monitor{node=\"batch\",kind=\"batch\",metric=\"refs\","
+                "reducer=\"sum\"} 42"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("hpm_monitor{node=\"batch/run0\",kind=\"run\",metric=\"refs\","
+                "reducer=\"sum\"} 42"),
+      std::string::npos);
+  // OpenMetrics text expositions end with the EOF marker.
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+// -- hpm.live.v1 streaming ---------------------------------------------------
+
+std::vector<RunSpec> tiny_sweep() {
+  RunConfig sample_cfg;
+  sample_cfg.machine.cache.size_bytes = 128 * 1024;
+  sample_cfg.tool = ToolKind::kSampler;
+  sample_cfg.sampler.period = 1'999;
+
+  RunConfig none_cfg;
+  none_cfg.machine.cache.size_bytes = 128 * 1024;
+
+  return cross_specs({"synthetic"},
+                     {{"none", none_cfg}, {"sample", sample_cfg}},
+                     [](const std::string&) {
+                       workloads::WorkloadOptions options;
+                       options.scale = 0.25;
+                       options.iterations = 4;
+                       return options;
+                     });
+}
+
+struct LiveCapture {
+  std::string jsonl;
+  BatchResult batch;
+};
+
+LiveCapture run_live(unsigned jobs, std::uint64_t every_refs) {
+  const auto specs = tiny_sweep();
+  std::ostringstream out;
+  JsonlSink sink(out);
+  LiveStreamer streamer(
+      {.sink = &sink, .every_refs = every_refs, .include_build_meta = false});
+  BatchRunner::Options options;
+  options.jobs = jobs;
+  options.observer = &streamer;
+  options.live_sink = &sink;
+  options.live_every_refs = every_refs;
+  LiveCapture capture;
+  capture.batch = BatchRunner(options).run(specs);
+  capture.jsonl = out.str();
+  return capture;
+}
+
+std::vector<std::string> live_lines(const std::string& jsonl) {
+  std::vector<std::string> lines;
+  std::istringstream in(jsonl);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"type\":\"hpm.live.v1\"") != std::string::npos) {
+      lines.push_back(line);
+    }
+  }
+  return lines;
+}
+
+TEST(LiveStream, SortedStreamIsIdenticalAcrossWorkerCounts) {
+  const auto specs = tiny_sweep();
+  constexpr std::uint64_t kEvery = 20'000;
+
+  auto capture = [&](unsigned jobs) {
+    std::ostringstream out;
+    JsonlSink sink(out);
+    LiveStreamer streamer(
+        {.sink = &sink, .every_refs = kEvery, .include_build_meta = false});
+    BatchRunner::Options options;
+    options.jobs = jobs;
+    options.observer = &streamer;
+    options.live_sink = &sink;
+    options.live_every_refs = kEvery;
+    const auto batch = BatchRunner(options).run(specs);
+    EXPECT_EQ(batch.metrics.failed, 0u);
+    return live_lines(out.str());
+  };
+
+  auto serial = capture(1);
+  auto parallel = capture(4);
+  ASSERT_FALSE(serial.empty());
+  // Live lines carry no worker identity, so the streams are permutations
+  // of each other: sorted, they must match byte for byte.
+  std::sort(serial.begin(), serial.end());
+  std::sort(parallel.begin(), parallel.end());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(LiveStream, StreamingLeavesExportsByteIdentical) {
+  const auto specs = tiny_sweep();
+
+  BatchRunner::Options silent_options;
+  silent_options.jobs = 2;
+  const auto silent = BatchRunner(silent_options).run(specs);
+
+  std::ostringstream out;
+  JsonlSink sink(out);
+  LiveStreamer streamer({.sink = &sink, .every_refs = 20'000});
+  BatchRunner::Options live_options;
+  live_options.jobs = 2;
+  live_options.observer = &streamer;
+  live_options.live_sink = &sink;
+  live_options.live_every_refs = 20'000;
+  const auto live = BatchRunner(live_options).run(specs);
+
+  JsonExportOptions no_timing;
+  no_timing.include_timing = false;
+  EXPECT_EQ(to_json(silent, no_timing), to_json(live, no_timing));
+  EXPECT_FALSE(live_lines(out.str()).empty());
+}
+
+TEST(LiveStream, StreamStartCarriesVersionedMeta) {
+  const auto lines = live_lines(run_live(1, 50'000).jsonl);
+  ASSERT_FALSE(lines.empty());
+  const auto start = JsonValue::parse(lines.front());
+  EXPECT_EQ(start.at("type").str(), "hpm.live.v1");
+  EXPECT_EQ(start.at("event").str(), "stream_start");
+  EXPECT_EQ(start.at("every_refs").uint(), 50'000u);
+  const auto& schemas = start.at("meta").at("schemas");
+  EXPECT_EQ(schemas.at("hpm.live").uint(), 1u);
+  EXPECT_EQ(schemas.at("hpm.batch").uint(), 3u);
+  // include_build_meta=false keeps the volatile build block out.
+  EXPECT_EQ(start.at("meta").find("build"), nullptr);
+}
+
+TEST(LiveStream, WindowsAreMonotoneAndTotalsMatchTheBatch) {
+  const auto capture = run_live(1, 20'000);
+  ASSERT_EQ(capture.batch.metrics.failed, 0u);
+
+  std::map<std::size_t, std::uint64_t> last_seq;
+  std::map<std::size_t, double> last_refs;
+  std::map<std::size_t, const JsonValue*> totals;
+  std::vector<JsonValue> events;
+  for (const auto& line : live_lines(capture.jsonl)) {
+    events.push_back(JsonValue::parse(line));
+  }
+  bool saw_rollup = false;
+  for (const auto& event : events) {
+    const std::string kind = event.at("event").str();
+    if (kind == "window") {
+      const auto index = static_cast<std::size_t>(event.at("index").uint());
+      EXPECT_EQ(event.at("seq").uint(), last_seq[index] + 1);
+      last_seq[index] = event.at("seq").uint();
+      EXPECT_GT(event.at("refs").number(), last_refs[index]);
+      last_refs[index] = event.at("refs").number();
+      const auto& window = event.at("window");
+      EXPECT_GE(window.at("miss_rate").number(), 0.0);
+      EXPECT_LE(window.at("miss_rate").number(), 1.0);
+    } else if (kind == "run_total") {
+      const auto index = static_cast<std::size_t>(event.at("index").uint());
+      totals[index] = &event;
+    } else if (kind == "batch_rollup") {
+      saw_rollup = true;
+      // The rollup sums every run's cumulative counters.
+      double expected_refs = 0.0;
+      for (const auto& item : capture.batch.items) {
+        expected_refs += static_cast<double>(item.result.stats.app_refs);
+      }
+      EXPECT_DOUBLE_EQ(event.at("refs").number(), expected_refs);
+      EXPECT_EQ(event.at("runs").uint(), capture.batch.items.size());
+    }
+  }
+  EXPECT_TRUE(saw_rollup);
+  ASSERT_EQ(totals.size(), capture.batch.items.size());
+  for (std::size_t i = 0; i < capture.batch.items.size(); ++i) {
+    const auto& stats = capture.batch.items[i].result.stats;
+    const JsonValue& total = *totals.at(i);
+    EXPECT_EQ(total.at("refs").uint(), stats.app_refs);
+    EXPECT_EQ(total.at("interrupts").uint(), stats.interrupts);
+    EXPECT_GE(total.at("windows").uint(), 1u);
+  }
+}
+
+TEST(LiveStream, BatchTreeRollsUpEveryRunForOpenMetrics) {
+  const auto specs = tiny_sweep();
+  std::ostringstream out;
+  JsonlSink sink(out);
+  LiveStreamer streamer({.sink = &sink, .every_refs = 50'000});
+  BatchRunner::Options options;
+  options.observer = &streamer;
+  options.live_sink = &sink;
+  options.live_every_refs = 50'000;
+  const auto batch = BatchRunner(options).run(specs);
+  ASSERT_EQ(batch.metrics.failed, 0u);
+
+  double expected_refs = 0.0;
+  for (const auto& item : batch.items) {
+    expected_refs += static_cast<double>(item.result.stats.app_refs);
+  }
+  const auto& root = streamer.batch_tree().root();
+  ASSERT_NE(root.find("refs"), nullptr);
+  EXPECT_DOUBLE_EQ(root.find("refs")->value, expected_refs);
+  EXPECT_EQ(root.children().size(), batch.items.size());
+
+  std::ostringstream exposition;
+  telemetry::write_openmetrics(exposition, streamer.batch_tree());
+  EXPECT_NE(exposition.str().find("metric=\"miss_rate\""), std::string::npos);
+}
+
+TEST(ObserverList, ForwardsToEveryObserverInOrder) {
+  struct Recorder final : BatchObserver {
+    std::vector<std::string>* events;
+    std::string tag;
+    void on_batch_start(std::size_t, std::size_t, unsigned) override {
+      events->push_back(tag + ":batch_start");
+    }
+    void on_batch_finish(const BatchMetrics&) override {
+      events->push_back(tag + ":batch_finish");
+    }
+  };
+  std::vector<std::string> events;
+  Recorder first;
+  first.events = &events;
+  first.tag = "a";
+  Recorder second;
+  second.events = &events;
+  second.tag = "b";
+  ObserverList list;
+  list.add(&first);
+  list.add(nullptr);  // ignored
+  list.add(&second);
+  list.on_batch_start(1, 0, 1);
+  list.on_batch_finish({});
+  EXPECT_EQ(events, (std::vector<std::string>{
+                        "a:batch_start", "b:batch_start",
+                        "a:batch_finish", "b:batch_finish"}));
+}
+
+}  // namespace
+}  // namespace hpm::harness

@@ -153,6 +153,63 @@ TEST(ProgressReporter, EtaIsEmaTimesRemainingOverWorkers) {
   EXPECT_DOUBLE_EQ(reporter.eta_seconds(), 0.0);  // nothing remaining
 }
 
+namespace {
+/// Last status line the reporter rendered (text after the final '\r').
+std::string last_status_line(const std::ostringstream& out) {
+  const std::string text = out.str();
+  const auto pos = text.rfind('\r');
+  return pos == std::string::npos ? text : text.substr(pos + 1);
+}
+}  // namespace
+
+// Rendered-line pins for the ETA display fixes: minutes used to be
+// *rounded* independently of the seconds remainder, so 100s rendered as
+// "2m40s" and 3599.7s as "60m60s".
+TEST(ProgressReporter, EtaRendersMinutesBySplittingNotRounding) {
+  std::ostringstream out;
+  ProgressReporter reporter({.line_out = &out, .ema_alpha = 0.3});
+  reporter.on_batch_start(2, 0, 1);
+  BatchItem item;
+  item.ok = true;
+  item.wall_seconds = 100.0;  // eta = 100 * 1 remaining / 1 worker
+  reporter.on_run_finish(1, 2, 0, item, 1);
+  EXPECT_NE(last_status_line(out).find("eta 1m40s"), std::string::npos)
+      << last_status_line(out);
+}
+
+TEST(ProgressReporter, EtaSecondsRemainderNeverRendersSixty) {
+  std::ostringstream out;
+  ProgressReporter reporter({.line_out = &out, .ema_alpha = 0.3});
+  reporter.on_batch_start(2, 0, 1);
+  BatchItem item;
+  item.ok = true;
+  item.wall_seconds = 3599.7;  // rounds to 3600s: exactly 60 minutes
+  reporter.on_run_finish(1, 2, 0, item, 1);
+  EXPECT_NE(last_status_line(out).find("eta 60m00s"), std::string::npos)
+      << last_status_line(out);
+}
+
+TEST(ProgressReporter, ZeroItemBatchRendersCleanly) {
+  std::ostringstream out;
+  ProgressReporter reporter({.line_out = &out});
+  reporter.on_batch_start(0, 0, 1);
+  // No percent (division by zero) and no "eta 0.0s" noise.
+  EXPECT_EQ(last_status_line(out), "[0/0]");
+}
+
+TEST(ProgressReporter, SingleItemBatchShowsNoEtaBeforeTheFirstFinish) {
+  std::ostringstream out;
+  ProgressReporter reporter({.line_out = &out});
+  reporter.on_batch_start(1, 0, 1);
+  EXPECT_EQ(last_status_line(out), "[0/1] 0%");
+  BatchItem item;
+  item.ok = true;
+  item.wall_seconds = 5.0;
+  reporter.on_run_finish(1, 1, 0, item, 1);
+  // The run was the whole batch: done == total, so still no ETA.
+  EXPECT_EQ(last_status_line(out).find("eta"), std::string::npos);
+}
+
 // The acceptance gate for the whole progress feature: enabling every
 // observer output leaves the exported document byte-identical to a silent
 // serial run (modulo the jobs field).

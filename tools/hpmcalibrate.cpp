@@ -185,6 +185,7 @@ int main(int argc, char** argv) {
 
   calibrate::ReportOptions report_options;
   report_options.title = cli.get("title", "hpmcalibrate");
+  report_options.include_build = true;  // CLI documents carry provenance
 
   const std::string html_path = cli.get("html", "");
   if (!html_path.empty()) {

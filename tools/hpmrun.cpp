@@ -30,7 +30,9 @@
 #include "core/report.hpp"
 #include "harness/batch.hpp"
 #include "harness/json_export.hpp"
+#include "harness/live_stream.hpp"
 #include "harness/progress.hpp"
+#include "telemetry/monitor_tree.hpp"
 #include "telemetry/trace_sink.hpp"
 #include "trace/trace.hpp"
 #include "util/cli.hpp"
@@ -84,6 +86,14 @@ int usage(const char* error) {
       "                    current run, retries, EMA-based ETA\n"
       "  --progress-jsonl FILE  machine-readable event stream, one JSON\n"
       "                    object per line (batch/run start/retry/finish)\n"
+      "  --live            interleave hpm.live.v1 monitor-tree snapshots\n"
+      "                    (per-run window rates, per-level miss rates,\n"
+      "                    batch rollup) into the --progress-jsonl stream;\n"
+      "                    tail it with hpmtop (docs/live_monitoring.md)\n"
+      "  --live-every N    live sampling period in app references\n"
+      "                    (default 250000; implies --live)\n"
+      "  --live-metrics FILE  write the end-of-run monitor-tree rollup as\n"
+      "                    an OpenMetrics text exposition\n"
       "\ntelemetry (docs/telemetry.md):\n"
       "  --trace-out FILE  write a Chrome trace_event JSON of telemetry\n"
       "                    events (open in chrome://tracing or Perfetto)\n"
@@ -278,7 +288,8 @@ int main(int argc, char** argv) {
                  "drop-rate", "jitter-rate", "jitter-magnitude", "saturate",
                  "reprogram-delay", "fault-seed", "watchdog", "max-cycles",
                  "wall-budget", "retries", "checkpoint", "checkpoint-every",
-                 "resume", "no-timing", "progress", "progress-jsonl"});
+                 "resume", "no-timing", "progress", "progress-jsonl", "live",
+                 "live-every", "live-metrics"});
   if (!cli.ok()) return usage(cli.error().c_str());
   if (cli.has("help")) return usage(nullptr);
 
@@ -462,11 +473,23 @@ int main(int argc, char** argv) {
   const std::string record_trace = cli.get("record-trace", "");
   const auto top_k = static_cast<std::size_t>(cli.get_uint("top", 10));
   const std::string progress_jsonl = cli.get("progress-jsonl", "");
+  const bool live_enabled =
+      cli.get_bool("live", false) || cli.has("live-every");
+  const std::uint64_t live_every = cli.get_uint("live-every", 250'000);
+  const std::string live_metrics = cli.get("live-metrics", "");
+  if (live_enabled && progress_jsonl.empty()) {
+    return usage("--live requires --progress-jsonl FILE (the live stream "
+                 "rides on the progress channel)");
+  }
+  if (live_enabled && live_every == 0) {
+    return usage("--live-every must be a positive reference count");
+  }
 
   // Every output path is probed before the first run starts; a bad path is
   // a usage error (exit 2), not a failure after hours of simulation.
   if (!probe_writable(out_path) || !probe_writable(metrics_out) ||
-      !probe_writable(trace_out) || !probe_writable(progress_jsonl)) {
+      !probe_writable(trace_out) || !probe_writable(progress_jsonl) ||
+      !probe_writable(live_metrics)) {
     return 2;
   }
 
@@ -566,11 +589,34 @@ int main(int argc, char** argv) {
     }
     progress_options.jsonl_out = &progress_stream;
   }
+  // Live streaming shares the progress channel through one line-atomic
+  // sink, so progress and hpm.live.v1 events never tear mid-line.
+  std::unique_ptr<harness::JsonlSink> jsonl_sink;
+  if (progress_stream.is_open()) {
+    jsonl_sink = std::make_unique<harness::JsonlSink>(progress_stream);
+    progress_options.jsonl_sink = jsonl_sink.get();
+  }
+  std::unique_ptr<harness::LiveStreamer> live_streamer;
+  if (live_enabled || !live_metrics.empty()) {
+    harness::LiveStreamOptions live_options;
+    live_options.sink = live_enabled ? jsonl_sink.get() : nullptr;
+    live_options.every_refs = live_every;
+    live_streamer = std::make_unique<harness::LiveStreamer>(live_options);
+    if (live_enabled) {
+      batch_options.live_sink = jsonl_sink.get();
+      batch_options.live_every_refs = live_every;
+    }
+  }
   std::unique_ptr<harness::ProgressReporter> reporter;
   if (progress_options.line_out != nullptr ||
       progress_options.jsonl_out != nullptr) {
     reporter = std::make_unique<harness::ProgressReporter>(progress_options);
-    batch_options.observer = reporter.get();
+  }
+  harness::ObserverList observers;
+  observers.add(reporter.get());
+  observers.add(live_streamer.get());
+  if (reporter != nullptr || live_streamer != nullptr) {
+    batch_options.observer = &observers;
   }
   if (specs.size() > 1 && !progress_line) {
     // Classic one-line-per-run log; suppressed under --progress, which
@@ -589,12 +635,6 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "hpmrun: %s\n", e.what());
     return 1;
-  }
-
-  if (trace_sink) {
-    trace_sink->close();
-    std::fprintf(stderr, "wrote %s (Chrome trace; open in chrome://tracing)\n",
-                 trace_out.c_str());
   }
 
   if (specs.size() == 1) {
@@ -623,13 +663,38 @@ int main(int argc, char** argv) {
                    metrics_out.c_str());
       return 1;
     }
+    telemetry::WallSpan span(trace_sink.get(), "export.metrics");
     harness::export_metrics_json(metrics_stream, batch, export_options);
     std::fprintf(stderr, "wrote %s (%zu runs)\n", metrics_out.c_str(),
                  batch.items.size());
   }
 
-  if (!out_path.empty() && !write_json_file(out_path, batch, export_options)) {
-    return 1;
+  {
+    telemetry::WallSpan span(trace_sink.get(), "export.batch");
+    if (!out_path.empty() &&
+        !write_json_file(out_path, batch, export_options)) {
+      return 1;
+    }
+  }
+
+  if (live_streamer != nullptr && !live_metrics.empty()) {
+    std::ofstream exposition(live_metrics);
+    if (!exposition) {
+      std::fprintf(stderr, "hpmrun: cannot open %s for writing\n",
+                   live_metrics.c_str());
+      return 1;
+    }
+    telemetry::write_openmetrics(exposition, live_streamer->batch_tree());
+    std::fprintf(stderr, "wrote %s (OpenMetrics exposition)\n",
+                 live_metrics.c_str());
+  }
+
+  // Closed after the exports so their self-profiling spans land in the
+  // trace alongside the per-run simulate/collect spans.
+  if (trace_sink) {
+    trace_sink->close();
+    std::fprintf(stderr, "wrote %s (Chrome trace; open in chrome://tracing)\n",
+                 trace_out.c_str());
   }
   return batch.metrics.failed == 0 ? 0 : 1;
 }

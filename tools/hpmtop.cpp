@@ -1,0 +1,415 @@
+// hpmtop: terminal dashboard for hpmrun live streams.
+//
+// Tails a --progress-jsonl stream (file, or "-" for a pipe) carrying the
+// interleaved progress + hpm.live.v1 events and renders per-worker run
+// status, per-level miss-rate sparklines, the rolled-up batch totals and
+// the EMA-based ETA.  Two modes:
+//   * follow (default): re-render in place as events arrive, exit when the
+//     stream's batch_finish event lands;
+//   * --once: read the whole recorded stream, render the final frame to
+//     stdout and exit — deterministic, so a fixture test pins the frame
+//     byte for byte and CI can smoke the full hpmrun | hpmtop pipeline.
+//
+// Exit codes: 0 = rendered; 1 = stream held no recognizable events;
+// 2 = usage error.  Unknown event types and malformed lines are skipped
+// (counted), so newer producers never break an older hpmtop.
+//
+//   hpmrun --workload tomcatv,swim --tool sample --jobs 4 ...
+//     ... --progress-jsonl /dev/stderr --live 2>&1 >/dev/null | hpmtop -
+//   hpmtop recorded-stream.jsonl --once
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/json_export.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using hpm::harness::JsonValue;
+
+constexpr const char* kUsage =
+    "usage: hpmtop STREAM [--once] [--interval-ms N] [--width N]\n"
+    "\n"
+    "  STREAM            JSONL file from hpmrun --progress-jsonl --live,\n"
+    "                    or '-' to read a pipe on stdin\n"
+    "  --once            read to EOF, print the final frame, exit\n"
+    "                    (deterministic; for CI and recorded streams)\n"
+    "  --interval-ms N   follow-mode refresh interval (default 500)\n"
+    "  --width N         sparkline width in samples (default 32)\n";
+
+/// Per-level live state within one run.
+struct LevelState {
+  std::string name;
+  std::vector<double> miss_rates;  ///< one EMA-smoothed rate per window
+  double last_miss_rate = 0.0;
+  double resident = 0.0;
+  double resident_peak = 0.0;
+};
+
+struct RunState {
+  std::string name;
+  std::string status = "running";  ///< running | ok | retried | failed | ...
+  unsigned worker = 0;             ///< last worker seen executing this run
+  std::uint64_t windows = 0;
+  std::vector<double> miss_rates;  ///< machine-tier rate per window
+  double last_miss_rate = 0.0;
+  double tool_share = 0.0;
+  std::vector<LevelState> levels;
+  bool finished = false;
+  double total_miss_rate = 0.0;  ///< from run_total
+};
+
+struct Dashboard {
+  // Stream-wide.
+  std::uint64_t events = 0;       ///< recognized events
+  std::uint64_t malformed = 0;    ///< skipped lines
+  std::uint64_t every_refs = 0;   ///< live sampling period (stream_start)
+  // Batch progress.
+  std::size_t total = 0;
+  std::size_t done = 0;
+  unsigned jobs = 0;
+  std::uint64_t retries = 0;
+  double eta_seconds = 0.0;
+  bool finished = false;
+  std::size_t failed = 0;
+  double wall_seconds = 0.0;
+  // Per-run and rollup.
+  std::map<std::size_t, RunState> runs;            ///< keyed by index
+  std::map<unsigned, std::string> worker_current;  ///< worker -> run name
+  bool have_rollup = false;
+  double rollup_refs = 0.0;
+  double rollup_misses = 0.0;
+  double rollup_miss_rate = 0.0;
+  double rollup_interrupts = 0.0;
+  double rollup_tool_share = 0.0;
+};
+
+double num_or(const JsonValue& obj, std::string_view key, double fallback) {
+  const JsonValue* value = obj.find(key);
+  return value != nullptr && value->kind() == JsonValue::Kind::kNumber
+             ? value->number()
+             : fallback;
+}
+
+std::string str_or(const JsonValue& obj, std::string_view key,
+                   const std::string& fallback) {
+  const JsonValue* value = obj.find(key);
+  return value != nullptr && value->kind() == JsonValue::Kind::kString
+             ? value->str()
+             : fallback;
+}
+
+void apply_progress_event(Dashboard& dash, const JsonValue& obj,
+                          const std::string& event) {
+  if (event == "batch_start") {
+    dash.total = static_cast<std::size_t>(num_or(obj, "total", 0));
+    dash.done = static_cast<std::size_t>(num_or(obj, "resumed", 0));
+    dash.jobs = static_cast<unsigned>(num_or(obj, "jobs", 0));
+  } else if (event == "run_start") {
+    const auto index = static_cast<std::size_t>(num_or(obj, "index", 0));
+    RunState& run = dash.runs[index];
+    run.name = str_or(obj, "name", run.name);
+    run.worker = static_cast<unsigned>(num_or(obj, "worker", 0));
+    dash.worker_current[run.worker] = run.name;
+  } else if (event == "run_retry") {
+    ++dash.retries;
+  } else if (event == "run_finish") {
+    const auto index = static_cast<std::size_t>(num_or(obj, "index", 0));
+    RunState& run = dash.runs[index];
+    run.name = str_or(obj, "name", run.name);
+    run.finished = true;
+    run.status = str_or(obj, "outcome", "ok");
+    const auto worker = static_cast<unsigned>(num_or(obj, "worker", 0));
+    auto current = dash.worker_current.find(worker);
+    if (current != dash.worker_current.end() && current->second == run.name) {
+      current->second.clear();
+    }
+    dash.done = static_cast<std::size_t>(num_or(obj, "done", dash.done));
+    dash.total = static_cast<std::size_t>(num_or(obj, "total", dash.total));
+    dash.eta_seconds = num_or(obj, "eta_seconds", 0.0);
+  } else if (event == "batch_finish") {
+    dash.finished = true;
+    dash.failed = static_cast<std::size_t>(num_or(obj, "failed", 0));
+    dash.retries = static_cast<std::uint64_t>(
+        num_or(obj, "retries", static_cast<double>(dash.retries)));
+    dash.wall_seconds = num_or(obj, "wall_seconds", 0.0);
+    dash.eta_seconds = 0.0;
+    for (auto& [worker, current] : dash.worker_current) current.clear();
+  }
+}
+
+void apply_live_event(Dashboard& dash, const JsonValue& obj,
+                      const std::string& event) {
+  if (event == "stream_start") {
+    dash.every_refs = static_cast<std::uint64_t>(num_or(obj, "every_refs", 0));
+    return;
+  }
+  if (event == "batch_rollup") {
+    dash.have_rollup = true;
+    dash.rollup_refs = num_or(obj, "refs", 0.0);
+    dash.rollup_misses = num_or(obj, "misses", 0.0);
+    dash.rollup_miss_rate = num_or(obj, "miss_rate", 0.0);
+    dash.rollup_interrupts = num_or(obj, "interrupts", 0.0);
+    dash.rollup_tool_share = num_or(obj, "tool_share", 0.0);
+    return;
+  }
+  const auto index = static_cast<std::size_t>(num_or(obj, "index", 0));
+  RunState& run = dash.runs[index];
+  run.name = str_or(obj, "name", run.name);
+  if (event == "window") {
+    const JsonValue* window = obj.find("window");
+    run.windows = static_cast<std::uint64_t>(
+        num_or(obj, "seq", static_cast<double>(run.windows + 1)));
+    if (window != nullptr) {
+      run.last_miss_rate = num_or(*window, "miss_rate", 0.0);
+      run.tool_share = num_or(*window, "tool_share", 0.0);
+      run.miss_rates.push_back(run.last_miss_rate);
+    }
+  } else if (event == "run_total") {
+    run.windows = static_cast<std::uint64_t>(
+        num_or(obj, "windows", static_cast<double>(run.windows)));
+    run.total_miss_rate = num_or(obj, "miss_rate", 0.0);
+    run.tool_share = num_or(obj, "tool_share", 0.0);
+  } else {
+    return;  // unknown hpm.live.v1 event: forward-compatible skip
+  }
+  const JsonValue* levels = obj.find("levels");
+  if (levels == nullptr || levels->kind() != JsonValue::Kind::kArray) return;
+  for (const JsonValue& level : levels->array()) {
+    const std::string name = str_or(level, "name", "?");
+    LevelState* state = nullptr;
+    for (LevelState& existing : run.levels) {
+      if (existing.name == name) {
+        state = &existing;
+        break;
+      }
+    }
+    if (state == nullptr) {
+      run.levels.push_back(LevelState{name, {}, 0.0, 0.0, 0.0});
+      state = &run.levels.back();
+    }
+    state->last_miss_rate = num_or(level, "miss_rate", state->last_miss_rate);
+    if (event == "window") state->miss_rates.push_back(state->last_miss_rate);
+    state->resident = num_or(level, "resident", state->resident);
+    state->resident_peak =
+        num_or(level, "resident_peak", state->resident_peak);
+  }
+}
+
+/// Feed one JSONL line into the dashboard; returns false when the line was
+/// not a recognizable event.
+bool apply_line(Dashboard& dash, const std::string& line) {
+  if (line.empty()) return false;
+  JsonValue obj;
+  try {
+    obj = JsonValue::parse(line);
+  } catch (const std::exception&) {
+    ++dash.malformed;
+    return false;
+  }
+  if (obj.kind() != JsonValue::Kind::kObject) {
+    ++dash.malformed;
+    return false;
+  }
+  const JsonValue* type = obj.find("type");
+  const std::string event = str_or(obj, "event", "");
+  if (event.empty()) return false;
+  ++dash.events;
+  if (type != nullptr && type->kind() == JsonValue::Kind::kString &&
+      type->str() == "hpm.live.v1") {
+    apply_live_event(dash, obj, event);
+  } else if (type == nullptr) {
+    apply_progress_event(dash, obj, event);
+  }
+  return true;
+}
+
+/// ASCII sparkline over the last `width` samples, darkest glyph = the
+/// series maximum (all-blank when the series is flat zero).
+std::string sparkline(const std::vector<double>& series, std::size_t width) {
+  static constexpr std::string_view kRamp = " .:-=+*#";
+  const std::size_t n = std::min(series.size(), width);
+  std::string out;
+  out.reserve(n);
+  const auto begin = series.end() - static_cast<std::ptrdiff_t>(n);
+  double max_value = 0.0;
+  for (auto it = begin; it != series.end(); ++it) {
+    max_value = std::max(max_value, *it);
+  }
+  for (auto it = begin; it != series.end(); ++it) {
+    if (max_value <= 0.0) {
+      out += ' ';
+      continue;
+    }
+    const auto bucket = static_cast<std::size_t>(
+        *it / max_value * static_cast<double>(kRamp.size() - 1) + 0.5);
+    out += kRamp[std::min(bucket, kRamp.size() - 1)];
+  }
+  return out;
+}
+
+std::string fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+/// Render the dashboard as plain text.  Deterministic for a fully recorded
+/// stream: iteration orders are index/name-sorted and every number comes
+/// from the stream, never from the clock.
+std::string render(const Dashboard& dash, std::size_t width) {
+  std::ostringstream out;
+  out << "hpmtop — hpm.live.v1 stream\n";
+  out << "runs " << dash.done << "/" << dash.total;
+  out << "  failed " << dash.failed;
+  out << "  retries " << dash.retries;
+  if (dash.jobs > 0) out << "  jobs " << dash.jobs;
+  if (dash.every_refs > 0) {
+    out << "  window " << dash.every_refs << " refs";
+  }
+  if (dash.finished) {
+    out << "  done";
+    if (dash.wall_seconds > 0.0) {
+      out << " in " << fmt("%.1fs", dash.wall_seconds);
+    }
+  } else if (dash.eta_seconds > 0.0) {
+    out << "  eta " << fmt("%.1fs", dash.eta_seconds);
+  }
+  out << "\n";
+
+  for (const auto& [index, run] : dash.runs) {
+    out << "\n" << run.name << " [" << run.status << "]";
+    if (run.windows > 0) {
+      out << " " << run.windows
+          << (run.windows == 1 ? " window" : " windows");
+    }
+    out << "\n";
+    if (!run.miss_rates.empty()) {
+      out << "  miss%  |" << sparkline(run.miss_rates, width) << "| last "
+          << fmt("%.2f%%", run.last_miss_rate * 100.0);
+      if (run.finished) {
+        out << "  total " << fmt("%.2f%%", run.total_miss_rate * 100.0);
+      }
+      out << "  tool " << fmt("%.2f%%", run.tool_share * 100.0) << "\n";
+    }
+    for (const LevelState& level : run.levels) {
+      out << "  " << level.name;
+      for (std::size_t pad = level.name.size(); pad < 5; ++pad) out << ' ';
+      out << "  |" << sparkline(level.miss_rates, width) << "| miss "
+          << fmt("%.2f%%", level.last_miss_rate * 100.0) << "  resident "
+          << fmt("%.0f", std::max(level.resident, level.resident_peak))
+          << "\n";
+    }
+  }
+
+  bool any_busy = false;
+  for (const auto& [worker, current] : dash.worker_current) {
+    if (!current.empty()) any_busy = true;
+  }
+  if (any_busy) {
+    out << "\nworkers\n";
+    for (const auto& [worker, current] : dash.worker_current) {
+      out << "  w" << worker << "  "
+          << (current.empty() ? "idle" : current.c_str()) << "\n";
+    }
+  }
+
+  if (dash.have_rollup) {
+    out << "\nbatch  refs " << fmt("%.0f", dash.rollup_refs) << "  misses "
+        << fmt("%.0f", dash.rollup_misses) << "  miss "
+        << fmt("%.2f%%", dash.rollup_miss_rate * 100.0) << "  interrupts "
+        << fmt("%.0f", dash.rollup_interrupts) << "  tool "
+        << fmt("%.2f%%", dash.rollup_tool_share * 100.0) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hpm::util::Cli cli(argc, argv,
+                     {"once", "interval-ms", "width", "help"});
+  if (!cli.ok()) {
+    std::fprintf(stderr, "hpmtop: %s\n%s", cli.error().c_str(), kUsage);
+    return 2;
+  }
+  if (cli.has("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  if (cli.positional().size() != 1) {
+    std::fprintf(stderr, "hpmtop: expected exactly one STREAM argument\n%s",
+                 kUsage);
+    return 2;
+  }
+  const std::string path = cli.positional().front();
+  const bool once = cli.get_bool("once", false);
+  const auto interval_ms = cli.get_uint("interval-ms", 500);
+  const auto width =
+      static_cast<std::size_t>(std::max<std::uint64_t>(
+          8, cli.get_uint("width", 32)));
+
+  const bool from_stdin = path == "-";
+  std::ifstream file;
+  if (!from_stdin) {
+    file.open(path);
+    if (!file) {
+      std::fprintf(stderr, "hpmtop: cannot open %s\n", path.c_str());
+      return 2;
+    }
+  }
+  std::istream& in = from_stdin ? std::cin : file;
+
+  Dashboard dash;
+  std::string line;
+
+  if (once) {
+    while (std::getline(in, line)) apply_line(dash, line);
+    if (dash.events == 0) {
+      std::fprintf(stderr, "hpmtop: no progress or hpm.live.v1 events in %s\n",
+                   path.c_str());
+      return 1;
+    }
+    std::fputs(render(dash, width).c_str(), stdout);
+    return 0;
+  }
+
+  // Follow mode: drain available lines, render, repeat until the stream's
+  // batch_finish arrives (or a pipe closes).  Frames repaint in place with
+  // an ANSI home+clear; the final frame is left on screen.
+  const char* kClear = "\x1b[H\x1b[2J";
+  bool stream_open = true;
+  while (true) {
+    bool advanced = false;
+    while (std::getline(in, line)) {
+      apply_line(dash, line);
+      advanced = true;
+    }
+    if (in.eof() && !from_stdin) {
+      in.clear();  // a live file may still be growing
+    } else if (in.eof()) {
+      stream_open = false;  // pipe closed: producer is gone
+    }
+    if (advanced || !stream_open) {
+      std::fputs(kClear, stdout);
+      std::fputs(render(dash, width).c_str(), stdout);
+      std::fflush(stdout);
+    }
+    if (dash.finished || !stream_open) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  if (dash.events == 0) {
+    std::fprintf(stderr, "hpmtop: no progress or hpm.live.v1 events in %s\n",
+                 path.c_str());
+    return 1;
+  }
+  return 0;
+}
