@@ -120,6 +120,7 @@ int main(int argc, char** argv) {
         // Worst outcome wins the cell label: failed > timed_out > retried.
         const auto rank = [](harness::RunOutcome o) {
           switch (o) {
+            case harness::RunOutcome::kCancelled: return 4;
             case harness::RunOutcome::kFailed: return 3;
             case harness::RunOutcome::kTimedOut: return 2;
             case harness::RunOutcome::kRetried: return 1;

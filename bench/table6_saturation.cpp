@@ -1,0 +1,330 @@
+// Table 6 (repro extension): hpmserve saturation and recovery.
+//
+// Not a paper table — the paper's experiments were hand-driven; this
+// bench characterizes the experiment *service* the repro adds on top:
+//
+//  1. Measure single-stream capacity (sequential distinct requests).
+//  2. Offer load at 0.5x / 1.0x / 2.0x capacity (open loop, distinct
+//     sweeps so neither the cache nor coalescing flatters the numbers)
+//     and report achieved req/s plus p50/p95/p99 latency per class.
+//     Acceptance gate: at 2x capacity the daemon SHEDS with explicit
+//     RETRY_AFTER rejections and loses nothing silently — every request
+//     terminates in accepted->result or rejected.
+//  3. Kill the server mid-sweep (hard stop, the moral kill -9), restart
+//     on the same state dir, and verify the recovered result is
+//     byte-identical to an uninterrupted `hpmrun --jobs 1` run.
+//
+// Flags: --requests N (per load point), --scale S (request sweep size),
+// --queue D (admission depth), --seed, --csv, --out FILE (JSON summary).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace hpm;
+using Clock = std::chrono::steady_clock;
+
+serve::SweepSpec request_sweep(double scale, std::uint64_t seed) {
+  serve::SweepSpec sweep;
+  sweep.workloads = {"synthetic"};
+  sweep.tools = {"search"};
+  sweep.scale = scale;
+  sweep.seed = seed;
+  return sweep;
+}
+
+/// Submit one sweep on a fresh connection and wait for its terminal event.
+struct Outcome {
+  enum class Kind { kOk, kRejected, kError, kLost } kind = Kind::kLost;
+  double latency_ms = 0.0;
+  std::string result_json;  ///< filled for kOk
+};
+
+Outcome run_one(std::uint16_t port, const serve::SweepSpec& sweep) {
+  Outcome outcome;
+  const auto start = Clock::now();
+  serve::Socket socket = serve::connect_to("127.0.0.1", port);
+  if (!socket.valid()) return outcome;
+  serve::LineReader reader(socket);
+  const std::string op = "{\"op\":\"submit\",\"id\":\"bench\",\"sweep\":" +
+                         serve::canonical_sweep_json(sweep) + "}";
+  if (!socket.send_line(op)) return outcome;
+  std::string line;
+  while (reader.read_line(line)) {
+    harness::JsonValue event;
+    try {
+      event = harness::JsonValue::parse(line);
+    } catch (const std::exception&) {
+      continue;
+    }
+    const harness::JsonValue* kind = event.find("event");
+    if (kind == nullptr) continue;
+    if (kind->str() == "result") {
+      outcome.kind = Outcome::Kind::kOk;
+      const auto pos = line.find("\"result\":");
+      outcome.result_json = line.substr(pos + 9, line.size() - pos - 10);
+      break;
+    }
+    if (kind->str() == "rejected") {
+      outcome.kind = Outcome::Kind::kRejected;
+      break;
+    }
+    if (kind->str() == "error") {
+      outcome.kind = Outcome::Kind::kError;
+      break;
+    }
+  }
+  outcome.latency_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  return outcome;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+struct LoadPoint {
+  double factor = 1.0;
+  double offered_rps = 0.0;
+  double achieved_rps = 0.0;
+  std::size_t ok = 0, rejected = 0, errors = 0, lost = 0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;  ///< ms, ok requests only
+};
+
+/// Open-loop load: fire `requests` submissions at fixed intervals, each on
+/// its own thread/connection, and collect terminal outcomes.
+LoadPoint offer_load(std::uint16_t port, double factor, double capacity_rps,
+                     std::size_t requests, double scale, std::uint64_t seed) {
+  LoadPoint point;
+  point.factor = factor;
+  point.offered_rps = capacity_rps * factor;
+  const auto interval = std::chrono::duration<double>(1.0 / point.offered_rps);
+
+  std::mutex mutex;
+  std::vector<Outcome> outcomes;
+  std::vector<std::thread> threads;
+  threads.reserve(requests);
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < requests; ++i) {
+    const auto slot = start + std::chrono::duration_cast<Clock::duration>(
+                                  interval * static_cast<double>(i));
+    std::this_thread::sleep_until(slot);
+    threads.emplace_back([&, i] {
+      Outcome outcome = run_one(port, request_sweep(scale, seed + i));
+      std::lock_guard lock(mutex);
+      outcomes.push_back(std::move(outcome));
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> ok_latencies;
+  for (const Outcome& outcome : outcomes) {
+    switch (outcome.kind) {
+      case Outcome::Kind::kOk:
+        ++point.ok;
+        ok_latencies.push_back(outcome.latency_ms);
+        break;
+      case Outcome::Kind::kRejected: ++point.rejected; break;
+      case Outcome::Kind::kError: ++point.errors; break;
+      case Outcome::Kind::kLost: ++point.lost; break;
+    }
+  }
+  point.achieved_rps =
+      wall > 0.0 ? static_cast<double>(point.ok) / wall : 0.0;
+  std::sort(ok_latencies.begin(), ok_latencies.end());
+  point.p50 = percentile(ok_latencies, 0.50);
+  point.p95 = percentile(ok_latencies, 0.95);
+  point.p99 = percentile(ok_latencies, 0.99);
+  return point;
+}
+
+/// Kill-mid-sweep -> restart -> byte-identical recovery check.
+bool recovery_is_byte_identical(const std::string& state_dir, double scale,
+                                std::uint64_t seed) {
+  serve::SweepSpec sweep;
+  sweep.workloads = {"synthetic"};
+  sweep.tools = {"none", "sample", "search"};
+  sweep.scale = scale * 10.0;  // slow enough to die mid-flight
+  sweep.seed = seed;
+
+  // Ground truth: the uninterrupted CLI-equivalent run.
+  harness::BatchRunner::Options options;
+  options.jobs = 1;
+  const auto batch =
+      harness::BatchRunner(options).run(serve::build_specs(sweep));
+  harness::JsonExportOptions stable;
+  stable.include_timing = false;
+  stable.indent = 0;
+  std::string expected = harness::to_json(batch, stable);
+  while (!expected.empty() &&
+         (expected.back() == '\n' || expected.back() == ' ')) {
+    expected.pop_back();
+  }
+
+  serve::ServerOptions server_options;
+  server_options.executors = 1;
+  server_options.state_dir = state_dir;
+
+  // Accept the sweep, wait until it is running, then pull the plug.
+  {
+    serve::Server server(server_options);
+    std::thread runner([&] { server.run(); });
+    serve::Socket socket = serve::connect_to("127.0.0.1", server.port());
+    serve::LineReader reader(socket);
+    socket.send_line("{\"op\":\"submit\",\"id\":\"doomed\",\"sweep\":" +
+                     serve::canonical_sweep_json(sweep) + "}");
+    std::string line;
+    while (reader.read_line(line)) {
+      if (line.find("\"event\":\"started\"") != std::string::npos) break;
+      if (line.find("\"event\":\"rejected\"") != std::string::npos) {
+        server.stop_now();
+        runner.join();
+        return false;
+      }
+    }
+    server.stop_now();
+    runner.join();
+  }
+
+  // Restart: the journal replays, the checkpoint resumes, the cache ends
+  // up holding the finished result — which must match the ground truth.
+  serve::Server server(server_options);
+  std::thread runner([&] { server.run(); });
+  const auto deadline = Clock::now() + std::chrono::minutes(5);
+  bool done = false;
+  while (Clock::now() < deadline) {
+    const serve::ServerStats stats = server.stats();
+    if (stats.completed >= 1 && stats.running == 0 && stats.queue_depth == 0) {
+      done = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  bool identical = false;
+  if (done) {
+    const Outcome outcome = run_one(server.port(), sweep);
+    identical = outcome.kind == Outcome::Kind::kOk &&
+                outcome.result_json == expected;
+  }
+  server.stop_now();
+  runner.join();
+  return identical;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hpm;
+  auto flags = hpm::bench::CommonFlags::parse(argc, argv,
+                                              {"requests", "queue"});
+  if (!flags) return 2;
+  hpm::util::Cli cli(argc, argv,
+                     {"scale", "iters", "seed", "csv", "workloads", "jobs",
+                      "out", "telemetry-guardrail", "hierarchy-guardrail",
+                      "live-guardrail", "requests", "queue"});
+  const auto requests = static_cast<std::size_t>(cli.get_uint("requests", 24));
+  const auto queue_depth = static_cast<std::size_t>(cli.get_uint("queue", 4));
+  const double scale = flags->scale * 0.02;  // per-request sweep size
+
+  std::printf("Table 6: hpmserve saturation and crash recovery\n\n");
+
+  const std::string state_dir =
+      (std::filesystem::temp_directory_path() / "hpm_table6_state").string();
+  std::filesystem::remove_all(state_dir);
+  std::filesystem::create_directories(state_dir);
+
+  serve::ServerOptions options;
+  options.executors = 2;
+  options.max_queue = queue_depth;
+  options.state_dir = state_dir;
+  serve::Server server(options);
+  std::thread runner([&] { server.run(); });
+
+  // Capacity: sequential distinct requests, no queueing.
+  const auto warm = Clock::now();
+  constexpr std::size_t kProbe = 8;
+  for (std::size_t i = 0; i < kProbe; ++i) {
+    (void)run_one(server.port(), request_sweep(scale, flags->seed + 90'000 + i));
+  }
+  const double capacity_rps =
+      static_cast<double>(kProbe) /
+      std::chrono::duration<double>(Clock::now() - warm).count();
+  std::fprintf(stderr, "capacity probe: %.1f req/s\n", capacity_rps);
+
+  std::vector<LoadPoint> points;
+  for (const double factor : {0.5, 1.0, 2.0}) {
+    points.push_back(offer_load(server.port(), factor, capacity_rps, requests,
+                                scale,
+                                flags->seed + static_cast<std::uint64_t>(
+                                                  factor * 1'000'000.0)));
+  }
+  server.stop_now();
+  runner.join();
+
+  hpm::util::Table table({"load", "offered r/s", "achieved r/s", "ok",
+                          "rejected", "lost", "p50 ms", "p95 ms", "p99 ms"});
+  for (const LoadPoint& point : points) {
+    table.row()
+        .cell(std::to_string(point.factor).substr(0, 4) + "x")
+        .cell(point.offered_rps, 1)
+        .cell(point.achieved_rps, 1)
+        .cell(static_cast<std::uint64_t>(point.ok))
+        .cell(static_cast<std::uint64_t>(point.rejected + point.errors))
+        .cell(static_cast<std::uint64_t>(point.lost))
+        .cell(point.p50, 1)
+        .cell(point.p95, 1)
+        .cell(point.p99, 1);
+  }
+  hpm::bench::emit(table, flags->csv);
+
+  const LoadPoint& overload = points.back();
+  const bool sheds_reported = overload.lost == 0;
+  const bool recovered = recovery_is_byte_identical(state_dir, flags->scale,
+                                                    flags->seed + 777);
+  std::printf("\n2x overload: %zu shed via RETRY_AFTER, %zu lost %s\n",
+              overload.rejected, overload.lost,
+              sheds_reported ? "(gate: PASS)" : "(gate: FAIL)");
+  std::printf("kill mid-sweep -> restart -> result %s\n",
+              recovered ? "byte-identical (gate: PASS)"
+                        : "MISMATCH (gate: FAIL)");
+
+  if (!flags->out.empty()) {
+    std::ofstream out(flags->out);
+    out << "{\"schema\":\"hpm.table6.v1\",\"capacity_rps\":" << capacity_rps
+        << ",\"points\":[";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const LoadPoint& p = points[i];
+      out << (i != 0 ? "," : "") << "{\"factor\":" << p.factor
+          << ",\"offered_rps\":" << p.offered_rps
+          << ",\"achieved_rps\":" << p.achieved_rps << ",\"ok\":" << p.ok
+          << ",\"rejected\":" << p.rejected << ",\"errors\":" << p.errors
+          << ",\"lost\":" << p.lost << ",\"p50_ms\":" << p.p50
+          << ",\"p95_ms\":" << p.p95 << ",\"p99_ms\":" << p.p99 << "}";
+    }
+    out << "],\"overload_sheds_reported\":"
+        << (sheds_reported ? "true" : "false")
+        << ",\"recovery_byte_identical\":" << (recovered ? "true" : "false")
+        << "}\n";
+  }
+  std::filesystem::remove_all(state_dir);
+  return sheds_reported && recovered ? 0 : 1;
+}

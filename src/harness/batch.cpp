@@ -128,6 +128,25 @@ BatchResult BatchRunner::run(const std::vector<RunSpec>& specs) const {
                    batch_start, i] {
         BatchItem& item = batch.items[i];
         item.spec = specs[i];
+        if (options_.cancel != nullptr &&
+            options_.cancel->load(std::memory_order_relaxed)) {
+          // Skipped, not run: no journal line (a resume must re-run it),
+          // but progress still ticks so observers account for every spec.
+          item.ok = false;
+          item.error = "cancelled";
+          item.outcome = RunOutcome::kCancelled;
+          item.attempts = 0;
+          std::lock_guard lock(progress_mutex);
+          ++done;
+          if (options_.on_progress) {
+            options_.on_progress(done, specs.size(), item);
+          }
+          if (options_.observer != nullptr) {
+            options_.observer->on_run_finish(done, specs.size(), i, item,
+                                             ThreadPool::current_worker_index());
+          }
+          return;
+        }
         if (options_.derive_seeds) {
           item.spec.options.seed = derived_seed(specs[i].options.seed, i);
         }

@@ -15,6 +15,7 @@
 // RunResults, and re-running the same specs is bit-stable.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -128,6 +129,13 @@ class BatchRunner {
     /// on_progress: start/retry/finish events with worker attribution.
     /// Use harness::ObserverList to fan out to several observers.
     BatchObserver* observer = nullptr;
+    /// Cooperative cancellation (not owned; null disables).  Once the flag
+    /// turns true, queued-but-unstarted runs are skipped with
+    /// RunOutcome::kCancelled (ok=false, error "cancelled") and are NOT
+    /// journaled, so a --resume of the checkpoint re-runs exactly them.
+    /// Runs already executing finish normally — cancellation never changes
+    /// a completed run's bytes, only which runs happen.
+    const std::atomic<bool>* cancel = nullptr;
     /// hpm.live.v1 streaming (see live_stream.hpp): when both are set,
     /// every run gets a LiveProbe wired into its config so the experiment
     /// samples its monitor tree every `live_every_refs` app references and

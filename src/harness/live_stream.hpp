@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <ostream>
@@ -36,21 +37,29 @@ namespace hpm::harness {
 
 /// Line-atomic JSONL sink shared by the progress reporter and every live
 /// run monitor: each write_line() is one mutex-guarded line, so streams
-/// from parallel workers interleave per line, never mid-line.
+/// from parallel workers interleave per line, never mid-line.  Backed by a
+/// stream, or by an arbitrary write function (hpmserve envelopes each line
+/// into an hpm.serve.v1 event and sends it down the client's socket).
 class JsonlSink {
  public:
-  explicit JsonlSink(std::ostream& out) : out_(out) {}
+  using WriteFn = std::function<void(std::string_view line)>;
+
+  explicit JsonlSink(std::ostream& out)
+      : write_([&out](std::string_view line) {
+          out << line << '\n' << std::flush;
+        }) {}
+  explicit JsonlSink(WriteFn write) : write_(std::move(write)) {}
   JsonlSink(const JsonlSink&) = delete;
   JsonlSink& operator=(const JsonlSink&) = delete;
 
   void write_line(std::string_view line) {
     std::lock_guard lock(mutex_);
-    out_ << line << '\n' << std::flush;
+    write_(line);
   }
 
  private:
   std::mutex mutex_;
-  std::ostream& out_;
+  WriteFn write_;
 };
 
 struct LiveStreamOptions {

@@ -1,6 +1,12 @@
 #include "harness/resilience.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <sstream>
 
 #include "harness/json_export.hpp"
@@ -17,6 +23,8 @@ std::string_view run_outcome_name(RunOutcome outcome) noexcept {
       return "timed_out";
     case RunOutcome::kRetried:
       return "retried";
+    case RunOutcome::kCancelled:
+      return "cancelled";
   }
   return "failed";
 }
@@ -26,6 +34,7 @@ RunOutcome parse_run_outcome(std::string_view name) {
   if (name == "failed") return RunOutcome::kFailed;
   if (name == "timed_out") return RunOutcome::kTimedOut;
   if (name == "retried") return RunOutcome::kRetried;
+  if (name == "cancelled") return RunOutcome::kCancelled;
   throw std::invalid_argument("unknown run outcome: " + std::string(name));
 }
 
@@ -35,22 +44,72 @@ double RetryPolicy::backoff_seconds(unsigned attempt) const noexcept {
          std::pow(backoff_factor, static_cast<double>(attempt - 1));
 }
 
+std::string atomic_write_file(const std::string& path,
+                              std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return "cannot open " + tmp + ": " + std::strerror(errno);
+  }
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n =
+        ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string error =
+          "cannot write " + tmp + ": " + std::strerror(errno);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return error;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string error =
+        "cannot fsync " + tmp + ": " + std::strerror(errno);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return error;
+  }
+  if (::close(fd) != 0) {
+    const std::string error =
+        "cannot close " + tmp + ": " + std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return error;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string error = "cannot rename " + tmp + " over " + path + ": " +
+                              std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return error;
+  }
+  // Persist the rename itself; without this a power cut can resurrect the
+  // old file.  Best-effort — some filesystems reject directory fsync.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);
+    ::close(dirfd);
+  }
+  return {};
+}
+
 namespace {
 
-/// True when `path` exists, is non-empty, and does not end in '\n' — i.e.
-/// a writer was killed mid-line.  An append must then start on a fresh
-/// line or it would concatenate into (and corrupt) the truncated record;
-/// the loader already skips both the half-line and the blank line.
-bool needs_leading_newline(const std::string& path) {
+/// Slurp an existing journal for append mode.  A trailing half-line (the
+/// previous writer died mid-write, or predates the atomic writer) is
+/// repaired with a terminating newline so subsequent records start clean
+/// and the loader skips exactly the torn record.
+std::string read_existing_journal(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  in.seekg(0, std::ios::end);
-  const auto size = in.tellg();
-  if (size <= 0) return false;
-  in.seekg(-1, std::ios::end);
-  char last = '\n';
-  in.get(last);
-  return last != '\n';
+  if (!in) return {};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string content = std::move(buffer).str();
+  if (!content.empty() && content.back() != '\n') content += '\n';
+  return content;
 }
 
 }  // namespace
@@ -59,19 +118,24 @@ CheckpointWriter::CheckpointWriter(const std::string& path,
                                    const std::string& fingerprint,
                                    std::size_t total, bool append,
                                    std::size_t flush_every)
-    : flush_every_(flush_every == 0 ? 1 : flush_every) {
-  const bool repair_line = append && needs_leading_newline(path);
-  out_.open(path, append ? (std::ios::out | std::ios::app)
-                         : (std::ios::out | std::ios::trunc));
-  if (!out_) {
-    throw std::runtime_error("cannot open checkpoint journal: " + path);
+    : path_(path), flush_every_(flush_every == 0 ? 1 : flush_every) {
+  if (append) {
+    content_ = read_existing_journal(path);
+  } else {
+    content_ = "{\"schema\":\"hpm.checkpoint.v1\",\"fingerprint\":\"" +
+               json_escape(fingerprint) + "\",\"total\":" +
+               std::to_string(total) + "}\n";
   }
-  if (repair_line) out_ << '\n';
-  if (!append) {
-    out_ << "{\"schema\":\"hpm.checkpoint.v1\",\"fingerprint\":\""
-         << json_escape(fingerprint) << "\",\"total\":" << total << "}\n";
-    out_.flush();
+  // Probe durability up front: an unwritable journal directory must fail
+  // before the first run, not surface as silent data loss hours later.
+  const std::string error = atomic_write_file(path_, content_);
+  if (!error.empty()) {
+    throw std::runtime_error("cannot write checkpoint journal: " + error);
   }
+}
+
+CheckpointWriter::~CheckpointWriter() {
+  if (since_flush_ > 0) flush();
 }
 
 void CheckpointWriter::append(std::size_t index, std::string_view key,
@@ -83,13 +147,15 @@ void CheckpointWriter::append(std::size_t index, std::string_view key,
           item_json.back() == ' ')) {
     item_json.remove_suffix(1);
   }
-  out_ << "{\"index\":" << index << ",\"key\":\"" << json_escape(key)
-       << "\",\"item\":" << item_json << "}\n";
+  content_ += "{\"index\":" + std::to_string(index) + ",\"key\":\"" +
+              json_escape(key) + "\",\"item\":";
+  content_ += item_json;
+  content_ += "}\n";
   if (++since_flush_ >= flush_every_) flush();
 }
 
 void CheckpointWriter::flush() {
-  out_.flush();
+  error_ = atomic_write_file(path_, content_);
   since_flush_ = 0;
 }
 

@@ -26,8 +26,17 @@
 namespace hpm::harness {
 
 /// How a batch run ended.  kRetried means it ultimately succeeded but
-/// needed more than one attempt (item.ok is still true).
-enum class RunOutcome : std::uint8_t { kOk, kFailed, kTimedOut, kRetried };
+/// needed more than one attempt (item.ok is still true).  kCancelled marks
+/// a run that was skipped before it started because the batch was
+/// cancelled (Ctrl-C on a checkpointed sweep, a disconnected hpmserve
+/// client); cancelled items are never journaled, so a resume re-runs them.
+enum class RunOutcome : std::uint8_t {
+  kOk,
+  kFailed,
+  kTimedOut,
+  kRetried,
+  kCancelled
+};
 
 [[nodiscard]] std::string_view run_outcome_name(RunOutcome outcome) noexcept;
 /// Inverse of run_outcome_name; throws std::invalid_argument.
@@ -61,31 +70,62 @@ struct ResilienceOptions {
   std::size_t checkpoint_every = 1;
 };
 
+/// Write `content` to `path` atomically: temp sibling (`<path>.tmp`),
+/// fsync, rename over the target, fsync the parent directory.  Returns an
+/// empty string on success, a diagnostic otherwise — on any failure the
+/// previous file at `path` is untouched (the temp file is removed
+/// best-effort).  Shared by the checkpoint journal and hpmserve's
+/// recovery journal.
+[[nodiscard]] std::string atomic_write_file(const std::string& path,
+                                            std::string_view content);
+
 // -- Checkpoint journal -------------------------------------------------------
 
 /// Appends completed items to an hpm.checkpoint.v1 journal.  Not
 /// thread-safe; the batch runner serializes appends under its progress
 /// mutex.
+///
+/// Durability: every flush writes the complete journal to a temp sibling
+/// (`<path>.tmp`), fsyncs it, and atomically renames it over `path`, then
+/// fsyncs the parent directory.  The journal visible at `path` is therefore
+/// always a whole file of complete lines — a kill -9 or a full disk can
+/// never leave a torn record behind, only lose the runs since the last
+/// flush (which a resume simply re-runs).  When appending to a journal
+/// written by an older in-place writer, a trailing half-line is repaired
+/// (newline-terminated) so the loader skips it cleanly.
 class CheckpointWriter {
  public:
-  /// Opens `path` (truncating unless `append`); writes the header line
-  /// when starting fresh.  Throws std::runtime_error when the file cannot
-  /// be opened.
+  /// Starts a journal at `path` (fresh header unless `append`, which adopts
+  /// the existing file's contents).  Throws std::runtime_error when the
+  /// initial flush cannot reach disk — a long sweep must fail up front, not
+  /// after hours, when the journal directory is missing or read-only.
   CheckpointWriter(const std::string& path, const std::string& fingerprint,
                    std::size_t total, bool append, std::size_t flush_every = 1);
+  ~CheckpointWriter();
 
   /// Record one completed run.  `item_json` must be a compact (single-line)
   /// BatchItem document.
   void append(std::size_t index, std::string_view key,
               std::string_view item_json);
 
-  /// Force pending lines to disk (also done by the destructor).
+  /// Force the journal to disk (also done by the destructor).  A failure
+  /// after construction (disk filled up mid-sweep) degrades gracefully:
+  /// the previous journal stays intact at `path`, ok() turns false, and
+  /// later flushes retry with the accumulated lines.
   void flush();
 
+  /// False once a post-construction flush failed; last_error() explains.
+  [[nodiscard]] bool ok() const noexcept { return error_.empty(); }
+  [[nodiscard]] const std::string& last_error() const noexcept {
+    return error_;
+  }
+
  private:
-  std::ofstream out_;
+  std::string path_;
+  std::string content_;  ///< the complete journal, always whole lines
   std::size_t flush_every_;
   std::size_t since_flush_ = 0;
+  std::string error_;
 };
 
 struct CheckpointEntry {

@@ -1,0 +1,113 @@
+#include "serve/admission.hpp"
+
+#include "serve/server.hpp"
+
+namespace hpm::serve {
+
+bool Job::abandoned() {
+  std::lock_guard lock(waiters_mutex);
+  for (const Waiter& waiter : waiters) {
+    // A waiter counts while its session object is alive AND its socket has
+    // not been closed — the reader thread may still hold the shared_ptr
+    // after disconnect, so expiry alone is not enough.
+    if (auto session = waiter.session.lock(); session && !session->dead()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view shed_reason_name(ShedReason reason) noexcept {
+  switch (reason) {
+    case ShedReason::kQueueFull:
+      return "queue_full";
+    case ShedReason::kOverQuota:
+      return "over_quota";
+    case ShedReason::kDraining:
+      return "draining";
+  }
+  return "queue_full";
+}
+
+AdmissionQueue::Verdict AdmissionQueue::try_push(
+    const std::shared_ptr<Job>& job) {
+  std::lock_guard lock(mutex_);
+  std::size_t depth = 0;
+  for (const auto& cls : classes_) depth += cls.size();
+
+  const auto shed = [&](ShedReason reason) {
+    ++shed_;
+    Verdict verdict;
+    verdict.accepted = false;
+    verdict.reason = reason;
+    // Backlog-proportional hint: an empty queue says "come right back", a
+    // full one scales the wait with the work ahead of the retry.
+    verdict.retry_after_ms = config_.retry_after_base_ms +
+                             depth * config_.retry_after_per_item_ms;
+    verdict.depth = depth;
+    return verdict;
+  };
+
+  if (draining_ && !job->recovery) return shed(ShedReason::kDraining);
+  if (depth >= config_.max_depth && !job->recovery) {
+    return shed(ShedReason::kQueueFull);
+  }
+  if (config_.per_client_quota > 0 && !job->recovery &&
+      client_load_[job->client] >= config_.per_client_quota) {
+    return shed(ShedReason::kOverQuota);
+  }
+
+  classes_[static_cast<std::size_t>(job->priority)].push_back(job);
+  ++client_load_[job->client];
+  Verdict verdict;
+  verdict.accepted = true;
+  verdict.depth = depth + 1;
+  return verdict;
+}
+
+std::shared_ptr<Job> AdmissionQueue::try_pop() {
+  std::lock_guard lock(mutex_);
+  for (auto& cls : classes_) {
+    if (!cls.empty()) {
+      std::shared_ptr<Job> job = std::move(cls.front());
+      cls.pop_front();
+      return job;
+    }
+  }
+  return nullptr;
+}
+
+void AdmissionQueue::job_finished(const std::string& client) {
+  std::lock_guard lock(mutex_);
+  const auto it = client_load_.find(client);
+  if (it == client_load_.end()) return;
+  if (it->second <= 1) {
+    client_load_.erase(it);
+  } else {
+    --it->second;
+  }
+}
+
+void AdmissionQueue::begin_drain() {
+  std::lock_guard lock(mutex_);
+  draining_ = true;
+}
+
+bool AdmissionQueue::draining() const {
+  std::lock_guard lock(mutex_);
+  return draining_;
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard lock(mutex_);
+  std::size_t depth = 0;
+  for (const auto& cls : classes_) depth += cls.size();
+  return depth;
+}
+
+std::uint64_t AdmissionQueue::shed_count() const {
+  std::lock_guard lock(mutex_);
+  return shed_;
+}
+
+}  // namespace hpm::serve

@@ -1,0 +1,118 @@
+// Admission control for hpmserve: a bounded queue with priority classes,
+// per-client quotas, and explicit load shedding.
+//
+// The server never silently drops work.  When the queue is full (or a
+// client is over quota, or the server is draining), try_push returns a
+// rejection with a retry_after_ms hint sized to the current backlog — the
+// client hears "come back later", not nothing.  Accepted jobs drain
+// high-priority-first, FIFO within a class, so a saturated server still
+// turns around interactive requests ahead of bulk sweeps.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace hpm::serve {
+
+class Session;  // defined in server.hpp
+
+/// One client waiting on a job's events (several when coalesced).
+struct Waiter {
+  std::weak_ptr<Session> session;
+  std::string request_id;
+  std::uint64_t live_every = 0;  ///< hpm.live.v1 window period; 0 = off
+};
+
+/// One admitted unit of work: a sweep plus everyone waiting on it.
+/// Identity is the request fingerprint — two submits of the same canonical
+/// sweep coalesce onto one Job instead of running twice.
+struct Job {
+  std::string fingerprint;
+  std::string canonical_sweep;
+  SweepSpec sweep;
+  Priority priority = Priority::kNormal;
+  std::string client;  ///< quota identity of the submitting client
+  /// steady-clock deadline; time_point::max() = none.  Enforced with
+  /// per-run wall budgets plus a between-runs cancel check.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  /// Replayed from the recovery journal at startup (no waiters yet; exempt
+  /// from quotas — the work was already accepted before the crash).
+  bool recovery = false;
+
+  /// Cooperative cancel: set on deadline expiry or when every waiter
+  /// disconnects.  BatchRunner skips queued-but-unstarted runs.
+  std::atomic<bool> cancel{false};
+
+  std::mutex waiters_mutex;
+  std::vector<Waiter> waiters;
+
+  /// True when every waiter is gone and nobody will hear the result.
+  /// Abandoned non-recovery jobs are skipped by the executor.
+  [[nodiscard]] bool abandoned();
+};
+
+/// Why try_push said no.  The names travel on the wire as the rejection
+/// reason, so they are part of the hpm.serve.v1 vocabulary.
+enum class ShedReason { kQueueFull, kOverQuota, kDraining };
+
+[[nodiscard]] std::string_view shed_reason_name(ShedReason reason) noexcept;
+
+class AdmissionQueue {
+ public:
+  struct Config {
+    std::size_t max_depth = 16;        ///< queued jobs across all classes
+    std::size_t per_client_quota = 0;  ///< queued+running per client; 0 = off
+    std::uint64_t retry_after_base_ms = 200;
+    std::uint64_t retry_after_per_item_ms = 50;
+  };
+
+  struct Verdict {
+    bool accepted = false;
+    ShedReason reason = ShedReason::kQueueFull;
+    std::uint64_t retry_after_ms = 0;  ///< backlog-proportional hint
+    std::size_t depth = 0;             ///< queue depth after the decision
+  };
+
+  explicit AdmissionQueue(Config config) : config_(config) {}
+
+  /// Admit or shed.  Accepted jobs enter their priority class FIFO and
+  /// count against the client's quota until job_finished(client).
+  [[nodiscard]] Verdict try_push(const std::shared_ptr<Job>& job);
+
+  /// Highest-priority queued job, FIFO within a class; nullptr when empty.
+  /// Never blocks — the server enqueues one executor task per admission,
+  /// so a task always finds at most its own job missing (already popped).
+  [[nodiscard]] std::shared_ptr<Job> try_pop();
+
+  /// Release the client's quota slot (call once per admitted job, after
+  /// the job finished, was skipped, or was abandoned).
+  void job_finished(const std::string& client);
+
+  /// Stop admitting (try_push sheds with kDraining); queued jobs still pop.
+  void begin_drain();
+
+  [[nodiscard]] bool draining() const;
+  [[nodiscard]] std::size_t depth() const;
+  /// Total jobs shed since startup (all reasons).
+  [[nodiscard]] std::uint64_t shed_count() const;
+
+ private:
+  Config config_;
+  mutable std::mutex mutex_;
+  std::deque<std::shared_ptr<Job>> classes_[3];  ///< indexed by Priority
+  std::map<std::string, std::size_t> client_load_;  ///< queued + running
+  bool draining_ = false;
+  std::uint64_t shed_ = 0;
+};
+
+}  // namespace hpm::serve

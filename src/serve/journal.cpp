@@ -1,0 +1,136 @@
+#include "serve/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "harness/json_export.hpp"
+#include "harness/resilience.hpp"
+
+namespace hpm::serve {
+namespace {
+
+std::string begin_record(const std::string& fingerprint,
+                         const std::string& canonical_sweep) {
+  // The canonical sweep is already compact JSON; splice it verbatim.
+  return "{\"schema\":\"hpm.serve.journal.v1\",\"op\":\"begin\","
+         "\"fingerprint\":\"" +
+         harness::json_escape(fingerprint) + "\",\"sweep\":" +
+         canonical_sweep + "}\n";
+}
+
+}  // namespace
+
+RequestJournal::RequestJournal(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) return;
+  // Probe at startup with an fsynced no-op append: a server that cannot
+  // persist acceptance must refuse to start, not lose work at runtime.
+  const int fd = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0 || ::fsync(fd) != 0) {
+    const std::string error = std::strerror(errno);
+    if (fd >= 0) ::close(fd);
+    throw std::runtime_error("cannot open recovery journal " + path_ + ": " +
+                             error);
+  }
+  ::close(fd);
+}
+
+void RequestJournal::append_line(const std::string& line) {
+  if (path_.empty()) return;
+  const int fd = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return;  // degrade: lose recovery, never block serving
+  std::size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t n =
+        ::write(fd, line.data() + written, line.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  ::fsync(fd);
+  ::close(fd);
+}
+
+void RequestJournal::begin(const std::string& fingerprint,
+                           const std::string& canonical_sweep) {
+  append_line(begin_record(fingerprint, canonical_sweep));
+}
+
+void RequestJournal::end(const std::string& fingerprint,
+                         const std::string& status) {
+  append_line(
+      "{\"schema\":\"hpm.serve.journal.v1\",\"op\":\"end\",\"fingerprint\":\"" +
+      harness::json_escape(fingerprint) + "\",\"status\":\"" +
+      harness::json_escape(status) + "\"}\n");
+}
+
+std::vector<PendingRequest> RequestJournal::recover(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  // Keyed map so repeated begins (a sweep accepted, crashed, replayed,
+  // crashed again) collapse to one pending entry; insertion order kept so
+  // replay preserves acceptance order.
+  std::map<std::string, std::size_t> index;
+  std::vector<PendingRequest> pending;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    harness::JsonValue record;
+    try {
+      record = harness::JsonValue::parse(line);
+    } catch (const std::exception&) {
+      continue;  // truncated trailing line (writer died mid-append)
+    }
+    const harness::JsonValue* schema = record.find("schema");
+    const harness::JsonValue* op = record.find("op");
+    const harness::JsonValue* fingerprint = record.find("fingerprint");
+    if (schema == nullptr || op == nullptr || fingerprint == nullptr ||
+        schema->kind() != harness::JsonValue::Kind::kString ||
+        schema->str() != "hpm.serve.journal.v1") {
+      continue;
+    }
+    const std::string fp = fingerprint->str();
+    if (op->str() == "begin") {
+      const harness::JsonValue* sweep = record.find("sweep");
+      if (sweep == nullptr) continue;
+      std::ostringstream compact;
+      harness::write_json_value(compact, *sweep);
+      if (index.find(fp) == index.end()) {
+        index[fp] = pending.size();
+        pending.push_back(PendingRequest{fp, std::move(compact).str()});
+      } else {
+        pending[index[fp]].canonical_sweep = std::move(compact).str();
+      }
+    } else if (op->str() == "end") {
+      const auto it = index.find(fp);
+      if (it != index.end()) {
+        pending[it->second].fingerprint.clear();  // tombstone
+        index.erase(it);
+      }
+    }
+  }
+  std::vector<PendingRequest> out;
+  for (PendingRequest& request : pending) {
+    if (!request.fingerprint.empty()) out.push_back(std::move(request));
+  }
+  return out;
+}
+
+void RequestJournal::compact(const std::string& path,
+                             const std::vector<PendingRequest>& pending) {
+  std::string content;
+  for (const PendingRequest& request : pending) {
+    content += begin_record(request.fingerprint, request.canonical_sweep);
+  }
+  (void)harness::atomic_write_file(path, content);  // best-effort
+}
+
+}  // namespace hpm::serve

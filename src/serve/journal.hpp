@@ -1,0 +1,64 @@
+// hpmserve crash-recovery journal (hpm.serve.journal.v1).
+//
+// An append-only JSONL ledger of accepted work:
+//
+//   {"schema":"hpm.serve.journal.v1","op":"begin",
+//    "fingerprint":"<16 hex>","sweep":{...canonical sweep...}}
+//   {"schema":"hpm.serve.journal.v1","op":"end",
+//    "fingerprint":"<16 hex>","status":"done"}
+//
+// Every line is fsynced before the server acts on it, so after a kill -9
+// the set {begins without a matching end} is exactly the set of accepted
+// sweeps whose results were never delivered.  On restart the server
+// replays those sweeps; each one resumes from its own hpm.checkpoint.v1
+// file (ckpt-<fingerprint>.jsonl next to the journal), so completed runs
+// are adopted, not recomputed, and the recovered result is byte-identical
+// to an uninterrupted one.  recover() tolerates a truncated final line —
+// the writer may have died mid-append.  On startup the journal is
+// compacted (atomically rewritten with only the still-pending begins) so
+// it does not grow without bound across restarts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hpm::serve {
+
+/// One accepted-but-unfinished sweep found in the journal.
+struct PendingRequest {
+  std::string fingerprint;
+  std::string canonical_sweep;  ///< compact hpm.serve.sweep.v1 JSON
+};
+
+class RequestJournal {
+ public:
+  /// Opens (appending) the journal at `path`; empty path disables every
+  /// method.  Throws std::runtime_error when the path is not writable —
+  /// a crash-safe server must fail at startup, not at the first submit.
+  explicit RequestJournal(std::string path);
+
+  [[nodiscard]] bool enabled() const noexcept { return !path_.empty(); }
+
+  /// Record acceptance of a sweep (fsynced before returning).
+  void begin(const std::string& fingerprint,
+             const std::string& canonical_sweep);
+
+  /// Record completion: status is "done", "failed" or "abandoned".
+  void end(const std::string& fingerprint, const std::string& status);
+
+  /// Scan a journal for begins without a matching end.  Malformed or
+  /// truncated lines are skipped.  Missing file = nothing pending.
+  [[nodiscard]] static std::vector<PendingRequest> recover(
+      const std::string& path);
+
+  /// Atomically rewrite the journal to contain only `pending` begins.
+  static void compact(const std::string& path,
+                      const std::vector<PendingRequest>& pending);
+
+ private:
+  void append_line(const std::string& line);
+
+  std::string path_;
+};
+
+}  // namespace hpm::serve

@@ -1,0 +1,90 @@
+// Minimal POSIX TCP plumbing for the hpmserve daemon and its clients.
+//
+// Deliberately tiny: a move-only fd owner, a buffered line reader with an
+// upper bound on line length (a garbage peer must not balloon memory), and
+// a listener whose accept() takes a timeout so the accept loop can notice
+// shutdown without signals.  All writes use MSG_NOSIGNAL — a client that
+// vanishes mid-reply produces a send error, never SIGPIPE.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hpm::serve {
+
+/// Owning socket wrapper (move-only; closes on destruction).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket() { close(); }
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Write all of `data`; false on any error (peer gone, buffer dead).
+  bool send_all(std::string_view data) noexcept;
+  /// Convenience: send_all(line) + '\n'.
+  bool send_line(std::string_view line) noexcept;
+
+  /// Shut both directions down (wakes a blocked reader on the other side
+  /// of this fd) without closing the descriptor.
+  void shutdown() noexcept;
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Buffered '\n'-delimited reader over a socket.  A line longer than
+/// `max_line` bytes poisons the reader (overflowed() turns true, read_line
+/// returns false) instead of growing without bound.
+class LineReader {
+ public:
+  explicit LineReader(Socket& socket, std::size_t max_line = 1 << 20)
+      : socket_(socket), max_line_(max_line) {}
+
+  /// Next line without its '\n' (a final unterminated line is returned as
+  /// is at EOF).  False on EOF, error, or overflow.
+  bool read_line(std::string& line);
+
+  [[nodiscard]] bool overflowed() const noexcept { return overflowed_; }
+
+ private:
+  Socket& socket_;
+  std::size_t max_line_;
+  std::string buffer_;
+  std::size_t scan_from_ = 0;
+  bool eof_ = false;
+  bool overflowed_ = false;
+};
+
+/// Listening TCP socket bound to host:port (port 0 = ephemeral; the actual
+/// port is reported by port()).  Throws std::runtime_error on bind failure.
+class Listener {
+ public:
+  Listener(const std::string& host, std::uint16_t port, int backlog = 64);
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Accept one connection; an invalid Socket on timeout or after close().
+  [[nodiscard]] Socket accept(int timeout_ms);
+
+  /// Close the listening fd (a concurrent accept returns invalid).
+  void close() noexcept { socket_.close(); }
+
+ private:
+  Socket socket_;
+  std::uint16_t port_ = 0;
+};
+
+/// Client-side connect; an invalid Socket on failure.
+[[nodiscard]] Socket connect_to(const std::string& host, std::uint16_t port);
+
+}  // namespace hpm::serve

@@ -1,0 +1,434 @@
+#include "serve/protocol.hpp"
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "harness/experiment.hpp"
+#include "harness/json_export.hpp"
+#include "sim/memory_hierarchy.hpp"
+#include "workloads/workload.hpp"
+
+namespace hpm::serve {
+namespace {
+
+using harness::JsonValue;
+using harness::JsonWriter;
+
+// -- JSON field helpers (strict: a present-but-mistyped field is an error,
+// never a silent default) ----------------------------------------------------
+
+[[noreturn]] void bad_field(std::string_view key, std::string_view expected) {
+  throw std::invalid_argument("field '" + std::string(key) + "' must be " +
+                              std::string(expected));
+}
+
+std::uint64_t u64_or(const JsonValue& obj, std::string_view key,
+                     std::uint64_t fallback) {
+  const JsonValue* value = obj.find(key);
+  if (value == nullptr) return fallback;
+  if (value->kind() != JsonValue::Kind::kNumber) bad_field(key, "a number");
+  return value->uint();
+}
+
+std::int64_t i64_or(const JsonValue& obj, std::string_view key,
+                    std::int64_t fallback) {
+  const JsonValue* value = obj.find(key);
+  if (value == nullptr) return fallback;
+  if (value->kind() != JsonValue::Kind::kNumber) bad_field(key, "a number");
+  return static_cast<std::int64_t>(value->number());
+}
+
+double dbl_or(const JsonValue& obj, std::string_view key, double fallback) {
+  const JsonValue* value = obj.find(key);
+  if (value == nullptr) return fallback;
+  if (value->kind() != JsonValue::Kind::kNumber) bad_field(key, "a number");
+  return value->number();
+}
+
+std::string str_or(const JsonValue& obj, std::string_view key,
+                   std::string fallback) {
+  const JsonValue* value = obj.find(key);
+  if (value == nullptr) return fallback;
+  if (value->kind() != JsonValue::Kind::kString) bad_field(key, "a string");
+  return value->str();
+}
+
+std::vector<std::string> str_list_or(const JsonValue& obj,
+                                     std::string_view key,
+                                     std::vector<std::string> fallback) {
+  const JsonValue* value = obj.find(key);
+  if (value == nullptr) return fallback;
+  if (value->kind() != JsonValue::Kind::kArray) {
+    bad_field(key, "an array of strings");
+  }
+  std::vector<std::string> out;
+  for (const JsonValue& element : value->array()) {
+    if (element.kind() != JsonValue::Kind::kString) {
+      bad_field(key, "an array of strings");
+    }
+    out.push_back(element.str());
+  }
+  if (out.empty()) bad_field(key, "a non-empty array");
+  return out;
+}
+
+void reject_unknown_keys(const JsonValue& obj,
+                         const std::set<std::string_view>& known,
+                         std::string_view where) {
+  for (const std::string& key : obj.object_keys()) {
+    if (known.find(key) == known.end()) {
+      throw std::invalid_argument("unknown " + std::string(where) +
+                                  " field '" + key + "'");
+    }
+  }
+}
+
+SweepSpec sweep_from_json(const JsonValue& node) {
+  if (node.kind() != JsonValue::Kind::kObject) {
+    throw std::invalid_argument("'sweep' must be an object");
+  }
+  reject_unknown_keys(
+      node,
+      {"schema", "workloads", "tools", "scale", "iterations", "seed", "cache",
+       "levels", "observe", "period", "policy", "n", "interval", "faults",
+       "max_cycles", "retries"},
+      "sweep");
+  SweepSpec sweep;
+  sweep.workloads = str_list_or(node, "workloads", sweep.workloads);
+  sweep.tools = str_list_or(node, "tools", sweep.tools);
+  // Canonicalize the nway alias up front so two spellings of the same
+  // experiment share one fingerprint (and one cache entry).
+  for (std::string& tool : sweep.tools) {
+    if (tool == "nway") tool = "search";
+  }
+  sweep.scale = dbl_or(node, "scale", sweep.scale);
+  sweep.iterations = u64_or(node, "iterations", sweep.iterations);
+  sweep.seed = u64_or(node, "seed", sweep.seed);
+  sweep.cache_bytes = u64_or(node, "cache", sweep.cache_bytes);
+  sweep.levels = str_or(node, "levels", sweep.levels);
+  sweep.observe = i64_or(node, "observe", sweep.observe);
+  sweep.period = u64_or(node, "period", sweep.period);
+  sweep.policy = str_or(node, "policy", sweep.policy);
+  sweep.n = static_cast<std::uint32_t>(u64_or(node, "n", sweep.n));
+  sweep.interval = u64_or(node, "interval", sweep.interval);
+  if (const JsonValue* faults = node.find("faults")) {
+    if (faults->kind() != JsonValue::Kind::kObject) {
+      bad_field("faults", "an object");
+    }
+    reject_unknown_keys(*faults,
+                        {"seed", "skid", "drop_rate", "jitter_rate",
+                         "jitter_magnitude", "saturate", "reprogram_delay"},
+                        "faults");
+    sweep.faults.seed = u64_or(*faults, "seed", sweep.faults.seed);
+    sweep.faults.skid_refs = static_cast<std::uint32_t>(
+        u64_or(*faults, "skid", sweep.faults.skid_refs));
+    sweep.faults.drop_rate =
+        dbl_or(*faults, "drop_rate", sweep.faults.drop_rate);
+    sweep.faults.jitter_rate =
+        dbl_or(*faults, "jitter_rate", sweep.faults.jitter_rate);
+    sweep.faults.jitter_magnitude = static_cast<std::uint32_t>(
+        u64_or(*faults, "jitter_magnitude", sweep.faults.jitter_magnitude));
+    sweep.faults.saturate_at =
+        u64_or(*faults, "saturate", sweep.faults.saturate_at);
+    sweep.faults.reprogram_delay_misses = static_cast<std::uint32_t>(
+        u64_or(*faults, "reprogram_delay", sweep.faults.reprogram_delay_misses));
+  }
+  sweep.max_cycles = u64_or(node, "max_cycles", sweep.max_cycles);
+  sweep.retries =
+      static_cast<std::uint32_t>(u64_or(node, "retries", sweep.retries));
+  return sweep;
+}
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::string_view priority_name(Priority priority) noexcept {
+  switch (priority) {
+    case Priority::kHigh:
+      return "high";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kLow:
+      return "low";
+  }
+  return "normal";
+}
+
+Priority parse_priority(std::string_view name) {
+  if (name == "high") return Priority::kHigh;
+  if (name == "normal") return Priority::kNormal;
+  if (name == "low") return Priority::kLow;
+  throw std::invalid_argument("unknown priority: " + std::string(name));
+}
+
+ServeRequest parse_request(const JsonValue& op) {
+  reject_unknown_keys(op,
+                      {"schema", "op", "id", "client", "priority",
+                       "deadline_ms", "live_every", "sweep"},
+                      "submit");
+  ServeRequest request;
+  request.id = str_or(op, "id", "");
+  if (request.id.empty()) {
+    throw std::invalid_argument("submit requires a non-empty 'id'");
+  }
+  request.client = str_or(op, "client", "");
+  request.priority = parse_priority(str_or(op, "priority", "normal"));
+  request.deadline_ms = u64_or(op, "deadline_ms", 0);
+  request.live_every = u64_or(op, "live_every", 0);
+  if (const JsonValue* sweep = op.find("sweep")) {
+    request.sweep = sweep_from_json(*sweep);
+  }
+  return request;
+}
+
+std::string canonical_sweep_json(const SweepSpec& sweep) {
+  std::ostringstream out;
+  JsonWriter w(out, /*indent=*/0);
+  w.begin_object();
+  w.key("schema").value("hpm.serve.sweep.v1");
+  w.key("workloads").begin_array();
+  for (const std::string& name : sweep.workloads) w.value(name);
+  w.end_array();
+  w.key("tools").begin_array();
+  for (const std::string& name : sweep.tools) w.value(name);
+  w.end_array();
+  w.key("scale").value(sweep.scale);
+  w.key("iterations").value(sweep.iterations);
+  w.key("seed").value(sweep.seed);
+  w.key("cache").value(sweep.cache_bytes);
+  w.key("levels").value(sweep.levels);
+  w.key("observe").value(sweep.observe);
+  w.key("period").value(sweep.period);
+  w.key("policy").value(sweep.policy);
+  w.key("n").value(std::uint64_t{sweep.n});
+  w.key("interval").value(sweep.interval);
+  w.key("faults").begin_object();
+  w.key("seed").value(sweep.faults.seed);
+  w.key("skid").value(std::uint64_t{sweep.faults.skid_refs});
+  w.key("drop_rate").value(sweep.faults.drop_rate);
+  w.key("jitter_rate").value(sweep.faults.jitter_rate);
+  w.key("jitter_magnitude").value(std::uint64_t{sweep.faults.jitter_magnitude});
+  w.key("saturate").value(sweep.faults.saturate_at);
+  w.key("reprogram_delay")
+      .value(std::uint64_t{sweep.faults.reprogram_delay_misses});
+  w.end_object();
+  w.key("max_cycles").value(sweep.max_cycles);
+  w.key("retries").value(std::uint64_t{sweep.retries});
+  w.end_object();
+  return std::move(out).str();
+}
+
+std::string request_fingerprint(const SweepSpec& sweep) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(
+                    fnv1a(canonical_sweep_json(sweep))));
+  return buf;
+}
+
+SweepSpec parse_canonical_sweep(std::string_view json) {
+  const JsonValue doc = JsonValue::parse(json);
+  if (doc.kind() != JsonValue::Kind::kObject ||
+      str_or(doc, "schema", "") != "hpm.serve.sweep.v1") {
+    throw std::invalid_argument("not an hpm.serve.sweep.v1 document");
+  }
+  return sweep_from_json(doc);
+}
+
+std::vector<harness::RunSpec> build_specs(const SweepSpec& sweep) {
+  for (const std::string& name : sweep.workloads) {
+    if (!workloads::is_workload_name(name)) {
+      throw std::invalid_argument("unknown workload '" + name + "'");
+    }
+  }
+
+  harness::RunConfig base;
+  base.machine = harness::paper_machine();
+  if (sweep.cache_bytes != 0) {
+    base.machine.cache.size_bytes = sweep.cache_bytes;
+  }
+  if (!base.machine.cache.valid()) {
+    throw std::invalid_argument("cache size must be a power of two");
+  }
+  if (!sweep.levels.empty()) {
+    try {
+      if (!sim::hierarchy_preset(sweep.levels, base.machine.hierarchy)) {
+        base.machine.hierarchy = sim::parse_hierarchy_spec(sweep.levels);
+      }
+    } catch (const std::exception& e) {
+      throw std::invalid_argument(e.what());
+    }
+  }
+  if (sweep.observe >= 0) {
+    base.machine.hierarchy.observe_level =
+        static_cast<std::size_t>(sweep.observe);
+    const std::size_t num_levels =
+        sim::resolve_levels(base.machine.hierarchy, base.machine.cache).size();
+    if (base.machine.hierarchy.observe_level >= num_levels) {
+      throw std::invalid_argument(
+          "observe level " + std::to_string(sweep.observe) +
+          " out of range: hierarchy has " + std::to_string(num_levels) +
+          " level(s)");
+    }
+  }
+  // Validate the resolved hierarchy up front (bad geometry = bad_request,
+  // never a mid-sweep per-run failure).
+  try {
+    sim::MemoryHierarchy probe(
+        sim::resolve_levels(base.machine.hierarchy, base.machine.cache),
+        base.machine.hierarchy.observe_level);
+  } catch (const std::exception& e) {
+    throw std::invalid_argument(e.what());
+  }
+  base.machine.faults = sweep.faults;
+  try {
+    sim::validate(base.machine.faults);
+  } catch (const std::exception& e) {
+    throw std::invalid_argument(e.what());
+  }
+  base.machine.max_cycles = sweep.max_cycles;
+
+  std::vector<std::pair<std::string, harness::RunConfig>> tools;
+  for (const std::string& tool : sweep.tools) {
+    harness::RunConfig config = base;
+    if (tool == "sample") {
+      config.tool = harness::ToolKind::kSampler;
+      config.sampler.period = sweep.period;
+      if (sweep.policy == "prime") {
+        config.sampler.policy = core::PeriodPolicy::kPrime;
+      } else if (sweep.policy == "random") {
+        config.sampler.policy = core::PeriodPolicy::kPseudoRandom;
+      } else if (sweep.policy != "fixed") {
+        throw std::invalid_argument("unknown policy '" + sweep.policy + "'");
+      }
+    } else if (tool == "search") {
+      config.tool = harness::ToolKind::kSearch;
+      config.search.n = sweep.n;
+      config.search.initial_interval = sweep.interval;
+    } else if (tool != "none") {
+      throw std::invalid_argument("unknown tool '" + tool + "'");
+    }
+    tools.emplace_back(tool, config);
+  }
+
+  workloads::WorkloadOptions options;
+  options.scale = sweep.scale;
+  options.iterations = sweep.iterations;
+  options.seed = sweep.seed;
+  return harness::cross_specs(sweep.workloads, tools,
+                              [&](const std::string&) { return options; });
+}
+
+// -- Line builders ------------------------------------------------------------
+
+namespace {
+
+/// Start one compact event line: {"schema":"hpm.serve.v1","event":...
+std::ostringstream event_head(std::string_view event) {
+  std::ostringstream out;
+  out << "{\"schema\":\"" << kSchema << "\",\"event\":\"" << event << '"';
+  return out;
+}
+
+void append_id(std::ostringstream& out, std::string_view id) {
+  out << ",\"id\":\"" << harness::json_escape(id) << '"';
+}
+
+}  // namespace
+
+std::string hello_line(std::string_view server_version, unsigned executors,
+                       bool draining) {
+  auto out = event_head("hello");
+  out << ",\"proto\":1,\"server\":\"hpmserve "
+      << harness::json_escape(server_version) << "\",\"executors\":"
+      << executors << ",\"draining\":" << (draining ? "true" : "false") << '}';
+  return std::move(out).str();
+}
+
+std::string accepted_line(std::string_view id, std::string_view fingerprint,
+                          std::size_t queue_depth, bool coalesced) {
+  auto out = event_head("accepted");
+  append_id(out, id);
+  out << ",\"fingerprint\":\"" << harness::json_escape(fingerprint)
+      << "\",\"queue_depth\":" << queue_depth
+      << ",\"coalesced\":" << (coalesced ? "true" : "false") << '}';
+  return std::move(out).str();
+}
+
+std::string rejected_line(std::string_view id, std::string_view reason,
+                          std::uint64_t retry_after_ms,
+                          std::string_view detail) {
+  auto out = event_head("rejected");
+  append_id(out, id);
+  out << ",\"reason\":\"" << harness::json_escape(reason)
+      << "\",\"retry_after_ms\":" << retry_after_ms;
+  if (!detail.empty()) {
+    out << ",\"detail\":\"" << harness::json_escape(detail) << '"';
+  }
+  out << '}';
+  return std::move(out).str();
+}
+
+std::string started_line(std::string_view id) {
+  auto out = event_head("started");
+  append_id(out, id);
+  out << '}';
+  return std::move(out).str();
+}
+
+std::string progress_line(std::string_view id, std::size_t done,
+                          std::size_t total, std::string_view run_name,
+                          std::string_view outcome) {
+  auto out = event_head("progress");
+  append_id(out, id);
+  out << ",\"done\":" << done << ",\"total\":" << total << ",\"run\":\""
+      << harness::json_escape(run_name) << "\",\"outcome\":\""
+      << harness::json_escape(outcome) << "\"}";
+  return std::move(out).str();
+}
+
+std::string live_line(std::string_view id, std::string_view raw_line) {
+  auto out = event_head("live");
+  append_id(out, id);
+  // Splice the hpm.live.v1 line verbatim — it is already one compact JSON
+  // object, so no re-parse is needed on the hot streaming path.
+  out << ",\"data\":" << raw_line << '}';
+  return std::move(out).str();
+}
+
+std::string result_line(std::string_view id, std::string_view fingerprint,
+                        bool cached, bool ok, std::size_t failed,
+                        std::string_view result_json) {
+  auto out = event_head("result");
+  append_id(out, id);
+  out << ",\"fingerprint\":\"" << harness::json_escape(fingerprint)
+      << "\",\"cached\":" << (cached ? "true" : "false")
+      << ",\"ok\":" << (ok ? "true" : "false") << ",\"failed\":" << failed
+      << ",\"result\":" << result_json << '}';
+  return std::move(out).str();
+}
+
+std::string error_line(std::string_view id, std::string_view detail) {
+  auto out = event_head("error");
+  append_id(out, id);
+  out << ",\"detail\":\"" << harness::json_escape(detail) << "\"}";
+  return std::move(out).str();
+}
+
+std::string pong_line() {
+  auto out = event_head("pong");
+  out << '}';
+  return std::move(out).str();
+}
+
+}  // namespace hpm::serve

@@ -1,0 +1,135 @@
+// hpm.serve.v1: the line-delimited JSON protocol between hpmserve and its
+// clients, plus the canonical request form that keys the result cache and
+// the crash-recovery journal.
+//
+// One JSON object per '\n'-terminated line in both directions.
+//
+// Client -> server ops:
+//   {"op":"submit","id":"r1","priority":"normal","deadline_ms":0,
+//    "live_every":0,"client":"tenant-a","sweep":{...}}
+//   {"op":"stats"}   {"op":"ping"}   {"op":"drain"}  (drain is opt-in)
+//
+// Server -> client events (every line carries "schema":"hpm.serve.v1"):
+//   hello, accepted, rejected (explicit RETRY_AFTER shed), started,
+//   progress, live (enveloped hpm.live.v1 line), result, error, stats,
+//   pong, draining.
+//
+// A submit always terminates in exactly one of {rejected, result, error} —
+// the loadgen and the saturation bench count on that to prove "sheds are
+// reported, not dropped".
+//
+// The canonical request form materializes every sweep default in a fixed
+// key order, so two requests that mean the same experiment serialize to
+// the same bytes; its FNV-1a hash is the request fingerprint — the result
+// cache key, the checkpoint file name, and the recovery-journal identity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/batch.hpp"
+
+namespace hpm::harness {
+class JsonValue;  // json_export.hpp
+}
+
+namespace hpm::serve {
+
+inline constexpr std::string_view kSchema = "hpm.serve.v1";
+
+/// Admission priority classes, drained high-first (FIFO within a class).
+enum class Priority : std::uint8_t { kHigh = 0, kNormal = 1, kLow = 2 };
+
+[[nodiscard]] std::string_view priority_name(Priority priority) noexcept;
+/// Inverse of priority_name; throws std::invalid_argument.
+[[nodiscard]] Priority parse_priority(std::string_view name);
+
+/// The experiment payload: a (workloads x tools) sweep with the same
+/// vocabulary as hpmrun's flags, so a serve request and a CLI invocation
+/// describe — and produce — byte-identical batches.
+struct SweepSpec {
+  std::vector<std::string> workloads = {"synthetic"};
+  std::vector<std::string> tools = {"search"};  ///< none|sample|search
+  double scale = 1.0;
+  std::uint64_t iterations = 0;
+  std::uint64_t seed = 0x5ca1ab1e;
+  std::uint64_t cache_bytes = 0;  ///< 0 = paper default (2 MiB)
+  std::string levels;             ///< hierarchy preset/spec; empty = single
+  std::int64_t observe = -1;      ///< PMU level; -1 = hierarchy default
+  // Tool parameters.
+  std::uint64_t period = 10'000;  ///< sampler: misses per sample
+  std::string policy = "fixed";   ///< sampler: fixed|prime|random
+  std::uint32_t n = 10;           ///< search: counters/regions
+  std::uint64_t interval = 1'000'000;  ///< search: initial interval, cycles
+  // Fault plan (defaults = no faults).
+  sim::FaultPlan faults{};
+  // Per-run budgets and retry policy.
+  std::uint64_t max_cycles = 0;
+  std::uint32_t retries = 0;  ///< extra attempts for transient failures
+};
+
+struct ServeRequest {
+  std::string id;          ///< client correlation id, echoed on every event
+  std::string client;      ///< quota identity; empty = per-connection
+  Priority priority = Priority::kNormal;
+  std::uint64_t deadline_ms = 0;  ///< 0 = no deadline
+  std::uint64_t live_every = 0;   ///< hpm.live.v1 window period; 0 = off
+  SweepSpec sweep;
+};
+
+/// Parse the "sweep" object of a submit op.  Unknown keys are errors (a
+/// typo'd knob must not silently run the default experiment); malformed
+/// values throw std::invalid_argument with the offending key.
+[[nodiscard]] ServeRequest parse_request(const harness::JsonValue& op);
+
+/// Canonical serialization of the sweep: fixed key order, every default
+/// materialized, compact.  Identity for caching/journaling — request
+/// metadata (id, priority, deadline) is deliberately excluded, since it
+/// never changes the experiment's bytes.
+[[nodiscard]] std::string canonical_sweep_json(const SweepSpec& sweep);
+
+/// 16-hex-digit FNV-1a fingerprint of canonical_sweep_json().
+[[nodiscard]] std::string request_fingerprint(const SweepSpec& sweep);
+
+/// Reconstruct a SweepSpec from its canonical JSON (recovery journal).
+[[nodiscard]] SweepSpec parse_canonical_sweep(std::string_view json);
+
+/// Expand the sweep into BatchRunner specs — the exact specs `hpmrun
+/// --workload a,b --tool t ...` would build, including run names
+/// "<workload>/<tool>", so served results are byte-identical to CLI runs.
+/// Throws std::invalid_argument on unknown workloads/tools or an invalid
+/// hierarchy/fault plan (the server maps this to a bad_request rejection).
+[[nodiscard]] std::vector<harness::RunSpec> build_specs(const SweepSpec& sweep);
+
+// -- Server -> client line builders ------------------------------------------
+
+[[nodiscard]] std::string hello_line(std::string_view server_version,
+                                     unsigned executors, bool draining);
+[[nodiscard]] std::string accepted_line(std::string_view id,
+                                        std::string_view fingerprint,
+                                        std::size_t queue_depth,
+                                        bool coalesced);
+[[nodiscard]] std::string rejected_line(std::string_view id,
+                                        std::string_view reason,
+                                        std::uint64_t retry_after_ms,
+                                        std::string_view detail);
+[[nodiscard]] std::string started_line(std::string_view id);
+[[nodiscard]] std::string progress_line(std::string_view id, std::size_t done,
+                                        std::size_t total,
+                                        std::string_view run_name,
+                                        std::string_view outcome);
+/// Envelope one raw hpm.live.v1 JSONL line (spliced verbatim as `data`).
+[[nodiscard]] std::string live_line(std::string_view id,
+                                    std::string_view raw_line);
+[[nodiscard]] std::string result_line(std::string_view id,
+                                      std::string_view fingerprint,
+                                      bool cached, bool ok,
+                                      std::size_t failed,
+                                      std::string_view result_json);
+[[nodiscard]] std::string error_line(std::string_view id,
+                                     std::string_view detail);
+[[nodiscard]] std::string pong_line();
+
+}  // namespace hpm::serve

@@ -1,0 +1,44 @@
+#include "serve/result_cache.hpp"
+
+namespace hpm::serve {
+
+std::optional<std::string> ResultCache::get(const std::string& fingerprint) {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(fingerprint);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch
+  return it->second->result_json;
+}
+
+void ResultCache::put(const std::string& fingerprint, std::string result_json) {
+  if (max_entries_ == 0) return;
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(fingerprint);
+  if (it != index_.end()) {
+    it->second->result_json = std::move(result_json);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{fingerprint, std::move(result_json)});
+  index_[fingerprint] = lru_.begin();
+  while (lru_.size() > max_entries_) {
+    index_.erase(lru_.back().fingerprint);
+    lru_.pop_back();
+  }
+}
+
+std::uint64_t ResultCache::hits() const {
+  std::lock_guard lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ResultCache::misses() const {
+  std::lock_guard lock(mutex_);
+  return misses_;
+}
+
+}  // namespace hpm::serve

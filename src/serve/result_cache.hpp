@@ -1,0 +1,48 @@
+// Result cache keyed by canonical request fingerprint.
+//
+// A served experiment is a pure function of its canonical sweep (the
+// simulator is bit-for-bit deterministic), so a fully successful result
+// can be replayed from memory for every later identical request.  Only
+// clean results are cached — a sweep truncated by a deadline or carrying
+// failed runs must re-run, never poison future answers.  Bounded LRU.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace hpm::serve {
+
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t max_entries) : max_entries_(max_entries) {}
+
+  /// Compact batch-result JSON for the fingerprint; nullopt on miss.
+  [[nodiscard]] std::optional<std::string> get(const std::string& fingerprint);
+
+  /// Store a fully-ok result (callers must not pass partial results).
+  /// Evicts least-recently-used entries beyond the bound.
+  void put(const std::string& fingerprint, std::string result_json);
+
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+
+ private:
+  struct Entry {
+    std::string fingerprint;
+    std::string result_json;
+  };
+
+  std::size_t max_entries_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recent
+  std::map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace hpm::serve

@@ -1,0 +1,524 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "harness/batch.hpp"
+#include "harness/json_export.hpp"
+#include "harness/live_stream.hpp"
+
+namespace hpm::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Trim trailing whitespace so spliced documents never break JSONL lines.
+std::string compact_json(std::string json) {
+  while (!json.empty() && (json.back() == '\n' || json.back() == '\r' ||
+                           json.back() == ' ')) {
+    json.pop_back();
+  }
+  return json;
+}
+
+/// Visit every waiter whose session is still alive.
+template <typename Fn>
+void for_each_waiter(Job& job, Fn&& fn) {
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard lock(job.waiters_mutex);
+    waiters = job.waiters;
+  }
+  for (const Waiter& waiter : waiters) {
+    if (auto session = waiter.session.lock(); session && !session->dead()) {
+      fn(*session, waiter);
+    }
+  }
+}
+
+}  // namespace
+
+bool Session::send(std::string_view line) {
+  std::lock_guard lock(write_mutex_);
+  if (dead_.load(std::memory_order_relaxed)) return false;
+  if (!socket_.send_line(line)) {
+    dead_.store(true, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      listener_(options_.host, options_.port),
+      journal_(options_.state_dir.empty()
+                   ? std::string()
+                   : options_.state_dir + "/serve_journal.jsonl"),
+      queue_(AdmissionQueue::Config{
+          options_.max_queue, options_.per_client_quota,
+          options_.retry_after_base_ms, options_.retry_after_per_item_ms}),
+      cache_(options_.cache_entries),
+      pool_(std::make_unique<harness::ThreadPool>(
+          options_.executors == 0 ? 1 : options_.executors)) {
+  if (!options_.state_dir.empty()) {
+    const std::string journal_path = options_.state_dir + "/serve_journal.jsonl";
+    std::vector<PendingRequest> pending = RequestJournal::recover(journal_path);
+    RequestJournal::compact(journal_path, pending);
+    admit_recovered(std::move(pending));
+  }
+}
+
+Server::~Server() {
+  stop_now();
+  // run() normally joins everything; cover the constructed-but-never-run
+  // case (tests that only exercise construction/recovery).
+  pool_.reset();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard lock(mutex_);
+    for (auto& [id, session] : sessions_) session->kick();
+    threads.swap(session_threads_);
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+std::uint16_t Server::port() const noexcept { return listener_.port(); }
+
+void Server::admit_recovered(std::vector<PendingRequest> pending) {
+  for (PendingRequest& request : pending) {
+    auto job = std::make_shared<Job>();
+    job->fingerprint = request.fingerprint;
+    job->canonical_sweep = request.canonical_sweep;
+    try {
+      job->sweep = parse_canonical_sweep(request.canonical_sweep);
+    } catch (const std::exception&) {
+      journal_.end(request.fingerprint, "failed");
+      continue;  // unreadable journal entry — tombstone it, don't crash
+    }
+    job->recovery = true;
+    job->client = "__recovery";
+    job->priority = Priority::kHigh;  // finish interrupted work first
+    if (!queue_.try_push(job).accepted) continue;  // cannot happen (recovery)
+    {
+      std::lock_guard lock(mutex_);
+      inflight_[job->fingerprint] = job;
+    }
+    recovered_.fetch_add(1, std::memory_order_relaxed);
+    pool_->submit([this] { execute_one(); });
+  }
+}
+
+void Server::run() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    Socket client = listener_.accept(100);
+    if (stop_.load(std::memory_order_relaxed)) break;
+    if (client.valid()) {
+      std::lock_guard lock(mutex_);
+      const std::uint64_t id = next_session_id_++;
+      auto session = std::make_shared<Session>(id, std::move(client));
+      sessions_[id] = session;
+      session_threads_.emplace_back(
+          [this, session] { session_loop(session); });
+    }
+    if (draining_.load(std::memory_order_relaxed) && queue_.depth() == 0 &&
+        running_.load(std::memory_order_relaxed) == 0) {
+      break;
+    }
+  }
+  listener_.close();
+  // The pool destructor drains queued executor tasks: during a graceful
+  // drain that finishes the admitted jobs; after stop_now the tasks see
+  // the stop flag and return quickly.
+  pool_.reset();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard lock(mutex_);
+    for (auto& [id, session] : sessions_) session->kick();
+    threads.swap(session_threads_);
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void Server::request_drain() {
+  draining_.store(true, std::memory_order_relaxed);
+  queue_.begin_drain();
+}
+
+void Server::stop_now() {
+  if (stop_.exchange(true)) return;
+  draining_.store(true, std::memory_order_relaxed);
+  queue_.begin_drain();
+  std::lock_guard lock(mutex_);
+  for (auto& [fingerprint, job] : inflight_) {
+    job->cancel.store(true, std::memory_order_relaxed);
+  }
+}
+
+ServerStats Server::stats() {
+  ServerStats stats;
+  stats.queue_depth = queue_.depth();
+  stats.running = running_.load(std::memory_order_relaxed);
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.shed = queue_.shed_count();
+  stats.recovered = recovered_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_.hits();
+  stats.cache_misses = cache_.misses();
+  stats.draining = draining_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::string Server::stats_line() {
+  const ServerStats s = stats();
+  std::string line = "{\"schema\":\"hpm.serve.v1\",\"event\":\"stats\"";
+  line += ",\"queue_depth\":" + std::to_string(s.queue_depth);
+  line += ",\"running\":" + std::to_string(s.running);
+  line += ",\"accepted\":" + std::to_string(s.accepted);
+  line += ",\"coalesced\":" + std::to_string(s.coalesced);
+  line += ",\"completed\":" + std::to_string(s.completed);
+  line += ",\"shed\":" + std::to_string(s.shed);
+  line += ",\"recovered\":" + std::to_string(s.recovered);
+  line += ",\"cache_hits\":" + std::to_string(s.cache_hits);
+  line += ",\"cache_misses\":" + std::to_string(s.cache_misses);
+  line += std::string(",\"draining\":") + (s.draining ? "true" : "false");
+  line += "}";
+  return line;
+}
+
+void Server::session_loop(const std::shared_ptr<Session>& session) {
+  session->send(hello_line(options_.version, pool_ ? pool_->size() : 0,
+                           draining_.load(std::memory_order_relaxed)));
+  LineReader reader(session->socket());
+  std::string line;
+  while (!stop_.load(std::memory_order_relaxed) && reader.read_line(line)) {
+    if (line.empty()) continue;
+    harness::JsonValue op;
+    try {
+      op = harness::JsonValue::parse(line);
+    } catch (const std::exception& e) {
+      session->send(error_line("", std::string("malformed JSON: ") + e.what()));
+      continue;
+    }
+    const harness::JsonValue* kind = op.find("op");
+    if (kind == nullptr ||
+        kind->kind() != harness::JsonValue::Kind::kString) {
+      session->send(error_line("", "missing 'op'"));
+      continue;
+    }
+    if (kind->str() == "submit") {
+      handle_submit(session, op);
+    } else if (kind->str() == "ping") {
+      session->send(pong_line());
+    } else if (kind->str() == "stats") {
+      session->send(stats_line());
+    } else if (kind->str() == "drain") {
+      request_drain();
+      session->send("{\"schema\":\"hpm.serve.v1\",\"event\":\"draining\"}");
+    } else {
+      session->send(error_line("", "unknown op '" + kind->str() + "'"));
+    }
+  }
+  // Disconnect: orphaned jobs must not burn executor time.  Queued jobs
+  // with no remaining waiters are skipped when popped; a running one is
+  // cancelled between runs.
+  session->mark_closed();
+  {
+    std::lock_guard lock(mutex_);
+    sessions_.erase(session->id());
+  }
+  std::vector<std::shared_ptr<Job>> inflight;
+  {
+    std::lock_guard lock(mutex_);
+    for (auto& [fingerprint, job] : inflight_) inflight.push_back(job);
+  }
+  for (const std::shared_ptr<Job>& job : inflight) {
+    if (!job->recovery && job->abandoned()) {
+      job->cancel.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Server::handle_submit(const std::shared_ptr<Session>& session,
+                           const harness::JsonValue& op) {
+  // Best-effort id for error reporting before full parsing succeeds.
+  std::string id;
+  if (const harness::JsonValue* raw = op.find("id");
+      raw != nullptr && raw->kind() == harness::JsonValue::Kind::kString) {
+    id = raw->str();
+  }
+  ServeRequest request;
+  std::vector<harness::RunSpec> specs;
+  try {
+    request = parse_request(op);
+    specs = build_specs(request.sweep);  // validate up front: shed loudly
+  } catch (const std::exception& e) {
+    session->send(rejected_line(id, "bad_request", 0, e.what()));
+    return;
+  }
+  const std::string canonical = canonical_sweep_json(request.sweep);
+  const std::string fingerprint = request_fingerprint(request.sweep);
+  const bool has_deadline = request.deadline_ms > 0;
+  if (request.client.empty()) {
+    request.client = "session-" + std::to_string(session->id());
+  }
+
+  // Cache: a clean result for this exact canonical sweep replays instantly.
+  // Deadline requests bypass the cache both ways (their runs may carry
+  // wall budgets, so they neither read nor write shared results).
+  if (!has_deadline) {
+    if (auto hit = cache_.get(fingerprint)) {
+      session->send(accepted_line(request.id, fingerprint, queue_.depth(),
+                                  /*coalesced=*/false));
+      session->send(result_line(request.id, fingerprint, /*cached=*/true,
+                                /*ok=*/true, /*failed=*/0, *hit));
+      return;
+    }
+  }
+
+  // Coalesce: an identical sweep already queued or running gets this
+  // client attached as a waiter instead of a duplicate run.  This also
+  // resolves the restart race where a client re-submits a sweep the
+  // recovery path is already replaying.
+  if (!has_deadline) {
+    std::lock_guard lock(mutex_);
+    const auto it = inflight_.find(fingerprint);
+    if (it != inflight_.end()) {
+      {
+        std::lock_guard waiters_lock(it->second->waiters_mutex);
+        it->second->waiters.push_back(
+            Waiter{session, request.id, request.live_every});
+      }
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      session->send(accepted_line(request.id, fingerprint, queue_.depth(),
+                                  /*coalesced=*/true));
+      return;
+    }
+  }
+
+  auto job = std::make_shared<Job>();
+  job->fingerprint = fingerprint;
+  job->canonical_sweep = canonical;
+  job->sweep = request.sweep;
+  job->priority = request.priority;
+  job->client = request.client;
+  if (has_deadline) {
+    job->deadline =
+        Clock::now() + std::chrono::milliseconds(request.deadline_ms);
+  }
+  {
+    std::lock_guard lock(job->waiters_mutex);
+    job->waiters.push_back(Waiter{session, request.id, request.live_every});
+  }
+
+  const AdmissionQueue::Verdict verdict = queue_.try_push(job);
+  if (!verdict.accepted) {
+    session->send(rejected_line(request.id,
+                                shed_reason_name(verdict.reason),
+                                verdict.retry_after_ms, ""));
+    return;
+  }
+  if (!has_deadline) {
+    {
+      std::lock_guard lock(mutex_);
+      inflight_[fingerprint] = job;
+    }
+    journal_.begin(fingerprint, canonical);
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  session->send(accepted_line(request.id, fingerprint, verdict.depth,
+                              /*coalesced=*/false));
+  pool_->submit([this] { execute_one(); });
+}
+
+void Server::execute_one() {
+  std::shared_ptr<Job> job = queue_.try_pop();
+  if (job == nullptr) return;
+  const auto release = [&] {
+    {
+      std::lock_guard lock(mutex_);
+      inflight_.erase(job->fingerprint);
+    }
+    queue_.job_finished(job->client);
+  };
+  if (stop_.load(std::memory_order_relaxed)) {
+    // Hard stop: journaled sweeps stay pending, recovery replays them.
+    release();
+    return;
+  }
+  if (!job->recovery && job->abandoned()) {
+    journal_.end(job->fingerprint, "abandoned");
+    release();
+    return;
+  }
+  running_.fetch_add(1, std::memory_order_relaxed);
+  run_job(job);
+  running_.fetch_sub(1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  release();
+}
+
+void Server::run_job(const std::shared_ptr<Job>& job) {
+  // Stop coalescing onto this job BEFORE any terminal event goes out: a
+  // client that reacts to its result/error by resubmitting must find the
+  // cache (or start a fresh run), never attach to a job that already
+  // broadcast.  execute_one() erases again afterwards — harmless.
+  const auto retire = [&] {
+    std::lock_guard lock(mutex_);
+    inflight_.erase(job->fingerprint);
+  };
+
+  for_each_waiter(*job, [&](Session& session, const Waiter& waiter) {
+    session.send(started_line(waiter.request_id));
+  });
+
+  std::vector<harness::RunSpec> specs;
+  try {
+    specs = build_specs(job->sweep);
+  } catch (const std::exception& e) {
+    retire();
+    for_each_waiter(*job, [&](Session& session, const Waiter& waiter) {
+      session.send(error_line(waiter.request_id, e.what()));
+    });
+    if (!job->recovery) journal_.end(job->fingerprint, "failed");
+    return;
+  }
+
+  const bool has_deadline = job->deadline != Clock::time_point::max();
+  if (has_deadline) {
+    // Deadline enforcement, two layers: each run gets a wall budget (an
+    // in-flight run aborts itself via sim::BudgetExceeded) and the
+    // progress hook below cancels queued runs once the deadline passes.
+    const double remaining =
+        std::chrono::duration<double>(job->deadline - Clock::now()).count();
+    if (remaining <= 0) {
+      job->cancel.store(true, std::memory_order_relaxed);
+    } else {
+      for (harness::RunSpec& spec : specs) {
+        double& budget = spec.config.machine.wall_budget_seconds;
+        if (budget <= 0 || remaining < budget) budget = remaining;
+      }
+    }
+  }
+
+  harness::BatchRunner::Options options;
+  options.jobs = 1;  // per-sweep serial => byte-identical to hpmrun --jobs 1
+  options.cancel = &job->cancel;
+  options.resilience.retry.max_attempts = 1 + job->sweep.retries;
+
+  harness::CheckpointLoad resume_load;
+  std::string checkpoint_path;
+  if (!options_.state_dir.empty() && !has_deadline) {
+    checkpoint_path =
+        options_.state_dir + "/ckpt-" + job->fingerprint + ".jsonl";
+    options.resilience.checkpoint_path = checkpoint_path;
+    try {
+      resume_load = harness::load_checkpoint(checkpoint_path);
+      options.resume = &resume_load;
+    } catch (const std::exception&) {
+      // No checkpoint yet (or unreadable) — run from the start.
+    }
+  }
+
+  options.on_progress = [&](std::size_t done, std::size_t total,
+                            const harness::BatchItem& item) {
+    if (has_deadline && Clock::now() >= job->deadline) {
+      job->cancel.store(true, std::memory_order_relaxed);
+    }
+    for_each_waiter(*job, [&](Session& session, const Waiter& waiter) {
+      session.send(progress_line(waiter.request_id, done, total,
+                                 item.spec.name,
+                                 harness::run_outcome_name(item.outcome)));
+    });
+  };
+
+  std::uint64_t live_every = 0;
+  {
+    std::lock_guard lock(job->waiters_mutex);
+    for (const Waiter& waiter : job->waiters) {
+      live_every = std::max(live_every, waiter.live_every);
+    }
+  }
+  harness::JsonlSink live_sink([&](std::string_view raw) {
+    for_each_waiter(*job, [&](Session& session, const Waiter& waiter) {
+      if (waiter.live_every > 0) {
+        session.send(live_line(waiter.request_id, raw));
+      }
+    });
+  });
+  if (live_every > 0) {
+    options.live_sink = &live_sink;
+    options.live_every_refs = live_every;
+  }
+
+  harness::BatchResult batch;
+  try {
+    batch = harness::BatchRunner(options).run(specs);
+  } catch (const std::exception& first_error) {
+    if (options.resume != nullptr) {
+      // Stale or mismatched checkpoint (e.g. the journal outlived a spec
+      // change): discard it and run the sweep clean.
+      std::remove(checkpoint_path.c_str());
+      options.resume = nullptr;
+      try {
+        batch = harness::BatchRunner(options).run(specs);
+      } catch (const std::exception& e) {
+        retire();
+        for_each_waiter(*job, [&](Session& session, const Waiter& waiter) {
+          session.send(error_line(waiter.request_id, e.what()));
+        });
+        if (!job->recovery) journal_.end(job->fingerprint, "failed");
+        return;
+      }
+    } else {
+      retire();
+      for_each_waiter(*job, [&](Session& session, const Waiter& waiter) {
+        session.send(error_line(waiter.request_id, first_error.what()));
+      });
+      if (!job->recovery) journal_.end(job->fingerprint, "failed");
+      return;
+    }
+  }
+
+  const bool cancelled = job->cancel.load(std::memory_order_relaxed);
+  const std::size_t failed = batch.metrics.failed;
+  harness::JsonExportOptions export_options;
+  export_options.include_timing = false;  // byte-stable across runs
+  export_options.indent = 0;              // compact for the wire
+  const std::string result_json =
+      compact_json(harness::to_json(batch, export_options));
+
+  // Publish-then-broadcast: cache first, so a resubmit racing the result
+  // event hits the cache instead of re-running (or hanging on a dead job).
+  retire();
+  if (failed == 0 && !has_deadline && !cancelled) {
+    cache_.put(job->fingerprint, result_json);
+  }
+
+  for_each_waiter(*job, [&](Session& session, const Waiter& waiter) {
+    session.send(result_line(waiter.request_id, job->fingerprint,
+                             /*cached=*/false, failed == 0, failed,
+                             result_json));
+  });
+
+  if (has_deadline) return;  // deadline jobs are never journaled
+  if (cancelled && stop_.load(std::memory_order_relaxed)) {
+    // Interrupted by a hard stop: leave the journal pending and the
+    // checkpoint in place so a restart resumes exactly here.
+    return;
+  }
+  if (cancelled && job->abandoned()) {
+    // Keep the checkpoint: a re-submit of the same sweep resumes it.
+    journal_.end(job->fingerprint, "abandoned");
+    return;
+  }
+  journal_.end(job->fingerprint, "done");
+  if (!checkpoint_path.empty()) std::remove(checkpoint_path.c_str());
+}
+
+}  // namespace hpm::serve

@@ -1,0 +1,171 @@
+// hpmserve: a fault-tolerant long-running experiment service.
+//
+// Architecture (docs/hpmserve.md):
+//
+//   clients ──TCP──▶ session threads ──▶ AdmissionQueue ──▶ ThreadPool
+//                        │  (parse, admit/shed, coalesce)      executors
+//                        ◀── hello/accepted/rejected/started/progress/
+//                            live/result/error events (hpm.serve.v1)
+//
+// Robustness properties, each pinned by tests/serve_test.cpp:
+//  * Bounded admission with priority classes and per-client quotas; at
+//    overload every excess submit gets an explicit rejected event with a
+//    retry_after_ms hint — sheds are reported, never dropped.
+//  * Per-request deadlines cancel remaining runs via the batch cancel
+//    flag plus per-run wall budgets (sim::BudgetExceeded).
+//  * Client disconnects abandon orphaned work: queued jobs are skipped,
+//    running jobs are cancelled between runs.
+//  * Graceful drain (SIGTERM): stop admitting, finish queued work, flush
+//    journals, then exit.
+//  * Crash recovery: accepted sweeps are journaled (hpm.serve.journal.v1)
+//    and checkpointed (hpm.checkpoint.v1); on restart, unfinished sweeps
+//    replay and resume from their checkpoints, producing results
+//    byte-identical to an uninterrupted run.
+//  * Result cache keyed by the canonical request fingerprint: identical
+//    requests — including concurrent ones, which coalesce onto one run —
+//    are answered once.
+//
+// Determinism: every job executes with jobs=1 on its own BatchRunner and
+// exports with timing omitted, so a served result is byte-for-byte the
+// document `hpmrun --jobs 1 --no-timing --out` writes for the same sweep.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "harness/thread_pool.hpp"
+#include "serve/admission.hpp"
+#include "serve/journal.hpp"
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+#include "serve/result_cache.hpp"
+
+namespace hpm::serve {
+
+/// One connected client.  Writes are serialized per session so executor
+/// broadcasts and session replies never interleave mid-line.
+class Session {
+ public:
+  Session(std::uint64_t id, Socket socket)
+      : id_(id), socket_(std::move(socket)) {}
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] Socket& socket() noexcept { return socket_; }
+
+  /// Send one protocol line; false (and dead() from then on) when the
+  /// peer is gone.
+  bool send(std::string_view line);
+
+  [[nodiscard]] bool dead() const noexcept {
+    return dead_.load(std::memory_order_relaxed);
+  }
+
+  /// Wake a blocked reader (shutdown both directions).
+  void kick() { socket_.shutdown(); }
+
+  /// Mark the session gone (reader saw EOF); waiters stop counting it.
+  void mark_closed() { dead_.store(true, std::memory_order_relaxed); }
+
+ private:
+  std::uint64_t id_;
+  Socket socket_;
+  std::mutex write_mutex_;
+  std::atomic<bool> dead_{false};
+};
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral (Server::port() reports it)
+  unsigned executors = 2;  ///< concurrent jobs (each runs its sweep jobs=1)
+  std::size_t max_queue = 16;
+  std::size_t per_client_quota = 0;  ///< 0 = unlimited
+  /// Durable state directory (recovery journal + per-sweep checkpoints);
+  /// empty disables persistence and crash recovery.
+  std::string state_dir;
+  std::size_t cache_entries = 64;
+  std::uint64_t retry_after_base_ms = 200;
+  std::uint64_t retry_after_per_item_ms = 50;
+  std::string version = "1";
+};
+
+/// Point-in-time server statistics (the "stats" op's payload).
+struct ServerStats {
+  std::size_t queue_depth = 0;
+  std::size_t running = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  bool draining = false;
+};
+
+class Server {
+ public:
+  /// Binds the listener and replays the recovery journal (pending sweeps
+  /// are re-admitted before the first client connects).  Throws
+  /// std::runtime_error when the port or state dir is unusable.
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  /// Accept/serve until drained or stopped.  Blocks.
+  void run();
+
+  /// Begin graceful drain: reject new submits with reason "draining",
+  /// finish queued and running work, then run() returns.  Signal-safe
+  /// enough for a SIGTERM handler via a relay flag (see tools/hpmserve).
+  void request_drain();
+
+  /// Hard stop for tests: cancel running jobs, drop queued ones
+  /// (journaled sweeps stay pending for recovery), unblock run().
+  void stop_now();
+
+  [[nodiscard]] ServerStats stats();
+
+ private:
+  void session_loop(const std::shared_ptr<Session>& session);
+  void handle_submit(const std::shared_ptr<Session>& session,
+                     const harness::JsonValue& op);
+  void execute_one();
+  void run_job(const std::shared_ptr<Job>& job);
+  void broadcast(Job& job, const std::string& line);
+  void admit_recovered(std::vector<PendingRequest> pending);
+  [[nodiscard]] std::string stats_line();
+
+  ServerOptions options_;
+  Listener listener_;
+  RequestJournal journal_;
+  AdmissionQueue queue_;
+  ResultCache cache_;
+  std::unique_ptr<harness::ThreadPool> pool_;
+
+  std::mutex mutex_;  ///< guards inflight_, sessions_, session_threads_
+  /// fingerprint -> job accepted but not finished (coalescing target).
+  std::unordered_map<std::string, std::shared_ptr<Job>> inflight_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+  std::vector<std::thread> session_threads_;
+  std::uint64_t next_session_id_ = 1;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> running_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> recovered_{0};
+};
+
+}  // namespace hpm::serve

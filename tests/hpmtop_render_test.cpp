@@ -120,6 +120,58 @@ TEST(HpmtopExitCodes, EventFreeStreamExitsOne) {
   EXPECT_EQ(run_hpmtop(junk + " --once", "/dev/null"), 1);
 }
 
+TEST(HpmtopRobustness, GarbageCorpusIsCountedNotFatal) {
+  // The corpus mixes every non-event shape — unparsable bytes, non-object
+  // documents, objects without an "event" string — with one clean run.
+  // All six bad lines are skipped, counted, and reported in the footer.
+  const std::string corpus =
+      std::string(HPM_FIXTURE_DIR) + "/live_stream_garbage.jsonl";
+  const std::string out = temp_path("hpmtop_garbage.txt");
+  ASSERT_EQ(run_hpmtop(corpus + " --once", out), 0);
+  const std::string frame = slurp(out);
+  EXPECT_NE(frame.find("runs 1/1"), std::string::npos);
+  EXPECT_NE(frame.find("bad lines: 6"), std::string::npos);
+}
+
+TEST(HpmtopRobustness, CleanStreamsCarryNoBadLineFooter) {
+  const std::string clean = temp_path("hpmtop_clean.jsonl");
+  {
+    std::ofstream out(clean);
+    out << "{\"event\":\"batch_start\",\"total\":1,\"jobs\":1}\n"
+        << "{\"event\":\"batch_finish\",\"runs\":1,\"failed\":0}\n";
+  }
+  const std::string out = temp_path("hpmtop_clean.txt");
+  ASSERT_EQ(run_hpmtop(clean + " --once", out), 0);
+  EXPECT_EQ(slurp(out).find("bad lines"), std::string::npos);
+}
+
+TEST(HpmtopRobustness, TruncationAtEveryByteLength) {
+  // A producer killed mid-write can truncate a line at ANY byte.  Every
+  // strict prefix of a one-line JSON object is invalid JSON (the root
+  // brace only closes at the final byte), so each must be counted and
+  // skipped without crashing, and the full line at the end still renders.
+  const std::string full =
+      "{\"type\":\"hpm.live.v1\",\"event\":\"window\",\"index\":0,"
+      "\"name\":\"tomcatv/sample\",\"seq\":1,\"window\":{\"refs\":100000,"
+      "\"misses\":5200,\"miss_rate\":0.052,\"tool_share\":0.004}}";
+  const std::string stream = temp_path("hpmtop_truncated.jsonl");
+  {
+    std::ofstream out(stream);
+    for (std::size_t len = 1; len < full.size(); ++len) {
+      out << full.substr(0, len) << "\n";
+    }
+    out << full << "\n";
+  }
+  const std::string out = temp_path("hpmtop_truncated.txt");
+  ASSERT_EQ(run_hpmtop(stream + " --once", out), 0);
+  const std::string frame = slurp(out);
+  EXPECT_NE(frame.find("tomcatv/sample"), std::string::npos);
+  EXPECT_NE(frame.find("1 window"), std::string::npos);
+  EXPECT_NE(
+      frame.find("bad lines: " + std::to_string(full.size() - 1)),
+      std::string::npos);
+}
+
 TEST(HpmtopFollow, PipeInputRendersAndExitsCleanly) {
   // Follow mode on a closed pipe: drain, render, exit 0 — the CI smoke
   // pattern `hpmrun ... | hpmtop -`.

@@ -1,0 +1,596 @@
+// hpmserve robustness contract (src/serve/server.hpp lists the properties;
+// each one is pinned here):
+//
+//  * canonical request form + fingerprint identity,
+//  * bounded admission with priorities, quotas, and explicit RETRY_AFTER
+//    sheds — never a silent drop,
+//  * deadlines, disconnect abandonment, graceful drain,
+//  * crash recovery replaying the journal into byte-identical results,
+//  * the result cache answering identical requests once.
+//
+// Integration tests drive a real Server on an ephemeral port over real
+// sockets.  The suite carries the "property" label so CI also runs it
+// under TSan (the server is aggressively multithreaded).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/batch.hpp"
+#include "harness/json_export.hpp"
+#include "serve/admission.hpp"
+#include "serve/journal.hpp"
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace hpm::serve;
+using hpm::harness::JsonValue;
+
+// -- helpers -----------------------------------------------------------------
+
+std::string temp_dir(const std::string& leaf) {
+  const auto dir = std::filesystem::temp_directory_path() / leaf;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+/// The exact bytes the server must serve for `sweep` — an uninterrupted
+/// jobs=1 run exported compact with timing omitted (the determinism
+/// contract in server.hpp).
+std::string expected_result_json(const SweepSpec& sweep) {
+  hpm::harness::BatchRunner::Options options;
+  options.jobs = 1;
+  const auto batch = hpm::harness::BatchRunner(options).run(build_specs(sweep));
+  hpm::harness::JsonExportOptions export_options;
+  export_options.include_timing = false;
+  export_options.indent = 0;
+  std::string json = hpm::harness::to_json(batch, export_options);
+  while (!json.empty() && (json.back() == '\n' || json.back() == ' ')) {
+    json.pop_back();
+  }
+  return json;
+}
+
+/// Slice the spliced result document back out of a raw "result" event line
+/// (it is the final member, so it ends one byte before the line's '}').
+std::string extract_result_bytes(const std::string& line) {
+  const auto pos = line.find("\"result\":");
+  if (pos == std::string::npos) throw std::runtime_error("no result in line");
+  const auto start = pos + 9;
+  return line.substr(start, line.size() - start - 1);
+}
+
+/// Server under test: runs run() on a background thread, hard-stops on
+/// destruction if the test did not already shut it down.
+struct ServerFixture {
+  std::unique_ptr<Server> server;
+  std::thread thread;
+
+  explicit ServerFixture(ServerOptions options)
+      : server(std::make_unique<Server>(std::move(options))) {
+    thread = std::thread([this] { server->run(); });
+  }
+
+  ~ServerFixture() { shutdown(); }
+
+  void shutdown() {
+    if (server && thread.joinable()) {
+      server->stop_now();
+      thread.join();
+    }
+  }
+
+  /// Join without stopping — for drain tests where run() exits by itself.
+  void join() { thread.join(); }
+
+  std::uint16_t port() const { return server->port(); }
+};
+
+/// One protocol client: connect, consume the hello, then submit and read
+/// parsed events.
+struct TestClient {
+  Socket socket;
+  LineReader reader;
+  std::string last_raw;
+
+  explicit TestClient(std::uint16_t port)
+      : socket(connect_to("127.0.0.1", port)), reader(socket) {
+    if (!socket.valid()) throw std::runtime_error("connect failed");
+    const JsonValue hello = read_event();
+    if (hello.at("event").str() != "hello") {
+      throw std::runtime_error("expected hello, got " + last_raw);
+    }
+  }
+
+  void send(const std::string& line) {
+    if (!socket.send_line(line)) throw std::runtime_error("send failed");
+  }
+
+  JsonValue read_event() {
+    if (!reader.read_line(last_raw)) {
+      throw std::runtime_error("connection closed");
+    }
+    return JsonValue::parse(last_raw);
+  }
+
+  /// Read until one of the named events arrives (skipping progress/live
+  /// noise); throws after `limit` lines so a hang fails fast.
+  JsonValue wait_for(const std::vector<std::string>& events,
+                     std::size_t limit = 10'000) {
+    for (std::size_t i = 0; i < limit; ++i) {
+      JsonValue event = read_event();
+      const std::string& kind = event.at("event").str();
+      for (const std::string& want : events) {
+        if (kind == want) return event;
+      }
+    }
+    throw std::runtime_error("event never arrived");
+  }
+};
+
+std::string submit_op(const std::string& id, const std::string& sweep_json,
+                      const std::string& extra = "") {
+  return "{\"op\":\"submit\",\"id\":\"" + id + "\"" + extra +
+         ",\"sweep\":" + sweep_json + "}";
+}
+
+SweepSpec small_sweep(std::uint64_t seed) {
+  SweepSpec sweep;
+  sweep.scale = 0.05;
+  sweep.seed = seed;
+  return sweep;
+}
+
+/// A sweep slow enough (~seconds) that a test can act "while it runs".
+SweepSpec slow_sweep(std::uint64_t seed) {
+  SweepSpec sweep;
+  sweep.tools = {"none", "sample", "search"};
+  sweep.scale = 2.0;
+  sweep.seed = seed;
+  return sweep;
+}
+
+std::string sweep_json(const SweepSpec& sweep) {
+  return canonical_sweep_json(sweep);
+}
+
+template <typename Predicate>
+bool poll_until(Predicate&& done, int timeout_ms = 60'000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+// -- protocol units ----------------------------------------------------------
+
+TEST(ServeProtocol, PriorityNamesRoundTrip) {
+  for (const Priority p : {Priority::kHigh, Priority::kNormal, Priority::kLow}) {
+    EXPECT_EQ(parse_priority(priority_name(p)), p);
+  }
+  EXPECT_THROW((void)parse_priority("urgent"), std::invalid_argument);
+}
+
+TEST(ServeProtocol, CanonicalFormMaterializesEveryDefault) {
+  // An empty sweep object and a sweep that spells out the defaults must
+  // mean the same experiment: same canonical bytes, same fingerprint.
+  const JsonValue bare = JsonValue::parse(submit_op("r1", "{}"));
+  const JsonValue spelled = JsonValue::parse(submit_op(
+      "r2", "{\"workloads\":[\"synthetic\"],\"tools\":[\"search\"],"
+            "\"scale\":1.0,\"seed\":1554098974}"));
+  const SweepSpec a = parse_request(bare).sweep;
+  const SweepSpec b = parse_request(spelled).sweep;
+  EXPECT_EQ(canonical_sweep_json(a), canonical_sweep_json(b));
+  EXPECT_EQ(request_fingerprint(a), request_fingerprint(b));
+  EXPECT_EQ(request_fingerprint(a).size(), 16u);
+
+  SweepSpec different = a;
+  different.seed = 7;
+  EXPECT_NE(request_fingerprint(a), request_fingerprint(different));
+}
+
+TEST(ServeProtocol, CanonicalJsonRoundTripsThroughTheParser) {
+  SweepSpec sweep;
+  sweep.workloads = {"synthetic"};
+  sweep.tools = {"sample", "search"};
+  sweep.scale = 0.25;
+  sweep.seed = 0xdeadbeefcafe;
+  sweep.period = 5'000;
+  sweep.policy = "prime";
+  sweep.faults.drop_rate = 0.01;
+  sweep.retries = 2;
+  const std::string canonical = canonical_sweep_json(sweep);
+  EXPECT_EQ(canonical_sweep_json(parse_canonical_sweep(canonical)), canonical);
+}
+
+TEST(ServeProtocol, TypoedSweepKeysAreErrorsNotDefaults) {
+  EXPECT_THROW(
+      (void)parse_request(JsonValue::parse(submit_op("r", "{\"scalee\":2}"))),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)parse_request(
+          JsonValue::parse(submit_op("r", "{\"scale\":\"big\"}"))),
+      std::invalid_argument);
+  // Missing id: a terminal event could never be correlated.
+  EXPECT_THROW(
+      (void)parse_request(JsonValue::parse("{\"op\":\"submit\",\"sweep\":{}}")),
+      std::invalid_argument);
+}
+
+TEST(ServeProtocol, BuildSpecsMatchesCliRunNaming) {
+  SweepSpec sweep;
+  sweep.tools = {"none", "search"};
+  const auto specs = build_specs(sweep);
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].name, "synthetic/none");
+  EXPECT_EQ(specs[1].name, "synthetic/search");
+
+  SweepSpec bogus;
+  bogus.workloads = {"no_such_workload"};
+  EXPECT_THROW((void)build_specs(bogus), std::invalid_argument);
+  SweepSpec bad_tool;
+  bad_tool.tools = {"profiler9000"};
+  EXPECT_THROW((void)build_specs(bad_tool), std::invalid_argument);
+}
+
+// -- admission queue units ---------------------------------------------------
+
+std::shared_ptr<Job> make_job(const std::string& fingerprint,
+                              Priority priority = Priority::kNormal,
+                              const std::string& client = "c") {
+  auto job = std::make_shared<Job>();
+  job->fingerprint = fingerprint;
+  job->priority = priority;
+  job->client = client;
+  return job;
+}
+
+TEST(Admission, ShedsWhenFullWithBacklogProportionalHint) {
+  AdmissionQueue queue({.max_depth = 2,
+                        .per_client_quota = 0,
+                        .retry_after_base_ms = 100,
+                        .retry_after_per_item_ms = 25});
+  EXPECT_TRUE(queue.try_push(make_job("a")).accepted);
+  EXPECT_TRUE(queue.try_push(make_job("b")).accepted);
+  const auto verdict = queue.try_push(make_job("c"));
+  EXPECT_FALSE(verdict.accepted);
+  EXPECT_EQ(verdict.reason, ShedReason::kQueueFull);
+  EXPECT_EQ(verdict.retry_after_ms, 100 + 2 * 25);
+  EXPECT_EQ(queue.depth(), 2u);
+  EXPECT_EQ(queue.shed_count(), 1u);
+}
+
+TEST(Admission, PriorityClassesDrainHighFirstFifoWithin) {
+  AdmissionQueue queue({.max_depth = 8});
+  (void)queue.try_push(make_job("low1", Priority::kLow));
+  (void)queue.try_push(make_job("norm1", Priority::kNormal));
+  (void)queue.try_push(make_job("high1", Priority::kHigh));
+  (void)queue.try_push(make_job("high2", Priority::kHigh));
+  (void)queue.try_push(make_job("norm2", Priority::kNormal));
+  std::vector<std::string> order;
+  while (auto job = queue.try_pop()) order.push_back(job->fingerprint);
+  EXPECT_EQ(order, (std::vector<std::string>{"high1", "high2", "norm1",
+                                             "norm2", "low1"}));
+}
+
+TEST(Admission, PerClientQuotaIsEnforcedAndReleased) {
+  AdmissionQueue queue({.max_depth = 8, .per_client_quota = 1});
+  EXPECT_TRUE(queue.try_push(make_job("a", Priority::kNormal, "alice")).accepted);
+  const auto verdict = queue.try_push(make_job("b", Priority::kNormal, "alice"));
+  EXPECT_FALSE(verdict.accepted);
+  EXPECT_EQ(verdict.reason, ShedReason::kOverQuota);
+  // Another tenant is unaffected.
+  EXPECT_TRUE(queue.try_push(make_job("c", Priority::kNormal, "bob")).accepted);
+  // The slot frees once the job finishes (not when it pops).
+  (void)queue.try_pop();
+  EXPECT_FALSE(queue.try_push(make_job("d", Priority::kNormal, "alice")).accepted);
+  queue.job_finished("alice");
+  EXPECT_TRUE(queue.try_push(make_job("e", Priority::kNormal, "alice")).accepted);
+}
+
+TEST(Admission, DrainingShedsNewWorkButRecoveryIsExempt) {
+  AdmissionQueue queue({.max_depth = 1, .per_client_quota = 1});
+  queue.begin_drain();
+  EXPECT_TRUE(queue.draining());
+  const auto verdict = queue.try_push(make_job("a"));
+  EXPECT_FALSE(verdict.accepted);
+  EXPECT_EQ(verdict.reason, ShedReason::kDraining);
+
+  // Journal-replayed work was accepted before the crash: it bypasses
+  // drain, depth, and quota limits alike.
+  auto recovered = make_job("r", Priority::kHigh, "__recovery");
+  recovered->recovery = true;
+  EXPECT_TRUE(queue.try_push(recovered).accepted);
+}
+
+// -- result cache units ------------------------------------------------------
+
+TEST(ResultCacheLru, EvictsLeastRecentlyUsedAndCounts) {
+  ResultCache cache(2);
+  EXPECT_FALSE(cache.get("a").has_value());  // miss 1
+  cache.put("a", "{\"doc\":\"a\"}");
+  cache.put("b", "{\"doc\":\"b\"}");
+  EXPECT_EQ(cache.get("a").value(), "{\"doc\":\"a\"}");  // hit; a now MRU
+  cache.put("c", "{\"doc\":\"c\"}");                     // evicts b
+  EXPECT_FALSE(cache.get("b").has_value());              // miss 2
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_TRUE(cache.get("c").has_value());
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+// -- recovery journal units --------------------------------------------------
+
+TEST(ServeJournal, RecoversBeginsWithoutEndsAndSkipsGarbage) {
+  const std::string dir = temp_dir("hpm_serve_journal_unit");
+  const std::string path = dir + "/journal.jsonl";
+  {
+    RequestJournal journal(path);
+    journal.begin("aaaa000000000000", "{\"schema\":\"hpm.serve.sweep.v1\"}");
+    journal.begin("bbbb000000000000", "{\"schema\":\"hpm.serve.sweep.v1\"}");
+    journal.end("aaaa000000000000", "done");
+    // Repeated begin (crash/replay/crash) must not duplicate the entry.
+    journal.begin("bbbb000000000000", "{\"schema\":\"hpm.serve.sweep.v1\"}");
+  }
+  // A torn final line (writer killed mid-append) is skipped, not fatal.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "{\"schema\":\"hpm.serve.journal.v1\",\"op\":\"beg";
+  }
+  const auto pending = RequestJournal::recover(path);
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].fingerprint, "bbbb000000000000");
+
+  // Compaction rewrites the journal to exactly the pending set.
+  RequestJournal::compact(path, pending);
+  const auto again = RequestJournal::recover(path);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0].fingerprint, "bbbb000000000000");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeJournal, UnwritableJournalPathRefusesToStart) {
+  EXPECT_THROW(RequestJournal journal("/no/such/dir/journal.jsonl"),
+               std::runtime_error);
+}
+
+// -- integration: a real server over real sockets ----------------------------
+
+TEST(ServeIntegration, ServedResultIsByteIdenticalToAJobsOneRun) {
+  const std::string dir = temp_dir("hpm_serve_roundtrip");
+  ServerFixture fixture({.state_dir = dir});
+  const SweepSpec sweep = small_sweep(101);
+  const std::string expected = expected_result_json(sweep);
+
+  TestClient client(fixture.port());
+  client.send(submit_op("r1", sweep_json(sweep)));
+  const JsonValue accepted = client.wait_for({"accepted", "rejected", "error"});
+  ASSERT_EQ(accepted.at("event").str(), "accepted");
+  EXPECT_EQ(accepted.at("fingerprint").str(), request_fingerprint(sweep));
+
+  const JsonValue result = client.wait_for({"result", "error"});
+  ASSERT_EQ(result.at("event").str(), "result") << client.last_raw;
+  EXPECT_TRUE(result.at("ok").boolean());
+  EXPECT_FALSE(result.at("cached").boolean());
+  EXPECT_EQ(result.at("id").str(), "r1");
+  EXPECT_EQ(extract_result_bytes(client.last_raw), expected);
+  fixture.shutdown();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeIntegration, IdenticalResubmitIsServedFromCache) {
+  const std::string dir = temp_dir("hpm_serve_cache");
+  ServerFixture fixture({.state_dir = dir});
+  const SweepSpec sweep = small_sweep(202);
+
+  TestClient client(fixture.port());
+  client.send(submit_op("first", sweep_json(sweep)));
+  const JsonValue first = client.wait_for({"result", "error"});
+  ASSERT_EQ(first.at("event").str(), "result") << client.last_raw;
+  const std::string first_bytes = extract_result_bytes(client.last_raw);
+
+  client.send(submit_op("second", sweep_json(sweep)));
+  const JsonValue second = client.wait_for({"result", "error"});
+  ASSERT_EQ(second.at("event").str(), "result") << client.last_raw;
+  EXPECT_TRUE(second.at("cached").boolean());
+  EXPECT_EQ(extract_result_bytes(client.last_raw), first_bytes);
+
+  const ServerStats stats = fixture.server->stats();
+  EXPECT_GE(stats.cache_hits, 1u);
+  fixture.shutdown();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeIntegration, ConcurrentIdenticalSubmitsCoalesceOntoOneRun) {
+  const std::string dir = temp_dir("hpm_serve_coalesce");
+  ServerFixture fixture({.executors = 1, .state_dir = dir});
+  const SweepSpec sweep = slow_sweep(303);
+
+  TestClient first(fixture.port());
+  first.send(submit_op("a", sweep_json(sweep)));
+  (void)first.wait_for({"started"});  // the job is now in flight
+
+  TestClient second(fixture.port());
+  second.send(submit_op("b", sweep_json(sweep)));
+  const JsonValue accepted = second.wait_for({"accepted", "rejected"});
+  ASSERT_EQ(accepted.at("event").str(), "accepted");
+  EXPECT_TRUE(accepted.at("coalesced").boolean());
+
+  const JsonValue ra = first.wait_for({"result", "error"});
+  const JsonValue rb = second.wait_for({"result", "error"});
+  ASSERT_EQ(ra.at("event").str(), "result");
+  ASSERT_EQ(rb.at("event").str(), "result");
+  EXPECT_EQ(fixture.server->stats().coalesced, 1u);
+  fixture.shutdown();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeIntegration, OverloadShedsExplicitlyWithRetryAfterNeverSilently) {
+  const std::string dir = temp_dir("hpm_serve_shed");
+  ServerFixture fixture(
+      {.executors = 1, .max_queue = 1, .state_dir = dir});
+
+  // Occupy the single executor with a slow job...
+  TestClient busy(fixture.port());
+  busy.send(submit_op("busy", sweep_json(slow_sweep(404))));
+  (void)busy.wait_for({"started"});
+
+  // ...then burst four distinct submits: one fills the queue, the rest
+  // MUST be shed with an explicit rejected event carrying retry_after_ms.
+  TestClient burst(fixture.port());
+  std::size_t accepted = 0, rejected = 0;
+  for (int i = 0; i < 4; ++i) {
+    burst.send(submit_op("burst" + std::to_string(i),
+                         sweep_json(small_sweep(500 + i))));
+    const JsonValue verdict = burst.wait_for({"accepted", "rejected"});
+    if (verdict.at("event").str() == "accepted") {
+      ++accepted;
+    } else {
+      ++rejected;
+      EXPECT_EQ(verdict.at("reason").str(), "queue_full");
+      EXPECT_GT(verdict.at("retry_after_ms").number(), 0.0);
+    }
+  }
+  EXPECT_EQ(accepted, 1u);
+  EXPECT_EQ(rejected, 3u);
+  EXPECT_EQ(fixture.server->stats().shed, 3u);
+
+  // Zero silent drops: every accepted submit still terminates in a result.
+  ASSERT_EQ(busy.wait_for({"result", "error"}).at("event").str(), "result");
+  ASSERT_EQ(burst.wait_for({"result", "error"}).at("event").str(), "result");
+  fixture.shutdown();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeIntegration, DeadlineCancelsTheSweepAndReportsNotOk) {
+  const std::string dir = temp_dir("hpm_serve_deadline");
+  ServerFixture fixture({.state_dir = dir});
+  TestClient client(fixture.port());
+  client.send(submit_op("d1", sweep_json(slow_sweep(606)),
+                        ",\"deadline_ms\":30"));
+  const JsonValue result = client.wait_for({"result", "error"});
+  ASSERT_EQ(result.at("event").str(), "result") << client.last_raw;
+  EXPECT_FALSE(result.at("ok").boolean());
+  EXPECT_GE(result.at("failed").number(), 1.0);
+
+  // A truncated result must never poison the cache: the same sweep without
+  // a deadline runs fresh and succeeds.
+  client.send(submit_op("d2", sweep_json(slow_sweep(606))));
+  const JsonValue clean = client.wait_for({"result", "error"});
+  ASSERT_EQ(clean.at("event").str(), "result") << client.last_raw;
+  EXPECT_TRUE(clean.at("ok").boolean());
+  EXPECT_FALSE(clean.at("cached").boolean());
+  fixture.shutdown();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeIntegration, DisconnectedClientsWorkIsAbandonedNotRun) {
+  const std::string dir = temp_dir("hpm_serve_abandon");
+  ServerFixture fixture({.executors = 1, .max_queue = 4, .state_dir = dir});
+
+  TestClient busy(fixture.port());
+  busy.send(submit_op("busy", sweep_json(slow_sweep(707))));
+  (void)busy.wait_for({"started"});
+
+  {
+    // Queue a second job, then vanish before it starts.
+    TestClient doomed(fixture.port());
+    doomed.send(submit_op("orphan", sweep_json(small_sweep(708))));
+    const JsonValue verdict = doomed.wait_for({"accepted", "rejected"});
+    ASSERT_EQ(verdict.at("event").str(), "accepted");
+  }  // socket closes here
+
+  ASSERT_EQ(busy.wait_for({"result", "error"}).at("event").str(), "result");
+  // The orphaned job is skipped, never executed: the queue empties with
+  // exactly one completion.
+  ASSERT_TRUE(poll_until([&] {
+    const ServerStats stats = fixture.server->stats();
+    return stats.queue_depth == 0 && stats.running == 0;
+  }));
+  EXPECT_EQ(fixture.server->stats().completed, 1u);
+  fixture.shutdown();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeIntegration, GracefulDrainFinishesAdmittedWorkThenExits) {
+  const std::string dir = temp_dir("hpm_serve_drain");
+  ServerFixture fixture({.executors = 1, .max_queue = 4, .state_dir = dir});
+
+  TestClient client(fixture.port());
+  client.send(submit_op("a", sweep_json(slow_sweep(808))));
+  (void)client.wait_for({"started"});
+  client.send(submit_op("b", sweep_json(small_sweep(809))));
+  ASSERT_EQ(client.wait_for({"accepted", "rejected"}).at("event").str(),
+            "accepted");
+
+  fixture.server->request_drain();
+
+  // New work is shed with the drain reason...
+  client.send(submit_op("late", sweep_json(small_sweep(810))));
+  const JsonValue late = client.wait_for({"accepted", "rejected"});
+  ASSERT_EQ(late.at("event").str(), "rejected");
+  EXPECT_EQ(late.at("reason").str(), "draining");
+
+  // ...but both admitted jobs still complete, then run() returns.
+  ASSERT_EQ(client.wait_for({"result", "error"}).at("event").str(), "result");
+  ASSERT_EQ(client.wait_for({"result", "error"}).at("event").str(), "result");
+  fixture.join();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeIntegration, CrashRecoveryReplaysToByteIdenticalResults) {
+  const std::string dir = temp_dir("hpm_serve_recovery");
+  const SweepSpec sweep = slow_sweep(909);
+  const std::string expected = expected_result_json(sweep);
+
+  // Accept the sweep, wait until it is running, then hard-stop the server
+  // (the moral equivalent of kill -9: the journal keeps its pending begin
+  // and the checkpoint keeps whatever runs completed).
+  {
+    ServerFixture fixture({.executors = 1, .state_dir = dir});
+    TestClient client(fixture.port());
+    client.send(submit_op("doomed", sweep_json(sweep)));
+    (void)client.wait_for({"started"});
+    fixture.shutdown();
+  }
+
+  // A fresh server on the same state dir replays the journal and finishes
+  // the sweep with no client attached.
+  ServerFixture revived({.executors = 1, .state_dir = dir});
+  EXPECT_GE(revived.server->stats().recovered, 1u);
+  ASSERT_TRUE(poll_until([&] {
+    const ServerStats stats = revived.server->stats();
+    return stats.completed >= 1 && stats.running == 0 &&
+           stats.queue_depth == 0;
+  })) << "recovered sweep never completed";
+
+  // The replayed result — resumed from the checkpoint — is byte-identical
+  // to an uninterrupted jobs=1 run, and is served straight from the cache.
+  TestClient client(revived.port());
+  client.send(submit_op("verify", sweep_json(sweep)));
+  const JsonValue result = client.wait_for({"result", "error"});
+  ASSERT_EQ(result.at("event").str(), "result") << client.last_raw;
+  EXPECT_TRUE(result.at("ok").boolean());
+  EXPECT_TRUE(result.at("cached").boolean());
+  EXPECT_EQ(extract_result_bytes(client.last_raw), expected);
+  revived.shutdown();
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace

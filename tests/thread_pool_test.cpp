@@ -1,0 +1,124 @@
+// ThreadPool shutdown semantics.  The serve drain path leans on the
+// destructor contract ("queued-but-unstarted tasks still run"), so these
+// pin it down explicitly, along with wait_idle racing enqueue and the
+// drain-before-report exception ordering.  The whole file is label
+// "property" so CI also runs it under TSan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "harness/thread_pool.hpp"
+
+namespace {
+
+using hpm::harness::ThreadPool;
+
+TEST(ThreadPoolShutdown, DestructionRunsQueuedButUnstartedTasks) {
+  // One worker, blocked on a gate, with a backlog behind it: destroying
+  // the pool must execute the backlog, not drop it.  This is what lets
+  // Server drain admitted jobs by resetting its pool.
+  std::atomic<int> ran{0};
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  {
+    ThreadPool pool(1);
+    pool.submit([&, open] {
+      open.wait();
+      ran.fetch_add(1);
+    });
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&] { ran.fetch_add(1); });
+    }
+    EXPECT_LT(ran.load(), 33);  // backlog cannot have finished yet
+    gate.set_value();
+  }  // ~ThreadPool joins after the queue is empty
+  EXPECT_EQ(ran.load(), 33);
+}
+
+TEST(ThreadPoolShutdown, DestructionSurvivesThrowingQueuedTask) {
+  // A task that throws during the destructor drain is captured (and then
+  // discarded — nobody calls wait_idle again), never std::terminate.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    pool.submit([] { throw std::runtime_error("mid-drain failure"); });
+    pool.submit([&] { ran.fetch_add(1); });
+  }
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolShutdown, WaitIdleRacingEnqueueNeverHangsOrDropsWork) {
+  // A producer thread enqueues while the main thread repeatedly waits.
+  // wait_idle only promises to cover tasks submitted before the call, so
+  // the invariant under race is: no deadlock, no lost task, and a final
+  // wait after the producer joins observes everything.
+  constexpr int kTasks = 500;
+  std::atomic<int> ran{0};
+  ThreadPool pool(4);
+  std::thread producer([&] {
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([&] { ran.fetch_add(1); });
+      if (i % 64 == 0) std::this_thread::yield();
+    }
+  });
+  for (int i = 0; i < 16; ++i) pool.wait_idle();
+  producer.join();
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPoolShutdown, ExceptionReportedOnlyAfterQueueDrains) {
+  // Drain-before-report: a throwing task must not short-circuit the tasks
+  // queued behind it.  wait_idle rethrows the first error once, and the
+  // pool stays usable afterwards.
+  std::atomic<int> ran{0};
+  ThreadPool pool(1);
+  pool.submit([] { throw std::runtime_error("first failure wins"); });
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&] { ran.fetch_add(1); });
+  }
+  pool.submit([] { throw std::runtime_error("second failure is dropped"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle should rethrow the first task exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "first failure wins");
+  }
+  EXPECT_EQ(ran.load(), 8);  // everything behind the thrower still ran
+
+  // The error slot is cleared and the pool accepts new work.
+  pool.submit([&] { ran.fetch_add(1); });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(ran.load(), 9);
+}
+
+TEST(ThreadPoolShutdown, WaitIdleCoversInFlightNotJustQueued) {
+  // A popped-but-running task must still hold wait_idle: "queue empty" is
+  // not "idle".  The task parks mid-execution until after wait_idle has
+  // started blocking on it.
+  std::atomic<bool> finished{false};
+  std::promise<void> started;
+  std::promise<void> release;
+  std::shared_future<void> go = release.get_future().share();
+  ThreadPool pool(2);
+  pool.submit([&, go] {
+    started.set_value();
+    go.wait();
+    finished.store(true);
+  });
+  started.get_future().wait();  // task is in flight, queue is empty
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    release.set_value();
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(finished.load());
+  releaser.join();
+}
+
+}  // namespace

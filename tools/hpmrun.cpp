@@ -20,6 +20,8 @@
 //   hpmrun --workload swim --tool search --record-trace swim.trace
 //   hpmrun --workload applu --tool none --out results/applu.json
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -122,6 +124,14 @@ int usage(const char* error) {
       error != nullptr ? stderr : stdout);
   return error != nullptr ? 2 : 0;
 }
+
+/// SIGINT/SIGTERM on a checkpointed sweep: the handler only flips this
+/// flag; the batch runner skips queued-but-unstarted runs (they are not
+/// journaled, so --resume re-runs exactly them), in-flight runs finish and
+/// are journaled, and main exits 3 with a resume hint.
+std::atomic<bool> g_interrupted{false};
+
+void on_interrupt(int) { g_interrupted.store(true, std::memory_order_relaxed); }
 
 /// Probe an output path before any run starts: a long sweep must fail in
 /// the first millisecond, not at export time, when a directory is missing
@@ -573,6 +583,14 @@ int main(int argc, char** argv) {
   } else if (!checkpoint_path.empty()) {
     batch_options.resilience.checkpoint_path = checkpoint_path;
   }
+  // A checkpointed sweep is resumable, so Ctrl-C / SIGTERM should stop it
+  // cleanly (journal flushed, distinct exit code) instead of killing the
+  // process mid-write.  Without a journal the default disposition stands.
+  if (!batch_options.resilience.checkpoint_path.empty()) {
+    batch_options.cancel = &g_interrupted;
+    std::signal(SIGINT, on_interrupt);
+    std::signal(SIGTERM, on_interrupt);
+  }
   // Live progress (opt-in, stderr/JSONL only): the reporter observes runs
   // but never feeds back into them, so exported documents stay
   // byte-identical with it on or off (batch_runner_test asserts this).
@@ -695,6 +713,21 @@ int main(int argc, char** argv) {
     trace_sink->close();
     std::fprintf(stderr, "wrote %s (Chrome trace; open in chrome://tracing)\n",
                  trace_out.c_str());
+  }
+  if (g_interrupted.load(std::memory_order_relaxed)) {
+    // The journal and the progress/live streams were flushed above
+    // (completed runs are journaled; cancelled ones are not, so a resume
+    // re-runs exactly the skipped remainder).
+    const std::string& journal = batch_options.resilience.checkpoint_path;
+    const auto skipped = static_cast<std::size_t>(std::count_if(
+        batch.items.begin(), batch.items.end(), [](const auto& item) {
+          return item.outcome == harness::RunOutcome::kCancelled;
+        }));
+    std::fprintf(stderr,
+                 "hpmrun: interrupted; %zu run(s) skipped, journal saved — "
+                 "resume with --resume %s\n",
+                 skipped, journal.c_str());
+    return 3;
   }
   return batch.metrics.failed == 0 ? 0 : 1;
 }

@@ -1,0 +1,118 @@
+// hpmserve — a long-running experiment service over the batch engine.
+//
+// Accepts hpm.serve.v1 requests (JSON over TCP, one object per line),
+// executes them on a bounded executor pool with admission control, and
+// streams progress/live/result events back.  Robustness features — load
+// shedding with RETRY_AFTER, per-request deadlines, client-disconnect
+// abandonment, graceful SIGTERM drain, and crash recovery from the
+// hpm.serve.journal.v1 + hpm.checkpoint.v1 journals — are documented in
+// docs/hpmserve.md and exercised by tools/serve_loadgen and
+// bench/table6_saturation.
+//
+//   hpmserve --port 7077 --executors 4 --state /var/tmp/hpmserve
+//   hpmserve --port 0 --print-port --max-queue 8 --quota 2
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace hpm;
+
+int usage(const char* error) {
+  if (error != nullptr) std::fprintf(stderr, "hpmserve: %s\n\n", error);
+  std::fputs(
+      "usage: hpmserve [options]\n"
+      "  --host ADDR       listen address            (default 127.0.0.1)\n"
+      "  --port N          listen port; 0 = ephemeral (default 7077)\n"
+      "  --print-port      print the bound port on stdout (for scripts\n"
+      "                    and tests using --port 0)\n"
+      "  --executors N     concurrent experiment jobs (default 2)\n"
+      "  --max-queue N     admission queue bound      (default 16)\n"
+      "  --quota N         per-client queued+running quota (default: off)\n"
+      "  --state DIR       durable state dir: recovery journal +\n"
+      "                    per-sweep checkpoints (default: none)\n"
+      "  --cache N         result-cache entries       (default 64)\n"
+      "  --retry-after-ms N  base RETRY_AFTER hint    (default 200)\n"
+      "\nSIGTERM/SIGINT drain gracefully: new submits are shed with\n"
+      "reason \"draining\", admitted work finishes, journals are flushed,\n"
+      "then the server exits 0.  After a hard kill, restarting with the\n"
+      "same --state replays unfinished sweeps from their checkpoints.\n",
+      error != nullptr ? stderr : stdout);
+  return error != nullptr ? 2 : 0;
+}
+
+// Signal relay: the handler only flips a flag; the main loop calls
+// request_drain() from normal context.
+volatile std::sig_atomic_t g_drain_requested = 0;
+
+void on_terminate(int) { g_drain_requested = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv,
+                {"host", "port", "print-port", "executors", "max-queue",
+                 "quota", "state", "cache", "retry-after-ms", "help"});
+  if (!cli.ok()) return usage(cli.error().c_str());
+  if (cli.has("help")) return usage(nullptr);
+
+  serve::ServerOptions options;
+  options.host = cli.get("host", "127.0.0.1");
+  options.port = static_cast<std::uint16_t>(cli.get_uint("port", 7077));
+  options.executors = static_cast<unsigned>(cli.get_uint("executors", 2));
+  options.max_queue = static_cast<std::size_t>(cli.get_uint("max-queue", 16));
+  options.per_client_quota =
+      static_cast<std::size_t>(cli.get_uint("quota", 0));
+  options.state_dir = cli.get("state", "");
+  options.cache_entries = static_cast<std::size_t>(cli.get_uint("cache", 64));
+  options.retry_after_base_ms = cli.get_uint("retry-after-ms", 200);
+
+  std::unique_ptr<serve::Server> server;
+  try {
+    server = std::make_unique<serve::Server>(options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hpmserve: %s\n", e.what());
+    return 1;
+  }
+
+  if (cli.get_bool("print-port", false)) {
+    std::printf("%u\n", static_cast<unsigned>(server->port()));
+    std::fflush(stdout);
+  }
+  std::fprintf(stderr, "hpmserve: listening on %s:%u (%u executors)\n",
+               options.host.c_str(), static_cast<unsigned>(server->port()),
+               options.executors);
+
+  std::signal(SIGTERM, on_terminate);
+  std::signal(SIGINT, on_terminate);
+
+  // Signal relay thread: the handler only flips a flag; request_drain()
+  // runs from normal context here.  run() returns once the server is
+  // draining, the queue is empty and nothing is running.
+  std::atomic<bool> done{false};
+  std::thread drain_watch([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      if (g_drain_requested) {
+        std::fprintf(stderr,
+                     "hpmserve: drain requested, finishing admitted work\n");
+        server->request_drain();
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+
+  server->run();
+  done.store(true, std::memory_order_relaxed);
+  drain_watch.join();
+  std::fprintf(stderr, "hpmserve: drained, exiting\n");
+  return 0;
+}

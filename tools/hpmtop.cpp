@@ -205,7 +205,13 @@ void apply_live_event(Dashboard& dash, const JsonValue& obj,
 }
 
 /// Feed one JSONL line into the dashboard; returns false when the line was
-/// not a recognizable event.
+/// not a recognizable event.  Anything that is not a well-formed event
+/// object — unparsable bytes, a non-object document, an object without an
+/// "event" string, or an event whose payload blows up mid-apply (a line
+/// truncated inside a string can still parse) — is counted as a bad line
+/// and skipped; a garbage producer can degrade the dashboard but never
+/// crash it.  Blank lines are ignored silently (streams legitimately end
+/// with one).
 bool apply_line(Dashboard& dash, const std::string& line) {
   if (line.empty()) return false;
   JsonValue obj;
@@ -221,14 +227,22 @@ bool apply_line(Dashboard& dash, const std::string& line) {
   }
   const JsonValue* type = obj.find("type");
   const std::string event = str_or(obj, "event", "");
-  if (event.empty()) return false;
-  ++dash.events;
-  if (type != nullptr && type->kind() == JsonValue::Kind::kString &&
-      type->str() == "hpm.live.v1") {
-    apply_live_event(dash, obj, event);
-  } else if (type == nullptr) {
-    apply_progress_event(dash, obj, event);
+  if (event.empty()) {
+    ++dash.malformed;
+    return false;
   }
+  try {
+    if (type != nullptr && type->kind() == JsonValue::Kind::kString &&
+        type->str() == "hpm.live.v1") {
+      apply_live_event(dash, obj, event);
+    } else if (type == nullptr) {
+      apply_progress_event(dash, obj, event);
+    }
+  } catch (const std::exception&) {
+    ++dash.malformed;
+    return false;
+  }
+  ++dash.events;
   return true;
 }
 
@@ -328,6 +342,12 @@ std::string render(const Dashboard& dash, std::size_t width) {
         << fmt("%.2f%%", dash.rollup_miss_rate * 100.0) << "  interrupts "
         << fmt("%.0f", dash.rollup_interrupts) << "  tool "
         << fmt("%.2f%%", dash.rollup_tool_share * 100.0) << "\n";
+  }
+
+  // Data-quality footer: only when something was actually skipped, so
+  // clean-stream frames (and their golden fixtures) are unchanged.
+  if (dash.malformed > 0) {
+    out << "\nbad lines: " << dash.malformed << "\n";
   }
   return out.str();
 }

@@ -1,0 +1,388 @@
+// serve_loadgen — hpm.serve.v1 client and load generator for hpmserve.
+//
+// Single-request mode submits one sweep and waits for its terminal event;
+// --out re-exports the result document exactly as `hpmrun --jobs 1
+// --no-timing --out` would write it, so recovery byte-identity can be
+// checked with cmp(1).  Load mode fires --count requests over
+// --concurrency connections (closed loop) and reports throughput and
+// p50/p95/p99 latency; every request must terminate in accepted+result,
+// rejected, or error — a request that just vanishes is a loadgen failure,
+// which is how the saturation bench proves sheds are reported, not
+// dropped.
+//
+//   serve_loadgen --port 7077 --workload tomcatv --tool search --out r.json
+//   serve_loadgen --port 7077 --count 32 --concurrency 8 --distinct
+//   serve_loadgen --port 7077 --op stats
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/json_export.hpp"
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace hpm;
+using Clock = std::chrono::steady_clock;
+
+int usage(const char* error) {
+  if (error != nullptr) std::fprintf(stderr, "serve_loadgen: %s\n\n", error);
+  std::fputs(
+      "usage: serve_loadgen [options]\n"
+      "  --host ADDR --port N   server address (port required)\n"
+      "  --op OP           submit|stats|ping|drain   (default submit)\n"
+      "\nsweep (submit): --workload LIST --tool LIST --scale F\n"
+      "  --iterations N --seed N --cache BYTES --levels SPEC --observe N\n"
+      "  --period N --policy P --n N --interval N --retries N\n"
+      "\nrequest: --priority high|normal|low --deadline-ms N\n"
+      "  --live-every N --client NAME --id ID\n"
+      "\nload mode: --count N --concurrency C --distinct (vary seed per\n"
+      "  request, defeating the result cache and coalescing)\n"
+      "\noutput: --out FILE (single request: result as hpm.batch JSON,\n"
+      "  indent 2, no timing — byte-comparable to hpmrun --no-timing)\n"
+      "  --summary-json FILE (load mode: machine-readable summary)\n"
+      "  --timeout-ms N  per-event receive timeout (default 120000)\n"
+      "  --verbose       echo progress/live events to stderr\n",
+      error != nullptr ? stderr : stdout);
+  return error != nullptr ? 2 : 0;
+}
+
+std::vector<std::string> split_list(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) out.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+struct Outcome {
+  bool terminal = false;   ///< saw rejected | result | error
+  bool rejected = false;
+  bool errored = false;
+  bool ok = false;          ///< result with failed == 0
+  bool cached = false;
+  std::uint64_t retry_after_ms = 0;
+  double latency_ms = 0.0;
+  std::string result_json;  ///< compact batch document (result events)
+  std::string detail;
+};
+
+/// Submit one request on an open socket and pump events until terminal.
+Outcome run_request(serve::Socket& socket, serve::LineReader& reader,
+                    const serve::SweepSpec& sweep, const std::string& id,
+                    const std::string& client, const std::string& priority,
+                    std::uint64_t deadline_ms, std::uint64_t live_every,
+                    bool verbose, bool want_result) {
+  Outcome outcome;
+  std::string submit = "{\"op\":\"submit\",\"id\":\"" +
+                       harness::json_escape(id) + "\",\"client\":\"" +
+                       harness::json_escape(client) + "\",\"priority\":\"" +
+                       priority + "\"";
+  if (deadline_ms > 0) {
+    submit += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+  }
+  if (live_every > 0) {
+    submit += ",\"live_every\":" + std::to_string(live_every);
+  }
+  submit += ",\"sweep\":" + serve::canonical_sweep_json(sweep) + "}";
+
+  const auto start = Clock::now();
+  if (!socket.send_line(submit)) {
+    outcome.detail = "send failed";
+    return outcome;
+  }
+  std::string line;
+  while (reader.read_line(line)) {
+    if (line.empty()) continue;
+    harness::JsonValue event;
+    try {
+      event = harness::JsonValue::parse(line);
+    } catch (const std::exception&) {
+      continue;
+    }
+    const harness::JsonValue* kind = event.find("event");
+    if (kind == nullptr) continue;
+    const harness::JsonValue* event_id = event.find("id");
+    const std::string name = kind->str();
+    if (name == "hello" || name == "pong" || name == "stats") continue;
+    if (event_id == nullptr || event_id->str() != id) continue;
+    if (verbose && (name == "progress" || name == "live")) {
+      std::fprintf(stderr, "%s\n", line.c_str());
+      continue;
+    }
+    if (name == "rejected") {
+      outcome.terminal = true;
+      outcome.rejected = true;
+      if (const auto* retry = event.find("retry_after_ms")) {
+        outcome.retry_after_ms = retry->uint();
+      }
+      if (const auto* detail = event.find("detail")) {
+        outcome.detail = detail->str();
+      }
+      if (const auto* reason = event.find("reason")) {
+        outcome.detail = reason->str() +
+                         (outcome.detail.empty() ? "" : ": " + outcome.detail);
+      }
+      break;
+    }
+    if (name == "error") {
+      outcome.terminal = true;
+      outcome.errored = true;
+      if (const auto* detail = event.find("detail")) {
+        outcome.detail = detail->str();
+      }
+      break;
+    }
+    if (name == "result") {
+      outcome.terminal = true;
+      outcome.ok = event.at("ok").boolean();
+      outcome.cached = event.at("cached").boolean();
+      if (want_result) {
+        std::ostringstream compact;
+        harness::write_json_value(compact, event.at("result"));
+        outcome.result_json = std::move(compact).str();
+      }
+      break;
+    }
+  }
+  outcome.latency_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  return outcome;
+}
+
+void set_receive_timeout(serve::Socket& socket, std::uint64_t timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  ::setsockopt(socket.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(
+      argc, argv,
+      {"host", "port", "op", "workload", "tool", "scale", "iterations",
+       "seed", "cache", "levels", "observe", "period", "policy", "n",
+       "interval", "retries", "priority", "deadline-ms", "live-every",
+       "client", "id", "count", "concurrency", "distinct", "out",
+       "summary-json", "timeout-ms", "verbose", "help"});
+  if (!cli.ok()) return usage(cli.error().c_str());
+  if (cli.has("help")) return usage(nullptr);
+  if (!cli.has("port")) return usage("--port is required");
+
+  const std::string host = cli.get("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(cli.get_uint("port", 0));
+  const std::uint64_t timeout_ms = cli.get_uint("timeout-ms", 120'000);
+  const std::string op = cli.get("op", "submit");
+
+  if (op != "submit") {
+    serve::Socket socket = serve::connect_to(host, port);
+    if (!socket.valid()) {
+      std::fprintf(stderr, "serve_loadgen: cannot connect to %s:%u\n",
+                   host.c_str(), port);
+      return 1;
+    }
+    set_receive_timeout(socket, timeout_ms);
+    if (!socket.send_line("{\"op\":\"" + op + "\"}")) return 1;
+    serve::LineReader reader(socket);
+    std::string line;
+    const std::string expect = op == "ping"     ? "pong"
+                               : op == "stats"  ? "stats"
+                               : op == "drain"  ? "draining"
+                                                : "";
+    while (reader.read_line(line)) {
+      if (line.find("\"event\":\"" + expect + "\"") != std::string::npos) {
+        std::printf("%s\n", line.c_str());
+        return 0;
+      }
+    }
+    std::fprintf(stderr, "serve_loadgen: no %s reply\n", expect.c_str());
+    return 1;
+  }
+
+  serve::SweepSpec sweep;
+  sweep.workloads = split_list(cli.get("workload", "synthetic"));
+  sweep.tools = split_list(cli.get("tool", "search"));
+  for (std::string& tool : sweep.tools) {
+    if (tool == "nway") tool = "search";
+  }
+  sweep.scale = cli.get_double("scale", 1.0);
+  sweep.iterations = cli.get_uint("iterations", 0);
+  sweep.seed = cli.get_uint("seed", 0x5ca1ab1e);
+  sweep.cache_bytes = cli.get_uint("cache", 0);
+  sweep.levels = cli.get("levels", "");
+  sweep.observe = cli.get_int("observe", -1);
+  sweep.period = cli.get_uint("period", 10'000);
+  sweep.policy = cli.get("policy", "fixed");
+  sweep.n = static_cast<std::uint32_t>(cli.get_uint("n", 10));
+  sweep.interval = cli.get_uint("interval", 1'000'000);
+  sweep.retries = static_cast<std::uint32_t>(cli.get_uint("retries", 0));
+
+  const std::string priority = cli.get("priority", "normal");
+  const std::uint64_t deadline_ms = cli.get_uint("deadline-ms", 0);
+  const std::uint64_t live_every = cli.get_uint("live-every", 0);
+  const std::string client = cli.get("client", "loadgen");
+  const bool verbose = cli.get_bool("verbose", false);
+  const auto count = static_cast<std::size_t>(cli.get_uint("count", 1));
+  const auto concurrency = std::max<std::size_t>(
+      1, static_cast<std::size_t>(cli.get_uint("concurrency", 1)));
+  const bool distinct = cli.get_bool("distinct", false);
+  const std::string out_path = cli.get("out", "");
+
+  if (count == 1 && concurrency == 1) {
+    serve::Socket socket = serve::connect_to(host, port);
+    if (!socket.valid()) {
+      std::fprintf(stderr, "serve_loadgen: cannot connect to %s:%u\n",
+                   host.c_str(), port);
+      return 1;
+    }
+    set_receive_timeout(socket, timeout_ms);
+    serve::LineReader reader(socket);
+    const std::string id = cli.get("id", "r1");
+    const Outcome outcome =
+        run_request(socket, reader, sweep, id, client, priority, deadline_ms,
+                    live_every, verbose, /*want_result=*/true);
+    if (!outcome.terminal) {
+      std::fprintf(stderr, "serve_loadgen: no terminal event for '%s' (%s)\n",
+                   id.c_str(),
+                   outcome.detail.empty() ? "timeout" : outcome.detail.c_str());
+      return 1;
+    }
+    if (outcome.rejected) {
+      std::fprintf(stderr,
+                   "serve_loadgen: rejected (%s), retry after %llu ms\n",
+                   outcome.detail.c_str(),
+                   static_cast<unsigned long long>(outcome.retry_after_ms));
+      return 3;
+    }
+    if (outcome.errored) {
+      std::fprintf(stderr, "serve_loadgen: error: %s\n",
+                   outcome.detail.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "result: %s%s  latency: %.1f ms\n",
+                 outcome.ok ? "ok" : "failed",
+                 outcome.cached ? " (cached)" : "", outcome.latency_ms);
+    if (!out_path.empty()) {
+      // Re-export through the full-fidelity reader so the file matches
+      // `hpmrun --jobs 1 --no-timing --out` byte for byte.
+      std::ofstream out(out_path);
+      if (!out) {
+        std::fprintf(stderr, "serve_loadgen: cannot open %s\n",
+                     out_path.c_str());
+        return 1;
+      }
+      harness::JsonExportOptions export_options;
+      export_options.include_timing = false;
+      harness::export_json(
+          out, harness::parse_batch_result(outcome.result_json),
+          export_options);
+      std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+    }
+    return outcome.ok ? 0 : 1;
+  }
+
+  // Load mode: closed loop, `concurrency` worker connections sharing the
+  // request budget.  Every request must reach a terminal event.
+  std::atomic<std::size_t> next{0};
+  std::mutex results_mutex;
+  std::vector<Outcome> outcomes;
+  const auto wall_start = Clock::now();
+  std::vector<std::thread> workers;
+  for (std::size_t w = 0; w < concurrency; ++w) {
+    workers.emplace_back([&, w] {
+      serve::Socket socket = serve::connect_to(host, port);
+      if (!socket.valid()) return;
+      set_receive_timeout(socket, timeout_ms);
+      serve::LineReader reader(socket);
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= count) return;
+        serve::SweepSpec request_sweep = sweep;
+        if (distinct) request_sweep.seed += i;  // defeat cache + coalescing
+        const Outcome outcome = run_request(
+            socket, reader, request_sweep, "r" + std::to_string(i),
+            client + "-" + std::to_string(w), priority, deadline_ms,
+            live_every, verbose, /*want_result=*/false);
+        std::lock_guard lock(results_mutex);
+        outcomes.push_back(outcome);
+        if (!outcome.terminal) return;  // dead connection: stop this worker
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+  std::size_t terminal = 0, rejected = 0, errored = 0, ok = 0, cached = 0;
+  std::vector<double> completed_latencies;
+  for (const Outcome& outcome : outcomes) {
+    if (outcome.terminal) ++terminal;
+    if (outcome.rejected) ++rejected;
+    if (outcome.errored) ++errored;
+    if (outcome.ok) {
+      ++ok;
+      completed_latencies.push_back(outcome.latency_ms);
+    }
+    if (outcome.cached) ++cached;
+  }
+  const std::size_t lost = count - terminal;
+  std::sort(completed_latencies.begin(), completed_latencies.end());
+  const double p50 = percentile(completed_latencies, 0.50);
+  const double p95 = percentile(completed_latencies, 0.95);
+  const double p99 = percentile(completed_latencies, 0.99);
+  const double rps =
+      wall_seconds > 0 ? static_cast<double>(ok) / wall_seconds : 0.0;
+
+  std::printf(
+      "requests: %zu  terminal: %zu  ok: %zu  rejected: %zu  errors: %zu  "
+      "lost: %zu  cached: %zu\n",
+      count, terminal, ok, rejected, errored, lost, cached);
+  std::printf("throughput: %.2f ok-req/s   latency ms: p50 %.1f  p95 %.1f  "
+              "p99 %.1f\n",
+              rps, p50, p95, p99);
+
+  const std::string summary_path = cli.get("summary-json", "");
+  if (!summary_path.empty()) {
+    std::ofstream out(summary_path);
+    if (!out) {
+      std::fprintf(stderr, "serve_loadgen: cannot open %s\n",
+                   summary_path.c_str());
+      return 1;
+    }
+    out << "{\"schema\":\"hpm.loadgen.v1\",\"requests\":" << count
+        << ",\"terminal\":" << terminal << ",\"ok\":" << ok
+        << ",\"rejected\":" << rejected << ",\"errors\":" << errored
+        << ",\"lost\":" << lost << ",\"cached\":" << cached
+        << ",\"wall_seconds\":" << wall_seconds << ",\"rps\":" << rps
+        << ",\"p50_ms\":" << p50 << ",\"p95_ms\":" << p95
+        << ",\"p99_ms\":" << p99 << "}\n";
+  }
+  // Lost requests (no terminal event) are the one unforgivable failure:
+  // the protocol promises every submit an explicit answer.
+  return lost == 0 ? 0 : 1;
+}
