@@ -42,6 +42,8 @@ void write_meta(JsonWriter& writer, bool include_build) {
   writer.key("hpm.checkpoint").value(1);
   writer.key("hpm.live").value(1);
   writer.key("hpm.metrics").value(1);
+  writer.key("hpm.serve").value(1);
+  writer.key("hpm.serve.events").value(1);
   writer.end_object();
   if (include_build) {
     const BuildInfo& info = build_info();

@@ -37,6 +37,7 @@ AdmissionQueue::Verdict AdmissionQueue::try_push(
 
   const auto shed = [&](ShedReason reason) {
     ++shed_;
+    ++shed_by_class_[static_cast<std::size_t>(job->priority)];
     Verdict verdict;
     verdict.accepted = false;
     verdict.reason = reason;
@@ -108,6 +109,11 @@ std::size_t AdmissionQueue::depth() const {
 std::uint64_t AdmissionQueue::shed_count() const {
   std::lock_guard lock(mutex_);
   return shed_;
+}
+
+std::array<std::uint64_t, 3> AdmissionQueue::shed_by_class() const {
+  std::lock_guard lock(mutex_);
+  return shed_by_class_;
 }
 
 }  // namespace hpm::serve

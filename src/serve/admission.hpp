@@ -9,6 +9,7 @@
 // turns around interactive requests ahead of bulk sweeps.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -29,6 +30,7 @@ class Session;  // defined in server.hpp
 struct Waiter {
   std::weak_ptr<Session> session;
   std::string request_id;
+  std::string trace;  ///< this waiter's trace id (coalesced waiters differ)
   std::uint64_t live_every = 0;  ///< hpm.live.v1 window period; 0 = off
 };
 
@@ -41,6 +43,11 @@ struct Job {
   SweepSpec sweep;
   Priority priority = Priority::kNormal;
   std::string client;  ///< quota identity of the submitting client
+  /// Trace id of the submit that created the job (coalesced followers keep
+  /// their own ids on their Waiter entries; lifecycle events use this one).
+  std::string trace;
+  /// WallSpan::now_us() at admission — the anchor for the queue-wait span.
+  std::uint64_t accept_us = 0;
   /// steady-clock deadline; time_point::max() = none.  Enforced with
   /// per-run wall budgets plus a between-runs cancel check.
   std::chrono::steady_clock::time_point deadline =
@@ -105,6 +112,10 @@ class AdmissionQueue {
   [[nodiscard]] std::size_t depth() const;
   /// Total jobs shed since startup (all reasons).
   [[nodiscard]] std::uint64_t shed_count() const;
+  /// Sheds split by the rejected job's priority class, indexed by
+  /// Priority — the observability plane exposes these per class so a
+  /// saturated server shows *who* it is turning away.
+  [[nodiscard]] std::array<std::uint64_t, 3> shed_by_class() const;
 
  private:
   Config config_;
@@ -113,6 +124,7 @@ class AdmissionQueue {
   std::map<std::string, std::size_t> client_load_;  ///< queued + running
   bool draining_ = false;
   std::uint64_t shed_ = 0;
+  std::array<std::uint64_t, 3> shed_by_class_{};  ///< indexed by Priority
 };
 
 }  // namespace hpm::serve

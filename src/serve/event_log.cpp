@@ -1,0 +1,124 @@
+#include "serve/event_log.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "harness/json_export.hpp"
+
+namespace hpm::serve {
+namespace {
+
+void append_string(std::ostringstream& out, const char* key,
+                   const std::string& value) {
+  out << ",\"" << key << "\":\"" << harness::json_escape(value) << '"';
+}
+
+void append_int(std::ostringstream& out, const char* key, std::int64_t value) {
+  out << ",\"" << key << "\":" << value;
+}
+
+}  // namespace
+
+EventLog::EventLog(std::string path, bool include_timing)
+    : path_(std::move(path)), include_timing_(include_timing) {
+  if (path_.empty()) return;
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("cannot open event log " + path_ + ": " +
+                             std::strerror(errno));
+  }
+}
+
+EventLog::~EventLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string EventLog::format(const ServeEvent& event, std::uint64_t seq,
+                             bool include_timing) {
+  std::ostringstream out;
+  out << "{\"schema\":\"" << kEventSchema << "\",\"seq\":" << seq
+      << ",\"event\":\"" << harness::json_escape(event.event) << '"';
+  if (!event.trace.empty()) append_string(out, "trace", event.trace);
+  if (!event.fingerprint.empty()) {
+    append_string(out, "fingerprint", event.fingerprint);
+  }
+  if (!event.priority.empty()) append_string(out, "priority", event.priority);
+  if (!event.client.empty()) append_string(out, "client", event.client);
+  if (!event.reason.empty()) append_string(out, "reason", event.reason);
+  if (!event.outcome.empty()) append_string(out, "outcome", event.outcome);
+  if (event.queue_depth >= 0) {
+    append_int(out, "queue_depth", event.queue_depth);
+  }
+  if (include_timing) {
+    // The executor id is a scheduling artifact (which pool thread won the
+    // pop), so it rides with the timing fields in determinism mode.
+    if (event.executor >= 0) append_int(out, "executor", event.executor);
+    if (event.queue_wait_us >= 0) {
+      append_int(out, "queue_wait_us", event.queue_wait_us);
+    }
+    if (event.run_us >= 0) append_int(out, "run_us", event.run_us);
+    if (event.total_us >= 0) append_int(out, "total_us", event.total_us);
+    if (event.t_us >= 0) append_int(out, "t_us", event.t_us);
+  }
+  out << "}\n";
+  return std::move(out).str();
+}
+
+void EventLog::append(const ServeEvent& event) {
+  if (fd_ < 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string line = format(event, ++seq_, include_timing_);
+  std::size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t n =
+        ::write(fd_, line.data() + written, line.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // degrade: lose observability, never block serving
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // No fsync: a single write() survives kill -9 (the page cache outlives
+  // the process); only a power failure can lose the tail, and that is an
+  // acceptable price for never stalling admission on the disk.
+}
+
+std::uint64_t EventLog::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return seq_;
+}
+
+std::vector<harness::JsonValue> EventLog::replay(const std::string& path,
+                                                 std::uint64_t* skipped) {
+  if (skipped != nullptr) *skipped = 0;
+  std::ifstream in(path);
+  if (!in) return {};
+  std::vector<harness::JsonValue> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    harness::JsonValue record;
+    try {
+      record = harness::JsonValue::parse(line);
+    } catch (const std::exception&) {
+      if (skipped != nullptr) ++*skipped;  // torn final write
+      continue;
+    }
+    const harness::JsonValue* schema = record.find("schema");
+    if (schema == nullptr || schema->kind() != harness::JsonValue::Kind::kString ||
+        schema->str() != kEventSchema) {
+      if (skipped != nullptr) ++*skipped;
+      continue;
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace hpm::serve

@@ -1,0 +1,111 @@
+// hpmserve structured event log (hpm.serve.events.v1).
+//
+// An append-only JSONL record of every request's lifecycle through the
+// server — the durable half of the observability plane (the MonitorTree
+// in observe.hpp is the in-memory half; both are fed from the same
+// transitions so they can never disagree):
+//
+//   {"schema":"hpm.serve.events.v1","seq":1,"event":"accept",
+//    "trace":"t1","fingerprint":"<16 hex>","priority":"normal",
+//    "client":"tenant-a","queue_depth":1,"t_us":123456}
+//   {"schema":"hpm.serve.events.v1","seq":2,"event":"start","trace":"t1",
+//    "fingerprint":"...","executor":0,"queue_wait_us":87,"t_us":123543}
+//   {"schema":"hpm.serve.events.v1","seq":3,"event":"finish","trace":"t1",
+//    "fingerprint":"...","outcome":"ok","executor":0,"queue_wait_us":87,
+//    "run_us":51234,"total_us":51321,"t_us":174777}
+//
+// Vocabulary: accept, shed, coalesce, cache_hit, start, finish, abandon,
+// recover, drain.  Every per-request record carries the request's trace id,
+// so one `grep trace-id` reconstructs the request's whole path through
+// admission -> queue -> executor -> response.
+//
+// Like the recovery journal the log is torn-line tolerant: the writer may
+// die mid-append (kill -9), so replay() skips unparsable lines instead of
+// failing — tests truncate a log at every byte and replay each prefix.
+// Unlike the journal it is NOT fsynced per line: losing the tail of an
+// observability log on power failure is acceptable, blocking admission on
+// a disk flush is not (a plain write() still survives a process kill).
+//
+// Determinism mode: with include_timing=false every wall-clock field
+// (t_us, queue_wait_us, run_us, total_us) and the executor id (a scheduling
+// artifact) are omitted, so the log of a given request sequence is
+// byte-identical at any --executors count — the same contract hpmrun's
+// --no-timing gives exports.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpm::harness {
+class JsonValue;  // json_export.hpp
+}
+
+namespace hpm::serve {
+
+inline constexpr std::string_view kEventSchema = "hpm.serve.events.v1";
+
+/// One lifecycle record (the writer-side view; replay() returns parsed
+/// JsonValues so readers keep working when fields are added).
+struct ServeEvent {
+  std::string event;        ///< accept|shed|coalesce|cache_hit|start|...
+  std::string trace;        ///< empty for server-wide events (drain)
+  std::string fingerprint;  ///< empty for server-wide events
+  std::string priority;     ///< accept/shed only
+  std::string client;       ///< accept/shed only
+  std::string reason;       ///< shed only (queue_full|over_quota|...)
+  std::string outcome;      ///< finish only (ok|failed|cancelled)
+  std::int64_t queue_depth = -1;  ///< accept only; -1 = omit
+  std::int64_t executor = -1;     ///< start/finish; -1 = omit
+  // Wall-clock fields; negative = omit.  All gated by include_timing.
+  std::int64_t t_us = -1;
+  std::int64_t queue_wait_us = -1;
+  std::int64_t run_us = -1;
+  std::int64_t total_us = -1;
+};
+
+class EventLog {
+ public:
+  /// Opens (appending) the log at `path`; empty path disables append().
+  /// Throws std::runtime_error when the path exists but is not writable —
+  /// an observability plane that silently drops its log is worse than a
+  /// loud startup failure.
+  EventLog(std::string path, bool include_timing);
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  [[nodiscard]] bool enabled() const noexcept { return fd_ >= 0; }
+
+  /// Serialize and append one record (line-atomic; seq assigned here under
+  /// the same lock so sequence numbers match file order).
+  void append(const ServeEvent& event);
+
+  /// Records appended so far.
+  [[nodiscard]] std::uint64_t count() const;
+
+  /// Serialize one record WITHOUT appending (what append would write,
+  /// minus the seq assignment) — the unit tests pin the line format with
+  /// this and the CI smoke replays real logs.
+  [[nodiscard]] static std::string format(const ServeEvent& event,
+                                          std::uint64_t seq,
+                                          bool include_timing);
+
+  /// Parse a log back into its valid records.  Malformed lines — torn
+  /// final writes, seeks into the middle of a line, garbage — are skipped
+  /// and counted in `*skipped` (optional).  Missing file = empty log.
+  [[nodiscard]] static std::vector<harness::JsonValue> replay(
+      const std::string& path, std::uint64_t* skipped = nullptr);
+
+ private:
+  std::string path_;
+  bool include_timing_;
+  int fd_ = -1;
+  mutable std::mutex mutex_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace hpm::serve

@@ -1,0 +1,465 @@
+#include "serve/observe.hpp"
+
+#include <sstream>
+
+namespace hpm::serve {
+namespace {
+
+using telemetry::Reducer;
+
+// Gauge idiom: a kSum metric's value is its latest cumulative input, so
+// feeding the *current* level (queue depth, open sessions, running
+// executors) exposes it as a plain gauge while window still shows the
+// per-scrape delta.
+constexpr double kMsPerUs = 1.0 / 1000.0;
+
+std::string executor_name(std::size_t slot) {
+  return "exec" + std::to_string(slot);
+}
+
+}  // namespace
+
+ServerMonitor::ServerMonitor(const ObserveOptions& options)
+    : options_(options),
+      tree_("server", "server"),
+      queue_ms_(options.latency_window),
+      run_ms_(options.latency_window),
+      total_ms_(options.latency_window),
+      slot_busy_(options.executors > 0 ? options.executors : 1, false),
+      slot_completed_(slot_busy_.size(), 0) {
+  if (!options_.enabled) return;
+  if (!options_.event_log_path.empty()) {
+    event_log_ = std::make_unique<EventLog>(options_.event_log_path,
+                                            options_.event_timing);
+  }
+  if (options_.trace_out != nullptr) {
+    trace_sink_ = std::make_unique<telemetry::ChromeTraceSink>(
+        *options_.trace_out);
+  }
+
+  // Declare the whole topology up front so the exposition's shape (and
+  // ordering — insertion order is iteration order) is independent of
+  // traffic.
+  telemetry::MonitorNode& root = tree_.root();
+  telemetry::MonitorNode& sessions = root.child("sessions", "sessions");
+  sessions.metric("connected", Reducer::kSum);
+  sessions.metric("opened", Reducer::kSum);
+
+  telemetry::MonitorNode& queue = root.child("queue", "queue");
+  queue.metric("depth", Reducer::kSum);
+  queue.metric("accepted", Reducer::kSum);
+  queue.metric("shed", Reducer::kSum);
+  queue.metric("shed_high", Reducer::kSum);
+  queue.metric("shed_normal", Reducer::kSum);
+  queue.metric("shed_low", Reducer::kSum);
+  queue.metric("coalesced", Reducer::kSum);
+  queue.metric("abandoned", Reducer::kSum);
+  queue.metric("recovered", Reducer::kSum);
+
+  telemetry::MonitorNode& pool = root.child("executors", "pool");
+  pool.metric("capacity", Reducer::kSum);
+  pool.metric("utilization", Reducer::kSum);
+  pool.input("capacity", static_cast<double>(slot_busy_.size()));
+  for (std::size_t slot = 0; slot < slot_busy_.size(); ++slot) {
+    telemetry::MonitorNode& exec = pool.child(executor_name(slot), "executor");
+    exec.metric("running", Reducer::kSum);
+    exec.metric("completed", Reducer::kSum);
+  }
+
+  telemetry::MonitorNode& cache = root.child("cache", "cache");
+  cache.metric("hits", Reducer::kSum);
+  cache.metric("misses", Reducer::kSum);
+  cache.metric("lookups", Reducer::kSum);
+  cache.ratio("hit_ratio", "hits", "lookups");
+
+  telemetry::MonitorNode& latency = root.child("latency", "latency");
+  for (const char* name :
+       {"queue_p50_ms", "queue_p95_ms", "queue_p99_ms", "run_p50_ms",
+        "run_p95_ms", "run_p99_ms", "total_p50_ms", "total_p95_ms",
+        "total_p99_ms"}) {
+    latency.metric(name, Reducer::kSum);
+  }
+}
+
+ServerMonitor::~ServerMonitor() { close_trace(); }
+
+void ServerMonitor::close_trace() {
+  if (trace_sink_) trace_sink_->close();
+}
+
+void ServerMonitor::log(const ServeEvent& event) {
+  if (event_log_) event_log_->append(event);
+}
+
+void ServerMonitor::instant(std::string_view name, const std::string& trace,
+                            const std::string& fingerprint,
+                            std::uint64_t now_us) {
+  if (!trace_sink_) return;
+  telemetry::TraceEvent event;
+  event.category = "serve";
+  event.name = name;
+  event.phase = 'i';
+  event.ts = now_us;
+  event.pid = 1;  // admission track
+  event.tid = 0;
+  if (!trace.empty()) event.args.emplace_back("trace", trace);
+  if (!fingerprint.empty()) {
+    event.args.emplace_back("fingerprint", fingerprint);
+  }
+  trace_sink_->event(event);
+}
+
+void ServerMonitor::on_session_open() {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++sessions_open_;
+  ++sessions_total_;
+  telemetry::MonitorNode& sessions = tree_.root().child("sessions", "sessions");
+  sessions.input("connected", static_cast<double>(sessions_open_));
+  sessions.input("opened", static_cast<double>(sessions_total_));
+}
+
+void ServerMonitor::on_session_close() {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sessions_open_ > 0) --sessions_open_;
+  tree_.root()
+      .child("sessions", "sessions")
+      .input("connected", static_cast<double>(sessions_open_));
+}
+
+void ServerMonitor::on_accept(const std::string& trace,
+                              const std::string& fingerprint,
+                              const std::string& priority,
+                              const std::string& client,
+                              std::size_t queue_depth, std::uint64_t now_us) {
+  if (!options_.enabled) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++accepted_;
+    ++cache_lookups_;
+    telemetry::MonitorNode& queue = tree_.root().child("queue", "queue");
+    queue.input("accepted", static_cast<double>(accepted_));
+    queue.input("depth", static_cast<double>(queue_depth));
+    tree_.root()
+        .child("cache", "cache")
+        .input("lookups", static_cast<double>(cache_lookups_));
+    tree_.root()
+        .child("cache", "cache")
+        .input("misses",
+               static_cast<double>(cache_lookups_ - cache_hits_));
+    if (trace_sink_) {
+      telemetry::TraceEvent depth_event;
+      depth_event.category = "serve";
+      depth_event.name = "queue_depth";
+      depth_event.phase = 'C';
+      depth_event.ts = now_us;
+      depth_event.pid = 1;
+      depth_event.args.emplace_back("depth",
+                                    static_cast<std::uint64_t>(queue_depth));
+      trace_sink_->event(depth_event);
+    }
+  }
+  instant("accept", trace, fingerprint, now_us);
+  ServeEvent event;
+  event.event = "accept";
+  event.trace = trace;
+  event.fingerprint = fingerprint;
+  event.priority = priority;
+  event.client = client;
+  event.queue_depth = static_cast<std::int64_t>(queue_depth);
+  event.t_us = static_cast<std::int64_t>(now_us);
+  log(event);
+}
+
+void ServerMonitor::on_shed(const std::string& trace,
+                            const std::string& fingerprint,
+                            const std::string& priority,
+                            const std::string& client,
+                            const std::string& reason, std::uint64_t now_us) {
+  if (!options_.enabled) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t* counter = &shed_normal_;
+    const char* metric = "shed_normal";
+    if (priority == "high") {
+      counter = &shed_high_;
+      metric = "shed_high";
+    } else if (priority == "low") {
+      counter = &shed_low_;
+      metric = "shed_low";
+    }
+    ++*counter;
+    ++cache_lookups_;
+    telemetry::MonitorNode& queue = tree_.root().child("queue", "queue");
+    queue.input(metric, static_cast<double>(*counter));
+    queue.input("shed",
+                static_cast<double>(shed_high_ + shed_normal_ + shed_low_));
+    tree_.root()
+        .child("cache", "cache")
+        .input("lookups", static_cast<double>(cache_lookups_));
+    tree_.root()
+        .child("cache", "cache")
+        .input("misses",
+               static_cast<double>(cache_lookups_ - cache_hits_));
+  }
+  instant("shed", trace, fingerprint, now_us);
+  ServeEvent event;
+  event.event = "shed";
+  event.trace = trace;
+  event.fingerprint = fingerprint;
+  event.priority = priority;
+  event.client = client;
+  event.reason = reason;
+  event.t_us = static_cast<std::int64_t>(now_us);
+  log(event);
+}
+
+void ServerMonitor::on_coalesce(const std::string& trace,
+                                const std::string& fingerprint,
+                                std::uint64_t now_us) {
+  if (!options_.enabled) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++coalesced_;
+    ++cache_lookups_;
+    tree_.root()
+        .child("queue", "queue")
+        .input("coalesced", static_cast<double>(coalesced_));
+    tree_.root()
+        .child("cache", "cache")
+        .input("lookups", static_cast<double>(cache_lookups_));
+    tree_.root()
+        .child("cache", "cache")
+        .input("misses",
+               static_cast<double>(cache_lookups_ - cache_hits_));
+  }
+  instant("coalesce", trace, fingerprint, now_us);
+  ServeEvent event;
+  event.event = "coalesce";
+  event.trace = trace;
+  event.fingerprint = fingerprint;
+  event.t_us = static_cast<std::int64_t>(now_us);
+  log(event);
+}
+
+void ServerMonitor::on_cache_hit(const std::string& trace,
+                                 const std::string& fingerprint,
+                                 std::uint64_t now_us) {
+  if (!options_.enabled) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++cache_hits_;
+    ++cache_lookups_;
+    telemetry::MonitorNode& cache = tree_.root().child("cache", "cache");
+    cache.input("hits", static_cast<double>(cache_hits_));
+    cache.input("lookups", static_cast<double>(cache_lookups_));
+    cache.input("misses",
+                static_cast<double>(cache_lookups_ - cache_hits_));
+  }
+  instant("cache_hit", trace, fingerprint, now_us);
+  ServeEvent event;
+  event.event = "cache_hit";
+  event.trace = trace;
+  event.fingerprint = fingerprint;
+  event.t_us = static_cast<std::int64_t>(now_us);
+  log(event);
+}
+
+int ServerMonitor::on_start(const std::string& trace,
+                            const std::string& fingerprint,
+                            std::size_t queue_depth,
+                            std::uint64_t queue_wait_us,
+                            std::uint64_t now_us) {
+  if (!options_.enabled) return -1;
+  int slot = -1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < slot_busy_.size(); ++i) {
+      if (!slot_busy_[i]) {
+        slot = static_cast<int>(i);
+        break;
+      }
+    }
+    if (slot < 0) {  // more concurrent runs than declared executors
+      slot = static_cast<int>(slot_busy_.size());
+      slot_busy_.push_back(false);
+      slot_completed_.push_back(0);
+      telemetry::MonitorNode& exec =
+          tree_.root()
+              .child("executors", "pool")
+              .child(executor_name(static_cast<std::size_t>(slot)),
+                     "executor");
+      exec.metric("running", Reducer::kSum);
+      exec.metric("completed", Reducer::kSum);
+    }
+    slot_busy_[static_cast<std::size_t>(slot)] = true;
+    ++running_;
+    telemetry::MonitorNode& pool = tree_.root().child("executors", "pool");
+    pool.child(executor_name(static_cast<std::size_t>(slot)), "executor")
+        .input("running", 1.0);
+    pool.input("utilization", static_cast<double>(running_) /
+                                  static_cast<double>(slot_busy_.size()));
+    tree_.root()
+        .child("queue", "queue")
+        .input("depth", static_cast<double>(queue_depth));
+    if (trace_sink_) {
+      telemetry::TraceEvent depth_event;
+      depth_event.category = "serve";
+      depth_event.name = "queue_depth";
+      depth_event.phase = 'C';
+      depth_event.ts = now_us;
+      depth_event.pid = 1;
+      depth_event.args.emplace_back("depth",
+                                    static_cast<std::uint64_t>(queue_depth));
+      trace_sink_->event(depth_event);
+    }
+  }
+  ServeEvent event;
+  event.event = "start";
+  event.trace = trace;
+  event.fingerprint = fingerprint;
+  event.executor = slot;
+  event.queue_wait_us = static_cast<std::int64_t>(queue_wait_us);
+  event.t_us = static_cast<std::int64_t>(now_us);
+  log(event);
+  return slot;
+}
+
+void ServerMonitor::on_finish(int slot, const std::string& trace,
+                              const std::string& fingerprint,
+                              const std::string& outcome,
+                              std::uint64_t queue_wait_us,
+                              std::uint64_t run_us, std::uint64_t total_us,
+                              std::uint64_t start_us) {
+  if (!options_.enabled) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_ms_.record(static_cast<double>(queue_wait_us) * kMsPerUs);
+    run_ms_.record(static_cast<double>(run_us) * kMsPerUs);
+    total_ms_.record(static_cast<double>(total_us) * kMsPerUs);
+    if (slot >= 0 && static_cast<std::size_t>(slot) < slot_busy_.size()) {
+      const auto index = static_cast<std::size_t>(slot);
+      slot_busy_[index] = false;
+      if (running_ > 0) --running_;
+      ++slot_completed_[index];
+      telemetry::MonitorNode& pool = tree_.root().child("executors", "pool");
+      telemetry::MonitorNode& exec =
+          pool.child(executor_name(index), "executor");
+      exec.input("running", 0.0);
+      exec.input("completed", static_cast<double>(slot_completed_[index]));
+      pool.input("utilization", static_cast<double>(running_) /
+                                    static_cast<double>(slot_busy_.size()));
+    }
+    if (trace_sink_ && slot >= 0) {
+      telemetry::TraceEvent span;
+      span.category = "serve";
+      span.name = "run";
+      span.phase = 'X';
+      span.ts = start_us;
+      span.dur = run_us;
+      span.pid = 0;  // executor plane, one track per slot
+      span.tid = static_cast<std::uint32_t>(slot);
+      span.args.emplace_back("trace", trace);
+      span.args.emplace_back("fingerprint", fingerprint);
+      span.args.emplace_back("outcome", outcome);
+      span.args.emplace_back("queue_wait_us", queue_wait_us);
+      trace_sink_->event(span);
+    }
+  }
+  ServeEvent event;
+  event.event = "finish";
+  event.trace = trace;
+  event.fingerprint = fingerprint;
+  event.outcome = outcome;
+  event.executor = slot;
+  event.queue_wait_us = static_cast<std::int64_t>(queue_wait_us);
+  event.run_us = static_cast<std::int64_t>(run_us);
+  event.total_us = static_cast<std::int64_t>(total_us);
+  event.t_us = static_cast<std::int64_t>(start_us + run_us);
+  log(event);
+}
+
+void ServerMonitor::on_abandon(const std::string& trace,
+                               const std::string& fingerprint,
+                               std::uint64_t now_us) {
+  if (!options_.enabled) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++abandoned_;
+    tree_.root()
+        .child("queue", "queue")
+        .input("abandoned", static_cast<double>(abandoned_));
+  }
+  instant("abandon", trace, fingerprint, now_us);
+  ServeEvent event;
+  event.event = "abandon";
+  event.trace = trace;
+  event.fingerprint = fingerprint;
+  event.t_us = static_cast<std::int64_t>(now_us);
+  log(event);
+}
+
+void ServerMonitor::on_recover(const std::string& fingerprint) {
+  if (!options_.enabled) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++recovered_;
+    tree_.root()
+        .child("queue", "queue")
+        .input("recovered", static_cast<double>(recovered_));
+  }
+  ServeEvent event;
+  event.event = "recover";
+  event.fingerprint = fingerprint;
+  log(event);
+}
+
+void ServerMonitor::on_drain(std::uint64_t now_us) {
+  if (!options_.enabled) return;
+  instant("drain", std::string(), std::string(), now_us);
+  ServeEvent event;
+  event.event = "drain";
+  event.t_us = static_cast<std::int64_t>(now_us);
+  log(event);
+}
+
+void ServerMonitor::feed_latency_gauges_locked() {
+  telemetry::MonitorNode& latency = tree_.root().child("latency", "latency");
+  const telemetry::LatencySummary queue = queue_ms_.summary();
+  const telemetry::LatencySummary run = run_ms_.summary();
+  const telemetry::LatencySummary total = total_ms_.summary();
+  latency.input("queue_p50_ms", queue.p50);
+  latency.input("queue_p95_ms", queue.p95);
+  latency.input("queue_p99_ms", queue.p99);
+  latency.input("run_p50_ms", run.p50);
+  latency.input("run_p95_ms", run.p95);
+  latency.input("run_p99_ms", run.p99);
+  latency.input("total_p50_ms", total.p50);
+  latency.input("total_p95_ms", total.p95);
+  latency.input("total_p99_ms", total.p99);
+}
+
+std::string ServerMonitor::openmetrics() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // A disabled plane still answers the op — the tree simply has no
+  // metrics declared, so the exposition is just the header and "# EOF"
+  // and clients need not special-case --no-observe servers.
+  if (options_.enabled) feed_latency_gauges_locked();
+  tree_.sample();
+  std::ostringstream out;
+  telemetry::write_openmetrics(out, tree_);
+  return std::move(out).str();
+}
+
+ServerMonitor::Snapshot ServerMonitor::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snapshot;
+  snapshot.queue = queue_ms_.summary();
+  snapshot.run = run_ms_.summary();
+  snapshot.total = total_ms_.summary();
+  snapshot.events_logged = event_log_ ? event_log_->count() : 0;
+  return snapshot;
+}
+
+}  // namespace hpm::serve

@@ -1,0 +1,137 @@
+// The hpmserve observability plane: one object owning every "watch the
+// server" concern so the serving path stays a sequence of cheap hook
+// calls.
+//
+// A ServerMonitor fans each lifecycle transition out to three sinks:
+//   * a telemetry::MonitorTree mirroring the server topology
+//     (server -> sessions / queue / executors / cache / latency) whose
+//     OpenMetrics exposition backs the `metrics` op,
+//   * the hpm.serve.events.v1 structured event log (event_log.hpp),
+//   * an optional Chrome-trace sink (--trace-out): one 'X' span per
+//     executed request on its executor's track, instants for
+//     accept/shed/coalesce/cache-hit on the admission track, and a
+//     queue-depth counter series.
+//
+// The paper's discipline applies to our own serving layer: observation
+// must be cheap enough to leave on.  Hooks do no I/O besides one
+// unsynced write() (event log) and touch one mutex; the whole plane can
+// be disabled (enabled=false) for the bench guardrail that pins the
+// overhead < 2%.
+//
+// Thread model: hooks are called from session threads and executor
+// threads concurrently.  One internal mutex guards the tree, the latency
+// windows and the trace sink; the event log has its own line-atomic lock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "serve/event_log.hpp"
+#include "telemetry/monitor_tree.hpp"
+#include "telemetry/quantiles.hpp"
+#include "telemetry/trace_sink.hpp"
+
+namespace hpm::serve {
+
+struct ObserveOptions {
+  bool enabled = true;          ///< false = every hook is a no-op (guardrail)
+  std::string event_log_path;   ///< empty = no event log
+  bool event_timing = true;     ///< false = determinism mode (see event_log)
+  std::ostream* trace_out = nullptr;  ///< Chrome trace stream; caller owns
+  std::size_t executors = 1;
+  std::size_t latency_window = 4096;  ///< samples retained per stage
+};
+
+class ServerMonitor {
+ public:
+  explicit ServerMonitor(const ObserveOptions& options);
+  ~ServerMonitor();
+
+  ServerMonitor(const ServerMonitor&) = delete;
+  ServerMonitor& operator=(const ServerMonitor&) = delete;
+
+  [[nodiscard]] bool enabled() const noexcept { return options_.enabled; }
+
+  // -- Lifecycle hooks (all no-ops when disabled) ---------------------------
+  void on_session_open();
+  void on_session_close();
+  void on_accept(const std::string& trace, const std::string& fingerprint,
+                 const std::string& priority, const std::string& client,
+                 std::size_t queue_depth, std::uint64_t now_us);
+  void on_shed(const std::string& trace, const std::string& fingerprint,
+               const std::string& priority, const std::string& client,
+               const std::string& reason, std::uint64_t now_us);
+  void on_coalesce(const std::string& trace, const std::string& fingerprint,
+                   std::uint64_t now_us);
+  void on_cache_hit(const std::string& trace, const std::string& fingerprint,
+                    std::uint64_t now_us);
+  /// Request left the queue for an executor.  Returns the executor slot
+  /// (smallest free index — deterministic for sequential traffic) to pass
+  /// back to on_finish; -1 when disabled.
+  int on_start(const std::string& trace, const std::string& fingerprint,
+               std::size_t queue_depth, std::uint64_t queue_wait_us,
+               std::uint64_t now_us);
+  void on_finish(int slot, const std::string& trace,
+                 const std::string& fingerprint, const std::string& outcome,
+                 std::uint64_t queue_wait_us, std::uint64_t run_us,
+                 std::uint64_t total_us, std::uint64_t start_us);
+  void on_abandon(const std::string& trace, const std::string& fingerprint,
+                  std::uint64_t now_us);
+  void on_recover(const std::string& fingerprint);
+  void on_drain(std::uint64_t now_us);
+
+  // -- Exposure -------------------------------------------------------------
+
+  /// Sample the tree (latency gauges included) and return the OpenMetrics
+  /// text exposition — the body of the `metrics` op.
+  [[nodiscard]] std::string openmetrics();
+
+  /// Point-in-time digest for the extended `stats` event.
+  struct Snapshot {
+    telemetry::LatencySummary queue;  ///< ms
+    telemetry::LatencySummary run;    ///< ms
+    telemetry::LatencySummary total;  ///< ms
+    std::uint64_t events_logged = 0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Flush the Chrome trace footer early (also done by the destructor).
+  void close_trace();
+
+ private:
+  void log(const ServeEvent& event);
+  void instant(std::string_view name, const std::string& trace,
+               const std::string& fingerprint, std::uint64_t now_us);
+  void feed_latency_gauges_locked();
+
+  ObserveOptions options_;
+  std::unique_ptr<EventLog> event_log_;
+  std::unique_ptr<telemetry::ChromeTraceSink> trace_sink_;
+
+  mutable std::mutex mutex_;
+  telemetry::MonitorTree tree_;
+  telemetry::SampleWindow queue_ms_;
+  telemetry::SampleWindow run_ms_;
+  telemetry::SampleWindow total_ms_;
+  std::vector<bool> slot_busy_;
+  // Cumulative inputs for the tree (the tree wants monotone raw values).
+  std::uint64_t sessions_open_ = 0;
+  std::uint64_t sessions_total_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t shed_high_ = 0;
+  std::uint64_t shed_normal_ = 0;
+  std::uint64_t shed_low_ = 0;
+  std::uint64_t coalesced_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_lookups_ = 0;
+  std::uint64_t abandoned_ = 0;
+  std::uint64_t recovered_ = 0;
+  std::uint64_t running_ = 0;
+  std::vector<std::uint64_t> slot_completed_;
+};
+
+}  // namespace hpm::serve

@@ -7,6 +7,7 @@
 
 #include "harness/experiment.hpp"
 #include "harness/json_export.hpp"
+#include "harness/provenance.hpp"
 #include "sim/memory_hierarchy.hpp"
 #include "workloads/workload.hpp"
 
@@ -173,7 +174,7 @@ Priority parse_priority(std::string_view name) {
 
 ServeRequest parse_request(const JsonValue& op) {
   reject_unknown_keys(op,
-                      {"schema", "op", "id", "client", "priority",
+                      {"schema", "op", "id", "client", "trace", "priority",
                        "deadline_ms", "live_every", "sweep"},
                       "submit");
   ServeRequest request;
@@ -182,6 +183,7 @@ ServeRequest parse_request(const JsonValue& op) {
     throw std::invalid_argument("submit requires a non-empty 'id'");
   }
   request.client = str_or(op, "client", "");
+  request.trace = str_or(op, "trace", "");
   request.priority = parse_priority(str_or(op, "priority", "normal"));
   request.deadline_ms = u64_or(op, "deadline_ms", 0);
   request.live_every = u64_or(op, "live_every", 0);
@@ -344,32 +346,48 @@ void append_id(std::ostringstream& out, std::string_view id) {
   out << ",\"id\":\"" << harness::json_escape(id) << '"';
 }
 
+void append_trace(std::ostringstream& out, std::string_view trace) {
+  if (trace.empty()) return;  // protocol-level errors have no trace yet
+  out << ",\"trace\":\"" << harness::json_escape(trace) << '"';
+}
+
 }  // namespace
 
 std::string hello_line(std::string_view server_version, unsigned executors,
-                       bool draining) {
-  auto out = event_head("hello");
-  out << ",\"proto\":1,\"server\":\"hpmserve "
-      << harness::json_escape(server_version) << "\",\"executors\":"
-      << executors << ",\"draining\":" << (draining ? "true" : "false") << '}';
+                       bool draining, bool include_build_meta) {
+  std::ostringstream out;
+  JsonWriter w(out, /*indent=*/0);
+  w.begin_object();
+  w.key("schema").value(kSchema);
+  w.key("event").value("hello");
+  w.key("proto").value(1);
+  w.key("server").value("hpmserve " + std::string(server_version));
+  w.key("executors").value(executors);
+  w.key("draining").value(draining);
+  harness::write_meta(w, include_build_meta);
+  w.end_object();
   return std::move(out).str();
 }
 
-std::string accepted_line(std::string_view id, std::string_view fingerprint,
+std::string accepted_line(std::string_view id, std::string_view trace,
+                          std::string_view fingerprint,
                           std::size_t queue_depth, bool coalesced) {
   auto out = event_head("accepted");
   append_id(out, id);
+  append_trace(out, trace);
   out << ",\"fingerprint\":\"" << harness::json_escape(fingerprint)
       << "\",\"queue_depth\":" << queue_depth
       << ",\"coalesced\":" << (coalesced ? "true" : "false") << '}';
   return std::move(out).str();
 }
 
-std::string rejected_line(std::string_view id, std::string_view reason,
+std::string rejected_line(std::string_view id, std::string_view trace,
+                          std::string_view reason,
                           std::uint64_t retry_after_ms,
                           std::string_view detail) {
   auto out = event_head("rejected");
   append_id(out, id);
+  append_trace(out, trace);
   out << ",\"reason\":\"" << harness::json_escape(reason)
       << "\",\"retry_after_ms\":" << retry_after_ms;
   if (!detail.empty()) {
@@ -379,49 +397,69 @@ std::string rejected_line(std::string_view id, std::string_view reason,
   return std::move(out).str();
 }
 
-std::string started_line(std::string_view id) {
+std::string started_line(std::string_view id, std::string_view trace) {
   auto out = event_head("started");
   append_id(out, id);
+  append_trace(out, trace);
   out << '}';
   return std::move(out).str();
 }
 
-std::string progress_line(std::string_view id, std::size_t done,
-                          std::size_t total, std::string_view run_name,
+std::string progress_line(std::string_view id, std::string_view trace,
+                          std::size_t done, std::size_t total,
+                          std::string_view run_name,
                           std::string_view outcome) {
   auto out = event_head("progress");
   append_id(out, id);
+  append_trace(out, trace);
   out << ",\"done\":" << done << ",\"total\":" << total << ",\"run\":\""
       << harness::json_escape(run_name) << "\",\"outcome\":\""
       << harness::json_escape(outcome) << "\"}";
   return std::move(out).str();
 }
 
-std::string live_line(std::string_view id, std::string_view raw_line) {
+std::string live_line(std::string_view id, std::string_view trace,
+                      std::string_view raw_line) {
   auto out = event_head("live");
   append_id(out, id);
+  append_trace(out, trace);
   // Splice the hpm.live.v1 line verbatim — it is already one compact JSON
   // object, so no re-parse is needed on the hot streaming path.
   out << ",\"data\":" << raw_line << '}';
   return std::move(out).str();
 }
 
-std::string result_line(std::string_view id, std::string_view fingerprint,
-                        bool cached, bool ok, std::size_t failed,
+std::string result_line(std::string_view id, std::string_view trace,
+                        std::string_view fingerprint, bool cached, bool ok,
+                        std::size_t failed, std::uint64_t queue_us,
+                        std::uint64_t run_us, std::uint64_t total_us,
                         std::string_view result_json) {
   auto out = event_head("result");
   append_id(out, id);
+  append_trace(out, trace);
   out << ",\"fingerprint\":\"" << harness::json_escape(fingerprint)
       << "\",\"cached\":" << (cached ? "true" : "false")
       << ",\"ok\":" << (ok ? "true" : "false") << ",\"failed\":" << failed
+      // "stages" stays ahead of "result": the result payload is the last
+      // member, so clients may slice it off the line tail.
+      << ",\"stages\":{\"queue_us\":" << queue_us << ",\"run_us\":" << run_us
+      << ",\"total_us\":" << total_us << '}'
       << ",\"result\":" << result_json << '}';
   return std::move(out).str();
 }
 
-std::string error_line(std::string_view id, std::string_view detail) {
+std::string error_line(std::string_view id, std::string_view trace,
+                       std::string_view detail) {
   auto out = event_head("error");
   append_id(out, id);
+  append_trace(out, trace);
   out << ",\"detail\":\"" << harness::json_escape(detail) << "\"}";
+  return std::move(out).str();
+}
+
+std::string metrics_line(std::string_view exposition) {
+  auto out = event_head("metrics");
+  out << ",\"data\":\"" << harness::json_escape(exposition) << "\"}";
   return std::move(out).str();
 }
 

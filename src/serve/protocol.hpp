@@ -73,6 +73,11 @@ struct SweepSpec {
 struct ServeRequest {
   std::string id;          ///< client correlation id, echoed on every event
   std::string client;      ///< quota identity; empty = per-connection
+  /// End-to-end trace id.  Client-supplied ("trace" submit field) or
+  /// server-assigned ("s<N>") when empty; echoed on every event for the
+  /// request and stamped on every hpm.serve.events.v1 record, so one id
+  /// follows the request through admission -> queue -> executor -> reply.
+  std::string trace;
   Priority priority = Priority::kNormal;
   std::uint64_t deadline_ms = 0;  ///< 0 = no deadline
   std::uint64_t live_every = 0;   ///< hpm.live.v1 window period; 0 = off
@@ -105,31 +110,52 @@ struct ServeRequest {
 
 // -- Server -> client line builders ------------------------------------------
 
+// Every per-request event echoes the request's trace id (omitted only on
+// protocol-level errors that never reached admission).
+
 [[nodiscard]] std::string hello_line(std::string_view server_version,
-                                     unsigned executors, bool draining);
+                                     unsigned executors, bool draining,
+                                     bool include_build_meta);
 [[nodiscard]] std::string accepted_line(std::string_view id,
+                                        std::string_view trace,
                                         std::string_view fingerprint,
                                         std::size_t queue_depth,
                                         bool coalesced);
 [[nodiscard]] std::string rejected_line(std::string_view id,
+                                        std::string_view trace,
                                         std::string_view reason,
                                         std::uint64_t retry_after_ms,
                                         std::string_view detail);
-[[nodiscard]] std::string started_line(std::string_view id);
-[[nodiscard]] std::string progress_line(std::string_view id, std::size_t done,
-                                        std::size_t total,
+[[nodiscard]] std::string started_line(std::string_view id,
+                                       std::string_view trace);
+[[nodiscard]] std::string progress_line(std::string_view id,
+                                        std::string_view trace,
+                                        std::size_t done, std::size_t total,
                                         std::string_view run_name,
                                         std::string_view outcome);
 /// Envelope one raw hpm.live.v1 JSONL line (spliced verbatim as `data`).
 [[nodiscard]] std::string live_line(std::string_view id,
+                                    std::string_view trace,
                                     std::string_view raw_line);
+/// `stages` carries the per-stage wall breakdown (queue wait, executor
+/// run, submit-to-result total, microseconds); all zero for cache hits.
+/// It precedes "result" so tools that slice the result payload off the
+/// line tail keep working.
 [[nodiscard]] std::string result_line(std::string_view id,
+                                      std::string_view trace,
                                       std::string_view fingerprint,
                                       bool cached, bool ok,
                                       std::size_t failed,
+                                      std::uint64_t queue_us,
+                                      std::uint64_t run_us,
+                                      std::uint64_t total_us,
                                       std::string_view result_json);
 [[nodiscard]] std::string error_line(std::string_view id,
+                                     std::string_view trace,
                                      std::string_view detail);
 [[nodiscard]] std::string pong_line();
+/// The `metrics` op's reply: the OpenMetrics exposition as one JSON
+/// string field (escaped — clients unescape `data` to recover the text).
+[[nodiscard]] std::string metrics_line(std::string_view exposition);
 
 }  // namespace hpm::serve

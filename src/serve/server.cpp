@@ -7,11 +7,16 @@
 #include "harness/batch.hpp"
 #include "harness/json_export.hpp"
 #include "harness/live_stream.hpp"
+#include "harness/provenance.hpp"
+#include "telemetry/trace_sink.hpp"
 
 namespace hpm::serve {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Host-time anchor shared with the Chrome trace and the event log.
+std::uint64_t wall_us() { return telemetry::WallSpan::now_us(); }
 
 /// Trim trailing whitespace so spliced documents never break JSONL lines.
 std::string compact_json(std::string json) {
@@ -61,6 +66,19 @@ Server::Server(ServerOptions options)
       cache_(options_.cache_entries),
       pool_(std::make_unique<harness::ThreadPool>(
           options_.executors == 0 ? 1 : options_.executors)) {
+  ObserveOptions observe;
+  observe.enabled = options_.observe;
+  observe.event_log_path = options_.state_dir.empty()
+                               ? std::string()
+                               : options_.state_dir + "/serve_events.jsonl";
+  observe.event_timing = options_.event_timing;
+  observe.executors = options_.executors == 0 ? 1 : options_.executors;
+  if (options_.observe && !options_.trace_out_path.empty()) {
+    trace_file_.open(options_.trace_out_path,
+                     std::ios::out | std::ios::trunc);
+    if (trace_file_) observe.trace_out = &trace_file_;
+  }
+  monitor_ = std::make_unique<ServerMonitor>(observe);
   if (!options_.state_dir.empty()) {
     const std::string journal_path = options_.state_dir + "/serve_journal.jsonl";
     std::vector<PendingRequest> pending = RequestJournal::recover(journal_path);
@@ -101,12 +119,15 @@ void Server::admit_recovered(std::vector<PendingRequest> pending) {
     job->recovery = true;
     job->client = "__recovery";
     job->priority = Priority::kHigh;  // finish interrupted work first
+    job->trace = "recover-" + job->fingerprint;
+    job->accept_us = wall_us();
     if (!queue_.try_push(job).accepted) continue;  // cannot happen (recovery)
     {
       std::lock_guard lock(mutex_);
       inflight_[job->fingerprint] = job;
     }
     recovered_.fetch_add(1, std::memory_order_relaxed);
+    monitor_->on_recover(job->fingerprint);
     pool_->submit([this] { execute_one(); });
   }
 }
@@ -145,7 +166,9 @@ void Server::run() {
 }
 
 void Server::request_drain() {
-  draining_.store(true, std::memory_order_relaxed);
+  if (!draining_.exchange(true, std::memory_order_relaxed)) {
+    monitor_->on_drain(wall_us());
+  }
   queue_.begin_drain();
 }
 
@@ -163,37 +186,87 @@ ServerStats Server::stats() {
   ServerStats stats;
   stats.queue_depth = queue_.depth();
   stats.running = running_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(mutex_);
+    stats.sessions = sessions_.size();
+  }
+  stats.executors = options_.executors == 0 ? 1 : options_.executors;
   stats.accepted = accepted_.load(std::memory_order_relaxed);
   stats.coalesced = coalesced_.load(std::memory_order_relaxed);
   stats.completed = completed_.load(std::memory_order_relaxed);
   stats.shed = queue_.shed_count();
+  const std::array<std::uint64_t, 3> shed_by_class = queue_.shed_by_class();
+  stats.shed_high = shed_by_class[static_cast<std::size_t>(Priority::kHigh)];
+  stats.shed_normal =
+      shed_by_class[static_cast<std::size_t>(Priority::kNormal)];
+  stats.shed_low = shed_by_class[static_cast<std::size_t>(Priority::kLow)];
   stats.recovered = recovered_.load(std::memory_order_relaxed);
   stats.cache_hits = cache_.hits();
   stats.cache_misses = cache_.misses();
   stats.draining = draining_.load(std::memory_order_relaxed);
+  const ServerMonitor::Snapshot snapshot = monitor_->snapshot();
+  stats.queue_wait = snapshot.queue;
+  stats.run = snapshot.run;
+  stats.total = snapshot.total;
   return stats;
 }
 
+namespace {
+
+void write_latency(harness::JsonWriter& w, std::string_view stage,
+                   const telemetry::LatencySummary& summary) {
+  w.key(stage).begin_object();
+  w.key("count").value(static_cast<std::uint64_t>(summary.count));
+  w.key("p50_ms").value(summary.p50);
+  w.key("p95_ms").value(summary.p95);
+  w.key("p99_ms").value(summary.p99);
+  w.key("max_ms").value(summary.max);
+  w.end_object();
+}
+
+}  // namespace
+
 std::string Server::stats_line() {
   const ServerStats s = stats();
-  std::string line = "{\"schema\":\"hpm.serve.v1\",\"event\":\"stats\"";
-  line += ",\"queue_depth\":" + std::to_string(s.queue_depth);
-  line += ",\"running\":" + std::to_string(s.running);
-  line += ",\"accepted\":" + std::to_string(s.accepted);
-  line += ",\"coalesced\":" + std::to_string(s.coalesced);
-  line += ",\"completed\":" + std::to_string(s.completed);
-  line += ",\"shed\":" + std::to_string(s.shed);
-  line += ",\"recovered\":" + std::to_string(s.recovered);
-  line += ",\"cache_hits\":" + std::to_string(s.cache_hits);
-  line += ",\"cache_misses\":" + std::to_string(s.cache_misses);
-  line += std::string(",\"draining\":") + (s.draining ? "true" : "false");
-  line += "}";
-  return line;
+  std::ostringstream out;
+  harness::JsonWriter w(out, /*indent=*/0);
+  w.begin_object();
+  w.key("schema").value(kSchema);
+  w.key("event").value("stats");
+  w.key("queue_depth").value(static_cast<std::uint64_t>(s.queue_depth));
+  w.key("running").value(static_cast<std::uint64_t>(s.running));
+  w.key("sessions").value(static_cast<std::uint64_t>(s.sessions));
+  w.key("executors").value(static_cast<std::uint64_t>(s.executors));
+  w.key("accepted").value(s.accepted);
+  w.key("coalesced").value(s.coalesced);
+  w.key("completed").value(s.completed);
+  w.key("shed").value(s.shed);
+  w.key("shed_high").value(s.shed_high);
+  w.key("shed_normal").value(s.shed_normal);
+  w.key("shed_low").value(s.shed_low);
+  w.key("recovered").value(s.recovered);
+  w.key("cache_hits").value(s.cache_hits);
+  w.key("cache_misses").value(s.cache_misses);
+  w.key("draining").value(s.draining);
+  w.key("latency").begin_object();
+  write_latency(w, "queue", s.queue_wait);
+  write_latency(w, "run", s.run);
+  write_latency(w, "total", s.total);
+  w.end_object();
+  harness::write_meta(w, options_.include_build_meta);
+  w.end_object();
+  return std::move(out).str();
+}
+
+std::string Server::metrics_reply() {
+  return metrics_line(monitor_->openmetrics());
 }
 
 void Server::session_loop(const std::shared_ptr<Session>& session) {
+  monitor_->on_session_open();
   session->send(hello_line(options_.version, pool_ ? pool_->size() : 0,
-                           draining_.load(std::memory_order_relaxed)));
+                           draining_.load(std::memory_order_relaxed),
+                           options_.include_build_meta));
   LineReader reader(session->socket());
   std::string line;
   while (!stop_.load(std::memory_order_relaxed) && reader.read_line(line)) {
@@ -202,13 +275,14 @@ void Server::session_loop(const std::shared_ptr<Session>& session) {
     try {
       op = harness::JsonValue::parse(line);
     } catch (const std::exception& e) {
-      session->send(error_line("", std::string("malformed JSON: ") + e.what()));
+      session->send(
+          error_line("", "", std::string("malformed JSON: ") + e.what()));
       continue;
     }
     const harness::JsonValue* kind = op.find("op");
     if (kind == nullptr ||
         kind->kind() != harness::JsonValue::Kind::kString) {
-      session->send(error_line("", "missing 'op'"));
+      session->send(error_line("", "", "missing 'op'"));
       continue;
     }
     if (kind->str() == "submit") {
@@ -217,17 +291,20 @@ void Server::session_loop(const std::shared_ptr<Session>& session) {
       session->send(pong_line());
     } else if (kind->str() == "stats") {
       session->send(stats_line());
+    } else if (kind->str() == "metrics") {
+      session->send(metrics_reply());
     } else if (kind->str() == "drain") {
       request_drain();
       session->send("{\"schema\":\"hpm.serve.v1\",\"event\":\"draining\"}");
     } else {
-      session->send(error_line("", "unknown op '" + kind->str() + "'"));
+      session->send(error_line("", "", "unknown op '" + kind->str() + "'"));
     }
   }
   // Disconnect: orphaned jobs must not burn executor time.  Queued jobs
   // with no remaining waiters are skipped when popped; a running one is
   // cancelled between runs.
   session->mark_closed();
+  monitor_->on_session_close();
   {
     std::lock_guard lock(mutex_);
     sessions_.erase(session->id());
@@ -246,11 +323,16 @@ void Server::session_loop(const std::shared_ptr<Session>& session) {
 
 void Server::handle_submit(const std::shared_ptr<Session>& session,
                            const harness::JsonValue& op) {
-  // Best-effort id for error reporting before full parsing succeeds.
+  // Best-effort id/trace for error reporting before full parsing succeeds.
   std::string id;
   if (const harness::JsonValue* raw = op.find("id");
       raw != nullptr && raw->kind() == harness::JsonValue::Kind::kString) {
     id = raw->str();
+  }
+  std::string trace;
+  if (const harness::JsonValue* raw = op.find("trace");
+      raw != nullptr && raw->kind() == harness::JsonValue::Kind::kString) {
+    trace = raw->str();
   }
   ServeRequest request;
   std::vector<harness::RunSpec> specs;
@@ -258,8 +340,16 @@ void Server::handle_submit(const std::shared_ptr<Session>& session,
     request = parse_request(op);
     specs = build_specs(request.sweep);  // validate up front: shed loudly
   } catch (const std::exception& e) {
-    session->send(rejected_line(id, "bad_request", 0, e.what()));
+    session->send(rejected_line(id, trace, "bad_request", 0, e.what()));
     return;
+  }
+  // Every admitted-or-shed request carries a trace id from here on:
+  // client-supplied, or assigned in arrival order ("s1", "s2", ...) so a
+  // sequential request sequence traces deterministically.
+  trace = request.trace;
+  if (trace.empty()) {
+    trace = "s" + std::to_string(
+                      next_trace_.fetch_add(1, std::memory_order_relaxed));
   }
   const std::string canonical = canonical_sweep_json(request.sweep);
   const std::string fingerprint = request_fingerprint(request.sweep);
@@ -273,10 +363,13 @@ void Server::handle_submit(const std::shared_ptr<Session>& session,
   // wall budgets, so they neither read nor write shared results).
   if (!has_deadline) {
     if (auto hit = cache_.get(fingerprint)) {
-      session->send(accepted_line(request.id, fingerprint, queue_.depth(),
-                                  /*coalesced=*/false));
-      session->send(result_line(request.id, fingerprint, /*cached=*/true,
-                                /*ok=*/true, /*failed=*/0, *hit));
+      monitor_->on_cache_hit(trace, fingerprint, wall_us());
+      session->send(accepted_line(request.id, trace, fingerprint,
+                                  queue_.depth(), /*coalesced=*/false));
+      session->send(result_line(request.id, trace, fingerprint,
+                                /*cached=*/true, /*ok=*/true, /*failed=*/0,
+                                /*queue_us=*/0, /*run_us=*/0, /*total_us=*/0,
+                                *hit));
       return;
     }
   }
@@ -292,11 +385,12 @@ void Server::handle_submit(const std::shared_ptr<Session>& session,
       {
         std::lock_guard waiters_lock(it->second->waiters_mutex);
         it->second->waiters.push_back(
-            Waiter{session, request.id, request.live_every});
+            Waiter{session, request.id, trace, request.live_every});
       }
       coalesced_.fetch_add(1, std::memory_order_relaxed);
-      session->send(accepted_line(request.id, fingerprint, queue_.depth(),
-                                  /*coalesced=*/true));
+      monitor_->on_coalesce(trace, fingerprint, wall_us());
+      session->send(accepted_line(request.id, trace, fingerprint,
+                                  queue_.depth(), /*coalesced=*/true));
       return;
     }
   }
@@ -307,22 +401,30 @@ void Server::handle_submit(const std::shared_ptr<Session>& session,
   job->sweep = request.sweep;
   job->priority = request.priority;
   job->client = request.client;
+  job->trace = trace;
   if (has_deadline) {
     job->deadline =
         Clock::now() + std::chrono::milliseconds(request.deadline_ms);
   }
   {
     std::lock_guard lock(job->waiters_mutex);
-    job->waiters.push_back(Waiter{session, request.id, request.live_every});
+    job->waiters.push_back(
+        Waiter{session, request.id, trace, request.live_every});
   }
 
   const AdmissionQueue::Verdict verdict = queue_.try_push(job);
   if (!verdict.accepted) {
-    session->send(rejected_line(request.id,
+    monitor_->on_shed(trace, fingerprint,
+                      std::string(priority_name(request.priority)),
+                      request.client,
+                      std::string(shed_reason_name(verdict.reason)),
+                      wall_us());
+    session->send(rejected_line(request.id, trace,
                                 shed_reason_name(verdict.reason),
                                 verdict.retry_after_ms, ""));
     return;
   }
+  job->accept_us = wall_us();
   if (!has_deadline) {
     {
       std::lock_guard lock(mutex_);
@@ -331,7 +433,10 @@ void Server::handle_submit(const std::shared_ptr<Session>& session,
     journal_.begin(fingerprint, canonical);
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
-  session->send(accepted_line(request.id, fingerprint, verdict.depth,
+  monitor_->on_accept(trace, fingerprint,
+                      std::string(priority_name(request.priority)),
+                      request.client, verdict.depth, job->accept_us);
+  session->send(accepted_line(request.id, trace, fingerprint, verdict.depth,
                               /*coalesced=*/false));
   pool_->submit([this] { execute_one(); });
 }
@@ -352,6 +457,7 @@ void Server::execute_one() {
     return;
   }
   if (!job->recovery && job->abandoned()) {
+    monitor_->on_abandon(job->trace, job->fingerprint, wall_us());
     journal_.end(job->fingerprint, "abandoned");
     release();
     return;
@@ -373,8 +479,29 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
     inflight_.erase(job->fingerprint);
   };
 
+  // Stage spans: queue wait ends (and the run span starts) here; the
+  // breakdown travels on the result line and feeds the latency windows.
+  const std::uint64_t start_us = wall_us();
+  const std::uint64_t queue_wait_us =
+      start_us > job->accept_us ? start_us - job->accept_us : 0;
+  const int slot = monitor_->on_start(job->trace, job->fingerprint,
+                                      queue_.depth(), queue_wait_us,
+                                      start_us);
+  const auto finish = [&](const char* outcome, std::uint64_t* run_out =
+                                                   nullptr,
+                          std::uint64_t* total_out = nullptr) {
+    const std::uint64_t end_us = wall_us();
+    const std::uint64_t run_us = end_us > start_us ? end_us - start_us : 0;
+    const std::uint64_t total_us =
+        end_us > job->accept_us ? end_us - job->accept_us : run_us;
+    monitor_->on_finish(slot, job->trace, job->fingerprint, outcome,
+                        queue_wait_us, run_us, total_us, start_us);
+    if (run_out != nullptr) *run_out = run_us;
+    if (total_out != nullptr) *total_out = total_us;
+  };
+
   for_each_waiter(*job, [&](Session& session, const Waiter& waiter) {
-    session.send(started_line(waiter.request_id));
+    session.send(started_line(waiter.request_id, waiter.trace));
   });
 
   std::vector<harness::RunSpec> specs;
@@ -382,8 +509,9 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
     specs = build_specs(job->sweep);
   } catch (const std::exception& e) {
     retire();
+    finish("error");
     for_each_waiter(*job, [&](Session& session, const Waiter& waiter) {
-      session.send(error_line(waiter.request_id, e.what()));
+      session.send(error_line(waiter.request_id, waiter.trace, e.what()));
     });
     if (!job->recovery) journal_.end(job->fingerprint, "failed");
     return;
@@ -431,8 +559,8 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
       job->cancel.store(true, std::memory_order_relaxed);
     }
     for_each_waiter(*job, [&](Session& session, const Waiter& waiter) {
-      session.send(progress_line(waiter.request_id, done, total,
-                                 item.spec.name,
+      session.send(progress_line(waiter.request_id, waiter.trace, done,
+                                 total, item.spec.name,
                                  harness::run_outcome_name(item.outcome)));
     });
   };
@@ -447,7 +575,7 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
   harness::JsonlSink live_sink([&](std::string_view raw) {
     for_each_waiter(*job, [&](Session& session, const Waiter& waiter) {
       if (waiter.live_every > 0) {
-        session.send(live_line(waiter.request_id, raw));
+        session.send(live_line(waiter.request_id, waiter.trace, raw));
       }
     });
   });
@@ -469,16 +597,19 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
         batch = harness::BatchRunner(options).run(specs);
       } catch (const std::exception& e) {
         retire();
+        finish("error");
         for_each_waiter(*job, [&](Session& session, const Waiter& waiter) {
-          session.send(error_line(waiter.request_id, e.what()));
+          session.send(error_line(waiter.request_id, waiter.trace, e.what()));
         });
         if (!job->recovery) journal_.end(job->fingerprint, "failed");
         return;
       }
     } else {
       retire();
+      finish("error");
       for_each_waiter(*job, [&](Session& session, const Waiter& waiter) {
-        session.send(error_line(waiter.request_id, first_error.what()));
+        session.send(
+            error_line(waiter.request_id, waiter.trace, first_error.what()));
       });
       if (!job->recovery) journal_.end(job->fingerprint, "failed");
       return;
@@ -500,9 +631,14 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
     cache_.put(job->fingerprint, result_json);
   }
 
+  std::uint64_t run_us = 0;
+  std::uint64_t total_us = 0;
+  finish(cancelled ? "cancelled" : (failed == 0 ? "ok" : "failed"), &run_us,
+         &total_us);
   for_each_waiter(*job, [&](Session& session, const Waiter& waiter) {
-    session.send(result_line(waiter.request_id, job->fingerprint,
-                             /*cached=*/false, failed == 0, failed,
+    session.send(result_line(waiter.request_id, waiter.trace,
+                             job->fingerprint, /*cached=*/false, failed == 0,
+                             failed, queue_wait_us, run_us, total_us,
                              result_json));
   });
 

@@ -39,10 +39,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include <fstream>
+
 #include "harness/thread_pool.hpp"
 #include "serve/admission.hpp"
 #include "serve/journal.hpp"
 #include "serve/net.hpp"
+#include "serve/observe.hpp"
 #include "serve/protocol.hpp"
 #include "serve/result_cache.hpp"
 
@@ -92,20 +95,42 @@ struct ServerOptions {
   std::uint64_t retry_after_base_ms = 200;
   std::uint64_t retry_after_per_item_ms = 50;
   std::string version = "1";
+  // -- Observability plane (src/serve/observe.hpp) --------------------------
+  /// Master switch; false turns every monitor hook into a no-op (the bench
+  /// guardrail measures exactly this on-vs-off delta).
+  bool observe = true;
+  /// Wall-clock fields (and executor ids) in hpm.serve.events.v1 records;
+  /// false = determinism mode: identical request sequences log identical
+  /// bytes at any executor count.
+  bool event_timing = true;
+  /// Chrome trace_event output path; empty = off.
+  std::string trace_out_path;
+  /// Volatile build block inside the hello/stats "meta"; off for goldens.
+  bool include_build_meta = true;
 };
 
 /// Point-in-time server statistics (the "stats" op's payload).
 struct ServerStats {
   std::size_t queue_depth = 0;
   std::size_t running = 0;
+  std::size_t sessions = 0;   ///< currently connected clients
+  std::size_t executors = 0;  ///< pool size
   std::uint64_t accepted = 0;
   std::uint64_t coalesced = 0;
   std::uint64_t completed = 0;
   std::uint64_t shed = 0;
+  std::uint64_t shed_high = 0;
+  std::uint64_t shed_normal = 0;
+  std::uint64_t shed_low = 0;
   std::uint64_t recovered = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   bool draining = false;
+  /// Per-stage latency digests (ms), from the observability plane; all
+  /// zero when the plane is disabled.
+  telemetry::LatencySummary queue_wait;
+  telemetry::LatencySummary run;
+  telemetry::LatencySummary total;
 };
 
 class Server {
@@ -135,6 +160,10 @@ class Server {
 
   [[nodiscard]] ServerStats stats();
 
+  /// The observability plane (always constructed; a no-op when
+  /// options.observe is false).  Exposed for tests and the bench.
+  [[nodiscard]] ServerMonitor& monitor() noexcept { return *monitor_; }
+
  private:
   void session_loop(const std::shared_ptr<Session>& session);
   void handle_submit(const std::shared_ptr<Session>& session,
@@ -144,12 +173,15 @@ class Server {
   void broadcast(Job& job, const std::string& line);
   void admit_recovered(std::vector<PendingRequest> pending);
   [[nodiscard]] std::string stats_line();
+  [[nodiscard]] std::string metrics_reply();
 
   ServerOptions options_;
   Listener listener_;
   RequestJournal journal_;
   AdmissionQueue queue_;
   ResultCache cache_;
+  std::ofstream trace_file_;  ///< backs --trace-out; outlives monitor_
+  std::unique_ptr<ServerMonitor> monitor_;
   std::unique_ptr<harness::ThreadPool> pool_;
 
   std::mutex mutex_;  ///< guards inflight_, sessions_, session_threads_
@@ -166,6 +198,8 @@ class Server {
   std::atomic<std::uint64_t> coalesced_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> recovered_{0};
+  /// Server-assigned trace ids ("s1", "s2", ...) for submits without one.
+  std::atomic<std::uint64_t> next_trace_{1};
 };
 
 }  // namespace hpm::serve

@@ -1,0 +1,56 @@
+#include "telemetry/quantiles.hpp"
+
+#include <algorithm>
+
+namespace hpm::telemetry {
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+double quantile(std::span<const double> samples, double q) {
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, q);
+}
+
+LatencySummary summarize_latencies(std::span<const double> samples) {
+  LatencySummary summary;
+  if (samples.empty()) return summary;
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  summary.count = sorted.size();
+  summary.min = sorted.front();
+  summary.max = sorted.back();
+  double sum = 0.0;
+  for (const double sample : sorted) sum += sample;
+  summary.mean = sum / static_cast<double>(sorted.size());
+  summary.p50 = quantile_sorted(sorted, 0.50);
+  summary.p95 = quantile_sorted(sorted, 0.95);
+  summary.p99 = quantile_sorted(sorted, 0.99);
+  return summary;
+}
+
+void SampleWindow::record(double sample) {
+  ++total_;
+  if (capacity_ == 0) return;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(sample);
+    return;
+  }
+  samples_[next_] = sample;
+  next_ = (next_ + 1) % capacity_;
+}
+
+LatencySummary SampleWindow::summary() const {
+  LatencySummary summary = summarize_latencies(samples_);
+  summary.count = total_;
+  return summary;
+}
+
+}  // namespace hpm::telemetry

@@ -1,0 +1,71 @@
+// Shared quantile / latency-summary helpers.
+//
+// One definition of "p50/p95/p99" for the whole tree: the server's
+// observability plane (src/serve/observe.*), serve_loadgen's client-side
+// report and the saturation bench all call these, so a latency the server
+// exposes and a latency the client prints are computed identically and can
+// be compared number-for-number.
+//
+// The quantile definition is nearest-rank with rounding — for a sorted
+// sample of n values, q in [0,1] selects index round(q * (n-1)) — the
+// historical serve_loadgen definition, kept so existing summary numbers do
+// not shift.  It is exact at the endpoints (q=0 -> min, q=1 -> max) and
+// needs no interpolation, so summaries stay deterministic across
+// platforms.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hpm::telemetry {
+
+/// Nearest-rank quantile of an ALREADY SORTED ascending sample; q in
+/// [0,1].  Empty input yields 0.
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Convenience: copies, sorts, then quantile_sorted.
+[[nodiscard]] double quantile(std::span<const double> samples, double q);
+
+/// The standard latency digest every surface reports.
+struct LatencySummary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Summarize a sample set (copies and sorts internally; empty-safe).
+[[nodiscard]] LatencySummary summarize_latencies(
+    std::span<const double> samples);
+
+/// Bounded sample recorder: keeps the most recent `capacity` observations
+/// (ring buffer), for always-on latency tracking with fixed memory.  Not
+/// thread-safe — callers serialize externally (the server monitor holds
+/// one mutex over all of its windows).
+class SampleWindow {
+ public:
+  explicit SampleWindow(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void record(double sample);
+
+  /// Total observations ever recorded (may exceed size()).
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  /// Observations currently retained.
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+
+  /// Digest of the retained window; `count` is total(), so counters keep
+  /// their meaning even after the ring starts evicting.
+  [[nodiscard]] LatencySummary summary() const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;  ///< ring write position once full
+  std::size_t total_ = 0;
+  std::vector<double> samples_;
+};
+
+}  // namespace hpm::telemetry

@@ -1,0 +1,266 @@
+// OpenMetrics exposition compliance + the shared latency/quantile units.
+//
+// The `metrics` op's payload is consumed by scrapers that are strict about
+// the text format, so the contract is pinned here rather than by eyeball:
+//   * label values escape backslash, double-quote and newline;
+//   * every sample line carries a unique label set (a family with two
+//     identical label sets is undefined in the spec);
+//   * the exposition ends with exactly one `# EOF` line;
+//   * rendering is deterministic — same tree, same bytes, in insertion
+//     order — so goldens and diff-based CI checks are stable.
+//
+// The quantile helpers (telemetry/quantiles.hpp) are the single
+// definition of p50/p95/p99 shared by the server's gauges, serve_loadgen
+// and the saturation bench; their nearest-rank arithmetic is pinned so a
+// refactor cannot silently shift every reported latency.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/event_log.hpp"
+#include "serve/observe.hpp"
+#include "telemetry/monitor_tree.hpp"
+#include "telemetry/quantiles.hpp"
+
+namespace {
+
+using namespace hpm::telemetry;
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t eol = text.find('\n', start);
+    if (eol == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, eol - start));
+    start = eol + 1;
+  }
+  return lines;
+}
+
+std::string exposition_of(const MonitorTree& tree) {
+  std::ostringstream out;
+  write_openmetrics(out, tree);
+  return std::move(out).str();
+}
+
+// -- quantiles ---------------------------------------------------------------
+
+TEST(Quantiles, NearestRankDefinition) {
+  const std::vector<double> sorted{10, 20, 30, 40, 50};
+  // rank = round(q * (n-1)): exact at the endpoints, median at q=0.5.
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.0), 10);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.5), 30);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 1.0), 50);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.95), 50);  // round(3.8) = 4
+}
+
+TEST(Quantiles, NearestRankRoundsHalfUp) {
+  const std::vector<double> sorted{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.60), 3);   // 2.4 -> idx 2
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.625), 4);  // 2.5 -> idx 3
+}
+
+TEST(Quantiles, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(quantile_sorted({}, 0.5), 0.0);
+  const std::vector<double> one{7.5};
+  EXPECT_DOUBLE_EQ(quantile_sorted(one, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(one, 0.99), 7.5);
+}
+
+TEST(Quantiles, UnsortedConvenienceMatchesSorted) {
+  const std::vector<double> shuffled{30, 10, 50, 20, 40};
+  const std::vector<double> sorted{10, 20, 30, 40, 50};
+  for (const double q : {0.0, 0.25, 0.5, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(quantile(shuffled, q), quantile_sorted(sorted, q));
+  }
+}
+
+TEST(Quantiles, SummaryDigest) {
+  const std::vector<double> samples{4, 1, 3, 2};
+  const LatencySummary summary = summarize_latencies(samples);
+  EXPECT_EQ(summary.count, 4u);
+  EXPECT_DOUBLE_EQ(summary.min, 1);
+  EXPECT_DOUBLE_EQ(summary.max, 4);
+  EXPECT_DOUBLE_EQ(summary.mean, 2.5);
+  EXPECT_DOUBLE_EQ(summary.p50, 3);  // round(0.5*3)=2 -> sorted[2]
+  const LatencySummary empty = summarize_latencies({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.max, 0.0);
+}
+
+TEST(Quantiles, SampleWindowEvictsButKeepsTotal) {
+  SampleWindow window(4);
+  for (int i = 1; i <= 10; ++i) window.record(i);
+  EXPECT_EQ(window.total(), 10u);
+  EXPECT_EQ(window.size(), 4u);
+  const LatencySummary summary = window.summary();
+  // The ring retains the most recent 4 samples: 7, 8, 9, 10.
+  EXPECT_EQ(summary.count, 10u);  // count keeps the lifetime meaning
+  EXPECT_DOUBLE_EQ(summary.min, 7);
+  EXPECT_DOUBLE_EQ(summary.max, 10);
+}
+
+// -- exposition format -------------------------------------------------------
+
+TEST(OpenMetrics, HeaderBodyAndEof) {
+  MonitorTree tree("server", "server");
+  tree.root().metric("accepted", Reducer::kSum);
+  tree.root().input("accepted", 3.0);
+  tree.sample();
+
+  const std::vector<std::string> lines = lines_of(exposition_of(tree));
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[0].rfind("# HELP hpm_monitor ", 0), 0u);
+  EXPECT_EQ(lines[1], "# TYPE hpm_monitor gauge");
+  EXPECT_EQ(lines[2],
+            "hpm_monitor{node=\"server\",kind=\"server\","
+            "metric=\"accepted\",reducer=\"sum\"} 3");
+  EXPECT_EQ(lines.back(), "# EOF");
+  // Exactly one EOF, and nothing after it.
+  std::size_t eofs = 0;
+  for (const std::string& line : lines) eofs += line == "# EOF";
+  EXPECT_EQ(eofs, 1u);
+}
+
+TEST(OpenMetrics, LabelValuesEscapeBackslashQuoteNewline) {
+  MonitorTree tree("ser\"ver", "kind\\x");
+  tree.root().child("child\nname", "queue").metric("depth", Reducer::kSum);
+  tree.sample();
+
+  const std::string text = exposition_of(tree);
+  EXPECT_NE(text.find("node=\"ser\\\"ver\""), std::string::npos);
+  EXPECT_NE(text.find("kind=\"kind\\\\x\""), std::string::npos);
+  EXPECT_NE(text.find("node=\"ser\\\"ver/child\\nname\""), std::string::npos);
+  // The raw newline must never appear inside a sample line: every line is
+  // either a comment or starts with the family name.
+  for (const std::string& line : lines_of(text)) {
+    EXPECT_TRUE(line.empty() || line[0] == '#' ||
+                line.rfind("hpm_monitor{", 0) == 0)
+        << "torn line: " << line;
+  }
+}
+
+TEST(OpenMetrics, LabelSetsAreUnique) {
+  // server -> queue + two executors, with deliberately colliding metric
+  // names at different nodes (the node label disambiguates them).
+  MonitorTree tree("server", "server");
+  tree.root().child("queue", "queue").metric("depth", Reducer::kSum);
+  tree.root().child("executors", "pool").child("exec0", "executor")
+      .metric("completed", Reducer::kSum);
+  tree.root().child("executors", "pool").child("exec1", "executor")
+      .metric("completed", Reducer::kSum);
+  tree.sample();
+
+  std::map<std::string, int> label_sets;
+  for (const std::string& line : lines_of(exposition_of(tree))) {
+    if (line.rfind("hpm_monitor{", 0) != 0) continue;
+    const std::size_t close = line.find("} ");
+    ASSERT_NE(close, std::string::npos) << line;
+    ++label_sets[line.substr(0, close + 1)];
+  }
+  // Rollup adopts "completed" onto the pool node too: 4 samples, all
+  // distinct label sets.
+  EXPECT_GE(label_sets.size(), 4u);
+  for (const auto& [labels, count] : label_sets) {
+    EXPECT_EQ(count, 1) << "duplicate label set: " << labels;
+  }
+}
+
+TEST(OpenMetrics, RenderingIsByteStable) {
+  MonitorTree tree("server", "server");
+  tree.root().child("queue", "queue").metric("depth", Reducer::kSum);
+  tree.root().child("cache", "cache").metric("hits", Reducer::kSum);
+  tree.root().child("queue", "queue").input("depth", 5);
+  tree.root().child("cache", "cache").input("hits", 2);
+  tree.sample();
+  const std::string first = exposition_of(tree);
+  EXPECT_EQ(first, exposition_of(tree));
+  // A no-input re-sample must not reorder or drop samples either.
+  tree.sample();
+  EXPECT_EQ(first, exposition_of(tree));
+}
+
+// -- ServerMonitor exposition ------------------------------------------------
+
+TEST(OpenMetrics, ServerMonitorExposesTopologyAndCounters) {
+  hpm::serve::ObserveOptions options;
+  options.executors = 2;
+  hpm::serve::ServerMonitor monitor(options);
+  monitor.on_session_open();
+  monitor.on_accept("t1", "fp1", "normal", "c", 1, 100);
+  const int slot = monitor.on_start("t1", "fp1", 0, 50, 150);
+  EXPECT_EQ(slot, 0);
+  monitor.on_finish(slot, "t1", "fp1", "ok", 50, 1000, 1050, 150);
+  monitor.on_cache_hit("t2", "fp1", 2000);
+
+  const std::string text = monitor.openmetrics();
+  const std::vector<std::string> lines = lines_of(text);
+  EXPECT_EQ(lines.back(), "# EOF");
+  for (const char* needle :
+       {"node=\"server/sessions\"", "node=\"server/queue\"",
+        "node=\"server/executors\"", "node=\"server/executors/exec0\"",
+        "node=\"server/cache\"", "node=\"server/latency\"",
+        "metric=\"hit_ratio\",reducer=\"ratio\""}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+  EXPECT_NE(
+      text.find("node=\"server/queue\",kind=\"queue\",metric=\"accepted\","
+                "reducer=\"sum\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("node=\"server/cache\",kind=\"cache\",metric=\"hits\","
+                "reducer=\"sum\"} 1"),
+      std::string::npos);
+  // lookups = accept + cache_hit = 2 -> misses = 1.
+  EXPECT_NE(
+      text.find("node=\"server/cache\",kind=\"cache\",metric=\"misses\","
+                "reducer=\"sum\"} 1"),
+      std::string::npos);
+}
+
+TEST(OpenMetrics, DisabledMonitorStillEmitsValidExposition) {
+  hpm::serve::ObserveOptions options;
+  options.enabled = false;
+  hpm::serve::ServerMonitor monitor(options);
+  EXPECT_EQ(monitor.on_start("t", "fp", 0, 0, 0), -1);
+  monitor.on_finish(-1, "t", "fp", "ok", 0, 0, 0, 0);
+  const std::vector<std::string> lines = lines_of(monitor.openmetrics());
+  ASSERT_EQ(lines.size(), 3u);  // HELP, TYPE, EOF — no samples
+  EXPECT_EQ(lines.back(), "# EOF");
+}
+
+// -- event-log line format (the writer half; replay is covered by the
+//    serve_observe integration suite) ---------------------------------------
+
+TEST(EventLogFormat, PinsTimedAndTimelessBytes) {
+  hpm::serve::ServeEvent event;
+  event.event = "finish";
+  event.trace = "t9";
+  event.fingerprint = "abcd";
+  event.outcome = "ok";
+  event.executor = 1;
+  event.queue_wait_us = 10;
+  event.run_us = 20;
+  event.total_us = 30;
+  event.t_us = 40;
+  EXPECT_EQ(hpm::serve::EventLog::format(event, 7, /*include_timing=*/true),
+            "{\"schema\":\"hpm.serve.events.v1\",\"seq\":7,"
+            "\"event\":\"finish\",\"trace\":\"t9\",\"fingerprint\":\"abcd\","
+            "\"outcome\":\"ok\",\"executor\":1,\"queue_wait_us\":10,"
+            "\"run_us\":20,\"total_us\":30,\"t_us\":40}\n");
+  // Determinism mode drops every wall-clock field and the executor id (a
+  // scheduling artifact) but keeps the logical record.
+  EXPECT_EQ(hpm::serve::EventLog::format(event, 7, /*include_timing=*/false),
+            "{\"schema\":\"hpm.serve.events.v1\",\"seq\":7,"
+            "\"event\":\"finish\",\"trace\":\"t9\",\"fingerprint\":\"abcd\","
+            "\"outcome\":\"ok\"}\n");
+}
+
+}  // namespace

@@ -1,0 +1,543 @@
+// The hpmserve observability plane, end to end over real sockets:
+//
+//  * every event a request triggers echoes its trace id (client-supplied
+//    or server-assigned "s<N>"),
+//  * the hpm.serve.events.v1 log records the full lifecycle in order,
+//    replays after truncation at EVERY byte offset (kill -9 tears lines,
+//    never the reader), and in determinism mode is byte-identical for a
+//    given request sequence at any --executors count,
+//  * the `metrics` op serves an OpenMetrics exposition whose counters
+//    reconcile exactly with what the client observed,
+//  * coalesce / cache-hit decisions are visible in both sinks,
+//  * --trace-out produces a well-formed Chrome trace_event document.
+//
+// The suite carries the "property" label so CI also runs it under TSan
+// (hooks fire from session and executor threads concurrently).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/json_export.hpp"
+#include "serve/event_log.hpp"
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace hpm::serve;
+using hpm::harness::JsonValue;
+
+std::string temp_dir(const std::string& leaf) {
+  const auto dir = std::filesystem::temp_directory_path() / leaf;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return std::move(out).str();
+}
+
+struct ServerFixture {
+  std::unique_ptr<Server> server;
+  std::thread thread;
+
+  explicit ServerFixture(ServerOptions options)
+      : server(std::make_unique<Server>(std::move(options))) {
+    thread = std::thread([this] { server->run(); });
+  }
+
+  ~ServerFixture() { shutdown(); }
+
+  void shutdown() {
+    if (server && thread.joinable()) {
+      server->stop_now();
+      thread.join();
+    }
+  }
+
+  std::uint16_t port() const { return server->port(); }
+};
+
+struct TestClient {
+  Socket socket;
+  LineReader reader;
+  std::string last_raw;
+
+  explicit TestClient(std::uint16_t port)
+      : socket(connect_to("127.0.0.1", port)), reader(socket) {
+    if (!socket.valid()) throw std::runtime_error("connect failed");
+    const JsonValue hello = read_event();
+    if (hello.at("event").str() != "hello") {
+      throw std::runtime_error("expected hello, got " + last_raw);
+    }
+  }
+
+  void send(const std::string& line) {
+    if (!socket.send_line(line)) throw std::runtime_error("send failed");
+  }
+
+  JsonValue read_event() {
+    if (!reader.read_line(last_raw)) {
+      throw std::runtime_error("connection closed");
+    }
+    return JsonValue::parse(last_raw);
+  }
+
+  JsonValue wait_for(const std::vector<std::string>& events,
+                     std::size_t limit = 10'000) {
+    for (std::size_t i = 0; i < limit; ++i) {
+      JsonValue event = read_event();
+      const std::string& kind = event.at("event").str();
+      for (const std::string& want : events) {
+        if (kind == want) return event;
+      }
+    }
+    throw std::runtime_error("event never arrived");
+  }
+};
+
+SweepSpec small_sweep(std::uint64_t seed) {
+  SweepSpec sweep;
+  sweep.scale = 0.05;
+  sweep.seed = seed;
+  return sweep;
+}
+
+/// A sweep slow enough (~seconds) that a second client can act while it
+/// runs (the coalescing test).
+SweepSpec slow_sweep(std::uint64_t seed) {
+  SweepSpec sweep;
+  sweep.tools = {"none", "sample", "search"};
+  sweep.scale = 2.0;
+  sweep.seed = seed;
+  return sweep;
+}
+
+std::string submit_op(const std::string& id, const SweepSpec& sweep,
+                      const std::string& extra = "") {
+  return "{\"op\":\"submit\",\"id\":\"" + id + "\"" + extra +
+         ",\"sweep\":" + canonical_sweep_json(sweep) + "}";
+}
+
+std::string trace_of(const JsonValue& event) {
+  const JsonValue* trace = event.find("trace");
+  return trace != nullptr ? trace->str() : "<missing>";
+}
+
+template <typename Predicate>
+bool poll_until(Predicate&& done, int timeout_ms = 60'000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+// -- tracing -----------------------------------------------------------------
+
+TEST(ServeTracing, ClientTraceEchoedOnEveryEvent) {
+  ServerOptions options;
+  options.executors = 1;
+  ServerFixture fixture(options);
+  TestClient client(fixture.port());
+
+  client.send(submit_op("r1", small_sweep(1),
+                        ",\"trace\":\"trace-abc\",\"live_every\":2000"));
+  // Pump raw events until the result: every single one for r1 must carry
+  // the submitted trace (accepted, started, progress, live, result).
+  std::size_t seen = 0;
+  for (;;) {
+    const JsonValue event = client.read_event();
+    const std::string kind = event.at("event").str();
+    if (kind == "hello" || kind == "stats" || kind == "pong") continue;
+    ++seen;
+    EXPECT_EQ(trace_of(event), "trace-abc") << client.last_raw;
+    if (kind == "result") {
+      // The result also reports the server-side stage spans.
+      const JsonValue& stages = event.at("stages");
+      const std::uint64_t queue_us = stages.at("queue_us").uint();
+      const std::uint64_t run_us = stages.at("run_us").uint();
+      const std::uint64_t total_us = stages.at("total_us").uint();
+      EXPECT_EQ(total_us, queue_us + run_us);
+      EXPECT_GT(run_us, 0u);
+      break;
+    }
+  }
+  EXPECT_GE(seen, 3u);  // accepted + started + ... + result
+}
+
+TEST(ServeTracing, ServerAssignsSequentialTraceIds) {
+  ServerOptions options;
+  options.executors = 1;
+  ServerFixture fixture(options);
+  TestClient client(fixture.port());
+
+  client.send(submit_op("r1", small_sweep(1)));
+  EXPECT_EQ(trace_of(client.wait_for({"accepted"})), "s1");
+  client.wait_for({"result"});
+  client.send(submit_op("r2", small_sweep(2)));
+  EXPECT_EQ(trace_of(client.wait_for({"accepted"})), "s2");
+  client.wait_for({"result"});
+}
+
+TEST(ServeTracing, RejectionsEchoTheTraceToo) {
+  // One executor, one queue slot: the third distinct request is shed with
+  // queue_full — and the rejection must still echo its trace id.
+  ServerOptions options;
+  options.executors = 1;
+  options.max_queue = 1;
+  ServerFixture fixture(options);
+  TestClient client(fixture.port());
+  client.send(submit_op("a", slow_sweep(1), ",\"trace\":\"runs\""));
+  client.wait_for({"started"});
+  client.send(submit_op("b", slow_sweep(2), ",\"trace\":\"queued\""));
+  client.wait_for({"accepted"});
+  client.send(submit_op("c", slow_sweep(3), ",\"trace\":\"tr\""));
+  const JsonValue rejected = client.wait_for({"rejected"});
+  EXPECT_EQ(trace_of(rejected), "tr");
+  EXPECT_EQ(rejected.at("reason").str(), "queue_full");
+  EXPECT_GT(rejected.at("retry_after_ms").uint(), 0u);
+}
+
+// -- event log ---------------------------------------------------------------
+
+TEST(ServeEventLog, RecordsLifecycleInOrder) {
+  const std::string state = temp_dir("hpm_observe_lifecycle");
+  ServerOptions options;
+  options.executors = 1;
+  options.state_dir = state;
+  {
+    ServerFixture fixture(options);
+    TestClient client(fixture.port());
+    client.send(submit_op("r1", small_sweep(1), ",\"trace\":\"L1\""));
+    client.wait_for({"result"});
+  }
+  std::uint64_t skipped = 0;
+  const auto events = EventLog::replay(state + "/serve_events.jsonl",
+                                       &skipped);
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(events.size(), 3u);
+  const char* expected[] = {"accept", "start", "finish"};
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].at("schema").str(), "hpm.serve.events.v1");
+    EXPECT_EQ(events[i].at("seq").uint(), i + 1);
+    EXPECT_EQ(events[i].at("event").str(), expected[i]);
+    EXPECT_EQ(events[i].at("trace").str(), "L1");
+  }
+  EXPECT_EQ(events[2].at("outcome").str(), "ok");
+  // Timing fields are on by default and must be coherent.
+  EXPECT_EQ(events[2].at("total_us").uint(),
+            events[2].at("queue_wait_us").uint() +
+                events[2].at("run_us").uint());
+}
+
+TEST(ServeEventLog, DeterminismModeIsByteIdenticalAcrossExecutorCounts) {
+  // The same sequential request sequence, served by 1-executor and
+  // 3-executor servers with --no-event-timing, must log identical bytes:
+  // no wall-clock, no executor ids, same admission order.
+  std::string logs[2];
+  const unsigned executor_counts[] = {1, 3};
+  for (int i = 0; i < 2; ++i) {
+    const std::string state =
+        temp_dir("hpm_observe_det_" + std::to_string(i));
+    ServerOptions options;
+    options.executors = executor_counts[i];
+    options.state_dir = state;
+    options.event_timing = false;
+    {
+      ServerFixture fixture(options);
+      TestClient client(fixture.port());
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        client.send(submit_op("r" + std::to_string(seed), small_sweep(seed),
+                              ",\"trace\":\"d" + std::to_string(seed) +
+                                  "\""));
+        client.wait_for({"result"});
+      }
+    }
+    logs[i] = read_file(state + "/serve_events.jsonl");
+    EXPECT_FALSE(logs[i].empty());
+    EXPECT_EQ(logs[i].find("t_us"), std::string::npos);
+    EXPECT_EQ(logs[i].find("executor"), std::string::npos);
+  }
+  EXPECT_EQ(logs[0], logs[1]);
+}
+
+TEST(ServeEventLog, ReplaySurvivesTruncationAtEveryByte) {
+  // Build a real multi-record log, then replay every prefix of it: the
+  // reader must never throw, must recover every complete line, and must
+  // count (not propagate) the torn tail.
+  const std::string dir = temp_dir("hpm_observe_trunc");
+  const std::string full_path = dir + "/full.jsonl";
+  {
+    EventLog log(full_path, /*include_timing=*/true);
+    ServeEvent accept;
+    accept.event = "accept";
+    accept.trace = "t\"1\\n";  // hostile trace: escapes inside the line
+    accept.fingerprint = "fp";
+    accept.priority = "normal";
+    accept.client = "c";
+    accept.queue_depth = 1;
+    accept.t_us = 5;
+    log.append(accept);
+    ServeEvent start;
+    start.event = "start";
+    start.trace = "t\"1\\n";
+    start.fingerprint = "fp";
+    start.executor = 0;
+    start.queue_wait_us = 3;
+    start.t_us = 8;
+    log.append(start);
+    ServeEvent finish;
+    finish.event = "finish";
+    finish.trace = "t\"1\\n";
+    finish.fingerprint = "fp";
+    finish.outcome = "ok";
+    finish.executor = 0;
+    finish.queue_wait_us = 3;
+    finish.run_us = 90;
+    finish.total_us = 93;
+    finish.t_us = 98;
+    log.append(finish);
+    EXPECT_EQ(log.count(), 3u);
+  }
+  const std::string full = read_file(full_path);
+  ASSERT_FALSE(full.empty());
+  const std::size_t total_lines = 3;
+
+  const std::string trunc_path = dir + "/trunc.jsonl";
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    {
+      std::ofstream out(trunc_path, std::ios::binary | std::ios::trunc);
+      out.write(full.data(), static_cast<std::streamsize>(cut));
+    }
+    std::uint64_t skipped = 0;
+    std::vector<JsonValue> events;
+    ASSERT_NO_THROW(events = EventLog::replay(trunc_path, &skipped))
+        << "cut at byte " << cut;
+    const std::size_t complete_lines = static_cast<std::size_t>(
+        std::count(full.begin(), full.begin() + cut, '\n'));
+    // A cut landing exactly after a record's '}' (before its newline)
+    // still parses, hence the +1 tolerance.
+    EXPECT_GE(events.size(), complete_lines) << "cut at byte " << cut;
+    EXPECT_LE(events.size(), complete_lines + 1) << "cut at byte " << cut;
+    EXPECT_LE(skipped, 1u) << "cut at byte " << cut;
+    for (const JsonValue& event : events) {
+      EXPECT_EQ(event.at("schema").str(), "hpm.serve.events.v1");
+    }
+  }
+  // The untruncated log replays losslessly.
+  std::uint64_t skipped = 0;
+  EXPECT_EQ(EventLog::replay(full_path, &skipped).size(), total_lines);
+  EXPECT_EQ(skipped, 0u);
+}
+
+TEST(ServeEventLog, ReplayToleratesGarbageAndForeignLines) {
+  const std::string dir = temp_dir("hpm_observe_garbage");
+  const std::string path = dir + "/log.jsonl";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << EventLog::format({.event = "accept", .trace = "a"}, 1, true);
+    out << "not json at all\n";
+    out << "{\"schema\":\"other.v1\",\"event\":\"x\"}\n";
+    out << EventLog::format({.event = "finish", .trace = "a"}, 2, true);
+  }
+  std::uint64_t skipped = 0;
+  const auto events = EventLog::replay(path, &skipped);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(skipped, 2u);
+  EXPECT_EQ(events[0].at("event").str(), "accept");
+  EXPECT_EQ(events[1].at("event").str(), "finish");
+}
+
+// -- metrics op + reconciliation --------------------------------------------
+
+TEST(ServeMetrics, ExpositionReconcilesWithObservedTraffic) {
+  ServerOptions options;
+  options.executors = 2;
+  ServerFixture fixture(options);
+  TestClient client(fixture.port());
+
+  const std::size_t kRequests = 3;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    client.send(submit_op("r" + std::to_string(i), small_sweep(i + 1)));
+    client.wait_for({"result"});
+  }
+
+  client.send("{\"op\":\"metrics\"}");
+  const JsonValue reply = client.wait_for({"metrics"});
+  const std::string text = reply.at("data").str();
+  EXPECT_NE(text.find("# TYPE hpm_monitor gauge"), std::string::npos);
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+
+  const auto gauge = [&text](const std::string& node,
+                             const std::string& metric) {
+    const std::string needle = "node=\"" + node + "\",kind=";
+    std::size_t at = 0;
+    while ((at = text.find(needle, at)) != std::string::npos) {
+      const std::size_t eol = text.find('\n', at);
+      const std::string line = text.substr(at, eol - at);
+      if (line.find("metric=\"" + metric + "\"") != std::string::npos) {
+        return std::stod(line.substr(line.find("} ") + 2));
+      }
+      at = eol;
+    }
+    throw std::runtime_error("no gauge " + node + "/" + metric);
+  };
+  EXPECT_EQ(gauge("server/queue", "accepted"), kRequests);
+  EXPECT_EQ(gauge("server/queue", "shed"), 0);
+  EXPECT_EQ(gauge("server/cache", "hits"), 0);
+  EXPECT_EQ(gauge("server/cache", "misses"), kRequests);
+  double completed = 0;
+  for (unsigned slot = 0; slot < 2; ++slot) {
+    completed +=
+        gauge("server/executors/exec" + std::to_string(slot), "completed");
+  }
+  EXPECT_EQ(completed, kRequests);
+  // The stats op reports the same world (counter <-> stats reconciliation).
+  // completed_ ticks just AFTER the result broadcast, so allow the last
+  // executor thread a beat to get there.
+  EXPECT_TRUE(poll_until(
+      [&] { return fixture.server->stats().completed == kRequests; }));
+  const ServerStats stats = fixture.server->stats();
+  EXPECT_EQ(stats.accepted, kRequests);
+  EXPECT_EQ(stats.total.count, kRequests);
+  EXPECT_GT(stats.total.p50, 0.0);
+}
+
+TEST(ServeMetrics, StatsEventCarriesLatencyShedClassesAndMeta) {
+  ServerOptions options;
+  options.executors = 1;
+  ServerFixture fixture(options);
+  TestClient client(fixture.port());
+  client.send(submit_op("r1", small_sweep(1)));
+  client.wait_for({"result"});
+  client.send("{\"op\":\"stats\"}");
+  const JsonValue stats = client.wait_for({"stats"});
+  EXPECT_EQ(stats.at("executors").uint(), 1u);
+  EXPECT_EQ(stats.at("sessions").uint(), 1u);
+  EXPECT_EQ(stats.at("shed_high").uint(), 0u);
+  EXPECT_EQ(stats.at("shed_normal").uint(), 0u);
+  EXPECT_EQ(stats.at("shed_low").uint(), 0u);
+  EXPECT_EQ(stats.at("latency").at("total").at("count").uint(), 1u);
+  EXPECT_GT(stats.at("latency").at("run").at("p95_ms").number(), 0.0);
+  // Provenance rides along, schema-versioned like every other export.
+  EXPECT_EQ(stats.at("meta").at("schemas").at("hpm.serve.events").uint(),
+            1u);
+}
+
+// -- coalesce / cache-hit visibility -----------------------------------------
+
+TEST(ServeObserve, CoalesceAndCacheHitAreLogged) {
+  const std::string state = temp_dir("hpm_observe_coalesce");
+  ServerOptions options;
+  options.executors = 1;
+  options.state_dir = state;
+  {
+    ServerFixture fixture(options);
+    TestClient first(fixture.port());
+    TestClient second(fixture.port());
+    first.send(submit_op("a", slow_sweep(7), ",\"trace\":\"origin\""));
+    first.wait_for({"started"});
+    // Identical request while the first runs: coalesces onto it.
+    second.send(submit_op("b", slow_sweep(7), ",\"trace\":\"rider\""));
+    const JsonValue accepted = second.wait_for({"accepted"});
+    EXPECT_TRUE(accepted.at("coalesced").boolean());
+    EXPECT_EQ(trace_of(accepted), "rider");
+    first.wait_for({"result"});
+    second.wait_for({"result"});
+    // Identical request after completion: served from the result cache.
+    second.send(submit_op("c", slow_sweep(7), ",\"trace\":\"cached\""));
+    const JsonValue result = second.wait_for({"result"});
+    EXPECT_TRUE(result.at("cached").boolean());
+    EXPECT_EQ(trace_of(result), "cached");
+  }
+  const auto events = EventLog::replay(state + "/serve_events.jsonl");
+  std::vector<std::string> kinds;
+  bool saw_coalesce = false, saw_cache_hit = false;
+  for (const JsonValue& event : events) {
+    const std::string kind = event.at("event").str();
+    if (kind == "coalesce") {
+      saw_coalesce = true;
+      EXPECT_EQ(event.at("trace").str(), "rider");
+    }
+    if (kind == "cache_hit") {
+      saw_cache_hit = true;
+      EXPECT_EQ(event.at("trace").str(), "cached");
+    }
+  }
+  EXPECT_TRUE(saw_coalesce);
+  EXPECT_TRUE(saw_cache_hit);
+}
+
+// -- Chrome trace ------------------------------------------------------------
+
+TEST(ServeObserve, TraceOutIsWellFormedChromeTrace) {
+  const std::string dir = temp_dir("hpm_observe_chrome");
+  ServerOptions options;
+  options.executors = 2;
+  options.trace_out_path = dir + "/trace.json";
+  {
+    ServerFixture fixture(options);
+    TestClient client(fixture.port());
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      client.send(submit_op("r" + std::to_string(seed), small_sweep(seed),
+                            ",\"trace\":\"ct" + std::to_string(seed) +
+                                "\""));
+      client.wait_for({"result"});
+    }
+  }  // destructor closes the trace footer
+  const JsonValue doc = JsonValue::parse(read_file(dir + "/trace.json"));
+  const auto& events = doc.at("traceEvents").array();
+  ASSERT_FALSE(events.empty());
+  std::size_t spans = 0;
+  for (const JsonValue& event : events) {
+    const std::string ph = event.at("ph").str();
+    EXPECT_TRUE(ph == "X" || ph == "i" || ph == "C") << ph;
+    if (ph == "X") {
+      ++spans;
+      EXPECT_EQ(event.at("pid").uint(), 0u);  // executor track group
+      EXPECT_EQ(event.at("name").str(), "run");
+      const std::string trace = event.at("args").at("trace").str();
+      EXPECT_TRUE(trace == "ct1" || trace == "ct2") << trace;
+    }
+  }
+  EXPECT_EQ(spans, 2u);  // one run span per executed request
+}
+
+// -- disabled plane ----------------------------------------------------------
+
+TEST(ServeObserve, NoObserveStillServesAndAnswersMetrics) {
+  ServerOptions options;
+  options.executors = 1;
+  options.observe = false;
+  ServerFixture fixture(options);
+  TestClient client(fixture.port());
+  client.send(submit_op("r1", small_sweep(1), ",\"trace\":\"off\""));
+  const JsonValue result = client.wait_for({"result"});
+  EXPECT_EQ(trace_of(result), "off");  // tracing works even with plane off
+  client.send("{\"op\":\"metrics\"}");
+  const JsonValue metrics = client.wait_for({"metrics"});
+  const std::string text = metrics.at("data").str();
+  EXPECT_NE(text.find("# TYPE hpm_monitor gauge"), std::string::npos);
+  EXPECT_EQ(text.find("hpm_monitor{"), std::string::npos);  // no samples
+  const ServerStats stats = fixture.server->stats();
+  EXPECT_EQ(stats.total.count, 0u);  // latency digests off with the plane
+}
+
+}  // namespace

@@ -41,6 +41,16 @@ int usage(const char* error) {
       "                    per-sweep checkpoints (default: none)\n"
       "  --cache N         result-cache entries       (default 64)\n"
       "  --retry-after-ms N  base RETRY_AFTER hint    (default 200)\n"
+      "  --trace-out FILE  write a Chrome trace_event timeline of the\n"
+      "                    server (one track per executor; load in\n"
+      "                    chrome://tracing or ui.perfetto.dev)\n"
+      "  --no-event-timing omit wall-clock fields and executor ids from\n"
+      "                    the hpm.serve.events.v1 log (determinism mode:\n"
+      "                    identical request sequences log identical\n"
+      "                    bytes at any --executors count)\n"
+      "  --no-observe      disable the observability plane entirely\n"
+      "                    (event log, metrics op content, trace; the\n"
+      "                    bench overhead guardrail measures this delta)\n"
       "\nSIGTERM/SIGINT drain gracefully: new submits are shed with\n"
       "reason \"draining\", admitted work finishes, journals are flushed,\n"
       "then the server exits 0.  After a hard kill, restarting with the\n"
@@ -60,7 +70,8 @@ void on_terminate(int) { g_drain_requested = 1; }
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv,
                 {"host", "port", "print-port", "executors", "max-queue",
-                 "quota", "state", "cache", "retry-after-ms", "help"});
+                 "quota", "state", "cache", "retry-after-ms", "trace-out",
+                 "no-event-timing", "no-observe", "help"});
   if (!cli.ok()) return usage(cli.error().c_str());
   if (cli.has("help")) return usage(nullptr);
 
@@ -74,6 +85,9 @@ int main(int argc, char** argv) {
   options.state_dir = cli.get("state", "");
   options.cache_entries = static_cast<std::size_t>(cli.get_uint("cache", 64));
   options.retry_after_base_ms = cli.get_uint("retry-after-ms", 200);
+  options.trace_out_path = cli.get("trace-out", "");
+  options.event_timing = !cli.get_bool("no-event-timing", false);
+  options.observe = !cli.get_bool("no-observe", false);
 
   std::unique_ptr<serve::Server> server;
   try {

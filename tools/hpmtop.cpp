@@ -1,22 +1,32 @@
-// hpmtop: terminal dashboard for hpmrun live streams.
+// hpmtop: terminal dashboard for hpmrun live streams and hpmserve.
 //
-// Tails a --progress-jsonl stream (file, or "-" for a pipe) carrying the
-// interleaved progress + hpm.live.v1 events and renders per-worker run
-// status, per-level miss-rate sparklines, the rolled-up batch totals and
-// the EMA-based ETA.  Two modes:
+// Stream mode tails a --progress-jsonl stream (file, or "-" for a pipe)
+// carrying the interleaved progress + hpm.live.v1 events and renders
+// per-worker run status, per-level miss-rate sparklines, the rolled-up
+// batch totals and the EMA-based ETA.  Two sub-modes:
 //   * follow (default): re-render in place as events arrive, exit when the
 //     stream's batch_finish event lands;
 //   * --once: read the whole recorded stream, render the final frame to
 //     stdout and exit — deterministic, so a fixture test pins the frame
 //     byte for byte and CI can smoke the full hpmrun | hpmtop pipeline.
 //
-// Exit codes: 0 = rendered; 1 = stream held no recognizable events;
-// 2 = usage error.  Unknown event types and malformed lines are skipped
-// (counted), so newer producers never break an older hpmtop.
+// Server mode (--serve HOST:PORT) polls a running hpmserve over the
+// hpm.serve.v1 protocol — the `stats` op for cumulative counters and
+// per-stage latency digests, the `metrics` op for the windowed gauges
+// (executor utilization, cache hit ratio) only the OpenMetrics tree
+// carries — and renders a live server dashboard: queue / executors /
+// cache, plus sparklines of queue depth, shed rate, completion rate and
+// p95 total latency.  --once polls once and prints a single frame.
+//
+// Exit codes: 0 = rendered; 1 = stream held no recognizable events (or
+// the server was unreachable); 2 = usage error.  Unknown event types and
+// malformed lines are skipped (counted), so newer producers never break
+// an older hpmtop.
 //
 //   hpmrun --workload tomcatv,swim --tool sample --jobs 4 ...
 //     ... --progress-jsonl /dev/stderr --live 2>&1 >/dev/null | hpmtop -
 //   hpmtop recorded-stream.jsonl --once
+//   hpmtop --serve 127.0.0.1:7077
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -29,6 +39,7 @@
 #include <vector>
 
 #include "harness/json_export.hpp"
+#include "serve/net.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -37,12 +48,15 @@ using hpm::harness::JsonValue;
 
 constexpr const char* kUsage =
     "usage: hpmtop STREAM [--once] [--interval-ms N] [--width N]\n"
+    "       hpmtop --serve HOST:PORT [--once] [--interval-ms N] [--width N]\n"
     "\n"
     "  STREAM            JSONL file from hpmrun --progress-jsonl --live,\n"
     "                    or '-' to read a pipe on stdin\n"
-    "  --once            read to EOF, print the final frame, exit\n"
+    "  --serve HOST:PORT poll a running hpmserve (stats + metrics ops)\n"
+    "                    and render a live server dashboard instead\n"
+    "  --once            read to EOF (or poll once), print one frame, exit\n"
     "                    (deterministic; for CI and recorded streams)\n"
-    "  --interval-ms N   follow-mode refresh interval (default 500)\n"
+    "  --interval-ms N   follow-mode refresh/poll interval (default 500)\n"
     "  --width N         sparkline width in samples (default 32)\n";
 
 /// Per-level live state within one run.
@@ -352,11 +366,263 @@ std::string render(const Dashboard& dash, std::size_t width) {
   return out.str();
 }
 
+// ---- hpmserve dashboard (--serve HOST:PORT) --------------------------------
+
+/// Latest `stats` snapshot plus the per-poll rate/depth histories the
+/// sparklines draw from.
+struct ServeDash {
+  std::string endpoint;
+  std::uint64_t polls = 0;
+  // Cumulative counters and gauges from the stats event.
+  double queue_depth = 0, running = 0, sessions = 0, executors = 0;
+  double accepted = 0, coalesced = 0, completed = 0;
+  double shed = 0, shed_high = 0, shed_normal = 0, shed_low = 0;
+  double recovered = 0, cache_hits = 0, cache_misses = 0;
+  bool draining = false;
+  // Per-stage latency digests (ms) from stats.latency.{queue,run,total}.
+  double queue_p50 = 0, queue_p95 = 0, queue_p99 = 0;
+  double run_p50 = 0, run_p95 = 0, run_p99 = 0;
+  double total_p50 = 0, total_p95 = 0, total_p99 = 0;
+  std::size_t latency_count = 0;
+  // Windowed gauges only the OpenMetrics exposition carries; negative
+  // until the first successful metrics poll (or with --no-observe).
+  double utilization = -1.0, hit_ratio = -1.0;
+  // Histories (one entry per poll).
+  std::vector<double> depth_series, shed_series, done_series, p95_series;
+  double prev_shed = -1.0, prev_completed = -1.0;
+};
+
+/// Send one no-argument op and wait for its reply event, skipping the
+/// hello and any interleaved broadcasts.  False when the connection died.
+bool serve_rpc(hpm::serve::Socket& socket, hpm::serve::LineReader& reader,
+               const std::string& op, const std::string& expect,
+               JsonValue& reply) {
+  if (!socket.send_line("{\"op\":\"" + op + "\"}")) return false;
+  std::string line;
+  while (reader.read_line(line)) {
+    if (line.empty()) continue;
+    try {
+      JsonValue event = JsonValue::parse(line);
+      const JsonValue* kind = event.find("event");
+      if (kind != nullptr && kind->str() == expect) {
+        reply = std::move(event);
+        return true;
+      }
+    } catch (const std::exception&) {
+      continue;
+    }
+  }
+  return false;
+}
+
+/// Pull one gauge out of an OpenMetrics exposition by its metric label —
+/// e.g. `hpm_monitor{...,metric="utilization",...} 0.75`.  The exposition
+/// declares each metric label once per node; the two consumed here
+/// (utilization, hit_ratio) are unique server-wide.  Returns fallback
+/// when absent (plane disabled or metric not yet declared).
+double exposition_gauge(const std::string& text, const std::string& metric,
+                        double fallback) {
+  const std::string needle = "metric=\"" + metric + "\"";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return fallback;
+  const std::size_t close = text.find("} ", at);
+  const std::size_t eol = text.find('\n', at);
+  if (close == std::string::npos || eol == std::string::npos || close > eol) {
+    return fallback;
+  }
+  try {
+    return std::stod(text.substr(close + 2, eol - close - 2));
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+/// Poll stats (and metrics) once and fold the snapshot into the dashboard.
+bool poll_server(hpm::serve::Socket& socket, hpm::serve::LineReader& reader,
+                 ServeDash& dash, double interval_seconds) {
+  JsonValue stats;
+  if (!serve_rpc(socket, reader, "stats", "stats", stats)) return false;
+  dash.queue_depth = num_or(stats, "queue_depth", 0);
+  dash.running = num_or(stats, "running", 0);
+  dash.sessions = num_or(stats, "sessions", 0);
+  dash.executors = num_or(stats, "executors", 0);
+  dash.accepted = num_or(stats, "accepted", 0);
+  dash.coalesced = num_or(stats, "coalesced", 0);
+  dash.completed = num_or(stats, "completed", 0);
+  dash.shed = num_or(stats, "shed", 0);
+  dash.shed_high = num_or(stats, "shed_high", 0);
+  dash.shed_normal = num_or(stats, "shed_normal", 0);
+  dash.shed_low = num_or(stats, "shed_low", 0);
+  dash.recovered = num_or(stats, "recovered", 0);
+  dash.cache_hits = num_or(stats, "cache_hits", 0);
+  dash.cache_misses = num_or(stats, "cache_misses", 0);
+  if (const JsonValue* draining = stats.find("draining")) {
+    dash.draining = draining->kind() == JsonValue::Kind::kBool
+                        ? draining->boolean()
+                        : false;
+  }
+  if (const JsonValue* latency = stats.find("latency")) {
+    if (const JsonValue* queue = latency->find("queue")) {
+      dash.queue_p50 = num_or(*queue, "p50_ms", 0);
+      dash.queue_p95 = num_or(*queue, "p95_ms", 0);
+      dash.queue_p99 = num_or(*queue, "p99_ms", 0);
+    }
+    if (const JsonValue* run = latency->find("run")) {
+      dash.run_p50 = num_or(*run, "p50_ms", 0);
+      dash.run_p95 = num_or(*run, "p95_ms", 0);
+      dash.run_p99 = num_or(*run, "p99_ms", 0);
+    }
+    if (const JsonValue* total = latency->find("total")) {
+      dash.latency_count =
+          static_cast<std::size_t>(num_or(*total, "count", 0));
+      dash.total_p50 = num_or(*total, "p50_ms", 0);
+      dash.total_p95 = num_or(*total, "p95_ms", 0);
+      dash.total_p99 = num_or(*total, "p99_ms", 0);
+    }
+  }
+  // The windowed gauges ride on the metrics op; a server running
+  // --no-observe answers with an empty (but valid) exposition, which
+  // simply leaves them unset.
+  JsonValue metrics;
+  if (serve_rpc(socket, reader, "metrics", "metrics", metrics)) {
+    if (const JsonValue* data = metrics.find("data")) {
+      dash.utilization = exposition_gauge(data->str(), "utilization", -1.0);
+      dash.hit_ratio = exposition_gauge(data->str(), "hit_ratio", -1.0);
+    }
+  }
+  // Rates are per-poll deltas of the cumulative counters.
+  dash.depth_series.push_back(dash.queue_depth);
+  dash.p95_series.push_back(dash.total_p95);
+  if (dash.prev_shed >= 0 && interval_seconds > 0) {
+    dash.shed_series.push_back((dash.shed - dash.prev_shed) /
+                               interval_seconds);
+    dash.done_series.push_back((dash.completed - dash.prev_completed) /
+                               interval_seconds);
+  }
+  dash.prev_shed = dash.shed;
+  dash.prev_completed = dash.completed;
+  ++dash.polls;
+  return true;
+}
+
+std::string render_serve(const ServeDash& dash, std::size_t width) {
+  std::ostringstream out;
+  out << "hpmtop — hpmserve " << dash.endpoint
+      << (dash.draining ? "  [draining]" : "") << "\n";
+  out << "sessions " << fmt("%.0f", dash.sessions) << "  executors "
+      << fmt("%.0f", dash.executors) << "  running "
+      << fmt("%.0f", dash.running) << "  queue "
+      << fmt("%.0f", dash.queue_depth);
+  if (dash.utilization >= 0) {
+    out << "  util " << fmt("%.0f%%", dash.utilization * 100.0);
+  }
+  out << "\n";
+  out << "accepted " << fmt("%.0f", dash.accepted) << "  coalesced "
+      << fmt("%.0f", dash.coalesced) << "  completed "
+      << fmt("%.0f", dash.completed) << "  shed " << fmt("%.0f", dash.shed)
+      << " (hi " << fmt("%.0f", dash.shed_high) << " / no "
+      << fmt("%.0f", dash.shed_normal) << " / lo "
+      << fmt("%.0f", dash.shed_low) << ")  recovered "
+      << fmt("%.0f", dash.recovered) << "\n";
+  out << "cache  hits " << fmt("%.0f", dash.cache_hits) << "  misses "
+      << fmt("%.0f", dash.cache_misses);
+  if (dash.hit_ratio >= 0) {
+    out << "  hit " << fmt("%.1f%%", dash.hit_ratio * 100.0);
+  }
+  out << "\n";
+  out << "\nqueue   |" << sparkline(dash.depth_series, width) << "| now "
+      << fmt("%.0f", dash.queue_depth) << "\n";
+  if (!dash.shed_series.empty()) {
+    out << "shed/s  |" << sparkline(dash.shed_series, width) << "| now "
+        << fmt("%.1f", dash.shed_series.back()) << "\n";
+    out << "done/s  |" << sparkline(dash.done_series, width) << "| now "
+        << fmt("%.1f", dash.done_series.back()) << "\n";
+  }
+  if (dash.latency_count > 0) {
+    out << "p95 ms  |" << sparkline(dash.p95_series, width) << "| now "
+        << fmt("%.1f", dash.total_p95) << "\n";
+    out << "\nlatency ms (p50/p95/p99)  queue " << fmt("%.1f", dash.queue_p50)
+        << "/" << fmt("%.1f", dash.queue_p95) << "/"
+        << fmt("%.1f", dash.queue_p99) << "  run "
+        << fmt("%.1f", dash.run_p50) << "/" << fmt("%.1f", dash.run_p95)
+        << "/" << fmt("%.1f", dash.run_p99) << "  total "
+        << fmt("%.1f", dash.total_p50) << "/" << fmt("%.1f", dash.total_p95)
+        << "/" << fmt("%.1f", dash.total_p99) << "  (" << dash.latency_count
+        << " completed)\n";
+  }
+  out << "\npolls " << dash.polls << "\n";
+  return out.str();
+}
+
+/// --serve mode entry point: connect, then poll/render until the server
+/// goes away (drain) or, with --once, after a single frame.
+int run_serve_mode(const std::string& endpoint, bool once,
+                   std::uint64_t interval_ms, std::size_t width) {
+  std::string host = "127.0.0.1";
+  std::string port_text = endpoint;
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon != std::string::npos) {
+    host = endpoint.substr(0, colon);
+    port_text = endpoint.substr(colon + 1);
+  }
+  std::uint16_t port = 0;
+  try {
+    const unsigned long value = std::stoul(port_text);
+    if (value == 0 || value > 65535) throw std::out_of_range("port");
+    port = static_cast<std::uint16_t>(value);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "hpmtop: bad --serve endpoint '%s'\n%s",
+                 endpoint.c_str(), kUsage);
+    return 2;
+  }
+
+  hpm::serve::Socket socket = hpm::serve::connect_to(host, port);
+  if (!socket.valid()) {
+    std::fprintf(stderr, "hpmtop: cannot connect to %s:%u\n", host.c_str(),
+                 static_cast<unsigned>(port));
+    return 1;
+  }
+  hpm::serve::LineReader reader(socket);
+
+  ServeDash dash;
+  dash.endpoint = host + ":" + std::to_string(port);
+  const double interval_seconds = static_cast<double>(interval_ms) / 1000.0;
+
+  if (once) {
+    if (!poll_server(socket, reader, dash, interval_seconds)) {
+      std::fprintf(stderr, "hpmtop: no stats reply from %s\n",
+                   dash.endpoint.c_str());
+      return 1;
+    }
+    std::fputs(render_serve(dash, width).c_str(), stdout);
+    return 0;
+  }
+
+  const char* kClear = "\x1b[H\x1b[2J";
+  while (true) {
+    if (!poll_server(socket, reader, dash, interval_seconds)) {
+      // Server gone (drained or killed): leave the last frame on screen.
+      if (dash.polls == 0) {
+        std::fprintf(stderr, "hpmtop: no stats reply from %s\n",
+                     dash.endpoint.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "hpmtop: server %s closed the connection\n",
+                   dash.endpoint.c_str());
+      return 0;
+    }
+    std::fputs(kClear, stdout);
+    std::fputs(render_serve(dash, width).c_str(), stdout);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   hpm::util::Cli cli(argc, argv,
-                     {"once", "interval-ms", "width", "help"});
+                     {"serve", "once", "interval-ms", "width", "help"});
   if (!cli.ok()) {
     std::fprintf(stderr, "hpmtop: %s\n%s", cli.error().c_str(), kUsage);
     return 2;
@@ -365,17 +631,28 @@ int main(int argc, char** argv) {
     std::fputs(kUsage, stdout);
     return 0;
   }
+  const bool once = cli.get_bool("once", false);
+  const auto interval_ms = cli.get_uint("interval-ms", 500);
+  const auto width =
+      static_cast<std::size_t>(std::max<std::uint64_t>(
+          8, cli.get_uint("width", 32)));
+
+  const std::string serve_endpoint = cli.get("serve", "");
+  if (!serve_endpoint.empty()) {
+    if (!cli.positional().empty()) {
+      std::fprintf(stderr, "hpmtop: --serve takes no STREAM argument\n%s",
+                   kUsage);
+      return 2;
+    }
+    return run_serve_mode(serve_endpoint, once, interval_ms, width);
+  }
+
   if (cli.positional().size() != 1) {
     std::fprintf(stderr, "hpmtop: expected exactly one STREAM argument\n%s",
                  kUsage);
     return 2;
   }
   const std::string path = cli.positional().front();
-  const bool once = cli.get_bool("once", false);
-  const auto interval_ms = cli.get_uint("interval-ms", 500);
-  const auto width =
-      static_cast<std::size_t>(std::max<std::uint64_t>(
-          8, cli.get_uint("width", 32)));
 
   const bool from_stdin = path == "-";
   std::ifstream file;

@@ -29,6 +29,7 @@
 #include "harness/json_export.hpp"
 #include "serve/net.hpp"
 #include "serve/protocol.hpp"
+#include "telemetry/quantiles.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -41,12 +42,14 @@ int usage(const char* error) {
   std::fputs(
       "usage: serve_loadgen [options]\n"
       "  --host ADDR --port N   server address (port required)\n"
-      "  --op OP           submit|stats|ping|drain   (default submit)\n"
+      "  --op OP           submit|stats|ping|drain|metrics (default submit)\n"
+      "                    (metrics prints the server's OpenMetrics text)\n"
       "\nsweep (submit): --workload LIST --tool LIST --scale F\n"
       "  --iterations N --seed N --cache BYTES --levels SPEC --observe N\n"
       "  --period N --policy P --n N --interval N --retries N\n"
       "\nrequest: --priority high|normal|low --deadline-ms N\n"
-      "  --live-every N --client NAME --id ID\n"
+      "  --live-every N --client NAME --id ID --trace TRACE (end-to-end\n"
+      "  trace id; default t<i> — echoed on every event and verified)\n"
       "\nload mode: --count N --concurrency C --distinct (vary seed per\n"
       "  request, defeating the result cache and coalescing)\n"
       "\noutput: --out FILE (single request: result as hpm.batch JSON,\n"
@@ -77,8 +80,16 @@ struct Outcome {
   bool errored = false;
   bool ok = false;          ///< result with failed == 0
   bool cached = false;
+  /// Every event for the request must echo the submitted trace id; one
+  /// missing or wrong echo flips this and fails the run.
+  bool trace_ok = true;
   std::uint64_t retry_after_ms = 0;
   double latency_ms = 0.0;
+  /// Server-side stage breakdown from the result line's "stages" block.
+  bool has_stages = false;
+  std::uint64_t queue_us = 0;
+  std::uint64_t run_us = 0;
+  std::uint64_t total_us = 0;
   std::string result_json;  ///< compact batch document (result events)
   std::string detail;
 };
@@ -86,12 +97,14 @@ struct Outcome {
 /// Submit one request on an open socket and pump events until terminal.
 Outcome run_request(serve::Socket& socket, serve::LineReader& reader,
                     const serve::SweepSpec& sweep, const std::string& id,
-                    const std::string& client, const std::string& priority,
-                    std::uint64_t deadline_ms, std::uint64_t live_every,
-                    bool verbose, bool want_result) {
+                    const std::string& trace, const std::string& client,
+                    const std::string& priority, std::uint64_t deadline_ms,
+                    std::uint64_t live_every, bool verbose,
+                    bool want_result) {
   Outcome outcome;
   std::string submit = "{\"op\":\"submit\",\"id\":\"" +
-                       harness::json_escape(id) + "\",\"client\":\"" +
+                       harness::json_escape(id) + "\",\"trace\":\"" +
+                       harness::json_escape(trace) + "\",\"client\":\"" +
                        harness::json_escape(client) + "\",\"priority\":\"" +
                        priority + "\"";
   if (deadline_ms > 0) {
@@ -122,6 +135,10 @@ Outcome run_request(serve::Socket& socket, serve::LineReader& reader,
     const std::string name = kind->str();
     if (name == "hello" || name == "pong" || name == "stats") continue;
     if (event_id == nullptr || event_id->str() != id) continue;
+    // End-to-end tracing contract: every event for this request echoes the
+    // submitted trace id (accepted, started, progress, live, result, ...).
+    const harness::JsonValue* echoed = event.find("trace");
+    if (echoed == nullptr || echoed->str() != trace) outcome.trace_ok = false;
     if (verbose && (name == "progress" || name == "live")) {
       std::fprintf(stderr, "%s\n", line.c_str());
       continue;
@@ -153,6 +170,12 @@ Outcome run_request(serve::Socket& socket, serve::LineReader& reader,
       outcome.terminal = true;
       outcome.ok = event.at("ok").boolean();
       outcome.cached = event.at("cached").boolean();
+      if (const auto* stages = event.find("stages")) {
+        outcome.has_stages = true;
+        outcome.queue_us = stages->at("queue_us").uint();
+        outcome.run_us = stages->at("run_us").uint();
+        outcome.total_us = stages->at("total_us").uint();
+      }
       if (want_result) {
         std::ostringstream compact;
         harness::write_json_value(compact, event.at("result"));
@@ -173,11 +196,18 @@ void set_receive_timeout(serve::Socket& socket, std::uint64_t timeout_ms) {
   ::setsockopt(socket.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
-double percentile(std::vector<double> sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const auto rank = static_cast<std::size_t>(
-      p * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(rank, sorted.size() - 1)];
+/// Sorts in place and returns the nearest-rank p50/p95/p99 triple
+/// (telemetry::quantile_sorted — the same estimator the server's
+/// latency gauges use, so loadgen and `metrics` numbers are comparable).
+struct Percentiles {
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+};
+
+Percentiles percentiles_of(std::vector<double>& samples) {
+  std::sort(samples.begin(), samples.end());
+  return {telemetry::quantile_sorted(samples, 0.50),
+          telemetry::quantile_sorted(samples, 0.95),
+          telemetry::quantile_sorted(samples, 0.99)};
 }
 
 }  // namespace
@@ -188,7 +218,7 @@ int main(int argc, char** argv) {
       {"host", "port", "op", "workload", "tool", "scale", "iterations",
        "seed", "cache", "levels", "observe", "period", "policy", "n",
        "interval", "retries", "priority", "deadline-ms", "live-every",
-       "client", "id", "count", "concurrency", "distinct", "out",
+       "client", "id", "trace", "count", "concurrency", "distinct", "out",
        "summary-json", "timeout-ms", "verbose", "help"});
   if (!cli.ok()) return usage(cli.error().c_str());
   if (cli.has("help")) return usage(nullptr);
@@ -210,13 +240,27 @@ int main(int argc, char** argv) {
     if (!socket.send_line("{\"op\":\"" + op + "\"}")) return 1;
     serve::LineReader reader(socket);
     std::string line;
-    const std::string expect = op == "ping"     ? "pong"
-                               : op == "stats"  ? "stats"
-                               : op == "drain"  ? "draining"
-                                                : "";
+    const std::string expect = op == "ping"      ? "pong"
+                               : op == "stats"   ? "stats"
+                               : op == "drain"   ? "draining"
+                               : op == "metrics" ? "metrics"
+                                                 : "";
     while (reader.read_line(line)) {
       if (line.find("\"event\":\"" + expect + "\"") != std::string::npos) {
-        std::printf("%s\n", line.c_str());
+        if (op == "metrics") {
+          // The exposition travels JSON-escaped in "data"; print it as the
+          // OpenMetrics text a scraper would store.
+          try {
+            const harness::JsonValue reply = harness::JsonValue::parse(line);
+            std::fputs(reply.at("data").str().c_str(), stdout);
+          } catch (const std::exception& e) {
+            std::fprintf(stderr, "serve_loadgen: bad metrics reply: %s\n",
+                         e.what());
+            return 1;
+          }
+        } else {
+          std::printf("%s\n", line.c_str());
+        }
         return 0;
       }
     }
@@ -263,9 +307,10 @@ int main(int argc, char** argv) {
     set_receive_timeout(socket, timeout_ms);
     serve::LineReader reader(socket);
     const std::string id = cli.get("id", "r1");
+    const std::string trace = cli.get("trace", "t1");
     const Outcome outcome =
-        run_request(socket, reader, sweep, id, client, priority, deadline_ms,
-                    live_every, verbose, /*want_result=*/true);
+        run_request(socket, reader, sweep, id, trace, client, priority,
+                    deadline_ms, live_every, verbose, /*want_result=*/true);
     if (!outcome.terminal) {
       std::fprintf(stderr, "serve_loadgen: no terminal event for '%s' (%s)\n",
                    id.c_str(),
@@ -287,6 +332,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "result: %s%s  latency: %.1f ms\n",
                  outcome.ok ? "ok" : "failed",
                  outcome.cached ? " (cached)" : "", outcome.latency_ms);
+    if (outcome.has_stages) {
+      std::fprintf(stderr,
+                   "stages (trace %s): queue %.1f ms  run %.1f ms  "
+                   "total %.1f ms\n",
+                   trace.c_str(), static_cast<double>(outcome.queue_us) / 1e3,
+                   static_cast<double>(outcome.run_us) / 1e3,
+                   static_cast<double>(outcome.total_us) / 1e3);
+    }
+    if (!outcome.trace_ok) {
+      std::fprintf(stderr,
+                   "serve_loadgen: trace id '%s' not echoed on every event\n",
+                   trace.c_str());
+      return 1;
+    }
     if (!out_path.empty()) {
       // Re-export through the full-fidelity reader so the file matches
       // `hpmrun --jobs 1 --no-timing --out` byte for byte.
@@ -326,8 +385,9 @@ int main(int argc, char** argv) {
         if (distinct) request_sweep.seed += i;  // defeat cache + coalescing
         const Outcome outcome = run_request(
             socket, reader, request_sweep, "r" + std::to_string(i),
-            client + "-" + std::to_string(w), priority, deadline_ms,
-            live_every, verbose, /*want_result=*/false);
+            "t" + std::to_string(i), client + "-" + std::to_string(w),
+            priority, deadline_ms, live_every, verbose,
+            /*want_result=*/false);
         std::lock_guard lock(results_mutex);
         outcomes.push_back(outcome);
         if (!outcome.terminal) return;  // dead connection: stop this worker
@@ -339,32 +399,48 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(Clock::now() - wall_start).count();
 
   std::size_t terminal = 0, rejected = 0, errored = 0, ok = 0, cached = 0;
+  std::size_t trace_mismatches = 0;
   std::vector<double> completed_latencies;
+  // Server-side stage breakdown (from each result's "stages" block):
+  // queue wait vs execution vs total, for completed non-cached requests.
+  std::vector<double> queue_ms, run_ms, total_ms;
   for (const Outcome& outcome : outcomes) {
     if (outcome.terminal) ++terminal;
     if (outcome.rejected) ++rejected;
     if (outcome.errored) ++errored;
+    if (outcome.terminal && !outcome.trace_ok) ++trace_mismatches;
     if (outcome.ok) {
       ++ok;
       completed_latencies.push_back(outcome.latency_ms);
+      if (outcome.has_stages && !outcome.cached) {
+        queue_ms.push_back(static_cast<double>(outcome.queue_us) / 1e3);
+        run_ms.push_back(static_cast<double>(outcome.run_us) / 1e3);
+        total_ms.push_back(static_cast<double>(outcome.total_us) / 1e3);
+      }
     }
     if (outcome.cached) ++cached;
   }
   const std::size_t lost = count - terminal;
-  std::sort(completed_latencies.begin(), completed_latencies.end());
-  const double p50 = percentile(completed_latencies, 0.50);
-  const double p95 = percentile(completed_latencies, 0.95);
-  const double p99 = percentile(completed_latencies, 0.99);
+  const Percentiles latency = percentiles_of(completed_latencies);
+  const Percentiles queue = percentiles_of(queue_ms);
+  const Percentiles run = percentiles_of(run_ms);
+  const Percentiles total = percentiles_of(total_ms);
   const double rps =
       wall_seconds > 0 ? static_cast<double>(ok) / wall_seconds : 0.0;
 
   std::printf(
       "requests: %zu  terminal: %zu  ok: %zu  rejected: %zu  errors: %zu  "
-      "lost: %zu  cached: %zu\n",
-      count, terminal, ok, rejected, errored, lost, cached);
+      "lost: %zu  cached: %zu  trace-mismatches: %zu\n",
+      count, terminal, ok, rejected, errored, lost, cached, trace_mismatches);
   std::printf("throughput: %.2f ok-req/s   latency ms: p50 %.1f  p95 %.1f  "
               "p99 %.1f\n",
-              rps, p50, p95, p99);
+              rps, latency.p50, latency.p95, latency.p99);
+  if (!total_ms.empty()) {
+    std::printf("stages ms (p50/p95/p99): queue %.1f/%.1f/%.1f  "
+                "run %.1f/%.1f/%.1f  total %.1f/%.1f/%.1f\n",
+                queue.p50, queue.p95, queue.p99, run.p50, run.p95, run.p99,
+                total.p50, total.p95, total.p99);
+  }
 
   const std::string summary_path = cli.get("summary-json", "");
   if (!summary_path.empty()) {
@@ -378,11 +454,28 @@ int main(int argc, char** argv) {
         << ",\"terminal\":" << terminal << ",\"ok\":" << ok
         << ",\"rejected\":" << rejected << ",\"errors\":" << errored
         << ",\"lost\":" << lost << ",\"cached\":" << cached
+        << ",\"trace_mismatches\":" << trace_mismatches
         << ",\"wall_seconds\":" << wall_seconds << ",\"rps\":" << rps
-        << ",\"p50_ms\":" << p50 << ",\"p95_ms\":" << p95
-        << ",\"p99_ms\":" << p99 << "}\n";
+        << ",\"p50_ms\":" << latency.p50 << ",\"p95_ms\":" << latency.p95
+        << ",\"p99_ms\":" << latency.p99 << ",\"stages\":{\"samples\":"
+        << total_ms.size() << ",\"queue_p50_ms\":" << queue.p50
+        << ",\"queue_p95_ms\":" << queue.p95
+        << ",\"queue_p99_ms\":" << queue.p99
+        << ",\"run_p50_ms\":" << run.p50 << ",\"run_p95_ms\":" << run.p95
+        << ",\"run_p99_ms\":" << run.p99
+        << ",\"total_p50_ms\":" << total.p50
+        << ",\"total_p95_ms\":" << total.p95
+        << ",\"total_p99_ms\":" << total.p99 << "}}\n";
   }
   // Lost requests (no terminal event) are the one unforgivable failure:
-  // the protocol promises every submit an explicit answer.
+  // the protocol promises every submit an explicit answer.  A trace id
+  // that fails to round-trip breaks the observability contract the same
+  // way — both fail the run.
+  if (trace_mismatches > 0) {
+    std::fprintf(stderr,
+                 "serve_loadgen: %zu request(s) missing trace echo\n",
+                 trace_mismatches);
+    return 1;
+  }
   return lost == 0 ? 0 : 1;
 }
