@@ -18,6 +18,7 @@ hpm_add_bench(table5_calibration)
 target_link_libraries(table5_calibration PRIVATE hpm_calibrate hpm_analysis)
 hpm_add_bench(table6_saturation)
 target_link_libraries(table6_saturation PRIVATE hpm_serve)
+hpm_add_bench(table7_coherence)
 hpm_add_bench(fig3_perturbation)
 hpm_add_bench(fig4_cost)
 hpm_add_bench(fig5_phases)

@@ -154,6 +154,55 @@ void write_hierarchy_block(std::ostream& out,
   out << "</table>\n";
 }
 
+/// Per-core and coherence tables (multi-core runs only; hpm.batch.v4).
+void write_multicore_block(std::ostream& out,
+                           const harness::BatchItem& item,
+                           std::size_t top_k) {
+  const harness::RunResult& result = item.result;
+  out << "<h3>Cores (" << result.core_stats.size() << ")</h3><table>"
+      << "<tr><th>core</th><th>refs</th><th>misses</th><th>miss %</th>"
+      << "<th>interrupts</th><th>tool cycles</th><th>samples</th></tr>";
+  for (std::size_t c = 0; c < result.core_stats.size(); ++c) {
+    const sim::MachineStats& core = result.core_stats[c];
+    const double miss_rate =
+        core.app_refs > 0 ? 100.0 * static_cast<double>(core.app_misses) /
+                                static_cast<double>(core.app_refs)
+                          : 0.0;
+    out << "<tr><td>core" << c << "</td><td>" << fmt_u(core.app_refs)
+        << "</td><td>" << fmt_u(core.app_misses) << "</td><td>"
+        << fmt(miss_rate) << "</td><td>" << fmt_u(core.interrupts)
+        << "</td><td>" << fmt_u(core.tool_cycles) << "</td><td>"
+        << (c < result.core_samples.size() ? fmt_u(result.core_samples[c])
+                                           : std::string())
+        << "</td></tr>";
+  }
+  out << "</table>\n";
+
+  out << "<h3>Coherence (" << fmt_u(result.coherence_events)
+      << " events, " << fmt_u(result.coherence_samples)
+      << " samples)</h3><table>"
+      << "<tr><th>level</th><th>invalidations</th><th>upgrades</th>"
+      << "<th>sharing</th><th>forced writebacks</th></tr>";
+  for (std::size_t i = 0; i < result.coherence.size(); ++i) {
+    const sim::CoherenceStats& level = result.coherence[i];
+    const std::string name = i < result.levels.size()
+                                 ? result.levels[i].name
+                                 : "L" + std::to_string(i + 1);
+    out << "<tr><td>" << html_escape(name) << "</td><td>"
+        << fmt_u(level.invalidations_received) << "</td><td>"
+        << fmt_u(level.upgrades) << "</td><td>"
+        << fmt_u(level.sharing_transitions) << "</td><td>"
+        << fmt_u(level.forced_writebacks) << "</td></tr>";
+  }
+  out << "</table>\n";
+
+  if (!result.coherence_actual.empty()) {
+    out << "<h3>Coherence attribution</h3>\n";
+    write_bar_chart(out, result.coherence_actual, result.coherence_estimated,
+                    top_k);
+  }
+}
+
 void write_faults_block(std::ostream& out, const harness::BatchItem& item) {
   const sim::FaultPlan& plan = item.spec.config.machine.faults;
   const sim::FaultStats& stats = item.result.fault_stats;
@@ -261,6 +310,10 @@ void render_html(std::ostream& out, const harness::BatchResult& batch,
 
     if (!item.result.levels.empty()) {
       write_hierarchy_block(out, item);
+    }
+
+    if (!item.result.core_stats.empty()) {
+      write_multicore_block(out, item, options.top_k);
     }
 
     if (!item.spec.config.machine.faults.none()) {

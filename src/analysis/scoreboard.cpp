@@ -145,6 +145,27 @@ Scoreboard score_batch(const harness::BatchResult& batch,
       row.level_miss_rates.emplace_back(level.name, 100.0 * level.miss_rate());
     }
     row.observe_level = item.result.observe_level;
+    if (!item.result.core_stats.empty()) {
+      row.cores = static_cast<unsigned>(item.result.core_stats.size());
+      row.coherence_events = item.result.coherence_events;
+      row.coherence_samples = item.result.coherence_samples;
+      const core::Report coh_actual = item.result.coherence_actual
+                                          .filtered(options.min_percent)
+                                          .top(options.top_k);
+      const core::Report& coh_estimated = item.result.coherence_estimated;
+      std::size_t scored = 0;
+      for (const auto& object : coh_actual.rows()) {
+        ++scored;
+        row.coherence_mae +=
+            std::abs(object.percent -
+                     coh_estimated.percent_of(object.name).value_or(0.0));
+      }
+      if (scored > 0) row.coherence_mae /= static_cast<double>(scored);
+      if (!coh_actual.rows().empty()) {
+        row.coherence_top = coh_actual.rows().front().name;
+        row.coherence_top_percent = coh_actual.rows().front().percent;
+      }
+    }
     scoreboard.rows.push_back(std::move(row));
   }
   return scoreboard;
@@ -156,6 +177,11 @@ util::Table scoreboard_table(const Scoreboard& scoreboard) {
   const bool any_levels = std::any_of(
       scoreboard.rows.begin(), scoreboard.rows.end(),
       [](const ScoreRow& row) { return !row.level_miss_rates.empty(); });
+  // Likewise the coherence columns appear only when some run was
+  // multi-core, so single-core scoreboards render exactly as before.
+  const bool any_cores = std::any_of(
+      scoreboard.rows.begin(), scoreboard.rows.end(),
+      [](const ScoreRow& row) { return row.cores > 0; });
   std::vector<std::string> headers = {
       "run", "tool", "objects", "missing", "mean |err| %", "max |err| %",
       "top-k overlap", "spearman", "order agree", "overhead %", "samples"};
@@ -166,6 +192,14 @@ util::Table scoreboard_table(const Scoreboard& scoreboard) {
       util::Align::kRight, util::Align::kRight};
   if (any_levels) {
     headers.push_back("level miss %");
+    aligns.push_back(util::Align::kLeft);
+  }
+  if (any_cores) {
+    headers.push_back("cores");
+    aligns.push_back(util::Align::kRight);
+    headers.push_back("coh |err| %");
+    aligns.push_back(util::Align::kRight);
+    headers.push_back("coh top");
     aligns.push_back(util::Align::kLeft);
   }
   util::Table table(headers, aligns);
@@ -192,6 +226,21 @@ util::Table scoreboard_table(const Scoreboard& scoreboard) {
         cell += buf;
       }
       table.cell(cell);
+    }
+    if (any_cores) {
+      if (row.cores > 0) {
+        table.cell(static_cast<std::uint64_t>(row.cores));
+        table.cell(row.coherence_mae, 2);
+        std::string top = row.coherence_top;
+        if (!top.empty()) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "=%.1f", row.coherence_top_percent);
+          top += buf;
+        }
+        table.cell(top);
+      } else {
+        table.blank().blank().blank();
+      }
     }
   }
   return table;
@@ -234,6 +283,16 @@ void export_json(std::ostream& out, const Scoreboard& scoreboard,
         w.end_object();
       }
       w.end_array();
+    }
+    // Coherence block only for multi-core runs: single-core scoreboard
+    // documents stay byte-identical to pre-multicore goldens.
+    if (row.cores > 0) {
+      w.key("cores").value(static_cast<std::uint64_t>(row.cores));
+      w.key("coherence_events").value(row.coherence_events);
+      w.key("coherence_samples").value(row.coherence_samples);
+      w.key("coherence_mean_abs_error").value(row.coherence_mae);
+      w.key("coherence_top").value(row.coherence_top);
+      w.key("coherence_top_percent").value(row.coherence_top_percent);
     }
     w.end_object();
   }

@@ -50,6 +50,18 @@ struct ScoreRow {
   /// rows keep scoreboard exports byte-identical to pre-hierarchy builds.
   std::vector<std::pair<std::string, double>> level_miss_rates;
   std::uint64_t observe_level = 0;  ///< meaningful when levels are present
+
+  // -- Multi-core runs only (hpm.batch.v4; zero on single-core rows so
+  //    their exports stay byte-identical) ----------------------------------
+  unsigned cores = 0;  ///< simulated cores (0 = single-core run)
+  std::uint64_t coherence_events = 0;   ///< ground-truth MESI events
+  std::uint64_t coherence_samples = 0;  ///< coherence samples taken
+  /// Mean |actual% - estimated%| over the top-k coherence objects.
+  double coherence_mae = 0.0;
+  /// Most-contended object by the exact coherence profile ("" when none).
+  std::string coherence_top;
+  /// Its exact share of coherence events, percent.
+  double coherence_top_percent = 0.0;
 };
 
 struct Scoreboard {

@@ -17,12 +17,22 @@ void ExactProfiler::start() {
   machine_.set_miss_observer([this](sim::Addr addr, bool is_tool) {
     if (!is_tool) on_miss(addr);
   });
+  if (machine_.num_cores() > 1) {
+    observing_coherence_ = true;
+    machine_.set_coherence_observer(
+        [this](unsigned /*core*/, sim::Addr addr,
+               sim::CoherenceEventKind /*kind*/) { on_coherence(addr); });
+  }
 }
 
 void ExactProfiler::stop() {
   if (!running_) return;
   running_ = false;
   machine_.set_miss_observer(nullptr);
+  if (observing_coherence_) {
+    observing_coherence_ = false;
+    machine_.set_coherence_observer(nullptr);
+  }
   if (series_interval_ > 0) roll_intervals();
 }
 
@@ -46,6 +56,16 @@ void ExactProfiler::on_miss(sim::Addr addr) {
   ++po.current_interval;
 }
 
+void ExactProfiler::on_coherence(sim::Addr addr) {
+  auto lookup = map_.resolve(addr);
+  if (!lookup.found) {
+    ++coh_unattributed_;
+    return;
+  }
+  ++coh_attributed_;
+  ++coh_counts_[lookup.ref];
+}
+
 void ExactProfiler::roll_intervals() {
   ++intervals_closed_;
   for (auto& [ref, po] : counts_) {
@@ -66,6 +86,23 @@ Report ExactProfiler::report() const {
         .count = po.total,
         .percent = total == 0 ? 0.0
                               : 100.0 * static_cast<double>(po.total) /
+                                    static_cast<double>(total)});
+  }
+  return Report(std::move(rows), total);
+}
+
+Report ExactProfiler::coherence_report() const {
+  std::vector<ReportRow> rows;
+  std::uint64_t total = 0;
+  for (const auto& [ref, count] : coh_counts_) total += count;
+  rows.reserve(coh_counts_.size());
+  for (const auto& [ref, count] : coh_counts_) {
+    rows.push_back(ReportRow{
+        .name = map_.display_name(ref),
+        .ref = ref,
+        .count = count,
+        .percent = total == 0 ? 0.0
+                              : 100.0 * static_cast<double>(count) /
                                     static_cast<double>(total)});
   }
   return Report(std::move(rows), total);

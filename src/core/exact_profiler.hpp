@@ -39,6 +39,19 @@ class ExactProfiler {
     return unattributed_;
   }
 
+  // -- Coherence ground truth (multi-core) -----------------------------------
+  /// Exact per-object shares of MESI coherence events, observed below the
+  /// tool layer via Machine::set_coherence_observer.  Empty on single-core
+  /// machines (the observer is only installed when the machine has > 1
+  /// core, so the single-core path stays untouched).
+  [[nodiscard]] Report coherence_report() const;
+  [[nodiscard]] std::uint64_t attributed_coherence_events() const noexcept {
+    return coh_attributed_;
+  }
+  [[nodiscard]] std::uint64_t unattributed_coherence_events() const noexcept {
+    return coh_unattributed_;
+  }
+
   // -- Time series (Figure 5) ------------------------------------------------
   struct Series {
     std::string name;
@@ -56,6 +69,7 @@ class ExactProfiler {
 
  private:
   void on_miss(sim::Addr addr);
+  void on_coherence(sim::Addr addr);
   void roll_intervals();
 
   sim::Machine& machine_;
@@ -71,9 +85,14 @@ class ExactProfiler {
   };
   std::unordered_map<objmap::ObjectRef, PerObject, objmap::ObjectRefHash>
       counts_;
+  std::unordered_map<objmap::ObjectRef, std::uint64_t, objmap::ObjectRefHash>
+      coh_counts_;
   std::uint64_t attributed_ = 0;
   std::uint64_t unattributed_ = 0;
+  std::uint64_t coh_attributed_ = 0;
+  std::uint64_t coh_unattributed_ = 0;
   bool running_ = false;
+  bool observing_coherence_ = false;
 };
 
 }  // namespace hpm::core

@@ -73,6 +73,31 @@ Report::Comparison Report::compare(const Report& actual,
   return c;
 }
 
+Report merge_reports(const std::vector<Report>& reports) {
+  // Name-keyed accumulation with first-appearance ordering so the merged
+  // row set is independent of per-core hash-map iteration order.
+  std::vector<ReportRow> merged;
+  std::unordered_map<std::string, std::size_t> index;
+  std::uint64_t total = 0;
+  for (const Report& report : reports) {
+    total += report.total_count();
+    for (const ReportRow& row : report.rows()) {
+      auto [it, inserted] = index.try_emplace(row.name, merged.size());
+      if (inserted) {
+        merged.push_back(row);
+      } else {
+        merged[it->second].count += row.count;
+      }
+    }
+  }
+  for (ReportRow& row : merged) {
+    row.percent = total == 0 ? 0.0
+                             : 100.0 * static_cast<double>(row.count) /
+                                   static_cast<double>(total);
+  }
+  return Report(std::move(merged), total);
+}
+
 util::Table make_comparison_table(
     std::string_view label_header,
     const std::vector<std::string>& estimate_names) {

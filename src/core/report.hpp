@@ -70,6 +70,13 @@ class Report {
   std::uint64_t total_ = 0;
 };
 
+/// Merge per-core reports into one machine-wide report: rows are summed by
+/// object name (the ref of the first appearance is kept) and percents are
+/// recomputed against the merged total.  The harness uses this to fold the
+/// per-core samplers'/searchers' views into the single table the paper
+/// presents.
+[[nodiscard]] Report merge_reports(const std::vector<Report>& reports);
+
 // -- Comparison tables --------------------------------------------------------
 //
 // The paper's Tables 1-2, hpmrun's single-run output, and the HTML report

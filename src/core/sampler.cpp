@@ -66,9 +66,17 @@ void Sampler::start() {
     if (config_.discard_out_of_range) {
       c_discarded_ = &reg.counter("sampler.samples.discarded");
     }
+    if (config_.coherence_period != 0) {
+      c_coh_interrupts_ = &reg.counter("sampler.coherence.interrupts");
+      c_coh_attributed_ = &reg.counter("sampler.coherence.attributed");
+      c_coh_unresolved_ = &reg.counter("sampler.coherence.unresolved");
+    }
   }
   machine_.set_handler(this);
   machine_.arm_miss_overflow(current_period_);
+  if (config_.coherence_period != 0) {
+    machine_.arm_coherence_overflow(config_.coherence_period);
+  }
   if (config_.watchdog_interval != 0) {
     machine_.arm_timer_in(config_.watchdog_interval);
   }
@@ -76,6 +84,9 @@ void Sampler::start() {
 
 void Sampler::stop() {
   machine_.pmu().disarm_overflow();
+  if (config_.coherence_period != 0) {
+    machine_.pmu().disarm_coherence_overflow();
+  }
   if (config_.watchdog_interval != 0) machine_.disarm_timer();
   machine_.set_handler(nullptr);
 }
@@ -95,6 +106,10 @@ void Sampler::on_interrupt(sim::Machine& machine, sim::InterruptKind kind) {
       charge(cy_counter_io_, costs_.counter_write);
     }
     machine.arm_timer_in(config_.watchdog_interval);
+    return;
+  }
+  if (kind == sim::InterruptKind::kCoherenceOverflow) {
+    on_coherence_overflow(machine);
     return;
   }
   if (kind != sim::InterruptKind::kMissOverflow) return;
@@ -182,16 +197,57 @@ void Sampler::on_interrupt(sim::Machine& machine, sim::InterruptKind kind) {
   charge(cy_counter_io_, costs_.counter_write);
 }
 
-Report Sampler::report() const {
+// Coherence-event sample: same attribute-and-re-arm loop as the miss path,
+// driven by the PMU's last-coherence-address register.  The period stays
+// fixed — coherence traffic is bursty by nature (line ping-pong), so the
+// decorrelation policies for periodic miss patterns do not apply.
+void Sampler::on_coherence_overflow(sim::Machine& machine) {
+  charge(cy_handler_, costs_.handler_entry);
+  if (c_coh_interrupts_ != nullptr) c_coh_interrupts_->inc();
+
+  const sim::Addr addr = machine.pmu().last_coherence_address();
+  charge(cy_counter_io_, costs_.counter_read);
+  if (tracing()) {
+    telem_->emit({.category = "sampler",
+                  .name = "coherence_interrupt",
+                  .phase = 'i',
+                  .ts = machine.now(),
+                  .args = {{"addr", addr},
+                           {"period", config_.coherence_period}}});
+  }
+
+  auto lookup = map_.resolve(addr);
+  replay_probes(lookup.shadow_path);
+  ++coherence_samples_;
+  if (lookup.found) {
+    Slot& slot = coherence_counts_[lookup.ref];
+    if (slot.shadow == sim::kNullAddr) {
+      slot.shadow = count_slot(lookup.ref);
+    }
+    ++slot.count;
+    const auto v = machine.tool_load<std::uint64_t>(slot.shadow);
+    machine.tool_store<std::uint64_t>(slot.shadow, v + 1);
+    charge(cy_count_update_, costs_.count_update);
+    if (c_coh_attributed_ != nullptr) c_coh_attributed_->inc();
+  } else {
+    ++coherence_unresolved_;
+    if (c_coh_unresolved_ != nullptr) c_coh_unresolved_->inc();
+  }
+
+  machine.arm_coherence_overflow(config_.coherence_period);
+  charge(cy_counter_io_, costs_.counter_write);
+}
+
+Report Sampler::make_report(const SlotMap& counts) const {
   std::uint64_t total = 0;
-  for (const auto& [ref, slot] : counts_) total += slot.count;
+  for (const auto& [ref, slot] : counts) total += slot.count;
 
   std::vector<ReportRow> rows;
   if (config_.aggregate_sites) {
     // Fold heap blocks with a named allocation site into one row.
     std::unordered_map<std::string, std::uint64_t> grouped;
     std::vector<std::pair<objmap::ObjectRef, std::uint64_t>> singles;
-    for (const auto& [ref, slot] : counts_) {
+    for (const auto& [ref, slot] : counts) {
       if (auto site = map_.site_group_name(ref)) {
         grouped[*site] += slot.count;
       } else {
@@ -212,8 +268,8 @@ Report Sampler::report() const {
                             : 0.0});
     }
   } else {
-    rows.reserve(counts_.size());
-    for (const auto& [ref, slot] : counts_) {
+    rows.reserve(counts.size());
+    for (const auto& [ref, slot] : counts) {
       rows.push_back({map_.display_name(ref), ref, slot.count,
                       total ? 100.0 * static_cast<double>(slot.count) /
                                   static_cast<double>(total)
@@ -221,6 +277,12 @@ Report Sampler::report() const {
     }
   }
   return Report(std::move(rows), total);
+}
+
+Report Sampler::report() const { return make_report(counts_); }
+
+Report Sampler::coherence_report() const {
+  return make_report(coherence_counts_);
 }
 
 }  // namespace hpm::core

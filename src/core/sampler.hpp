@@ -46,6 +46,12 @@ struct SamplerConfig {
   /// tool addresses and counting them as unresolved is the paper's
   /// behaviour.
   bool discard_out_of_range = false;
+  /// Coherence-event sampling period (multi-core): interrupt after this
+  /// many MESI events on the sampler's core and attribute the last-event
+  /// address the same way miss samples are attributed.  0 disables the
+  /// plane entirely — no counters registered, nothing armed — which keeps
+  /// single-core runs byte-identical.
+  std::uint64_t coherence_period = 0;
 };
 
 class Sampler : public Tool {
@@ -61,8 +67,19 @@ class Sampler : public Tool {
   /// share of all misses).  Site aggregation folds grouped heap blocks.
   [[nodiscard]] Report report() const;
 
+  /// Ranked objects by share of *coherence-event* samples — the estimate of
+  /// each object's share of MESI traffic.  Empty unless coherence sampling
+  /// was enabled and events arrived.
+  [[nodiscard]] Report coherence_report() const;
+
   [[nodiscard]] std::uint64_t samples_taken() const noexcept {
     return samples_;
+  }
+  [[nodiscard]] std::uint64_t coherence_samples_taken() const noexcept {
+    return coherence_samples_;
+  }
+  [[nodiscard]] std::uint64_t unresolved_coherence_samples() const noexcept {
+    return coherence_unresolved_;
   }
   [[nodiscard]] std::uint64_t unresolved_samples() const noexcept {
     return unresolved_;
@@ -78,8 +95,14 @@ class Sampler : public Tool {
   }
 
  private:
+  struct Slot;
+  using SlotMap =
+      std::unordered_map<objmap::ObjectRef, Slot, objmap::ObjectRefHash>;
+
   [[nodiscard]] std::uint64_t next_period();
   [[nodiscard]] sim::Addr count_slot(objmap::ObjectRef ref);
+  void on_coherence_overflow(sim::Machine& machine);
+  [[nodiscard]] Report make_report(const SlotMap& counts) const;
 
   SamplerConfig config_;
   util::Xoshiro256 rng_;
@@ -88,6 +111,8 @@ class Sampler : public Tool {
   std::uint64_t unresolved_ = 0;
   std::uint64_t rearms_ = 0;
   std::uint64_t discarded_ = 0;
+  std::uint64_t coherence_samples_ = 0;
+  std::uint64_t coherence_unresolved_ = 0;
   sim::Cycles started_at_ = 0;
 
   // Telemetry instruments (null when telemetry is off).
@@ -96,6 +121,9 @@ class Sampler : public Tool {
   telemetry::Counter* c_unresolved_ = nullptr;
   telemetry::Counter* c_rearms_ = nullptr;
   telemetry::Counter* c_discarded_ = nullptr;
+  telemetry::Counter* c_coh_interrupts_ = nullptr;
+  telemetry::Counter* c_coh_attributed_ = nullptr;
+  telemetry::Counter* c_coh_unresolved_ = nullptr;
   telemetry::Counter* cy_handler_ = nullptr;
   telemetry::Counter* cy_counter_io_ = nullptr;
   telemetry::Counter* cy_count_update_ = nullptr;
@@ -104,12 +132,14 @@ class Sampler : public Tool {
   // Per-object sample counts.  The table itself lives in simulated memory
   // (one 8-byte slot per object, allocated on first sample) so that count
   // updates have a cache footprint; the host-side map mirrors it for exact
-  // reporting.
+  // reporting.  Coherence samples keep their own table over the same
+  // simulated slot pool.
   struct Slot {
     std::uint64_t count = 0;
     sim::Addr shadow = 0;
   };
-  std::unordered_map<objmap::ObjectRef, Slot, objmap::ObjectRefHash> counts_;
+  SlotMap counts_;
+  SlotMap coherence_counts_;
   sim::Addr slots_base_ = 0;
   std::uint64_t slots_used_ = 0;
   static constexpr std::uint64_t kMaxSlots = 65'536;

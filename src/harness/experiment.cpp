@@ -1,5 +1,6 @@
 #include "harness/experiment.hpp"
 
+#include <algorithm>
 #include <optional>
 
 #include "harness/live_stream.hpp"
@@ -53,8 +54,13 @@ RunResult run_experiment(const RunConfig& config,
 
   const bool faulted = !config.machine.faults.none();
 
-  std::unique_ptr<core::Sampler> sampler;
-  std::unique_ptr<core::NWaySearch> search;
+  // One tool instance per core: each is constructed and started with its
+  // core active, so it installs its handler and arms its counters on that
+  // core's PMU.  On a single-core machine the loops degenerate to exactly
+  // the old single-tool sequence (byte-identical output).
+  const unsigned cores = machine.num_cores();
+  std::vector<std::unique_ptr<core::Sampler>> samplers;
+  std::vector<std::unique_ptr<core::NWaySearch>> searches;
   switch (config.tool) {
     case ToolKind::kSampler: {
       core::SamplerConfig sampler_config = config.sampler;
@@ -69,18 +75,38 @@ RunResult run_experiment(const RunConfig& config,
         }
         sampler_config.discard_out_of_range = true;
       }
-      sampler = std::make_unique<core::Sampler>(machine, map, sampler_config,
-                                                config.costs);
-      if (telem) sampler->set_telemetry(&*telem);
-      sampler->start();
+      if (cores > 1 && sampler_config.coherence_period == 0) {
+        // Coherence sampling defaults on for multi-core runs; a prime
+        // period so the sampler cannot phase-lock onto a regular line
+        // ping-pong cycle (the §3.1 aliasing argument applied to MESI
+        // traffic).
+        sampler_config.coherence_period = 257;
+      }
+      samplers.reserve(cores);
+      for (unsigned c = 0; c < cores; ++c) {
+        machine.set_active_core(c);
+        auto sampler = std::make_unique<core::Sampler>(
+            machine, map, sampler_config, config.costs);
+        if (telem) sampler->set_telemetry(&*telem);
+        sampler->start();
+        samplers.push_back(std::move(sampler));
+      }
+      machine.set_active_core(0);
       break;
     }
-    case ToolKind::kSearch:
-      search = std::make_unique<core::NWaySearch>(machine, map, config.search,
-                                                  config.costs);
-      if (telem) search->set_telemetry(&*telem);
-      search->start();
+    case ToolKind::kSearch: {
+      searches.reserve(cores);
+      for (unsigned c = 0; c < cores; ++c) {
+        machine.set_active_core(c);
+        auto search = std::make_unique<core::NWaySearch>(
+            machine, map, config.search, config.costs);
+        if (telem) search->set_telemetry(&*telem);
+        search->start();
+        searches.push_back(std::move(search));
+      }
+      machine.set_active_core(0);
       break;
+    }
     case ToolKind::kNone:
       break;
   }
@@ -95,18 +121,52 @@ RunResult run_experiment(const RunConfig& config,
       config.trace_sink, "run.collect",
       static_cast<std::uint32_t>(config.live.index));
   RunResult result;
-  if (sampler) {
-    sampler->stop();
-    result.estimated = sampler->report();
-    result.samples = sampler->samples_taken();
-    result.sampler_rearms = sampler->rearms();
-    result.samples_discarded = sampler->discarded_samples();
+  if (!samplers.empty()) {
+    std::vector<core::Report> reports;
+    std::vector<core::Report> coherence_reports;
+    for (unsigned c = 0; c < cores; ++c) {
+      machine.set_active_core(c);
+      core::Sampler& sampler = *samplers[c];
+      sampler.stop();
+      reports.push_back(sampler.report());
+      result.samples += sampler.samples_taken();
+      result.sampler_rearms += sampler.rearms();
+      result.samples_discarded += sampler.discarded_samples();
+      result.coherence_samples += sampler.coherence_samples_taken();
+      if (cores > 1) {
+        coherence_reports.push_back(sampler.coherence_report());
+        result.core_samples.push_back(sampler.samples_taken());
+      }
+    }
+    machine.set_active_core(0);
+    result.estimated = cores > 1 ? core::merge_reports(reports)
+                                 : std::move(reports.front());
+    if (cores > 1) {
+      result.coherence_estimated = core::merge_reports(coherence_reports);
+    }
   }
-  if (search) {
-    result.search_done = search->done();
-    search->stop();
-    result.estimated = search->report();
-    result.search_stats = search->stats();
+  if (!searches.empty()) {
+    result.search_done = true;
+    std::vector<core::Report> reports;
+    for (unsigned c = 0; c < cores; ++c) {
+      machine.set_active_core(c);
+      core::NWaySearch& search = *searches[c];
+      result.search_done = result.search_done && search.done();
+      search.stop();
+      reports.push_back(search.report());
+      const core::SearchStats& st = search.stats();
+      result.search_stats.iterations += st.iterations;
+      result.search_stats.refine_iterations += st.refine_iterations;
+      result.search_stats.splits += st.splits;
+      result.search_stats.discarded += st.discarded;
+      result.search_stats.zero_retained += st.zero_retained;
+      result.search_stats.continuations += st.continuations;
+      result.search_stats.final_interval =
+          std::max(result.search_stats.final_interval, st.final_interval);
+    }
+    machine.set_active_core(0);
+    result.estimated = cores > 1 ? core::merge_reports(reports)
+                                 : std::move(reports.front());
   }
   if (config.exact_profile) {
     profiler.stop();
@@ -140,6 +200,36 @@ RunResult run_experiment(const RunConfig& config,
         reg.counter("hier." + level.name + ".misses").add(level.misses);
         reg.counter("hier." + level.name + ".writebacks")
             .add(level.writebacks);
+      }
+    }
+  }
+  if (cores > 1) {
+    // Multi-core plane: per-core stats mirrors, per-level MESI counters and
+    // the coherence attribution reports.  Never populated on single-core
+    // machines, so their exports carry no new keys.
+    result.core_stats.reserve(cores);
+    for (unsigned c = 0; c < cores; ++c) {
+      result.core_stats.push_back(machine.core_stats(c));
+    }
+    result.coherence = machine.hierarchy().coherence_stats();
+    if (config.exact_profile) {
+      result.coherence_actual = profiler.coherence_report();
+      result.coherence_events = profiler.attributed_coherence_events() +
+                                profiler.unattributed_coherence_events();
+    }
+    if (telem) {
+      auto& reg = telem->registry();
+      for (std::size_t i = 0; i < result.coherence.size(); ++i) {
+        const sim::CoherenceStats& level = result.coherence[i];
+        const std::string prefix =
+            "coh." + machine.hierarchy().level_name(i);
+        reg.counter(prefix + ".invalidations")
+            .add(level.invalidations_received);
+        reg.counter(prefix + ".upgrades").add(level.upgrades);
+        reg.counter(prefix + ".sharing_transitions")
+            .add(level.sharing_transitions);
+        reg.counter(prefix + ".forced_writebacks")
+            .add(level.forced_writebacks);
       }
     }
   }

@@ -77,6 +77,23 @@ struct RunResult {
   /// out-of-range filter were enabled).
   std::uint64_t sampler_rearms = 0;
   std::uint64_t samples_discarded = 0;
+
+  // -- Multi-core results (all empty/zero when cores == 1, so single-core
+  //    exports stay byte-identical to single-stream builds) ----------------
+  /// Per-core machine stats mirrors, core 0 first.
+  std::vector<sim::MachineStats> core_stats;
+  /// Per-core miss samples taken (samplers run one per core).
+  std::vector<std::uint64_t> core_samples;
+  /// Per-level MESI coherence counters, innermost first.
+  std::vector<sim::CoherenceStats> coherence;
+  /// Exact per-object coherence-event shares (ground truth).
+  core::Report coherence_actual;
+  /// The samplers' merged coherence-event attribution.
+  core::Report coherence_estimated;
+  /// Coherence samples taken across all cores' samplers.
+  std::uint64_t coherence_samples = 0;
+  /// Ground-truth coherence events seen by the exact profiler.
+  std::uint64_t coherence_events = 0;
 };
 
 /// Run `workload` (setup + run) on a fresh machine under `config`.

@@ -302,12 +302,49 @@ void write_levels(JsonWriter& w, const RunResult& result) {
   w.end_array();
 }
 
+/// Multi-core block (hpm.batch.v4; emitted only when the run used more
+/// than one core, so single-core documents stay byte-identical to v3).
+void write_multicore(JsonWriter& w, const RunResult& result) {
+  w.key("multicore").begin_object();
+  w.key("cores").value(static_cast<std::uint64_t>(result.core_stats.size()));
+  w.key("core_stats").begin_array();
+  for (const sim::MachineStats& core : result.core_stats) {
+    write_stats(w, core);
+  }
+  w.end_array();
+  w.key("core_samples").begin_array();
+  for (const std::uint64_t samples : result.core_samples) w.value(samples);
+  w.end_array();
+  w.key("coherence").begin_array();
+  for (std::size_t i = 0; i < result.coherence.size(); ++i) {
+    const sim::CoherenceStats& level = result.coherence[i];
+    w.begin_object();
+    w.key("level").value(i < result.levels.size() ? result.levels[i].name
+                                                  : "L" + std::to_string(i + 1));
+    w.key("invalidations_sent").value(level.invalidations_sent);
+    w.key("invalidations_received").value(level.invalidations_received);
+    w.key("upgrades").value(level.upgrades);
+    w.key("sharing_transitions").value(level.sharing_transitions);
+    w.key("forced_writebacks").value(level.forced_writebacks);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("coherence_samples").value(result.coherence_samples);
+  w.key("coherence_events").value(result.coherence_events);
+  w.key("coherence_actual");
+  write_report(w, result.coherence_actual);
+  w.key("coherence_estimated");
+  write_report(w, result.coherence_estimated);
+  w.end_object();
+}
+
 void write_run_result(JsonWriter& w, const RunResult& result,
                       const JsonExportOptions& options) {
   w.begin_object();
   w.key("stats");
   write_stats(w, result.stats);
   if (!result.levels.empty()) write_levels(w, result);
+  if (!result.core_stats.empty()) write_multicore(w, result);
   w.key("samples").value(result.samples);
   w.key("unattributed_misses").value(result.unattributed_misses);
   w.key("search_done").value(result.search_done);
@@ -377,6 +414,12 @@ void write_item(JsonWriter& w, const BatchItem& item,
   w.key("scale").value(item.spec.options.scale);
   w.key("iterations").value(item.spec.options.iterations);
   w.key("seed").value(item.spec.options.seed);
+  if (item.spec.config.machine.cores > 1) {
+    // Unlike cache geometry, the core count shapes the instruction stream
+    // (the sharing kernels interleave per core), so replay needs it.
+    w.key("cores").value(
+        static_cast<std::uint64_t>(item.spec.config.machine.cores));
+  }
   w.key("ok").value(item.ok);
   if (!item.ok) w.key("error").value(item.error);
   if (faulted || nontrivial_outcome) {
@@ -430,12 +473,19 @@ void export_json(std::ostream& out, const BatchResult& batch,
   JsonWriter w(out, options.indent);
   w.begin_object();
   // The schema advances to v3 only when a run actually carries per-level
-  // stats; single-level batches keep exporting v2 byte for byte (the
-  // checked-in goldens pin this).
+  // stats, and to v4 only when one ran multi-core; single-level batches
+  // keep exporting v2 byte for byte (the checked-in goldens pin this).
   const bool multi_level = std::any_of(
       batch.items.begin(), batch.items.end(),
       [](const BatchItem& item) { return !item.result.levels.empty(); });
-  w.key("schema").value(multi_level ? "hpm.batch.v3" : "hpm.batch.v2");
+  const bool multi_core = std::any_of(
+      batch.items.begin(), batch.items.end(), [](const BatchItem& item) {
+        return item.spec.config.machine.cores > 1 ||
+               !item.result.core_stats.empty();
+      });
+  w.key("schema").value(multi_core    ? "hpm.batch.v4"
+                        : multi_level ? "hpm.batch.v3"
+                                      : "hpm.batch.v2");
   // Provenance block: the volatile build half rides with the timing fields
   // (both are environment-dependent), so deterministic golden exports stay
   // byte-identical across machines.
@@ -492,6 +542,8 @@ ParsedBatchSummary parse_batch_document(std::string_view json) {
     summary.schema_version = 2;
   } else if (schema == "hpm.batch.v3") {
     summary.schema_version = 3;
+  } else if (schema == "hpm.batch.v4") {
+    summary.schema_version = 4;
   } else {
     throw std::runtime_error("unrecognised batch schema: " + schema);
   }
@@ -591,18 +643,23 @@ telemetry::RunMetrics parse_run_metrics(const JsonValue& node) {
 
 namespace {
 
+sim::MachineStats parse_stats(const JsonValue& stats) {
+  sim::MachineStats out;
+  out.app_instructions = stats.at("app_instructions").uint();
+  out.app_refs = stats.at("app_refs").uint();
+  out.app_misses = stats.at("app_misses").uint();
+  out.filtered_hits = stats.at("l1_hits").uint();
+  out.tool_refs = stats.at("tool_refs").uint();
+  out.tool_misses = stats.at("tool_misses").uint();
+  out.app_cycles = stats.at("app_cycles").uint();
+  out.tool_cycles = stats.at("tool_cycles").uint();
+  out.interrupts = stats.at("interrupts").uint();
+  return out;
+}
+
 RunResult parse_run_result(const JsonValue& node) {
   RunResult result;
-  const JsonValue& stats = node.at("stats");
-  result.stats.app_instructions = stats.at("app_instructions").uint();
-  result.stats.app_refs = stats.at("app_refs").uint();
-  result.stats.app_misses = stats.at("app_misses").uint();
-  result.stats.filtered_hits = stats.at("l1_hits").uint();
-  result.stats.tool_refs = stats.at("tool_refs").uint();
-  result.stats.tool_misses = stats.at("tool_misses").uint();
-  result.stats.app_cycles = stats.at("app_cycles").uint();
-  result.stats.tool_cycles = stats.at("tool_cycles").uint();
-  result.stats.interrupts = stats.at("interrupts").uint();
+  result.stats = parse_stats(node.at("stats"));
   result.samples = node.at("samples").uint();
   result.unattributed_misses = node.at("unattributed_misses").uint();
   result.search_done = node.at("search_done").boolean();
@@ -654,6 +711,29 @@ RunResult parse_run_result(const JsonValue& node) {
       result.levels.push_back(std::move(level));
     }
   }
+  if (const JsonValue* multicore = node.find("multicore")) {
+    for (const JsonValue& core : multicore->at("core_stats").array()) {
+      result.core_stats.push_back(parse_stats(core));
+    }
+    for (const JsonValue& samples : multicore->at("core_samples").array()) {
+      result.core_samples.push_back(samples.uint());
+    }
+    for (const JsonValue& entry : multicore->at("coherence").array()) {
+      sim::CoherenceStats level;
+      level.invalidations_sent = entry.at("invalidations_sent").uint();
+      level.invalidations_received =
+          entry.at("invalidations_received").uint();
+      level.upgrades = entry.at("upgrades").uint();
+      level.sharing_transitions = entry.at("sharing_transitions").uint();
+      level.forced_writebacks = entry.at("forced_writebacks").uint();
+      result.coherence.push_back(level);
+    }
+    result.coherence_samples = multicore->at("coherence_samples").uint();
+    result.coherence_events = multicore->at("coherence_events").uint();
+    result.coherence_actual = parse_report(multicore->at("coherence_actual"));
+    result.coherence_estimated =
+        parse_report(multicore->at("coherence_estimated"));
+  }
   if (const JsonValue* metrics = node.find("metrics")) {
     result.metrics = parse_run_metrics(*metrics);
   }
@@ -665,7 +745,7 @@ RunResult parse_run_result(const JsonValue& node) {
 BatchResult parse_batch_result(const JsonValue& doc) {
   const std::string& schema = doc.at("schema").str();
   if (schema != "hpm.batch.v1" && schema != "hpm.batch.v2" &&
-      schema != "hpm.batch.v3") {
+      schema != "hpm.batch.v3" && schema != "hpm.batch.v4") {
     throw std::runtime_error("unrecognised batch schema: " + schema);
   }
   BatchResult batch;
@@ -718,6 +798,9 @@ BatchItem parse_batch_item(const JsonValue& item) {
   out.spec.options.scale = item.at("scale").number();
   out.spec.options.iterations = item.at("iterations").uint();
   out.spec.options.seed = item.at("seed").uint();
+  if (const JsonValue* cores = item.find("cores")) {
+    out.spec.config.machine.cores = static_cast<unsigned>(cores->uint());
+  }
   out.ok = item.at("ok").boolean();
   if (const JsonValue* error = item.find("error")) out.error = error->str();
   out.outcome = out.ok ? RunOutcome::kOk : RunOutcome::kFailed;

@@ -35,6 +35,29 @@ void declare_level_metrics(MonitorNode& level_node) {
   level_node.ratio("level_miss_rate", "misses", "accesses");
 }
 
+/// Per-core tier (multi-core machines only).  The metric names deliberately
+/// match the machine tier's PMU-plane names, so the rollup makes the core
+/// subtree authoritative for the machine node — the per-core mirrors sum
+/// exactly to the aggregate stats, so the machine-tier values are unchanged.
+void declare_core_metrics(MonitorNode& core_node) {
+  core_node.metric("refs", Reducer::kSum);
+  core_node.metric("pmu_misses", Reducer::kSum);
+  core_node.metric("interrupts", Reducer::kSum);
+  core_node.metric("cycles", Reducer::kSum);
+  core_node.metric("tool_cycles", Reducer::kSum);
+  core_node.ratio("miss_rate", "pmu_misses", "refs");
+}
+
+/// Total MESI events across all levels of a multi-core hierarchy.
+double total_coherence_events(const sim::Machine& machine) {
+  std::uint64_t total = 0;
+  for (const sim::CoherenceStats& level :
+       machine.hierarchy().coherence_stats()) {
+    total += level.total();
+  }
+  return static_cast<double>(total);
+}
+
 double metric_value(const MonitorNode& node, std::string_view name) {
   const MonitorNode::Metric* metric = node.find(name);
   return metric != nullptr ? metric->value : 0.0;
@@ -66,6 +89,16 @@ LiveRunMonitor::LiveRunMonitor(JsonlSink& sink, std::uint64_t every_refs,
     declare_level_metrics(
         machine_node.child(machine.hierarchy().level_name(i), "level"));
   }
+  if (machine.num_cores() > 1) {
+    // The per-core tier the monitor-tree design reserved: one child per
+    // simulated core plus a machine-level coherence counter.  Only built
+    // for multi-core machines, so single-core streams are byte-identical.
+    machine_node.metric("coh_events", Reducer::kSum);
+    for (unsigned c = 0; c < machine.num_cores(); ++c) {
+      declare_core_metrics(
+          machine_node.child("core" + std::to_string(c), "core"));
+    }
+  }
   machine.set_refs_hook(every_refs,
                         [this, &machine](const sim::MachineStats& stats) {
                           on_tick(stats, machine);
@@ -86,6 +119,19 @@ void LiveRunMonitor::feed(const sim::MachineStats& stats,
     level_node.input("accesses", static_cast<double>(level.accesses));
     level_node.input("misses", static_cast<double>(level.misses));
     level_node.input("resident", static_cast<double>(level.resident_lines));
+  }
+  if (machine.num_cores() > 1) {
+    machine_node.input("coh_events", total_coherence_events(machine));
+    for (unsigned c = 0; c < machine.num_cores(); ++c) {
+      const sim::MachineStats& core = machine.core_stats(c);
+      MonitorNode& core_node =
+          machine_node.child("core" + std::to_string(c), "core");
+      core_node.input("refs", static_cast<double>(core.app_refs));
+      core_node.input("pmu_misses", static_cast<double>(core.app_misses));
+      core_node.input("interrupts", static_cast<double>(core.interrupts));
+      core_node.input("cycles", static_cast<double>(core.total_cycles()));
+      core_node.input("tool_cycles", static_cast<double>(core.tool_cycles));
+    }
   }
   tree_.sample();
 }
@@ -115,6 +161,7 @@ void LiveRunMonitor::on_tick(const sim::MachineStats& stats,
   w.end_object();
   w.key("levels").begin_array();
   for (const auto& level : machine_node.children()) {
+    if (level->kind() != "level") continue;
     w.begin_object();
     w.key("name").value(level->name());
     w.key("misses").value(metric_window(*level, "misses"));
@@ -124,6 +171,22 @@ void LiveRunMonitor::on_tick(const sim::MachineStats& stats,
     w.end_object();
   }
   w.end_array();
+  if (machine.num_cores() > 1) {
+    // Per-core window block (never present on single-core streams).
+    w.key("coh_events").value(metric_window(machine_node, "coh_events"));
+    w.key("cores").begin_array();
+    for (const auto& core : machine_node.children()) {
+      if (core->kind() != "core") continue;
+      w.begin_object();
+      w.key("name").value(core->name());
+      w.key("refs").value(metric_window(*core, "refs"));
+      w.key("misses").value(metric_window(*core, "pmu_misses"));
+      w.key("miss_rate").value(metric_value(*core, "miss_rate"));
+      w.key("interrupts").value(metric_window(*core, "interrupts"));
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.end_object();
   sink_.write_line(line.str());
 }
@@ -152,6 +215,7 @@ void LiveRunMonitor::finish(sim::Machine& machine) {
       .value(safe_ratio(metric_value(machine_node, "tool_cycles"), cycles));
   w.key("levels").begin_array();
   for (const auto& level : machine_node.children()) {
+    if (level->kind() != "level") continue;
     const double accesses = metric_value(*level, "accesses");
     const double level_misses = metric_value(*level, "misses");
     w.begin_object();
@@ -163,6 +227,25 @@ void LiveRunMonitor::finish(sim::Machine& machine) {
     w.end_object();
   }
   w.end_array();
+  if (machine.num_cores() > 1) {
+    // Final per-core totals (never present on single-core streams).
+    w.key("coh_events").value(metric_value(machine_node, "coh_events"));
+    w.key("cores").begin_array();
+    for (const auto& core : machine_node.children()) {
+      if (core->kind() != "core") continue;
+      const double core_refs = metric_value(*core, "refs");
+      const double core_misses = metric_value(*core, "pmu_misses");
+      w.begin_object();
+      w.key("name").value(core->name());
+      w.key("refs").value(core_refs);
+      w.key("misses").value(core_misses);
+      w.key("miss_rate").value(safe_ratio(core_misses, core_refs));
+      w.key("interrupts").value(metric_value(*core, "interrupts"));
+      w.key("cycles").value(metric_value(*core, "cycles"));
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.end_object();
   sink_.write_line(line.str());
 }

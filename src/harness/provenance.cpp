@@ -37,7 +37,7 @@ void write_meta(JsonWriter& writer, bool include_build) {
   // value here whenever the matching exporter's schema string changes.
   writer.key("schemas").begin_object();
   writer.key("hpm.analysis").value(1);
-  writer.key("hpm.batch").value(3);
+  writer.key("hpm.batch").value(4);
   writer.key("hpm.calibrate").value(1);
   writer.key("hpm.checkpoint").value(1);
   writer.key("hpm.live").value(1);

@@ -19,6 +19,7 @@ std::vector<ReplayPoint> replay_points(const BatchResult& observed,
     point.workload = item.spec.workload;
     point.tool = item.spec.config.tool;
     point.options = item.spec.options;
+    point.cores = item.spec.config.machine.cores;
     point.item_index = i;
     points.push_back(std::move(point));
   }
@@ -32,6 +33,7 @@ RunSpec replay_spec(const ReplayPoint& point, const RunConfig& base) {
   spec.options = point.options;
   spec.config = base;
   spec.config.tool = point.tool;
+  spec.config.machine.cores = point.cores;
   return spec;
 }
 

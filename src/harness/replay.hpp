@@ -26,6 +26,10 @@ struct ReplayPoint {
   std::string workload;  ///< factory name
   ToolKind tool = ToolKind::kNone;
   workloads::WorkloadOptions options{};
+  /// Simulated cores of the observed run.  Unlike cache geometry the core
+  /// count shapes the instruction stream (the sharing kernels interleave
+  /// their slices per core), so it replays with the point, not the base.
+  unsigned cores = 1;
   std::size_t item_index = 0;  ///< into the observed batch's items
 };
 

@@ -98,6 +98,52 @@ bool Cache::probe(Addr addr) const {
   return false;
 }
 
+Cache::SnoopResult Cache::invalidate(Addr addr) {
+  const std::uint64_t line_no = addr >> line_bits_;
+  const std::uint64_t set = line_no & set_mask_;
+  const std::uint64_t tag = line_no >> std::countr_zero(set_mask_ + 1);
+  Line* base = &lines_[set * config_.associativity];
+  for (std::uint32_t way = 0; way < config_.associativity; ++way) {
+    Line& l = base[way];
+    if (l.valid && l.tag == tag) {
+      const SnoopResult result{.present = true, .was_dirty = l.dirty};
+      l = Line{};
+      --valid_lines_;
+      return result;
+    }
+  }
+  return {};
+}
+
+Cache::SnoopResult Cache::clean(Addr addr) {
+  const std::uint64_t line_no = addr >> line_bits_;
+  const std::uint64_t set = line_no & set_mask_;
+  const std::uint64_t tag = line_no >> std::countr_zero(set_mask_ + 1);
+  Line* base = &lines_[set * config_.associativity];
+  for (std::uint32_t way = 0; way < config_.associativity; ++way) {
+    Line& l = base[way];
+    if (l.valid && l.tag == tag) {
+      const SnoopResult result{.present = true, .was_dirty = l.dirty};
+      l.dirty = false;
+      return result;
+    }
+  }
+  return {};
+}
+
+Cache::SnoopResult Cache::probe_state(Addr addr) const {
+  const std::uint64_t line_no = addr >> line_bits_;
+  const std::uint64_t set = line_no & set_mask_;
+  const std::uint64_t tag = line_no >> std::countr_zero(set_mask_ + 1);
+  const Line* base = &lines_[set * config_.associativity];
+  for (std::uint32_t way = 0; way < config_.associativity; ++way) {
+    if (base[way].valid && base[way].tag == tag) {
+      return {.present = true, .was_dirty = base[way].dirty};
+    }
+  }
+  return {};
+}
+
 void Cache::flush() {
   for (auto& l : lines_) l = Line{};
   if (!plru_.empty()) plru_.assign(plru_.size(), 0);

@@ -55,6 +55,25 @@ class Cache {
   /// change; used by tests and the perturbation analysis).
   [[nodiscard]] bool probe(Addr addr) const;
 
+  /// Result of a coherence snoop action (invalidate / clean).
+  struct SnoopResult {
+    bool present = false;    ///< the line was resident before the snoop
+    bool was_dirty = false;  ///< ...and held modified data
+  };
+
+  /// Drop the line containing `addr` (coherence invalidation).  Not an
+  /// access: hit/miss counters are untouched; the caller accounts any
+  /// forced writeback (the backing store is functional, always current).
+  SnoopResult invalidate(Addr addr);
+
+  /// Downgrade the line containing `addr` to clean — a remote reader
+  /// snooped a modified line.  The line stays resident; not an access.
+  SnoopResult clean(Addr addr);
+
+  /// Residency + dirty state of the line containing `addr`, with no state
+  /// change (the coherence directory uses this to track ownership).
+  [[nodiscard]] SnoopResult probe_state(Addr addr) const;
+
   /// Invalidate everything (dirty contents are discarded; the backing store
   /// is always up to date because the simulator is functional, not timing-
   /// accurate at the memory level).

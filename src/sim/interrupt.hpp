@@ -10,8 +10,9 @@ namespace hpm::sim {
 class Machine;
 
 enum class InterruptKind : std::uint8_t {
-  kMissOverflow,  ///< the PMU miss-overflow counter reached zero
-  kCycleTimer,    ///< the one-shot virtual cycle timer expired
+  kMissOverflow,       ///< the PMU miss-overflow counter reached zero
+  kCycleTimer,         ///< the one-shot virtual cycle timer expired
+  kCoherenceOverflow,  ///< the PMU coherence-event counter overflowed
 };
 
 class InterruptHandler {

@@ -6,12 +6,32 @@ Machine::Machine(const MachineConfig& config)
     : config_(config),
       as_(config.layout),
       hierarchy_(resolve_levels(config.hierarchy, config.cache),
-                 config.hierarchy.observe_level),
-      pmu_(config.num_miss_counters) {
+                 config.hierarchy.observe_level,
+                 config.cores == 0 ? 1 : config.cores,
+                 config.shared_levels) {
+  const unsigned cores = config.cores == 0 ? 1 : config.cores;
+  cores_.reserve(cores);
+  for (unsigned i = 0; i < cores; ++i) {
+    cores_.emplace_back(config.num_miss_counters);
+  }
+  core_ = &cores_[0];
+  multicore_ = cores > 1;
+  if (multicore_) {
+    // Every coherence event lands in the initiating core's PMU (the bus
+    // transaction is charged to the reference that caused it) and, below
+    // the tool layer, in the ground-truth observer.
+    hierarchy_.set_coherence_sink(
+        [this](unsigned core, Addr addr, CoherenceEventKind kind) {
+          cores_[core].pmu.record_coherence_event(addr);
+          if (coherence_observer_) coherence_observer_(core, addr, kind);
+        });
+  }
   if (!config.faults.none()) {
     validate(config.faults);
     faults_.emplace(config.faults);
-    pmu_.set_fault_injector(&*faults_);
+    for (CoreState& core : cores_) {
+      core.pmu.set_fault_injector(&*faults_);
+    }
   }
   budgets_armed_ =
       config.max_cycles != 0 || config.wall_budget_seconds > 0.0;
@@ -27,9 +47,13 @@ Machine::Machine(const MachineConfig& config)
 void Machine::dispatch(InterruptKind kind) {
   ++stats_.interrupts;
   stats_.tool_cycles += config_.cycles.interrupt_cost;
+  if (multicore_) {
+    ++core_->stats.interrupts;
+    core_->stats.tool_cycles += config_.cycles.interrupt_cost;
+  }
   if (interrupt_observer_) interrupt_observer_(kind);
   in_handler_ = true;
-  handler_->on_interrupt(*this, kind);
+  core_->handler->on_interrupt(*this, kind);
   in_handler_ = false;
 }
 
@@ -40,25 +64,26 @@ void Machine::dispatch(InterruptKind kind) {
 // and deliver once the application has issued skid_refs more references,
 // by which point last_miss_address may already name a later miss).
 void Machine::deliver_overflow_faulted() {
-  if (!overflow_deferred_) {
+  CoreState& core = *core_;
+  if (!core.overflow_deferred) {
     if (faults_->drop_overflow()) {
-      pmu_.acknowledge_overflow();
+      core.pmu.acknowledge_overflow();
       return;
     }
     const std::uint32_t skid = faults_->plan().skid_refs;
     if (skid != 0) {
-      overflow_deferred_ = true;
-      overflow_due_refs_ = stats_.app_refs + skid;
+      core.overflow_deferred = true;
+      core.overflow_due_refs = stats_.app_refs + skid;
       return;
     }
-    pmu_.acknowledge_overflow();
+    core.pmu.acknowledge_overflow();
     dispatch(InterruptKind::kMissOverflow);
     return;
   }
-  if (stats_.app_refs < overflow_due_refs_) return;
-  overflow_deferred_ = false;
+  if (stats_.app_refs < core.overflow_due_refs) return;
+  core.overflow_deferred = false;
   faults_->note_skid(faults_->plan().skid_refs);
-  pmu_.acknowledge_overflow();
+  core.pmu.acknowledge_overflow();
   dispatch(InterruptKind::kMissOverflow);
 }
 

@@ -18,6 +18,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "sim/address_space.hpp"
 #include "sim/backing_store.hpp"
@@ -38,6 +39,15 @@ struct MachineConfig {
   CycleModel cycles{};
   SegmentLayout layout{};
   unsigned num_miss_counters = 16;
+  /// Simulated cores (1-64).  With more than one, the inner hierarchy
+  /// levels are replicated per core (each with its own PerfMonitor,
+  /// interrupt routing and stats mirror), the outermost `shared_levels`
+  /// levels are shared, and a MESI-style directory keeps private copies
+  /// coherent.  cores == 1 is bit-for-bit the single-stream machine.
+  unsigned cores = 1;
+  /// How many outermost hierarchy levels the cores share (clamped to
+  /// [1, num_levels]; ignored when cores == 1).
+  std::size_t shared_levels = 1;
   /// Multi-level cache hierarchy (innermost level first) with a
   /// configurable PMU observation level.  Empty levels = one level built
   /// from `cache`; observing the last level of a 2-level hierarchy
@@ -93,8 +103,16 @@ class Machine {
   Machine& operator=(const Machine&) = delete;
 
   [[nodiscard]] AddressSpace& address_space() noexcept { return as_; }
-  [[nodiscard]] PerfMonitor& pmu() noexcept { return pmu_; }
-  [[nodiscard]] const PerfMonitor& pmu() const noexcept { return pmu_; }
+  /// The active core's PMU (the only one on a single-core machine).
+  [[nodiscard]] PerfMonitor& pmu() noexcept { return core_->pmu; }
+  [[nodiscard]] const PerfMonitor& pmu() const noexcept {
+    return core_->pmu;
+  }
+  /// A specific core's PMU.
+  [[nodiscard]] PerfMonitor& pmu(unsigned core) { return cores_.at(core).pmu; }
+  [[nodiscard]] const PerfMonitor& pmu(unsigned core) const {
+    return cores_.at(core).pmu;
+  }
   /// The cache the PMU observes — the paper's "measured cache" (for a
   /// single-level machine, the only one).
   [[nodiscard]] Cache& cache() noexcept { return hierarchy_.observed_cache(); }
@@ -107,6 +125,26 @@ class Machine {
     return config_;
   }
   [[nodiscard]] Cycles now() const noexcept { return stats_.total_cycles(); }
+
+  // -- Cores -------------------------------------------------------------
+  [[nodiscard]] unsigned num_cores() const noexcept {
+    return static_cast<unsigned>(cores_.size());
+  }
+  [[nodiscard]] unsigned active_core() const noexcept { return active_; }
+  /// Route subsequent references, PMU access, handler installation and
+  /// timer arming to `core`.  The workload scheduler calls this at every
+  /// round-robin slice boundary; on a single-core machine core 0 is
+  /// permanently active.
+  void set_active_core(unsigned core) {
+    core_ = &cores_.at(core);
+    active_ = core;
+  }
+  /// Per-core stats mirror (maintained only on multi-core machines; on a
+  /// single-core machine core 0's mirror stays zero and stats() is the
+  /// single source of truth).
+  [[nodiscard]] const MachineStats& core_stats(unsigned core) const {
+    return cores_.at(core).stats;
+  }
   /// Fault layer installed from MachineConfig::faults (null when the plan
   /// is none()).  Exposed so the harness can export FaultStats.
   [[nodiscard]] const FaultInjector* fault_injector() const noexcept {
@@ -118,6 +156,11 @@ class Machine {
   void exec(std::uint64_t count) {
     stats_.app_instructions += count;
     stats_.app_cycles += count * config_.cycles.cycles_per_instruction;
+    if (multicore_) {
+      core_->stats.app_instructions += count;
+      core_->stats.app_cycles +=
+          count * config_.cycles.cycles_per_instruction;
+    }
     if (exec_observer_) exec_observer_(count);
     poll_interrupts();
   }
@@ -140,7 +183,10 @@ class Machine {
 
   // -- Tool plane --------------------------------------------------------
   /// Charge handler compute cycles.
-  void tool_exec(Cycles cycles) { stats_.tool_cycles += cycles; }
+  void tool_exec(Cycles cycles) {
+    stats_.tool_cycles += cycles;
+    if (multicore_) core_->stats.tool_cycles += cycles;
+  }
 
   template <typename T>
   [[nodiscard]] T tool_load(Addr addr) {
@@ -158,21 +204,35 @@ class Machine {
   void tool_touch(Addr addr, bool write = false) { tool_ref(addr, write); }
 
   // -- Interrupts --------------------------------------------------------
-  void set_handler(InterruptHandler* handler) noexcept { handler_ = handler; }
+  /// Install the active core's interrupt handler (tools call this from
+  /// start() after the harness selected their core).
+  void set_handler(InterruptHandler* handler) noexcept {
+    core_->handler = handler;
+  }
 
-  /// Arm the PMU miss-overflow interrupt: fires after `period` misses.
+  /// Arm the active core's PMU miss-overflow interrupt: fires after
+  /// `period` misses observed by that core.
   void arm_miss_overflow(std::uint64_t period) noexcept {
-    pmu_.arm_overflow(period);
+    core_->pmu.arm_overflow(period);
   }
 
-  /// One-shot virtual timer `dt` cycles from now (the search technique's
-  /// iteration clock).
-  void arm_timer_in(Cycles dt) noexcept {
-    timer_at_ = now() + dt;
-    timer_armed_ = true;
+  /// Arm the active core's coherence-event overflow interrupt (multi-core
+  /// machines; on a single core no coherence events ever arrive).
+  void arm_coherence_overflow(std::uint64_t period) noexcept {
+    core_->pmu.arm_coherence_overflow(period);
   }
-  void disarm_timer() noexcept { timer_armed_ = false; }
-  [[nodiscard]] bool timer_armed() const noexcept { return timer_armed_; }
+
+  /// One-shot virtual timer `dt` cycles from now on the active core (the
+  /// search technique's iteration clock).  The clock is the machine-wide
+  /// virtual cycle count — cores share one timeline.
+  void arm_timer_in(Cycles dt) noexcept {
+    core_->timer_at = now() + dt;
+    core_->timer_armed = true;
+  }
+  void disarm_timer() noexcept { core_->timer_armed = false; }
+  [[nodiscard]] bool timer_armed() const noexcept {
+    return core_->timer_armed;
+  }
 
   // -- Ground truth --------------------------------------------------------
   /// Observer invoked on every miss, below the tool layer — "measured by
@@ -194,6 +254,16 @@ class Machine {
   using InterruptObserver = std::function<void(InterruptKind kind)>;
   void set_interrupt_observer(InterruptObserver obs) {
     interrupt_observer_ = std::move(obs);
+  }
+
+  /// Ground-truth observer for MESI coherence events (multi-core only):
+  /// called below the tool layer with the initiating core, the referenced
+  /// address and the event kind, at zero simulated cost.  The per-core
+  /// PMUs record the same events regardless of this observer.
+  using CoherenceObserver =
+      std::function<void(unsigned core, Addr addr, CoherenceEventKind kind)>;
+  void set_coherence_observer(CoherenceObserver obs) {
+    coherence_observer_ = std::move(obs);
   }
 
   /// Periodic stats hook (telemetry's phase timeline): called with the
@@ -224,33 +294,72 @@ class Machine {
   }
 
  private:
+  /// Core-local half of the machine: the state the tentpole refactor
+  /// splits out of the former singular members.  Every machine has at
+  /// least one; on a single-core machine core 0's stats mirror stays zero
+  /// (the aggregate stats_ is authoritative there, keeping the hot path —
+  /// and therefore the output — bit-identical to the single-stream build).
+  struct CoreState {
+    explicit CoreState(unsigned num_counters) : pmu(num_counters) {}
+    PerfMonitor pmu;
+    MachineStats stats{};  ///< per-core mirror (multi-core only)
+    InterruptHandler* handler = nullptr;
+    Cycles timer_at = std::numeric_limits<Cycles>::max();
+    bool timer_armed = false;
+    bool overflow_deferred = false;       ///< overflow held back by skid
+    std::uint64_t overflow_due_refs = 0;  ///< app_refs at which skid expires
+  };
+
   void app_ref(Addr addr, bool write) {
     ++stats_.app_refs;
     ++stats_.app_instructions;
     if (ref_observer_) ref_observer_(addr, write);
-    const MemoryHierarchy::AccessOutcome r = hierarchy_.access(addr, write);
-    stats_.app_cycles += config_.cycles.hierarchy_ref_cost(
+    const MemoryHierarchy::AccessOutcome r =
+        multicore_ ? hierarchy_.access_mc(active_, addr, write)
+                   : hierarchy_.access(addr, write);
+    const Cycles cost = config_.cycles.hierarchy_ref_cost(
         r.hit_level, hierarchy_.num_levels());
+    stats_.app_cycles += cost;
     if (r.observed_miss) {
       ++stats_.app_misses;
-      pmu_.record_miss(addr);
+      core_->pmu.record_miss(addr);
       if (observer_) observer_(addr, /*is_tool=*/false);
     } else if (r.hit_level < hierarchy_.observe_level()) {
       ++stats_.filtered_hits;
+    }
+    if (multicore_) {
+      MachineStats& mine = core_->stats;
+      ++mine.app_refs;
+      ++mine.app_instructions;
+      mine.app_cycles += cost;
+      if (r.observed_miss) {
+        ++mine.app_misses;
+      } else if (r.hit_level < hierarchy_.observe_level()) {
+        ++mine.filtered_hits;
+      }
     }
     poll_interrupts();
   }
 
   void tool_ref(Addr addr, bool write) {
     ++stats_.tool_refs;
-    const MemoryHierarchy::AccessOutcome r = hierarchy_.access(addr, write);
-    stats_.tool_cycles += config_.cycles.hierarchy_ref_cost(
+    const MemoryHierarchy::AccessOutcome r =
+        multicore_ ? hierarchy_.access_mc(active_, addr, write)
+                   : hierarchy_.access(addr, write);
+    const Cycles cost = config_.cycles.hierarchy_ref_cost(
         r.hit_level, hierarchy_.num_levels());
+    stats_.tool_cycles += cost;
     if (r.observed_miss) {
       ++stats_.tool_misses;
       // Real hardware counts instrumentation misses too.
-      pmu_.record_miss(addr);
+      core_->pmu.record_miss(addr);
       if (observer_) observer_(addr, /*is_tool=*/true);
+    }
+    if (multicore_) {
+      MachineStats& mine = core_->stats;
+      ++mine.tool_refs;
+      mine.tool_cycles += cost;
+      if (r.observed_miss) ++mine.tool_misses;
     }
     // No interrupt polling: the tool plane runs with interrupts masked.
   }
@@ -270,17 +379,22 @@ class Machine {
       refs_hook_(stats_);
     }
     if (budgets_armed_) check_budgets();
-    if (handler_ == nullptr || in_handler_) return;
-    if (pmu_.overflow_pending()) {
+    CoreState& core = *core_;
+    if (core.handler == nullptr || in_handler_) return;
+    if (core.pmu.overflow_pending()) {
       if (faults_) {
         deliver_overflow_faulted();
       } else {
-        pmu_.acknowledge_overflow();
+        core.pmu.acknowledge_overflow();
         dispatch(InterruptKind::kMissOverflow);
       }
     }
-    if (timer_armed_ && now() >= timer_at_) {
-      timer_armed_ = false;
+    if (multicore_ && core.pmu.coherence_overflow_pending()) {
+      core.pmu.acknowledge_coherence_overflow();
+      dispatch(InterruptKind::kCoherenceOverflow);
+    }
+    if (core.timer_armed && now() >= core.timer_at) {
+      core.timer_armed = false;
       dispatch(InterruptKind::kCycleTimer);
     }
   }
@@ -293,27 +407,27 @@ class Machine {
   BackingStore store_;
   AddressSpace as_;
   MemoryHierarchy hierarchy_;
-  PerfMonitor pmu_;
-  MachineStats stats_{};
-  InterruptHandler* handler_ = nullptr;
+  std::vector<CoreState> cores_;  ///< core-local halves, size >= 1
+  CoreState* core_ = nullptr;     ///< active core (hot-path shortcut)
+  unsigned active_ = 0;
+  bool multicore_ = false;
+  MachineStats stats_{};          ///< shared half: machine-wide aggregate
   MissObserver observer_;
   RefObserver ref_observer_;
   ExecObserver exec_observer_;
   InterruptObserver interrupt_observer_;
+  CoherenceObserver coherence_observer_;
   PeriodicHook periodic_hook_;
   Cycles hook_every_ = 0;
   Cycles hook_next_ = std::numeric_limits<Cycles>::max();
   RefsHook refs_hook_;
   std::uint64_t refs_hook_every_ = 0;
   std::uint64_t refs_hook_next_ = std::numeric_limits<std::uint64_t>::max();
-  Cycles timer_at_ = std::numeric_limits<Cycles>::max();
-  bool timer_armed_ = false;
   bool in_handler_ = false;
   // Fault layer (absent for the null plan — zero cost on the hot path
-  // beyond one optional-engaged test per pending overflow).
+  // beyond one optional-engaged test per pending overflow).  Shared: one
+  // deterministic fault stream serves every core's PMU.
   std::optional<FaultInjector> faults_;
-  bool overflow_deferred_ = false;      ///< overflow held back by skid
-  std::uint64_t overflow_due_refs_ = 0; ///< app_refs at which skid expires
   // Cooperative budgets (single-branch when disarmed).
   bool budgets_armed_ = false;
   std::uint64_t budget_polls_ = 0;

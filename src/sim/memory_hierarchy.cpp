@@ -1,13 +1,50 @@
 #include "sim/memory_hierarchy.hpp"
 
+#include <bit>
 #include <cctype>
 #include <set>
 #include <stdexcept>
 
 namespace hpm::sim {
+namespace {
+
+LevelSnapshot snapshot_of(const std::string& name, const Cache& cache) {
+  LevelSnapshot snap;
+  snap.name = name;
+  snap.size_bytes = cache.config().size_bytes;
+  snap.line_size = cache.config().line_size;
+  snap.associativity = cache.config().associativity;
+  snap.accesses = cache.accesses();
+  snap.hits = cache.hits();
+  snap.misses = cache.misses();
+  snap.writebacks = cache.writebacks();
+  snap.resident_lines = cache.resident_lines();
+  return snap;
+}
+
+void accumulate(LevelSnapshot& into, const Cache& cache) {
+  into.accesses += cache.accesses();
+  into.hits += cache.hits();
+  into.misses += cache.misses();
+  into.writebacks += cache.writebacks();
+  into.resident_lines += cache.resident_lines();
+}
+
+}  // namespace
+
+std::string_view coherence_event_name(CoherenceEventKind kind) noexcept {
+  switch (kind) {
+    case CoherenceEventKind::kInvalidation: return "invalidation";
+    case CoherenceEventKind::kUpgrade: return "upgrade";
+    case CoherenceEventKind::kForcedWriteback: return "forced_writeback";
+    case CoherenceEventKind::kSharingTransition: return "sharing_transition";
+  }
+  return "unknown";
+}
 
 MemoryHierarchy::MemoryHierarchy(const std::vector<LevelConfig>& levels,
-                                 std::size_t observe) {
+                                 std::size_t observe, unsigned cores,
+                                 std::size_t shared_levels) {
   if (levels.empty()) {
     throw std::invalid_argument("MemoryHierarchy: at least one level");
   }
@@ -17,43 +54,228 @@ MemoryHierarchy::MemoryHierarchy(const std::vector<LevelConfig>& levels,
         "MemoryHierarchy: observation level " + std::to_string(observe) +
         " out of range for " + std::to_string(levels.size()) + " levels");
   }
+  if (cores == 0) {
+    throw std::invalid_argument("MemoryHierarchy: at least one core");
+  }
+  if (cores > 64) {
+    throw std::invalid_argument(
+        "MemoryHierarchy: at most 64 cores (directory sharer bitmask)");
+  }
   observe_ = observe;
-  caches_.reserve(levels.size());
+  num_levels_ = levels.size();
+  cores_ = cores;
   names_.reserve(levels.size());
   std::set<std::string> seen;
   for (std::size_t i = 0; i < levels.size(); ++i) {
-    const LevelConfig& level = levels[i];
-    const std::string name =
-        level.name.empty() ? "L" + std::to_string(i + 1) : level.name;
+    const std::string name = levels[i].name.empty()
+                                 ? "L" + std::to_string(i + 1)
+                                 : levels[i].name;
     if (!seen.insert(name).second) {
       throw std::invalid_argument("MemoryHierarchy: duplicate level name '" +
                                   name + "'");
     }
-    caches_.emplace_back(level.cache);  // Cache ctor validates the geometry
     names_.push_back(name);
   }
+  if (cores_ == 1) {
+    // Single stream: one flat cache list, exactly the pre-multicore layout
+    // (shared_from_ stays 0 so level(i) indexes caches_ directly).
+    caches_.reserve(levels.size());
+    for (const LevelConfig& level : levels) {
+      caches_.emplace_back(level.cache);  // Cache ctor validates geometry
+    }
+    return;
+  }
+  if (shared_levels == 0) shared_levels = 1;
+  if (shared_levels > levels.size()) shared_levels = levels.size();
+  shared_from_ = levels.size() - shared_levels;
+  caches_.reserve(shared_levels);
+  for (std::size_t i = shared_from_; i < levels.size(); ++i) {
+    caches_.emplace_back(levels[i].cache);
+  }
+  private_.resize(cores_);
+  for (unsigned core = 0; core < cores_; ++core) {
+    private_[core].reserve(shared_from_);
+    for (std::size_t i = 0; i < shared_from_; ++i) {
+      private_[core].emplace_back(levels[i].cache);
+    }
+  }
+  coh_.assign(num_levels_, CoherenceStats{});
+  if (shared_from_ > 0) {
+    // Directory granularity: the innermost private level's line size.
+    coherence_line_mask_ =
+        ~static_cast<Addr>(levels[0].cache.line_size - 1);
+  }
+}
+
+bool MemoryHierarchy::core_holds(unsigned core, Addr addr) const {
+  for (const Cache& cache : private_[core]) {
+    if (cache.probe(addr)) return true;
+  }
+  return false;
+}
+
+// A capacity eviction from one of `core`'s private levels may have removed
+// the core's last private copy of the victim line; if so, the directory
+// must forget the core (and, when the core owned the line Modified, the
+// dirty state — the eviction itself wrote the data back).
+void MemoryHierarchy::drop_victim(unsigned core, Addr victim_line) {
+  const Addr line = victim_line & coherence_line_mask_;
+  const auto it = directory_.find(line);
+  if (it == directory_.end()) return;
+  if (core_holds(core, victim_line)) return;
+  DirEntry& entry = it->second;
+  entry.sharers &= ~(1ULL << core);
+  if (entry.dirty && entry.owner == core) entry.dirty = false;
+  if (entry.sharers == 0) directory_.erase(it);
+}
+
+MemoryHierarchy::AccessOutcome MemoryHierarchy::access_mc(unsigned core,
+                                                          Addr addr,
+                                                          bool write) {
+  std::vector<Cache>& priv = private_[core];
+  const std::size_t num_private = priv.size();
+  std::size_t hit_level = kMissedAll;
+  victim_scratch_.clear();
+  for (std::size_t j = 0; j < num_private; ++j) {
+    const AccessResult result = priv[j].access(addr, write);
+    if (result.evicted) victim_scratch_.push_back(result.victim_line);
+    if (result.hit) {
+      hit_level = j;
+      break;
+    }
+  }
+  if (hit_level == kMissedAll) {
+    for (std::size_t k = 0; k < caches_.size(); ++k) {
+      if (caches_[k].access(addr, write).hit) {
+        hit_level = shared_from_ + k;
+        break;
+      }
+    }
+  }
+
+  if (num_private > 0) {
+    const Addr line = addr & coherence_line_mask_;
+    const std::uint64_t self_bit = 1ULL << core;
+    auto it = directory_.find(line);
+    if (write) {
+      if (it != directory_.end() &&
+          (it->second.sharers & ~self_bit) != 0) {
+        // The write hit a locally Shared line (bus upgrade) or fetched a
+        // remotely held line for ownership; either way every remote
+        // private copy is invalidated.
+        const bool local_hit = hit_level < num_private;
+        std::uint64_t remote = it->second.sharers & ~self_bit;
+        while (remote != 0) {
+          const unsigned holder =
+              static_cast<unsigned>(std::countr_zero(remote));
+          remote &= remote - 1;
+          for (std::size_t j = 0; j < private_[holder].size(); ++j) {
+            const Cache::SnoopResult snoop =
+                private_[holder][j].invalidate(addr);
+            if (!snoop.present) continue;
+            ++coh_[j].invalidations_sent;
+            ++coh_[j].invalidations_received;
+            emit(core, addr, CoherenceEventKind::kInvalidation);
+            if (snoop.was_dirty) {
+              ++coh_[j].forced_writebacks;
+              emit(core, addr, CoherenceEventKind::kForcedWriteback);
+            }
+          }
+        }
+        it->second.sharers &= self_bit;
+        it->second.dirty = false;
+        if (local_hit) {
+          ++coh_[hit_level].upgrades;
+          emit(core, addr, CoherenceEventKind::kUpgrade);
+          // The upgrade is a bus transaction against the first shared
+          // level, so shared accesses reconcile with private-outer-level
+          // misses plus upgrades.
+          if (!caches_.empty()) caches_[0].access(addr, true);
+        }
+      }
+      if (core_holds(core, addr)) {
+        DirEntry& entry = directory_[line];
+        entry.sharers |= self_bit;
+        entry.owner = core;
+        // Modified only when some private level actually holds dirty data
+        // (a write-through private stack leaves the line clean).
+        entry.dirty = false;
+        for (const Cache& cache : priv) {
+          if (cache.probe_state(addr).was_dirty) {
+            entry.dirty = true;
+            break;
+          }
+        }
+      }
+    } else {
+      if (it != directory_.end()) {
+        DirEntry& entry = it->second;
+        if (entry.dirty && entry.owner != core &&
+            (entry.sharers & (1ULL << entry.owner)) != 0) {
+          // Remote Modified copy: the owner supplies the data and
+          // downgrades to Shared, forcing its dirty data out.
+          for (std::size_t j = 0; j < private_[entry.owner].size(); ++j) {
+            const Cache::SnoopResult snoop =
+                private_[entry.owner][j].clean(addr);
+            if (snoop.present && snoop.was_dirty) {
+              ++coh_[j].forced_writebacks;
+              emit(core, addr, CoherenceEventKind::kForcedWriteback);
+            }
+          }
+          entry.dirty = false;
+        }
+      }
+      if (core_holds(core, addr)) {
+        DirEntry& entry = directory_[line];
+        const bool newly_held = (entry.sharers & self_bit) == 0;
+        const bool others_hold = (entry.sharers & ~self_bit) != 0;
+        entry.sharers |= self_bit;
+        if (newly_held && others_hold) {
+          ++coh_[0].sharing_transitions;
+          emit(core, addr, CoherenceEventKind::kSharingTransition);
+        }
+      }
+    }
+    for (const Addr victim : victim_scratch_) drop_victim(core, victim);
+  }
+
+  if (hit_level == kMissedAll) return {kMissedAll, true};
+  return {hit_level, hit_level > observe_};
 }
 
 void MemoryHierarchy::flush() {
   for (Cache& cache : caches_) cache.flush();
+  for (auto& core_caches : private_) {
+    for (Cache& cache : core_caches) cache.flush();
+  }
+  directory_.clear();
 }
 
 std::vector<LevelSnapshot> MemoryHierarchy::snapshot() const {
   std::vector<LevelSnapshot> out;
-  out.reserve(caches_.size());
-  for (std::size_t i = 0; i < caches_.size(); ++i) {
-    const Cache& cache = caches_[i];
-    LevelSnapshot snap;
-    snap.name = names_[i];
-    snap.size_bytes = cache.config().size_bytes;
-    snap.line_size = cache.config().line_size;
-    snap.associativity = cache.config().associativity;
-    snap.accesses = cache.accesses();
-    snap.hits = cache.hits();
-    snap.misses = cache.misses();
-    snap.writebacks = cache.writebacks();
-    snap.resident_lines = cache.resident_lines();
+  out.reserve(num_levels_);
+  for (std::size_t i = 0; i < shared_from_; ++i) {
+    LevelSnapshot snap = snapshot_of(names_[i], private_[0][i]);
+    for (unsigned core = 1; core < cores_; ++core) {
+      accumulate(snap, private_[core][i]);
+    }
     out.push_back(std::move(snap));
+  }
+  for (std::size_t k = 0; k < caches_.size(); ++k) {
+    out.push_back(snapshot_of(names_[shared_from_ + k], caches_[k]));
+  }
+  return out;
+}
+
+std::vector<LevelSnapshot> MemoryHierarchy::core_snapshot(
+    unsigned core) const {
+  std::vector<LevelSnapshot> out;
+  out.reserve(num_levels_);
+  for (std::size_t i = 0; i < shared_from_; ++i) {
+    out.push_back(snapshot_of(names_[i], private_[core][i]));
+  }
+  for (std::size_t k = 0; k < caches_.size(); ++k) {
+    out.push_back(snapshot_of(names_[shared_from_ + k], caches_[k]));
   }
   return out;
 }

@@ -15,7 +15,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/cache.hpp"
@@ -41,6 +44,41 @@ struct HierarchyConfig {
   /// address, overflow).  kObserveLast preserves today's behaviour: the PMU
   /// sees only references that missed every cache.
   std::size_t observe_level = kObserveLast;
+};
+
+/// Kinds of MESI-style coherence events, reported per initiating core
+/// through the coherence event sink (see MemoryHierarchy::
+/// set_coherence_sink).  Events only arise on multi-core hierarchies with
+/// at least one core-private level.
+enum class CoherenceEventKind : std::uint8_t {
+  kInvalidation,       ///< a write dropped a remote private copy
+  kUpgrade,            ///< a write hit a locally Shared line (bus upgrade)
+  kForcedWriteback,    ///< a snoop flushed/cleaned a Modified remote copy
+  kSharingTransition,  ///< a read gave the line a second private holder
+};
+
+[[nodiscard]] std::string_view coherence_event_name(
+    CoherenceEventKind kind) noexcept;
+
+/// Per-level MESI bookkeeping.  One invalidation message is accounted per
+/// (remote core, level) copy dropped: `invalidations_sent` is charged by
+/// the issuing core's controller, `invalidations_received` by the owning
+/// cache, so per-level equality of the two is a conservation invariant of
+/// the whole aggregation pipeline.  `forced_writebacks` counts Modified
+/// copies flushed by remote snoops (invalidation or read-downgrade) —
+/// these never show up in Cache::writebacks(), which counts only capacity
+/// evictions.
+struct CoherenceStats {
+  std::uint64_t invalidations_sent = 0;
+  std::uint64_t invalidations_received = 0;
+  std::uint64_t upgrades = 0;
+  std::uint64_t sharing_transitions = 0;
+  std::uint64_t forced_writebacks = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return invalidations_received + upgrades + sharing_transitions +
+           forced_writebacks;
+  }
 };
 
 /// Value snapshot of one level's counters after (or during) a run.  The
@@ -79,7 +117,15 @@ class MemoryHierarchy {
   /// index; `observe` may be kObserveLast.  Throws std::invalid_argument on
   /// an empty level list, an invalid cache geometry, a duplicate level name
   /// or an out-of-range observation level.
-  MemoryHierarchy(const std::vector<LevelConfig>& levels, std::size_t observe);
+  ///
+  /// With `cores` > 1 the level list splits into a core-local half and a
+  /// shared half: the outermost `shared_levels` levels (clamped to
+  /// [1, num_levels]) are shared by every core, each inner level is
+  /// replicated per core, and a MESI-style directory keeps the private
+  /// copies coherent.  `cores` == 1 is bit-for-bit the single-stream
+  /// hierarchy regardless of `shared_levels`.
+  MemoryHierarchy(const std::vector<LevelConfig>& levels, std::size_t observe,
+                  unsigned cores = 1, std::size_t shared_levels = 1);
 
   /// Walk the levels innermost-first until a hit; every level on the miss
   /// path allocates (subject to its own write policy), exactly as the old
@@ -96,34 +142,102 @@ class MemoryHierarchy {
     return {kMissedAll, true};
   }
 
+  /// Multi-core access: walk `core`'s private levels, then the shared
+  /// levels, then settle MESI state against the other cores' private
+  /// copies.  Must only be called on a hierarchy built with cores > 1
+  /// (sim::Machine routes here via its own multicore flag).
+  AccessOutcome access_mc(unsigned core, Addr addr, bool write);
+
+  /// Receives every coherence event with the *initiating* core — the core
+  /// whose reference triggered the bus transaction — and the referenced
+  /// address, so per-core PMUs can attribute coherence traffic to data
+  /// objects.  Pass nullptr to detach.
+  using CoherenceEventSink =
+      std::function<void(unsigned core, Addr addr, CoherenceEventKind kind)>;
+  void set_coherence_sink(CoherenceEventSink sink) {
+    sink_ = std::move(sink);
+  }
+
   [[nodiscard]] std::size_t num_levels() const noexcept {
-    return caches_.size();
+    return num_levels_;
+  }
+  [[nodiscard]] unsigned num_cores() const noexcept { return cores_; }
+  /// Index of the first shared level (0 when every level is shared; equals
+  /// num_levels() for the degenerate — and disallowed — all-private case).
+  [[nodiscard]] std::size_t first_shared_level() const noexcept {
+    return shared_from_;
   }
   [[nodiscard]] std::size_t observe_level() const noexcept { return observe_; }
   [[nodiscard]] const std::string& level_name(std::size_t i) const {
     return names_.at(i);
   }
-  [[nodiscard]] Cache& level(std::size_t i) { return caches_.at(i); }
+  /// Level accessor; on a multi-core hierarchy a private index resolves to
+  /// core 0's replica (use private_level() for other cores).
+  [[nodiscard]] Cache& level(std::size_t i) {
+    return i < shared_from_ ? private_.at(0).at(i)
+                            : caches_.at(i - shared_from_);
+  }
   [[nodiscard]] const Cache& level(std::size_t i) const {
-    return caches_.at(i);
+    return i < shared_from_ ? private_.at(0).at(i)
+                            : caches_.at(i - shared_from_);
+  }
+  /// A specific core's replica of private level `i` (i < first_shared_level).
+  [[nodiscard]] const Cache& private_level(unsigned core,
+                                           std::size_t i) const {
+    return private_.at(core).at(i);
   }
   /// The cache whose misses the PMU observes — the "measured cache" in the
-  /// paper's single-level terminology.
-  [[nodiscard]] Cache& observed_cache() noexcept { return caches_[observe_]; }
+  /// paper's single-level terminology.  On a multi-core hierarchy an
+  /// observed private level resolves to core 0's replica.
+  [[nodiscard]] Cache& observed_cache() noexcept { return level(observe_); }
   [[nodiscard]] const Cache& observed_cache() const noexcept {
-    return caches_[observe_];
+    return level(observe_);
   }
 
-  /// Invalidate every level.
+  /// Invalidate every level (all cores) and forget all directory state.
   void flush();
 
-  /// Per-level counter snapshot, innermost first.
+  /// Per-level counter snapshot, innermost first.  On a multi-core
+  /// hierarchy, private-level counters are summed across cores.
   [[nodiscard]] std::vector<LevelSnapshot> snapshot() const;
 
+  /// One core's view: its own private levels followed by the shared levels.
+  [[nodiscard]] std::vector<LevelSnapshot> core_snapshot(unsigned core) const;
+
+  /// Per-level coherence counters, innermost first (size num_levels();
+  /// shared-level entries stay zero — coherence acts on private copies).
+  [[nodiscard]] const std::vector<CoherenceStats>& coherence_stats()
+      const noexcept {
+    return coh_;
+  }
+
  private:
-  std::vector<Cache> caches_;  ///< innermost first
+  /// Directory entry for one (innermost-granularity) line: which cores
+  /// hold a private copy, and whether `owner` holds it Modified.
+  struct DirEntry {
+    std::uint64_t sharers = 0;  ///< bit c set: core c holds a private copy
+    unsigned owner = 0;         ///< meaningful when dirty
+    bool dirty = false;
+  };
+
+  void emit(unsigned core, Addr addr, CoherenceEventKind kind) {
+    if (sink_) sink_(core, addr, kind);
+  }
+  [[nodiscard]] bool core_holds(unsigned core, Addr addr) const;
+  void drop_victim(unsigned core, Addr victim_line);
+
+  std::vector<Cache> caches_;  ///< single-core: all levels; else shared only
   std::vector<std::string> names_;
   std::size_t observe_;
+  std::size_t num_levels_ = 0;
+  unsigned cores_ = 1;
+  std::size_t shared_from_ = 0;  ///< 0 when single-core (caches_ = all)
+  std::vector<std::vector<Cache>> private_;  ///< [core][level], multicore
+  std::vector<CoherenceStats> coh_;          ///< per level, multicore
+  std::unordered_map<Addr, DirEntry> directory_;
+  std::vector<Addr> victim_scratch_;
+  Addr coherence_line_mask_ = 0;
+  CoherenceEventSink sink_;
 };
 
 // -- Level-spec grammar and presets ------------------------------------------

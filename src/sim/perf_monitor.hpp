@@ -65,6 +65,51 @@ class PerfMonitor {
   }
   void acknowledge_overflow() noexcept { overflow_pending_ = false; }
 
+  // -- Coherence event plane (multi-core) ------------------------------------
+  // Mirrors the miss plane for MESI coherence traffic: a global event
+  // counter, a last-event-address register, and an overflow interrupt —
+  // the R10000's external-invalidation counters generalized with the
+  // last-address register the paper's sampler needs for attribution.
+  [[nodiscard]] std::uint64_t global_coherence_events() const noexcept {
+    return coherence_events_;
+  }
+  void clear_global_coherence() noexcept { coherence_events_ = 0; }
+  [[nodiscard]] Addr last_coherence_address() const noexcept {
+    return last_coherence_;
+  }
+  /// Arm an interrupt after `period` further coherence events (0 disarms).
+  void arm_coherence_overflow(std::uint64_t period) noexcept {
+    coherence_remaining_ = period;
+    coherence_armed_ = period != 0;
+    coherence_pending_ = false;
+  }
+  void disarm_coherence_overflow() noexcept {
+    coherence_armed_ = false;
+    coherence_pending_ = false;
+  }
+  [[nodiscard]] bool coherence_overflow_armed() const noexcept {
+    return coherence_armed_;
+  }
+  [[nodiscard]] bool coherence_overflow_pending() const noexcept {
+    return coherence_pending_;
+  }
+  void acknowledge_coherence_overflow() noexcept {
+    coherence_pending_ = false;
+  }
+
+  /// Record one coherence event at `addr` (invalidation, upgrade, forced
+  /// writeback or sharing transition — the PMU does not distinguish).
+  void record_coherence_event(Addr addr) noexcept {
+    ++coherence_events_;
+    last_coherence_ = addr;
+    if (coherence_armed_ && coherence_remaining_ > 0) {
+      if (--coherence_remaining_ == 0) {
+        coherence_pending_ = true;
+        coherence_armed_ = false;
+      }
+    }
+  }
+
   /// Record a cache miss at `addr`.  Called by the machine for every miss
   /// (application and instrumentation alike — real hardware cannot tell them
   /// apart).  Updates region counters, the global counter, the last-miss
@@ -112,6 +157,11 @@ class PerfMonitor {
   std::uint64_t overflow_remaining_ = 0;
   bool overflow_armed_ = false;
   bool overflow_pending_ = false;
+  std::uint64_t coherence_events_ = 0;
+  Addr last_coherence_ = kNullAddr;
+  std::uint64_t coherence_remaining_ = 0;
+  bool coherence_armed_ = false;
+  bool coherence_pending_ = false;
   FaultInjector* faults_ = nullptr;
   std::array<PendingReprogram, kMaxCounters> pending_{};
   unsigned pending_reprograms_ = 0;

@@ -1,0 +1,163 @@
+#include "workloads/sharing.hpp"
+
+namespace hpm::workloads {
+
+namespace {
+
+constexpr std::uint64_t kDoublesPerLine = 8;
+/// Contended / streamed references per core per slice.  Small enough that
+/// cores interleave at fine grain (every slice boundary is a potential
+/// line ping-pong), large enough that slice-scheduling overhead is noise.
+constexpr std::uint64_t kInnerPerSlice = 16;
+constexpr std::uint64_t kDefaultSlices = 2000;
+
+std::uint64_t slices_from(const WorkloadOptions& options) {
+  return options.iterations != 0 ? options.iterations : kDefaultSlices;
+}
+
+}  // namespace
+
+void ThreadedWorkload::run(sim::Machine& machine) {
+  const unsigned cores = machine.num_cores();
+  const std::uint64_t slices = num_slices(machine);
+  for (std::uint64_t s = 0; s < slices; ++s) {
+    for (unsigned c = 0; c < cores; ++c) {
+      machine.set_active_core(c);
+      run_slice(machine, c, s);
+    }
+  }
+  machine.set_active_core(0);
+}
+
+// -- false_sharing ------------------------------------------------------------
+
+FalseSharing::FalseSharing(const WorkloadOptions& options)
+    : slices_(slices_from(options)),
+      lane_elems_(elems_for_bytes(scaled(256 * 1024, options.scale, 4096))) {}
+
+void FalseSharing::setup(sim::Machine& machine) {
+  // One 8-byte counter per core, deliberately packed: eight counters per
+  // 64-byte line.  A 64-entry table supports the machine's core limit.
+  shared_ = Array1D<double>::make_static(machine, "SHARED_SLOTS", 64);
+  lanes_ = Array1D<double>::make_static(
+      machine, "PRIVATE_LANES", lane_elems_ * machine.num_cores());
+}
+
+std::uint64_t FalseSharing::num_slices(const sim::Machine&) const {
+  return slices_;
+}
+
+void FalseSharing::run_slice(sim::Machine& machine, unsigned core,
+                             std::uint64_t slice) {
+  const std::uint64_t slot = core % shared_.size();
+  const std::uint64_t lane0 =
+      static_cast<std::uint64_t>(core) * lane_elems_;
+  const std::uint64_t lane_lines = lane_elems_ / kDoublesPerLine;
+  for (std::uint64_t i = 0; i < kInnerPerSlice; ++i) {
+    // The core's own counter — private data on a shared line.
+    shared_.set(slot, shared_.get(slot) + 1.0);
+    // Core-private streaming: one fresh line per touch, never coherent.
+    const std::uint64_t line = (slice * kInnerPerSlice + i) % lane_lines;
+    const std::uint64_t e = lane0 + line * kDoublesPerLine;
+    lanes_.set(e, lanes_.get(e) * 0.5 + 1.0);
+    machine.exec(2);
+  }
+}
+
+// -- true_sharing -------------------------------------------------------------
+
+TrueSharing::TrueSharing(const WorkloadOptions& options)
+    : slices_(slices_from(options)),
+      table_elems_(elems_for_bytes(scaled(64 * 1024, options.scale, 4096))),
+      lane_elems_(elems_for_bytes(scaled(128 * 1024, options.scale, 4096))) {}
+
+void TrueSharing::setup(sim::Machine& machine) {
+  counter_ = Array1D<double>::make_static(machine, "HOT_COUNTER",
+                                          kDoublesPerLine);
+  table_ = Array1D<double>::make_static(machine, "SHARED_TABLE",
+                                        table_elems_);
+  lanes_ = Array1D<double>::make_static(
+      machine, "PRIVATE_LANES", lane_elems_ * machine.num_cores());
+}
+
+std::uint64_t TrueSharing::num_slices(const sim::Machine&) const {
+  return slices_;
+}
+
+void TrueSharing::run_slice(sim::Machine& machine, unsigned core,
+                            std::uint64_t slice) {
+  const std::uint64_t lane0 =
+      static_cast<std::uint64_t>(core) * lane_elems_;
+  const std::uint64_t lane_lines = lane_elems_ / kDoublesPerLine;
+  const std::uint64_t table_lines = table_elems_ / kDoublesPerLine;
+  for (std::uint64_t i = 0; i < kInnerPerSlice; ++i) {
+    // The genuinely shared reduction variable: every core's write
+    // invalidates every other core's copy.
+    counter_.set(0, counter_.get(0) + 1.0);
+    // Read-mostly shared table: consecutive cores pull the same line into
+    // their private caches (sharing transitions, no invalidations).
+    const std::uint64_t t =
+        ((slice * kInnerPerSlice + i) % table_lines) * kDoublesPerLine;
+    const double v = table_.get(t);
+    // Private streaming lane.
+    const std::uint64_t line = (slice * kInnerPerSlice + i) % lane_lines;
+    const std::uint64_t e = lane0 + line * kDoublesPerLine;
+    lanes_.set(e, lanes_.get(e) * 0.25 + v * 0.0625);
+    machine.exec(2);
+  }
+}
+
+// -- producer_consumer --------------------------------------------------------
+
+ProducerConsumer::ProducerConsumer(const WorkloadOptions& options)
+    : slices_(slices_from(options)),
+      buffer_elems_(
+          elems_for_bytes(scaled(256 * 1024, options.scale, 4096))),
+      lane_elems_(elems_for_bytes(scaled(128 * 1024, options.scale, 4096))) {}
+
+void ProducerConsumer::setup(sim::Machine& machine) {
+  buffer_ = Array1D<double>::make_static(machine, "RING_BUFFER",
+                                         buffer_elems_);
+  lanes_ = Array1D<double>::make_static(
+      machine, "PRIVATE_LANES", lane_elems_ * machine.num_cores());
+}
+
+std::uint64_t ProducerConsumer::num_slices(const sim::Machine&) const {
+  return slices_;
+}
+
+void ProducerConsumer::run_slice(sim::Machine& machine, unsigned core,
+                                 std::uint64_t slice) {
+  const std::uint64_t buffer_lines = buffer_elems_ / kDoublesPerLine;
+  const std::uint64_t window =
+      kInnerPerSlice < buffer_lines ? kInnerPerSlice : buffer_lines;
+  const std::uint64_t w0 = (slice * window) % buffer_lines;
+  const std::uint64_t lane0 =
+      static_cast<std::uint64_t>(core) * lane_elems_;
+  const std::uint64_t lane_lines = lane_elems_ / kDoublesPerLine;
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < window; ++i) {
+    const std::uint64_t e =
+        ((w0 + i) % buffer_lines) * kDoublesPerLine;
+    if (core == 0) {
+      // Produce: dirty the window (Modified in core 0's private cache).
+      buffer_.set(e, static_cast<double>(slice + i));
+    } else {
+      // Consume: the read snoops core 0's dirty copy out (forced
+      // writeback) and adds this core as a sharer.
+      sum += buffer_.get(e);
+    }
+    const std::uint64_t line = (slice * window + i) % lane_lines;
+    const std::uint64_t le = lane0 + line * kDoublesPerLine;
+    lanes_.set(le, lanes_.get(le) * 0.5 + sum * 1e-9);
+    machine.exec(2);
+  }
+}
+
+const std::vector<std::string>& sharing_workload_names() {
+  static const std::vector<std::string> names = {
+      "false_sharing", "true_sharing", "producer_consumer"};
+  return names;
+}
+
+}  // namespace hpm::workloads

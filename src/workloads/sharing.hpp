@@ -1,0 +1,127 @@
+// Multi-core sharing kernels: the workloads behind the coherence-counter
+// reproduction (Table 7 of this repo's extension; the paper's machinery
+// generalized to MESI traffic).
+//
+// Each kernel is a ThreadedWorkload: run() drives the machine's cores in a
+// deterministic round-robin (core 0 first in every slice), so the combined
+// reference stream is a pure function of the options and the core count —
+// byte-identical across hosts, repeat runs and any --jobs setting.  The
+// kernels exercise the three canonical coherence patterns:
+//
+//   * false_sharing     — each core read-modify-writes its *own* counter,
+//     but the counters share a cache line, so every write invalidates every
+//     other core's copy (line ping-pong with zero logical sharing);
+//   * true_sharing      — every core read-modify-writes the *same* counter
+//     (a contended reduction variable);
+//   * producer_consumer — core 0 writes a buffer window, the other cores
+//     read it (forced writebacks and sharing transitions, few upgrades).
+//
+// Every kernel also streams a core-private lane array, so the regular miss
+// profile has a large non-coherent component — attribution must separate
+// "misses" from "coherence events", which is exactly the point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/kernels_common.hpp"
+#include "workloads/workload.hpp"
+
+namespace hpm::workloads {
+
+/// Base for kernels that drive a multi-core machine.  run() interleaves
+/// per-core slices round-robin via Machine::set_active_core and restores
+/// core 0 afterwards; on a single-core machine only the core-0 lane runs.
+class ThreadedWorkload : public Workload {
+ public:
+  void run(sim::Machine& machine) final;
+
+ protected:
+  /// Total round-robin slices for this run.
+  [[nodiscard]] virtual std::uint64_t num_slices(
+      const sim::Machine& machine) const = 0;
+  /// One core's share of one slice; called with `core` active.
+  virtual void run_slice(sim::Machine& machine, unsigned core,
+                         std::uint64_t slice) = 0;
+};
+
+/// Per-core counters packed into one cache line ("SHARED_SLOTS") plus a
+/// core-private streaming lane ("PRIVATE_LANES").  Nearly all coherence
+/// events land on SHARED_SLOTS.
+class FalseSharing final : public ThreadedWorkload {
+ public:
+  explicit FalseSharing(const WorkloadOptions& options);
+  [[nodiscard]] std::string_view name() const override {
+    return "false_sharing";
+  }
+  void setup(sim::Machine& machine) override;
+
+ protected:
+  [[nodiscard]] std::uint64_t num_slices(
+      const sim::Machine& machine) const override;
+  void run_slice(sim::Machine& machine, unsigned core,
+                 std::uint64_t slice) override;
+
+ private:
+  std::uint64_t slices_;
+  std::uint64_t lane_elems_;
+  Array1D<double> shared_;
+  Array1D<double> lanes_;
+};
+
+/// One contended counter ("HOT_COUNTER") every core read-modify-writes,
+/// a read-shared table ("SHARED_TABLE") and private lanes.
+class TrueSharing final : public ThreadedWorkload {
+ public:
+  explicit TrueSharing(const WorkloadOptions& options);
+  [[nodiscard]] std::string_view name() const override {
+    return "true_sharing";
+  }
+  void setup(sim::Machine& machine) override;
+
+ protected:
+  [[nodiscard]] std::uint64_t num_slices(
+      const sim::Machine& machine) const override;
+  void run_slice(sim::Machine& machine, unsigned core,
+                 std::uint64_t slice) override;
+
+ private:
+  std::uint64_t slices_;
+  std::uint64_t table_elems_;
+  std::uint64_t lane_elems_;
+  Array1D<double> counter_;
+  Array1D<double> table_;
+  Array1D<double> lanes_;
+};
+
+/// Core 0 fills a window of "RING_BUFFER"; the remaining cores read it in
+/// the same slice.  Dirty lines are flushed by the consumers' reads (forced
+/// writebacks) and re-invalidated by the next production pass.
+class ProducerConsumer final : public ThreadedWorkload {
+ public:
+  explicit ProducerConsumer(const WorkloadOptions& options);
+  [[nodiscard]] std::string_view name() const override {
+    return "producer_consumer";
+  }
+  void setup(sim::Machine& machine) override;
+
+ protected:
+  [[nodiscard]] std::uint64_t num_slices(
+      const sim::Machine& machine) const override;
+  void run_slice(sim::Machine& machine, unsigned core,
+                 std::uint64_t slice) override;
+
+ private:
+  std::uint64_t slices_;
+  std::uint64_t buffer_elems_;
+  std::uint64_t lane_elems_;
+  Array1D<double> buffer_;
+  Array1D<double> lanes_;
+};
+
+/// The sharing kernel names accepted by make_workload, in a fixed order:
+/// {"false_sharing", "true_sharing", "producer_consumer"}.
+[[nodiscard]] const std::vector<std::string>& sharing_workload_names();
+
+}  // namespace hpm::workloads

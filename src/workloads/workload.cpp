@@ -6,6 +6,7 @@
 #include "workloads/compress.hpp"
 #include "workloads/ijpeg.hpp"
 #include "workloads/mgrid.hpp"
+#include "workloads/sharing.hpp"
 #include "workloads/su2cor.hpp"
 #include "workloads/swim.hpp"
 #include "workloads/synthetic.hpp"
@@ -25,6 +26,11 @@ std::unique_ptr<Workload> make_workload(std::string_view name,
   if (name == "synthetic") {
     return std::make_unique<SyntheticWorkload>(default_synthetic_spec(options));
   }
+  if (name == "false_sharing") return std::make_unique<FalseSharing>(options);
+  if (name == "true_sharing") return std::make_unique<TrueSharing>(options);
+  if (name == "producer_consumer") {
+    return std::make_unique<ProducerConsumer>(options);
+  }
   throw std::invalid_argument("unknown workload: " + std::string(name));
 }
 
@@ -37,6 +43,9 @@ const std::vector<std::string>& paper_workload_names() {
 bool is_workload_name(std::string_view name) noexcept {
   if (name == "synthetic") return true;
   for (const auto& known : paper_workload_names()) {
+    if (name == known) return true;
+  }
+  for (const auto& known : sharing_workload_names()) {
     if (name == known) return true;
   }
   return false;

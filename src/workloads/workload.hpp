@@ -42,8 +42,10 @@ class Workload {
 
 /// Factory for the seven paper workloads: "tomcatv", "swim", "su2cor",
 /// "mgrid", "applu", "compress", "ijpeg" — plus "synthetic", the canonical
-/// 4:2:1 three-array kernel (see default_synthetic_spec).  Throws
-/// std::invalid_argument for unknown names.
+/// 4:2:1 three-array kernel (see default_synthetic_spec), and the
+/// multi-core sharing kernels "false_sharing", "true_sharing" and
+/// "producer_consumer" (see sharing.hpp).  Throws std::invalid_argument
+/// for unknown names.
 [[nodiscard]] std::unique_ptr<Workload> make_workload(
     std::string_view name, const WorkloadOptions& options = {});
 

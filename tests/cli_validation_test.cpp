@@ -12,6 +12,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #ifndef HPM_HPMRUN_PATH
@@ -75,6 +77,84 @@ TEST(HpmrunUsage, BadFlagValuesElsewhereStillExitTwo) {
   EXPECT_EQ(run_hpmrun("--workload no_such_workload --tool none"), 2);
   EXPECT_EQ(run_hpmrun(std::string(kFastRun) + " --levels nonsense:spec:"),
             2);
+}
+
+// --cores gets the same strict parse as --observe: a typo must be a usage
+// error, never a silent fall-back to the single-core default.
+TEST(HpmrunCores, RejectsMalformedCounts) {
+  EXPECT_EQ(run_hpmrun(std::string(kFastRun) + " --cores abc"), 2);
+  EXPECT_EQ(run_hpmrun(std::string(kFastRun) + " --cores ''"), 2);
+  EXPECT_EQ(run_hpmrun(std::string(kFastRun) + " --cores -1"), 2);
+  EXPECT_EQ(run_hpmrun(std::string(kFastRun) + " --cores 2x"), 2);
+}
+
+TEST(HpmrunCores, RejectsCountsOutsideTheDirectoryRange) {
+  EXPECT_EQ(run_hpmrun(std::string(kFastRun) + " --cores 0"), 2);
+  // The MESI directory's sharer bitmask caps the machine at 64 cores.
+  EXPECT_EQ(run_hpmrun(std::string(kFastRun) + " --cores 65"), 2);
+  EXPECT_EQ(run_hpmrun(std::string(kFastRun) +
+                       " --cores 99999999999999999999999999"),
+            2);
+}
+
+TEST(HpmrunCores, AcceptsInRangeCounts) {
+  EXPECT_EQ(run_hpmrun(std::string(kFastRun) + " --cores 1"), 0);
+  EXPECT_EQ(
+      run_hpmrun(std::string(kFastRun) + " --levels 2level --cores 2"), 0);
+}
+
+/// Run hpmrun with `args`, capturing stdout and stderr separately.
+/// Returns the exit code.
+int run_hpmrun_capture(const std::string& args, std::string* out,
+                       std::string* err) {
+  // ctest runs each test case as its own process, possibly concurrently,
+  // so the capture files must be unique per test to avoid races.
+  const std::string tag =
+      ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  const std::string out_path =
+      ::testing::TempDir() + "hpmrun_stdout_" + tag + ".txt";
+  const std::string err_path =
+      ::testing::TempDir() + "hpmrun_stderr_" + tag + ".txt";
+  const std::string command = std::string("\"") + HPM_HPMRUN_PATH + "\" " +
+                              args + " >" + out_path + " 2>" + err_path;
+  const int status = std::system(command.c_str());
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  *out = slurp(out_path);
+  *err = slurp(err_path);
+#if defined(_WIN32)
+  return status;
+#else
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#endif
+}
+
+// The --l1-* aliases still work but warn; the warning must go to stderr
+// so scripted stdout parsing (tables, piped JSON) never sees it.
+TEST(HpmrunDeprecation, L1FlagsWarnOnStderrAndKeepStdoutClean) {
+  std::string out;
+  std::string err;
+  const int code = run_hpmrun_capture(
+      std::string(kFastRun) + " --l1-size 32768", &out, &err);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(err.find("deprecated"), std::string::npos) << err;
+  EXPECT_NE(err.find("--levels"), std::string::npos) << err;
+  EXPECT_EQ(out.find("deprecated"), std::string::npos) << out;
+  // The run itself still happened: the table landed on stdout.
+  EXPECT_NE(out.find("workload"), std::string::npos) << out;
+}
+
+TEST(HpmrunDeprecation, LevelsAloneDoesNotWarn) {
+  std::string out;
+  std::string err;
+  const int code = run_hpmrun_capture(
+      std::string(kFastRun) + " --levels 2level", &out, &err);
+  EXPECT_EQ(code, 0);
+  EXPECT_EQ(err.find("deprecated"), std::string::npos) << err;
 }
 
 }  // namespace

@@ -90,6 +90,37 @@ std::vector<RunSpec> faulted_specs() {
   return faulted;
 }
 
+/// The coherence pipeline: the sharing kernels (false_sharing /
+/// true_sharing / producer_consumer) sampled on a 4-core machine with
+/// private L1s in front of a shared LLC.  Locks in the hpm.batch.v4
+/// "multicore" blocks — per-core stats, per-level MESI counters and the
+/// per-object coherence attribution — so a coherence-layer change that
+/// shifts invalidation traffic or attribution shares shows up as a
+/// golden diff.
+std::vector<RunSpec> coherence_specs() {
+  std::vector<RunSpec> specs;
+  for (const std::string name :
+       {"false_sharing", "true_sharing", "producer_consumer"}) {
+    RunConfig config;
+    // Roomy enough that the contended lines stay resident between core
+    // slices: coherence events, not capacity evictions, reclaim them.
+    config.machine.hierarchy = sim::parse_hierarchy_spec(
+        "L1:4k:64:4,LLC:64k:64:8");
+    config.machine.cores = 4;
+    config.tool = ToolKind::kSampler;
+    config.sampler.period = 64;
+    config.sampler.coherence_period = 31;
+    RunSpec spec;
+    spec.name = name + "/sample+4core";
+    spec.workload = name;
+    spec.config = config;
+    spec.options.scale = 0.05;
+    spec.options.iterations = 300;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
 /// The hierarchy pipeline: the golden sampler + search runs re-run on the
 /// 2-level preset (32 KB L1 filter in front of the 2 MB LLC, PMU
 /// observing the last level).  Locks in the per-level counters — the
@@ -235,6 +266,53 @@ void compare_batches(const JsonValue& expected, const JsonValue& actual) {
       EXPECT_EQ(ar.find("levels"), nullptr) << what << " gained a levels "
                                                "block its golden lacks";
     }
+    // Multi-core items carry a "multicore" block (hpm.batch.v4): the core
+    // count is configuration and must match exactly; per-core stats and
+    // the MESI counters get the usual integer tolerance, and the
+    // coherence attribution reports get the usual report comparison
+    // (object identity and order exact, shares within tolerance).
+    if (const JsonValue* em = er.find("multicore")) {
+      const JsonValue* am = ar.find("multicore");
+      ASSERT_NE(am, nullptr) << what << ".multicore missing";
+      ASSERT_EQ(am->at("cores").uint(), em->at("cores").uint()) << what;
+      const auto& expected_cores = em->at("core_stats").array();
+      const auto& actual_cores = am->at("core_stats").array();
+      ASSERT_EQ(actual_cores.size(), expected_cores.size()) << what;
+      for (std::size_t j = 0; j < expected_cores.size(); ++j) {
+        compare_stats(expected_cores[j], actual_cores[j],
+                      what + ".core_stats[" + std::to_string(j) + "]");
+      }
+      const auto& expected_coh = em->at("coherence").array();
+      const auto& actual_coh = am->at("coherence").array();
+      ASSERT_EQ(actual_coh.size(), expected_coh.size()) << what;
+      for (std::size_t j = 0; j < expected_coh.size(); ++j) {
+        const std::string level =
+            what + ".coherence[" + std::to_string(j) + "]";
+        EXPECT_EQ(actual_coh[j].at("level").str(),
+                  expected_coh[j].at("level").str())
+            << level;
+        for (const auto& key :
+             {"invalidations_sent", "invalidations_received", "upgrades",
+              "sharing_transitions", "forced_writebacks"}) {
+          expect_count_close(expected_coh[j].at(key), actual_coh[j].at(key),
+                             level + "." + key);
+        }
+      }
+      expect_count_close(em->at("coherence_samples"),
+                         am->at("coherence_samples"),
+                         what + ".coherence_samples");
+      expect_count_close(em->at("coherence_events"),
+                         am->at("coherence_events"),
+                         what + ".coherence_events");
+      compare_report(em->at("coherence_actual"), am->at("coherence_actual"),
+                     what + ".coherence_actual");
+      compare_report(em->at("coherence_estimated"),
+                     am->at("coherence_estimated"),
+                     what + ".coherence_estimated");
+    } else {
+      EXPECT_EQ(ar.find("multicore"), nullptr)
+          << what << " gained a multicore block its golden lacks";
+    }
   }
 }
 
@@ -274,6 +352,61 @@ TEST(GoldenResults, FaultedPipelineDegradationIsPinned) {
 
 TEST(GoldenResults, HierarchyPipelinePerLevelCountersArePinned) {
   run_golden_case("hierarchy_pipeline.json", hierarchy_specs());
+}
+
+// The Table-7 acceptance bar, asserted directly before any golden
+// comparison so a regeneration can never launder an attribution
+// regression: on the contended kernels the object that causes the
+// sharing must carry >= 80% of the coherence events in BOTH the exact
+// profile and the samplers' merged estimate.
+TEST(GoldenResults, CoherencePipelineAttributionIsPinned) {
+  const auto specs = coherence_specs();
+  BatchRunner::Options options;
+  options.jobs = 2;
+  const auto batch = BatchRunner(options).run(specs);
+  for (const auto& item : batch.items) {
+    ASSERT_TRUE(item.ok) << item.spec.name << ": " << item.error;
+  }
+
+  const auto share = [](const core::Report& report, const char* name) {
+    return report.percent_of(name).value_or(0.0);
+  };
+  for (const auto& item : batch.items) {
+    const auto& r = item.result;
+    EXPECT_GT(r.coherence_events, 0u) << item.spec.name;
+    EXPECT_GT(r.coherence_samples, 0u) << item.spec.name;
+    if (item.spec.workload == "false_sharing") {
+      EXPECT_GE(share(r.coherence_actual, "SHARED_SLOTS"), 80.0);
+      EXPECT_GE(share(r.coherence_estimated, "SHARED_SLOTS"), 80.0);
+    } else if (item.spec.workload == "producer_consumer") {
+      EXPECT_GE(share(r.coherence_actual, "RING_BUFFER"), 80.0);
+      EXPECT_GE(share(r.coherence_estimated, "RING_BUFFER"), 80.0);
+    } else if (item.spec.workload == "true_sharing") {
+      // Two genuinely shared objects split the traffic; together they
+      // must carry essentially all of it (the private lanes none).
+      EXPECT_GE(share(r.coherence_actual, "HOT_COUNTER") +
+                    share(r.coherence_actual, "SHARED_TABLE"),
+                95.0);
+      EXPECT_EQ(share(r.coherence_actual, "PRIVATE_LANES"), 0.0);
+    }
+  }
+
+  const std::string json = export_batch(batch);
+  EXPECT_NE(json.find("hpm.batch.v4"), std::string::npos);
+
+  const std::string path = golden_path("coherence_pipeline.json");
+  if (update_mode()) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << json;
+    GTEST_SKIP() << "golden updated: " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden " << path
+                  << " — run with HPM_UPDATE_GOLDEN=1 to create it";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  compare_batches(JsonValue::parse(buffer.str()), JsonValue::parse(json));
 }
 
 // The deepest preset gets its own golden: three levels of inter-level

@@ -366,6 +366,88 @@ TEST(JsonExport, HierarchyBatchRoundTripsThroughV3) {
             "hpm.batch.v2");
 }
 
+TEST(JsonExport, MulticoreBatchRoundTripsThroughV4) {
+  // A batch whose item carries multi-core results must export as v4 with a
+  // "multicore" block and a per-item "cores" spec key, survive
+  // parse_batch_result, and re-export byte for byte.  A single-core batch
+  // must never gain either.
+  BatchResult batch = tiny_batch(false);
+  auto& item = batch.items[0];
+  item.spec.config.machine.cores = 2;
+  auto& result = item.result;
+  sim::MachineStats core0;
+  core0.app_refs = 600;
+  core0.app_misses = 60;
+  core0.interrupts = 3;
+  core0.tool_cycles = 111;
+  sim::MachineStats core1;
+  core1.app_refs = 400;
+  core1.app_misses = 40;
+  core1.interrupts = 2;
+  core1.tool_cycles = 99;
+  result.core_stats = {core0, core1};
+  result.core_samples = {5, 4};
+  sim::CoherenceStats l1;
+  l1.invalidations_sent = 17;
+  l1.invalidations_received = 17;
+  l1.upgrades = 9;
+  l1.sharing_transitions = 12;
+  l1.forced_writebacks = 6;
+  result.coherence = {l1, sim::CoherenceStats{}};
+  result.coherence_samples = 9;
+  result.coherence_events = 44;
+  result.coherence_actual =
+      core::Report({{"HOT", {}, 40, 90.9090909090909}, {"COLD", {}, 4, 9.0}},
+                   44);
+  result.coherence_estimated = core::Report({{"HOT", {}, 9, 100.0}}, 9);
+
+  const std::string exported = to_json(batch);
+  const auto doc = JsonValue::parse(exported);
+  EXPECT_EQ(doc.at("schema").str(), "hpm.batch.v4");
+  const auto& exported_item = doc.at("items").array().at(0);
+  EXPECT_EQ(exported_item.at("cores").uint(), 2u);
+  const auto& multicore = exported_item.at("result").at("multicore");
+  EXPECT_EQ(multicore.at("cores").uint(), 2u);
+  ASSERT_EQ(multicore.at("core_stats").array().size(), 2u);
+  EXPECT_EQ(multicore.at("core_stats").array()[1].at("app_refs").uint(),
+            400u);
+  ASSERT_EQ(multicore.at("coherence").array().size(), 2u);
+  EXPECT_EQ(
+      multicore.at("coherence").array()[0].at("invalidations_sent").uint(),
+      17u);
+  EXPECT_EQ(multicore.at("coherence_events").uint(), 44u);
+  EXPECT_EQ(multicore.at("coherence_actual").at("rows").array().size(), 2u);
+
+  const BatchResult reparsed = parse_batch_result(exported);
+  ASSERT_EQ(reparsed.items.size(), 1u);
+  const auto& rr = reparsed.items[0].result;
+  EXPECT_EQ(reparsed.items[0].spec.config.machine.cores, 2u);
+  ASSERT_EQ(rr.core_stats.size(), 2u);
+  EXPECT_EQ(rr.core_stats[0].app_refs, 600u);
+  EXPECT_EQ(rr.core_stats[1].interrupts, 2u);
+  EXPECT_EQ(rr.core_samples, (std::vector<std::uint64_t>{5, 4}));
+  ASSERT_EQ(rr.coherence.size(), 2u);
+  EXPECT_EQ(rr.coherence[0].upgrades, 9u);
+  EXPECT_EQ(rr.coherence[0].forced_writebacks, 6u);
+  EXPECT_EQ(rr.coherence_samples, 9u);
+  EXPECT_EQ(rr.coherence_events, 44u);
+  EXPECT_EQ(rr.coherence_actual.size(), 2u);
+  EXPECT_DOUBLE_EQ(rr.coherence_estimated.percent_of("HOT").value_or(0.0),
+                   100.0);
+  EXPECT_EQ(to_json(reparsed), exported);
+
+  const auto summary = parse_batch_document(exported);
+  EXPECT_EQ(summary.schema_version, 4);
+
+  // Single-core batches keep the v2 schema string and carry no "cores"
+  // key or "multicore" block.
+  const auto v2 = JsonValue::parse(to_json(tiny_batch(false)));
+  EXPECT_EQ(v2.at("schema").str(), "hpm.batch.v2");
+  EXPECT_EQ(v2.at("items").array().at(0).find("cores"), nullptr);
+  EXPECT_EQ(v2.at("items").array().at(0).at("result").find("multicore"),
+            nullptr);
+}
+
 TEST(ParseBatchDocument, RejectsUnknownSchemaAndGarbage) {
   EXPECT_THROW((void)parse_batch_document("{\"schema\":\"hpm.batch.v9\"}"),
                std::runtime_error);

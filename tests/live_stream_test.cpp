@@ -282,7 +282,7 @@ TEST(LiveStream, StreamStartCarriesVersionedMeta) {
   EXPECT_EQ(start.at("every_refs").uint(), 50'000u);
   const auto& schemas = start.at("meta").at("schemas");
   EXPECT_EQ(schemas.at("hpm.live").uint(), 1u);
-  EXPECT_EQ(schemas.at("hpm.batch").uint(), 3u);
+  EXPECT_EQ(schemas.at("hpm.batch").uint(), 4u);
   // include_build_meta=false keeps the volatile build block out.
   EXPECT_EQ(start.at("meta").find("build"), nullptr);
 }

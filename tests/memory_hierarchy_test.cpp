@@ -395,5 +395,118 @@ TEST(HierarchyDifferential, OneLevelHierarchyIsCounterIdenticalToBareCache) {
   }
 }
 
+// -- Writeback accounting under mixed write-through / write-back stacks ------
+
+// Every WT/WB combination over a 3-level stack, driven by a seeded random
+// mix of sequential and random reads/writes.  Per-level conservation:
+// a write-through level never holds dirty lines so it can never write
+// back; a write-back level evicts (and hence writes back) only on an
+// allocating miss; and the walk never injects writeback traffic into the
+// next level, so inter-level accesses reconcile with misses exactly.
+TEST(HierarchyWritebacks, MixedPolicyStacksConserveWritebacksPerLevel) {
+  for (int mask = 0; mask < 8; ++mask) {
+    const std::uint64_t sizes[3] = {1024, 4096, 32768};
+    std::vector<LevelConfig> levels;
+    for (int i = 0; i < 3; ++i) {
+      CacheConfig config;
+      config.size_bytes = sizes[i];
+      config.line_size = 64;
+      config.associativity = 2;
+      config.write_policy = ((mask >> i) & 1) != 0
+                                ? WritePolicy::kWriteThroughNoAllocate
+                                : WritePolicy::kWriteBackAllocate;
+      levels.push_back({"L" + std::to_string(i + 1), config});
+    }
+    MemoryHierarchy hierarchy(levels, kObserveLast);
+    util::Xoshiro256 rng(0x5eedull + static_cast<std::uint64_t>(mask));
+    const int kRefs = 20'000;
+    for (int i = 0; i < kRefs; ++i) {
+      const Addr addr =
+          rng.next_below(2) == 0
+              ? static_cast<Addr>(i) * 64
+              : static_cast<Addr>(rng.next_below(8 * sizes[2]));
+      hierarchy.access(addr, rng.next_below(3) == 0);
+    }
+    const auto snapshot = hierarchy.snapshot();
+    ASSERT_EQ(snapshot.size(), 3u);
+    EXPECT_EQ(snapshot[0].accesses, static_cast<std::uint64_t>(kRefs))
+        << "mask " << mask;
+    for (int i = 0; i < 3; ++i) {
+      const auto& level = snapshot[i];
+      EXPECT_EQ(level.accesses, level.hits + level.misses)
+          << "mask " << mask << " level " << i;
+      if (((mask >> i) & 1) != 0) {
+        EXPECT_EQ(level.writebacks, 0u)
+            << "write-through level " << i << " wrote back (mask " << mask
+            << ")";
+      } else {
+        EXPECT_LE(level.writebacks, level.misses)
+            << "mask " << mask << " level " << i;
+      }
+      if (i > 0) {
+        EXPECT_EQ(level.accesses, snapshot[i - 1].misses)
+            << "mask " << mask << " level " << i;
+      }
+    }
+  }
+}
+
+// The multi-core variant: mixed-policy private stacks (write-back L1 in
+// front of a write-through L2) under a shared write-back LLC.  The same
+// per-level conservation holds on the aggregated snapshot, the
+// write-through private level can never be the source of a *forced*
+// (coherence-induced) writeback either, and shared-level traffic still
+// reconciles with private-outer misses plus upgrades.
+TEST(HierarchyWritebacks, MixedPolicyPrivateStacksConserveUnderCoherence) {
+  std::vector<LevelConfig> levels;
+  CacheConfig l1;
+  l1.size_bytes = 1024;
+  l1.line_size = 64;
+  l1.associativity = 2;
+  levels.push_back({"L1", l1});
+  CacheConfig l2 = l1;
+  l2.size_bytes = 4096;
+  l2.write_policy = WritePolicy::kWriteThroughNoAllocate;
+  levels.push_back({"L2", l2});
+  CacheConfig llc = l1;
+  llc.size_bytes = 32768;
+  llc.associativity = 4;
+  levels.push_back({"LLC", llc});
+
+  const unsigned kCores = 4;
+  MemoryHierarchy hierarchy(levels, kObserveLast, kCores);
+  util::Xoshiro256 rng(0xc0ffee);
+  // 96 shared lines: hot enough that invalidations and forced writebacks
+  // actually fire.
+  for (int i = 0; i < 30'000; ++i) {
+    const unsigned core = static_cast<unsigned>(rng.next_below(kCores));
+    const Addr addr = 0x4000 + 64 * static_cast<Addr>(rng.next_below(96));
+    hierarchy.access_mc(core, addr, rng.next_below(3) == 0);
+  }
+
+  const auto snapshot = hierarchy.snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  // L2 is write-through: no capacity writebacks and no forced writebacks.
+  EXPECT_EQ(snapshot[1].writebacks, 0u);
+  EXPECT_EQ(hierarchy.coherence_stats()[1].forced_writebacks, 0u);
+  // L1 is write-back: capacity writebacks bounded by allocating misses.
+  EXPECT_LE(snapshot[0].writebacks, snapshot[0].misses);
+  EXPECT_GT(hierarchy.coherence_stats()[0].forced_writebacks, 0u)
+      << "contended write-back L1 should force dirty lines out";
+  // Private-chain conservation per core, and shared-level reconciliation
+  // including the upgrade bus transactions.
+  std::uint64_t outer_private_misses = 0;
+  for (unsigned core = 0; core < kCores; ++core) {
+    const auto per_core = hierarchy.core_snapshot(core);
+    EXPECT_EQ(per_core[1].accesses, per_core[0].misses) << "core " << core;
+    outer_private_misses += per_core[1].misses;
+  }
+  std::uint64_t upgrades = 0;
+  for (const auto& level : hierarchy.coherence_stats()) {
+    upgrades += level.upgrades;
+  }
+  EXPECT_EQ(snapshot[2].accesses, outer_private_misses + upgrades);
+}
+
 }  // namespace
 }  // namespace hpm::sim

@@ -3,9 +3,10 @@
 // (optionally) the per-object miss time line.  Comma-separated --workload
 // and --tool values form a sweep, executed on a worker pool (--jobs) with
 // results reported in submission order; --out exports machine-readable
-// JSON (schema hpm.batch.v2, or hpm.batch.v3 when --levels configures a
-// multi-level hierarchy; see docs/parallel_sweeps.md and
-// docs/memory_hierarchy.md).
+// JSON (schema hpm.batch.v2, hpm.batch.v3 when --levels configures a
+// multi-level hierarchy, or hpm.batch.v4 when --cores simulates more than
+// one core; see docs/parallel_sweeps.md, docs/memory_hierarchy.md and
+// docs/multicore.md).
 //
 // Telemetry (see docs/telemetry.md): --trace-out writes a Chrome
 // trace_event JSON of the run's structured events (sampler interrupts,
@@ -68,6 +69,12 @@ int usage(const char* error) {
       "  --l1-size BYTES   deprecated aliases: prepend an L1 filter level\n"
       "  --l1-assoc N      in front of the measured cache (equivalent to a\n"
       "  --l1-line BYTES   2-level --levels spec; kept for old scripts)\n"
+      "\nmulti-core (docs/multicore.md):\n"
+      "  --cores N         simulated cores (1-64, default 1).  N > 1 splits\n"
+      "                    the hierarchy into per-core private levels and a\n"
+      "                    shared outer tier kept coherent by a MESI-style\n"
+      "                    directory; tools run per core and the output adds\n"
+      "                    per-core stats plus per-object coherence shares\n"
       "\ntool parameters:\n"
       "  --period N        sampling: misses per sample   (default 10000)\n"
       "  --policy P        sampling: fixed|prime|random  (default fixed)\n"
@@ -218,6 +225,60 @@ void print_run(const harness::RunSpec& spec, const harness::RunResult& result,
     }
   }
 
+  if (!result.core_stats.empty()) {
+    std::printf("\ncores (%zu):\n", result.core_stats.size());
+    for (std::size_t c = 0; c < result.core_stats.size(); ++c) {
+      const auto& core = result.core_stats[c];
+      const double miss_pct =
+          core.app_refs == 0 ? 0.0
+                             : 100.0 * static_cast<double>(core.app_misses) /
+                                   static_cast<double>(core.app_refs);
+      std::printf(
+          "  core%-2zu refs: %-12llu misses: %-10llu (%5.2f%%)  "
+          "interrupts: %-6llu",
+          c, static_cast<unsigned long long>(core.app_refs),
+          static_cast<unsigned long long>(core.app_misses), miss_pct,
+          static_cast<unsigned long long>(core.interrupts));
+      if (c < result.core_samples.size()) {
+        std::printf("  samples: %llu",
+                    static_cast<unsigned long long>(result.core_samples[c]));
+      }
+      std::printf("\n");
+    }
+
+    std::printf("\ncoherence (%llu events, %llu samples):\n",
+                static_cast<unsigned long long>(result.coherence_events),
+                static_cast<unsigned long long>(result.coherence_samples));
+    for (std::size_t i = 0; i < result.coherence.size(); ++i) {
+      const auto& coh = result.coherence[i];
+      if (coh.total() == 0) continue;
+      const std::string name = i < result.levels.size()
+                                   ? result.levels[i].name
+                                   : "L" + std::to_string(i + 1);
+      std::printf(
+          "  %-6s invalidations: %-8llu upgrades: %-8llu sharing: %-8llu "
+          "forced writebacks: %llu\n",
+          name.c_str(),
+          static_cast<unsigned long long>(coh.invalidations_received),
+          static_cast<unsigned long long>(coh.upgrades),
+          static_cast<unsigned long long>(coh.sharing_transitions),
+          static_cast<unsigned long long>(coh.forced_writebacks));
+    }
+
+    if (!result.coherence_actual.empty()) {
+      std::puts("\ncoherence attribution (per object):");
+      util::Table coh_table = core::make_comparison_table("coherence", {tool});
+      const auto coh_actual = result.coherence_actual.filtered(0.01);
+      core::append_comparison_rows(
+          coh_table, {.label = spec.workload,
+                      .actual = &coh_actual,
+                      .estimates = {&result.coherence_estimated},
+                      .top_k = top_k,
+                      .precision = 2});
+      coh_table.render(std::cout);
+    }
+  }
+
   if (spec.config.series_interval > 0) {
     std::puts("\nmisses over time (per object, log sparkline):");
     static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
@@ -292,7 +353,8 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv,
                 {"workload", "tool", "jobs", "out", "period", "policy", "n",
                  "interval", "scale", "iterations", "cache", "levels",
-                 "observe", "l1-size", "l1-assoc", "l1-line", "series", "top",
+                 "observe", "cores", "l1-size", "l1-assoc", "l1-line",
+                 "series", "top",
                  "trace-out", "metrics-out", "timeline-every", "record-trace",
                  "list-workloads", "list-tools", "seed", "help", "skid",
                  "drop-rate", "jitter-rate", "jitter-magnitude", "saturate",
@@ -368,6 +430,12 @@ int main(int argc, char** argv) {
     if (cli.has("levels")) {
       return usage("--l1-* flags conflict with --levels (use --levels alone)");
     }
+    // Deprecation notice goes to stderr so scripted stdout parsing (tables,
+    // piped JSON) never sees it; cli_validation_test pins this split.
+    std::fprintf(stderr,
+                 "hpmrun: warning: --l1-size/--l1-assoc/--l1-line are "
+                 "deprecated; use --levels L1:SIZE:LINE:ASSOC,... instead "
+                 "(docs/memory_hierarchy.md)\n");
     sim::CacheConfig l1;
     l1.size_bytes = cli.get_uint("l1-size", 32 * 1024);
     l1.associativity =
@@ -402,12 +470,35 @@ int main(int argc, char** argv) {
                        .c_str());
     }
   }
+  if (cli.has("cores")) {
+    // Strict parse, same rationale as --observe: a typo must be a usage
+    // error, not a silent fallback to the single-core default.
+    const std::string raw = cli.get("cores", "");
+    if (raw.empty() ||
+        raw.find_first_not_of("0123456789") != std::string::npos) {
+      return usage(("--cores expects a core count, got '" + raw + "'")
+                       .c_str());
+    }
+    unsigned long long cores = 0;
+    try {
+      cores = std::stoull(raw);
+    } catch (const std::exception&) {
+      return usage(("--cores " + raw + " does not fit a core count").c_str());
+    }
+    if (cores == 0 || cores > 64) {
+      return usage(("--cores " + raw +
+                    " out of range: 1-64 cores (directory sharer bitmask)")
+                       .c_str());
+    }
+    base.machine.cores = static_cast<unsigned>(cores);
+  }
   // Validate the resolved hierarchy up front: a bad spec is a usage error,
   // not a per-run failure surfaced mid-sweep.
   try {
     sim::MemoryHierarchy probe(
         sim::resolve_levels(base.machine.hierarchy, base.machine.cache),
-        base.machine.hierarchy.observe_level);
+        base.machine.hierarchy.observe_level, base.machine.cores,
+        base.machine.shared_levels);
   } catch (const std::exception& e) {
     return usage(e.what());
   }
